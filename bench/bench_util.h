@@ -1,0 +1,28 @@
+#ifndef DYNAPROX_BENCH_BENCH_UTIL_H_
+#define DYNAPROX_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+#include "analytical/model.h"
+
+namespace dynaprox::benchutil {
+
+// Prints the standard experiment banner: which figure, and the parameter
+// set in Table 2 form.
+inline void PrintHeader(const char* figure, const char* title,
+                        const analytical::ModelParams& params) {
+  std::printf("=== %s: %s ===\n", figure, title);
+  std::printf(
+      "params: h=%.2f s_e=%.0fB frags/page=%d pages=%d f=%.0fB g=%.0fB "
+      "cacheability=%.2f zipf_alpha=%.1f\n",
+      params.hit_ratio, params.fragment_size, params.fragments_per_page,
+      params.num_pages, params.header_size, params.tag_size,
+      params.cacheability, params.zipf_alpha);
+}
+
+inline void PrintFooter() { std::printf("\n"); }
+
+}  // namespace dynaprox::benchutil
+
+#endif  // DYNAPROX_BENCH_BENCH_UTIL_H_

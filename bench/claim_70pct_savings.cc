@@ -1,0 +1,58 @@
+// Headline claim check (Sections 1/5): "more than 70% savings in bytes
+// transmitted through the network" at favorable settings, and substantial
+// savings at the Table 2 baseline. Runs the full simulated system.
+
+#include <cstdio>
+
+#include "analytical/model.h"
+#include "bench_util.h"
+#include "sim/experiment.h"
+
+namespace {
+
+int RunPoint(const char* label, dynaprox::analytical::ModelParams params) {
+  dynaprox::sim::ExperimentConfig config;
+  config.params = params;
+  config.warmup_requests = 2000;
+  config.measured_requests = 16000;
+  dynaprox::Result<dynaprox::sim::ExperimentResult> result =
+      dynaprox::sim::RunBytesExperiment(config);
+  if (!result.ok()) {
+    std::printf("%s failed: %s\n", label,
+                result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "%-24s analytic=%6.2f%%  payload=%6.2f%%  wire=%6.2f%%  (B_NC=%.0f "
+      "B_C=%.0f)\n",
+      label, result->analytic_savings_percent,
+      result->measured_payload_savings_percent,
+      result->measured_wire_savings_percent, result->measured_payload_nc,
+      result->measured_payload_c);
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  using dynaprox::analytical::ModelParams;
+  ModelParams table2 = ModelParams::Table2Baseline();
+  dynaprox::benchutil::PrintHeader(
+      "Claim check", ">70% bandwidth savings on the site infrastructure",
+      table2);
+
+  int failures = 0;
+  failures += RunPoint("table2-baseline", table2);
+
+  ModelParams favorable = ModelParams::PaperFigureSettings();
+  favorable.hit_ratio = 0.95;
+  failures += RunPoint("favorable (x=.8 h=.95)", favorable);
+
+  ModelParams deployment = ModelParams::PaperFigureSettings();
+  deployment.hit_ratio = 1.0;
+  failures += RunPoint("steady-state (x=.8 h=1)", deployment);
+  std::printf(
+      "paper claim: favorable/steady-state settings exceed 70%% savings\n");
+  dynaprox::benchutil::PrintFooter();
+  return failures == 0 ? 0 : 1;
+}

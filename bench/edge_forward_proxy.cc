@@ -1,0 +1,103 @@
+// Section 7 extension bench: forward-proxy (edge) mode. Measures per-edge
+// hit ratios, origin-link bytes, and the cost of node failover across an
+// edge fleet serving a Zipf workload from many clients.
+
+#include <cstdio>
+#include <memory>
+
+#include "analytical/model.h"
+#include "appserver/script_registry.h"
+#include "bench_util.h"
+#include "common/rng.h"
+#include "edge/edge_fleet.h"
+#include "edge/edge_origin.h"
+#include "net/byte_meter.h"
+#include "net/transport.h"
+#include "storage/table.h"
+#include "workload/request_stream.h"
+#include "workload/synthetic_site.h"
+
+int main() {
+  using namespace dynaprox;  // Bench binary: brevity over style here.
+
+  analytical::ModelParams params =
+      analytical::ModelParams::Table2Baseline();
+  benchutil::PrintHeader("Edge extension",
+                         "Forward-proxy fleet: routing, coherency, failover",
+                         params);
+
+  storage::ContentRepository repository;
+  appserver::ScriptRegistry registry;
+  workload::SyntheticSite site(params, 11, &repository, &registry);
+
+  bem::BemOptions bem_options;
+  bem_options.capacity = 2048;
+  appserver::OriginOptions origin_options;
+  origin_options.pad_headers_to_bytes =
+      static_cast<size_t>(params.header_size);
+  edge::EdgeOrigin origin(&registry, &repository, bem_options,
+                          origin_options);
+
+  net::ByteMeter origin_meter;  // Wire bytes origin -> edges.
+  auto origin_direct =
+      std::make_unique<net::DirectTransport>(origin.AsHandler());
+  net::MeteredTransport origin_link(std::move(origin_direct), nullptr,
+                                    &origin_meter);
+
+  edge::EdgeFleetOptions fleet_options;
+  fleet_options.proxy_options.capacity = 2048;
+  edge::EdgeFleet fleet(&origin_link, fleet_options);
+  const char* kNodes[] = {"edge-us", "edge-eu", "edge-ap"};
+  for (const char* node : kNodes) {
+    if (!origin.AddEdge(node).ok() || !fleet.AddNode(node).ok()) {
+      std::printf("fleet setup failed\n");
+      return 1;
+    }
+  }
+
+  // 64 clients, Zipf pages, 12000 requests.
+  workload::RequestStream stream(params.num_pages, params.zipf_alpha, 5);
+  Rng client_rng(17);
+  const int kRequests = 12000;
+  int errors = 0;
+  for (int i = 0; i < kRequests; ++i) {
+    http::Request request = stream.Next();
+    request.headers.Add(
+        "X-Client",
+        "client" + std::to_string(client_rng.NextBounded(64)));
+    // Inject a failure window: edge-eu down for the middle third.
+    if (i == kRequests / 3) (void)fleet.MarkDown("edge-eu");
+    if (i == 2 * kRequests / 3) (void)fleet.MarkUp("edge-eu");
+    http::Response response = fleet.Handle(request);
+    if (response.status_code != 200) ++errors;
+  }
+
+  std::printf("requests=%d errors=%d origin_payload_bytes=%llu "
+              "origin_wire_bytes=%llu\n",
+              kRequests, errors,
+              static_cast<unsigned long long>(origin_meter.payload_bytes()),
+              static_cast<unsigned long long>(origin_meter.wire_bytes()));
+
+  double no_cache_payload =
+      static_cast<double>(kRequests) *
+      analytical::ResponseSizeNoCache(params);
+  std::printf("vs no-cache payload %.0f -> savings %.2f%%\n",
+              no_cache_payload,
+              (no_cache_payload - origin_meter.payload_bytes()) /
+                  no_cache_payload * 100.0);
+
+  for (const char* node : kNodes) {
+    const bem::BackEndMonitor* monitor = *origin.MonitorFor(node);
+    const dpc::DpcProxy* proxy = *fleet.NodeProxy(node);
+    const bem::DirectoryStats& stats = monitor->stats();
+    std::printf(
+        "%-8s directory: hits=%llu misses=%llu hitRatio=%.3f | proxy: "
+        "assembled=%llu recoveries=%llu\n",
+        node, static_cast<unsigned long long>(stats.hits),
+        static_cast<unsigned long long>(stats.misses), stats.HitRatio(),
+        static_cast<unsigned long long>(proxy->stats().assembled),
+        static_cast<unsigned long long>(proxy->stats().recoveries));
+  }
+  benchutil::PrintFooter();
+  return errors == 0 ? 0 : 1;
+}

@@ -1,0 +1,41 @@
+// Figure 2(b): analytical savings in bytes served (%) as hit ratio varies
+// 0..1. Paper shape: slightly negative at h=0, break-even near h=0.01,
+// rising to ~70% at h=1 (with the paper-figure cacheability).
+
+#include <cstdio>
+
+#include "analytical/model.h"
+#include "bench_util.h"
+
+namespace {
+
+void PrintSeries(const char* label,
+                 dynaprox::analytical::ModelParams params) {
+  std::printf("--- series: %s (cacheability=%.2f) ---\n", label,
+              params.cacheability);
+  std::printf("%10s %14s\n", "hitRatio", "savings(%)");
+  // Dense points near zero to show the break-even crossing.
+  for (double h : {0.0, 0.005, 0.01, 0.02, 0.05}) {
+    params.hit_ratio = h;
+    std::printf("%10.3f %14.3f\n", h,
+                dynaprox::analytical::SavingsPercent(params));
+  }
+  for (int step = 1; step <= 10; ++step) {
+    params.hit_ratio = 0.1 * step;
+    std::printf("%10.3f %14.3f\n", params.hit_ratio,
+                dynaprox::analytical::SavingsPercent(params));
+  }
+}
+
+}  // namespace
+
+int main() {
+  using dynaprox::analytical::ModelParams;
+  ModelParams table2 = ModelParams::Table2Baseline();
+  dynaprox::benchutil::PrintHeader(
+      "Figure 2(b)", "Savings in Bytes Served (%) vs Hit Ratio", table2);
+  PrintSeries("table2-baseline", table2);
+  PrintSeries("paper-figure-settings", ModelParams::PaperFigureSettings());
+  dynaprox::benchutil::PrintFooter();
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Deployment-claim bench: "order-of-magnitude reductions in ... end-to-end
+// response times" (Sections 1/8). Prints the latency-model comparison of
+// no-cache vs DPC response times across hit ratios, for both the
+// server-side view (what the financial-institution deployment measured)
+// and a WAN-inclusive end-user view.
+
+#include <cstdio>
+
+#include "analytical/model.h"
+#include "bench_util.h"
+#include "sim/latency.h"
+
+namespace {
+
+void PrintSeries(const char* label, dynaprox::sim::LatencyParams latency,
+                 dynaprox::analytical::ModelParams params) {
+  std::printf("--- %s ---\n", label);
+  std::printf("%10s %14s %14s %10s %12s %12s\n", "hitRatio", "noCache(ms)",
+              "withDpc(ms)", "speedup", "p50 speedup", "p99 speedup");
+  for (double h : {0.0, 0.5, 0.8, 0.9, 0.95, 0.98, 1.0}) {
+    params.hit_ratio = h;
+    double no_cache =
+        dynaprox::sim::ExpectedResponseTimeNoCacheMs(latency, params);
+    double with_cache =
+        dynaprox::sim::ExpectedResponseTimeWithCacheMs(latency, params);
+    dynaprox::sim::LatencyDistributions dist =
+        dynaprox::sim::SampleResponseTimes(latency, params, 20000, 42);
+    std::printf("%10.2f %14.2f %14.2f %9.1fx %11.1fx %11.1fx\n", h,
+                no_cache, with_cache, no_cache / with_cache,
+                dist.no_cache_ms.Percentile(0.5) /
+                    dist.with_cache_ms.Percentile(0.5),
+                dist.no_cache_ms.Percentile(0.99) /
+                    dist.with_cache_ms.Percentile(0.99));
+  }
+}
+
+}  // namespace
+
+int main() {
+  using dynaprox::analytical::ModelParams;
+  ModelParams params = ModelParams::Table2Baseline();
+  params.cacheability = 1.0;  // The deployment tagged its whole page set.
+  dynaprox::benchutil::PrintHeader(
+      "Response-time claim",
+      "End-to-end latency, no-cache vs DPC (latency model)", params);
+
+  dynaprox::sim::LatencyParams server_side;
+  server_side.wan_rtt_ms = 0;
+  server_side.wan_bytes_per_ms = 0;
+  PrintSeries("server-side latency (deployment metric)", server_side,
+              params);
+
+  dynaprox::sim::LatencyParams end_user;  // Defaults include the WAN leg.
+  PrintSeries("end-user latency (reverse proxy: WAN leg unchanged)",
+              end_user, params);
+
+  std::printf(
+      "expectation: server-side speedup exceeds 10x as h -> 1; end-user "
+      "speedup is WAN-bounded (the paper's motivation for forward-proxy "
+      "mode, Section 7)\n");
+  dynaprox::benchutil::PrintFooter();
+  return 0;
+}

@@ -1,0 +1,118 @@
+#include "analytical/model.h"
+
+#include <cmath>
+
+namespace dynaprox::analytical {
+namespace {
+
+// Cost contributed by one cacheable fragment of size `s`:
+// hit -> one GET tag (g); miss -> content wrapped in SET framing (s + 2g).
+double CacheableFragmentCost(double s, double h, double g) {
+  return h * g + (1.0 - h) * (s + 2.0 * g);
+}
+
+}  // namespace
+
+double ResponseSizeNoCache(const ModelParams& params) {
+  return params.fragments_per_page * params.fragment_size +
+         params.header_size;
+}
+
+double ResponseSizeWithCache(const ModelParams& params) {
+  double per_fragment =
+      params.cacheability * CacheableFragmentCost(params.fragment_size,
+                                                  params.hit_ratio,
+                                                  params.tag_size) +
+      (1.0 - params.cacheability) * params.fragment_size;
+  return params.fragments_per_page * per_fragment + params.header_size;
+}
+
+double ExpectedBytesNoCache(const ModelParams& params) {
+  return params.requests * ResponseSizeNoCache(params);
+}
+
+double ExpectedBytesWithCache(const ModelParams& params) {
+  return params.requests * ResponseSizeWithCache(params);
+}
+
+double BytesRatio(const ModelParams& params) {
+  return ExpectedBytesWithCache(params) / ExpectedBytesNoCache(params);
+}
+
+double SavingsPercent(const ModelParams& params) {
+  double nc = ExpectedBytesNoCache(params);
+  return (nc - ExpectedBytesWithCache(params)) / nc * 100.0;
+}
+
+double FirewallSavingsPercent(const ModelParams& params) {
+  return (1.0 - 2.0 * BytesRatio(params)) * 100.0;
+}
+
+SiteSpec SiteSpec::Uniform(const ModelParams& params) {
+  SiteSpec site;
+  site.header_size = params.header_size;
+  site.tag_size = params.tag_size;
+  site.pages.resize(params.num_pages);
+  // Largest-remainder assignment so the site-wide cacheable fraction tracks
+  // params.cacheability even when cacheability * fragments_per_page is not
+  // integral.
+  long long assigned = 0;
+  long long seen = 0;
+  for (int i = 0; i < params.num_pages; ++i) {
+    PageSpec& page = site.pages[i];
+    page.fragments.resize(params.fragments_per_page);
+    for (FragmentSpec& fragment : page.fragments) {
+      ++seen;
+      long long target = std::llround(params.cacheability *
+                                      static_cast<double>(seen));
+      fragment.size = params.fragment_size;
+      fragment.cacheable = target > assigned;
+      if (fragment.cacheable) ++assigned;
+    }
+  }
+  return site;
+}
+
+double PageSizeNoCache(const PageSpec& page, const SiteSpec& site) {
+  double total = site.header_size;
+  for (const FragmentSpec& fragment : page.fragments) total += fragment.size;
+  return total;
+}
+
+double PageSizeWithCache(const PageSpec& page, const SiteSpec& site,
+                         double hit_ratio) {
+  double total = site.header_size;
+  for (const FragmentSpec& fragment : page.fragments) {
+    total += fragment.cacheable
+                 ? CacheableFragmentCost(fragment.size, hit_ratio,
+                                         site.tag_size)
+                 : fragment.size;
+  }
+  return total;
+}
+
+std::vector<double> ZipfProbabilities(int n, double alpha) {
+  std::vector<double> probabilities(n);
+  double total = 0;
+  for (int i = 0; i < n; ++i) {
+    probabilities[i] = 1.0 / std::pow(static_cast<double>(i + 1), alpha);
+    total += probabilities[i];
+  }
+  for (double& p : probabilities) p /= total;
+  return probabilities;
+}
+
+double ExpectedBytes(const SiteSpec& site,
+                     const std::vector<double>& page_probabilities,
+                     double requests, double hit_ratio, bool with_cache) {
+  double expected = 0;
+  for (size_t i = 0; i < site.pages.size(); ++i) {
+    double size = with_cache
+                      ? PageSizeWithCache(site.pages[i], site, hit_ratio)
+                      : PageSizeNoCache(site.pages[i], site);
+    expected += page_probabilities[i] * size;
+  }
+  return requests * expected;
+}
+
+}  // namespace dynaprox::analytical

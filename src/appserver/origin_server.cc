@@ -1,0 +1,155 @@
+#include "appserver/origin_server.h"
+
+#include "appserver/script_context.h"
+#include "bem/protocol.h"
+#include "common/json.h"
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace dynaprox::appserver {
+
+OriginServer::OriginServer(const ScriptRegistry* registry,
+                           storage::ContentRepository* repository,
+                           bem::BackEndMonitor* monitor,
+                           OriginOptions options)
+    : registry_(registry),
+      repository_(repository),
+      monitor_(monitor),
+      options_(options) {}
+
+net::Handler OriginServer::AsHandler() {
+  return [this](const http::Request& request) { return Handle(request); };
+}
+
+void OriginServer::HandleRefreshHeader(const http::Request& request) {
+  if (monitor_ == nullptr) return;
+  auto refresh = request.headers.Get(bem::kRefreshHeader);
+  if (!refresh.has_value()) return;
+  for (std::string_view key_hex : StrSplit(*refresh, ',')) {
+    Result<uint64_t> key = ParseHex(StripWhitespace(key_hex));
+    if (!key.ok() || *key > bem::kInvalidDpcKey) {
+      DYNAPROX_LOG(kWarning, "origin")
+          << "bad refresh key '" << std::string(key_hex) << "'";
+      continue;
+    }
+    // NotFound is fine: the key may already have been invalidated (or even
+    // reassigned) between the DPC's miss and this request.
+    Status status = monitor_->InvalidateKey(static_cast<bem::DpcKey>(*key));
+    if (status.ok()) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.refresh_invalidations;
+    }
+  }
+}
+
+OriginStats OriginServer::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void OriginServer::ApplyHeaderPadding(http::Response& response) const {
+  if (options_.pad_headers_to_bytes == 0) return;
+  // Head bytes as the response will serialize (incl. the implicit
+  // Content-Length field).
+  size_t head_size = response.SerializedSize() - response.body.size();
+  // "X-Pad: " + value + CRLF costs 9 bytes of framing.
+  constexpr size_t kPadFraming = 9;
+  if (head_size + kPadFraming < options_.pad_headers_to_bytes) {
+    size_t pad = options_.pad_headers_to_bytes - head_size - kPadFraming;
+    response.headers.Add("X-Pad", std::string(pad, 'x'));
+  }
+}
+
+http::Response OriginServer::RenderStatus() const {
+  OriginStats snapshot = stats();
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("component").String("origin");
+  json.Key("caching_enabled").Bool(monitor_ != nullptr);
+  json.Key("requests").Uint(snapshot.requests);
+  json.Key("not_found").Uint(snapshot.not_found);
+  json.Key("script_errors").Uint(snapshot.script_errors);
+  json.Key("refresh_invalidations").Uint(snapshot.refresh_invalidations);
+  json.Key("body_bytes_sent").Uint(snapshot.body_bytes_sent);
+  json.Key("fragments").BeginObject();
+  json.Key("hits").Uint(snapshot.fragment_hits);
+  json.Key("misses").Uint(snapshot.fragment_misses);
+  json.Key("uncacheable").Uint(snapshot.fragment_uncacheable);
+  json.EndObject();
+  if (monitor_ != nullptr) {
+    bem::DirectoryStats directory = monitor_->stats();
+    json.Key("directory").BeginObject();
+    json.Key("capacity").Uint(monitor_->capacity());
+    json.Key("hits").Uint(directory.hits);
+    json.Key("misses").Uint(directory.misses);
+    json.Key("hit_ratio").Double(directory.HitRatio());
+    json.Key("inserts").Uint(directory.inserts);
+    json.Key("ttl_invalidations").Uint(directory.ttl_invalidations);
+    json.Key("explicit_invalidations")
+        .Uint(directory.explicit_invalidations);
+    json.Key("evictions").Uint(directory.evictions);
+    json.Key("sample_entries").BeginArray();
+    for (const auto& entry : monitor_->SnapshotEntries(20)) {
+      json.BeginObject();
+      json.Key("fragment").String(entry.fragment_id);
+      json.Key("key").Uint(entry.key);
+      json.Key("valid").Bool(entry.is_valid);
+      json.Key("age_s").Double(static_cast<double>(entry.age_micros) /
+                               kMicrosPerSecond);
+      json.EndObject();
+    }
+    json.EndArray();
+    json.EndObject();
+  }
+  json.EndObject();
+  return http::Response::MakeOk(json.TakeString(), "application/json");
+}
+
+http::Response OriginServer::Handle(const http::Request& request) {
+  if (options_.enable_status && request.Path() == options_.status_path) {
+    return RenderStatus();
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.requests;
+  }
+  HandleRefreshHeader(request);
+
+  // Normalized dispatch: "/a/../hello" and "/hello//" reach the same
+  // script, and dot-segments can never escape the root.
+  Result<const ScriptFn*> script =
+      registry_->Find(http::NormalizePath(request.Path()));
+  if (!script.ok()) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.not_found;
+    return http::Response::MakeError(404, "Not Found",
+                                     script.status().ToString());
+  }
+
+  ScriptContext context(request, repository_, monitor_);
+  Status run_status = (**script)(context);
+  if (!run_status.ok()) {
+    DYNAPROX_LOG(kError, "origin")
+        << "script failure on " << request.target << ": "
+        << run_status.ToString();
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.script_errors;
+    return http::Response::MakeError(500, "Internal Server Error",
+                                     run_status.ToString());
+  }
+
+  http::Response response = context.TakeResponse(bem::kTemplateHeader);
+  ApplyHeaderPadding(response);
+
+  const RequestFragmentStats& frag = context.fragment_stats();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.fragment_hits += frag.hits;
+    stats_.fragment_misses += frag.misses;
+    stats_.fragment_uncacheable += frag.uncacheable;
+    stats_.body_bytes_sent += response.body.size();
+  }
+  return response;
+}
+
+}  // namespace dynaprox::appserver

@@ -1,0 +1,78 @@
+#ifndef DYNAPROX_APPSERVER_ORIGIN_SERVER_H_
+#define DYNAPROX_APPSERVER_ORIGIN_SERVER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "appserver/script_registry.h"
+#include "bem/monitor.h"
+#include "common/result.h"
+#include "http/message.h"
+#include "net/transport.h"
+#include "storage/table.h"
+
+namespace dynaprox::appserver {
+
+struct OriginOptions {
+  // Pads response headers (with an "X-Pad" field) up to this serialized
+  // head size in bytes; 0 disables. Used by the sim to realize the paper's
+  // header-size parameter f (Table 2: f = 500).
+  size_t pad_headers_to_bytes = 0;
+  // Serve a JSON status document (origin + BEM counters) at status_path.
+  bool enable_status = false;
+  std::string status_path = "/_dynaprox/status";
+};
+
+struct OriginStats {
+  uint64_t requests = 0;
+  uint64_t not_found = 0;
+  uint64_t script_errors = 0;
+  uint64_t refresh_invalidations = 0;  // DPC cold-cache recovery keys.
+  uint64_t fragment_hits = 0;
+  uint64_t fragment_misses = 0;
+  uint64_t fragment_uncacheable = 0;
+  uint64_t body_bytes_sent = 0;
+};
+
+// The origin web/application server: dispatches requests to dynamic
+// scripts and, when a BEM is attached, serves templates for the DPC to
+// assemble. Without a BEM it serves complete pages — the no-cache baseline.
+//
+// Thread-safe given its collaborators' guarantees: the registry must not
+// be mutated while serving; repository and monitor are internally
+// synchronized; scripts must only touch request-local state or
+// thread-safe services.
+class OriginServer {
+ public:
+  // `registry` and `repository` must outlive the server; `monitor` may be
+  // null (baseline mode).
+  OriginServer(const ScriptRegistry* registry,
+               storage::ContentRepository* repository,
+               bem::BackEndMonitor* monitor, OriginOptions options = {});
+
+  http::Response Handle(const http::Request& request);
+
+  // Adapter for net::TcpServer / net::DirectTransport.
+  net::Handler AsHandler();
+
+  // Snapshot of the serving counters.
+  OriginStats stats() const;
+  bool caching_enabled() const { return monitor_ != nullptr; }
+
+ private:
+  void ApplyHeaderPadding(http::Response& response) const;
+  void HandleRefreshHeader(const http::Request& request);
+  http::Response RenderStatus() const;
+
+  const ScriptRegistry* registry_;
+  storage::ContentRepository* repository_;
+  bem::BackEndMonitor* monitor_;
+  OriginOptions options_;
+  mutable std::mutex stats_mu_;
+  OriginStats stats_;
+};
+
+}  // namespace dynaprox::appserver
+
+#endif  // DYNAPROX_APPSERVER_ORIGIN_SERVER_H_

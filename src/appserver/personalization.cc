@@ -1,0 +1,47 @@
+#include "appserver/personalization.h"
+
+#include "common/strings.h"
+
+namespace dynaprox::appserver {
+
+Result<UserProfile> LoadProfile(storage::ContentRepository& repository,
+                                const std::string& user_id) {
+  storage::Table* users = nullptr;
+  DYNAPROX_ASSIGN_OR_RETURN(users, repository.GetTable(kUsersTable));
+  storage::Row row;
+  DYNAPROX_ASSIGN_OR_RETURN(row, users->Get(user_id));
+
+  UserProfile profile;
+  profile.user_id = user_id;
+  profile.display_name = storage::GetString(row, "name", user_id);
+  profile.preferred_category = storage::GetString(row, "category");
+  std::string layout = storage::GetString(row, "layout");
+  if (layout.empty()) {
+    profile.layout = DefaultLayout();
+  } else {
+    for (std::string_view section : StrSplit(layout, ',')) {
+      if (!section.empty()) profile.layout.emplace_back(section);
+    }
+  }
+  return profile;
+}
+
+std::vector<std::string> DefaultLayout() {
+  return {"navbar", "headlines", "catalog", "footer"};
+}
+
+Result<std::vector<ProductPick>> RecommendProducts(
+    storage::ContentRepository& repository, const UserProfile& profile,
+    size_t limit) {
+  storage::Table* products = nullptr;
+  DYNAPROX_ASSIGN_OR_RETURN(products, repository.GetTable(kProductsTable));
+  std::vector<ProductPick> picks;
+  for (const auto& [key, row] :
+       products->ScanEq("category", profile.preferred_category, limit)) {
+    picks.push_back({key, storage::GetString(row, "title", key),
+                     storage::GetDouble(row, "price")});
+  }
+  return picks;
+}
+
+}  // namespace dynaprox::appserver

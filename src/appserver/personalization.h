@@ -1,0 +1,53 @@
+#ifndef DYNAPROX_APPSERVER_PERSONALIZATION_H_
+#define DYNAPROX_APPSERVER_PERSONALIZATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace dynaprox::appserver {
+
+// Table and column names the personalization layer expects in the content
+// repository. Site builders (examples, sim) populate these.
+inline constexpr char kUsersTable[] = "users";
+inline constexpr char kProductsTable[] = "products";
+
+// A registered user's profile (paper 2.1: profile controls both content
+// preferences and page layout). Stands in for the CMS personalization
+// object shared across fragments in Section 3.2.2's interdependence
+// example.
+struct UserProfile {
+  std::string user_id;
+  std::string display_name;
+  std::string preferred_category;
+  // Section names in the user's chosen order — the *dynamic layout*.
+  std::vector<std::string> layout;
+};
+
+// Loads the profile of `user_id` from the repository's "users" table
+// (columns: name, category, layout as comma-separated section names).
+Result<UserProfile> LoadProfile(storage::ContentRepository& repository,
+                                const std::string& user_id);
+
+// Default layout served to non-registered visitors.
+std::vector<std::string> DefaultLayout();
+
+// A product surfaced by the recommender.
+struct ProductPick {
+  std::string product_id;
+  std::string title;
+  double price;
+};
+
+// Recommends up to `limit` products from the profile's preferred category
+// ("products" table columns: title, category, price). Deterministic: key
+// order.
+Result<std::vector<ProductPick>> RecommendProducts(
+    storage::ContentRepository& repository, const UserProfile& profile,
+    size_t limit);
+
+}  // namespace dynaprox::appserver
+
+#endif  // DYNAPROX_APPSERVER_PERSONALIZATION_H_

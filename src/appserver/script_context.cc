@@ -1,0 +1,114 @@
+#include "appserver/script_context.h"
+
+#include "bem/tag_codec.h"
+#include "common/logging.h"
+
+namespace dynaprox::appserver {
+
+ScriptContext::ScriptContext(const http::Request& request,
+                             storage::ContentRepository* repository,
+                             bem::BackEndMonitor* monitor)
+    : request_(request), repository_(repository), monitor_(monitor) {}
+
+std::string* ScriptContext::sink() {
+  return in_block_ ? &block_buffer_ : &body_;
+}
+
+void ScriptContext::Emit(std::string_view text) {
+  if (monitor_ != nullptr && !in_block_) {
+    // Top-level text goes into the template escaped, so fragment content
+    // containing the tag marker can never confuse the DPC scanner.
+    bem::TagCodec::AppendLiteral(text, body_);
+  } else {
+    sink()->append(text);
+  }
+}
+
+Status ScriptContext::CacheableBlock(const bem::FragmentId& id,
+                                     MicroTime ttl_micros,
+                                     const BlockFn& generate) {
+  if (in_block_) {
+    return Status::FailedPrecondition(
+        "nested cacheable blocks are not supported (fragment " +
+        id.Canonical() + ")");
+  }
+
+  if (monitor_ == nullptr) {
+    // No-cache baseline: the block runs inline on every request.
+    ++stats_.uncacheable;
+    return generate(*this);
+  }
+
+  bem::LookupResult lookup = monitor_->LookupFragment(id);
+  if (lookup.hit()) {
+    ++stats_.hits;
+    used_tagging_ = true;
+    bem::TagCodec::AppendGet(lookup.key, body_);
+    return Status::Ok();
+  }
+
+  // Miss path: run the code block first; only a successful generation is
+  // registered in the directory.
+  in_block_ = true;
+  block_buffer_.clear();
+  pending_deps_.clear();
+  Status generated = generate(*this);
+  in_block_ = false;
+  if (!generated.ok()) {
+    block_buffer_.clear();
+    pending_deps_.clear();
+    return generated;
+  }
+
+  ++stats_.misses;
+  Result<bem::DpcKey> key = monitor_->InsertFragment(id, ttl_micros);
+  if (!key.ok()) {
+    // Directory full and unevictable: degrade to uncached emission.
+    DYNAPROX_LOG(kWarning, "appserver")
+        << "fragment " << id.Canonical()
+        << " not cached: " << key.status().ToString();
+    ++stats_.uncacheable;
+    bem::TagCodec::AppendLiteral(block_buffer_, body_);
+    block_buffer_.clear();
+    pending_deps_.clear();
+    return Status::Ok();
+  }
+  for (const auto& [table, row_key] : pending_deps_) {
+    monitor_->AddDependency(id, table, row_key);
+  }
+  used_tagging_ = true;
+  bem::TagCodec::AppendSet(*key, block_buffer_, body_);
+  block_buffer_.clear();
+  pending_deps_.clear();
+  return Status::Ok();
+}
+
+void ScriptContext::DeclareDependency(const std::string& table,
+                                      const std::string& row_key) {
+  if (!in_block_ || monitor_ == nullptr) return;
+  pending_deps_.emplace_back(table, row_key);
+}
+
+void ScriptContext::SetStatus(int code) { status_code_ = code; }
+
+void ScriptContext::SetHeader(std::string name, std::string value) {
+  headers_.Set(std::move(name), std::move(value));
+}
+
+http::Response ScriptContext::TakeResponse(
+    const std::string& template_header_name) {
+  http::Response response;
+  response.status_code = status_code_;
+  response.reason = std::string(http::CanonicalReason(status_code_));
+  response.headers = std::move(headers_);
+  if (!response.headers.Has("Content-Type")) {
+    response.headers.Add("Content-Type", "text/html");
+  }
+  if (used_tagging_) {
+    response.headers.Set(template_header_name, "1");
+  }
+  response.body = std::move(body_);
+  return response;
+}
+
+}  // namespace dynaprox::appserver

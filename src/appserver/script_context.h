@@ -1,0 +1,107 @@
+#ifndef DYNAPROX_APPSERVER_SCRIPT_CONTEXT_H_
+#define DYNAPROX_APPSERVER_SCRIPT_CONTEXT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "bem/monitor.h"
+#include "bem/types.h"
+#include "common/result.h"
+#include "http/message.h"
+#include "storage/table.h"
+
+namespace dynaprox::appserver {
+
+// Per-request fragment accounting, mirrored into OriginStats.
+struct RequestFragmentStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t uncacheable = 0;  // Blocks run without BEM involvement.
+};
+
+// The environment a dynamic script runs in. This is the reproduction of the
+// paper's tagging API (4.3.1): a script emits page text with Emit() and
+// wraps cacheable code blocks in CacheableBlock().
+//
+// With a BEM attached the context produces a *template*: literal text plus
+// SET/GET instructions. Without a BEM (the no-cache baseline) the exact
+// same script produces the full page — CacheableBlock simply runs the
+// generator inline. This symmetry is what lets the benches compare B_C and
+// B_NC on identical workloads.
+//
+// Not thread-safe; one context serves one request.
+class ScriptContext {
+ public:
+  // `repository` may be null for scripts that don't touch the data layer;
+  // `monitor` null selects the no-cache baseline behaviour.
+  ScriptContext(const http::Request& request,
+                storage::ContentRepository* repository,
+                bem::BackEndMonitor* monitor);
+
+  const http::Request& request() const { return request_; }
+  storage::ContentRepository* repository() { return repository_; }
+  bool caching_enabled() const { return monitor_ != nullptr; }
+
+  // Appends literal page text (escaped into the template as needed).
+  void Emit(std::string_view text);
+
+  // A cacheable code block (paper 4.3.1: "inserting APIs around the code
+  // block"). On a directory hit the generator is *not executed* and a GET
+  // tag is emitted; on a miss the generator runs, its output is wrapped in
+  // a SET tag, and the fragment is registered with the BEM.
+  //
+  // `ttl_micros` < 0 uses the BEM default. Nested cacheable blocks are
+  // rejected with FailedPrecondition (the paper's fragments are flat).
+  // If the directory cannot accept the fragment the content is emitted
+  // uncached — correctness degrades gracefully to no-cache behaviour.
+  using BlockFn = std::function<Status(ScriptContext&)>;
+  Status CacheableBlock(const bem::FragmentId& id, MicroTime ttl_micros,
+                        const BlockFn& generate);
+  Status CacheableBlock(const bem::FragmentId& id, const BlockFn& generate) {
+    return CacheableBlock(id, -1, generate);
+  }
+
+  // Declares that the fragment currently being generated depends on a
+  // repository table (or row). Only meaningful inside a generating block;
+  // outside one it is ignored (the page itself is not cached).
+  void DeclareDependency(const std::string& table,
+                         const std::string& row_key = "");
+
+  // Response metadata.
+  void SetStatus(int code);
+  void SetHeader(std::string name, std::string value);
+
+  const RequestFragmentStats& fragment_stats() const { return stats_; }
+
+  // Finalizes the response. When a BEM is attached and at least one
+  // cacheable block executed, the body is a template and the response is
+  // marked with dpc::kTemplateHeader (via `template_header_name`).
+  http::Response TakeResponse(const std::string& template_header_name);
+
+ private:
+  // Where Emit() currently writes: the top-level template or a fragment
+  // buffer inside a generating block.
+  std::string* sink();
+
+  const http::Request& request_;
+  storage::ContentRepository* repository_;
+  bem::BackEndMonitor* monitor_;
+
+  std::string body_;            // Template (or plain page without BEM).
+  bool used_tagging_ = false;   // Any SET/GET emitted.
+  bool in_block_ = false;
+  std::string block_buffer_;    // Raw content of the generating block.
+  std::vector<std::pair<std::string, std::string>> pending_deps_;
+
+  int status_code_ = 200;
+  http::HeaderMap headers_;
+  RequestFragmentStats stats_;
+};
+
+}  // namespace dynaprox::appserver
+
+#endif  // DYNAPROX_APPSERVER_SCRIPT_CONTEXT_H_

@@ -1,0 +1,33 @@
+#include "appserver/script_registry.h"
+
+namespace dynaprox::appserver {
+
+Status ScriptRegistry::Register(const std::string& path, ScriptFn script) {
+  auto [it, inserted] = scripts_.emplace(path, std::move(script));
+  if (!inserted) {
+    return Status::AlreadyExists("script already registered: " + path);
+  }
+  return Status::Ok();
+}
+
+void ScriptRegistry::RegisterOrReplace(const std::string& path,
+                                       ScriptFn script) {
+  scripts_[path] = std::move(script);
+}
+
+Result<const ScriptFn*> ScriptRegistry::Find(const std::string& path) const {
+  auto it = scripts_.find(path);
+  if (it == scripts_.end()) {
+    return Status::NotFound("no script for path: " + path);
+  }
+  return &it->second;
+}
+
+std::vector<std::string> ScriptRegistry::Paths() const {
+  std::vector<std::string> paths;
+  paths.reserve(scripts_.size());
+  for (const auto& [path, script] : scripts_) paths.push_back(path);
+  return paths;
+}
+
+}  // namespace dynaprox::appserver

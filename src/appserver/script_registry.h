@@ -1,0 +1,40 @@
+#ifndef DYNAPROX_APPSERVER_SCRIPT_REGISTRY_H_
+#define DYNAPROX_APPSERVER_SCRIPT_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "appserver/script_context.h"
+#include "common/result.h"
+
+namespace dynaprox::appserver {
+
+// A dynamic script: the body of a "JSP/ASP page" in the paper's terms.
+// Invoked once per request for its registered path.
+using ScriptFn = std::function<Status(ScriptContext&)>;
+
+// Maps request paths to dynamic scripts (the application server's script
+// dispatch table). Paths are matched exactly against http::Request::Path().
+class ScriptRegistry {
+ public:
+  // Registers `script` under `path`; AlreadyExists on duplicates.
+  Status Register(const std::string& path, ScriptFn script);
+
+  // Replaces or adds.
+  void RegisterOrReplace(const std::string& path, ScriptFn script);
+
+  // Finds the script for `path`.
+  Result<const ScriptFn*> Find(const std::string& path) const;
+
+  std::vector<std::string> Paths() const;
+  size_t size() const { return scripts_.size(); }
+
+ private:
+  std::map<std::string, ScriptFn> scripts_;
+};
+
+}  // namespace dynaprox::appserver
+
+#endif  // DYNAPROX_APPSERVER_SCRIPT_REGISTRY_H_

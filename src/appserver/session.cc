@@ -1,0 +1,51 @@
+#include "appserver/session.h"
+
+#include "common/strings.h"
+
+namespace dynaprox::appserver {
+
+std::string SessionManager::Login(const std::string& user_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string token = "s" + std::to_string(next_token_++);
+  sessions_[token] = user_id;
+  return token;
+}
+
+void SessionManager::Logout(const std::string& token) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sessions_.erase(token);
+}
+
+size_t SessionManager::active_sessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+std::optional<std::string> SessionManager::TokenFromRequest(
+    const http::Request& request) {
+  auto params = request.QueryParams();
+  if (auto it = params.find("sid"); it != params.end() && !it->second.empty()) {
+    return it->second;
+  }
+  if (auto cookie = request.headers.Get("Cookie"); cookie.has_value()) {
+    for (std::string_view part : StrSplit(*cookie, ';')) {
+      std::string_view trimmed = StripWhitespace(part);
+      if (StartsWith(trimmed, "sid=")) {
+        return std::string(trimmed.substr(4));
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> SessionManager::ResolveUser(
+    const http::Request& request) const {
+  std::optional<std::string> token = TokenFromRequest(request);
+  if (!token.has_value()) return std::nullopt;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(*token);
+  if (it == sessions_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace dynaprox::appserver

@@ -1,0 +1,44 @@
+#ifndef DYNAPROX_APPSERVER_SESSION_H_
+#define DYNAPROX_APPSERVER_SESSION_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "common/result.h"
+#include "http/message.h"
+
+namespace dynaprox::appserver {
+
+// Minimal session layer: maps opaque session tokens to registered user ids.
+// A request carries its token in the "sid" query parameter or a
+// "Cookie: sid=<token>" header. Anonymous requests (no/unknown token)
+// resolve to std::nullopt — the paper's "non-registered user" case.
+// Thread-safe.
+class SessionManager {
+ public:
+  // Opens a session for `user_id` and returns its token.
+  std::string Login(const std::string& user_id);
+
+  // Ends a session; unknown tokens are ignored.
+  void Logout(const std::string& token);
+
+  // Resolves the requesting user, if any.
+  std::optional<std::string> ResolveUser(const http::Request& request) const;
+
+  size_t active_sessions() const;
+
+ private:
+  static std::optional<std::string> TokenFromRequest(
+      const http::Request& request);
+
+  mutable std::mutex mu_;
+  uint64_t next_token_ = 1;
+  std::map<std::string, std::string> sessions_;  // token -> user id.
+};
+
+}  // namespace dynaprox::appserver
+
+#endif  // DYNAPROX_APPSERVER_SESSION_H_

@@ -1,0 +1,123 @@
+#include "baseline/esi.h"
+
+namespace dynaprox::baseline {
+
+EsiPart EsiPart::Literal(std::string markup) {
+  EsiPart part;
+  part.kind = Kind::kLiteral;
+  part.text = std::move(markup);
+  return part;
+}
+
+EsiPart EsiPart::Include(std::string path, MicroTime ttl_micros,
+                         bool forward_query) {
+  EsiPart part;
+  part.kind = Kind::kInclude;
+  part.fragment_path = std::move(path);
+  part.ttl_micros = ttl_micros;
+  part.forward_query = forward_query;
+  return part;
+}
+
+void EsiRegistry::Register(const std::string& path,
+                           EsiTemplate page_template) {
+  templates_[path] = std::move(page_template);
+}
+
+Result<const EsiTemplate*> EsiRegistry::Find(const std::string& path) const {
+  auto it = templates_.find(path);
+  if (it == templates_.end()) {
+    return Status::NotFound("no template for path: " + path);
+  }
+  return &it->second;
+}
+
+EsiAssembler::EsiAssembler(const EsiRegistry* registry,
+                           net::Transport* origin, EsiOptions options)
+    : registry_(registry), origin_(origin), options_(options) {
+  if (options_.clock == nullptr) options_.clock = SystemClock::Default();
+}
+
+net::Handler EsiAssembler::AsHandler() {
+  return [this](const http::Request& request) { return Handle(request); };
+}
+
+void EsiAssembler::ResolveInclude(const EsiPart& part,
+                                  const http::Request& request,
+                                  std::string& page) {
+  std::string url = part.fragment_path;
+  if (part.forward_query && !request.QueryString().empty()) {
+    url += '?';
+    url += request.QueryString();
+  }
+
+  auto it = fragments_.find(url);
+  if (it != fragments_.end()) {
+    bool expired = part.ttl_micros > 0 &&
+                   options_.clock->NowMicros() - it->second.cached_at >=
+                       part.ttl_micros;
+    if (!expired) {
+      ++stats_.fragment_cache_hits;
+      page += it->second.content;
+      return;
+    }
+    fragments_.erase(it);
+  }
+
+  ++stats_.fragment_origin_fetches;
+  http::Request fragment_request;
+  fragment_request.method = "GET";
+  fragment_request.target = url;
+  // Cookies are forwarded (real assemblers do), but note the cache key
+  // above is the URL alone — the correctness hazard Section 3 describes.
+  if (auto cookie = request.headers.Get("Cookie"); cookie.has_value()) {
+    fragment_request.headers.Add("Cookie", std::string(*cookie));
+  }
+  Result<http::Response> response = origin_->RoundTrip(fragment_request);
+  if (!response.ok() || response->status_code != 200) {
+    ++stats_.fragment_errors;
+    return;  // Include contributes nothing; page renders degraded.
+  }
+  stats_.bytes_from_upstream += response->body.size();
+  fragments_[url] =
+      CachedFragment{response->body, options_.clock->NowMicros()};
+  page += response->body;
+}
+
+http::Response EsiAssembler::Handle(const http::Request& request) {
+  ++stats_.page_requests;
+  Result<const EsiTemplate*> page_template =
+      registry_->Find(std::string(request.Path()));
+  if (!page_template.ok()) {
+    // No template: plain proxying.
+    Result<http::Response> response = origin_->RoundTrip(request);
+    if (!response.ok()) {
+      return http::Response::MakeError(502, "Bad Gateway",
+                                       response.status().ToString());
+    }
+    stats_.bytes_from_upstream += response->body.size();
+    return std::move(*response);
+  }
+
+  std::string page;
+  for (const EsiPart& part : (*page_template)->parts) {
+    if (part.kind == EsiPart::Kind::kLiteral) {
+      page += part.text;
+    } else {
+      ResolveInclude(part, request, page);
+    }
+  }
+  return http::Response::MakeOk(std::move(page));
+}
+
+size_t EsiAssembler::InvalidateAll() {
+  size_t count = fragments_.size();
+  fragments_.clear();
+  return count;
+}
+
+bool EsiAssembler::InvalidateFragmentUrl(const std::string& url) {
+  return fragments_.erase(url) > 0;
+}
+
+}  // namespace dynaprox::baseline

@@ -1,0 +1,107 @@
+#ifndef DYNAPROX_BASELINE_ESI_H_
+#define DYNAPROX_BASELINE_ESI_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "http/message.h"
+#include "net/transport.h"
+
+namespace dynaprox::baseline {
+
+// One piece of an ESI-style page template: literal markup or an include
+// that fetches a separately-addressable fragment script from the origin.
+struct EsiPart {
+  enum class Kind { kLiteral, kInclude };
+
+  Kind kind = Kind::kLiteral;
+  std::string text;           // kLiteral: markup emitted verbatim.
+  std::string fragment_path;  // kInclude: origin path of the fragment
+                              // script (e.g. "/frag/navbar").
+  bool forward_query = true;  // kInclude: append the page request's query.
+  MicroTime ttl_micros = 0;   // kInclude: fragment cache TTL; <=0 forever.
+
+  static EsiPart Literal(std::string markup);
+  static EsiPart Include(std::string path, MicroTime ttl_micros = 0,
+                         bool forward_query = true);
+};
+
+// A page template: the *pre-defined layout* Section 3.2.2 identifies as
+// dynamic page assembly's key limitation. The layout is fixed at design
+// time per URL path; it cannot react to per-request state.
+struct EsiTemplate {
+  std::vector<EsiPart> parts;
+};
+
+// Maps page paths to templates.
+class EsiRegistry {
+ public:
+  void Register(const std::string& path, EsiTemplate page_template);
+  Result<const EsiTemplate*> Find(const std::string& path) const;
+  size_t size() const { return templates_.size(); }
+
+ private:
+  std::map<std::string, EsiTemplate> templates_;
+};
+
+struct EsiStats {
+  uint64_t page_requests = 0;
+  uint64_t fragment_origin_fetches = 0;  // Includes resolved at the origin.
+  uint64_t fragment_cache_hits = 0;
+  uint64_t fragment_errors = 0;
+  uint64_t bytes_from_upstream = 0;
+};
+
+struct EsiOptions {
+  const Clock* clock = nullptr;  // Defaults to SystemClock.
+};
+
+// The Section 3.2.2 comparator: an Akamai-ESI / WebSphere-trigger-monitor
+// style edge assembler. Each include is fetched from the origin as its own
+// URL-keyed request and cached by URL. Faithful to the approach's two
+// documented limitations:
+//  * layout is the template's, regardless of per-request state;
+//  * interdependent fragments redo shared work at the origin (each include
+//    is an independent script invocation).
+// Not thread-safe (used by single-threaded comparison benches).
+class EsiAssembler {
+ public:
+  // `registry` and `origin` must outlive the assembler.
+  EsiAssembler(const EsiRegistry* registry, net::Transport* origin,
+               EsiOptions options = {});
+
+  // Assembles the template for the request's path. Requests with no
+  // registered template are proxied through unmodified.
+  http::Response Handle(const http::Request& request);
+  net::Handler AsHandler();
+
+  // Drops cached fragments (all, or one include URL).
+  size_t InvalidateAll();
+  bool InvalidateFragmentUrl(const std::string& url);
+
+  const EsiStats& stats() const { return stats_; }
+
+ private:
+  struct CachedFragment {
+    std::string content;
+    MicroTime cached_at;
+  };
+
+  // Fetches (or serves from cache) one include; appends to `page`.
+  void ResolveInclude(const EsiPart& part, const http::Request& request,
+                      std::string& page);
+
+  const EsiRegistry* registry_;
+  net::Transport* origin_;
+  EsiOptions options_;
+  std::map<std::string, CachedFragment> fragments_;  // By include URL.
+  EsiStats stats_;
+};
+
+}  // namespace dynaprox::baseline
+
+#endif  // DYNAPROX_BASELINE_ESI_H_

@@ -1,0 +1,82 @@
+#include "baseline/page_cache.h"
+
+namespace dynaprox::baseline {
+
+UrlPageCache::UrlPageCache(net::Transport* upstream,
+                           PageCacheOptions options)
+    : upstream_(upstream), options_(options) {
+  if (options_.clock == nullptr) options_.clock = SystemClock::Default();
+}
+
+net::Handler UrlPageCache::AsHandler() {
+  return [this](const http::Request& request) { return Handle(request); };
+}
+
+bool UrlPageCache::Expired(const Entry& entry) const {
+  return options_.ttl_micros > 0 &&
+         options_.clock->NowMicros() - entry.cached_at >=
+             options_.ttl_micros;
+}
+
+void UrlPageCache::Touch(const std::string& url, Entry& entry) {
+  lru_.erase(entry.lru_position);
+  lru_.push_front(url);
+  entry.lru_position = lru_.begin();
+}
+
+void UrlPageCache::EvictIfNeeded() {
+  while (entries_.size() > options_.capacity && !lru_.empty()) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+http::Response UrlPageCache::Handle(const http::Request& request) {
+  // URL-keyed: headers (cookies!) deliberately ignored, like the strawman.
+  const std::string& url = request.target;
+  auto it = entries_.find(url);
+  if (it != entries_.end() && !Expired(it->second)) {
+    ++stats_.hits;
+    Touch(url, it->second);
+    return it->second.response;
+  }
+
+  ++stats_.misses;
+  Result<http::Response> response = upstream_->RoundTrip(request);
+  if (!response.ok()) {
+    return http::Response::MakeError(502, "Bad Gateway",
+                                     response.status().ToString());
+  }
+  stats_.bytes_from_upstream += response->body.size();
+  if (response->status_code == 200 && request.method == "GET") {
+    if (it != entries_.end()) {
+      lru_.erase(it->second.lru_position);
+      entries_.erase(it);
+    }
+    lru_.push_front(url);
+    entries_[url] =
+        Entry{*response, options_.clock->NowMicros(), lru_.begin()};
+    EvictIfNeeded();
+  }
+  return std::move(*response);
+}
+
+bool UrlPageCache::InvalidateUrl(const std::string& url) {
+  auto it = entries_.find(url);
+  if (it == entries_.end()) return false;
+  lru_.erase(it->second.lru_position);
+  entries_.erase(it);
+  ++stats_.invalidations;
+  return true;
+}
+
+size_t UrlPageCache::InvalidateAll() {
+  size_t count = entries_.size();
+  stats_.invalidations += count;
+  entries_.clear();
+  lru_.clear();
+  return count;
+}
+
+}  // namespace dynaprox::baseline

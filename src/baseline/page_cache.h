@@ -1,0 +1,72 @@
+#ifndef DYNAPROX_BASELINE_PAGE_CACHE_H_
+#define DYNAPROX_BASELINE_PAGE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <string>
+
+#include "common/clock.h"
+#include "http/message.h"
+#include "net/transport.h"
+
+namespace dynaprox::baseline {
+
+struct PageCacheOptions {
+  // Maximum cached pages (LRU eviction beyond this).
+  size_t capacity = 1024;
+  // TTL per cached page; <= 0 caches forever.
+  MicroTime ttl_micros = 0;
+  const Clock* clock = nullptr;  // Defaults to SystemClock.
+};
+
+struct PageCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t invalidations = 0;
+  uint64_t bytes_from_upstream = 0;
+};
+
+// The Section 3.2.1 strawman: a URL-keyed full-page proxy cache (Inktomi /
+// ISA Server / CacheFlow style). Cache hits are decided by the request
+// URL alone — precisely why it serves Bob's personalized page to Alice,
+// and why one volatile element invalidates the whole page. Implemented
+// faithfully so the failure modes are measurable. Not thread-safe (used
+// by single-threaded comparison benches).
+class UrlPageCache {
+ public:
+  // `upstream` must outlive the cache.
+  UrlPageCache(net::Transport* upstream, PageCacheOptions options);
+
+  http::Response Handle(const http::Request& request);
+  net::Handler AsHandler();
+
+  // Page-level invalidation: drop one URL or everything.
+  bool InvalidateUrl(const std::string& url);
+  size_t InvalidateAll();
+
+  const PageCacheStats& stats() const { return stats_; }
+  size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    http::Response response;
+    MicroTime cached_at;
+    std::list<std::string>::iterator lru_position;
+  };
+
+  bool Expired(const Entry& entry) const;
+  void Touch(const std::string& url, Entry& entry);
+  void EvictIfNeeded();
+
+  net::Transport* upstream_;
+  PageCacheOptions options_;
+  std::map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  // Front = most recent.
+  PageCacheStats stats_;
+};
+
+}  // namespace dynaprox::baseline
+
+#endif  // DYNAPROX_BASELINE_PAGE_CACHE_H_

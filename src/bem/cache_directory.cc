@@ -1,0 +1,190 @@
+#include "bem/cache_directory.h"
+
+#include <cassert>
+
+#include "common/logging.h"
+
+namespace dynaprox::bem {
+
+CacheDirectory::CacheDirectory(DpcKey capacity, const Clock* clock,
+                               std::unique_ptr<ReplacementPolicy> policy)
+    : clock_(clock),
+      policy_(std::move(policy)),
+      free_list_(capacity),
+      key_owner_(capacity) {
+  assert(clock_ != nullptr);
+  assert(policy_ != nullptr);
+}
+
+bool CacheDirectory::Expired(const Entry& entry) const {
+  return entry.ttl_micros > 0 &&
+         clock_->NowMicros() - entry.inserted_at >= entry.ttl_micros;
+}
+
+void CacheDirectory::InvalidateEntry(const std::string& canonical,
+                                     Entry& entry) {
+  assert(entry.is_valid);
+  entry.is_valid = false;
+  --valid_count_;
+  policy_->OnRemove(canonical);
+  // The key goes to the back of the free list; the DPC is *not* told
+  // (paper 4.3.3: "No action is taken by the DPC").
+  Status released = free_list_.Release(entry.key);
+  assert(released.ok());
+  (void)released;
+}
+
+void CacheDirectory::ReclaimKeyOwner(DpcKey key) {
+  std::string& owner = key_owner_[key];
+  if (owner.empty()) return;
+  auto it = entries_.find(owner);
+  // Erase the stale entry only if it still is the invalid incarnation that
+  // released this key. (The owner record can be outdated: the fragment may
+  // have been re-inserted since under a different key, overwriting its
+  // entry — in that case the entry is valid and must be kept.)
+  if (it != entries_.end() && !it->second.is_valid &&
+      it->second.key == key) {
+    entries_.erase(it);
+  }
+  owner.clear();
+}
+
+LookupResult CacheDirectory::Lookup(const FragmentId& id) {
+  std::string canonical = id.Canonical();
+  auto it = entries_.find(canonical);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return {LookupOutcome::kMissAbsent};
+  }
+  Entry& entry = it->second;
+  if (!entry.is_valid) {
+    ++stats_.misses;
+    return {LookupOutcome::kMissInvalid};
+  }
+  if (Expired(entry)) {
+    ++stats_.ttl_invalidations;
+    ++stats_.misses;
+    InvalidateEntry(canonical, entry);
+    return {LookupOutcome::kMissExpired};
+  }
+  ++stats_.hits;
+  policy_->OnAccess(canonical);
+  return {LookupOutcome::kHit, entry.key};
+}
+
+Result<DpcKey> CacheDirectory::Insert(const FragmentId& id,
+                                      MicroTime ttl_micros) {
+  std::string canonical = id.Canonical();
+
+  // Re-inserting a valid fragment (e.g. forced refresh) releases its key
+  // first so it flows through the normal allocation path.
+  if (auto it = entries_.find(canonical);
+      it != entries_.end() && it->second.is_valid) {
+    ++stats_.explicit_invalidations;
+    InvalidateEntry(canonical, it->second);
+  }
+
+  Result<DpcKey> key = free_list_.Allocate();
+  if (!key.ok()) {
+    // Replacement manager: evict a victim to free a key (paper 4.3.3).
+    Result<std::string> victim = policy_->PickVictim();
+    if (!victim.ok()) {
+      return Status::CapacityExceeded(
+          "directory full and no replacement candidate");
+    }
+    ++stats_.evictions;
+    DYNAPROX_RETURN_IF_ERROR(InvalidateCanonical(*victim));
+    key = free_list_.Allocate();
+    if (!key.ok()) return key.status();
+  }
+
+  // The allocated key may still be referenced by a stale invalid entry
+  // (possibly this very fragment's previous incarnation); reclaim it.
+  ReclaimKeyOwner(*key);
+
+  entries_[canonical] =
+      Entry{*key, /*is_valid=*/true, ttl_micros, clock_->NowMicros()};
+  key_owner_[*key] = canonical;
+  ++valid_count_;
+  ++stats_.inserts;
+  policy_->OnInsert(canonical);
+  DYNAPROX_LOG(kDebug, "bem") << "insert " << canonical << " -> key " << *key;
+  return *key;
+}
+
+Status CacheDirectory::Invalidate(const FragmentId& id) {
+  return InvalidateCanonical(id.Canonical());
+}
+
+Status CacheDirectory::InvalidateCanonical(const std::string& canonical) {
+  auto it = entries_.find(canonical);
+  if (it == entries_.end() || !it->second.is_valid) {
+    return Status::NotFound("no valid entry: " + canonical);
+  }
+  ++stats_.explicit_invalidations;
+  InvalidateEntry(canonical, it->second);
+  return Status::Ok();
+}
+
+Result<std::string> CacheDirectory::InvalidateKey(DpcKey key) {
+  if (key >= key_owner_.size()) {
+    return Status::InvalidArgument("dpcKey out of range: " +
+                                   std::to_string(key));
+  }
+  const std::string owner = key_owner_[key];
+  if (owner.empty()) {
+    return Status::NotFound("key has no owner: " + std::to_string(key));
+  }
+  auto it = entries_.find(owner);
+  if (it == entries_.end() || !it->second.is_valid ||
+      it->second.key != key) {
+    return Status::NotFound("key has no valid owner: " + std::to_string(key));
+  }
+  ++stats_.explicit_invalidations;
+  InvalidateEntry(owner, it->second);
+  return owner;
+}
+
+size_t CacheDirectory::InvalidateAll() {
+  size_t count = 0;
+  for (auto& [canonical, entry] : entries_) {
+    if (!entry.is_valid) continue;
+    ++stats_.explicit_invalidations;
+    InvalidateEntry(canonical, entry);
+    ++count;
+  }
+  return count;
+}
+
+size_t CacheDirectory::SweepExpired() {
+  size_t count = 0;
+  for (auto& [canonical, entry] : entries_) {
+    if (!entry.is_valid || !Expired(entry)) continue;
+    ++stats_.ttl_invalidations;
+    InvalidateEntry(canonical, entry);
+    ++count;
+  }
+  return count;
+}
+
+std::vector<CacheDirectory::EntryView> CacheDirectory::SnapshotEntries(
+    size_t limit) const {
+  std::vector<EntryView> out;
+  MicroTime now = clock_->NowMicros();
+  for (const auto& [canonical, entry] : entries_) {
+    out.push_back({canonical, entry.key, entry.is_valid,
+                   now - entry.inserted_at, entry.ttl_micros});
+    if (limit != 0 && out.size() >= limit) break;
+  }
+  return out;
+}
+
+Result<DpcKey> CacheDirectory::KeyOf(const FragmentId& id) const {
+  auto it = entries_.find(id.Canonical());
+  if (it == entries_.end() || !it->second.is_valid) {
+    return Status::NotFound("no valid entry: " + id.Canonical());
+  }
+  return it->second.key;
+}
+
+}  // namespace dynaprox::bem

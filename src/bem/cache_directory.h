@@ -1,0 +1,144 @@
+#ifndef DYNAPROX_BEM_CACHE_DIRECTORY_H_
+#define DYNAPROX_BEM_CACHE_DIRECTORY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bem/free_list.h"
+#include "bem/replacement.h"
+#include "bem/types.h"
+#include "common/clock.h"
+#include "common/result.h"
+
+namespace dynaprox::bem {
+
+// Outcome of a directory lookup.
+enum class LookupOutcome {
+  kHit,         // Present, valid, not expired: serve via GET.
+  kMissAbsent,  // Never seen (or entry reclaimed).
+  kMissInvalid, // Present but invalidated (data-source or explicit).
+  kMissExpired, // Present but TTL elapsed (invalidated as a side effect).
+};
+
+struct LookupResult {
+  LookupOutcome outcome;
+  // Valid only for kHit.
+  DpcKey key = kInvalidDpcKey;
+
+  bool hit() const { return outcome == LookupOutcome::kHit; }
+};
+
+// Aggregate counters exposed for tests, benches and EXPERIMENTS.md.
+struct DirectoryStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t inserts = 0;
+  uint64_t ttl_invalidations = 0;
+  uint64_t explicit_invalidations = 0;
+  uint64_t evictions = 0;
+
+  double HitRatio() const {
+    uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+// The cache directory (paper 4.3.3): the BEM's single source of truth about
+// what the DPC holds. Maps fragmentID -> {dpcKey, isValid, ttl}.
+//
+// Lifecycle invariants (tested in cache_directory_test.cc):
+//  * Every key in [0, capacity) is either on the free list or owned by
+//    exactly one VALID entry... with one paper-faithful subtlety: an
+//    INVALID entry keeps referencing its released key until that key is
+//    reassigned, at which point the stale entry is reclaimed. ("invalid
+//    fragments are not explicitly removed from the DPC; the slots simply
+//    remain unused until they are subsequently assigned to a new fragment")
+//  * Invalidation never communicates with the DPC.
+//  * Directory size never exceeds capacity.
+class CacheDirectory {
+ public:
+  // `ttl_micros` <= 0 in Insert means "no TTL". `clock` must outlive the
+  // directory. `policy` selects eviction victims when the key space is
+  // exhausted.
+  CacheDirectory(DpcKey capacity, const Clock* clock,
+                 std::unique_ptr<ReplacementPolicy> policy);
+
+  // Looks up `id`; on a hit the replacement policy sees an access. Expired
+  // entries are invalidated lazily here.
+  LookupResult Lookup(const FragmentId& id);
+
+  // Registers `id` as cached and returns its new dpcKey. If the key space
+  // is full, evicts a victim chosen by the replacement policy. Re-inserting
+  // a currently-valid fragment first invalidates it (fresh key), matching
+  // the paper's miss-path ("an entry is inserted into the cache directory").
+  Result<DpcKey> Insert(const FragmentId& id, MicroTime ttl_micros);
+
+  // Marks `id` invalid and pushes its key on the free list. NotFound if the
+  // fragment is unknown or already invalid.
+  Status Invalidate(const FragmentId& id);
+  Status InvalidateCanonical(const std::string& canonical);
+
+  // Invalidates whichever valid fragment currently owns `key` (used by the
+  // DPC cold-cache recovery protocol, which only knows dpcKeys). Returns
+  // the canonical id invalidated; NotFound if no valid owner.
+  Result<std::string> InvalidateKey(DpcKey key);
+
+  // Invalidates every valid entry; returns how many.
+  size_t InvalidateAll();
+
+  // Proactively invalidates expired entries; returns how many.
+  size_t SweepExpired();
+
+  // Introspection.
+  DpcKey capacity() const { return free_list_.capacity(); }
+  size_t entry_count() const { return entries_.size(); }
+  size_t valid_count() const { return valid_count_; }
+  size_t free_key_count() const { return free_list_.free_count(); }
+  const DirectoryStats& stats() const { return stats_; }
+  const ReplacementPolicy& policy() const { return *policy_; }
+
+  // Returns the valid entry's key for tests; NotFound otherwise.
+  Result<DpcKey> KeyOf(const FragmentId& id) const;
+
+  // A read-only view of one directory entry (introspection/status).
+  struct EntryView {
+    std::string fragment_id;  // Canonical form.
+    DpcKey key;
+    bool is_valid;
+    MicroTime age_micros;     // Since insertion.
+    MicroTime ttl_micros;     // <= 0: no expiry.
+  };
+
+  // Snapshots up to `limit` entries in canonical order (0 = all).
+  std::vector<EntryView> SnapshotEntries(size_t limit = 0) const;
+
+ private:
+  struct Entry {
+    DpcKey key;
+    bool is_valid;
+    MicroTime ttl_micros;    // <= 0: no expiry.
+    MicroTime inserted_at;
+  };
+
+  bool Expired(const Entry& entry) const;
+  // Shared invalidation: flips the flag, releases the key, updates policy.
+  void InvalidateEntry(const std::string& canonical, Entry& entry);
+  // Reclaims the stale invalid entry (if any) that still references `key`.
+  void ReclaimKeyOwner(DpcKey key);
+
+  const Clock* clock_;
+  std::unique_ptr<ReplacementPolicy> policy_;
+  FreeList free_list_;
+  std::map<std::string, Entry> entries_;
+  // key -> canonical fragment id of the entry referencing it ("" if none).
+  std::vector<std::string> key_owner_;
+  size_t valid_count_ = 0;
+  DirectoryStats stats_;
+};
+
+}  // namespace dynaprox::bem
+
+#endif  // DYNAPROX_BEM_CACHE_DIRECTORY_H_

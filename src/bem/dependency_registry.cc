@@ -1,0 +1,46 @@
+#include "bem/dependency_registry.h"
+
+namespace dynaprox::bem {
+
+void DependencyRegistry::Add(const std::string& canonical,
+                             const std::string& table,
+                             const std::string& row_key) {
+  by_source_[table][row_key].insert(canonical);
+  by_fragment_[canonical].insert(Dep{table, row_key});
+}
+
+void DependencyRegistry::RemoveFragment(const std::string& canonical) {
+  auto it = by_fragment_.find(canonical);
+  if (it == by_fragment_.end()) return;
+  for (const Dep& dep : it->second) {
+    auto table_it = by_source_.find(dep.table);
+    if (table_it == by_source_.end()) continue;
+    auto row_it = table_it->second.find(dep.row_key);
+    if (row_it == table_it->second.end()) continue;
+    row_it->second.erase(canonical);
+    if (row_it->second.empty()) table_it->second.erase(row_it);
+    if (table_it->second.empty()) by_source_.erase(table_it);
+  }
+  by_fragment_.erase(it);
+}
+
+std::vector<std::string> DependencyRegistry::Affected(
+    const storage::UpdateEvent& event) const {
+  std::set<std::string> result;
+  auto table_it = by_source_.find(event.table);
+  if (table_it == by_source_.end()) return {};
+  // Table-level dependents.
+  if (auto row_it = table_it->second.find(""); row_it != table_it->second.end()) {
+    result.insert(row_it->second.begin(), row_it->second.end());
+  }
+  // Row-level dependents.
+  if (!event.key.empty()) {
+    if (auto row_it = table_it->second.find(event.key);
+        row_it != table_it->second.end()) {
+      result.insert(row_it->second.begin(), row_it->second.end());
+    }
+  }
+  return std::vector<std::string>(result.begin(), result.end());
+}
+
+}  // namespace dynaprox::bem

@@ -1,0 +1,50 @@
+#ifndef DYNAPROX_BEM_DEPENDENCY_REGISTRY_H_
+#define DYNAPROX_BEM_DEPENDENCY_REGISTRY_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "storage/update_bus.h"
+
+namespace dynaprox::bem {
+
+// Tracks which cached fragments depend on which data-source rows, enabling
+// the cache invalidation manager's "updates to the underlying data sources"
+// trigger (paper 4.3.3). A dependency is (table) or (table, row-key); a
+// table-level dependency is invalidated by any mutation of that table.
+class DependencyRegistry {
+ public:
+  // Declares that fragment `canonical` depends on `table` (whole table when
+  // `row_key` is empty).
+  void Add(const std::string& canonical, const std::string& table,
+           const std::string& row_key = "");
+
+  // Drops all dependencies of `canonical` (fragment invalidated/reclaimed).
+  void RemoveFragment(const std::string& canonical);
+
+  // Fragments affected by `event`, in deterministic (sorted) order.
+  std::vector<std::string> Affected(const storage::UpdateEvent& event) const;
+
+  size_t fragment_count() const { return by_fragment_.size(); }
+
+ private:
+  struct Dep {
+    std::string table;
+    std::string row_key;  // Empty: whole table.
+    bool operator<(const Dep& other) const {
+      if (table != other.table) return table < other.table;
+      return row_key < other.row_key;
+    }
+  };
+
+  // (table, row_key) -> fragments; row_key "" holds table-level deps.
+  std::map<std::string, std::map<std::string, std::set<std::string>>>
+      by_source_;
+  std::map<std::string, std::set<Dep>> by_fragment_;
+};
+
+}  // namespace dynaprox::bem
+
+#endif  // DYNAPROX_BEM_DEPENDENCY_REGISTRY_H_

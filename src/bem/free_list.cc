@@ -1,0 +1,30 @@
+#include "bem/free_list.h"
+
+namespace dynaprox::bem {
+
+FreeList::FreeList(DpcKey capacity) : capacity_(capacity) {
+  for (DpcKey key = 0; key < capacity; ++key) list_.push_back(key);
+}
+
+Result<DpcKey> FreeList::Allocate() {
+  if (list_.empty()) {
+    return Status::CapacityExceeded("free list exhausted");
+  }
+  DpcKey key = list_.front();
+  list_.pop_front();
+  return key;
+}
+
+Status FreeList::Release(DpcKey key) {
+  if (key >= capacity_) {
+    return Status::InvalidArgument("dpcKey out of range: " +
+                                   std::to_string(key));
+  }
+  if (list_.size() >= capacity_) {
+    return Status::FailedPrecondition("free list already full");
+  }
+  list_.push_back(key);
+  return Status::Ok();
+}
+
+}  // namespace dynaprox::bem

@@ -1,0 +1,42 @@
+#ifndef DYNAPROX_BEM_FREE_LIST_H_
+#define DYNAPROX_BEM_FREE_LIST_H_
+
+#include <deque>
+
+#include "bem/types.h"
+#include "common/result.h"
+
+namespace dynaprox::bem {
+
+// FIFO free list of dpcKeys (paper 4.3.3). Initially holds every key in
+// [0, capacity). When a fragment becomes invalid its key is pushed at the
+// *end*, so a key is only reassigned after all keys freed before it — giving
+// invalid DPC slots the longest possible grace period before they are
+// overwritten by a SET for a different fragment.
+//
+// Paper requirement: "the size of the freeList should be at least as large
+// as the maximum cache size" — enforced: Release on a full list fails.
+class FreeList {
+ public:
+  // Fills the list with keys 0..capacity-1.
+  explicit FreeList(DpcKey capacity);
+
+  // Pops the oldest free key; CapacityExceeded when none are free.
+  Result<DpcKey> Allocate();
+
+  // Returns `key` to the tail. Fails on out-of-range keys and when the list
+  // is already full (double release).
+  Status Release(DpcKey key);
+
+  size_t free_count() const { return list_.size(); }
+  DpcKey capacity() const { return capacity_; }
+  bool empty() const { return list_.empty(); }
+
+ private:
+  DpcKey capacity_;
+  std::deque<DpcKey> list_;
+};
+
+}  // namespace dynaprox::bem
+
+#endif  // DYNAPROX_BEM_FREE_LIST_H_

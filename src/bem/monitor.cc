@@ -1,0 +1,122 @@
+#include "bem/monitor.h"
+
+#include "common/logging.h"
+
+namespace dynaprox::bem {
+
+Result<std::unique_ptr<BackEndMonitor>> BackEndMonitor::Create(
+    BemOptions options) {
+  if (options.capacity == 0) {
+    return Status::InvalidArgument("BEM capacity must be > 0");
+  }
+  std::unique_ptr<ReplacementPolicy> policy;
+  DYNAPROX_ASSIGN_OR_RETURN(policy,
+                            MakeReplacementPolicy(options.replacement_policy));
+  const Clock* clock =
+      options.clock != nullptr ? options.clock : SystemClock::Default();
+  return std::unique_ptr<BackEndMonitor>(
+      new BackEndMonitor(options.capacity, clock, std::move(policy),
+                         options.default_ttl_micros));
+}
+
+BackEndMonitor::BackEndMonitor(DpcKey capacity, const Clock* clock,
+                               std::unique_ptr<ReplacementPolicy> policy,
+                               MicroTime default_ttl_micros)
+    : directory_(capacity, clock, std::move(policy)),
+      default_ttl_micros_(default_ttl_micros) {}
+
+BackEndMonitor::~BackEndMonitor() { DetachRepository(); }
+
+LookupResult BackEndMonitor::LookupFragment(const FragmentId& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return directory_.Lookup(id);
+}
+
+Result<DpcKey> BackEndMonitor::InsertFragment(const FragmentId& id,
+                                              MicroTime ttl_micros) {
+  if (ttl_micros < 0) ttl_micros = default_ttl_micros_;
+  std::lock_guard<std::mutex> lock(mu_);
+  // A fresh insert supersedes any dependencies registered for the previous
+  // incarnation of this fragment; the generating code block re-declares
+  // them as it runs.
+  registry_.RemoveFragment(id.Canonical());
+  return directory_.Insert(id, ttl_micros);
+}
+
+void BackEndMonitor::AddDependency(const FragmentId& id,
+                                   const std::string& table,
+                                   const std::string& row_key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  registry_.Add(id.Canonical(), table, row_key);
+}
+
+Status BackEndMonitor::Invalidate(const FragmentId& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  registry_.RemoveFragment(id.Canonical());
+  return directory_.Invalidate(id);
+}
+
+Status BackEndMonitor::InvalidateKey(DpcKey key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Result<std::string> owner = directory_.InvalidateKey(key);
+  if (!owner.ok()) return owner.status();
+  registry_.RemoveFragment(*owner);
+  return Status::Ok();
+}
+
+size_t BackEndMonitor::InvalidateAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t count = directory_.InvalidateAll();
+  // Dependencies die with their fragments.
+  // (RemoveFragment is idempotent; clearing via fresh registry is simpler.)
+  registry_ = DependencyRegistry();
+  return count;
+}
+
+size_t BackEndMonitor::SweepExpired() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return directory_.SweepExpired();
+}
+
+DirectoryStats BackEndMonitor::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return directory_.stats();
+}
+
+std::vector<CacheDirectory::EntryView> BackEndMonitor::SnapshotEntries(
+    size_t limit) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return directory_.SnapshotEntries(limit);
+}
+
+void BackEndMonitor::AttachRepository(storage::ContentRepository* repository) {
+  DetachRepository();
+  repository_ = repository;
+  subscription_ = repository_->bus().Subscribe(
+      [this](const storage::UpdateEvent& event) { OnDataSourceUpdate(event); });
+}
+
+void BackEndMonitor::DetachRepository() {
+  if (repository_ == nullptr) return;
+  repository_->bus().Unsubscribe(subscription_);
+  repository_ = nullptr;
+  subscription_ = 0;
+}
+
+size_t BackEndMonitor::OnDataSourceUpdate(const storage::UpdateEvent& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t count = 0;
+  for (const std::string& canonical : registry_.Affected(event)) {
+    Status status = directory_.InvalidateCanonical(canonical);
+    registry_.RemoveFragment(canonical);
+    if (status.ok()) {
+      ++count;
+      DYNAPROX_LOG(kDebug, "bem")
+          << "data-source invalidation: " << canonical << " (table "
+          << event.table << ")";
+    }
+  }
+  return count;
+}
+
+}  // namespace dynaprox::bem

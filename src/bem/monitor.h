@@ -1,0 +1,113 @@
+#ifndef DYNAPROX_BEM_MONITOR_H_
+#define DYNAPROX_BEM_MONITOR_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "bem/cache_directory.h"
+#include "bem/dependency_registry.h"
+#include "bem/tag_codec.h"
+#include "bem/types.h"
+#include "common/clock.h"
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace dynaprox::bem {
+
+// Configuration of a Back End Monitor instance.
+struct BemOptions {
+  // Number of dpcKeys == number of DPC slots.
+  DpcKey capacity = 4096;
+  // Default fragment TTL when the tagging call doesn't specify one.
+  // <= 0 means "no TTL".
+  MicroTime default_ttl_micros = 0;
+  // Victim selection when the key space is exhausted: lru|fifo|clock.
+  std::string replacement_policy = "lru";
+  // Time source for TTLs; defaults to SystemClock.
+  const Clock* clock = nullptr;
+};
+
+// The Back End Monitor (paper 4.3.3): owns the cache directory and all
+// cache-management policy — TTL expiry, data-source invalidation, and
+// replacement. Dynamic scripts call LookupFragment/InsertFragment through
+// the tagging API (appserver::ScriptContext); the DPC is never contacted.
+//
+// Thread-safe: the origin application server handles one request per
+// thread, and data-source updates arrive on writer threads. All public
+// operations serialize on one internal mutex (directory operations are
+// map lookups — contention is negligible next to fragment generation).
+class BackEndMonitor {
+ public:
+  // Builds a monitor; fails on an unknown replacement policy name.
+  static Result<std::unique_ptr<BackEndMonitor>> Create(BemOptions options);
+
+  // --- Tagging-API entry points (run-time operation, paper 4.3.2) ---
+
+  // Directory lookup for a tagged code block.
+  LookupResult LookupFragment(const FragmentId& id);
+
+  // Miss path: registers the fragment and returns the dpcKey for the SET
+  // instruction. `ttl_micros` < 0 uses the configured default.
+  Result<DpcKey> InsertFragment(const FragmentId& id,
+                                MicroTime ttl_micros = -1);
+
+  // Declares that `id` (which must have been inserted) depends on a
+  // repository table/row; future updates invalidate it.
+  void AddDependency(const FragmentId& id, const std::string& table,
+                     const std::string& row_key = "");
+
+  // --- Invalidation-manager entry points ---
+
+  // Explicit invalidation (e.g. operator action, DPC cold-start recovery).
+  Status Invalidate(const FragmentId& id);
+  Status InvalidateKey(DpcKey key);
+  size_t InvalidateAll();
+
+  // Proactive TTL sweep; returns the number invalidated.
+  size_t SweepExpired();
+
+  // Subscribes to `repository`'s update bus so data-source mutations
+  // invalidate dependent fragments automatically. The monitor must be
+  // detached (or destroyed) before the repository.
+  void AttachRepository(storage::ContentRepository* repository);
+  void DetachRepository();
+
+  // Handles one data-source event (also called by the bus subscription);
+  // returns how many fragments were invalidated.
+  size_t OnDataSourceUpdate(const storage::UpdateEvent& event);
+
+  // --- Introspection ---
+  // Snapshot of the directory counters (safe under concurrency).
+  DirectoryStats stats() const;
+  // Snapshot of up to `limit` directory entries (safe under concurrency).
+  std::vector<CacheDirectory::EntryView> SnapshotEntries(
+      size_t limit = 0) const;
+  // Direct views for tests/benches; only safe when no other thread is
+  // mutating the monitor.
+  const CacheDirectory& directory() const { return directory_; }
+  const DependencyRegistry& dependencies() const { return registry_; }
+  DpcKey capacity() const { return directory_.capacity(); }
+  MicroTime default_ttl_micros() const { return default_ttl_micros_; }
+
+  ~BackEndMonitor();
+  BackEndMonitor(const BackEndMonitor&) = delete;
+  BackEndMonitor& operator=(const BackEndMonitor&) = delete;
+
+ private:
+  BackEndMonitor(DpcKey capacity, const Clock* clock,
+                 std::unique_ptr<ReplacementPolicy> policy,
+                 MicroTime default_ttl_micros);
+
+  // Guards directory_ and registry_ (and repository attachment state).
+  mutable std::mutex mu_;
+  CacheDirectory directory_;
+  DependencyRegistry registry_;
+  MicroTime default_ttl_micros_;
+  storage::ContentRepository* repository_ = nullptr;
+  storage::UpdateBus::SubscriptionId subscription_ = 0;
+};
+
+}  // namespace dynaprox::bem
+
+#endif  // DYNAPROX_BEM_MONITOR_H_

@@ -1,0 +1,21 @@
+#ifndef DYNAPROX_BEM_PROTOCOL_H_
+#define DYNAPROX_BEM_PROTOCOL_H_
+
+namespace dynaprox::bem {
+
+// HTTP header names of the BEM<->DPC protocol. Beyond the SET/GET tags in
+// response bodies (see TagCodec) these two fields are the *only* runtime
+// coupling between origin and proxy.
+
+// Response header the origin sets when the body is a BEM template the DPC
+// must assemble. Untagged responses pass through the DPC unchanged.
+inline constexpr char kTemplateHeader[] = "X-DPC-Template";
+
+// Request header carrying comma-separated hex dpcKeys whose GETs missed at
+// the DPC (cold cache / restarted proxy). The BEM invalidates these so the
+// retried response carries SETs instead of GETs.
+inline constexpr char kRefreshHeader[] = "X-DPC-Refresh";
+
+}  // namespace dynaprox::bem
+
+#endif  // DYNAPROX_BEM_PROTOCOL_H_

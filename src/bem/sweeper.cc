@@ -1,0 +1,47 @@
+#include "bem/sweeper.h"
+
+#include <chrono>
+
+namespace dynaprox::bem {
+
+PeriodicSweeper::PeriodicSweeper(BackEndMonitor* monitor,
+                                 MicroTime interval_micros)
+    : monitor_(monitor), interval_micros_(interval_micros) {}
+
+PeriodicSweeper::~PeriodicSweeper() { Stop(); }
+
+void PeriodicSweeper::Start() {
+  if (running_.exchange(true)) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_requested_ = false;
+  }
+  thread_ = std::thread(&PeriodicSweeper::Loop, this);
+}
+
+void PeriodicSweeper::Stop() {
+  if (!running_.exchange(false)) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void PeriodicSweeper::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_requested_) {
+    if (cv_.wait_for(lock, std::chrono::microseconds(interval_micros_),
+                     [this] { return stop_requested_; })) {
+      break;
+    }
+    lock.unlock();
+    size_t swept = monitor_->SweepExpired();
+    sweeps_.fetch_add(1, std::memory_order_relaxed);
+    invalidated_.fetch_add(swept, std::memory_order_relaxed);
+    lock.lock();
+  }
+}
+
+}  // namespace dynaprox::bem

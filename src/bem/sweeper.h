@@ -1,0 +1,62 @@
+#ifndef DYNAPROX_BEM_SWEEPER_H_
+#define DYNAPROX_BEM_SWEEPER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+#include "bem/monitor.h"
+#include "common/clock.h"
+
+namespace dynaprox::bem {
+
+// Proactive TTL sweeper: a background thread that periodically calls
+// BackEndMonitor::SweepExpired so expired fragments release their dpcKeys
+// even if never looked up again (paper 4.3.3's invalidation manager
+// "monitors fragments to determine when they become invalid"). Lazy
+// lookup-time expiry still applies; the sweeper just bounds how long dead
+// entries can pin keys.
+class PeriodicSweeper {
+ public:
+  // `monitor` must outlive the sweeper.
+  PeriodicSweeper(BackEndMonitor* monitor, MicroTime interval_micros);
+  ~PeriodicSweeper();
+
+  PeriodicSweeper(const PeriodicSweeper&) = delete;
+  PeriodicSweeper& operator=(const PeriodicSweeper&) = delete;
+
+  // Starts the background thread; idempotent.
+  void Start();
+  // Stops and joins; idempotent, called by the destructor.
+  void Stop();
+
+  // Runs one sweep synchronously (also usable without Start()).
+  size_t SweepNow() { return monitor_->SweepExpired(); }
+
+  uint64_t sweeps_run() const {
+    return sweeps_.load(std::memory_order_relaxed);
+  }
+  uint64_t total_invalidated() const {
+    return invalidated_.load(std::memory_order_relaxed);
+  }
+  bool running() const { return running_.load(std::memory_order_relaxed); }
+
+ private:
+  void Loop();
+
+  BackEndMonitor* monitor_;
+  MicroTime interval_micros_;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> sweeps_{0};
+  std::atomic<uint64_t> invalidated_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;  // Guarded by mu_.
+  std::thread thread_;
+};
+
+}  // namespace dynaprox::bem
+
+#endif  // DYNAPROX_BEM_SWEEPER_H_

@@ -1,0 +1,44 @@
+#include "bem/tag_codec.h"
+
+#include "common/strings.h"
+
+namespace dynaprox::bem {
+
+void TagCodec::AppendLiteral(std::string_view text, std::string& out) {
+  for (char c : text) {
+    if (c == kStx) {
+      out += kStx;
+      out += 'L';
+      out += kEtx;
+    } else {
+      out += c;
+    }
+  }
+}
+
+void TagCodec::AppendSet(DpcKey key, std::string_view content,
+                         std::string& out) {
+  out += kStx;
+  out += 'S';
+  out += ToHex(key);
+  out += kEtx;
+  AppendLiteral(content, out);
+  out += kStx;
+  out += 'E';
+  out += kEtx;
+}
+
+void TagCodec::AppendGet(DpcKey key, std::string& out) {
+  out += kStx;
+  out += 'G';
+  out += ToHex(key);
+  out += kEtx;
+}
+
+size_t TagCodec::GetTagSize(DpcKey key) { return 3 + ToHex(key).size(); }
+
+size_t TagCodec::SetFramingSize(DpcKey key) {
+  return GetTagSize(key) + 3;  // set-open plus the 3-byte set-close.
+}
+
+}  // namespace dynaprox::bem

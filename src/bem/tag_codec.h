@@ -1,0 +1,49 @@
+#ifndef DYNAPROX_BEM_TAG_CODEC_H_
+#define DYNAPROX_BEM_TAG_CODEC_H_
+
+#include <string>
+#include <string_view>
+
+#include "bem/types.h"
+
+namespace dynaprox::bem {
+
+// Frames SET/GET instructions inside a response template (paper 4.3.2).
+// Wire grammar (STX = \x02, ETX = \x03):
+//
+//   set-open:  STX 'S' hex-key ETX        -- followed by fragment bytes
+//   set-close: STX 'E' ETX
+//   get:       STX 'G' hex-key ETX
+//   literal:   STX 'L' ETX                -- one literal STX byte in content
+//
+// Everything outside tags is literal page text. Literal STX bytes in user
+// content are escaped as STX 'L' ETX so the scanner never misparses content
+// as a tag; ETX needs no escaping because it is only special after STX.
+//
+// The average framing overhead is ~10 bytes per cached fragment reference,
+// matching the paper's Table 2 tag size g = 10.
+class TagCodec {
+ public:
+  static constexpr char kStx = '\x02';
+  static constexpr char kEtx = '\x03';
+
+  // Appends an escaped literal run to `out`.
+  static void AppendLiteral(std::string_view text, std::string& out);
+
+  // Appends "store fragment under `key`" framing around escaped `content`.
+  static void AppendSet(DpcKey key, std::string_view content,
+                        std::string& out);
+
+  // Appends "splice cached fragment `key` here".
+  static void AppendGet(DpcKey key, std::string& out);
+
+  // Bytes AppendGet would produce for `key` (the realized tag size g).
+  static size_t GetTagSize(DpcKey key);
+
+  // Bytes of framing overhead AppendSet adds beyond the escaped content.
+  static size_t SetFramingSize(DpcKey key);
+};
+
+}  // namespace dynaprox::bem
+
+#endif  // DYNAPROX_BEM_TAG_CODEC_H_

@@ -1,0 +1,56 @@
+#ifndef DYNAPROX_BEM_TYPES_H_
+#define DYNAPROX_BEM_TYPES_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace dynaprox::bem {
+
+// The dpcKey of the paper (4.3.3): a small integer shared between the BEM's
+// cache directory and the DPC's slot array. Using the common integer key is
+// what removes the need for explicit BEM->DPC control messages.
+using DpcKey = uint32_t;
+
+inline constexpr DpcKey kInvalidDpcKey = UINT32_MAX;
+
+// Identifies a fragment: code-block name plus its parameter list
+// (paper 4.3.3: "fragmentID: unique fragment identifier
+// (name+parameterList)"). Parameters are kept sorted so the canonical form
+// is order-insensitive.
+struct FragmentId {
+  std::string name;
+  std::map<std::string, std::string> params;
+
+  FragmentId() = default;
+  explicit FragmentId(std::string name_in) : name(std::move(name_in)) {}
+  FragmentId(std::string name_in, std::map<std::string, std::string> params_in)
+      : name(std::move(name_in)), params(std::move(params_in)) {}
+
+  // Canonical directory key: "name" or "name?k1=v1&k2=v2".
+  std::string Canonical() const {
+    std::string out = name;
+    char sep = '?';
+    for (const auto& [key, value] : params) {
+      out += sep;
+      out += key;
+      out += '=';
+      out += value;
+      sep = '&';
+    }
+    return out;
+  }
+
+  friend bool operator==(const FragmentId& a, const FragmentId& b) {
+    return a.name == b.name && a.params == b.params;
+  }
+  friend bool operator<(const FragmentId& a, const FragmentId& b) {
+    if (a.name != b.name) return a.name < b.name;
+    return a.params < b.params;
+  }
+};
+
+}  // namespace dynaprox::bem
+
+#endif  // DYNAPROX_BEM_TYPES_H_

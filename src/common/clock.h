@@ -1,0 +1,51 @@
+#ifndef DYNAPROX_COMMON_CLOCK_H_
+#define DYNAPROX_COMMON_CLOCK_H_
+
+#include <cstdint>
+
+namespace dynaprox {
+
+// Monotonic time in microseconds since an arbitrary epoch.
+using MicroTime = int64_t;
+
+constexpr MicroTime kMicrosPerSecond = 1'000'000;
+constexpr MicroTime kMicrosPerMilli = 1'000;
+
+// Clock abstracts time so that TTL expiry is testable and simulations are
+// deterministic. All cache-directory TTL logic reads time through a Clock.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  // Returns the current time in microseconds.
+  virtual MicroTime NowMicros() const = 0;
+};
+
+// Wall-clock implementation backed by std::chrono::steady_clock.
+class SystemClock : public Clock {
+ public:
+  MicroTime NowMicros() const override;
+
+  // Process-wide shared instance (never destroyed).
+  static SystemClock* Default();
+};
+
+// Manually advanced clock for tests and simulations.
+class SimClock : public Clock {
+ public:
+  explicit SimClock(MicroTime start = 0) : now_(start) {}
+
+  MicroTime NowMicros() const override { return now_; }
+
+  void AdvanceMicros(MicroTime delta) { now_ += delta; }
+  void AdvanceSeconds(double seconds) {
+    now_ += static_cast<MicroTime>(seconds * kMicrosPerSecond);
+  }
+  void SetMicros(MicroTime t) { now_ = t; }
+
+ private:
+  MicroTime now_;
+};
+
+}  // namespace dynaprox
+
+#endif  // DYNAPROX_COMMON_CLOCK_H_

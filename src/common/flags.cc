@@ -1,0 +1,103 @@
+#include "common/flags.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace dynaprox {
+
+Result<Flags> Flags::Parse(int argc, const char* const* argv) {
+  Flags flags;
+  bool flags_done = false;
+  for (int i = 0; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (flags_done || !StartsWith(arg, "--")) {
+      flags.positional_.emplace_back(arg);
+      continue;
+    }
+    if (arg == "--") {
+      flags_done = true;
+      continue;
+    }
+    std::string_view body = arg.substr(2);
+    size_t eq = body.find('=');
+    if (eq != std::string_view::npos) {
+      std::string_view name = body.substr(0, eq);
+      if (name.empty()) {
+        return Status::InvalidArgument("malformed flag: " +
+                                       std::string(arg));
+      }
+      flags.values_[std::string(name)] = std::string(body.substr(eq + 1));
+      continue;
+    }
+    if (body.empty()) {
+      return Status::InvalidArgument("malformed flag: " + std::string(arg));
+    }
+    // "--name value" when the next token isn't a flag; else boolean.
+    if (i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
+      flags.values_[std::string(body)] = argv[++i];
+    } else {
+      flags.values_[std::string(body)] = "true";
+    }
+  }
+  return flags;
+}
+
+bool Flags::Has(const std::string& name) const {
+  return values_.find(name) != values_.end();
+}
+
+std::string Flags::GetString(const std::string& name,
+                             const std::string& fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+Result<int64_t> Flags::GetInt(const std::string& name,
+                              int64_t fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  std::string_view value = it->second;
+  bool negative = !value.empty() && value[0] == '-';
+  if (negative) value.remove_prefix(1);
+  Result<uint64_t> parsed = ParseUint64(value);
+  if (!parsed.ok() || *parsed > static_cast<uint64_t>(INT64_MAX)) {
+    return Status::InvalidArgument("flag --" + name +
+                                   " expects an integer, got '" +
+                                   it->second + "'");
+  }
+  int64_t magnitude = static_cast<int64_t>(*parsed);
+  return negative ? -magnitude : magnitude;
+}
+
+Result<double> Flags::GetDouble(const std::string& name,
+                                double fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  double value = std::strtod(it->second.c_str(), &end);
+  if (errno != 0 || end == it->second.c_str() || *end != '\0') {
+    return Status::InvalidArgument("flag --" + name +
+                                   " expects a number, got '" +
+                                   it->second + "'");
+  }
+  return value;
+}
+
+bool Flags::GetBool(const std::string& name, bool fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  std::string value = AsciiToLower(it->second);
+  return value != "false" && value != "0" && value != "no";
+}
+
+std::vector<std::string> Flags::FlagNames() const {
+  std::vector<std::string> names;
+  names.reserve(values_.size());
+  for (const auto& [name, value] : values_) names.push_back(name);
+  return names;
+}
+
+}  // namespace dynaprox

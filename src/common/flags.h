@@ -1,0 +1,45 @@
+#ifndef DYNAPROX_COMMON_FLAGS_H_
+#define DYNAPROX_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace dynaprox {
+
+// Minimal command-line parser for the tools/ binaries. Accepts
+// "--name=value", "--name value", and bare "--name" (boolean true);
+// everything else is a positional argument. "--" ends flag parsing.
+class Flags {
+ public:
+  // Parses argv (excluding argv[0]); fails on malformed input like
+  // "--=x" or a value-less flag used with GetInt.
+  static Result<Flags> Parse(int argc, const char* const* argv);
+
+  bool Has(const std::string& name) const;
+
+  // Typed getters; absent flags yield the fallback. GetInt/GetDouble fail
+  // (rather than silently falling back) when the flag is present but
+  // unparseable, so tools can report bad input.
+  std::string GetString(const std::string& name,
+                        const std::string& fallback = "") const;
+  Result<int64_t> GetInt(const std::string& name, int64_t fallback) const;
+  Result<double> GetDouble(const std::string& name, double fallback) const;
+  bool GetBool(const std::string& name, bool fallback = false) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  // Names seen, for unknown-flag checks.
+  std::vector<std::string> FlagNames() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace dynaprox
+
+#endif  // DYNAPROX_COMMON_FLAGS_H_

@@ -1,0 +1,60 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dynaprox {
+
+void Histogram::Record(double value) {
+  samples_.push_back(value);
+  sorted_ = false;
+  sum_ += value;
+}
+
+void Histogram::EnsureSorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Histogram::min() const {
+  if (samples_.empty()) return 0;
+  EnsureSorted();
+  return samples_.front();
+}
+
+double Histogram::max() const {
+  if (samples_.empty()) return 0;
+  EnsureSorted();
+  return samples_.back();
+}
+
+double Histogram::mean() const {
+  return samples_.empty() ? 0 : sum_ / static_cast<double>(samples_.size());
+}
+
+double Histogram::Percentile(double p) const {
+  if (samples_.empty()) return 0;
+  EnsureSorted();
+  p = std::clamp(p, 0.0, 1.0);
+  size_t rank = static_cast<size_t>(
+      std::ceil(p * static_cast<double>(samples_.size())));
+  if (rank > 0) --rank;
+  return samples_[std::min(rank, samples_.size() - 1)];
+}
+
+void Histogram::Merge(const Histogram& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sum_ += other.sum_;
+  sorted_ = samples_.empty();
+}
+
+void Histogram::Clear() {
+  samples_.clear();
+  sorted_ = true;
+  sum_ = 0;
+}
+
+}  // namespace dynaprox

@@ -1,0 +1,39 @@
+#ifndef DYNAPROX_COMMON_HISTOGRAM_H_
+#define DYNAPROX_COMMON_HISTOGRAM_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace dynaprox {
+
+// Records a stream of values and answers percentile/mean queries. Keeps
+// every sample (simulation-scale datasets), sorting lazily on query.
+// Not thread-safe.
+class Histogram {
+ public:
+  void Record(double value);
+
+  size_t count() const { return samples_.size(); }
+  double min() const;
+  double max() const;
+  double mean() const;
+
+  // Returns the p-quantile (p in [0, 1]) by nearest-rank; 0 when empty.
+  double Percentile(double p) const;
+
+  // Absorbs all samples of `other`.
+  void Merge(const Histogram& other);
+
+  void Clear();
+
+ private:
+  void EnsureSorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  double sum_ = 0;
+};
+
+}  // namespace dynaprox
+
+#endif  // DYNAPROX_COMMON_HISTOGRAM_H_

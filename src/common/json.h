@@ -1,0 +1,56 @@
+#ifndef DYNAPROX_COMMON_JSON_H_
+#define DYNAPROX_COMMON_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dynaprox {
+
+// Escapes `s` for inclusion inside a JSON string literal (no quotes
+// added). Control characters become \u00XX.
+std::string JsonEscape(std::string_view s);
+
+// Minimal streaming JSON writer for the status endpoints. Keeps a scope
+// stack to place commas correctly; no pretty-printing.
+//
+//   JsonWriter w;
+//   w.BeginObject();
+//   w.Key("hits").Int(42);
+//   w.Key("policy").String("lru");
+//   w.Key("nested").BeginObject(); ... w.EndObject();
+//   w.EndObject();
+//   std::string out = w.TakeString();
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  // Emits an object key; must be followed by exactly one value.
+  JsonWriter& Key(std::string_view name);
+
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Int(int64_t value);
+  JsonWriter& Uint(uint64_t value);
+  JsonWriter& Double(double value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  // Returns the accumulated document and resets the writer.
+  std::string TakeString();
+
+ private:
+  void BeforeValue();
+
+  std::string out_;
+  // For each open scope: whether a value has been written in it yet.
+  std::vector<bool> scope_has_value_;
+  bool pending_key_ = false;
+};
+
+}  // namespace dynaprox
+
+#endif  // DYNAPROX_COMMON_JSON_H_

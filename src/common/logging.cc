@@ -1,0 +1,43 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace dynaprox {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarning};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel Logger::level() { return g_level.load(std::memory_order_relaxed); }
+
+void Logger::set_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+void Logger::Log(LogLevel level, std::string_view module,
+                 std::string_view message) {
+  if (level < Logger::level()) return;
+  std::fprintf(stderr, "[%s %.*s] %.*s\n", LevelName(level),
+               static_cast<int>(module.size()), module.data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace dynaprox

@@ -1,0 +1,60 @@
+#ifndef DYNAPROX_COMMON_LOGGING_H_
+#define DYNAPROX_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace dynaprox {
+
+enum class LogLevel {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+// Minimal leveled logger writing to stderr. Global level defaults to
+// kWarning so library users and benches are quiet unless they opt in.
+class Logger {
+ public:
+  static LogLevel level();
+  static void set_level(LogLevel level);
+
+  // Emits one line: "[LEVEL module] message\n". Filtered by level().
+  static void Log(LogLevel level, std::string_view module,
+                  std::string_view message);
+};
+
+namespace internal {
+
+// Stream-style log line builder used by the DYNAPROX_LOG macro.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, std::string_view module)
+      : level_(level), module_(module) {}
+  ~LogMessage() { Logger::Log(level_, module_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string module_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace dynaprox
+
+// DYNAPROX_LOG(kInfo, "bem") << "inserted key " << key;
+#define DYNAPROX_LOG(severity, module)                                     \
+  if (::dynaprox::LogLevel::severity < ::dynaprox::Logger::level()) {      \
+  } else                                                                   \
+    ::dynaprox::internal::LogMessage(::dynaprox::LogLevel::severity,       \
+                                     (module))
+
+#endif  // DYNAPROX_COMMON_LOGGING_H_

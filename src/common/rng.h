@@ -1,0 +1,61 @@
+#ifndef DYNAPROX_COMMON_RNG_H_
+#define DYNAPROX_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dynaprox {
+
+// Deterministic pseudo-random number generator (xorshift64*). All randomness
+// in dynaprox flows through Rng so workloads and simulations replay exactly
+// given the same seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  // Returns the next raw 64-bit value.
+  uint64_t Next();
+
+  // Returns a uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  // Returns a uniform double in [0, 1).
+  double NextDouble();
+
+  // Returns true with probability `p` (clamped to [0, 1]).
+  bool NextBool(double p);
+
+  uint64_t seed() const { return seed_; }
+
+ private:
+  uint64_t seed_;
+  uint64_t state_;
+};
+
+// Samples from a Zipf distribution over ranks {0, ..., n-1}:
+// P(rank i) proportional to 1 / (i+1)^alpha. The paper's analysis assumes
+// Zipfian page popularity (citing Almeida et al. and Cunha et al.); the
+// classic web-trace fit is alpha = 1.
+class ZipfSampler {
+ public:
+  // Precomputes the CDF for `n` ranks with exponent `alpha`.
+  ZipfSampler(size_t n, double alpha);
+
+  // Draws a rank in [0, n). Cost: O(log n) binary search over the CDF.
+  size_t Sample(Rng& rng) const;
+
+  // Probability mass of rank `i`.
+  double Pmf(size_t i) const;
+
+  size_t n() const { return cdf_.size(); }
+  double alpha() const { return alpha_; }
+
+ private:
+  double alpha_;
+  std::vector<double> cdf_;  // cdf_[i] = P(rank <= i); cdf_.back() == 1.
+};
+
+}  // namespace dynaprox
+
+#endif  // DYNAPROX_COMMON_RNG_H_

@@ -1,0 +1,104 @@
+#ifndef DYNAPROX_COMMON_STATUS_H_
+#define DYNAPROX_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+
+namespace dynaprox {
+
+// Error category for a Status. Kept deliberately small; the message string
+// carries the detail.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kCapacityExceeded,
+  kCorruption,
+  kFailedPrecondition,
+  kIoError,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "NotFound").
+std::string_view StatusCodeName(StatusCode code);
+
+// Status is the library-wide error type. No exceptions are thrown anywhere
+// in dynaprox; every fallible operation returns Status (or Result<T>).
+//
+// Usage:
+//   Status s = directory.Insert(id);
+//   if (!s.ok()) return s;
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status CapacityExceeded(std::string msg) {
+    return Status(StatusCode::kCapacityExceeded, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsCapacityExceeded() const {
+    return code_ == StatusCode::kCapacityExceeded;
+  }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+
+  // Renders "Code: message" ("OK" for success); for logs and test output.
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+}  // namespace dynaprox
+
+// Propagates a non-OK Status from an expression to the caller.
+#define DYNAPROX_RETURN_IF_ERROR(expr)                 \
+  do {                                                 \
+    ::dynaprox::Status _dp_status = (expr);            \
+    if (!_dp_status.ok()) return _dp_status;           \
+  } while (false)
+
+#endif  // DYNAPROX_COMMON_STATUS_H_

@@ -1,0 +1,108 @@
+#include "common/strings.h"
+
+#include <cctype>
+
+namespace dynaprox {
+
+std::vector<std::string_view> StrSplit(std::string_view input, char sep) {
+  std::vector<std::string_view> parts;
+  size_t start = 0;
+  for (size_t i = 0; i <= input.size(); ++i) {
+    if (i == input.size() || input[i] == sep) {
+      parts.push_back(input.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return parts;
+}
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string AsciiToLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+std::string_view StripWhitespace(std::string_view s) {
+  size_t begin = 0;
+  while (begin < s.size() &&
+         std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  size_t end = s.size();
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+std::string ToHex(uint64_t value) {
+  if (value == 0) return "0";
+  static constexpr char kDigits[] = "0123456789abcdef";
+  char buf[16];
+  int pos = 16;
+  while (value != 0) {
+    buf[--pos] = kDigits[value & 0xF];
+    value >>= 4;
+  }
+  return std::string(buf + pos, 16 - pos);
+}
+
+Result<uint64_t> ParseHex(std::string_view s) {
+  if (s.empty()) return Status::InvalidArgument("empty hex string");
+  if (s.size() > 16) return Status::InvalidArgument("hex string too long");
+  uint64_t value = 0;
+  for (char c : s) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') {
+      value |= static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      value |= static_cast<uint64_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      value |= static_cast<uint64_t>(c - 'A' + 10);
+    } else {
+      return Status::InvalidArgument("invalid hex character");
+    }
+  }
+  return value;
+}
+
+Result<uint64_t> ParseUint64(std::string_view s) {
+  if (s.empty()) return Status::InvalidArgument("empty integer string");
+  uint64_t value = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("invalid decimal character");
+    }
+    uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) {
+      return Status::InvalidArgument("integer overflow");
+    }
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+}  // namespace dynaprox

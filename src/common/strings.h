@@ -1,0 +1,40 @@
+#ifndef DYNAPROX_COMMON_STRINGS_H_
+#define DYNAPROX_COMMON_STRINGS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace dynaprox {
+
+// Splits `input` on `sep`, keeping empty pieces.
+std::vector<std::string_view> StrSplit(std::string_view input, char sep);
+
+// Case-insensitive ASCII comparison (HTTP header names).
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+// Lowercases ASCII letters in place semantics (returns a copy).
+std::string AsciiToLower(std::string_view s);
+
+// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+// Encodes `value` as minimal lowercase hex (no leading zeros; "0" for 0).
+std::string ToHex(uint64_t value);
+
+// Parses minimal hex produced by ToHex. Fails on empty or non-hex input.
+Result<uint64_t> ParseHex(std::string_view s);
+
+// Parses a non-negative decimal integer; fails on empty/overflow/junk.
+Result<uint64_t> ParseUint64(std::string_view s);
+
+// True if `s` starts with / ends with the given prefix/suffix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+}  // namespace dynaprox
+
+#endif  // DYNAPROX_COMMON_STRINGS_H_

@@ -1,0 +1,43 @@
+#include "dpc/assembler.h"
+
+namespace dynaprox::dpc {
+
+Result<AssembledPage> AssemblePage(std::string_view wire,
+                                   FragmentStore& store,
+                                   ScanStrategy strategy) {
+  std::vector<TemplateSegment> segments;
+  DYNAPROX_ASSIGN_OR_RETURN(segments, ParseTemplate(wire, strategy));
+
+  AssembledPage out;
+  out.page.reserve(wire.size());
+  for (TemplateSegment& segment : segments) {
+    switch (segment.kind) {
+      case TemplateSegment::Kind::kLiteral:
+        out.page += segment.text;
+        break;
+      case TemplateSegment::Kind::kSet: {
+        ++out.set_count;
+        out.page += segment.text;
+        DYNAPROX_RETURN_IF_ERROR(
+            store.Set(segment.key, std::move(segment.text)));
+        break;
+      }
+      case TemplateSegment::Kind::kGet: {
+        ++out.get_count;
+        Result<FragmentRef> content = store.Get(segment.key);
+        if (!content.ok()) {
+          if (content.status().IsNotFound()) {
+            out.missing_keys.push_back(segment.key);
+            break;
+          }
+          return content.status();
+        }
+        out.page += **content;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace dynaprox::dpc

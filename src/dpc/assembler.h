@@ -1,0 +1,35 @@
+#ifndef DYNAPROX_DPC_ASSEMBLER_H_
+#define DYNAPROX_DPC_ASSEMBLER_H_
+
+#include <string>
+#include <vector>
+
+#include "bem/types.h"
+#include "common/result.h"
+#include "dpc/fragment_store.h"
+#include "dpc/tag_scanner.h"
+
+namespace dynaprox::dpc {
+
+// Result of assembling one response template.
+struct AssembledPage {
+  std::string page;
+  size_t set_count = 0;
+  size_t get_count = 0;
+  // dpcKeys whose GET found an empty slot (cold cache). When non-empty the
+  // page is incomplete; the proxy triggers miss recovery.
+  std::vector<bem::DpcKey> missing_keys;
+
+  bool complete() const { return missing_keys.empty(); }
+};
+
+// Assembles a final page from a BEM template (paper 4.3.2): stores SET
+// payloads into `store`, splices GET payloads out of it. Fails only on a
+// corrupt template; cold-cache GET misses are reported via `missing_keys`.
+Result<AssembledPage> AssemblePage(
+    std::string_view wire, FragmentStore& store,
+    ScanStrategy strategy = ScanStrategy::kMemchr);
+
+}  // namespace dynaprox::dpc
+
+#endif  // DYNAPROX_DPC_ASSEMBLER_H_

@@ -1,0 +1,61 @@
+#include "dpc/fragment_store.h"
+
+namespace dynaprox::dpc {
+
+Status FragmentStore::Set(bem::DpcKey key, std::string content) {
+  FragmentRef fresh = std::make_shared<const std::string>(std::move(content));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (key >= slots_.size()) {
+    return Status::InvalidArgument("dpcKey out of range: " +
+                                   std::to_string(key));
+  }
+  FragmentRef& slot = slots_[key];
+  if (slot != nullptr) {
+    content_bytes_ -= slot->size();
+  } else {
+    ++occupied_;
+  }
+  content_bytes_ += fresh->size();
+  slot = std::move(fresh);
+  ++stats_.sets;
+  return Status::Ok();
+}
+
+Result<FragmentRef> FragmentStore::Get(bem::DpcKey key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (key >= slots_.size()) {
+    return Status::InvalidArgument("dpcKey out of range: " +
+                                   std::to_string(key));
+  }
+  ++stats_.gets;
+  const FragmentRef& slot = slots_[key];
+  if (slot == nullptr) {
+    ++stats_.get_misses;
+    return Status::NotFound("empty DPC slot: " + std::to_string(key));
+  }
+  return slot;
+}
+
+void FragmentStore::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (FragmentRef& slot : slots_) slot.reset();
+  occupied_ = 0;
+  content_bytes_ = 0;
+}
+
+size_t FragmentStore::occupied_slots() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return occupied_;
+}
+
+size_t FragmentStore::content_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return content_bytes_;
+}
+
+StoreStats FragmentStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace dynaprox::dpc

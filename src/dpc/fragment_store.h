@@ -1,0 +1,66 @@
+#ifndef DYNAPROX_DPC_FRAGMENT_STORE_H_
+#define DYNAPROX_DPC_FRAGMENT_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "bem/types.h"
+#include "common/result.h"
+
+namespace dynaprox::dpc {
+
+// Counters for the store; exposed for tests and benches.
+struct StoreStats {
+  uint64_t sets = 0;
+  uint64_t gets = 0;
+  uint64_t get_misses = 0;  // GET on an empty slot (cold DPC).
+};
+
+// A cached fragment body. Shared ownership lets a concurrent Set replace a
+// slot while readers still hold the old content.
+using FragmentRef = std::shared_ptr<const std::string>;
+
+// The DPC's fragment cache (paper 4.3.3): "an in-memory array of pointers
+// to cached fragments, where the DpcKey serves as the array index". Slots
+// are overwritten by SET instructions and never proactively cleared —
+// invalidation is entirely the BEM's business; a stale slot simply stops
+// being referenced until a SET reassigns it.
+//
+// Thread-safe: the reverse proxy serves one thread per connection.
+class FragmentStore {
+ public:
+  explicit FragmentStore(bem::DpcKey capacity) : slots_(capacity) {}
+
+  // Stores `content` in slot `key`, overwriting any previous occupant.
+  Status Set(bem::DpcKey key, std::string content);
+
+  // Returns the slot's content; NotFound if the slot has never been set
+  // (e.g. a cold DPC receiving a GET after restart). The returned ref
+  // stays valid even if the slot is overwritten concurrently.
+  Result<FragmentRef> Get(bem::DpcKey key);
+
+  // Empties every slot (models a DPC restart).
+  void Clear();
+
+  bem::DpcKey capacity() const {
+    return static_cast<bem::DpcKey>(slots_.size());
+  }
+  size_t occupied_slots() const;
+  // Total bytes currently held across all slots.
+  size_t content_bytes() const;
+  StoreStats stats() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<FragmentRef> slots_;
+  size_t occupied_ = 0;
+  size_t content_bytes_ = 0;
+  StoreStats stats_;
+};
+
+}  // namespace dynaprox::dpc
+
+#endif  // DYNAPROX_DPC_FRAGMENT_STORE_H_

@@ -1,0 +1,66 @@
+#include "dpc/kmp.h"
+
+namespace dynaprox::dpc {
+
+KmpMatcher::KmpMatcher(std::string pattern) : pattern_(std::move(pattern)) {
+  failure_.assign(pattern_.size(), 0);
+  size_t k = 0;
+  for (size_t i = 1; i < pattern_.size(); ++i) {
+    while (k > 0 && pattern_[i] != pattern_[k]) k = failure_[k - 1];
+    if (pattern_[i] == pattern_[k]) ++k;
+    failure_[i] = k;
+  }
+}
+
+size_t KmpMatcher::FindFirst(std::string_view text, size_t from) const {
+  if (pattern_.empty()) return from <= text.size() ? from : npos;
+  size_t k = 0;
+  for (size_t i = from; i < text.size(); ++i) {
+    while (k > 0 && text[i] != pattern_[k]) k = failure_[k - 1];
+    if (text[i] == pattern_[k]) ++k;
+    if (k == pattern_.size()) return i + 1 - pattern_.size();
+  }
+  return npos;
+}
+
+std::vector<size_t> KmpMatcher::FindAll(std::string_view text) const {
+  std::vector<size_t> matches;
+  if (pattern_.empty()) return matches;
+  size_t k = 0;
+  for (size_t i = 0; i < text.size(); ++i) {
+    while (k > 0 && text[i] != pattern_[k]) k = failure_[k - 1];
+    if (text[i] == pattern_[k]) ++k;
+    if (k == pattern_.size()) {
+      matches.push_back(i + 1 - pattern_.size());
+      k = failure_[k - 1];
+    }
+  }
+  return matches;
+}
+
+size_t KmpMatcher::CountOccurrences(std::string_view text) const {
+  if (pattern_.empty()) return 0;
+  size_t count = 0;
+  size_t k = 0;
+  for (size_t i = 0; i < text.size(); ++i) {
+    while (k > 0 && text[i] != pattern_[k]) k = failure_[k - 1];
+    if (text[i] == pattern_[k]) ++k;
+    if (k == pattern_.size()) {
+      ++count;
+      k = failure_[k - 1];
+    }
+  }
+  return count;
+}
+
+size_t NaiveFindFirst(std::string_view text, std::string_view pattern,
+                      size_t from) {
+  if (pattern.empty()) return from <= text.size() ? from : KmpMatcher::npos;
+  if (text.size() < pattern.size()) return KmpMatcher::npos;
+  for (size_t i = from; i + pattern.size() <= text.size(); ++i) {
+    if (text.compare(i, pattern.size(), pattern) == 0) return i;
+  }
+  return KmpMatcher::npos;
+}
+
+}  // namespace dynaprox::dpc

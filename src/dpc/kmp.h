@@ -1,0 +1,43 @@
+#ifndef DYNAPROX_DPC_KMP_H_
+#define DYNAPROX_DPC_KMP_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dynaprox::dpc {
+
+// Knuth-Morris-Pratt exact string matcher (the linear-time algorithm the
+// paper cites [18] when arguing that DPC template scanning costs the same
+// order as firewall packet scanning). Preprocessing is O(|pattern|); each
+// search is O(|text|).
+class KmpMatcher {
+ public:
+  explicit KmpMatcher(std::string pattern);
+
+  // Returns the index of the first occurrence at or after `from`, or npos.
+  size_t FindFirst(std::string_view text, size_t from = 0) const;
+
+  // Returns all (possibly overlapping) match positions.
+  std::vector<size_t> FindAll(std::string_view text) const;
+
+  // Counts occurrences without materializing positions.
+  size_t CountOccurrences(std::string_view text) const;
+
+  const std::string& pattern() const { return pattern_; }
+
+  static constexpr size_t npos = static_cast<size_t>(-1);
+
+ private:
+  std::string pattern_;
+  std::vector<size_t> failure_;  // Classic KMP failure function.
+};
+
+// Naive O(n*m) matcher with the same interface, for the scanner ablation.
+size_t NaiveFindFirst(std::string_view text, std::string_view pattern,
+                      size_t from = 0);
+
+}  // namespace dynaprox::dpc
+
+#endif  // DYNAPROX_DPC_KMP_H_

@@ -1,0 +1,236 @@
+#include "dpc/proxy.h"
+
+#include "common/json.h"
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace dynaprox::dpc {
+namespace {
+
+// Hop-by-hop fields (RFC 7230 §6.1) must not travel past an intermediary.
+constexpr const char* kHopByHopHeaders[] = {
+    "Connection", "Keep-Alive", "Proxy-Connection", "TE",
+    "Trailer",    "Upgrade",
+};
+
+void StripHopByHop(http::HeaderMap& headers) {
+  for (const char* name : kHopByHopHeaders) headers.Remove(name);
+}
+
+void AppendVia(http::HeaderMap& headers, const std::string& token) {
+  if (auto existing = headers.Get("Via"); existing.has_value()) {
+    headers.Set("Via", std::string(*existing) + ", " + token);
+  } else {
+    headers.Add("Via", token);
+  }
+}
+
+}  // namespace
+
+DpcProxy::DpcProxy(net::Transport* upstream, ProxyOptions options)
+    : upstream_(upstream), options_(options), store_(options.capacity) {
+  if (options_.enable_static_cache) {
+    static_cache_ = std::make_unique<StaticCache>(options_.static_cache);
+  }
+}
+
+net::Handler DpcProxy::AsHandler() {
+  return [this](const http::Request& request) { return Handle(request); };
+}
+
+ProxyStats DpcProxy::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+http::Response DpcProxy::BuildAssembledResponse(
+    const http::Response& upstream, AssembledPage page) {
+  http::Response response = upstream;
+  response.headers.Remove(bem::kTemplateHeader);
+  response.headers.Remove("Content-Length");
+  if (options_.proxy_headers) {
+    AppendVia(response.headers, options_.via_token);
+  }
+  if (options_.add_debug_header) {
+    response.headers.Set(
+        kDebugHeader, "sets=" + std::to_string(page.set_count) +
+                          ";gets=" + std::to_string(page.get_count));
+  }
+  response.body = std::move(page.page);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.assembled;
+    stats_.bytes_to_clients += response.body.size();
+  }
+  return response;
+}
+
+http::Response DpcProxy::RenderStatus() const {
+  ProxyStats snapshot = stats();
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("component").String("dpc");
+  json.Key("requests").Uint(snapshot.requests);
+  json.Key("assembled").Uint(snapshot.assembled);
+  json.Key("passthrough").Uint(snapshot.passthrough);
+  json.Key("recoveries").Uint(snapshot.recoveries);
+  json.Key("upstream_errors").Uint(snapshot.upstream_errors);
+  json.Key("template_errors").Uint(snapshot.template_errors);
+  json.Key("bytes_from_upstream").Uint(snapshot.bytes_from_upstream);
+  json.Key("bytes_to_clients").Uint(snapshot.bytes_to_clients);
+  json.Key("store").BeginObject();
+  StoreStats store_stats = store_.stats();
+  json.Key("capacity").Uint(store_.capacity());
+  json.Key("occupied_slots").Uint(store_.occupied_slots());
+  json.Key("content_bytes").Uint(store_.content_bytes());
+  json.Key("sets").Uint(store_stats.sets);
+  json.Key("gets").Uint(store_stats.gets);
+  json.Key("get_misses").Uint(store_stats.get_misses);
+  json.EndObject();
+  if (static_cache_ != nullptr) {
+    StaticCacheStats static_stats = static_cache_->stats();
+    json.Key("static_cache").BeginObject();
+    json.Key("entries").Uint(static_cache_->size());
+    json.Key("hits").Uint(static_stats.hits);
+    json.Key("misses").Uint(static_stats.misses);
+    json.Key("stores").Uint(static_stats.stores);
+    json.Key("revalidations").Uint(static_stats.revalidations);
+    json.Key("evictions").Uint(static_stats.evictions);
+    json.EndObject();
+  }
+  json.EndObject();
+  return http::Response::MakeOk(json.TakeString(), "application/json");
+}
+
+http::Response DpcProxy::Handle(const http::Request& request) {
+  if (options_.enable_status && request.Path() == options_.status_path) {
+    return RenderStatus();
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.requests;
+  }
+  bool revalidating = false;
+  http::Request upstream_request = request;
+  if (options_.proxy_headers) {
+    StripHopByHop(upstream_request.headers);
+    AppendVia(upstream_request.headers, options_.via_token);
+  }
+  if (static_cache_ != nullptr && request.method == "GET") {
+    if (std::optional<http::Response> cached =
+            static_cache_->Lookup(request.target)) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.static_hits;
+      stats_.bytes_to_clients += cached->body.size();
+      return std::move(*cached);
+    }
+    // Stale entry with an ETag: try a conditional request.
+    if (std::optional<std::string> etag =
+            static_cache_->StaleEtag(request.target)) {
+      upstream_request.headers.Set("If-None-Match", *etag);
+      revalidating = true;
+    }
+  }
+  for (int attempt = 0; attempt <= options_.max_recovery_attempts;
+       ++attempt) {
+    Result<http::Response> upstream_response =
+        upstream_->RoundTrip(upstream_request);
+    if (!upstream_response.ok()) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.upstream_errors;
+      return http::Response::MakeError(
+          502, "Bad Gateway",
+          "upstream error: " + upstream_response.status().ToString());
+    }
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.bytes_from_upstream += upstream_response->body.size();
+    }
+
+    if (revalidating && upstream_response->status_code == 304) {
+      if (std::optional<http::Response> refreshed =
+              static_cache_->Revalidate(request.target,
+                                        *upstream_response)) {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.static_revalidations;
+        stats_.bytes_to_clients += refreshed->body.size();
+        return std::move(*refreshed);
+      }
+      // Entry vanished (evicted between the stale check and the 304):
+      // retry unconditionally.
+      revalidating = false;
+      upstream_request = request;
+      if (options_.proxy_headers) {
+        StripHopByHop(upstream_request.headers);
+        AppendVia(upstream_request.headers, options_.via_token);
+      }
+      continue;
+    }
+
+    if (!upstream_response->headers.Has(bem::kTemplateHeader)) {
+      if (static_cache_ != nullptr && request.method == "GET") {
+        static_cache_->Store(request.target, *upstream_response);
+      }
+      if (options_.proxy_headers) {
+        AppendVia(upstream_response->headers, options_.via_token);
+      }
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.passthrough;
+      stats_.bytes_to_clients += upstream_response->body.size();
+      return std::move(*upstream_response);
+    }
+
+    if (options_.max_template_bytes != 0 &&
+        upstream_response->body.size() > options_.max_template_bytes) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.template_errors;
+      return http::Response::MakeError(
+          502, "Bad Gateway",
+          "template exceeds limit: " +
+              std::to_string(upstream_response->body.size()) + " > " +
+              std::to_string(options_.max_template_bytes));
+    }
+
+    Result<AssembledPage> assembled =
+        AssemblePage(upstream_response->body, store_, options_.scan_strategy);
+    if (!assembled.ok()) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.template_errors;
+      return http::Response::MakeError(
+          502, "Bad Gateway",
+          "template error: " + assembled.status().ToString());
+    }
+    if (assembled->complete()) {
+      return BuildAssembledResponse(*upstream_response,
+                                    std::move(*assembled));
+    }
+
+    // Cold-cache recovery: ask the origin to invalidate the missing keys so
+    // the retried response carries fresh SETs.
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.recoveries;
+    }
+    std::string refresh;
+    for (bem::DpcKey key : assembled->missing_keys) {
+      if (!refresh.empty()) refresh += ',';
+      refresh += ToHex(key);
+    }
+    DYNAPROX_LOG(kInfo, "dpc")
+        << "cold-cache recovery for keys [" << refresh << "]";
+    upstream_request = request;
+    if (options_.proxy_headers) {
+      StripHopByHop(upstream_request.headers);
+      AppendVia(upstream_request.headers, options_.via_token);
+    }
+    upstream_request.headers.Set(bem::kRefreshHeader, refresh);
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.template_errors;
+  }
+  return http::Response::MakeError(502, "Bad Gateway",
+                                   "unrecoverable missing fragments");
+}
+
+}  // namespace dynaprox::dpc

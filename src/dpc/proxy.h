@@ -1,0 +1,109 @@
+#ifndef DYNAPROX_DPC_PROXY_H_
+#define DYNAPROX_DPC_PROXY_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "bem/protocol.h"
+#include "common/result.h"
+#include "dpc/assembler.h"
+#include "dpc/fragment_store.h"
+#include "dpc/static_cache.h"
+#include "net/transport.h"
+
+namespace dynaprox::dpc {
+
+// Optional debug header summarizing assembly on each response. The
+// protocol headers shared with the BEM live in bem/protocol.h.
+inline constexpr char kDebugHeader[] = "X-DPC";
+
+struct ProxyOptions {
+  // Slot count; must equal the BEM's capacity.
+  bem::DpcKey capacity = 4096;
+  ScanStrategy scan_strategy = ScanStrategy::kMemchr;
+  // Retries after a cold-cache GET miss before giving up with 502.
+  int max_recovery_attempts = 1;
+  // Reject templates larger than this (bytes) with 502; 0 = unlimited.
+  // A resource guard against a misbehaving origin.
+  size_t max_template_bytes = 0;
+  bool add_debug_header = false;
+  // Also cache untagged (static) responses per their Cache-Control, the
+  // way ISA Server's ordinary proxy cache did in the paper's testbed.
+  bool enable_static_cache = false;
+  StaticCacheOptions static_cache;
+  // Serve a JSON status document (proxy counters, store occupancy) at
+  // status_path instead of forwarding it upstream.
+  bool enable_status = false;
+  std::string status_path = "/_dynaprox/status";
+  // Standard intermediary behaviour: strip hop-by-hop request headers
+  // before forwarding and append Via on both legs. Off by default so the
+  // byte-accounting experiments measure exactly the modeled payloads.
+  bool proxy_headers = false;
+  std::string via_token = "1.1 dynaprox-dpc";
+};
+
+struct ProxyStats {
+  uint64_t requests = 0;
+  uint64_t passthrough = 0;   // Non-template upstream responses.
+  uint64_t assembled = 0;     // Successfully assembled pages.
+  uint64_t recoveries = 0;    // Cold-cache refresh round-trips.
+  uint64_t upstream_errors = 0;
+  uint64_t template_errors = 0;
+  uint64_t static_hits = 0;           // Served from the static cache.
+  uint64_t static_revalidations = 0;  // Served after an upstream 304.
+  uint64_t bytes_from_upstream = 0;  // Template/page bytes received.
+  uint64_t bytes_to_clients = 0;     // Assembled body bytes sent.
+};
+
+// The Dynamic Proxy Cache (paper 4.3.3) in reverse-proxy mode: stores
+// fragments, scans templates, assembles pages. All cache-management
+// decisions are made by the BEM at the origin; the DPC only executes
+// SET/GET instructions embedded in responses.
+//
+// Thread-safe: requests may be served from many connection threads. The
+// upstream transport must be safe for concurrent RoundTrip calls (or each
+// thread must use its own proxy-to-origin connection).
+class DpcProxy {
+ public:
+  // `upstream` carries requests to the origin site and must outlive the
+  // proxy.
+  DpcProxy(net::Transport* upstream, ProxyOptions options);
+
+  // Serves one client request.
+  http::Response Handle(const http::Request& request);
+
+  // Adapter so the proxy can sit behind net::TcpServer / DirectTransport.
+  net::Handler AsHandler();
+
+  // Models a DPC crash/restart: all slots empty, directory at the BEM
+  // unaware — exercises the miss-recovery path. Also empties the static
+  // cache.
+  void ClearCache() {
+    store_.Clear();
+    if (static_cache_ != nullptr) static_cache_->Clear();
+  }
+
+  const FragmentStore& store() const { return store_; }
+  // Null unless enable_static_cache was set.
+  const StaticCache* static_cache() const { return static_cache_.get(); }
+  // Snapshot of the serving counters.
+  ProxyStats stats() const;
+
+ private:
+  http::Response BuildAssembledResponse(const http::Response& upstream,
+                                        AssembledPage page);
+  http::Response RenderStatus() const;
+
+  net::Transport* upstream_;
+  ProxyOptions options_;
+  FragmentStore store_;
+  std::unique_ptr<StaticCache> static_cache_;  // Null when disabled.
+  mutable std::mutex stats_mu_;
+  ProxyStats stats_;
+};
+
+}  // namespace dynaprox::dpc
+
+#endif  // DYNAPROX_DPC_PROXY_H_

@@ -1,0 +1,132 @@
+#include "dpc/tag_scanner.h"
+
+#include <cstring>
+
+#include "bem/tag_codec.h"
+#include "common/strings.h"
+
+namespace dynaprox::dpc {
+namespace {
+
+constexpr char kStx = bem::TagCodec::kStx;
+constexpr char kEtx = bem::TagCodec::kEtx;
+
+size_t FindMarker(std::string_view text, size_t from, ScanStrategy strategy) {
+  if (from >= text.size()) return std::string_view::npos;
+  switch (strategy) {
+    case ScanStrategy::kMemchr: {
+      const void* p =
+          std::memchr(text.data() + from, kStx, text.size() - from);
+      if (p == nullptr) return std::string_view::npos;
+      return static_cast<size_t>(static_cast<const char*>(p) - text.data());
+    }
+    case ScanStrategy::kByteLoop: {
+      for (size_t i = from; i < text.size(); ++i) {
+        if (text[i] == kStx) return i;
+      }
+      return std::string_view::npos;
+    }
+  }
+  return std::string_view::npos;
+}
+
+// Parses the hex key of an 'S'/'G' tag starting at `hex_begin`; on success
+// sets `key`/`tag_end` (index one past the closing ETX).
+Status ParseKeyTag(std::string_view wire, size_t hex_begin,
+                   bem::DpcKey& key, size_t& tag_end) {
+  size_t etx = wire.find(kEtx, hex_begin);
+  if (etx == std::string_view::npos) {
+    return Status::Corruption("unterminated tag (missing ETX)");
+  }
+  Result<uint64_t> parsed = ParseHex(wire.substr(hex_begin, etx - hex_begin));
+  if (!parsed.ok() || *parsed > bem::kInvalidDpcKey) {
+    return Status::Corruption("bad dpcKey in tag");
+  }
+  key = static_cast<bem::DpcKey>(*parsed);
+  tag_end = etx + 1;
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<std::vector<TemplateSegment>> ParseTemplate(std::string_view wire,
+                                                   ScanStrategy strategy) {
+  std::vector<TemplateSegment> segments;
+  std::string buffer;
+  bool inside_set = false;
+  bem::DpcKey set_key = bem::kInvalidDpcKey;
+
+  auto flush_literal = [&]() {
+    if (buffer.empty()) return;
+    segments.push_back(
+        {TemplateSegment::Kind::kLiteral, bem::kInvalidDpcKey,
+         std::move(buffer)});
+    buffer.clear();
+  };
+
+  size_t pos = 0;
+  for (;;) {
+    size_t stx = FindMarker(wire, pos, strategy);
+    if (stx == std::string_view::npos) {
+      buffer.append(wire.substr(pos));
+      break;
+    }
+    buffer.append(wire.substr(pos, stx - pos));
+    if (stx + 1 >= wire.size()) {
+      return Status::Corruption("truncated tag at end of template");
+    }
+    char marker = wire[stx + 1];
+    switch (marker) {
+      case 'L': {
+        if (stx + 2 >= wire.size() || wire[stx + 2] != kEtx) {
+          return Status::Corruption("malformed literal-escape tag");
+        }
+        buffer += kStx;
+        pos = stx + 3;
+        break;
+      }
+      case 'S': {
+        if (inside_set) return Status::Corruption("nested SET tag");
+        size_t tag_end = 0;
+        DYNAPROX_RETURN_IF_ERROR(
+            ParseKeyTag(wire, stx + 2, set_key, tag_end));
+        flush_literal();
+        inside_set = true;
+        pos = tag_end;
+        break;
+      }
+      case 'E': {
+        if (!inside_set) return Status::Corruption("SET-end without SET");
+        if (stx + 2 >= wire.size() || wire[stx + 2] != kEtx) {
+          return Status::Corruption("malformed SET-end tag");
+        }
+        segments.push_back(
+            {TemplateSegment::Kind::kSet, set_key, std::move(buffer)});
+        buffer.clear();
+        inside_set = false;
+        set_key = bem::kInvalidDpcKey;
+        pos = stx + 3;
+        break;
+      }
+      case 'G': {
+        if (inside_set) return Status::Corruption("GET tag inside SET");
+        bem::DpcKey key = bem::kInvalidDpcKey;
+        size_t tag_end = 0;
+        DYNAPROX_RETURN_IF_ERROR(ParseKeyTag(wire, stx + 2, key, tag_end));
+        flush_literal();
+        segments.push_back({TemplateSegment::Kind::kGet, key, {}});
+        pos = tag_end;
+        break;
+      }
+      default:
+        return Status::Corruption(std::string("unknown tag marker '") +
+                                  marker + "'");
+    }
+  }
+
+  if (inside_set) return Status::Corruption("unterminated SET block");
+  flush_literal();
+  return segments;
+}
+
+}  // namespace dynaprox::dpc

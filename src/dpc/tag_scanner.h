@@ -1,0 +1,43 @@
+#ifndef DYNAPROX_DPC_TAG_SCANNER_H_
+#define DYNAPROX_DPC_TAG_SCANNER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bem/types.h"
+#include "common/result.h"
+
+namespace dynaprox::dpc {
+
+// How the scanner locates the next tag marker in the template. kMemchr is
+// the production choice; kByteLoop exists for the scanning-cost ablation
+// (bench_ablation_scanner).
+enum class ScanStrategy {
+  kMemchr,
+  kByteLoop,
+};
+
+// One parsed piece of a response template.
+struct TemplateSegment {
+  enum class Kind {
+    kLiteral,  // Page text to emit verbatim (already unescaped).
+    kSet,      // Store `text` under `key`, then emit it.
+    kGet,      // Emit the cached fragment stored under `key`.
+  };
+
+  Kind kind;
+  bem::DpcKey key = bem::kInvalidDpcKey;
+  std::string text;
+};
+
+// Parses a BEM-encoded response template (see bem::TagCodec for the wire
+// grammar) into segments. Fails with Corruption on malformed input:
+// truncated tags, unknown markers, bad hex keys, SET without matching end,
+// nested SET, or GET inside SET.
+Result<std::vector<TemplateSegment>> ParseTemplate(
+    std::string_view wire, ScanStrategy strategy = ScanStrategy::kMemchr);
+
+}  // namespace dynaprox::dpc
+
+#endif  // DYNAPROX_DPC_TAG_SCANNER_H_

@@ -1,0 +1,84 @@
+#include "edge/edge_fleet.h"
+
+#include "common/strings.h"
+
+namespace dynaprox::edge {
+
+EdgeFleet::EdgeFleet(net::Transport* origin, EdgeFleetOptions options)
+    : origin_(origin), options_(options) {}
+
+Status EdgeFleet::AddNode(const std::string& node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  DYNAPROX_RETURN_IF_ERROR(ring_.AddNode(node, options_.ring_vnodes));
+  Node entry;
+  entry.upstream = std::make_unique<HeaderStampTransport>(
+      origin_, kEdgeHeader, node);
+  entry.proxy = std::make_unique<dpc::DpcProxy>(entry.upstream.get(),
+                                                options_.proxy_options);
+  nodes_.emplace(node, std::move(entry));
+  return Status::Ok();
+}
+
+Status EdgeFleet::MarkDown(const std::string& node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.MarkDown(node);
+}
+
+Status EdgeFleet::MarkUp(const std::string& node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.MarkUp(node);
+}
+
+FleetStats EdgeFleet::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::string EdgeFleet::ClientKey(const http::Request& request) {
+  if (auto client = request.headers.Get("X-Client"); client.has_value()) {
+    return std::string(*client);
+  }
+  auto params = request.QueryParams();
+  if (auto it = params.find("sid"); it != params.end() && !it->second.empty()) {
+    return it->second;
+  }
+  return std::string(request.Path());
+}
+
+Result<std::string> EdgeFleet::RouteFor(const http::Request& request) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.Route(ClientKey(request));
+}
+
+http::Response EdgeFleet::Handle(const http::Request& request) {
+  dpc::DpcProxy* proxy = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.requests;
+    Result<std::string> node = ring_.Route(ClientKey(request));
+    if (!node.ok()) {
+      ++stats_.routing_failures;
+      return http::Response::MakeError(503, "Service Unavailable",
+                                       node.status().ToString());
+    }
+    proxy = nodes_.at(*node).proxy.get();
+  }
+  // Serve outside the routing lock; node proxies are thread-safe and are
+  // never removed once added.
+  return proxy->Handle(request);
+}
+
+net::Handler EdgeFleet::AsHandler() {
+  return [this](const http::Request& request) { return Handle(request); };
+}
+
+Result<const dpc::DpcProxy*> EdgeFleet::NodeProxy(
+    const std::string& node) const {
+  auto it = nodes_.find(node);
+  if (it == nodes_.end()) {
+    return Status::NotFound("unknown node: " + node);
+  }
+  return static_cast<const dpc::DpcProxy*>(it->second.proxy.get());
+}
+
+}  // namespace dynaprox::edge

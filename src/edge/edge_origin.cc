@@ -1,0 +1,66 @@
+#include "edge/edge_origin.h"
+
+namespace dynaprox::edge {
+
+EdgeOrigin::EdgeOrigin(const appserver::ScriptRegistry* registry,
+                       storage::ContentRepository* repository,
+                       bem::BemOptions bem_options,
+                       appserver::OriginOptions origin_options)
+    : registry_(registry),
+      repository_(repository),
+      bem_options_(bem_options),
+      origin_options_(origin_options) {}
+
+Status EdgeOrigin::AddEdge(const std::string& edge_id) {
+  if (edges_.find(edge_id) != edges_.end()) {
+    return Status::AlreadyExists("edge exists: " + edge_id);
+  }
+  Result<std::unique_ptr<bem::BackEndMonitor>> monitor =
+      bem::BackEndMonitor::Create(bem_options_);
+  if (!monitor.ok()) return monitor.status();
+  Edge edge;
+  edge.monitor = std::move(*monitor);
+  edge.monitor->AttachRepository(repository_);
+  edge.server = std::make_unique<appserver::OriginServer>(
+      registry_, repository_, edge.monitor.get(), origin_options_);
+  edges_.emplace(edge_id, std::move(edge));
+  return Status::Ok();
+}
+
+http::Response EdgeOrigin::Handle(const http::Request& request) {
+  auto edge_id = request.headers.Get(kEdgeHeader);
+  if (!edge_id.has_value()) {
+    return http::Response::MakeError(400, "Bad Request",
+                                     "missing X-DPC-Edge header");
+  }
+  auto it = edges_.find(std::string(*edge_id));
+  if (it == edges_.end()) {
+    return http::Response::MakeError(
+        400, "Bad Request", "unknown edge: " + std::string(*edge_id));
+  }
+  return it->second.server->Handle(request);
+}
+
+net::Handler EdgeOrigin::AsHandler() {
+  return [this](const http::Request& request) { return Handle(request); };
+}
+
+Result<const bem::BackEndMonitor*> EdgeOrigin::MonitorFor(
+    const std::string& edge_id) const {
+  auto it = edges_.find(edge_id);
+  if (it == edges_.end()) {
+    return Status::NotFound("unknown edge: " + edge_id);
+  }
+  return static_cast<const bem::BackEndMonitor*>(it->second.monitor.get());
+}
+
+Result<appserver::OriginStats> EdgeOrigin::StatsFor(
+    const std::string& edge_id) const {
+  auto it = edges_.find(edge_id);
+  if (it == edges_.end()) {
+    return Status::NotFound("unknown edge: " + edge_id);
+  }
+  return it->second.server->stats();
+}
+
+}  // namespace dynaprox::edge

@@ -1,0 +1,65 @@
+#ifndef DYNAPROX_EDGE_EDGE_ORIGIN_H_
+#define DYNAPROX_EDGE_EDGE_ORIGIN_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "appserver/origin_server.h"
+#include "appserver/script_registry.h"
+#include "bem/monitor.h"
+#include "net/transport.h"
+#include "storage/table.h"
+
+namespace dynaprox::edge {
+
+// Request header naming the edge DPC a request was served through. The
+// origin keeps one cache directory per edge so the BEM's directory always
+// mirrors the *specific* proxy that will assemble the response — the
+// reproduction's answer to Section 7's "Cache Coherency" question.
+inline constexpr char kEdgeHeader[] = "X-DPC-Edge";
+
+// Origin-side fan-out for forward-proxy mode: dispatches each request to a
+// per-edge (BackEndMonitor, OriginServer) pair sharing one script registry
+// and one content repository. Because every per-edge monitor subscribes to
+// the repository's update bus, a data-source mutation invalidates the
+// fragment in *every* edge directory — the invalidation broadcast of
+// Section 7's "Cache Management" challenge.
+class EdgeOrigin {
+ public:
+  EdgeOrigin(const appserver::ScriptRegistry* registry,
+             storage::ContentRepository* repository,
+             bem::BemOptions bem_options,
+             appserver::OriginOptions origin_options = {});
+
+  // Registers an edge; AlreadyExists on duplicates.
+  Status AddEdge(const std::string& edge_id);
+
+  // Serves a request; requests without (or with an unknown) kEdgeHeader
+  // get 400, since forward-proxy traffic must identify its edge.
+  http::Response Handle(const http::Request& request);
+
+  net::Handler AsHandler();
+
+  // Per-edge introspection.
+  Result<const bem::BackEndMonitor*> MonitorFor(
+      const std::string& edge_id) const;
+  Result<appserver::OriginStats> StatsFor(const std::string& edge_id) const;
+  size_t edge_count() const { return edges_.size(); }
+
+ private:
+  struct Edge {
+    std::unique_ptr<bem::BackEndMonitor> monitor;
+    std::unique_ptr<appserver::OriginServer> server;
+  };
+
+  const appserver::ScriptRegistry* registry_;
+  storage::ContentRepository* repository_;
+  bem::BemOptions bem_options_;
+  appserver::OriginOptions origin_options_;
+  std::map<std::string, Edge> edges_;
+};
+
+}  // namespace dynaprox::edge
+
+#endif  // DYNAPROX_EDGE_EDGE_ORIGIN_H_

@@ -1,0 +1,91 @@
+#include "edge/hash_ring.h"
+
+namespace dynaprox::edge {
+
+uint64_t Fnv1a(std::string_view data) {
+  uint64_t hash = 0xCBF29CE484222325ULL;
+  for (char c : data) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+uint64_t RingPoint(std::string_view data) {
+  // splitmix64 finalizer for full avalanche.
+  uint64_t x = Fnv1a(data);
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+Status HashRing::AddNode(const std::string& node, int vnodes) {
+  if (vnodes <= 0) return Status::InvalidArgument("vnodes must be > 0");
+  if (!nodes_.insert(node).second) {
+    return Status::AlreadyExists("node exists: " + node);
+  }
+  for (int i = 0; i < vnodes; ++i) {
+    ring_[RingPoint(node + "#" + std::to_string(i))] = node;
+  }
+  return Status::Ok();
+}
+
+Status HashRing::RemoveNode(const std::string& node) {
+  if (nodes_.erase(node) == 0) {
+    return Status::NotFound("node not found: " + node);
+  }
+  down_.erase(node);
+  for (auto it = ring_.begin(); it != ring_.end();) {
+    if (it->second == node) {
+      it = ring_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return Status::Ok();
+}
+
+Status HashRing::MarkDown(const std::string& node) {
+  if (nodes_.count(node) == 0) {
+    return Status::NotFound("node not found: " + node);
+  }
+  down_.insert(node);
+  return Status::Ok();
+}
+
+Status HashRing::MarkUp(const std::string& node) {
+  if (nodes_.count(node) == 0) {
+    return Status::NotFound("node not found: " + node);
+  }
+  down_.erase(node);
+  return Status::Ok();
+}
+
+Result<std::string> HashRing::Route(std::string_view key) const {
+  if (ring_.empty() || down_.size() >= nodes_.size()) {
+    return Status::FailedPrecondition("no live nodes in ring");
+  }
+  uint64_t hash = RingPoint(key);
+  auto it = ring_.lower_bound(hash);
+  // Walk clockwise (wrapping) until a live node appears; bounded by ring
+  // size since at least one node is live.
+  for (size_t step = 0; step < ring_.size(); ++step) {
+    if (it == ring_.end()) it = ring_.begin();
+    if (down_.count(it->second) == 0) return it->second;
+    ++it;
+  }
+  return Status::FailedPrecondition("no live nodes in ring");
+}
+
+size_t HashRing::live_node_count() const {
+  return nodes_.size() - down_.size();
+}
+
+std::vector<std::string> HashRing::Nodes() const {
+  return std::vector<std::string>(nodes_.begin(), nodes_.end());
+}
+
+}  // namespace dynaprox::edge

@@ -1,0 +1,59 @@
+#ifndef DYNAPROX_EDGE_HASH_RING_H_
+#define DYNAPROX_EDGE_HASH_RING_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace dynaprox::edge {
+
+// 64-bit FNV-1a.
+uint64_t Fnv1a(std::string_view data);
+
+// Ring point for a string: FNV-1a followed by a splitmix64 finalizer. The
+// finalizer matters: raw FNV of near-identical strings ("node#0".."node#39")
+// differs only in low bits, which would cluster a node's vnodes instead of
+// spreading them around the ring.
+uint64_t RingPoint(std::string_view data);
+
+// Consistent-hash ring for request routing across forward proxies
+// (paper Section 7, "Request Routing"). Each node is placed at
+// `vnodes` points; a key routes to the first node clockwise from its hash.
+// Nodes can be marked down, in which case routing walks past them —
+// the paper's "failover seamlessly to another proxy cache".
+class HashRing {
+ public:
+  // Adds a node; AlreadyExists if present. `vnodes` must be > 0.
+  Status AddNode(const std::string& node, int vnodes = 40);
+
+  // Removes a node entirely; NotFound if absent.
+  Status RemoveNode(const std::string& node);
+
+  // Marks a node unavailable/available without moving ring positions.
+  Status MarkDown(const std::string& node);
+  Status MarkUp(const std::string& node);
+
+  // Routes `key` to a live node; FailedPrecondition when none is live.
+  Result<std::string> Route(std::string_view key) const;
+
+  size_t node_count() const { return nodes_.size(); }
+  size_t live_node_count() const;
+  std::vector<std::string> Nodes() const;
+  bool IsDown(const std::string& node) const {
+    return down_.count(node) > 0;
+  }
+
+ private:
+  std::map<uint64_t, std::string> ring_;  // hash point -> node.
+  std::set<std::string> nodes_;
+  std::set<std::string> down_;
+};
+
+}  // namespace dynaprox::edge
+
+#endif  // DYNAPROX_EDGE_HASH_RING_H_

@@ -1,0 +1,40 @@
+#include "firewall/firewall.h"
+
+namespace dynaprox::firewall {
+
+ScanningFirewall::ScanningFirewall(net::Transport* inner,
+                                   std::vector<std::string> signatures)
+    : inner_(inner) {
+  matchers_.reserve(signatures.size());
+  for (std::string& signature : signatures) {
+    matchers_.emplace_back(std::move(signature));
+  }
+}
+
+bool ScanningFirewall::Scan(std::string_view data) {
+  ++stats_.messages;
+  stats_.bytes_scanned += data.size();
+  bool matched = false;
+  for (const dpc::KmpMatcher& matcher : matchers_) {
+    size_t count = matcher.CountOccurrences(data);
+    stats_.signature_hits += count;
+    matched = matched || count > 0;
+  }
+  return matched;
+}
+
+Result<http::Response> ScanningFirewall::RoundTrip(
+    const http::Request& request) {
+  if (Scan(request.Serialize())) {
+    ++stats_.blocked;
+    return http::Response::MakeError(403, "Forbidden",
+                                     "request blocked by firewall policy");
+  }
+  Result<http::Response> response = inner_->RoundTrip(request);
+  if (response.ok()) {
+    Scan(response->body);
+  }
+  return response;
+}
+
+}  // namespace dynaprox::firewall

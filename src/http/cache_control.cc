@@ -1,0 +1,45 @@
+#include "http/cache_control.h"
+
+#include "common/strings.h"
+
+namespace dynaprox::http {
+namespace {
+
+std::optional<int64_t> ParseAge(std::string_view value) {
+  Result<uint64_t> parsed = ParseUint64(value);
+  if (!parsed.ok() || *parsed > INT64_MAX) return std::nullopt;
+  return static_cast<int64_t>(*parsed);
+}
+
+}  // namespace
+
+CacheControl ParseCacheControl(std::string_view value) {
+  CacheControl control;
+  for (std::string_view raw : StrSplit(value, ',')) {
+    std::string directive = AsciiToLower(StripWhitespace(raw));
+    if (directive == "no-store") {
+      control.no_store = true;
+    } else if (directive == "no-cache") {
+      control.no_cache = true;
+    } else if (directive == "private") {
+      control.is_private = true;
+    } else if (directive == "public") {
+      control.is_public = true;
+    } else if (StartsWith(directive, "max-age=")) {
+      control.max_age_seconds = ParseAge(
+          std::string_view(directive).substr(sizeof("max-age=") - 1));
+    } else if (StartsWith(directive, "s-maxage=")) {
+      control.s_maxage_seconds = ParseAge(
+          std::string_view(directive).substr(sizeof("s-maxage=") - 1));
+    }
+  }
+  return control;
+}
+
+CacheControl ResponseCacheControl(const Response& response) {
+  auto header = response.headers.Get("Cache-Control");
+  if (!header.has_value()) return CacheControl{};
+  return ParseCacheControl(*header);
+}
+
+}  // namespace dynaprox::http

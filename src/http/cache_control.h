@@ -1,0 +1,46 @@
+#ifndef DYNAPROX_HTTP_CACHE_CONTROL_H_
+#define DYNAPROX_HTTP_CACHE_CONTROL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "http/message.h"
+
+namespace dynaprox::http {
+
+// Parsed Cache-Control response directives (the subset a shared proxy
+// cache needs).
+struct CacheControl {
+  bool no_store = false;
+  bool no_cache = false;
+  bool is_private = false;   // "private": shared caches must not store.
+  bool is_public = false;
+  std::optional<int64_t> max_age_seconds;
+  std::optional<int64_t> s_maxage_seconds;  // Overrides max-age for proxies.
+
+  // Effective freshness lifetime for a shared cache, if storable.
+  std::optional<int64_t> SharedMaxAgeSeconds() const {
+    if (s_maxage_seconds.has_value()) return s_maxage_seconds;
+    return max_age_seconds;
+  }
+
+  // True if a shared proxy cache may store the response.
+  bool StorableByProxy() const {
+    if (no_store || is_private) return false;
+    auto age = SharedMaxAgeSeconds();
+    return age.has_value() && *age > 0;
+  }
+};
+
+// Parses a Cache-Control field value ("public, max-age=3600"). Unknown
+// directives are ignored; malformed ages are treated as absent.
+CacheControl ParseCacheControl(std::string_view value);
+
+// Convenience: parses the response's Cache-Control header (empty header ->
+// default-constructed CacheControl, which is not storable).
+CacheControl ResponseCacheControl(const Response& response);
+
+}  // namespace dynaprox::http
+
+#endif  // DYNAPROX_HTTP_CACHE_CONTROL_H_

@@ -1,0 +1,52 @@
+#include "http/header_map.h"
+
+#include "common/strings.h"
+
+namespace dynaprox::http {
+
+void HeaderMap::Add(std::string name, std::string value) {
+  fields_.emplace_back(std::move(name), std::move(value));
+}
+
+void HeaderMap::Set(std::string name, std::string value) {
+  Remove(name);
+  Add(std::move(name), std::move(value));
+}
+
+std::optional<std::string_view> HeaderMap::Get(std::string_view name) const {
+  for (const auto& [field_name, field_value] : fields_) {
+    if (EqualsIgnoreCase(field_name, name)) return std::string_view(field_value);
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string_view> HeaderMap::GetAll(std::string_view name) const {
+  std::vector<std::string_view> values;
+  for (const auto& [field_name, field_value] : fields_) {
+    if (EqualsIgnoreCase(field_name, name)) values.push_back(field_value);
+  }
+  return values;
+}
+
+size_t HeaderMap::Remove(std::string_view name) {
+  size_t removed = 0;
+  for (auto it = fields_.begin(); it != fields_.end();) {
+    if (EqualsIgnoreCase(it->first, name)) {
+      it = fields_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+size_t HeaderMap::SerializedSize() const {
+  size_t total = 0;
+  for (const auto& [name, value] : fields_) {
+    total += name.size() + 2 + value.size() + 2;  // "Name: value\r\n"
+  }
+  return total;
+}
+
+}  // namespace dynaprox::http

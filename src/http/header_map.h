@@ -1,0 +1,50 @@
+#ifndef DYNAPROX_HTTP_HEADER_MAP_H_
+#define DYNAPROX_HTTP_HEADER_MAP_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace dynaprox::http {
+
+// Ordered multimap of HTTP header fields. Lookup is case-insensitive per
+// RFC 7230; insertion order is preserved for serialization.
+class HeaderMap {
+ public:
+  // Appends a field (duplicates allowed, e.g. Set-Cookie).
+  void Add(std::string name, std::string value);
+
+  // Replaces all fields named `name` with a single field.
+  void Set(std::string name, std::string value);
+
+  // Returns the first value for `name`, if present.
+  std::optional<std::string_view> Get(std::string_view name) const;
+
+  // Returns all values for `name` in insertion order.
+  std::vector<std::string_view> GetAll(std::string_view name) const;
+
+  bool Has(std::string_view name) const { return Get(name).has_value(); }
+
+  // Removes all fields named `name`; returns the number removed.
+  size_t Remove(std::string_view name);
+
+  size_t size() const { return fields_.size(); }
+  bool empty() const { return fields_.empty(); }
+
+  const std::vector<std::pair<std::string, std::string>>& fields() const {
+    return fields_;
+  }
+
+  // Bytes this map occupies on the wire ("Name: value\r\n" per field).
+  size_t SerializedSize() const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+}  // namespace dynaprox::http
+
+#endif  // DYNAPROX_HTTP_HEADER_MAP_H_

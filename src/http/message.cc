@@ -1,0 +1,216 @@
+#include "http/message.h"
+
+#include <cstdio>
+
+#include "common/strings.h"
+
+namespace dynaprox::http {
+namespace {
+
+bool IsUrlSafe(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.' ||
+         c == '~' || c == '/';
+}
+
+int HexDigit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+// Appends "Name: value\r\n" fields plus the final CRLF.
+void AppendHeaders(const HeaderMap& headers, std::string& out) {
+  for (const auto& [name, value] : headers.fields()) {
+    out += name;
+    out += ": ";
+    out += value;
+    out += "\r\n";
+  }
+  out += "\r\n";
+}
+
+// Ensures Content-Length is present when a body exists; returns the header
+// map to serialize (copy only when we must add the field).
+HeaderMap WithContentLength(const HeaderMap& headers, size_t body_size) {
+  HeaderMap copy = headers;
+  if (!copy.Has("Content-Length")) {
+    copy.Add("Content-Length", std::to_string(body_size));
+  }
+  return copy;
+}
+
+}  // namespace
+
+std::string_view Request::Path() const {
+  size_t q = target.find('?');
+  return std::string_view(target).substr(0, q);
+}
+
+std::string_view Request::QueryString() const {
+  size_t q = target.find('?');
+  if (q == std::string::npos) return {};
+  return std::string_view(target).substr(q + 1);
+}
+
+std::map<std::string, std::string> Request::QueryParams() const {
+  return ParseQueryString(QueryString());
+}
+
+std::string Request::Serialize() const {
+  std::string out;
+  out.reserve(SerializedSize());
+  out += method;
+  out += ' ';
+  out += target;
+  out += ' ';
+  out += version;
+  out += "\r\n";
+  AppendHeaders(WithContentLength(headers, body.size()), out);
+  out += body;
+  return out;
+}
+
+size_t Request::SerializedSize() const {
+  HeaderMap with_length = WithContentLength(headers, body.size());
+  return method.size() + 1 + target.size() + 1 + version.size() + 2 +
+         with_length.SerializedSize() + 2 + body.size();
+}
+
+std::string Response::Serialize() const {
+  std::string out;
+  out.reserve(SerializedSize());
+  out += version;
+  out += ' ';
+  out += std::to_string(status_code);
+  out += ' ';
+  out += reason;
+  out += "\r\n";
+  AppendHeaders(WithContentLength(headers, body.size()), out);
+  out += body;
+  return out;
+}
+
+size_t Response::SerializedSize() const {
+  HeaderMap with_length = WithContentLength(headers, body.size());
+  return version.size() + 1 + std::to_string(status_code).size() + 1 +
+         reason.size() + 2 + with_length.SerializedSize() + 2 + body.size();
+}
+
+Response Response::MakeOk(std::string body, std::string content_type) {
+  Response response;
+  response.headers.Add("Content-Type", std::move(content_type));
+  response.body = std::move(body);
+  return response;
+}
+
+Response Response::MakeError(int code, std::string reason, std::string body) {
+  Response response;
+  response.status_code = code;
+  response.reason = std::move(reason);
+  response.headers.Add("Content-Type", "text/plain");
+  response.body = std::move(body);
+  return response;
+}
+
+std::string_view CanonicalReason(int status_code) {
+  switch (status_code) {
+    case 200:
+      return "OK";
+    case 201:
+      return "Created";
+    case 204:
+      return "No Content";
+    case 301:
+      return "Moved Permanently";
+    case 302:
+      return "Found";
+    case 304:
+      return "Not Modified";
+    case 400:
+      return "Bad Request";
+    case 403:
+      return "Forbidden";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 500:
+      return "Internal Server Error";
+    case 502:
+      return "Bad Gateway";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Unknown";
+  }
+}
+
+std::string UrlDecode(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '+') {
+      out += ' ';
+    } else if (s[i] == '%' && i + 2 < s.size() && HexDigit(s[i + 1]) >= 0 &&
+               HexDigit(s[i + 2]) >= 0) {
+      out += static_cast<char>(HexDigit(s[i + 1]) * 16 + HexDigit(s[i + 2]));
+      i += 2;
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+std::string UrlEncode(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (IsUrlSafe(c)) {
+      out += c;
+    } else {
+      char buf[4];
+      std::snprintf(buf, sizeof(buf), "%%%02X",
+                    static_cast<unsigned char>(c));
+      out += buf;
+    }
+  }
+  return out;
+}
+
+std::string NormalizePath(std::string_view path) {
+  std::vector<std::string_view> stack;
+  for (std::string_view segment : StrSplit(path, '/')) {
+    if (segment.empty() || segment == ".") continue;
+    if (segment == "..") {
+      if (!stack.empty()) stack.pop_back();
+      continue;
+    }
+    stack.push_back(segment);
+  }
+  std::string out = "/";
+  for (size_t i = 0; i < stack.size(); ++i) {
+    if (i > 0) out += '/';
+    out.append(stack[i]);
+  }
+  return out;
+}
+
+std::map<std::string, std::string> ParseQueryString(std::string_view query) {
+  std::map<std::string, std::string> params;
+  if (query.empty()) return params;
+  for (std::string_view pair : StrSplit(query, '&')) {
+    if (pair.empty()) continue;
+    size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) {
+      params[UrlDecode(pair)] = "";
+    } else {
+      params[UrlDecode(pair.substr(0, eq))] = UrlDecode(pair.substr(eq + 1));
+    }
+  }
+  return params;
+}
+
+}  // namespace dynaprox::http

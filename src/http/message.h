@@ -1,0 +1,74 @@
+#ifndef DYNAPROX_HTTP_MESSAGE_H_
+#define DYNAPROX_HTTP_MESSAGE_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "http/header_map.h"
+
+namespace dynaprox::http {
+
+// An HTTP/1.1 request. `target` is the request-target as it appears on the
+// request line (path plus optional "?query").
+struct Request {
+  std::string method = "GET";
+  std::string target = "/";
+  std::string version = "HTTP/1.1";
+  HeaderMap headers;
+  std::string body;
+
+  // Path component of the target (before '?').
+  std::string_view Path() const;
+
+  // Raw query string (after '?', empty if none).
+  std::string_view QueryString() const;
+
+  // Decoded query parameters in target order; later duplicates win.
+  std::map<std::string, std::string> QueryParams() const;
+
+  // Serializes to wire form, adding Content-Length when a body is present
+  // and none is set.
+  std::string Serialize() const;
+
+  // Bytes Serialize() would produce.
+  size_t SerializedSize() const;
+};
+
+// An HTTP/1.1 response.
+struct Response {
+  int status_code = 200;
+  std::string reason = "OK";
+  std::string version = "HTTP/1.1";
+  HeaderMap headers;
+  std::string body;
+
+  std::string Serialize() const;
+  size_t SerializedSize() const;
+
+  static Response MakeOk(std::string body,
+                         std::string content_type = "text/html");
+  static Response MakeError(int code, std::string reason, std::string body);
+};
+
+// Returns the canonical reason phrase for common status codes ("OK",
+// "Not Found", ...), or "Unknown" otherwise.
+std::string_view CanonicalReason(int status_code);
+
+// Percent-decodes `s` ('+' becomes space). Invalid escapes pass through.
+std::string UrlDecode(std::string_view s);
+
+// Percent-encodes characters outside the URL-safe set.
+std::string UrlEncode(std::string_view s);
+
+// Parses "a=1&b=2" into a map (decoded); later duplicates win.
+std::map<std::string, std::string> ParseQueryString(std::string_view query);
+
+// Normalizes a request path: resolves "." and ".." segments (never above
+// the root), collapses duplicate slashes, and ensures a leading '/'.
+// "/a/./b/../c//d" -> "/a/c/d". Query strings are not part of the input.
+std::string NormalizePath(std::string_view path);
+
+}  // namespace dynaprox::http
+
+#endif  // DYNAPROX_HTTP_MESSAGE_H_

@@ -1,0 +1,290 @@
+#include "http/parser.h"
+
+#include "common/strings.h"
+
+namespace dynaprox::http {
+namespace {
+
+// Splits "head\r\nbody" at the first blank line; returns npos if absent.
+size_t FindHeaderEnd(std::string_view wire) {
+  return wire.find("\r\n\r\n");
+}
+
+Status ParseHeaderFields(std::string_view block, HeaderMap& headers) {
+  size_t pos = 0;
+  while (pos < block.size()) {
+    size_t eol = block.find("\r\n", pos);
+    if (eol == std::string_view::npos) eol = block.size();
+    std::string_view line = block.substr(pos, eol - pos);
+    pos = eol + 2;
+    if (line.empty()) continue;
+    size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      return Status::InvalidArgument("header line missing ':'");
+    }
+    std::string_view name = StripWhitespace(line.substr(0, colon));
+    std::string_view value = StripWhitespace(line.substr(colon + 1));
+    if (name.empty()) {
+      return Status::InvalidArgument("empty header field name");
+    }
+    headers.Add(std::string(name), std::string(value));
+  }
+  return Status::Ok();
+}
+
+Result<size_t> DeclaredBodyLength(const HeaderMap& headers) {
+  auto field = headers.Get("Content-Length");
+  if (!field.has_value()) return size_t{0};
+  Result<uint64_t> parsed = ParseUint64(StripWhitespace(*field));
+  if (!parsed.ok()) {
+    return Status::InvalidArgument("bad Content-Length: " +
+                                   std::string(*field));
+  }
+  return static_cast<size_t>(*parsed);
+}
+
+bool IsChunked(const HeaderMap& headers) {
+  auto field = headers.Get("Transfer-Encoding");
+  return field.has_value() &&
+         EqualsIgnoreCase(StripWhitespace(*field), "chunked");
+}
+
+// Attempts to decode a chunked body starting at `wire[offset]`.
+// Returns:
+//   ok(true)  — complete; `body` holds the joined payload and `consumed`
+//               the total encoded length (incl. terminator and trailers).
+//   ok(false) — more bytes needed.
+//   error     — malformed framing.
+Result<bool> TryDecodeChunked(std::string_view wire, size_t offset,
+                              std::string& body, size_t& consumed) {
+  body.clear();
+  size_t pos = offset;
+  for (;;) {
+    size_t line_end = wire.find("\r\n", pos);
+    if (line_end == std::string_view::npos) return false;
+    std::string_view size_line = wire.substr(pos, line_end - pos);
+    // Ignore chunk extensions (";...").
+    if (size_t semicolon = size_line.find(';');
+        semicolon != std::string_view::npos) {
+      size_line = size_line.substr(0, semicolon);
+    }
+    Result<uint64_t> chunk_size = ParseHex(StripWhitespace(size_line));
+    if (!chunk_size.ok()) {
+      return Status::InvalidArgument("bad chunk size line");
+    }
+    pos = line_end + 2;
+    if (*chunk_size == 0) {
+      // Trailer section: zero or more header lines, then a blank line.
+      for (;;) {
+        size_t trailer_end = wire.find("\r\n", pos);
+        if (trailer_end == std::string_view::npos) return false;
+        if (trailer_end == pos) {  // Blank line: done.
+          consumed = trailer_end + 2 - offset;
+          return true;
+        }
+        pos = trailer_end + 2;
+      }
+    }
+    if (wire.size() < pos + *chunk_size + 2) return false;
+    body.append(wire.substr(pos, *chunk_size));
+    pos += *chunk_size;
+    if (wire.compare(pos, 2, "\r\n") != 0) {
+      return Status::InvalidArgument("chunk data not CRLF-terminated");
+    }
+    pos += 2;
+  }
+}
+
+// Normalizes a dechunked message: body length becomes explicit.
+void Dechunk(HeaderMap& headers, size_t body_size) {
+  headers.Remove("Transfer-Encoding");
+  headers.Set("Content-Length", std::to_string(body_size));
+}
+
+// Parses the head (start line + headers) of a request.
+Status ParseRequestHead(std::string_view head, Request& request) {
+  size_t eol = head.find("\r\n");
+  std::string_view start_line = head.substr(0, eol);
+  std::vector<std::string_view> parts = StrSplit(start_line, ' ');
+  if (parts.size() != 3 || parts[0].empty() || parts[1].empty()) {
+    return Status::InvalidArgument("malformed request line: " +
+                                   std::string(start_line));
+  }
+  if (!StartsWith(parts[2], "HTTP/")) {
+    return Status::InvalidArgument("bad HTTP version: " +
+                                   std::string(parts[2]));
+  }
+  request.method = std::string(parts[0]);
+  request.target = std::string(parts[1]);
+  request.version = std::string(parts[2]);
+  std::string_view fields =
+      eol == std::string_view::npos ? std::string_view() : head.substr(eol + 2);
+  return ParseHeaderFields(fields, request.headers);
+}
+
+Status ParseResponseHead(std::string_view head, Response& response) {
+  size_t eol = head.find("\r\n");
+  std::string_view start_line = head.substr(0, eol);
+  // Status line: HTTP-version SP status-code SP [reason].
+  size_t sp1 = start_line.find(' ');
+  if (sp1 == std::string_view::npos) {
+    return Status::InvalidArgument("malformed status line");
+  }
+  size_t sp2 = start_line.find(' ', sp1 + 1);
+  std::string_view version = start_line.substr(0, sp1);
+  std::string_view code_text =
+      sp2 == std::string_view::npos
+          ? start_line.substr(sp1 + 1)
+          : start_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (!StartsWith(version, "HTTP/")) {
+    return Status::InvalidArgument("bad HTTP version: " +
+                                   std::string(version));
+  }
+  Result<uint64_t> code = ParseUint64(code_text);
+  if (!code.ok() || *code < 100 || *code > 999) {
+    return Status::InvalidArgument("bad status code: " +
+                                   std::string(code_text));
+  }
+  response.version = std::string(version);
+  response.status_code = static_cast<int>(*code);
+  response.reason = sp2 == std::string_view::npos
+                        ? ""
+                        : std::string(start_line.substr(sp2 + 1));
+  std::string_view fields =
+      eol == std::string_view::npos ? std::string_view() : head.substr(eol + 2);
+  return ParseHeaderFields(fields, response.headers);
+}
+
+// Shared complete-buffer parse: head parse + exact body length check.
+template <typename Message, typename HeadParser>
+Result<Message> ParseComplete(std::string_view wire, HeadParser parse_head) {
+  size_t header_end = FindHeaderEnd(wire);
+  if (header_end == std::string_view::npos) {
+    return Status::InvalidArgument("message head not terminated");
+  }
+  Message message;
+  DYNAPROX_RETURN_IF_ERROR(parse_head(wire.substr(0, header_end), message));
+
+  if (IsChunked(message.headers)) {
+    size_t consumed = 0;
+    Result<bool> complete =
+        TryDecodeChunked(wire, header_end + 4, message.body, consumed);
+    if (!complete.ok()) return complete.status();
+    if (!*complete || header_end + 4 + consumed != wire.size()) {
+      return Status::InvalidArgument("chunked body truncated or trailing");
+    }
+    Dechunk(message.headers, message.body.size());
+    return message;
+  }
+
+  size_t body_length = 0;
+  DYNAPROX_ASSIGN_OR_RETURN(body_length,
+                            DeclaredBodyLength(message.headers));
+  std::string_view body = wire.substr(header_end + 4);
+  if (body.size() != body_length) {
+    return Status::InvalidArgument("body length mismatch: declared " +
+                                   std::to_string(body_length) + ", have " +
+                                   std::to_string(body.size()));
+  }
+  message.body = std::string(body);
+  return message;
+}
+
+}  // namespace
+
+Result<Request> ParseRequest(std::string_view wire) {
+  return ParseComplete<Request>(wire, ParseRequestHead);
+}
+
+Result<Response> ParseResponse(std::string_view wire) {
+  return ParseComplete<Response>(wire, ParseResponseHead);
+}
+
+template <typename Message>
+void MessageReader<Message>::Feed(std::string_view bytes) {
+  buffer_.append(bytes.data(), bytes.size());
+}
+
+template <typename Message>
+std::optional<Result<Message>> MessageReader<Message>::Next() {
+  if (failed_) {
+    return Result<Message>(Status::Corruption("reader in failed state"));
+  }
+  size_t header_end = FindHeaderEnd(buffer_);
+  if (header_end == std::string::npos) return std::nullopt;
+
+  Message message;
+  Status head_status;
+  if constexpr (std::is_same_v<Message, Request>) {
+    head_status = ParseRequestHead(
+        std::string_view(buffer_).substr(0, header_end), message);
+  } else {
+    head_status = ParseResponseHead(
+        std::string_view(buffer_).substr(0, header_end), message);
+  }
+  if (!head_status.ok()) {
+    failed_ = true;
+    return Result<Message>(head_status);
+  }
+  if (IsChunked(message.headers)) {
+    size_t consumed = 0;
+    Result<bool> complete =
+        TryDecodeChunked(buffer_, header_end + 4, message.body, consumed);
+    if (!complete.ok()) {
+      failed_ = true;
+      return Result<Message>(complete.status());
+    }
+    if (!*complete) return std::nullopt;  // Await more bytes.
+    Dechunk(message.headers, message.body.size());
+    buffer_.erase(0, header_end + 4 + consumed);
+    return Result<Message>(std::move(message));
+  }
+
+  Result<size_t> body_length = DeclaredBodyLength(message.headers);
+  if (!body_length.ok()) {
+    failed_ = true;
+    return Result<Message>(body_length.status());
+  }
+  size_t total = header_end + 4 + *body_length;
+  if (buffer_.size() < total) return std::nullopt;
+  message.body = buffer_.substr(header_end + 4, *body_length);
+  buffer_.erase(0, total);
+  return Result<Message>(std::move(message));
+}
+
+std::string SerializeChunked(const Response& response, size_t chunk_size) {
+  if (chunk_size == 0) chunk_size = 4096;
+  std::string out;
+  out += response.version;
+  out += ' ';
+  out += std::to_string(response.status_code);
+  out += ' ';
+  out += response.reason;
+  out += "\r\n";
+  for (const auto& [name, value] : response.headers.fields()) {
+    if (EqualsIgnoreCase(name, "Content-Length") ||
+        EqualsIgnoreCase(name, "Transfer-Encoding")) {
+      continue;
+    }
+    out += name;
+    out += ": ";
+    out += value;
+    out += "\r\n";
+  }
+  out += "Transfer-Encoding: chunked\r\n\r\n";
+  std::string_view body(response.body);
+  for (size_t offset = 0; offset < body.size(); offset += chunk_size) {
+    std::string_view chunk = body.substr(offset, chunk_size);
+    out += ToHex(chunk.size());
+    out += "\r\n";
+    out += chunk;
+    out += "\r\n";
+  }
+  out += "0\r\n\r\n";
+  return out;
+}
+
+template class MessageReader<Request>;
+template class MessageReader<Response>;
+
+}  // namespace dynaprox::http

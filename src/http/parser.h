@@ -1,0 +1,60 @@
+#ifndef DYNAPROX_HTTP_PARSER_H_
+#define DYNAPROX_HTTP_PARSER_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "http/message.h"
+
+namespace dynaprox::http {
+
+// Parses a complete request/response from `wire`. Fails with
+// InvalidArgument on malformed input or if bytes remain unconsumed.
+// "Transfer-Encoding: chunked" bodies are decoded: the parsed message
+// carries the joined payload with Content-Length set and the
+// Transfer-Encoding header removed.
+Result<Request> ParseRequest(std::string_view wire);
+Result<Response> ParseResponse(std::string_view wire);
+
+// Serializes `response` with chunked transfer encoding, splitting the body
+// into chunks of at most `chunk_size` bytes. (Requests stay
+// Content-Length-framed; chunking is a response-streaming feature.)
+std::string SerializeChunked(const Response& response, size_t chunk_size);
+
+// Incremental reader for a byte stream carrying back-to-back HTTP messages
+// (framing via Content-Length; chunked encoding is not used by dynaprox).
+//
+//   RequestReader reader;
+//   reader.Feed(bytes);
+//   while (auto req = reader.Next()) Handle(**req);  // Result<...> inside
+//
+// Next() returns std::nullopt when more bytes are needed; a Result carrying
+// an error Status when the stream is corrupt (the reader then stays in the
+// error state); and a parsed message otherwise.
+template <typename Message>
+class MessageReader {
+ public:
+  // Appends raw bytes received from the transport.
+  void Feed(std::string_view bytes);
+
+  // Attempts to extract the next complete message. See class comment.
+  std::optional<Result<Message>> Next();
+
+  // Bytes currently buffered and not yet consumed by Next().
+  size_t buffered_bytes() const { return buffer_.size(); }
+
+  bool failed() const { return failed_; }
+
+ private:
+  std::string buffer_;
+  bool failed_ = false;
+};
+
+using RequestReader = MessageReader<Request>;
+using ResponseReader = MessageReader<Response>;
+
+}  // namespace dynaprox::http
+
+#endif  // DYNAPROX_HTTP_PARSER_H_

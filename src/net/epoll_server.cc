@@ -1,0 +1,289 @@
+#include "net/epoll_server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <map>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "http/parser.h"
+
+namespace dynaprox::net {
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IoError(std::string(what) + ": " + std::strerror(errno));
+}
+
+Status SetNonBlocking(int fd) {
+  int fl = ::fcntl(fd, F_GETFL, 0);
+  if (fl < 0 || ::fcntl(fd, F_SETFL, fl | O_NONBLOCK) < 0) {
+    return Errno("fcntl");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+// One event loop: owns an epoll instance and every connection accepted on
+// it. Single-threaded by construction.
+class EpollServer::Worker {
+ public:
+  Worker(EpollServer* server, int listen_fd)
+      : server_(server), listen_fd_(listen_fd) {}
+
+  ~Worker() {
+    for (auto& [fd, conn] : connections_) ::close(fd);
+    if (stop_fd_ >= 0) ::close(stop_fd_);
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  }
+
+  Status Init() {
+    epoll_fd_ = ::epoll_create1(0);
+    if (epoll_fd_ < 0) return Errno("epoll_create1");
+    stop_fd_ = ::eventfd(0, EFD_NONBLOCK);
+    if (stop_fd_ < 0) return Errno("eventfd");
+
+    epoll_event listen_event{};
+    listen_event.events = EPOLLIN | EPOLLEXCLUSIVE;
+    listen_event.data.fd = listen_fd_;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &listen_event) <
+        0) {
+      return Errno("epoll_ctl(listen)");
+    }
+    epoll_event stop_event{};
+    stop_event.events = EPOLLIN;
+    stop_event.data.fd = stop_fd_;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, stop_fd_, &stop_event) < 0) {
+      return Errno("epoll_ctl(stop)");
+    }
+    return Status::Ok();
+  }
+
+  void RequestStop() {
+    uint64_t one = 1;
+    ssize_t n = ::write(stop_fd_, &one, sizeof(one));
+    (void)n;
+  }
+
+  void Run() {
+    constexpr int kMaxEvents = 64;
+    epoll_event events[kMaxEvents];
+    for (;;) {
+      int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, -1);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      for (int i = 0; i < n; ++i) {
+        int fd = events[i].data.fd;
+        if (fd == stop_fd_) return;
+        if (fd == listen_fd_) {
+          AcceptReady();
+        } else {
+          OnConnectionEvent(fd, events[i].events);
+        }
+      }
+    }
+  }
+
+ private:
+  struct Connection {
+    http::RequestReader reader;
+    std::string out;          // Bytes pending write.
+    size_t out_offset = 0;
+    bool want_write = false;  // EPOLLOUT armed.
+    bool close_after_flush = false;
+  };
+
+  void AcceptReady() {
+    for (;;) {
+      int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK);
+      if (fd < 0) {
+        // EAGAIN: drained. Anything else: transient; stop accepting now.
+        return;
+      }
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      epoll_event event{};
+      event.events = EPOLLIN;
+      event.data.fd = fd;
+      if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &event) < 0) {
+        ::close(fd);
+        continue;
+      }
+      connections_[fd];  // Default-construct state.
+      server_->accepted_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  void CloseConnection(int fd) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+    ::close(fd);
+    connections_.erase(fd);
+  }
+
+  // Flushes as much of conn.out as the socket accepts; rearms EPOLLOUT as
+  // needed. Returns false if the connection died.
+  bool Flush(int fd, Connection& conn) {
+    while (conn.out_offset < conn.out.size()) {
+      ssize_t n = ::send(fd, conn.out.data() + conn.out_offset,
+                         conn.out.size() - conn.out_offset, MSG_NOSIGNAL);
+      if (n > 0) {
+        conn.out_offset += static_cast<size_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        if (!conn.want_write) {
+          epoll_event event{};
+          event.events = EPOLLIN | EPOLLOUT;
+          event.data.fd = fd;
+          ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &event);
+          conn.want_write = true;
+        }
+        return true;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      CloseConnection(fd);
+      return false;
+    }
+    // Fully flushed.
+    conn.out.clear();
+    conn.out_offset = 0;
+    if (conn.want_write) {
+      epoll_event event{};
+      event.events = EPOLLIN;
+      event.data.fd = fd;
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &event);
+      conn.want_write = false;
+    }
+    if (conn.close_after_flush) {
+      CloseConnection(fd);
+      return false;
+    }
+    return true;
+  }
+
+  void OnConnectionEvent(int fd, uint32_t events) {
+    auto it = connections_.find(fd);
+    if (it == connections_.end()) return;
+    Connection& conn = it->second;
+
+    if (events & (EPOLLHUP | EPOLLERR)) {
+      CloseConnection(fd);
+      return;
+    }
+    if (events & EPOLLOUT) {
+      if (!Flush(fd, conn)) return;
+    }
+    if ((events & EPOLLIN) == 0) return;
+
+    char buf[16 * 1024];
+    for (;;) {
+      ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n > 0) {
+        conn.reader.Feed(std::string_view(buf, static_cast<size_t>(n)));
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (n < 0 && errno == EINTR) continue;
+      CloseConnection(fd);  // EOF or hard error.
+      return;
+    }
+
+    // Dispatch every complete request (pipelining supported).
+    while (auto next = conn.reader.Next()) {
+      if (!next->ok()) {
+        http::Response bad = http::Response::MakeError(
+            400, "Bad Request", next->status().ToString());
+        conn.out += bad.Serialize();
+        conn.close_after_flush = true;
+        break;
+      }
+      const http::Request& request = next->value();
+      http::Response response = server_->handler_(request);
+      if (auto connection = request.headers.Get("Connection");
+          connection.has_value() &&
+          EqualsIgnoreCase(*connection, "close")) {
+        response.headers.Set("Connection", "close");
+        conn.close_after_flush = true;
+      }
+      conn.out += response.Serialize();
+      if (conn.close_after_flush) break;
+    }
+    Flush(fd, conn);
+  }
+
+  EpollServer* server_;
+  int listen_fd_;
+  int epoll_fd_ = -1;
+  int stop_fd_ = -1;
+  std::map<int, Connection> connections_;
+};
+
+EpollServer::EpollServer(Handler handler, uint16_t port, int num_workers)
+    : handler_(std::move(handler)),
+      port_(port),
+      requested_workers_(num_workers < 1 ? 1 : num_workers) {}
+
+EpollServer::~EpollServer() { Stop(); }
+
+Status EpollServer::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  if (listen_fd_ < 0) return Errno("socket");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port_);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return Errno("bind");
+  }
+  if (::listen(listen_fd_, 256) < 0) return Errno("listen");
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) <
+      0) {
+    return Errno("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+  DYNAPROX_RETURN_IF_ERROR(SetNonBlocking(listen_fd_));
+
+  running_.store(true);
+  for (int i = 0; i < requested_workers_; ++i) {
+    auto worker = std::make_unique<Worker>(this, listen_fd_);
+    DYNAPROX_RETURN_IF_ERROR(worker->Init());
+    workers_.push_back(std::move(worker));
+  }
+  for (auto& worker : workers_) {
+    threads_.emplace_back([w = worker.get()] { w->Run(); });
+  }
+  return Status::Ok();
+}
+
+void EpollServer::Stop() {
+  if (!running_.exchange(false)) return;
+  for (auto& worker : workers_) worker->RequestStop();
+  for (std::thread& thread : threads_) {
+    if (thread.joinable()) thread.join();
+  }
+  threads_.clear();
+  workers_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+}  // namespace dynaprox::net

@@ -1,0 +1,62 @@
+#ifndef DYNAPROX_NET_EPOLL_SERVER_H_
+#define DYNAPROX_NET_EPOLL_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "net/transport.h"
+
+namespace dynaprox::net {
+
+// Event-driven (epoll, non-blocking) HTTP server: the nginx-style
+// alternative to TcpServer's thread-per-connection model. `num_workers`
+// event loops share the listening socket via EPOLLEXCLUSIVE; each loop
+// owns its connections outright, so no per-connection locking is needed.
+//
+// The handler runs inline on the event loop. That is the right trade for
+// origin-style handlers (fragment generation is CPU work); a handler that
+// blocks on its own upstream I/O (e.g. DpcProxy over a slow origin) stalls
+// one loop — size num_workers accordingly or use TcpServer there.
+class EpollServer {
+ public:
+  // `port` 0 picks an ephemeral port (see port() after Start()).
+  EpollServer(Handler handler, uint16_t port = 0, int num_workers = 1);
+  ~EpollServer();
+
+  EpollServer(const EpollServer&) = delete;
+  EpollServer& operator=(const EpollServer&) = delete;
+
+  // Binds, listens on 127.0.0.1, and spawns the worker loops.
+  Status Start();
+
+  // Stops all loops, closes all connections, joins. Idempotent.
+  void Stop();
+
+  uint16_t port() const { return port_; }
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  // Connections accepted over the server's lifetime (all workers).
+  uint64_t connections_accepted() const {
+    return accepted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  class Worker;
+
+  Handler handler_;
+  uint16_t port_;
+  int requested_workers_;
+  int listen_fd_ = -1;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> accepted_{0};
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace dynaprox::net
+
+#endif  // DYNAPROX_NET_EPOLL_SERVER_H_

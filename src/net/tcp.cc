@@ -1,0 +1,237 @@
+#include "net/tcp.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "http/parser.h"
+
+namespace dynaprox::net {
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IoError(std::string(what) + ": " + std::strerror(errno));
+}
+
+// Writes all of `data` to `fd`, retrying on partial writes and EINTR.
+Status WriteAll(int fd, std::string_view data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+TcpServer::TcpServer(Handler handler, uint16_t port)
+    : handler_(std::move(handler)), port_(port) {}
+
+TcpServer::~TcpServer() { Stop(); }
+
+Status TcpServer::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Errno("socket");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port_);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return Errno("bind");
+  }
+  if (::listen(listen_fd_, 64) < 0) return Errno("listen");
+
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) <
+      0) {
+    return Errno("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+
+  running_.store(true);
+  accept_thread_ = std::thread(&TcpServer::AcceptLoop, this);
+  return Status::Ok();
+}
+
+void TcpServer::Stop() {
+  if (!running_.exchange(false)) return;
+  // Shut the listening socket down to unblock accept().
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    threads.swap(connection_threads_);
+    // Unblock connection threads parked in recv() on live keep-alive
+    // connections; they observe EOF and exit.
+    for (int fd : active_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+  active_fds_.clear();
+}
+
+void TcpServer::AcceptLoop() {
+  while (running_.load()) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // Listener closed by Stop().
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_.load()) {
+      ::close(fd);
+      break;
+    }
+    active_fds_.push_back(fd);
+    connection_threads_.emplace_back(&TcpServer::ServeConnection, this, fd);
+  }
+}
+
+void TcpServer::ServeConnection(int fd) {
+  http::RequestReader reader;
+  char buf[16 * 1024];
+  bool keep_alive = true;
+  while (keep_alive && running_.load()) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;  // Peer closed or error.
+    }
+    reader.Feed(std::string_view(buf, static_cast<size_t>(n)));
+    while (auto next = reader.Next()) {
+      if (!next->ok()) {
+        http::Response bad = http::Response::MakeError(
+            400, "Bad Request", next->status().ToString());
+        (void)WriteAll(fd, bad.Serialize());
+        keep_alive = false;
+        break;
+      }
+      const http::Request& request = next->value();
+      http::Response response = handler_(request);
+      if (auto connection = request.headers.Get("Connection");
+          connection.has_value() && EqualsIgnoreCase(*connection, "close")) {
+        keep_alive = false;
+        response.headers.Set("Connection", "close");
+      }
+      if (!WriteAll(fd, response.Serialize()).ok()) {
+        keep_alive = false;
+        break;
+      }
+    }
+  }
+  {
+    // Deregister before closing so Stop() never shuts down a reused fd.
+    std::lock_guard<std::mutex> lock(mu_);
+    active_fds_.erase(
+        std::remove(active_fds_.begin(), active_fds_.end(), fd),
+        active_fds_.end());
+  }
+  ::close(fd);
+}
+
+TcpClientTransport::TcpClientTransport(std::string host, uint16_t port,
+                                       TcpClientOptions options)
+    : host_(std::move(host)), port_(port), options_(options) {}
+
+TcpClientTransport::~TcpClientTransport() { CloseConnection(); }
+
+Status TcpClientTransport::EnsureConnected() {
+  if (fd_ >= 0) return Status::Ok();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return Errno("socket");
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (options_.io_timeout_micros > 0) {
+    timeval tv{};
+    tv.tv_sec = options_.io_timeout_micros / kMicrosPerSecond;
+    tv.tv_usec = options_.io_timeout_micros % kMicrosPerSecond;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port_);
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    CloseConnection();
+    return Status::InvalidArgument("bad host address: " + host_);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status status = Errno("connect");
+    CloseConnection();
+    return status;
+  }
+  return Status::Ok();
+}
+
+void TcpClientTransport::CloseConnection() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<http::Response> TcpClientTransport::RoundTrip(
+    const http::Request& request) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    DYNAPROX_RETURN_IF_ERROR(EnsureConnected());
+    Status write_status = WriteAll(fd_, request.Serialize());
+    if (!write_status.ok()) {
+      // Stale keep-alive connection: reconnect once.
+      CloseConnection();
+      continue;
+    }
+    http::ResponseReader reader;
+    char buf[16 * 1024];
+    for (;;) {
+      if (auto next = reader.Next()) {
+        if (!next->ok()) {
+          CloseConnection();
+          return next->status();
+        }
+        return std::move(*next);
+      }
+      ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        // SO_RCVTIMEO elapsed: fail fast, don't retry into another stall.
+        CloseConnection();
+        return Status::IoError("receive timeout");
+      }
+      if (n <= 0) {
+        CloseConnection();
+        if (reader.buffered_bytes() == 0 && attempt == 0) {
+          break;  // Server closed an idle keep-alive connection; retry.
+        }
+        return Status::IoError("connection closed mid-response");
+      }
+      reader.Feed(std::string_view(buf, static_cast<size_t>(n)));
+    }
+  }
+  return Status::IoError("could not complete round trip");
+}
+
+}  // namespace dynaprox::net

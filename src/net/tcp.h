@@ -1,0 +1,88 @@
+#ifndef DYNAPROX_NET_TCP_H_
+#define DYNAPROX_NET_TCP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "net/transport.h"
+
+namespace dynaprox::net {
+
+// Blocking TCP server with one thread per connection and HTTP/1.1
+// keep-alive. Suitable for the examples and integration tests; the
+// deterministic simulation uses DirectTransport instead.
+class TcpServer {
+ public:
+  // `port` 0 picks an ephemeral port (see port() after Start()).
+  TcpServer(Handler handler, uint16_t port = 0);
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  // Binds, listens on 127.0.0.1, and spawns the accept thread.
+  Status Start();
+
+  // Stops accepting, closes all connections, joins all threads. Idempotent.
+  void Stop();
+
+  // Bound port; valid after a successful Start().
+  uint16_t port() const { return port_; }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  Handler handler_;
+  uint16_t port_;
+  int listen_fd_ = -1;
+  std::atomic<bool> running_{false};
+  std::thread accept_thread_;
+  std::mutex mu_;
+  std::vector<std::thread> connection_threads_;
+  std::vector<int> active_fds_;  // Guarded by mu_; shut down in Stop().
+};
+
+struct TcpClientOptions {
+  // Per-operation send/receive timeout; 0 blocks indefinitely. A timeout
+  // surfaces as IoError and drops the connection (the next round trip
+  // reconnects).
+  MicroTime io_timeout_micros = 0;
+};
+
+// Blocking TCP client transport. Opens one keep-alive connection lazily
+// and reconnects if the server closed it. Thread-safe by serializing round
+// trips on the single connection; use one transport per thread (or a
+// pool) when upstream parallelism matters.
+class TcpClientTransport : public Transport {
+ public:
+  TcpClientTransport(std::string host, uint16_t port,
+                     TcpClientOptions options = {});
+  ~TcpClientTransport() override;
+
+  TcpClientTransport(const TcpClientTransport&) = delete;
+  TcpClientTransport& operator=(const TcpClientTransport&) = delete;
+
+  Result<http::Response> RoundTrip(const http::Request& request) override;
+
+ private:
+  Status EnsureConnected();
+  void CloseConnection();
+
+  std::string host_;
+  uint16_t port_;
+  TcpClientOptions options_;
+  std::mutex mu_;
+  int fd_ = -1;  // Guarded by mu_.
+};
+
+}  // namespace dynaprox::net
+
+#endif  // DYNAPROX_NET_TCP_H_

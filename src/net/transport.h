@@ -1,0 +1,70 @@
+#ifndef DYNAPROX_NET_TRANSPORT_H_
+#define DYNAPROX_NET_TRANSPORT_H_
+
+#include <functional>
+#include <memory>
+
+#include "common/result.h"
+#include "http/message.h"
+#include "net/byte_meter.h"
+
+namespace dynaprox::net {
+
+// A request handler: the server side of a transport endpoint.
+using Handler = std::function<http::Response(const http::Request&)>;
+
+// Client view of a request/response channel. Implementations: in-process
+// direct dispatch (deterministic simulation) and TCP (real deployment).
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  // Sends `request` and waits for the response.
+  virtual Result<http::Response> RoundTrip(const http::Request& request) = 0;
+};
+
+// In-process transport that invokes a Handler directly. Used by the
+// simulation testbed so byte accounting is exact and runs are deterministic.
+class DirectTransport : public Transport {
+ public:
+  explicit DirectTransport(Handler handler) : handler_(std::move(handler)) {}
+
+  Result<http::Response> RoundTrip(const http::Request& request) override {
+    return handler_(request);
+  }
+
+ private:
+  Handler handler_;
+};
+
+// Decorator that meters the serialized size of every request and response
+// crossing the wrapped transport. `request_meter`/`response_meter` may be
+// null; metering then is skipped for that direction.
+class MeteredTransport : public Transport {
+ public:
+  MeteredTransport(std::unique_ptr<Transport> inner, ByteMeter* request_meter,
+                   ByteMeter* response_meter)
+      : inner_(std::move(inner)),
+        request_meter_(request_meter),
+        response_meter_(response_meter) {}
+
+  Result<http::Response> RoundTrip(const http::Request& request) override {
+    if (request_meter_ != nullptr) {
+      request_meter_->RecordMessage(request.SerializedSize());
+    }
+    Result<http::Response> response = inner_->RoundTrip(request);
+    if (response.ok() && response_meter_ != nullptr) {
+      response_meter_->RecordMessage(response->SerializedSize());
+    }
+    return response;
+  }
+
+ private:
+  std::unique_ptr<Transport> inner_;
+  ByteMeter* request_meter_;
+  ByteMeter* response_meter_;
+};
+
+}  // namespace dynaprox::net
+
+#endif  // DYNAPROX_NET_TRANSPORT_H_

@@ -1,0 +1,70 @@
+#include "sim/experiment.h"
+
+namespace dynaprox::sim {
+namespace {
+
+// Runs one configuration and returns the measurement over the window.
+Result<Measurement> RunOne(const ExperimentConfig& config, bool with_cache) {
+  TestbedConfig testbed_config;
+  testbed_config.params = config.params;
+  testbed_config.with_cache = with_cache;
+  testbed_config.seed = config.seed;
+  testbed_config.link_model = config.link_model;
+  testbed_config.replacement_policy = config.replacement_policy;
+
+  std::unique_ptr<Testbed> testbed;
+  DYNAPROX_ASSIGN_OR_RETURN(testbed, Testbed::Create(testbed_config));
+  if (config.warmup_requests > 0) testbed->Run(config.warmup_requests);
+  testbed->BeginMeasurement();
+  workload::DriverStats driver = testbed->Run(config.measured_requests);
+  if (driver.transport_errors > 0 || driver.error_responses > 0) {
+    return Status::Internal(
+        "experiment saw failures: transport=" +
+        std::to_string(driver.transport_errors) +
+        " http=" + std::to_string(driver.error_responses));
+  }
+  return testbed->Collect();
+}
+
+}  // namespace
+
+Result<ExperimentResult> RunBytesExperiment(const ExperimentConfig& config) {
+  Measurement no_cache;
+  DYNAPROX_ASSIGN_OR_RETURN(no_cache, RunOne(config, /*with_cache=*/false));
+  Measurement with_cache;
+  DYNAPROX_ASSIGN_OR_RETURN(with_cache, RunOne(config, /*with_cache=*/true));
+
+  analytical::ModelParams scaled = config.params;
+  scaled.requests = static_cast<double>(config.measured_requests);
+
+  ExperimentResult result;
+  result.measured_requests = config.measured_requests;
+  result.analytic_bytes_nc = analytical::ExpectedBytesNoCache(scaled);
+  result.analytic_bytes_c = analytical::ExpectedBytesWithCache(scaled);
+  result.analytic_ratio = analytical::BytesRatio(scaled);
+  result.analytic_savings_percent = analytical::SavingsPercent(scaled);
+
+  result.measured_payload_nc =
+      static_cast<double>(no_cache.response_payload_bytes);
+  result.measured_payload_c =
+      static_cast<double>(with_cache.response_payload_bytes);
+  result.measured_payload_ratio =
+      result.measured_payload_c / result.measured_payload_nc;
+  result.measured_payload_savings_percent =
+      (result.measured_payload_nc - result.measured_payload_c) /
+      result.measured_payload_nc * 100.0;
+
+  result.measured_wire_nc = static_cast<double>(no_cache.response_wire_bytes);
+  result.measured_wire_c =
+      static_cast<double>(with_cache.response_wire_bytes);
+  result.measured_wire_ratio =
+      result.measured_wire_c / result.measured_wire_nc;
+  result.measured_wire_savings_percent =
+      (result.measured_wire_nc - result.measured_wire_c) /
+      result.measured_wire_nc * 100.0;
+
+  result.realized_hit_ratio = with_cache.RealizedHitRatio();
+  return result;
+}
+
+}  // namespace dynaprox::sim

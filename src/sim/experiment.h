@@ -1,0 +1,55 @@
+#ifndef DYNAPROX_SIM_EXPERIMENT_H_
+#define DYNAPROX_SIM_EXPERIMENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "analytical/model.h"
+#include "common/result.h"
+#include "net/byte_meter.h"
+#include "sim/testbed.h"
+
+namespace dynaprox::sim {
+
+// Settings for one experimental point (one x-value of a figure).
+struct ExperimentConfig {
+  analytical::ModelParams params;
+  uint64_t warmup_requests = 2'000;
+  uint64_t measured_requests = 20'000;
+  uint64_t seed = 42;
+  net::ProtocolModel link_model;  // Protocol overhead the "Sniffer" sees.
+  std::string replacement_policy = "lru";
+};
+
+// Analytical predictions and measured byte counts for one point.
+struct ExperimentResult {
+  // Section 5 closed forms.
+  double analytic_bytes_nc = 0;
+  double analytic_bytes_c = 0;
+  double analytic_ratio = 0;
+  double analytic_savings_percent = 0;
+
+  // Measured on the origin link (application payload).
+  double measured_payload_nc = 0;
+  double measured_payload_c = 0;
+  double measured_payload_ratio = 0;
+  double measured_payload_savings_percent = 0;
+
+  // Measured including protocol headers (what the paper's Sniffer saw).
+  double measured_wire_nc = 0;
+  double measured_wire_c = 0;
+  double measured_wire_ratio = 0;
+  double measured_wire_savings_percent = 0;
+
+  double realized_hit_ratio = 0;
+  uint64_t measured_requests = 0;
+};
+
+// Runs the no-cache and with-cache testbeds on identical workloads and
+// returns analytical-vs-measured byte counts. The analytic B values are
+// scaled to `measured_requests` so columns are directly comparable.
+Result<ExperimentResult> RunBytesExperiment(const ExperimentConfig& config);
+
+}  // namespace dynaprox::sim
+
+#endif  // DYNAPROX_SIM_EXPERIMENT_H_

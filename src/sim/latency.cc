@@ -1,0 +1,111 @@
+#include "sim/latency.h"
+
+#include <cmath>
+
+namespace dynaprox::sim {
+namespace {
+
+double TransferMs(double bytes, double bytes_per_ms) {
+  return bytes_per_ms <= 0 ? 0 : bytes / bytes_per_ms;
+}
+
+double ScanMs(const LatencyParams& latency, double bytes) {
+  return bytes / 1000.0 * latency.scan_ms_per_kilobyte;
+}
+
+// Latency shared by both configurations: WAN/LAN round trips and the WAN
+// delivery of the final (always full-size) page.
+double CommonMs(const LatencyParams& latency,
+                const analytical::ModelParams& params) {
+  double page_bytes = analytical::ResponseSizeNoCache(params);
+  return latency.wan_rtt_ms + latency.lan_rtt_ms +
+         latency.script_overhead_ms +
+         TransferMs(page_bytes, latency.wan_bytes_per_ms);
+}
+
+double Exponential(Rng& rng, double mean) {
+  double u = rng.NextDouble();
+  return -mean * std::log1p(-u);
+}
+
+}  // namespace
+
+double ExpectedResponseTimeNoCacheMs(const LatencyParams& latency,
+                                     const analytical::ModelParams& params) {
+  double page_bytes = analytical::ResponseSizeNoCache(params);
+  return CommonMs(latency, params) +
+         params.fragments_per_page * latency.fragment_generation_ms +
+         TransferMs(page_bytes, latency.lan_bytes_per_ms) +
+         ScanMs(latency, page_bytes);
+}
+
+double ExpectedResponseTimeWithCacheMs(
+    const LatencyParams& latency, const analytical::ModelParams& params) {
+  double template_bytes = analytical::ResponseSizeWithCache(params);
+  double per_fragment_generation =
+      params.cacheability * (params.hit_ratio * latency.fragment_tag_emit_ms +
+                             (1 - params.hit_ratio) *
+                                 latency.fragment_generation_ms) +
+      (1 - params.cacheability) * latency.fragment_generation_ms;
+  return CommonMs(latency, params) +
+         params.fragments_per_page *
+             (per_fragment_generation + latency.assembly_ms_per_fragment) +
+         TransferMs(template_bytes, latency.lan_bytes_per_ms) +
+         // Scanned twice: firewall + DPC template scan (z ~= y).
+         2.0 * ScanMs(latency, template_bytes);
+}
+
+double ExpectedSpeedup(const LatencyParams& latency,
+                       const analytical::ModelParams& params) {
+  return ExpectedResponseTimeNoCacheMs(latency, params) /
+         ExpectedResponseTimeWithCacheMs(latency, params);
+}
+
+LatencyDistributions SampleResponseTimes(
+    const LatencyParams& latency, const analytical::ModelParams& params,
+    int requests, uint64_t seed) {
+  LatencyDistributions out;
+  Rng rng(seed);
+  analytical::SiteSpec site = analytical::SiteSpec::Uniform(params);
+  double common = CommonMs(latency, params);
+
+  for (int i = 0; i < requests; ++i) {
+    const analytical::PageSpec& page =
+        site.pages[static_cast<size_t>(i) % site.pages.size()];
+
+    auto generation_ms = [&]() {
+      return latency.stochastic
+                 ? Exponential(rng, latency.fragment_generation_ms)
+                 : latency.fragment_generation_ms;
+    };
+
+    // No-cache request: every fragment generated, full page on the LAN.
+    double page_bytes = analytical::PageSizeNoCache(page, site);
+    double no_cache = common + TransferMs(page_bytes, latency.lan_bytes_per_ms) +
+                      ScanMs(latency, page_bytes);
+    // Cached request: cacheable fragments hit with probability h.
+    double template_bytes = site.header_size;
+    double with_cache =
+        common + params.fragments_per_page * latency.assembly_ms_per_fragment;
+    for (const analytical::FragmentSpec& fragment : page.fragments) {
+      double gen = generation_ms();
+      no_cache += gen;
+      if (fragment.cacheable && rng.NextBool(params.hit_ratio)) {
+        with_cache += latency.fragment_tag_emit_ms;
+        template_bytes += site.tag_size;
+      } else {
+        with_cache += fragment.cacheable ? generation_ms() : gen;
+        template_bytes += fragment.size +
+                          (fragment.cacheable ? 2 * site.tag_size : 0);
+      }
+    }
+    with_cache += TransferMs(template_bytes, latency.lan_bytes_per_ms) +
+                  2.0 * ScanMs(latency, template_bytes);
+
+    out.no_cache_ms.Record(no_cache);
+    out.with_cache_ms.Record(with_cache);
+  }
+  return out;
+}
+
+}  // namespace dynaprox::sim

@@ -1,0 +1,77 @@
+#ifndef DYNAPROX_SIM_LATENCY_H_
+#define DYNAPROX_SIM_LATENCY_H_
+
+#include "analytical/model.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+
+namespace dynaprox::sim {
+
+// End-to-end response-time model for the deployment claim (Sections 1/8:
+// "order-of-magnitude reductions in ... end-to-end response times").
+//
+// The paper's Section 2.2 decomposes latency into network latency and
+// server latency (session processing + content generation); generation
+// itself spans presentation/business-logic/data-access tiers with
+// cross-tier communication. This model prices each component:
+//
+//   no cache : WAN RTT + firewall scan + script overhead
+//              + m * T_gen + transfer(page, LAN) + transfer(page, WAN)
+//   with DPC : WAN RTT + firewall scan + 2nd scan at the DPC + assembly
+//              + script overhead + misses * T_gen + hits * T_tag
+//              + transfer(template, LAN) + transfer(page, WAN)
+//
+// In reverse-proxy mode the WAN leg is identical in both cases — the
+// response-time win comes from skipping content generation (T_gen covers
+// the CMS/DBMS/formatting chain of Figure 1) and shrinking the bytes
+// pushed through the site infrastructure. Defaults are sized to the
+// paper's era (multi-tier generation tens of ms per fragment; see
+// DESIGN.md for the calibration argument).
+struct LatencyParams {
+  // --- network ---
+  double wan_rtt_ms = 40.0;
+  double wan_bytes_per_ms = 250.0;    // ~2 Mb/s consumer link.
+  double lan_rtt_ms = 0.4;            // Site infrastructure hop.
+  double lan_bytes_per_ms = 12'500.0; // 100 Mb/s LAN.
+
+  // --- site infrastructure ---
+  // Firewall scan cost y per byte; the DPC template scan costs the same
+  // (Section 5's z ~= y assumption).
+  double scan_ms_per_kilobyte = 0.002;
+  // Splicing a cached fragment into the page at the DPC.
+  double assembly_ms_per_fragment = 0.02;
+
+  // --- content generation (per Figure 1's nested invocation chain) ---
+  double script_overhead_ms = 2.0;    // Script dispatch + session work.
+  double fragment_generation_ms = 25.0;  // CMS + JDBC + DBMS + formatting.
+  double fragment_tag_emit_ms = 0.01;    // Hit path: directory lookup+tag.
+
+  // Randomness: generation times are exponential around their mean when
+  // sampled (heavy upper tail, like real DB-backed generation).
+  bool stochastic = true;
+};
+
+// Closed-form expected response time (milliseconds) for one page request.
+double ExpectedResponseTimeNoCacheMs(const LatencyParams& latency,
+                                     const analytical::ModelParams& params);
+double ExpectedResponseTimeWithCacheMs(const LatencyParams& latency,
+                                       const analytical::ModelParams& params);
+
+// Expected speedup factor (no-cache / with-cache).
+double ExpectedSpeedup(const LatencyParams& latency,
+                       const analytical::ModelParams& params);
+
+// Samples `requests` response times into histograms (hit outcomes are
+// Bernoulli(h) per cacheable fragment; generation times exponential when
+// `latency.stochastic`). Useful for percentile comparisons.
+struct LatencyDistributions {
+  Histogram no_cache_ms;
+  Histogram with_cache_ms;
+};
+LatencyDistributions SampleResponseTimes(
+    const LatencyParams& latency, const analytical::ModelParams& params,
+    int requests, uint64_t seed);
+
+}  // namespace dynaprox::sim
+
+#endif  // DYNAPROX_SIM_LATENCY_H_

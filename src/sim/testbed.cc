@@ -1,0 +1,144 @@
+#include "sim/testbed.h"
+
+#include <algorithm>
+
+namespace dynaprox::sim {
+
+Result<std::unique_ptr<Testbed>> Testbed::Create(TestbedConfig config) {
+  std::unique_ptr<Testbed> testbed(new Testbed(std::move(config)));
+  DYNAPROX_RETURN_IF_ERROR(testbed->Init());
+  return testbed;
+}
+
+Testbed::Testbed(TestbedConfig config)
+    : config_(std::move(config)),
+      request_meter_(config_.link_model),
+      response_meter_(config_.link_model) {}
+
+Status Testbed::Init() {
+  const analytical::ModelParams& params = config_.params;
+  site_ = std::make_unique<workload::SyntheticSite>(
+      params, config_.seed, &repository_, &registry_);
+
+  if (config_.with_cache) {
+    bem::BemOptions bem_options;
+    bem_options.capacity = config_.capacity;
+    if (bem_options.capacity == 0) {
+      // Working set = one live version per cacheable fragment slot; leave
+      // generous headroom so replacement only reclaims dead versions.
+      uint64_t slots = static_cast<uint64_t>(params.num_pages) *
+                       static_cast<uint64_t>(params.fragments_per_page);
+      bem_options.capacity =
+          static_cast<bem::DpcKey>(std::max<uint64_t>(256, slots * 8));
+    }
+    bem_options.replacement_policy = config_.replacement_policy;
+    DYNAPROX_ASSIGN_OR_RETURN(monitor_,
+                              bem::BackEndMonitor::Create(bem_options));
+    monitor_->AttachRepository(&repository_);
+  }
+
+  appserver::OriginOptions origin_options;
+  origin_options.pad_headers_to_bytes =
+      static_cast<size_t>(params.header_size);
+  origin_ = std::make_unique<appserver::OriginServer>(
+      &registry_, &repository_, monitor_.get(), origin_options);
+
+  origin_link_ = std::make_unique<net::MeteredTransport>(
+      std::make_unique<net::DirectTransport>(origin_->AsHandler()),
+      &request_meter_, &response_meter_);
+
+  // The firewall (when enabled) sits just inside the metering point, so it
+  // scans exactly the traffic the meters count.
+  net::Transport* upstream = origin_link_.get();
+  if (config_.with_firewall) {
+    firewall_ = std::make_unique<firewall::ScanningFirewall>(
+        origin_link_.get(),
+        std::vector<std::string>{"__dynaprox_attack_signature__"});
+    upstream = firewall_.get();
+  }
+
+  if (config_.with_cache) {
+    dpc::ProxyOptions proxy_options;
+    proxy_options.capacity = monitor_->capacity();
+    proxy_ = std::make_unique<dpc::DpcProxy>(upstream, proxy_options);
+    client_edge_ =
+        std::make_unique<net::DirectTransport>(proxy_->AsHandler());
+  } else {
+    client_edge_ = std::make_unique<net::DirectTransport>(
+        [upstream](const http::Request& request) {
+          Result<http::Response> response = upstream->RoundTrip(request);
+          // DirectTransport handlers are infallible; surface transport
+          // errors as 502 like a real front end would.
+          if (!response.ok()) {
+            return http::Response::MakeError(502, "Bad Gateway",
+                                             response.status().ToString());
+          }
+          return std::move(*response);
+        });
+  }
+
+  stream_ = std::make_unique<workload::RequestStream>(
+      params.num_pages, params.zipf_alpha, config_.seed + 1);
+  return Status::Ok();
+}
+
+workload::DriverStats Testbed::Run(uint64_t count) {
+  workload::DriverStats stats =
+      workload::RunWorkload(*client_edge_, *stream_, count);
+  requests_total_ += count;
+  return stats;
+}
+
+void Testbed::BeginMeasurement() {
+  request_snapshot_ = {request_meter_.messages(),
+                       request_meter_.payload_bytes(),
+                       request_meter_.wire_bytes()};
+  response_snapshot_ = {response_meter_.messages(),
+                        response_meter_.payload_bytes(),
+                        response_meter_.wire_bytes()};
+  requests_snapshot_ = requests_total_;
+  if (monitor_ != nullptr) {
+    bem::DirectoryStats stats = monitor_->stats();
+    hits_snapshot_ = stats.hits;
+    misses_snapshot_ = stats.misses;
+  }
+  if (firewall_ != nullptr) {
+    firewall_scanned_snapshot_ = firewall_->stats().bytes_scanned;
+  }
+  if (proxy_ != nullptr) {
+    dpc_scanned_snapshot_ = proxy_->stats().bytes_from_upstream;
+  }
+}
+
+Measurement Testbed::Collect() const {
+  Measurement m;
+  m.requests = requests_total_ - requests_snapshot_;
+  m.response_payload_bytes =
+      response_meter_.payload_bytes() - response_snapshot_.payload_bytes;
+  m.response_wire_bytes =
+      response_meter_.wire_bytes() - response_snapshot_.wire_bytes;
+  m.response_messages =
+      response_meter_.messages() - response_snapshot_.messages;
+  m.request_payload_bytes =
+      request_meter_.payload_bytes() - request_snapshot_.payload_bytes;
+  m.request_wire_bytes =
+      request_meter_.wire_bytes() - request_snapshot_.wire_bytes;
+  if (monitor_ != nullptr) {
+    bem::DirectoryStats stats = monitor_->stats();
+    m.fragment_hits = stats.hits - hits_snapshot_;
+    m.fragment_misses = stats.misses - misses_snapshot_;
+  }
+  if (firewall_ != nullptr) {
+    m.firewall_scanned_bytes =
+        firewall_->stats().bytes_scanned - firewall_scanned_snapshot_;
+  }
+  if (proxy_ != nullptr) {
+    // The DPC scans every byte it receives from the origin (the template
+    // scan of Section 5's z-per-byte term).
+    m.dpc_scanned_bytes =
+        proxy_->stats().bytes_from_upstream - dpc_scanned_snapshot_;
+  }
+  return m;
+}
+
+}  // namespace dynaprox::sim

@@ -1,0 +1,134 @@
+#ifndef DYNAPROX_SIM_TESTBED_H_
+#define DYNAPROX_SIM_TESTBED_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "analytical/model.h"
+#include "appserver/origin_server.h"
+#include "appserver/script_registry.h"
+#include "bem/monitor.h"
+#include "common/result.h"
+#include "dpc/proxy.h"
+#include "firewall/firewall.h"
+#include "net/byte_meter.h"
+#include "net/transport.h"
+#include "storage/table.h"
+#include "workload/driver.h"
+#include "workload/request_stream.h"
+#include "workload/synthetic_site.h"
+
+namespace dynaprox::sim {
+
+// Configuration of one end-to-end testbed instance (the reproduction of
+// Figure 4's test configuration).
+struct TestbedConfig {
+  analytical::ModelParams params;
+  // true: clients -> DPC -> (metered link) -> origin+BEM.
+  // false: clients -> (metered link) -> origin. The no-cache baseline.
+  bool with_cache = true;
+  uint64_t seed = 42;
+  // Protocol-overhead model for the metered origin link (what the Sniffer
+  // sees). Payload bytes are always recorded alongside.
+  net::ProtocolModel link_model;
+  // dpcKey space; 0 derives a default comfortably above the working set so
+  // replacement churn only reclaims dead fragment versions.
+  bem::DpcKey capacity = 0;
+  std::string replacement_policy = "lru";
+  // Put a scanning firewall on the origin link (Figure 4's topology), so
+  // scan-cost bytes (Section 5's Result 1) can be *measured*, not just
+  // modeled.
+  bool with_firewall = false;
+};
+
+// Byte counts and cache behaviour observed over a measurement window.
+struct Measurement {
+  uint64_t requests = 0;
+  // Origin -> DPC (or origin -> clients in the baseline) traffic: the B of
+  // Section 5.
+  uint64_t response_payload_bytes = 0;  // Application bytes.
+  uint64_t response_wire_bytes = 0;     // Including protocol headers.
+  uint64_t response_messages = 0;
+  // DPC -> origin (requests); small but nonzero.
+  uint64_t request_payload_bytes = 0;
+  uint64_t request_wire_bytes = 0;
+  // Fragment-cache behaviour during the window (cache config only).
+  uint64_t fragment_hits = 0;
+  uint64_t fragment_misses = 0;
+  // Bytes actually scanned: firewall bytes plus (cache config) the DPC's
+  // template scan — the measured form of Section 5's scan-cost analysis.
+  uint64_t firewall_scanned_bytes = 0;
+  uint64_t dpc_scanned_bytes = 0;
+  uint64_t total_scanned_bytes() const {
+    return firewall_scanned_bytes + dpc_scanned_bytes;
+  }
+
+  double RealizedHitRatio() const {
+    uint64_t total = fragment_hits + fragment_misses;
+    return total == 0 ? 0.0 : static_cast<double>(fragment_hits) / total;
+  }
+};
+
+// Wires the full system in-process with a metered origin link:
+//
+//   workload -> [DpcProxy] -> ByteMeter -> OriginServer(+BEM) -> repository
+//
+// and runs request batches against it. Single-threaded and deterministic.
+class Testbed {
+ public:
+  static Result<std::unique_ptr<Testbed>> Create(TestbedConfig config);
+
+  // Replays `count` Zipf-distributed requests through the client edge.
+  workload::DriverStats Run(uint64_t count);
+
+  // Starts a fresh measurement window (typically after warmup).
+  void BeginMeasurement();
+
+  // Measurement since the last BeginMeasurement (or construction).
+  Measurement Collect() const;
+
+  const TestbedConfig& config() const { return config_; }
+  bem::BackEndMonitor* monitor() { return monitor_.get(); }  // Null: baseline.
+  dpc::DpcProxy* proxy() { return proxy_.get(); }            // Null: baseline.
+  appserver::OriginServer& origin() { return *origin_; }
+  workload::SyntheticSite& site() { return *site_; }
+  storage::ContentRepository& repository() { return repository_; }
+
+ private:
+  explicit Testbed(TestbedConfig config);
+  Status Init();
+
+  TestbedConfig config_;
+  storage::ContentRepository repository_;
+  appserver::ScriptRegistry registry_;
+  std::unique_ptr<workload::SyntheticSite> site_;
+  std::unique_ptr<bem::BackEndMonitor> monitor_;
+  std::unique_ptr<appserver::OriginServer> origin_;
+  net::ByteMeter request_meter_;
+  net::ByteMeter response_meter_;
+  std::unique_ptr<net::MeteredTransport> origin_link_;
+  std::unique_ptr<firewall::ScanningFirewall> firewall_;  // Optional.
+  std::unique_ptr<dpc::DpcProxy> proxy_;
+  std::unique_ptr<net::Transport> client_edge_;
+  std::unique_ptr<workload::RequestStream> stream_;
+
+  // Snapshots at BeginMeasurement for windowed deltas.
+  struct MeterSnapshot {
+    uint64_t messages = 0;
+    uint64_t payload_bytes = 0;
+    uint64_t wire_bytes = 0;
+  };
+  MeterSnapshot request_snapshot_;
+  MeterSnapshot response_snapshot_;
+  uint64_t hits_snapshot_ = 0;
+  uint64_t misses_snapshot_ = 0;
+  uint64_t firewall_scanned_snapshot_ = 0;
+  uint64_t dpc_scanned_snapshot_ = 0;
+  uint64_t requests_snapshot_ = 0;
+  uint64_t requests_total_ = 0;
+};
+
+}  // namespace dynaprox::sim
+
+#endif  // DYNAPROX_SIM_TESTBED_H_

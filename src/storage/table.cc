@@ -1,0 +1,207 @@
+#include "storage/table.h"
+
+namespace dynaprox::storage {
+
+size_t Table::row_count() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return rows_.size();
+}
+
+bool Table::Contains(const std::string& key) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return rows_.find(key) != rows_.end();
+}
+
+void Table::IndexInsertLocked(const std::string& key, const Row& row) {
+  for (auto& [column, buckets] : indexes_) {
+    auto cell = row.find(column);
+    if (cell != row.end()) buckets[cell->second].insert(key);
+  }
+}
+
+void Table::IndexRemoveLocked(const std::string& key, const Row& row) {
+  for (auto& [column, buckets] : indexes_) {
+    auto cell = row.find(column);
+    if (cell == row.end()) continue;
+    auto bucket = buckets.find(cell->second);
+    if (bucket == buckets.end()) continue;
+    bucket->second.erase(key);
+    if (bucket->second.empty()) buckets.erase(bucket);
+  }
+}
+
+Status Table::Insert(const std::string& key, Row row) {
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    auto [it, inserted] = rows_.emplace(key, std::move(row));
+    if (!inserted) {
+      return Status::AlreadyExists("row exists: " + name_ + "/" + key);
+    }
+    IndexInsertLocked(key, it->second);
+  }
+  Notify(key, UpdateKind::kInsert);
+  return Status::Ok();
+}
+
+Status Table::Update(const std::string& key, Row row) {
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    auto it = rows_.find(key);
+    if (it == rows_.end()) {
+      return Status::NotFound("row not found: " + name_ + "/" + key);
+    }
+    IndexRemoveLocked(key, it->second);
+    it->second = std::move(row);
+    IndexInsertLocked(key, it->second);
+  }
+  Notify(key, UpdateKind::kUpdate);
+  return Status::Ok();
+}
+
+void Table::Upsert(const std::string& key, Row row) {
+  UpdateKind kind;
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    auto it = rows_.find(key);
+    if (it == rows_.end()) {
+      auto [inserted_it, inserted] = rows_.emplace(key, std::move(row));
+      IndexInsertLocked(key, inserted_it->second);
+      kind = UpdateKind::kInsert;
+    } else {
+      IndexRemoveLocked(key, it->second);
+      it->second = std::move(row);
+      IndexInsertLocked(key, it->second);
+      kind = UpdateKind::kUpdate;
+    }
+  }
+  Notify(key, kind);
+}
+
+Status Table::Delete(const std::string& key) {
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    auto it = rows_.find(key);
+    if (it == rows_.end()) {
+      return Status::NotFound("row not found: " + name_ + "/" + key);
+    }
+    IndexRemoveLocked(key, it->second);
+    rows_.erase(it);
+  }
+  Notify(key, UpdateKind::kDelete);
+  return Status::Ok();
+}
+
+Result<Row> Table::Get(const std::string& key) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = rows_.find(key);
+  if (it == rows_.end()) {
+    return Status::NotFound("row not found: " + name_ + "/" + key);
+  }
+  return it->second;
+}
+
+std::vector<std::pair<std::string, Row>> Table::Scan(
+    const Predicate& predicate, size_t limit) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<std::pair<std::string, Row>> out;
+  for (const auto& [key, row] : rows_) {
+    if (predicate && !predicate(row)) continue;
+    out.emplace_back(key, row);
+    if (limit != 0 && out.size() >= limit) break;
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, Row>> Table::ScanEq(
+    const std::string& column, const Value& value, size_t limit) const {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto index = indexes_.find(column);
+    if (index != indexes_.end()) {
+      index_lookups_.fetch_add(1, std::memory_order_relaxed);
+      std::vector<std::pair<std::string, Row>> out;
+      auto bucket = index->second.find(value);
+      if (bucket != index->second.end()) {
+        for (const std::string& key : bucket->second) {
+          out.emplace_back(key, rows_.at(key));
+          if (limit != 0 && out.size() >= limit) break;
+        }
+      }
+      return out;
+    }
+  }
+  return Scan(
+      [&](const Row& row) {
+        auto it = row.find(column);
+        return it != row.end() && it->second == value;
+      },
+      limit);
+}
+
+Status Table::CreateIndex(const std::string& column) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto [it, inserted] = indexes_.emplace(
+      column, std::map<Value, std::set<std::string>>());
+  if (!inserted) {
+    return Status::AlreadyExists("index exists: " + name_ + "." + column);
+  }
+  // Backfill from existing rows.
+  for (const auto& [key, row] : rows_) {
+    auto cell = row.find(column);
+    if (cell != row.end()) it->second[cell->second].insert(key);
+  }
+  return Status::Ok();
+}
+
+bool Table::HasIndex(const std::string& column) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return indexes_.find(column) != indexes_.end();
+}
+
+uint64_t Table::index_lookups() const {
+  return index_lookups_.load(std::memory_order_relaxed);
+}
+
+void Table::Notify(const std::string& key, UpdateKind kind) const {
+  if (bus_ != nullptr) bus_->Publish({name_, key, kind});
+}
+
+Result<Table*> ContentRepository::CreateTable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = tables_.emplace(
+      std::piecewise_construct, std::forward_as_tuple(name),
+      std::forward_as_tuple(name, &bus_));
+  if (!inserted) {
+    return Status::AlreadyExists("table exists: " + name);
+  }
+  return &it->second;
+}
+
+Result<Table*> ContentRepository::GetTable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("table not found: " + name);
+  }
+  return &it->second;
+}
+
+Table* ContentRepository::GetOrCreateTable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(name);
+  if (it != tables_.end()) return &it->second;
+  auto [inserted_it, inserted] = tables_.emplace(
+      std::piecewise_construct, std::forward_as_tuple(name),
+      std::forward_as_tuple(name, &bus_));
+  return &inserted_it->second;
+}
+
+std::vector<std::string> ContentRepository::TableNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  return names;
+}
+
+}  // namespace dynaprox::storage

@@ -1,0 +1,114 @@
+#ifndef DYNAPROX_STORAGE_TABLE_H_
+#define DYNAPROX_STORAGE_TABLE_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <set>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/update_bus.h"
+#include "storage/value.h"
+
+namespace dynaprox::storage {
+
+// A named table of rows keyed by a string primary key. Mutations publish
+// UpdateEvents on the owning repository's bus. Iteration order is key order
+// (deterministic), which keeps generated page content reproducible.
+//
+// Thread-safe: reads take a shared lock, mutations an exclusive lock.
+// Update events are published *after* the lock is released, so subscribers
+// (e.g. the BEM) may re-enter the table.
+class Table {
+ public:
+  // `bus` may be null (standalone table with no invalidation wiring).
+  Table(std::string name, UpdateBus* bus) : name_(std::move(name)), bus_(bus) {}
+
+  const std::string& name() const { return name_; }
+  size_t row_count() const;
+
+  // Inserts a new row; fails with AlreadyExists if `key` is present.
+  Status Insert(const std::string& key, Row row);
+
+  // Replaces an existing row; fails with NotFound if `key` is absent.
+  Status Update(const std::string& key, Row row);
+
+  // Inserts or replaces.
+  void Upsert(const std::string& key, Row row);
+
+  // Removes a row; fails with NotFound if `key` is absent.
+  Status Delete(const std::string& key);
+
+  // Point lookup.
+  Result<Row> Get(const std::string& key) const;
+
+  bool Contains(const std::string& key) const;
+
+  // Returns (key, row) pairs matching `predicate`, in key order. A null
+  // predicate matches everything. `limit` 0 means unlimited.
+  using Predicate = std::function<bool(const Row&)>;
+  std::vector<std::pair<std::string, Row>> Scan(const Predicate& predicate,
+                                                size_t limit = 0) const;
+
+  // Equality scan helper: rows whose `column` equals `value`. Served from
+  // a secondary index when one exists on `column`, else by full scan.
+  std::vector<std::pair<std::string, Row>> ScanEq(const std::string& column,
+                                                  const Value& value,
+                                                  size_t limit = 0) const;
+
+  // Builds a hash-map-style equality index on `column`, backfilled from
+  // existing rows and maintained on every mutation. AlreadyExists if the
+  // column is indexed. Rows lacking the column are simply not indexed.
+  Status CreateIndex(const std::string& column);
+  bool HasIndex(const std::string& column) const;
+
+  // ScanEq calls answered from an index (observability/testing).
+  uint64_t index_lookups() const;
+
+ private:
+  void Notify(const std::string& key, UpdateKind kind) const;
+  // Index maintenance; callers hold the exclusive lock.
+  void IndexInsertLocked(const std::string& key, const Row& row);
+  void IndexRemoveLocked(const std::string& key, const Row& row);
+
+  std::string name_;
+  UpdateBus* bus_;
+  mutable std::shared_mutex mu_;
+  std::map<std::string, Row> rows_;
+  // column -> value -> sorted row keys.
+  std::map<std::string, std::map<Value, std::set<std::string>>> indexes_;
+  mutable std::atomic<uint64_t> index_lookups_{0};
+};
+
+// The content repository: a set of named tables sharing one UpdateBus.
+// Stands in for the Oracle 8.1.6 site content repository in Figure 4.
+// Thread-safe; Table pointers remain valid for the repository's lifetime
+// (tables are never dropped).
+class ContentRepository {
+ public:
+  // Creates a table; fails with AlreadyExists on a duplicate name.
+  Result<Table*> CreateTable(const std::string& name);
+
+  // Looks up a table by name.
+  Result<Table*> GetTable(const std::string& name);
+
+  // Creates if absent, otherwise returns the existing table.
+  Table* GetOrCreateTable(const std::string& name);
+
+  UpdateBus& bus() { return bus_; }
+
+  std::vector<std::string> TableNames() const;
+
+ private:
+  UpdateBus bus_;
+  mutable std::mutex mu_;
+  std::map<std::string, Table> tables_;
+};
+
+}  // namespace dynaprox::storage
+
+#endif  // DYNAPROX_STORAGE_TABLE_H_

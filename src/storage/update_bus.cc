@@ -1,0 +1,43 @@
+#include "storage/update_bus.h"
+
+#include <algorithm>
+#include <memory>
+
+namespace dynaprox::storage {
+
+UpdateBus::SubscriptionId UpdateBus::Subscribe(Callback callback) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SubscriptionId id = next_id_++;
+  subscribers_.push_back(
+      {id, std::make_shared<Callback>(std::move(callback))});
+  return id;
+}
+
+void UpdateBus::Unsubscribe(SubscriptionId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  subscribers_.erase(
+      std::remove_if(subscribers_.begin(), subscribers_.end(),
+                     [id](const Subscriber& s) { return s.id == id; }),
+      subscribers_.end());
+}
+
+void UpdateBus::Publish(const UpdateEvent& event) const {
+  std::vector<std::shared_ptr<Callback>> callbacks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    callbacks.reserve(subscribers_.size());
+    for (const Subscriber& subscriber : subscribers_) {
+      callbacks.push_back(subscriber.callback);
+    }
+  }
+  for (const auto& callback : callbacks) {
+    (*callback)(event);
+  }
+}
+
+size_t UpdateBus::subscriber_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return subscribers_.size();
+}
+
+}  // namespace dynaprox::storage

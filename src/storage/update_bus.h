@@ -1,0 +1,65 @@
+#ifndef DYNAPROX_STORAGE_UPDATE_BUS_H_
+#define DYNAPROX_STORAGE_UPDATE_BUS_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dynaprox::storage {
+
+// Kind of mutation applied to a row.
+enum class UpdateKind {
+  kInsert,
+  kUpdate,
+  kDelete,
+};
+
+// Describes one committed mutation. The BEM subscribes to these to perform
+// data-source invalidation (paper 4.3.3: "Fragments may become invalid due
+// to ... updates to the underlying data sources").
+struct UpdateEvent {
+  std::string table;
+  std::string key;
+  UpdateKind kind;
+};
+
+// Synchronous publish/subscribe bus for repository mutations. Subscribers
+// run inline on the mutating call; a subscription handle allows removal.
+//
+// Thread-safe. Callbacks are invoked *without* the bus lock held, so a
+// callback may freely subscribe/unsubscribe or publish.
+class UpdateBus {
+ public:
+  using Callback = std::function<void(const UpdateEvent&)>;
+  using SubscriptionId = uint64_t;
+
+  // Registers `callback`; returns a handle for Unsubscribe.
+  SubscriptionId Subscribe(Callback callback);
+
+  // Removes a subscription; unknown ids are ignored. Does not wait for
+  // in-flight callbacks on other threads.
+  void Unsubscribe(SubscriptionId id);
+
+  // Delivers `event` to all current subscribers, in subscription order.
+  void Publish(const UpdateEvent& event) const;
+
+  size_t subscriber_count() const;
+
+ private:
+  struct Subscriber {
+    SubscriptionId id;
+    // Shared so Publish can run callbacks after releasing the lock while
+    // Unsubscribe concurrently edits the list.
+    std::shared_ptr<Callback> callback;
+  };
+  mutable std::mutex mu_;
+  SubscriptionId next_id_ = 1;
+  std::vector<Subscriber> subscribers_;
+};
+
+}  // namespace dynaprox::storage
+
+#endif  // DYNAPROX_STORAGE_UPDATE_BUS_H_

@@ -1,0 +1,44 @@
+#include "storage/value.h"
+
+#include <cstdio>
+
+namespace dynaprox::storage {
+
+std::string ValueToString(const Value& value) {
+  if (const auto* i = std::get_if<int64_t>(&value)) {
+    return std::to_string(*i);
+  }
+  if (const auto* d = std::get_if<double>(&value)) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.2f", *d);
+    return buf;
+  }
+  return std::get<std::string>(value);
+}
+
+int64_t GetInt(const Row& row, const std::string& column, int64_t fallback) {
+  auto it = row.find(column);
+  if (it == row.end()) return fallback;
+  const auto* i = std::get_if<int64_t>(&it->second);
+  return i != nullptr ? *i : fallback;
+}
+
+double GetDouble(const Row& row, const std::string& column, double fallback) {
+  auto it = row.find(column);
+  if (it == row.end()) return fallback;
+  if (const auto* d = std::get_if<double>(&it->second)) return *d;
+  if (const auto* i = std::get_if<int64_t>(&it->second)) {
+    return static_cast<double>(*i);
+  }
+  return fallback;
+}
+
+std::string GetString(const Row& row, const std::string& column,
+                      const std::string& fallback) {
+  auto it = row.find(column);
+  if (it == row.end()) return fallback;
+  const auto* s = std::get_if<std::string>(&it->second);
+  return s != nullptr ? *s : fallback;
+}
+
+}  // namespace dynaprox::storage

@@ -1,0 +1,32 @@
+#ifndef DYNAPROX_STORAGE_VALUE_H_
+#define DYNAPROX_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+
+namespace dynaprox::storage {
+
+// A typed cell value in the content repository.
+using Value = std::variant<int64_t, double, std::string>;
+
+// A row: column name -> value. Rows are schemaless (the content repository
+// stores heterogeneous site content: product records, headlines, quotes,
+// user profiles).
+using Row = std::map<std::string, Value>;
+
+// Renders a value for templating into HTML. Doubles use %.2f (prices).
+std::string ValueToString(const Value& value);
+
+// Convenience typed getters; return the fallback when the column is absent
+// or has a different type.
+int64_t GetInt(const Row& row, const std::string& column, int64_t fallback = 0);
+double GetDouble(const Row& row, const std::string& column,
+                 double fallback = 0.0);
+std::string GetString(const Row& row, const std::string& column,
+                      const std::string& fallback = "");
+
+}  // namespace dynaprox::storage
+
+#endif  // DYNAPROX_STORAGE_VALUE_H_

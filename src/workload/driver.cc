@@ -1,0 +1,25 @@
+#include "workload/driver.h"
+
+namespace dynaprox::workload {
+
+DriverStats RunWorkload(net::Transport& transport, RequestStream& stream,
+                        uint64_t count) {
+  DriverStats stats;
+  for (uint64_t i = 0; i < count; ++i) {
+    ++stats.requests;
+    Result<http::Response> response = transport.RoundTrip(stream.Next());
+    if (!response.ok()) {
+      ++stats.transport_errors;
+      continue;
+    }
+    if (response->status_code >= 200 && response->status_code < 300) {
+      ++stats.ok_responses;
+    } else {
+      ++stats.error_responses;
+    }
+    stats.response_body_bytes += response->body.size();
+  }
+  return stats;
+}
+
+}  // namespace dynaprox::workload

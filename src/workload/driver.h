@@ -1,0 +1,27 @@
+#ifndef DYNAPROX_WORKLOAD_DRIVER_H_
+#define DYNAPROX_WORKLOAD_DRIVER_H_
+
+#include <cstdint>
+
+#include "net/transport.h"
+#include "workload/request_stream.h"
+
+namespace dynaprox::workload {
+
+struct DriverStats {
+  uint64_t requests = 0;
+  uint64_t ok_responses = 0;      // 2xx.
+  uint64_t error_responses = 0;   // Everything else.
+  uint64_t transport_errors = 0;
+  uint64_t response_body_bytes = 0;
+};
+
+// Replays `count` requests from `stream` through `transport`, collecting
+// client-side statistics. Synchronous (closed-loop, one outstanding
+// request), like the WebLoad configuration in the paper's testbed.
+DriverStats RunWorkload(net::Transport& transport, RequestStream& stream,
+                        uint64_t count);
+
+}  // namespace dynaprox::workload
+
+#endif  // DYNAPROX_WORKLOAD_DRIVER_H_

@@ -1,0 +1,163 @@
+#include "workload/personalized_site.h"
+
+#include "storage/value.h"
+
+namespace dynaprox::workload {
+namespace {
+
+constexpr const char* kCategories[] = {"fiction", "tech", "travel"};
+
+}  // namespace
+
+PersonalizedSite::PersonalizedSite(const PersonalizedSiteConfig& config,
+                                   storage::ContentRepository* repository,
+                                   appserver::ScriptRegistry* registry)
+    : config_(config), repository_(repository) {
+  storage::Table* users =
+      repository_->GetOrCreateTable(appserver::kUsersTable);
+  storage::Table* products =
+      repository_->GetOrCreateTable(appserver::kProductsTable);
+  (void)products->CreateIndex("category");
+  for (int i = 0; i < config_.registered_users; ++i) {
+    std::string id = "user" + std::to_string(i);
+    users->Upsert(id,
+                  {{"name", storage::Value("User " + std::to_string(i))},
+                   {"category", storage::Value(std::string(
+                                    kCategories[i % 3]))}});
+    tokens_[i] = sessions_.Login(id);
+  }
+  for (int i = 0; i < config_.product_count; ++i) {
+    products->Upsert(
+        "p" + std::to_string(i),
+        {{"title", storage::Value("Product " + std::to_string(i))},
+         {"category", storage::Value(std::string(kCategories[i % 3]))},
+         {"price", storage::Value(5.0 + i)}});
+  }
+
+  registry->RegisterOrReplace("/welcome",
+                              [this](appserver::ScriptContext& context) {
+                                return WelcomeScript(context);
+                              });
+  registry->RegisterOrReplace("/frag/greeting",
+                              [this](appserver::ScriptContext& context) {
+                                return GreetingFragment(context);
+                              });
+  registry->RegisterOrReplace("/frag/reco",
+                              [this](appserver::ScriptContext& context) {
+                                return RecoFragment(context);
+                              });
+  registry->RegisterOrReplace("/frag/catalog",
+                              [this](appserver::ScriptContext& context) {
+                                return CatalogFragment(context);
+                              });
+}
+
+http::Request PersonalizedSite::VisitorRequest(int user_index) const {
+  http::Request request;
+  request.target = "/welcome";
+  if (user_index >= 0) {
+    request.headers.Add("Cookie", "sid=" + tokens_.at(user_index));
+  }
+  return request;
+}
+
+std::string PersonalizedSite::GreetingHtml(
+    const appserver::UserProfile& profile) const {
+  return "<h2>Hello, " + profile.display_name + "</h2>";
+}
+
+Result<std::string> PersonalizedSite::RecoHtml(
+    storage::ContentRepository& repository,
+    const appserver::UserProfile& profile) const {
+  auto picks = appserver::RecommendProducts(
+      repository, profile,
+      static_cast<size_t>(config_.recommendations_per_page));
+  if (!picks.ok()) return picks.status();
+  std::string html = "<ul>";
+  for (const auto& pick : *picks) html += "<li>" + pick.title + "</li>";
+  return html + "</ul>";
+}
+
+Result<std::string> PersonalizedSite::CatalogHtml(
+    storage::ContentRepository& repository) const {
+  auto table = repository.GetTable(appserver::kProductsTable);
+  if (!table.ok()) return table.status();
+  std::string html = "<ol>";
+  for (const auto& [key, row] : (*table)->Scan(nullptr)) {
+    html += "<li>" + storage::GetString(row, "title") + "</li>";
+  }
+  return html + "</ol>";
+}
+
+Status PersonalizedSite::WelcomeScript(appserver::ScriptContext& context) {
+  context.Emit("<html>");
+  auto user = sessions_.ResolveUser(context.request());
+  if (user.has_value()) {
+    // ONE profile load shared by the greeting and the recommendations:
+    // the interdependence ESI factoring must redo per fragment.
+    ++work_.profile_loads;
+    auto profile = appserver::LoadProfile(*repository_, *user);
+    if (!profile.ok()) return profile.status();
+    DYNAPROX_RETURN_IF_ERROR(context.CacheableBlock(
+        bem::FragmentId("greet", {{"u", *user}}),
+        [&](appserver::ScriptContext& block) {
+          ++work_.fragment_generations;
+          block.Emit(GreetingHtml(*profile));
+          return Status::Ok();
+        }));
+    DYNAPROX_RETURN_IF_ERROR(context.CacheableBlock(
+        bem::FragmentId("reco", {{"c", profile->preferred_category}}),
+        [&](appserver::ScriptContext& block) {
+          ++work_.fragment_generations;
+          block.DeclareDependency(appserver::kProductsTable);
+          Result<std::string> html = RecoHtml(*block.repository(), *profile);
+          if (!html.ok()) return html.status();
+          block.Emit(*html);
+          return Status::Ok();
+        }));
+  }
+  DYNAPROX_RETURN_IF_ERROR(context.CacheableBlock(
+      bem::FragmentId("catalog"), [&](appserver::ScriptContext& block) {
+        ++work_.fragment_generations;
+        block.DeclareDependency(appserver::kProductsTable);
+        Result<std::string> html = CatalogHtml(*block.repository());
+        if (!html.ok()) return html.status();
+        block.Emit(*html);
+        return Status::Ok();
+      }));
+  context.Emit("</html>");
+  return Status::Ok();
+}
+
+Status PersonalizedSite::GreetingFragment(
+    appserver::ScriptContext& context) {
+  ++work_.fragment_generations;
+  auto user = sessions_.ResolveUser(context.request());
+  if (!user.has_value()) return Status::Ok();
+  ++work_.profile_loads;
+  auto profile = appserver::LoadProfile(*repository_, *user);
+  if (profile.ok()) context.Emit(GreetingHtml(*profile));
+  return Status::Ok();
+}
+
+Status PersonalizedSite::RecoFragment(appserver::ScriptContext& context) {
+  ++work_.fragment_generations;
+  auto user = sessions_.ResolveUser(context.request());
+  if (!user.has_value()) return Status::Ok();
+  ++work_.profile_loads;
+  auto profile = appserver::LoadProfile(*repository_, *user);
+  if (!profile.ok()) return Status::Ok();
+  Result<std::string> html = RecoHtml(*context.repository(), *profile);
+  if (html.ok()) context.Emit(*html);
+  return Status::Ok();
+}
+
+Status PersonalizedSite::CatalogFragment(
+    appserver::ScriptContext& context) {
+  ++work_.fragment_generations;
+  Result<std::string> html = CatalogHtml(*context.repository());
+  if (html.ok()) context.Emit(*html);
+  return Status::Ok();
+}
+
+}  // namespace dynaprox::workload

@@ -1,0 +1,82 @@
+#ifndef DYNAPROX_WORKLOAD_PERSONALIZED_SITE_H_
+#define DYNAPROX_WORKLOAD_PERSONALIZED_SITE_H_
+
+#include <map>
+#include <string>
+
+#include "appserver/personalization.h"
+#include "appserver/script_registry.h"
+#include "appserver/session.h"
+#include "http/message.h"
+#include "storage/table.h"
+
+namespace dynaprox::workload {
+
+struct PersonalizedSiteConfig {
+  int registered_users = 12;
+  int product_count = 30;
+  int recommendations_per_page = 5;
+};
+
+// Counters for origin-side generation work; the Section 3 comparison's
+// "how much did the origin actually compute" metric.
+struct PersonalizedSiteWork {
+  int profile_loads = 0;
+  int fragment_generations = 0;
+};
+
+// The Section 3 comparison site: a personalized "/welcome" page whose
+// layout depends on the visitor (registered users get a greeting and
+// per-category recommendations; anonymous visitors only the shared
+// catalog). Registered in two forms over one repository:
+//
+//  * "/welcome"       — a DPC-style tagged script (one profile load shared
+//                       by all fragments; degrades to plain generation
+//                       without a BEM, which is the no-cache baseline);
+//  * "/frag/greeting", "/frag/reco", "/frag/catalog"
+//                     — ESI-style fragment scripts, each independently
+//                       addressable and each reloading the profile
+//                       (Section 3.2.2's interdependence cost).
+//
+// Used by bench_baseline_comparison and the workload tests.
+class PersonalizedSite {
+ public:
+  // Seeds `repository`, opens a session per registered user, registers
+  // all scripts in `registry`. All pointees must outlive the site.
+  PersonalizedSite(const PersonalizedSiteConfig& config,
+                   storage::ContentRepository* repository,
+                   appserver::ScriptRegistry* registry);
+
+  PersonalizedSite(const PersonalizedSite&) = delete;
+  PersonalizedSite& operator=(const PersonalizedSite&) = delete;
+
+  // A "/welcome" request from registered user `user_index`, or anonymous
+  // when `user_index` < 0.
+  http::Request VisitorRequest(int user_index) const;
+
+  int registered_users() const { return config_.registered_users; }
+  const PersonalizedSiteWork& work() const { return work_; }
+  void ResetWork() { work_ = PersonalizedSiteWork{}; }
+
+ private:
+  Status WelcomeScript(appserver::ScriptContext& context);
+  Status GreetingFragment(appserver::ScriptContext& context);
+  Status RecoFragment(appserver::ScriptContext& context);
+  Status CatalogFragment(appserver::ScriptContext& context);
+
+  std::string GreetingHtml(const appserver::UserProfile& profile) const;
+  Result<std::string> RecoHtml(storage::ContentRepository& repository,
+                               const appserver::UserProfile& profile) const;
+  Result<std::string> CatalogHtml(
+      storage::ContentRepository& repository) const;
+
+  PersonalizedSiteConfig config_;
+  storage::ContentRepository* repository_;
+  appserver::SessionManager sessions_;
+  std::map<int, std::string> tokens_;  // user index -> sid.
+  PersonalizedSiteWork work_;
+};
+
+}  // namespace dynaprox::workload
+
+#endif  // DYNAPROX_WORKLOAD_PERSONALIZED_SITE_H_

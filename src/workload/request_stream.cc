@@ -1,0 +1,24 @@
+#include "workload/request_stream.h"
+
+namespace dynaprox::workload {
+
+RequestStream::RequestStream(int num_pages, double alpha, uint64_t seed,
+                             std::string path)
+    : path_(std::move(path)),
+      sampler_(static_cast<size_t>(num_pages), alpha),
+      rng_(seed) {}
+
+http::Request RequestStream::Next() {
+  ++generated_;
+  return ForPage(static_cast<int>(sampler_.Sample(rng_)));
+}
+
+http::Request RequestStream::ForPage(int page) const {
+  http::Request request;
+  request.method = "GET";
+  request.target = path_ + "?id=" + std::to_string(page);
+  request.headers.Add("Host", "www.booksonline.example");
+  return request;
+}
+
+}  // namespace dynaprox::workload

@@ -1,0 +1,40 @@
+#ifndef DYNAPROX_WORKLOAD_REQUEST_STREAM_H_
+#define DYNAPROX_WORKLOAD_REQUEST_STREAM_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+#include "http/message.h"
+
+namespace dynaprox::workload {
+
+// Generates the client request stream of the Section 5/6 setup: page
+// popularity follows a Zipf distribution (the paper cites the classic
+// web-trace characterizations [2, 12]). This is the reproduction's
+// WebLoad stand-in.
+class RequestStream {
+ public:
+  // Requests hit `path`?id=<rank> where rank is Zipf(`alpha`)-distributed
+  // over [0, num_pages).
+  RequestStream(int num_pages, double alpha, uint64_t seed,
+                std::string path = "/page");
+
+  // Draws the next request.
+  http::Request Next();
+
+  // Deterministic request for a specific page (warmup, tests).
+  http::Request ForPage(int page) const;
+
+  uint64_t generated() const { return generated_; }
+
+ private:
+  std::string path_;
+  ZipfSampler sampler_;
+  Rng rng_;
+  uint64_t generated_ = 0;
+};
+
+}  // namespace dynaprox::workload
+
+#endif  // DYNAPROX_WORKLOAD_REQUEST_STREAM_H_

@@ -1,0 +1,119 @@
+#include "workload/synthetic_site.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+#include "storage/value.h"
+
+namespace dynaprox::workload {
+namespace {
+
+constexpr char kContentTable[] = "content";
+
+std::string SlotRowKey(int slot) { return "s" + std::to_string(slot); }
+
+}  // namespace
+
+SyntheticSite::SyntheticSite(const analytical::ModelParams& params,
+                             uint64_t seed,
+                             storage::ContentRepository* repository,
+                             appserver::ScriptRegistry* registry,
+                             SyntheticSiteOptions options)
+    : params_(params),
+      options_(options),
+      spec_(analytical::SiteSpec::Uniform(params)),
+      rng_(seed),
+      repository_(repository) {
+  int total_positions = params.num_pages * params.fragments_per_page;
+  int slots = options_.fragment_pool > 0
+                  ? std::min(options_.fragment_pool, total_positions)
+                  : total_positions;
+  versions_.assign(static_cast<size_t>(slots), 0);
+
+  // Seed the data layer: one repository row per fragment slot holding its
+  // pad text, so generation exercises the data-access path on every miss.
+  storage::Table* content = repository_->GetOrCreateTable(kContentTable);
+  size_t size = static_cast<size_t>(std::llround(params.fragment_size));
+  for (int slot = 0; slot < slots; ++slot) {
+    storage::Row row;
+    row["pad"] = std::string(size, static_cast<char>('a' + slot % 26));
+    content->Upsert(SlotRowKey(slot), std::move(row));
+  }
+
+  registry->RegisterOrReplace(
+      "/page", [this](appserver::ScriptContext& context) {
+        return RunPageScript(context);
+      });
+}
+
+int SyntheticSite::SlotFor(int page, int index) const {
+  int position = page * params_.fragments_per_page + index;
+  return position % static_cast<int>(versions_.size());
+}
+
+std::string SyntheticSite::FragmentBody(int slot, uint64_t version) const {
+  size_t size = static_cast<size_t>(std::llround(params_.fragment_size));
+  std::string prefix = "<div id=\"" + SlotRowKey(slot) + "\" v=\"" +
+                       std::to_string(version) + "\">";
+  constexpr std::string_view kSuffix = "</div>";
+  if (prefix.size() + kSuffix.size() > size) {
+    // Tiny fragments: raw deterministic filler of the exact size.
+    return std::string(size, static_cast<char>('A' + slot % 26));
+  }
+  Result<storage::Row> row =
+      repository_->GetOrCreateTable(kContentTable)->Get(SlotRowKey(slot));
+  std::string pad = row.ok() ? storage::GetString(*row, "pad") : std::string();
+  size_t pad_needed = size - prefix.size() - kSuffix.size();
+  if (pad.size() < pad_needed) pad.resize(pad_needed, 'z');
+
+  std::string body = std::move(prefix);
+  body.append(pad, 0, pad_needed);
+  body.append(kSuffix);
+  return body;
+}
+
+Status SyntheticSite::RunPageScript(appserver::ScriptContext& context) {
+  auto query = context.request().QueryParams();
+  auto id_it = query.find("id");
+  Result<uint64_t> page_id =
+      id_it == query.end() ? Result<uint64_t>(Status::InvalidArgument("no id"))
+                           : ParseUint64(id_it->second);
+  if (!page_id.ok() ||
+      *page_id >= static_cast<uint64_t>(spec_.pages.size())) {
+    context.SetStatus(404);
+    context.Emit("unknown page");
+    return Status::Ok();
+  }
+
+  int page = static_cast<int>(*page_id);
+  const analytical::PageSpec& page_spec = spec_.pages[page];
+  for (int index = 0; index < static_cast<int>(page_spec.fragments.size());
+       ++index) {
+    const analytical::FragmentSpec& fragment = page_spec.fragments[index];
+    int slot = SlotFor(page, index);
+    if (!fragment.cacheable || !context.caching_enabled()) {
+      context.Emit(FragmentBody(slot, 0));
+      continue;
+    }
+    // Hit-ratio control: bump the version with probability (1 - h).
+    ++accesses_;
+    if (rng_.NextBool(1.0 - params_.hit_ratio)) {
+      ++bumps_;
+      ++versions_[slot];
+    }
+    uint64_t version = versions_[slot];
+    bem::FragmentId fragment_id(SlotRowKey(slot),
+                                {{"v", std::to_string(version)}});
+    Status status = context.CacheableBlock(
+        fragment_id, /*ttl_micros=*/0,
+        [this, slot, version](appserver::ScriptContext& block) {
+          block.DeclareDependency(kContentTable, SlotRowKey(slot));
+          block.Emit(FragmentBody(slot, version));
+          return Status::Ok();
+        });
+    DYNAPROX_RETURN_IF_ERROR(status);
+  }
+  return Status::Ok();
+}
+
+}  // namespace dynaprox::workload

@@ -1,0 +1,101 @@
+#include "workload/trace.h"
+
+#include <fstream>
+
+#include "common/strings.h"
+
+namespace dynaprox::workload {
+
+http::Request TraceEntry::ToRequest() const {
+  http::Request request;
+  request.method = method;
+  request.target = target;
+  if (!session.empty()) {
+    request.headers.Add("Cookie", "sid=" + session);
+  }
+  return request;
+}
+
+TraceEntry TraceEntry::FromRequest(const http::Request& request) {
+  TraceEntry entry;
+  entry.method = request.method;
+  entry.target = request.target;
+  if (auto cookie = request.headers.Get("Cookie"); cookie.has_value()) {
+    for (std::string_view part : StrSplit(*cookie, ';')) {
+      std::string_view trimmed = StripWhitespace(part);
+      if (StartsWith(trimmed, "sid=")) {
+        entry.session = std::string(trimmed.substr(4));
+        break;
+      }
+    }
+  }
+  return entry;
+}
+
+Status SaveTrace(const std::string& path,
+                 const std::vector<TraceEntry>& entries) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open trace for writing: " + path);
+  }
+  out << "# dynaprox trace v1: METHOD TARGET [sid=SESSION]\n";
+  for (const TraceEntry& entry : entries) {
+    out << entry.method << ' ' << entry.target;
+    if (!entry.session.empty()) out << " sid=" << entry.session;
+    out << '\n';
+  }
+  out.flush();
+  if (!out.good()) {
+    return Status::IoError("write failure on trace: " + path);
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<TraceEntry>> LoadTrace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open trace: " + path);
+  }
+  std::vector<TraceEntry> entries;
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    std::string_view content = StripWhitespace(line);
+    if (content.empty() || content[0] == '#') continue;
+    std::vector<std::string_view> fields;
+    for (std::string_view field : StrSplit(content, ' ')) {
+      if (!field.empty()) fields.push_back(field);
+    }
+    if (fields.size() < 2 || fields.size() > 3) {
+      return Status::Corruption("trace line " + std::to_string(line_number) +
+                                " malformed: " + std::string(content));
+    }
+    TraceEntry entry;
+    entry.method = std::string(fields[0]);
+    entry.target = std::string(fields[1]);
+    if (fields.size() == 3) {
+      if (!StartsWith(fields[2], "sid=")) {
+        return Status::Corruption("trace line " +
+                                  std::to_string(line_number) +
+                                  " bad session field");
+      }
+      entry.session = std::string(fields[2].substr(4));
+    }
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+Result<http::Request> TraceStream::Next() {
+  if (entries_.empty()) {
+    return Status::FailedPrecondition("empty trace");
+  }
+  if (position_ >= entries_.size()) {
+    if (!loop_) return Status::FailedPrecondition("trace exhausted");
+    position_ = 0;
+  }
+  return entries_[position_++].ToRequest();
+}
+
+}  // namespace dynaprox::workload

@@ -1,0 +1,74 @@
+#ifndef DYNAPROX_WORKLOAD_TRACE_H_
+#define DYNAPROX_WORKLOAD_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "http/message.h"
+#include "net/transport.h"
+
+namespace dynaprox::workload {
+
+// A recorded request: enough to replay a GET workload faithfully
+// (method, target, optional session cookie).
+struct TraceEntry {
+  std::string method = "GET";
+  std::string target;
+  std::string session;  // "sid" cookie value, empty if anonymous.
+
+  http::Request ToRequest() const;
+  static TraceEntry FromRequest(const http::Request& request);
+};
+
+// Text trace format, one entry per line:
+//   METHOD <sp> TARGET [<sp> sid=SESSION]
+// Lines starting with '#' and blank lines are ignored on load.
+Status SaveTrace(const std::string& path,
+                 const std::vector<TraceEntry>& entries);
+Result<std::vector<TraceEntry>> LoadTrace(const std::string& path);
+
+// Transport decorator that records every request passing through it.
+class RecordingTransport : public net::Transport {
+ public:
+  explicit RecordingTransport(net::Transport* inner) : inner_(inner) {}
+
+  Result<http::Response> RoundTrip(const http::Request& request) override {
+    entries_.push_back(TraceEntry::FromRequest(request));
+    return inner_->RoundTrip(request);
+  }
+
+  const std::vector<TraceEntry>& entries() const { return entries_; }
+  Status Save(const std::string& path) const {
+    return SaveTrace(path, entries_);
+  }
+
+ private:
+  net::Transport* inner_;
+  std::vector<TraceEntry> entries_;
+};
+
+// Replays a loaded trace in order; Next() wraps around when `loop` is set,
+// otherwise fails with FailedPrecondition past the end.
+class TraceStream {
+ public:
+  explicit TraceStream(std::vector<TraceEntry> entries, bool loop = false)
+      : entries_(std::move(entries)), loop_(loop) {}
+
+  Result<http::Request> Next();
+
+  bool exhausted() const {
+    return !loop_ && position_ >= entries_.size();
+  }
+  size_t size() const { return entries_.size(); }
+
+ private:
+  std::vector<TraceEntry> entries_;
+  bool loop_;
+  size_t position_ = 0;
+};
+
+}  // namespace dynaprox::workload
+
+#endif  // DYNAPROX_WORKLOAD_TRACE_H_

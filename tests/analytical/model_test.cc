@@ -1,0 +1,207 @@
+#include "analytical/model.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace dynaprox::analytical {
+namespace {
+
+TEST(ModelTest, NoCacheResponseSizeIsContentPlusHeader) {
+  ModelParams params = ModelParams::Table2Baseline();
+  // 4 fragments * 1000 bytes + 500 header.
+  EXPECT_DOUBLE_EQ(ResponseSizeNoCache(params), 4500.0);
+}
+
+TEST(ModelTest, WithCacheBaselineMatchesHandComputation) {
+  ModelParams params = ModelParams::Table2Baseline();
+  // Cacheable fragment: 0.8*10 + 0.2*(1000+20) = 212.
+  // Per fragment: 0.6*212 + 0.4*1000 = 527.2. Page: 4*527.2 + 500 = 2608.8.
+  EXPECT_NEAR(ResponseSizeWithCache(params), 2608.8, 1e-9);
+}
+
+TEST(ModelTest, ExpectedBytesScaleWithRequests) {
+  ModelParams params = ModelParams::Table2Baseline();
+  EXPECT_DOUBLE_EQ(ExpectedBytesNoCache(params), 4500.0 * 1e6);
+  params.requests = 10;
+  EXPECT_DOUBLE_EQ(ExpectedBytesNoCache(params), 45000.0);
+}
+
+TEST(ModelTest, RatioBelowOneAtBaseline) {
+  ModelParams params = ModelParams::Table2Baseline();
+  EXPECT_NEAR(BytesRatio(params), 2608.8 / 4500.0, 1e-12);
+  EXPECT_NEAR(SavingsPercent(params), (1.0 - 2608.8 / 4500.0) * 100, 1e-9);
+}
+
+TEST(ModelTest, RatioExceedsOneForTinyFragments) {
+  // Figure 2(a): as fragment size approaches 0 the tags dominate and the
+  // DPC *adds* bytes.
+  ModelParams params = ModelParams::Table2Baseline();
+  params.fragment_size = 0;
+  EXPECT_GT(BytesRatio(params), 1.0);
+}
+
+TEST(ModelTest, RatioDecreasesMonotonicallyInFragmentSize) {
+  ModelParams params = ModelParams::Table2Baseline();
+  double previous = 10.0;
+  for (double size = 0; size <= 5000; size += 250) {
+    params.fragment_size = size;
+    double ratio = BytesRatio(params);
+    EXPECT_LT(ratio, previous);
+    previous = ratio;
+  }
+}
+
+TEST(ModelTest, RatioApproachesAsymptote) {
+  // As s_e -> inf, ratio -> 1 - cacheability * hit_ratio.
+  ModelParams params = ModelParams::PaperFigureSettings();
+  params.fragment_size = 1e9;
+  EXPECT_NEAR(BytesRatio(params),
+              1.0 - params.cacheability * params.hit_ratio, 1e-3);
+}
+
+TEST(ModelTest, SavingsNegativeAtZeroHitRatio) {
+  // Figure 2(b): at h=0 the tags are pure overhead.
+  ModelParams params = ModelParams::Table2Baseline();
+  params.hit_ratio = 0;
+  EXPECT_LT(SavingsPercent(params), 0.0);
+}
+
+TEST(ModelTest, BreakEvenHitRatioNearOnePercent) {
+  // The paper: "as long as 1% or more fragments are served from cache,
+  // using the dynamic proxy cache will reduce the expected bytes served."
+  ModelParams params = ModelParams::Table2Baseline();
+  params.hit_ratio = 0.02;
+  EXPECT_GT(SavingsPercent(params), 0.0);
+  params.hit_ratio = 0.015;
+  EXPECT_LT(std::abs(SavingsPercent(params)), 1.0);  // Near break-even.
+}
+
+TEST(ModelTest, MaxSavingsAtFullHitRatioMatchesPaper) {
+  // With the paper-figure settings the h=1 savings is ~70% (Figure 2(b)).
+  ModelParams params = ModelParams::PaperFigureSettings();
+  params.hit_ratio = 1.0;
+  EXPECT_NEAR(SavingsPercent(params), 70.4, 0.5);
+}
+
+TEST(ModelTest, SavingsMonotoneInHitRatio) {
+  ModelParams params = ModelParams::Table2Baseline();
+  double previous = -1e9;
+  for (double h = 0; h <= 1.0; h += 0.05) {
+    params.hit_ratio = h;
+    double savings = SavingsPercent(params);
+    EXPECT_GT(savings, previous);
+    previous = savings;
+  }
+}
+
+TEST(ModelTest, NetworkSavingsPositiveAcrossCacheabilityRange) {
+  // Figure 3(a), upper curve: bytes savings positive for all cacheability.
+  ModelParams params = ModelParams::Table2Baseline();
+  for (double x = 0.2; x <= 1.0; x += 0.1) {
+    params.cacheability = x;
+    EXPECT_GT(SavingsPercent(params), 0.0) << x;
+  }
+}
+
+TEST(ModelTest, FirewallSavingsCrossesZero) {
+  // Figure 3(a), lower curve: scan-cost savings negative at low
+  // cacheability, positive at high.
+  ModelParams params = ModelParams::Table2Baseline();
+  params.cacheability = 0.2;
+  EXPECT_LT(FirewallSavingsPercent(params), 0.0);
+  params.cacheability = 1.0;
+  EXPECT_GT(FirewallSavingsPercent(params), 0.0);
+}
+
+TEST(ModelTest, FirewallSavingsIsResultOneCondition) {
+  // Result 1: caching preferable iff B_NC > 2 B_C, i.e. savings > 0 iff
+  // ratio < 0.5.
+  ModelParams params = ModelParams::Table2Baseline();
+  for (double x = 0.2; x <= 1.0; x += 0.05) {
+    params.cacheability = x;
+    EXPECT_EQ(FirewallSavingsPercent(params) > 0, BytesRatio(params) < 0.5);
+  }
+}
+
+TEST(ModelTest, UniformSiteMatchesClosedFormWhenExact) {
+  // cacheability 0.5 with 4 fragments/page is exactly 2 per page.
+  ModelParams params = ModelParams::Table2Baseline();
+  params.cacheability = 0.5;
+  SiteSpec site = SiteSpec::Uniform(params);
+  ASSERT_EQ(site.pages.size(), 10u);
+  std::vector<double> probs =
+      ZipfProbabilities(params.num_pages, params.zipf_alpha);
+  double general =
+      ExpectedBytes(site, probs, params.requests, params.hit_ratio, true);
+  EXPECT_NEAR(general, ExpectedBytesWithCache(params), 1e-6);
+  double general_nc =
+      ExpectedBytes(site, probs, params.requests, params.hit_ratio, false);
+  EXPECT_NEAR(general_nc, ExpectedBytesNoCache(params), 1e-6);
+}
+
+TEST(ModelTest, UniformSiteTracksFractionalCacheability) {
+  // cacheability 0.6 -> 24 of 40 fragments cacheable site-wide.
+  ModelParams params = ModelParams::Table2Baseline();
+  SiteSpec site = SiteSpec::Uniform(params);
+  int cacheable = 0;
+  int total = 0;
+  for (const PageSpec& page : site.pages) {
+    for (const FragmentSpec& fragment : page.fragments) {
+      ++total;
+      if (fragment.cacheable) ++cacheable;
+    }
+  }
+  EXPECT_EQ(total, 40);
+  EXPECT_EQ(cacheable, 24);
+}
+
+TEST(ModelTest, ZipfProbabilitiesNormalizedAndSkewed) {
+  std::vector<double> probs = ZipfProbabilities(10, 1.0);
+  double total = 0;
+  for (double p : probs) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_NEAR(probs[0] / probs[1], 2.0, 1e-12);
+}
+
+TEST(ModelTest, PageSizeHelpers) {
+  ModelParams params = ModelParams::Table2Baseline();
+  SiteSpec site = SiteSpec::Uniform(params);
+  const PageSpec& page = site.pages[0];
+  EXPECT_DOUBLE_EQ(PageSizeNoCache(page, site), 4500.0);
+  // Full hit ratio: every cacheable fragment costs one tag.
+  double with_cache = PageSizeWithCache(page, site, 1.0);
+  EXPECT_LT(with_cache, 4500.0);
+}
+
+// Property sweep: analytical savings formula and direct subtraction agree
+// across a parameter grid.
+struct GridPoint {
+  double h;
+  double x;
+  double s;
+};
+
+class ModelGridTest : public ::testing::TestWithParam<GridPoint> {};
+
+TEST_P(ModelGridTest, SavingsConsistentWithBytes) {
+  ModelParams params = ModelParams::Table2Baseline();
+  params.hit_ratio = GetParam().h;
+  params.cacheability = GetParam().x;
+  params.fragment_size = GetParam().s;
+  double nc = ExpectedBytesNoCache(params);
+  double c = ExpectedBytesWithCache(params);
+  EXPECT_NEAR(SavingsPercent(params), (nc - c) / nc * 100.0, 1e-9);
+  EXPECT_NEAR(BytesRatio(params), c / nc, 1e-12);
+  EXPECT_GT(c, 0);
+  EXPECT_GT(nc, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ModelGridTest,
+    ::testing::Values(GridPoint{0.0, 0.6, 1000}, GridPoint{0.5, 0.2, 100},
+                      GridPoint{0.8, 0.6, 1000}, GridPoint{1.0, 1.0, 5000},
+                      GridPoint{0.9, 0.8, 250}, GridPoint{0.1, 0.4, 2000}));
+
+}  // namespace
+}  // namespace dynaprox::analytical

@@ -1,0 +1,86 @@
+#include "appserver/personalization.h"
+
+#include <gtest/gtest.h>
+
+namespace dynaprox::appserver {
+namespace {
+
+void SeedRepository(storage::ContentRepository& repository) {
+  storage::Table* users = repository.GetOrCreateTable(kUsersTable);
+  users->Upsert("bob", {{"name", storage::Value(std::string("Bob"))},
+                        {"category", storage::Value(std::string("fiction"))},
+                        {"layout",
+                         storage::Value(std::string("catalog,navbar"))}});
+  users->Upsert("minimal", {});
+  storage::Table* products = repository.GetOrCreateTable(kProductsTable);
+  products->Upsert("b1", {{"title", storage::Value(std::string("Dune"))},
+                          {"category",
+                           storage::Value(std::string("fiction"))},
+                          {"price", storage::Value(9.99)}});
+  products->Upsert("b2",
+                   {{"title", storage::Value(std::string("SICP"))},
+                    {"category", storage::Value(std::string("tech"))},
+                    {"price", storage::Value(39.99)}});
+  products->Upsert("b3",
+                   {{"title", storage::Value(std::string("Hyperion"))},
+                    {"category", storage::Value(std::string("fiction"))},
+                    {"price", storage::Value(7.50)}});
+}
+
+TEST(PersonalizationTest, LoadProfileReadsColumns) {
+  storage::ContentRepository repository;
+  SeedRepository(repository);
+  Result<UserProfile> profile = LoadProfile(repository, "bob");
+  ASSERT_TRUE(profile.ok());
+  EXPECT_EQ(profile->display_name, "Bob");
+  EXPECT_EQ(profile->preferred_category, "fiction");
+  ASSERT_EQ(profile->layout.size(), 2u);
+  EXPECT_EQ(profile->layout[0], "catalog");
+  EXPECT_EQ(profile->layout[1], "navbar");
+}
+
+TEST(PersonalizationTest, MissingColumnsGetDefaults) {
+  storage::ContentRepository repository;
+  SeedRepository(repository);
+  Result<UserProfile> profile = LoadProfile(repository, "minimal");
+  ASSERT_TRUE(profile.ok());
+  EXPECT_EQ(profile->display_name, "minimal");
+  EXPECT_EQ(profile->layout, DefaultLayout());
+}
+
+TEST(PersonalizationTest, UnknownUserIsNotFound) {
+  storage::ContentRepository repository;
+  SeedRepository(repository);
+  EXPECT_TRUE(LoadProfile(repository, "ghost").status().IsNotFound());
+}
+
+TEST(PersonalizationTest, MissingUsersTableIsNotFound) {
+  storage::ContentRepository repository;
+  EXPECT_TRUE(LoadProfile(repository, "bob").status().IsNotFound());
+}
+
+TEST(PersonalizationTest, RecommendFiltersByCategory) {
+  storage::ContentRepository repository;
+  SeedRepository(repository);
+  UserProfile profile = *LoadProfile(repository, "bob");
+  Result<std::vector<ProductPick>> picks =
+      RecommendProducts(repository, profile, 10);
+  ASSERT_TRUE(picks.ok());
+  ASSERT_EQ(picks->size(), 2u);
+  EXPECT_EQ((*picks)[0].title, "Dune");
+  EXPECT_EQ((*picks)[1].title, "Hyperion");
+  EXPECT_DOUBLE_EQ((*picks)[0].price, 9.99);
+}
+
+TEST(PersonalizationTest, RecommendHonorsLimit) {
+  storage::ContentRepository repository;
+  SeedRepository(repository);
+  UserProfile profile = *LoadProfile(repository, "bob");
+  Result<std::vector<ProductPick>> picks =
+      RecommendProducts(repository, profile, 1);
+  ASSERT_TRUE(picks.ok());
+  EXPECT_EQ(picks->size(), 1u);
+}
+
+}  // namespace
+}  // namespace dynaprox::appserver

@@ -1,0 +1,54 @@
+#include "appserver/script_registry.h"
+
+#include <gtest/gtest.h>
+
+namespace dynaprox::appserver {
+namespace {
+
+ScriptFn Noop() {
+  return [](ScriptContext&) { return Status::Ok(); };
+}
+
+TEST(ScriptRegistryTest, RegisterAndFind) {
+  ScriptRegistry registry;
+  ASSERT_TRUE(registry.Register("/a", Noop()).ok());
+  EXPECT_TRUE(registry.Find("/a").ok());
+  EXPECT_TRUE(registry.Find("/b").status().IsNotFound());
+}
+
+TEST(ScriptRegistryTest, DuplicateRegisterFails) {
+  ScriptRegistry registry;
+  ASSERT_TRUE(registry.Register("/a", Noop()).ok());
+  EXPECT_EQ(registry.Register("/a", Noop()).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(ScriptRegistryTest, RegisterOrReplaceOverwrites) {
+  ScriptRegistry registry;
+  int which = 0;
+  registry.RegisterOrReplace("/a", [&](ScriptContext&) {
+    which = 1;
+    return Status::Ok();
+  });
+  registry.RegisterOrReplace("/a", [&](ScriptContext&) {
+    which = 2;
+    return Status::Ok();
+  });
+  http::Request request;
+  ScriptContext context(request, nullptr, nullptr);
+  ASSERT_TRUE((**registry.Find("/a"))(context).ok());
+  EXPECT_EQ(which, 2);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(ScriptRegistryTest, PathsListsAll) {
+  ScriptRegistry registry;
+  registry.RegisterOrReplace("/b", Noop());
+  registry.RegisterOrReplace("/a", Noop());
+  auto paths = registry.Paths();
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_EQ(paths[0], "/a");  // Sorted (map order).
+}
+
+}  // namespace
+}  // namespace dynaprox::appserver

@@ -1,0 +1,59 @@
+#include "appserver/session.h"
+
+#include <gtest/gtest.h>
+
+namespace dynaprox::appserver {
+namespace {
+
+TEST(SessionManagerTest, LoginResolvesViaQueryParam) {
+  SessionManager sessions;
+  std::string token = sessions.Login("bob");
+  http::Request request;
+  request.target = "/page?sid=" + token;
+  auto user = sessions.ResolveUser(request);
+  ASSERT_TRUE(user.has_value());
+  EXPECT_EQ(*user, "bob");
+}
+
+TEST(SessionManagerTest, ResolvesViaCookie) {
+  SessionManager sessions;
+  std::string token = sessions.Login("alice");
+  http::Request request;
+  request.headers.Add("Cookie", "theme=dark; sid=" + token + "; x=1");
+  auto user = sessions.ResolveUser(request);
+  ASSERT_TRUE(user.has_value());
+  EXPECT_EQ(*user, "alice");
+}
+
+TEST(SessionManagerTest, AnonymousWithoutToken) {
+  SessionManager sessions;
+  http::Request request;
+  request.target = "/page";
+  EXPECT_FALSE(sessions.ResolveUser(request).has_value());
+}
+
+TEST(SessionManagerTest, UnknownTokenIsAnonymous) {
+  SessionManager sessions;
+  http::Request request;
+  request.target = "/page?sid=bogus";
+  EXPECT_FALSE(sessions.ResolveUser(request).has_value());
+}
+
+TEST(SessionManagerTest, LogoutInvalidatesToken) {
+  SessionManager sessions;
+  std::string token = sessions.Login("bob");
+  sessions.Logout(token);
+  http::Request request;
+  request.target = "/page?sid=" + token;
+  EXPECT_FALSE(sessions.ResolveUser(request).has_value());
+  EXPECT_EQ(sessions.active_sessions(), 0u);
+}
+
+TEST(SessionManagerTest, DistinctTokensPerLogin) {
+  SessionManager sessions;
+  EXPECT_NE(sessions.Login("bob"), sessions.Login("bob"));
+  EXPECT_EQ(sessions.active_sessions(), 2u);
+}
+
+}  // namespace
+}  // namespace dynaprox::appserver

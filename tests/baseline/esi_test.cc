@@ -1,0 +1,177 @@
+#include "baseline/esi.h"
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+
+namespace dynaprox::baseline {
+namespace {
+
+class EsiTest : public ::testing::Test {
+ protected:
+  EsiTest()
+      : origin_([this](const http::Request& request) {
+          std::string path(request.Path());
+          if (path == "/frag/navbar") {
+            ++navbar_generations_;
+            return http::Response::MakeOk("<nav/>");
+          }
+          if (path == "/frag/greeting") {
+            ++greeting_generations_;
+            ++profile_loads_;  // Fragment scripts each load the profile...
+            auto cookie = request.headers.Get("Cookie");
+            return http::Response::MakeOk(
+                cookie.has_value() ? "<p>Hello, Bob</p>" : "<p>Hello!</p>");
+          }
+          if (path == "/frag/reco") {
+            ++reco_generations_;
+            ++profile_loads_;  // ...so shared work repeats (Section 3.2.2).
+            return http::Response::MakeOk("<ul>picks</ul>");
+          }
+          if (path == "/plain") {
+            return http::Response::MakeOk("no template here");
+          }
+          return http::Response::MakeError(404, "Not Found", path);
+        }) {
+    EsiTemplate welcome;
+    welcome.parts.push_back(EsiPart::Literal("<html>"));
+    welcome.parts.push_back(EsiPart::Include("/frag/greeting"));
+    welcome.parts.push_back(EsiPart::Include("/frag/reco"));
+    welcome.parts.push_back(EsiPart::Include("/frag/navbar"));
+    welcome.parts.push_back(EsiPart::Literal("</html>"));
+    registry_.Register("/welcome", std::move(welcome));
+  }
+
+  EsiAssembler MakeAssembler() {
+    EsiOptions options;
+    options.clock = &clock_;
+    return EsiAssembler(&registry_, &origin_, options);
+  }
+
+  SimClock clock_;
+  EsiRegistry registry_;
+  int navbar_generations_ = 0;
+  int greeting_generations_ = 0;
+  int reco_generations_ = 0;
+  int profile_loads_ = 0;
+  net::DirectTransport origin_;
+};
+
+TEST_F(EsiTest, AssemblesTemplateFromIncludes) {
+  EsiAssembler assembler = MakeAssembler();
+  http::Request request;
+  request.target = "/welcome";
+  http::Response response = assembler.Handle(request);
+  EXPECT_EQ(response.status_code, 200);
+  EXPECT_EQ(response.body,
+            "<html><p>Hello!</p><ul>picks</ul><nav/></html>");
+  EXPECT_EQ(assembler.stats().fragment_origin_fetches, 3u);
+}
+
+TEST_F(EsiTest, FragmentsCachedByUrl) {
+  EsiAssembler assembler = MakeAssembler();
+  http::Request request;
+  request.target = "/welcome";
+  assembler.Handle(request);
+  assembler.Handle(request);
+  EXPECT_EQ(assembler.stats().fragment_origin_fetches, 3u);
+  EXPECT_EQ(assembler.stats().fragment_cache_hits, 3u);
+  EXPECT_EQ(navbar_generations_, 1);
+}
+
+TEST_F(EsiTest, InterdependentFragmentsRepeatSharedWork) {
+  // The Section 3.2.2 measurement: greeting and reco both need the user
+  // profile; factored into separate scripts, the profile is loaded twice
+  // per cold page (a DPC script loads it once).
+  EsiAssembler assembler = MakeAssembler();
+  http::Request request;
+  request.target = "/welcome";
+  assembler.Handle(request);
+  EXPECT_EQ(profile_loads_, 2);
+}
+
+TEST_F(EsiTest, FixedLayoutServesWrongPersonalization) {
+  // Bob (cookie) warms the fragment cache; Alice (no cookie) gets Bob's
+  // greeting because the include URL is the cache key.
+  EsiAssembler assembler = MakeAssembler();
+  http::Request bob;
+  bob.target = "/welcome";
+  bob.headers.Add("Cookie", "sid=bob");
+  EXPECT_NE(assembler.Handle(bob).body.find("Hello, Bob"),
+            std::string::npos);
+  http::Request alice;
+  alice.target = "/welcome";
+  http::Response alice_page = assembler.Handle(alice);
+  // WRONG page for Alice — the documented failure, asserted as behaviour.
+  EXPECT_NE(alice_page.body.find("Hello, Bob"), std::string::npos);
+}
+
+TEST_F(EsiTest, QueryForwardingSplitsCacheEntries) {
+  EsiTemplate by_category;
+  by_category.parts.push_back(EsiPart::Include("/frag/navbar"));
+  registry_.Register("/catalog", std::move(by_category));
+  EsiAssembler assembler = MakeAssembler();
+  http::Request fiction;
+  fiction.target = "/catalog?cat=fiction";
+  http::Request tech;
+  tech.target = "/catalog?cat=tech";
+  assembler.Handle(fiction);
+  assembler.Handle(tech);
+  assembler.Handle(fiction);
+  EXPECT_EQ(navbar_generations_, 2);  // One per distinct include URL.
+  EXPECT_EQ(assembler.stats().fragment_cache_hits, 1u);
+}
+
+TEST_F(EsiTest, TtlExpiresFragments) {
+  EsiTemplate page;
+  page.parts.push_back(
+      EsiPart::Include("/frag/navbar", 10 * kMicrosPerSecond));
+  registry_.Register("/ttl", std::move(page));
+  EsiAssembler assembler = MakeAssembler();
+  http::Request request;
+  request.target = "/ttl";
+  assembler.Handle(request);
+  clock_.AdvanceSeconds(5);
+  assembler.Handle(request);
+  EXPECT_EQ(navbar_generations_, 1);
+  clock_.AdvanceSeconds(6);
+  assembler.Handle(request);
+  EXPECT_EQ(navbar_generations_, 2);
+}
+
+TEST_F(EsiTest, UntemplatedPathsProxyThrough) {
+  EsiAssembler assembler = MakeAssembler();
+  http::Request request;
+  request.target = "/plain";
+  EXPECT_EQ(assembler.Handle(request).body, "no template here");
+}
+
+TEST_F(EsiTest, FailedIncludeDegradesPage) {
+  EsiTemplate page;
+  page.parts.push_back(EsiPart::Literal("["));
+  page.parts.push_back(EsiPart::Include("/frag/missing"));
+  page.parts.push_back(EsiPart::Literal("]"));
+  registry_.Register("/broken", std::move(page));
+  EsiAssembler assembler = MakeAssembler();
+  http::Request request;
+  request.target = "/broken";
+  http::Response response = assembler.Handle(request);
+  EXPECT_EQ(response.status_code, 200);
+  EXPECT_EQ(response.body, "[]");
+  EXPECT_EQ(assembler.stats().fragment_errors, 1u);
+}
+
+TEST_F(EsiTest, InvalidationDropsFragments) {
+  EsiAssembler assembler = MakeAssembler();
+  http::Request request;
+  request.target = "/welcome";
+  assembler.Handle(request);
+  EXPECT_TRUE(assembler.InvalidateFragmentUrl("/frag/navbar"));
+  EXPECT_FALSE(assembler.InvalidateFragmentUrl("/frag/navbar"));
+  EXPECT_EQ(assembler.InvalidateAll(), 2u);
+  assembler.Handle(request);
+  EXPECT_EQ(navbar_generations_, 2);
+}
+
+}  // namespace
+}  // namespace dynaprox::baseline

@@ -1,0 +1,122 @@
+#include "baseline/page_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+
+namespace dynaprox::baseline {
+namespace {
+
+class PageCacheTest : public ::testing::Test {
+ protected:
+  PageCacheTest()
+      : upstream_([this](const http::Request& request) {
+          ++origin_hits_;
+          return http::Response::MakeOk("page:" + request.target +
+                                        ":v" + std::to_string(version_));
+        }) {}
+
+  UrlPageCache MakeCache(size_t capacity = 8, MicroTime ttl = 0) {
+    PageCacheOptions options;
+    options.capacity = capacity;
+    options.ttl_micros = ttl;
+    options.clock = &clock_;
+    return UrlPageCache(&upstream_, options);
+  }
+
+  http::Request Get(const std::string& target) {
+    http::Request request;
+    request.target = target;
+    return request;
+  }
+
+  SimClock clock_;
+  int origin_hits_ = 0;
+  int version_ = 1;
+  net::DirectTransport upstream_;
+};
+
+TEST_F(PageCacheTest, CachesByUrl) {
+  UrlPageCache cache = MakeCache();
+  EXPECT_EQ(cache.Handle(Get("/a")).body, "page:/a:v1");
+  version_ = 2;
+  EXPECT_EQ(cache.Handle(Get("/a")).body, "page:/a:v1");  // Stale hit.
+  EXPECT_EQ(cache.Handle(Get("/b")).body, "page:/b:v2");
+  EXPECT_EQ(origin_hits_, 2);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST_F(PageCacheTest, IgnoresCookiesTheDocumentedHazard) {
+  UrlPageCache cache = MakeCache();
+  http::Request bob = Get("/welcome");
+  bob.headers.Add("Cookie", "sid=bob");
+  http::Request alice = Get("/welcome");
+  cache.Handle(bob);
+  version_ = 99;
+  // Alice gets Bob's cached page: same URL, cookie ignored.
+  EXPECT_EQ(cache.Handle(alice).body, "page:/welcome:v1");
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST_F(PageCacheTest, TtlExpires) {
+  UrlPageCache cache = MakeCache(8, 5 * kMicrosPerSecond);
+  cache.Handle(Get("/a"));
+  clock_.AdvanceSeconds(3);
+  cache.Handle(Get("/a"));
+  EXPECT_EQ(cache.stats().hits, 1u);
+  clock_.AdvanceSeconds(3);
+  version_ = 2;
+  EXPECT_EQ(cache.Handle(Get("/a")).body, "page:/a:v2");
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST_F(PageCacheTest, LruEvictsBeyondCapacity) {
+  UrlPageCache cache = MakeCache(2);
+  cache.Handle(Get("/a"));
+  cache.Handle(Get("/b"));
+  cache.Handle(Get("/a"));  // Touch /a so /b is LRU.
+  cache.Handle(Get("/c"));  // Evicts /b.
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  origin_hits_ = 0;
+  cache.Handle(Get("/a"));
+  EXPECT_EQ(origin_hits_, 0);  // Still cached.
+  cache.Handle(Get("/b"));
+  EXPECT_EQ(origin_hits_, 1);  // Was evicted.
+}
+
+TEST_F(PageCacheTest, InvalidationDropsWholePage) {
+  UrlPageCache cache = MakeCache();
+  cache.Handle(Get("/a"));
+  EXPECT_TRUE(cache.InvalidateUrl("/a"));
+  EXPECT_FALSE(cache.InvalidateUrl("/a"));
+  version_ = 2;
+  EXPECT_EQ(cache.Handle(Get("/a")).body, "page:/a:v2");
+}
+
+TEST_F(PageCacheTest, InvalidateAllEmptiesCache) {
+  UrlPageCache cache = MakeCache();
+  cache.Handle(Get("/a"));
+  cache.Handle(Get("/b"));
+  EXPECT_EQ(cache.InvalidateAll(), 2u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST_F(PageCacheTest, ErrorsAndNonGetsNotCached) {
+  net::DirectTransport failing([](const http::Request& request) {
+    if (request.method == "POST") return http::Response::MakeOk("posted");
+    return http::Response::MakeError(500, "Internal Server Error", "boom");
+  });
+  PageCacheOptions options;
+  options.clock = &clock_;
+  UrlPageCache cache(&failing, options);
+  EXPECT_EQ(cache.Handle(Get("/err")).status_code, 500);
+  EXPECT_EQ(cache.size(), 0u);
+  http::Request post = Get("/submit");
+  post.method = "POST";
+  EXPECT_EQ(cache.Handle(post).body, "posted");
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+}  // namespace
+}  // namespace dynaprox::baseline

@@ -1,0 +1,209 @@
+#include "bem/cache_directory.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+
+namespace dynaprox::bem {
+namespace {
+
+std::unique_ptr<CacheDirectory> MakeDirectory(DpcKey capacity,
+                                              const Clock* clock) {
+  return std::make_unique<CacheDirectory>(
+      capacity, clock, *MakeReplacementPolicy("lru"));
+}
+
+FragmentId Frag(const std::string& name) { return FragmentId(name); }
+
+TEST(CacheDirectoryTest, MissThenInsertThenHit) {
+  SimClock clock;
+  auto dir = MakeDirectory(8, &clock);
+  LookupResult miss = dir->Lookup(Frag("navbar"));
+  EXPECT_EQ(miss.outcome, LookupOutcome::kMissAbsent);
+
+  Result<DpcKey> key = dir->Insert(Frag("navbar"), 0);
+  ASSERT_TRUE(key.ok());
+  EXPECT_EQ(*key, 0u);
+
+  LookupResult hit = dir->Lookup(Frag("navbar"));
+  ASSERT_TRUE(hit.hit());
+  EXPECT_EQ(hit.key, *key);
+  EXPECT_EQ(dir->stats().hits, 1u);
+  EXPECT_EQ(dir->stats().misses, 1u);
+}
+
+TEST(CacheDirectoryTest, SequentialKeysFromFreeList) {
+  SimClock clock;
+  auto dir = MakeDirectory(8, &clock);
+  EXPECT_EQ(*dir->Insert(Frag("a"), 0), 0u);
+  EXPECT_EQ(*dir->Insert(Frag("b"), 0), 1u);
+  EXPECT_EQ(*dir->Insert(Frag("c"), 0), 2u);
+  EXPECT_EQ(dir->valid_count(), 3u);
+  EXPECT_EQ(dir->free_key_count(), 5u);
+}
+
+TEST(CacheDirectoryTest, InvalidateReleasesKeyToTail) {
+  SimClock clock;
+  auto dir = MakeDirectory(3, &clock);
+  ASSERT_TRUE(dir->Insert(Frag("a"), 0).ok());  // key 0.
+  ASSERT_TRUE(dir->Invalidate(Frag("a")).ok());
+  EXPECT_EQ(dir->Lookup(Frag("a")).outcome, LookupOutcome::kMissInvalid);
+  // Keys 1 and 2 precede the released 0.
+  EXPECT_EQ(*dir->Insert(Frag("b"), 0), 1u);
+  EXPECT_EQ(*dir->Insert(Frag("c"), 0), 2u);
+  EXPECT_EQ(*dir->Insert(Frag("d"), 0), 0u);  // Reuses the released key.
+}
+
+TEST(CacheDirectoryTest, InvalidateUnknownFails) {
+  SimClock clock;
+  auto dir = MakeDirectory(2, &clock);
+  EXPECT_TRUE(dir->Invalidate(Frag("ghost")).IsNotFound());
+  ASSERT_TRUE(dir->Insert(Frag("a"), 0).ok());
+  ASSERT_TRUE(dir->Invalidate(Frag("a")).ok());
+  EXPECT_TRUE(dir->Invalidate(Frag("a")).IsNotFound());  // Already invalid.
+}
+
+TEST(CacheDirectoryTest, TtlExpiryIsLazy) {
+  SimClock clock;
+  auto dir = MakeDirectory(4, &clock);
+  ASSERT_TRUE(dir->Insert(Frag("quote"), 10 * kMicrosPerSecond).ok());
+  clock.AdvanceSeconds(5);
+  EXPECT_TRUE(dir->Lookup(Frag("quote")).hit());
+  clock.AdvanceSeconds(6);
+  EXPECT_EQ(dir->Lookup(Frag("quote")).outcome,
+            LookupOutcome::kMissExpired);
+  EXPECT_EQ(dir->stats().ttl_invalidations, 1u);
+  // Further lookups see the invalid entry.
+  EXPECT_EQ(dir->Lookup(Frag("quote")).outcome,
+            LookupOutcome::kMissInvalid);
+}
+
+TEST(CacheDirectoryTest, ZeroTtlNeverExpires) {
+  SimClock clock;
+  auto dir = MakeDirectory(4, &clock);
+  ASSERT_TRUE(dir->Insert(Frag("eternal"), 0).ok());
+  clock.AdvanceSeconds(1e6);
+  EXPECT_TRUE(dir->Lookup(Frag("eternal")).hit());
+}
+
+TEST(CacheDirectoryTest, SweepExpiredInvalidatesAllExpired) {
+  SimClock clock;
+  auto dir = MakeDirectory(8, &clock);
+  ASSERT_TRUE(dir->Insert(Frag("fast"), 1 * kMicrosPerSecond).ok());
+  ASSERT_TRUE(dir->Insert(Frag("slow"), 100 * kMicrosPerSecond).ok());
+  ASSERT_TRUE(dir->Insert(Frag("none"), 0).ok());
+  clock.AdvanceSeconds(2);
+  EXPECT_EQ(dir->SweepExpired(), 1u);
+  EXPECT_EQ(dir->valid_count(), 2u);
+  clock.AdvanceSeconds(200);
+  EXPECT_EQ(dir->SweepExpired(), 1u);
+  EXPECT_TRUE(dir->Lookup(Frag("none")).hit());
+}
+
+TEST(CacheDirectoryTest, ReinsertValidFragmentGetsFreshKey) {
+  SimClock clock;
+  auto dir = MakeDirectory(4, &clock);
+  DpcKey first = *dir->Insert(Frag("a"), 0);
+  DpcKey second = *dir->Insert(Frag("a"), 0);
+  EXPECT_NE(first, second);
+  EXPECT_EQ(dir->valid_count(), 1u);
+  LookupResult hit = dir->Lookup(Frag("a"));
+  ASSERT_TRUE(hit.hit());
+  EXPECT_EQ(hit.key, second);
+}
+
+TEST(CacheDirectoryTest, KeyReuseReclaimsStaleEntry) {
+  SimClock clock;
+  auto dir = MakeDirectory(1, &clock);
+  ASSERT_TRUE(dir->Insert(Frag("old"), 0).ok());      // key 0.
+  ASSERT_TRUE(dir->Invalidate(Frag("old")).ok());     // key 0 released.
+  ASSERT_TRUE(dir->Insert(Frag("new"), 0).ok());      // Reuses key 0.
+  // The stale "old" entry must be gone: directory size bounded by capacity.
+  EXPECT_EQ(dir->entry_count(), 1u);
+  EXPECT_EQ(dir->Lookup(Frag("old")).outcome, LookupOutcome::kMissAbsent);
+  EXPECT_TRUE(dir->Lookup(Frag("new")).hit());
+}
+
+TEST(CacheDirectoryTest, EvictionWhenKeySpaceExhausted) {
+  SimClock clock;
+  auto dir = MakeDirectory(2, &clock);
+  ASSERT_TRUE(dir->Insert(Frag("a"), 0).ok());
+  ASSERT_TRUE(dir->Insert(Frag("b"), 0).ok());
+  // "a" is LRU; inserting "c" evicts it.
+  ASSERT_TRUE(dir->Insert(Frag("c"), 0).ok());
+  EXPECT_EQ(dir->stats().evictions, 1u);
+  EXPECT_EQ(dir->Lookup(Frag("a")).outcome, LookupOutcome::kMissAbsent);
+  EXPECT_TRUE(dir->Lookup(Frag("b")).hit());
+  EXPECT_TRUE(dir->Lookup(Frag("c")).hit());
+}
+
+TEST(CacheDirectoryTest, AccessOrderShapesEviction) {
+  SimClock clock;
+  auto dir = MakeDirectory(2, &clock);
+  ASSERT_TRUE(dir->Insert(Frag("a"), 0).ok());
+  ASSERT_TRUE(dir->Insert(Frag("b"), 0).ok());
+  EXPECT_TRUE(dir->Lookup(Frag("a")).hit());  // "b" becomes LRU.
+  ASSERT_TRUE(dir->Insert(Frag("c"), 0).ok());
+  EXPECT_TRUE(dir->Lookup(Frag("a")).hit());
+  EXPECT_EQ(dir->Lookup(Frag("b")).outcome, LookupOutcome::kMissAbsent);
+}
+
+TEST(CacheDirectoryTest, InvalidateAllReleasesEverything) {
+  SimClock clock;
+  auto dir = MakeDirectory(4, &clock);
+  ASSERT_TRUE(dir->Insert(Frag("a"), 0).ok());
+  ASSERT_TRUE(dir->Insert(Frag("b"), 0).ok());
+  EXPECT_EQ(dir->InvalidateAll(), 2u);
+  EXPECT_EQ(dir->valid_count(), 0u);
+  EXPECT_EQ(dir->free_key_count(), 4u);
+  EXPECT_EQ(dir->InvalidateAll(), 0u);
+}
+
+TEST(CacheDirectoryTest, InvalidateKeyFindsOwner) {
+  SimClock clock;
+  auto dir = MakeDirectory(4, &clock);
+  DpcKey key = *dir->Insert(Frag("a"), 0);
+  Result<std::string> owner = dir->InvalidateKey(key);
+  ASSERT_TRUE(owner.ok());
+  EXPECT_EQ(*owner, "a");
+  EXPECT_EQ(dir->Lookup(Frag("a")).outcome, LookupOutcome::kMissInvalid);
+  EXPECT_TRUE(dir->InvalidateKey(key).status().IsNotFound());
+  EXPECT_TRUE(dir->InvalidateKey(99).status().IsInvalidArgument());
+}
+
+TEST(CacheDirectoryTest, KeyOfReportsValidEntriesOnly) {
+  SimClock clock;
+  auto dir = MakeDirectory(4, &clock);
+  DpcKey key = *dir->Insert(Frag("a"), 0);
+  ASSERT_TRUE(dir->KeyOf(Frag("a")).ok());
+  EXPECT_EQ(*dir->KeyOf(Frag("a")), key);
+  ASSERT_TRUE(dir->Invalidate(Frag("a")).ok());
+  EXPECT_TRUE(dir->KeyOf(Frag("a")).status().IsNotFound());
+}
+
+// Invariant sweep: under a random-ish workload the directory never exceeds
+// capacity, and valid + free key counts always total capacity.
+TEST(CacheDirectoryTest, InvariantsHoldUnderChurn) {
+  SimClock clock;
+  const DpcKey kCapacity = 8;
+  auto dir = MakeDirectory(kCapacity, &clock);
+  for (int i = 0; i < 500; ++i) {
+    FragmentId id("f" + std::to_string(i % 20));
+    LookupResult lookup = dir->Lookup(id);
+    if (!lookup.hit()) {
+      ASSERT_TRUE(dir->Insert(id, (i % 3 == 0) ? 5 : 0).ok());
+    }
+    if (i % 7 == 0) {
+      (void)dir->Invalidate(FragmentId("f" + std::to_string((i / 7) % 20)));
+    }
+    clock.AdvanceMicros(1);
+    ASSERT_LE(dir->entry_count(), kCapacity);
+    ASSERT_EQ(dir->valid_count() + dir->free_key_count(), kCapacity);
+  }
+  EXPECT_GT(dir->stats().evictions, 0u);
+}
+
+}  // namespace
+}  // namespace dynaprox::bem

@@ -1,0 +1,135 @@
+#include "bem/replacement.h"
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace dynaprox::bem {
+namespace {
+
+TEST(LruPolicyTest, EvictsLeastRecentlyUsed) {
+  LruPolicy lru;
+  lru.OnInsert("a");
+  lru.OnInsert("b");
+  lru.OnInsert("c");
+  EXPECT_EQ(*lru.PickVictim(), "a");
+  lru.OnAccess("a");  // Now "b" is oldest.
+  EXPECT_EQ(*lru.PickVictim(), "b");
+}
+
+TEST(LruPolicyTest, RemoveDropsEntry) {
+  LruPolicy lru;
+  lru.OnInsert("a");
+  lru.OnInsert("b");
+  lru.OnRemove("a");
+  EXPECT_EQ(*lru.PickVictim(), "b");
+  lru.OnRemove("b");
+  EXPECT_FALSE(lru.PickVictim().ok());
+}
+
+TEST(LruPolicyTest, RemoveUnknownIsIgnored) {
+  LruPolicy lru;
+  lru.OnRemove("ghost");
+  EXPECT_FALSE(lru.PickVictim().ok());
+}
+
+TEST(LruPolicyTest, ReinsertTouches) {
+  LruPolicy lru;
+  lru.OnInsert("a");
+  lru.OnInsert("b");
+  lru.OnInsert("a");  // Re-insert moves "a" to the front.
+  EXPECT_EQ(*lru.PickVictim(), "b");
+}
+
+TEST(FifoPolicyTest, EvictsOldestIgnoringAccesses) {
+  FifoPolicy fifo;
+  fifo.OnInsert("a");
+  fifo.OnInsert("b");
+  fifo.OnAccess("a");  // FIFO ignores accesses.
+  EXPECT_EQ(*fifo.PickVictim(), "a");
+  fifo.OnRemove("a");
+  EXPECT_EQ(*fifo.PickVictim(), "b");
+}
+
+TEST(FifoPolicyTest, ReinsertKeepsOriginalAge) {
+  FifoPolicy fifo;
+  fifo.OnInsert("a");
+  fifo.OnInsert("b");
+  fifo.OnInsert("a");  // Still oldest.
+  EXPECT_EQ(*fifo.PickVictim(), "a");
+}
+
+TEST(ClockPolicyTest, SecondChanceBeforeEviction) {
+  ClockPolicy clock;
+  clock.OnInsert("a");
+  clock.OnInsert("b");
+  // Both referenced: first sweep clears bits, second finds "a".
+  EXPECT_EQ(*clock.PickVictim(), "a");
+  // "a" was not removed and its bit is now clear; accessing it re-arms it.
+  clock.OnAccess("a");
+  EXPECT_EQ(*clock.PickVictim(), "b");
+}
+
+TEST(ClockPolicyTest, RemoveKeepsRingConsistent) {
+  ClockPolicy clock;
+  clock.OnInsert("a");
+  clock.OnInsert("b");
+  clock.OnInsert("c");
+  clock.OnRemove("b");
+  Result<std::string> victim = clock.PickVictim();
+  ASSERT_TRUE(victim.ok());
+  EXPECT_NE(*victim, "b");
+  clock.OnRemove("a");
+  clock.OnRemove("c");
+  EXPECT_FALSE(clock.PickVictim().ok());
+}
+
+TEST(ClockPolicyTest, EmptyRingFails) {
+  ClockPolicy clock;
+  EXPECT_EQ(clock.PickVictim().status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(MakeReplacementPolicyTest, FactoryByName) {
+  for (const char* name : {"lru", "fifo", "clock"}) {
+    Result<std::unique_ptr<ReplacementPolicy>> policy =
+        MakeReplacementPolicy(name);
+    ASSERT_TRUE(policy.ok()) << name;
+    EXPECT_EQ((*policy)->name(), name);
+  }
+  EXPECT_FALSE(MakeReplacementPolicy("arc").ok());
+}
+
+// Property-style sweep: every policy returns a victim that was inserted
+// and not removed, for a few interleavings.
+class PolicyParamTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PolicyParamTest, VictimIsAlwaysATrackedEntry) {
+  auto policy = *MakeReplacementPolicy(GetParam());
+  std::set<std::string> live;
+  for (int i = 0; i < 20; ++i) {
+    std::string id = "f" + std::to_string(i);
+    policy->OnInsert(id);
+    live.insert(id);
+    if (i % 3 == 0) {
+      policy->OnAccess("f" + std::to_string(i / 2));
+    }
+    if (i % 4 == 0 && !live.empty()) {
+      std::string gone = *live.begin();
+      policy->OnRemove(gone);
+      live.erase(gone);
+    }
+    if (!live.empty()) {
+      Result<std::string> victim = policy->PickVictim();
+      ASSERT_TRUE(victim.ok());
+      EXPECT_TRUE(live.count(*victim)) << *victim;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyParamTest,
+                         ::testing::Values("lru", "fifo", "clock"));
+
+}  // namespace
+}  // namespace dynaprox::bem

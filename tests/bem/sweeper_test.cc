@@ -1,0 +1,71 @@
+#include "bem/sweeper.h"
+
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace dynaprox::bem {
+namespace {
+
+std::unique_ptr<BackEndMonitor> MakeMonitor(const Clock* clock) {
+  BemOptions options;
+  options.capacity = 16;
+  options.clock = clock;
+  return *BackEndMonitor::Create(options);
+}
+
+TEST(SweeperTest, SweepNowInvalidatesExpired) {
+  SimClock clock;
+  auto monitor = MakeMonitor(&clock);
+  ASSERT_TRUE(monitor->InsertFragment(FragmentId("a"), 5).ok());
+  ASSERT_TRUE(monitor->InsertFragment(FragmentId("b"), 0).ok());
+  PeriodicSweeper sweeper(monitor.get(), 1000);
+  clock.AdvanceMicros(10);
+  EXPECT_EQ(sweeper.SweepNow(), 1u);
+  EXPECT_EQ(monitor->directory().valid_count(), 1u);
+}
+
+TEST(SweeperTest, BackgroundThreadSweepsPeriodically) {
+  SimClock clock;
+  auto monitor = MakeMonitor(&clock);
+  ASSERT_TRUE(monitor->InsertFragment(FragmentId("a"), 5).ok());
+  clock.AdvanceMicros(10);  // Already expired; sweeper just needs to run.
+
+  PeriodicSweeper sweeper(monitor.get(), 2'000);  // 2ms wall-clock period.
+  sweeper.Start();
+  for (int i = 0; i < 200 && sweeper.total_invalidated() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  sweeper.Stop();
+  EXPECT_GE(sweeper.sweeps_run(), 1u);
+  EXPECT_EQ(sweeper.total_invalidated(), 1u);
+  EXPECT_FALSE(sweeper.running());
+}
+
+TEST(SweeperTest, StartStopIdempotent) {
+  SimClock clock;
+  auto monitor = MakeMonitor(&clock);
+  PeriodicSweeper sweeper(monitor.get(), 1'000);
+  sweeper.Start();
+  sweeper.Start();
+  EXPECT_TRUE(sweeper.running());
+  sweeper.Stop();
+  sweeper.Stop();
+  EXPECT_FALSE(sweeper.running());
+  // Restartable.
+  sweeper.Start();
+  sweeper.Stop();
+}
+
+TEST(SweeperTest, DestructorStops) {
+  SimClock clock;
+  auto monitor = MakeMonitor(&clock);
+  {
+    PeriodicSweeper sweeper(monitor.get(), 1'000);
+    sweeper.Start();
+  }  // Must not hang or crash.
+}
+
+}  // namespace
+}  // namespace dynaprox::bem

@@ -1,0 +1,66 @@
+#include "bem/tag_codec.h"
+
+#include <gtest/gtest.h>
+
+namespace dynaprox::bem {
+namespace {
+
+TEST(TagCodecTest, LiteralPassesPlainTextThrough) {
+  std::string out;
+  TagCodec::AppendLiteral("<html>hello</html>", out);
+  EXPECT_EQ(out, "<html>hello</html>");
+}
+
+TEST(TagCodecTest, LiteralEscapesStx) {
+  std::string out;
+  TagCodec::AppendLiteral(std::string("a\x02z"), out);
+  EXPECT_EQ(out, std::string("a\x02L\x03z"));
+}
+
+TEST(TagCodecTest, EtxNeedsNoEscape) {
+  std::string out;
+  TagCodec::AppendLiteral(std::string("a\x03z"), out);
+  EXPECT_EQ(out, std::string("a\x03z"));
+}
+
+TEST(TagCodecTest, GetTagFormat) {
+  std::string out;
+  TagCodec::AppendGet(0x2A, out);
+  EXPECT_EQ(out, std::string("\x02G2a\x03"));
+}
+
+TEST(TagCodecTest, SetTagWrapsContent) {
+  std::string out;
+  TagCodec::AppendSet(1, "body", out);
+  EXPECT_EQ(out, std::string("\x02S1\x03") + "body" + "\x02" "E\x03");
+}
+
+TEST(TagCodecTest, SetEscapesContent) {
+  std::string out;
+  TagCodec::AppendSet(1, std::string("x\x02y"), out);
+  EXPECT_EQ(out,
+            std::string("\x02S1\x03") + "x\x02L\x03y" + "\x02" "E\x03");
+}
+
+TEST(TagCodecTest, TagSizesMatchEmission) {
+  for (DpcKey key : {DpcKey{0}, DpcKey{15}, DpcKey{16}, DpcKey{4095},
+                     DpcKey{1u << 20}}) {
+    std::string get;
+    TagCodec::AppendGet(key, get);
+    EXPECT_EQ(get.size(), TagCodec::GetTagSize(key));
+
+    std::string set;
+    TagCodec::AppendSet(key, "0123456789", set);
+    EXPECT_EQ(set.size(), TagCodec::SetFramingSize(key) + 10);
+  }
+}
+
+TEST(TagCodecTest, TypicalTagSizeIsAboutTenBytes) {
+  // Table 2 sets g = 10; our realized GET tag for keys up to 0xffffff is
+  // 3 + <=6 = at most 9 bytes, comfortably within the modeled budget.
+  EXPECT_LE(TagCodec::GetTagSize(0xFFFFFF), 10u);
+  EXPECT_GE(TagCodec::GetTagSize(0), 4u);
+}
+
+}  // namespace
+}  // namespace dynaprox::bem

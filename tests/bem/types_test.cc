@@ -1,0 +1,45 @@
+#include "bem/types.h"
+
+#include <gtest/gtest.h>
+
+namespace dynaprox::bem {
+namespace {
+
+TEST(FragmentIdTest, CanonicalWithoutParams) {
+  FragmentId id("navbar");
+  EXPECT_EQ(id.Canonical(), "navbar");
+}
+
+TEST(FragmentIdTest, CanonicalWithParamsSorted) {
+  FragmentId id("catalog", {{"page", "2"}, {"categoryID", "Fiction"}});
+  // std::map keeps keys sorted, so canonical form is order-insensitive.
+  EXPECT_EQ(id.Canonical(), "catalog?categoryID=Fiction&page=2");
+}
+
+TEST(FragmentIdTest, ParamOrderDoesNotMatter) {
+  FragmentId a("f", {{"x", "1"}, {"y", "2"}});
+  FragmentId b("f", {{"y", "2"}, {"x", "1"}});
+  EXPECT_EQ(a.Canonical(), b.Canonical());
+  EXPECT_TRUE(a == b);
+}
+
+TEST(FragmentIdTest, DifferentParamsDiffer) {
+  FragmentId a("f", {{"v", "1"}});
+  FragmentId b("f", {{"v", "2"}});
+  EXPECT_FALSE(a == b);
+  EXPECT_NE(a.Canonical(), b.Canonical());
+  EXPECT_TRUE(a < b || b < a);
+}
+
+TEST(FragmentIdTest, OrderingIsStrictWeak) {
+  FragmentId a("a");
+  FragmentId b("b");
+  FragmentId a1("a", {{"k", "1"}});
+  EXPECT_TRUE(a < b);
+  EXPECT_FALSE(b < a);
+  EXPECT_TRUE(a < a1);
+  EXPECT_FALSE(a < a);
+}
+
+}  // namespace
+}  // namespace dynaprox::bem

@@ -1,0 +1,36 @@
+#include "common/clock.h"
+
+#include <gtest/gtest.h>
+
+namespace dynaprox {
+namespace {
+
+TEST(SystemClockTest, IsMonotonicNonDecreasing) {
+  SystemClock clock;
+  MicroTime a = clock.NowMicros();
+  MicroTime b = clock.NowMicros();
+  EXPECT_LE(a, b);
+}
+
+TEST(SystemClockTest, DefaultReturnsSameInstance) {
+  EXPECT_EQ(SystemClock::Default(), SystemClock::Default());
+}
+
+TEST(SimClockTest, StartsAtGivenTime) {
+  SimClock clock(1000);
+  EXPECT_EQ(clock.NowMicros(), 1000);
+}
+
+TEST(SimClockTest, AdvancesManually) {
+  SimClock clock;
+  EXPECT_EQ(clock.NowMicros(), 0);
+  clock.AdvanceMicros(5);
+  EXPECT_EQ(clock.NowMicros(), 5);
+  clock.AdvanceSeconds(2.5);
+  EXPECT_EQ(clock.NowMicros(), 5 + 2'500'000);
+  clock.SetMicros(42);
+  EXPECT_EQ(clock.NowMicros(), 42);
+}
+
+}  // namespace
+}  // namespace dynaprox

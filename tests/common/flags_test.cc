@@ -1,0 +1,77 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace dynaprox {
+namespace {
+
+Result<Flags> ParseArgs(std::vector<const char*> argv) {
+  return Flags::Parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(FlagsTest, EqualsForm) {
+  Result<Flags> flags = ParseArgs({"--name=value", "--n=3"});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_EQ(flags->GetString("name"), "value");
+  EXPECT_EQ(*flags->GetInt("n", 0), 3);
+}
+
+TEST(FlagsTest, SpaceForm) {
+  Result<Flags> flags = ParseArgs({"--port", "8080", "--host", "localhost"});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_EQ(*flags->GetInt("port", 0), 8080);
+  EXPECT_EQ(flags->GetString("host"), "localhost");
+}
+
+TEST(FlagsTest, BareFlagIsBooleanTrue) {
+  Result<Flags> flags = ParseArgs({"--verbose", "--quiet", "--x=false"});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_TRUE(flags->GetBool("verbose"));
+  EXPECT_TRUE(flags->GetBool("quiet"));
+  EXPECT_FALSE(flags->GetBool("x"));
+  EXPECT_FALSE(flags->GetBool("absent", false));
+  EXPECT_TRUE(flags->GetBool("absent", true));
+}
+
+TEST(FlagsTest, PositionalAndDoubleDash) {
+  Result<Flags> flags =
+      ParseArgs({"input.txt", "--k=v", "--", "--not-a-flag"});
+  ASSERT_TRUE(flags.ok());
+  ASSERT_EQ(flags->positional().size(), 2u);
+  EXPECT_EQ(flags->positional()[0], "input.txt");
+  EXPECT_EQ(flags->positional()[1], "--not-a-flag");
+  EXPECT_TRUE(flags->Has("k"));
+}
+
+TEST(FlagsTest, NumericParsing) {
+  Result<Flags> flags =
+      ParseArgs({"--neg=-5", "--ratio=0.75", "--bad=abc"});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_EQ(*flags->GetInt("neg", 0), -5);
+  EXPECT_DOUBLE_EQ(*flags->GetDouble("ratio", 0), 0.75);
+  EXPECT_FALSE(flags->GetInt("bad", 0).ok());
+  EXPECT_FALSE(flags->GetDouble("bad", 0).ok());
+  EXPECT_EQ(*flags->GetInt("absent", 42), 42);
+  EXPECT_DOUBLE_EQ(*flags->GetDouble("absent", 2.5), 2.5);
+}
+
+TEST(FlagsTest, MalformedFlagsRejected) {
+  EXPECT_FALSE(ParseArgs({"--=x"}).ok());
+}
+
+TEST(FlagsTest, FlagNamesListed) {
+  Result<Flags> flags = ParseArgs({"--b=1", "--a=2"});
+  ASSERT_TRUE(flags.ok());
+  auto names = flags->FlagNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a");  // Sorted (map order).
+}
+
+TEST(FlagsTest, LastValueWinsOnRepeat) {
+  Result<Flags> flags = ParseArgs({"--x=1", "--x=2"});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_EQ(*flags->GetInt("x", 0), 2);
+}
+
+}  // namespace
+}  // namespace dynaprox

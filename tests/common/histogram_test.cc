@@ -1,0 +1,61 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace dynaprox {
+namespace {
+
+TEST(HistogramTest, EmptyHistogramIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.Percentile(0.5), 0);
+}
+
+TEST(HistogramTest, BasicStats) {
+  Histogram h;
+  for (double v : {5.0, 1.0, 3.0, 2.0, 4.0}) h.Record(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 5.0);
+}
+
+TEST(HistogramTest, PercentilesNearestRank) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.Record(i);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.50), 50.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.95), 95.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.99), 99.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.0), 1.0);
+}
+
+TEST(HistogramTest, RecordAfterQueryStaysCorrect) {
+  Histogram h;
+  h.Record(10);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 10.0);
+  h.Record(1);  // Re-sorts lazily on the next query.
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 10.0);
+}
+
+TEST(HistogramTest, ClearResets) {
+  Histogram h;
+  h.Record(7);
+  h.Clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0);
+}
+
+TEST(HistogramTest, OutOfRangeQuantileClamped) {
+  Histogram h;
+  h.Record(3);
+  EXPECT_DOUBLE_EQ(h.Percentile(-1), 3.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(2), 3.0);
+}
+
+}  // namespace
+}  // namespace dynaprox

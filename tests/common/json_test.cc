@@ -1,0 +1,95 @@
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+namespace dynaprox {
+namespace {
+
+TEST(JsonEscapeTest, EscapesSpecials) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("line\nbreak\t"), "line\\nbreak\\t");
+  EXPECT_EQ(JsonEscape(std::string("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonWriterTest, FlatObject) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("a").Int(1);
+  json.Key("b").String("two");
+  json.Key("c").Bool(true);
+  json.Key("d").Null();
+  json.EndObject();
+  EXPECT_EQ(json.TakeString(),
+            R"({"a":1,"b":"two","c":true,"d":null})");
+}
+
+TEST(JsonWriterTest, NestedObjectsAndArrays) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("list").BeginArray();
+  json.Int(1);
+  json.Int(2);
+  json.BeginObject();
+  json.Key("x").Double(0.5);
+  json.EndObject();
+  json.EndArray();
+  json.Key("empty").BeginObject();
+  json.EndObject();
+  json.EndObject();
+  EXPECT_EQ(json.TakeString(), R"({"list":[1,2,{"x":0.5}],"empty":{}})");
+}
+
+TEST(JsonWriterTest, EmptyArray) {
+  JsonWriter json;
+  json.BeginArray();
+  json.EndArray();
+  EXPECT_EQ(json.TakeString(), "[]");
+}
+
+TEST(JsonWriterTest, TopLevelScalar) {
+  JsonWriter json;
+  json.String("alone");
+  EXPECT_EQ(json.TakeString(), "\"alone\"");
+}
+
+TEST(JsonWriterTest, UintAndNegativeInt) {
+  JsonWriter json;
+  json.BeginArray();
+  json.Uint(UINT64_MAX);
+  json.Int(-42);
+  json.EndArray();
+  EXPECT_EQ(json.TakeString(), "[18446744073709551615,-42]");
+}
+
+TEST(JsonWriterTest, NonFiniteDoubleBecomesNull) {
+  JsonWriter json;
+  json.BeginArray();
+  json.Double(std::numeric_limits<double>::infinity());
+  json.Double(std::numeric_limits<double>::quiet_NaN());
+  json.EndArray();
+  EXPECT_EQ(json.TakeString(), "[null,null]");
+}
+
+TEST(JsonWriterTest, KeysEscaped) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("we\"ird").Int(1);
+  json.EndObject();
+  EXPECT_EQ(json.TakeString(), R"({"we\"ird":1})");
+}
+
+TEST(JsonWriterTest, TakeStringResets) {
+  JsonWriter json;
+  json.BeginObject();
+  json.EndObject();
+  EXPECT_EQ(json.TakeString(), "{}");
+  json.BeginArray();
+  json.Int(1);
+  json.EndArray();
+  EXPECT_EQ(json.TakeString(), "[1]");
+}
+
+}  // namespace
+}  // namespace dynaprox

@@ -1,0 +1,43 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace dynaprox {
+namespace {
+
+// Restores the global level after each test.
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = Logger::level(); }
+  void TearDown() override { Logger::set_level(saved_); }
+  LogLevel saved_;
+};
+
+TEST_F(LoggingTest, LevelRoundTrips) {
+  Logger::set_level(LogLevel::kDebug);
+  EXPECT_EQ(Logger::level(), LogLevel::kDebug);
+  Logger::set_level(LogLevel::kOff);
+  EXPECT_EQ(Logger::level(), LogLevel::kOff);
+}
+
+TEST_F(LoggingTest, MacroBelowLevelDoesNotEvaluateStream) {
+  Logger::set_level(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&]() {
+    ++evaluations;
+    return "value";
+  };
+  DYNAPROX_LOG(kDebug, "test") << expensive();
+  EXPECT_EQ(evaluations, 0);
+  DYNAPROX_LOG(kError, "test") << expensive();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LoggingTest, LogAtOffIsSilentAndSafe) {
+  Logger::set_level(LogLevel::kOff);
+  Logger::Log(LogLevel::kError, "test", "should be dropped");
+  DYNAPROX_LOG(kError, "test") << "also dropped";
+}
+
+}  // namespace
+}  // namespace dynaprox

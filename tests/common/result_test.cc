@@ -1,0 +1,64 @@
+#include "common/result.h"
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace dynaprox {
+namespace {
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("gone"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.status().message(), "gone");
+}
+
+TEST(ResultTest, MoveOnlyValueCanBeExtracted) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(ResultTest, ArrowOperatorReachesMembers) {
+  Result<std::string> r(std::string("hello"));
+  EXPECT_EQ(r->size(), 5u);
+}
+
+TEST(ResultTest, ValueOrFallsBack) {
+  Result<int> ok(3);
+  Result<int> err(Status::Internal("x"));
+  EXPECT_EQ(ok.value_or(9), 3);
+  EXPECT_EQ(err.value_or(9), 9);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Status Quarter(int x, int& out) {
+  int half = 0;
+  DYNAPROX_ASSIGN_OR_RETURN(half, Half(x));
+  DYNAPROX_ASSIGN_OR_RETURN(out, Half(half));
+  return Status::Ok();
+}
+
+TEST(ResultTest, AssignOrReturnMacroChains) {
+  int out = 0;
+  ASSERT_TRUE(Quarter(8, out).ok());
+  EXPECT_EQ(out, 2);
+  EXPECT_EQ(Quarter(6, out).code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace dynaprox

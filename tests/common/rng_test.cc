@@ -1,0 +1,118 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dynaprox {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, ZeroSeedDoesNotDegenerate) {
+  Rng rng(0);
+  EXPECT_NE(rng.Next(), 0u);
+  EXPECT_NE(rng.Next(), rng.Next());
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, NextBoundedCoversRange) {
+  Rng rng(9);
+  std::vector<int> seen(8, 0);
+  for (int i = 0; i < 4000; ++i) {
+    ++seen[rng.NextBounded(8)];
+  }
+  for (int count : seen) {
+    // Uniform expectation 500; allow wide slack.
+    EXPECT_GT(count, 350);
+    EXPECT_LT(count, 650);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, NextBoolMatchesProbability) {
+  Rng rng(13);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.NextBool(0.2)) ++heads;
+  }
+  EXPECT_NEAR(heads / 10000.0, 0.2, 0.02);
+  EXPECT_FALSE(Rng(1).NextBool(0.0));
+  EXPECT_TRUE(Rng(1).NextBool(1.0));
+}
+
+TEST(ZipfSamplerTest, PmfSumsToOneAndDecreases) {
+  ZipfSampler zipf(10, 1.0);
+  double total = 0;
+  double previous = 1.0;
+  for (size_t i = 0; i < zipf.n(); ++i) {
+    double p = zipf.Pmf(i);
+    EXPECT_LE(p, previous + 1e-12);
+    previous = p;
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfSamplerTest, RankOneTwiceAsLikelyAsRankTwoAtAlphaOne) {
+  ZipfSampler zipf(100, 1.0);
+  EXPECT_NEAR(zipf.Pmf(0) / zipf.Pmf(1), 2.0, 1e-9);
+}
+
+TEST(ZipfSamplerTest, EmpiricalFrequenciesTrackPmf) {
+  ZipfSampler zipf(10, 1.0);
+  Rng rng(17);
+  std::vector<int> counts(10, 0);
+  const int kSamples = 50000;
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[zipf.Sample(rng)];
+  }
+  for (size_t i = 0; i < 10; ++i) {
+    double expected = zipf.Pmf(i) * kSamples;
+    EXPECT_NEAR(counts[i], expected, 5 * std::sqrt(expected) + 10);
+  }
+}
+
+TEST(ZipfSamplerTest, AlphaZeroIsUniform) {
+  ZipfSampler zipf(5, 0.0);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(zipf.Pmf(i), 0.2, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace dynaprox

@@ -1,0 +1,90 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace dynaprox {
+namespace {
+
+TEST(StrSplitTest, SplitsKeepingEmptyPieces) {
+  auto parts = StrSplit("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(StrSplitTest, EmptyInputYieldsOneEmptyPiece) {
+  auto parts = StrSplit("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(StrSplitTest, TrailingSeparatorYieldsTrailingEmpty) {
+  auto parts = StrSplit("x,", ',');
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(EqualsIgnoreCaseTest, ComparesAsciiCaseInsensitively) {
+  EXPECT_TRUE(EqualsIgnoreCase("Content-Length", "content-length"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abcd"));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abd"));
+}
+
+TEST(AsciiToLowerTest, LowercasesOnlyLetters) {
+  EXPECT_EQ(AsciiToLower("MiXeD-123"), "mixed-123");
+}
+
+TEST(StripWhitespaceTest, StripsBothEnds) {
+  EXPECT_EQ(StripWhitespace("  x y \t\r\n"), "x y");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace("abc"), "abc");
+}
+
+TEST(HexTest, RoundTripsValues) {
+  EXPECT_EQ(ToHex(0), "0");
+  EXPECT_EQ(ToHex(255), "ff");
+  EXPECT_EQ(ToHex(0xDEADBEEF), "deadbeef");
+  for (uint64_t v : {uint64_t{0}, uint64_t{1}, uint64_t{15}, uint64_t{16},
+                     uint64_t{4096}, UINT64_MAX}) {
+    Result<uint64_t> parsed = ParseHex(ToHex(v));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, v);
+  }
+}
+
+TEST(HexTest, ParseAcceptsUppercase) {
+  Result<uint64_t> parsed = ParseHex("FF");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, 255u);
+}
+
+TEST(HexTest, ParseRejectsBadInput) {
+  EXPECT_FALSE(ParseHex("").ok());
+  EXPECT_FALSE(ParseHex("xyz").ok());
+  EXPECT_FALSE(ParseHex("0123456789abcdef0").ok());  // 17 digits.
+}
+
+TEST(ParseUint64Test, ParsesAndRejects) {
+  EXPECT_EQ(*ParseUint64("0"), 0u);
+  EXPECT_EQ(*ParseUint64("18446744073709551615"), UINT64_MAX);
+  EXPECT_FALSE(ParseUint64("18446744073709551616").ok());  // Overflow.
+  EXPECT_FALSE(ParseUint64("").ok());
+  EXPECT_FALSE(ParseUint64("12a").ok());
+  EXPECT_FALSE(ParseUint64("-1").ok());
+}
+
+TEST(StartsEndsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("HTTP/1.1", "HTTP/"));
+  EXPECT_FALSE(StartsWith("HT", "HTTP/"));
+  EXPECT_TRUE(EndsWith("file.html", ".html"));
+  EXPECT_FALSE(EndsWith("html", ".html"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_TRUE(EndsWith("x", ""));
+}
+
+}  // namespace
+}  // namespace dynaprox

@@ -1,0 +1,117 @@
+#include "dpc/assembler.h"
+
+#include <gtest/gtest.h>
+
+#include "bem/tag_codec.h"
+
+namespace dynaprox::dpc {
+namespace {
+
+TEST(AssemblerTest, SetStoresAndInlinesContent) {
+  FragmentStore store(4);
+  std::string wire = "A";
+  bem::TagCodec::AppendSet(1, "frag", wire);
+  wire += "B";
+  Result<AssembledPage> page = AssemblePage(wire, store);
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ(page->page, "AfragB");
+  EXPECT_EQ(page->set_count, 1u);
+  EXPECT_EQ(page->get_count, 0u);
+  EXPECT_TRUE(page->complete());
+  EXPECT_EQ(**store.Get(1), "frag");
+}
+
+TEST(AssemblerTest, GetSplicesStoredContent) {
+  FragmentStore store(4);
+  ASSERT_TRUE(store.Set(2, "cached!").ok());
+  std::string wire = "[";
+  bem::TagCodec::AppendGet(2, wire);
+  wire += "]";
+  Result<AssembledPage> page = AssemblePage(wire, store);
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ(page->page, "[cached!]");
+  EXPECT_EQ(page->get_count, 1u);
+}
+
+TEST(AssemblerTest, SetThenGetWithinOneTemplate) {
+  // First request on a page: fragment arrives as SET; a later GET in the
+  // same template (unusual but legal) sees the stored value.
+  FragmentStore store(4);
+  std::string wire;
+  bem::TagCodec::AppendSet(0, "x", wire);
+  bem::TagCodec::AppendGet(0, wire);
+  Result<AssembledPage> page = AssemblePage(wire, store);
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ(page->page, "xx");
+}
+
+TEST(AssemblerTest, MissingFragmentReported) {
+  FragmentStore store(4);
+  std::string wire = "a";
+  bem::TagCodec::AppendGet(3, wire);
+  bem::TagCodec::AppendGet(1, wire);
+  wire += "b";
+  Result<AssembledPage> page = AssemblePage(wire, store);
+  ASSERT_TRUE(page.ok());
+  EXPECT_FALSE(page->complete());
+  ASSERT_EQ(page->missing_keys.size(), 2u);
+  EXPECT_EQ(page->missing_keys[0], 3u);
+  EXPECT_EQ(page->missing_keys[1], 1u);
+  EXPECT_EQ(page->page, "ab");  // Missing fragments contribute nothing.
+}
+
+TEST(AssemblerTest, OutOfRangeKeyIsError) {
+  FragmentStore store(2);
+  std::string wire;
+  bem::TagCodec::AppendGet(50, wire);
+  Result<AssembledPage> page = AssemblePage(wire, store);
+  EXPECT_FALSE(page.ok());
+  EXPECT_TRUE(page.status().IsInvalidArgument());
+}
+
+TEST(AssemblerTest, CorruptTemplateIsError) {
+  FragmentStore store(2);
+  EXPECT_TRUE(AssemblePage("\x02", store).status().IsCorruption());
+}
+
+TEST(AssemblerTest, OverwritesSlotOnRepeatedSet) {
+  FragmentStore store(2);
+  std::string first;
+  bem::TagCodec::AppendSet(0, "v1", first);
+  ASSERT_TRUE(AssemblePage(first, store).ok());
+  std::string second;
+  bem::TagCodec::AppendSet(0, "v2", second);
+  ASSERT_TRUE(AssemblePage(second, store).ok());
+  EXPECT_EQ(**store.Get(0), "v2");
+}
+
+TEST(AssemblerTest, RealisticPageCycle) {
+  // Simulates two requests for the same page: all SETs first, all GETs
+  // second; both assemble to identical output.
+  FragmentStore store(8);
+  const std::string navbar = "<nav>home</nav>";
+  const std::string body = "<main>catalog</main>";
+
+  std::string first = "<html>";
+  bem::TagCodec::AppendSet(0, navbar, first);
+  bem::TagCodec::AppendSet(1, body, first);
+  first += "</html>";
+
+  std::string second = "<html>";
+  bem::TagCodec::AppendGet(0, second);
+  bem::TagCodec::AppendGet(1, second);
+  second += "</html>";
+
+  Result<AssembledPage> p1 = AssemblePage(first, store);
+  Result<AssembledPage> p2 = AssemblePage(second, store);
+  ASSERT_TRUE(p1.ok());
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ(p1->page, p2->page);
+  EXPECT_EQ(p1->page, "<html>" + navbar + body + "</html>");
+  // The GET template is much smaller than the SET template: that's the
+  // bandwidth saving.
+  EXPECT_LT(second.size(), first.size());
+}
+
+}  // namespace
+}  // namespace dynaprox::dpc

@@ -1,0 +1,79 @@
+#include "dpc/fragment_store.h"
+
+#include <gtest/gtest.h>
+
+namespace dynaprox::dpc {
+namespace {
+
+TEST(FragmentStoreTest, SetGetRoundTrip) {
+  FragmentStore store(4);
+  ASSERT_TRUE(store.Set(2, "hello").ok());
+  Result<dpc::FragmentRef> content = store.Get(2);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(**content, "hello");
+}
+
+TEST(FragmentStoreTest, GetEmptySlotIsNotFound) {
+  FragmentStore store(4);
+  Result<dpc::FragmentRef> content = store.Get(1);
+  EXPECT_TRUE(content.status().IsNotFound());
+  EXPECT_EQ(store.stats().get_misses, 1u);
+}
+
+TEST(FragmentStoreTest, OutOfRangeKeysRejected) {
+  FragmentStore store(2);
+  EXPECT_TRUE(store.Set(2, "x").IsInvalidArgument());
+  EXPECT_TRUE(store.Get(2).status().IsInvalidArgument());
+}
+
+TEST(FragmentStoreTest, OverwriteReplacesContentAndAccounting) {
+  FragmentStore store(2);
+  ASSERT_TRUE(store.Set(0, "12345").ok());
+  EXPECT_EQ(store.content_bytes(), 5u);
+  EXPECT_EQ(store.occupied_slots(), 1u);
+  ASSERT_TRUE(store.Set(0, "ab").ok());
+  EXPECT_EQ(store.content_bytes(), 2u);
+  EXPECT_EQ(store.occupied_slots(), 1u);
+  EXPECT_EQ(**store.Get(0), "ab");
+}
+
+TEST(FragmentStoreTest, EmptyContentIsStillOccupied) {
+  // An empty fragment (e.g. a conditional section that rendered nothing)
+  // is a valid cached value, distinct from "never set".
+  FragmentStore store(2);
+  ASSERT_TRUE(store.Set(0, "").ok());
+  Result<dpc::FragmentRef> content = store.Get(0);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ((*content)->size(), 0u);
+  EXPECT_EQ(store.occupied_slots(), 1u);
+}
+
+TEST(FragmentStoreTest, ClearEmptiesEverything) {
+  FragmentStore store(3);
+  ASSERT_TRUE(store.Set(0, "a").ok());
+  ASSERT_TRUE(store.Set(1, "b").ok());
+  store.Clear();
+  EXPECT_EQ(store.occupied_slots(), 0u);
+  EXPECT_EQ(store.content_bytes(), 0u);
+  EXPECT_TRUE(store.Get(0).status().IsNotFound());
+}
+
+TEST(FragmentStoreTest, StatsCountOperations) {
+  FragmentStore store(2);
+  ASSERT_TRUE(store.Set(0, "x").ok());
+  (void)store.Get(0);
+  (void)store.Get(0);
+  (void)store.Get(1);
+  EXPECT_EQ(store.stats().sets, 1u);
+  EXPECT_EQ(store.stats().gets, 3u);
+  EXPECT_EQ(store.stats().get_misses, 1u);
+}
+
+TEST(FragmentStoreTest, ZeroCapacityStore) {
+  FragmentStore store(0);
+  EXPECT_EQ(store.capacity(), 0u);
+  EXPECT_TRUE(store.Set(0, "x").IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace dynaprox::dpc

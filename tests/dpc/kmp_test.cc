@@ -1,0 +1,86 @@
+#include "dpc/kmp.h"
+
+#include <gtest/gtest.h>
+
+namespace dynaprox::dpc {
+namespace {
+
+TEST(KmpTest, FindsFirstOccurrence) {
+  KmpMatcher matcher("abc");
+  EXPECT_EQ(matcher.FindFirst("xxabcxx"), 2u);
+  EXPECT_EQ(matcher.FindFirst("abc"), 0u);
+  EXPECT_EQ(matcher.FindFirst("xyz"), KmpMatcher::npos);
+}
+
+TEST(KmpTest, FindFirstRespectsFrom) {
+  KmpMatcher matcher("ab");
+  EXPECT_EQ(matcher.FindFirst("ababab", 1), 2u);
+  EXPECT_EQ(matcher.FindFirst("ababab", 5), KmpMatcher::npos);
+}
+
+TEST(KmpTest, SelfOverlappingPattern) {
+  KmpMatcher matcher("aaa");
+  std::vector<size_t> all = matcher.FindAll("aaaaa");
+  ASSERT_EQ(all.size(), 3u);  // Positions 0, 1, 2 (overlapping).
+  EXPECT_EQ(all[0], 0u);
+  EXPECT_EQ(all[2], 2u);
+  EXPECT_EQ(matcher.CountOccurrences("aaaaa"), 3u);
+}
+
+TEST(KmpTest, PeriodicPattern) {
+  KmpMatcher matcher("abab");
+  std::vector<size_t> all = matcher.FindAll("abababab");
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[1], 2u);
+}
+
+TEST(KmpTest, EmptyPatternMatchesEverywhereByConvention) {
+  KmpMatcher matcher("");
+  EXPECT_EQ(matcher.FindFirst("abc"), 0u);
+  EXPECT_EQ(matcher.FindFirst("abc", 3), 3u);
+  EXPECT_EQ(matcher.FindFirst("abc", 4), KmpMatcher::npos);
+  EXPECT_EQ(matcher.CountOccurrences("abc"), 0u);
+}
+
+TEST(KmpTest, PatternLongerThanText) {
+  KmpMatcher matcher("abcdef");
+  EXPECT_EQ(matcher.FindFirst("abc"), KmpMatcher::npos);
+}
+
+TEST(KmpTest, BinaryContent) {
+  std::string pattern("\x00\x02\x00", 3);
+  KmpMatcher matcher(pattern);
+  std::string text = std::string("xx") + pattern + "yy";
+  EXPECT_EQ(matcher.FindFirst(text), 2u);
+}
+
+TEST(KmpTest, AgreesWithNaiveOnRandomishInputs) {
+  // Deterministic pseudo-random text over a tiny alphabet to force repeats.
+  std::string text;
+  uint64_t state = 12345;
+  for (int i = 0; i < 2000; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    text += static_cast<char>('a' + (state >> 60) % 3);
+  }
+  for (const std::string pattern :
+       {"ab", "aba", "abcab", "aaab", "cba", "aaaa"}) {
+    KmpMatcher matcher(pattern);
+    size_t from = 0;
+    for (int step = 0; step < 5; ++step) {
+      size_t kmp_pos = matcher.FindFirst(text, from);
+      size_t naive_pos = NaiveFindFirst(text, pattern, from);
+      ASSERT_EQ(kmp_pos, naive_pos) << pattern << " from " << from;
+      if (kmp_pos == KmpMatcher::npos) break;
+      from = kmp_pos + 1;
+    }
+  }
+}
+
+TEST(NaiveFindFirstTest, Basics) {
+  EXPECT_EQ(NaiveFindFirst("hello", "ll"), 2u);
+  EXPECT_EQ(NaiveFindFirst("hello", "z"), KmpMatcher::npos);
+  EXPECT_EQ(NaiveFindFirst("hi", "long-pattern"), KmpMatcher::npos);
+}
+
+}  // namespace
+}  // namespace dynaprox::dpc

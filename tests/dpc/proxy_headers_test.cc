@@ -1,0 +1,106 @@
+// DpcProxy intermediary header semantics (proxy_headers option): hop-by-hop
+// stripping and Via on both legs.
+
+#include <gtest/gtest.h>
+
+#include "bem/protocol.h"
+#include "bem/tag_codec.h"
+#include "dpc/proxy.h"
+
+namespace dynaprox::dpc {
+namespace {
+
+class ProxyHeadersTest : public ::testing::Test {
+ protected:
+  ProxyHeadersTest()
+      : upstream_([this](const http::Request& request) {
+          last_upstream_request_ = request;
+          if (request.Path() == "/template") {
+            std::string body;
+            bem::TagCodec::AppendSet(0, "frag", body);
+            http::Response response = http::Response::MakeOk(body);
+            response.headers.Set(bem::kTemplateHeader, "1");
+            return response;
+          }
+          return http::Response::MakeOk("static");
+        }) {}
+
+  DpcProxy MakeProxy(bool proxy_headers) {
+    ProxyOptions options;
+    options.capacity = 8;
+    options.proxy_headers = proxy_headers;
+    return DpcProxy(&upstream_, options);
+  }
+
+  http::Request last_upstream_request_;
+  net::DirectTransport upstream_;
+};
+
+TEST_F(ProxyHeadersTest, HopByHopStrippedAndViaAddedOnRequest) {
+  DpcProxy proxy = MakeProxy(true);
+  http::Request request;
+  request.target = "/page";
+  request.headers.Add("Connection", "keep-alive");
+  request.headers.Add("Keep-Alive", "timeout=5");
+  request.headers.Add("TE", "trailers");
+  request.headers.Add("Upgrade", "h2c");
+  request.headers.Add("X-App", "keep-me");
+  proxy.Handle(request);
+  EXPECT_FALSE(last_upstream_request_.headers.Has("Connection"));
+  EXPECT_FALSE(last_upstream_request_.headers.Has("Keep-Alive"));
+  EXPECT_FALSE(last_upstream_request_.headers.Has("TE"));
+  EXPECT_FALSE(last_upstream_request_.headers.Has("Upgrade"));
+  EXPECT_EQ(*last_upstream_request_.headers.Get("X-App"), "keep-me");
+  EXPECT_EQ(*last_upstream_request_.headers.Get("Via"),
+            "1.1 dynaprox-dpc");
+}
+
+TEST_F(ProxyHeadersTest, ViaChainsOntoExistingValue) {
+  DpcProxy proxy = MakeProxy(true);
+  http::Request request;
+  request.target = "/page";
+  request.headers.Add("Via", "1.1 upstream-cdn");
+  proxy.Handle(request);
+  EXPECT_EQ(*last_upstream_request_.headers.Get("Via"),
+            "1.1 upstream-cdn, 1.1 dynaprox-dpc");
+}
+
+TEST_F(ProxyHeadersTest, ViaOnPassthroughAndAssembledResponses) {
+  DpcProxy proxy = MakeProxy(true);
+  http::Request plain;
+  plain.target = "/page";
+  http::Response passthrough = proxy.Handle(plain);
+  EXPECT_EQ(*passthrough.headers.Get("Via"), "1.1 dynaprox-dpc");
+
+  http::Request templated;
+  templated.target = "/template";
+  http::Response assembled = proxy.Handle(templated);
+  EXPECT_EQ(assembled.body, "frag");
+  EXPECT_EQ(*assembled.headers.Get("Via"), "1.1 dynaprox-dpc");
+}
+
+TEST_F(ProxyHeadersTest, DisabledByDefault) {
+  DpcProxy proxy = MakeProxy(false);
+  http::Request request;
+  request.target = "/page";
+  request.headers.Add("Connection", "keep-alive");
+  http::Response response = proxy.Handle(request);
+  EXPECT_TRUE(last_upstream_request_.headers.Has("Connection"));
+  EXPECT_FALSE(last_upstream_request_.headers.Has("Via"));
+  EXPECT_FALSE(response.headers.Has("Via"));
+}
+
+TEST_F(ProxyHeadersTest, CustomViaToken) {
+  ProxyOptions options;
+  options.capacity = 8;
+  options.proxy_headers = true;
+  options.via_token = "1.1 edge-eu";
+  DpcProxy proxy(&upstream_, options);
+  http::Request request;
+  request.target = "/page";
+  proxy.Handle(request);
+  EXPECT_EQ(*last_upstream_request_.headers.Get("Via"), "1.1 edge-eu");
+}
+
+}  // namespace
+}  // namespace dynaprox::dpc

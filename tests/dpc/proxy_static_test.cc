@@ -1,0 +1,154 @@
+// DpcProxy with the static cache enabled: untagged cacheable responses are
+// served without touching the origin (the ISA Server behaviour in the
+// paper's test configuration).
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "dpc/proxy.h"
+
+namespace dynaprox::dpc {
+namespace {
+
+class ProxyStaticTest : public ::testing::Test {
+ protected:
+  ProxyStaticTest()
+      : upstream_([this](const http::Request& request) {
+          ++origin_requests_;
+          std::string path(request.Path());
+          if (path == "/static.css") {
+            http::Response response = http::Response::MakeOk("css-bytes");
+            response.headers.Set("Cache-Control", "public, max-age=60");
+            return response;
+          }
+          if (path == "/tagged.js") {
+            // Supports conditional GET: unchanged content revalidates.
+            if (auto inm = request.headers.Get("If-None-Match");
+                inm.has_value() && *inm == etag_) {
+              ++revalidation_304s_;
+              http::Response not_modified;
+              not_modified.status_code = 304;
+              not_modified.reason = "Not Modified";
+              return not_modified;
+            }
+            http::Response response =
+                http::Response::MakeOk("js-" + etag_);
+            response.headers.Set("Cache-Control", "public, max-age=30");
+            response.headers.Set("ETag", etag_);
+            return response;
+          }
+          if (path == "/volatile.json") {
+            http::Response response = http::Response::MakeOk("data");
+            response.headers.Set("Cache-Control", "no-store");
+            return response;
+          }
+          return http::Response::MakeOk("plain");
+        }) {}
+
+  DpcProxy MakeProxy() {
+    ProxyOptions options;
+    options.capacity = 8;
+    options.enable_static_cache = true;
+    options.static_cache.clock = &clock_;
+    return DpcProxy(&upstream_, options);
+  }
+
+  http::Request Get(const std::string& target) {
+    http::Request request;
+    request.target = target;
+    return request;
+  }
+
+  SimClock clock_;
+  int origin_requests_ = 0;
+  int revalidation_304s_ = 0;
+  std::string etag_ = "\"v1\"";
+  net::DirectTransport upstream_;
+};
+
+TEST_F(ProxyStaticTest, SecondRequestServedFromStaticCache) {
+  DpcProxy proxy = MakeProxy();
+  EXPECT_EQ(proxy.Handle(Get("/static.css")).body, "css-bytes");
+  EXPECT_EQ(proxy.Handle(Get("/static.css")).body, "css-bytes");
+  EXPECT_EQ(origin_requests_, 1);
+  EXPECT_EQ(proxy.stats().static_hits, 1u);
+}
+
+TEST_F(ProxyStaticTest, ExpiredEntryRefetches) {
+  DpcProxy proxy = MakeProxy();
+  proxy.Handle(Get("/static.css"));
+  clock_.AdvanceSeconds(120);
+  proxy.Handle(Get("/static.css"));
+  EXPECT_EQ(origin_requests_, 2);
+}
+
+TEST_F(ProxyStaticTest, NoStoreResponsesAlwaysGoUpstream) {
+  DpcProxy proxy = MakeProxy();
+  proxy.Handle(Get("/volatile.json"));
+  proxy.Handle(Get("/volatile.json"));
+  EXPECT_EQ(origin_requests_, 2);
+  EXPECT_EQ(proxy.stats().static_hits, 0u);
+}
+
+TEST_F(ProxyStaticTest, UncacheableHeaderlessResponsesPassThrough) {
+  DpcProxy proxy = MakeProxy();
+  proxy.Handle(Get("/page"));
+  proxy.Handle(Get("/page"));
+  EXPECT_EQ(origin_requests_, 2);
+}
+
+TEST_F(ProxyStaticTest, PostRequestsBypassStaticCache) {
+  DpcProxy proxy = MakeProxy();
+  proxy.Handle(Get("/static.css"));  // Warm.
+  http::Request post = Get("/static.css");
+  post.method = "POST";
+  proxy.Handle(post);
+  EXPECT_EQ(origin_requests_, 2);
+}
+
+TEST_F(ProxyStaticTest, ClearCacheDropsStaticEntries) {
+  DpcProxy proxy = MakeProxy();
+  proxy.Handle(Get("/static.css"));
+  proxy.ClearCache();
+  proxy.Handle(Get("/static.css"));
+  EXPECT_EQ(origin_requests_, 2);
+}
+
+TEST_F(ProxyStaticTest, StaleEntryRevalidatesWith304) {
+  DpcProxy proxy = MakeProxy();
+  EXPECT_EQ(proxy.Handle(Get("/tagged.js")).body, "js-\"v1\"");
+  clock_.AdvanceSeconds(60);  // Past max-age=30: stale but revalidatable.
+  http::Response response = proxy.Handle(Get("/tagged.js"));
+  EXPECT_EQ(response.body, "js-\"v1\"");  // Body served from cache.
+  EXPECT_EQ(revalidation_304s_, 1);
+  EXPECT_EQ(proxy.stats().static_revalidations, 1u);
+  // Freshness extended: the next request is a pure cache hit.
+  proxy.Handle(Get("/tagged.js"));
+  EXPECT_EQ(origin_requests_, 2);  // Initial 200 + one 304.
+}
+
+TEST_F(ProxyStaticTest, ChangedContentReplacesStaleEntry) {
+  DpcProxy proxy = MakeProxy();
+  proxy.Handle(Get("/tagged.js"));
+  etag_ = "\"v2\"";  // Content changed at the origin.
+  clock_.AdvanceSeconds(60);
+  http::Response response = proxy.Handle(Get("/tagged.js"));
+  EXPECT_EQ(response.body, "js-\"v2\"");
+  EXPECT_EQ(revalidation_304s_, 0);  // ETag mismatch: full 200.
+  // New version now cached.
+  proxy.Handle(Get("/tagged.js"));
+  EXPECT_EQ(origin_requests_, 2);
+}
+
+TEST_F(ProxyStaticTest, DisabledByDefault) {
+  ProxyOptions options;
+  options.capacity = 8;
+  DpcProxy proxy(&upstream_, options);
+  EXPECT_EQ(proxy.static_cache(), nullptr);
+  proxy.Handle(Get("/static.css"));
+  proxy.Handle(Get("/static.css"));
+  EXPECT_EQ(origin_requests_, 2);
+}
+
+}  // namespace
+}  // namespace dynaprox::dpc

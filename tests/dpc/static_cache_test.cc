@@ -1,0 +1,93 @@
+#include "dpc/static_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace dynaprox::dpc {
+namespace {
+
+http::Response CacheableResponse(const std::string& body,
+                                 const std::string& cache_control =
+                                     "public, max-age=60") {
+  http::Response response = http::Response::MakeOk(body);
+  response.headers.Set("Cache-Control", cache_control);
+  return response;
+}
+
+class StaticCacheTest : public ::testing::Test {
+ protected:
+  StaticCache MakeCache(size_t capacity = 8) {
+    StaticCacheOptions options;
+    options.capacity = capacity;
+    options.clock = &clock_;
+    return StaticCache(options);
+  }
+  SimClock clock_;
+};
+
+TEST_F(StaticCacheTest, StoresAndServesFreshContent) {
+  StaticCache cache = MakeCache();
+  EXPECT_TRUE(cache.Store("/logo.png", CacheableResponse("PNG")));
+  auto hit = cache.Lookup("/logo.png");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->body, "PNG");
+  EXPECT_EQ(*hit->headers.Get("Age"), "0");
+}
+
+TEST_F(StaticCacheTest, AgeHeaderAdvances) {
+  StaticCache cache = MakeCache();
+  cache.Store("/x", CacheableResponse("x"));
+  clock_.AdvanceSeconds(42);
+  auto hit = cache.Lookup("/x");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit->headers.Get("Age"), "42");
+}
+
+TEST_F(StaticCacheTest, ExpiresAfterMaxAge) {
+  StaticCache cache = MakeCache();
+  cache.Store("/x", CacheableResponse("x", "max-age=10"));
+  clock_.AdvanceSeconds(11);
+  EXPECT_FALSE(cache.Lookup("/x").has_value());
+  EXPECT_EQ(cache.size(), 0u);  // Stale entry dropped.
+}
+
+TEST_F(StaticCacheTest, RefusesUncacheableResponses) {
+  StaticCache cache = MakeCache();
+  EXPECT_FALSE(cache.Store("/a", http::Response::MakeOk("no header")));
+  EXPECT_FALSE(
+      cache.Store("/b", CacheableResponse("x", "private, max-age=60")));
+  EXPECT_FALSE(cache.Store("/c", CacheableResponse("x", "no-store")));
+  http::Response error =
+      http::Response::MakeError(404, "Not Found", "nope");
+  error.headers.Set("Cache-Control", "max-age=60");
+  EXPECT_FALSE(cache.Store("/d", error));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST_F(StaticCacheTest, SMaxageGovernsProxyFreshness) {
+  StaticCache cache = MakeCache();
+  cache.Store("/x", CacheableResponse("x", "max-age=5, s-maxage=100"));
+  clock_.AdvanceSeconds(50);
+  EXPECT_TRUE(cache.Lookup("/x").has_value());
+}
+
+TEST_F(StaticCacheTest, LruEviction) {
+  StaticCache cache = MakeCache(2);
+  cache.Store("/a", CacheableResponse("a"));
+  cache.Store("/b", CacheableResponse("b"));
+  cache.Lookup("/a");  // /b becomes LRU.
+  cache.Store("/c", CacheableResponse("c"));
+  EXPECT_TRUE(cache.Lookup("/a").has_value());
+  EXPECT_FALSE(cache.Lookup("/b").has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST_F(StaticCacheTest, ClearEmpties) {
+  StaticCache cache = MakeCache();
+  cache.Store("/a", CacheableResponse("a"));
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Lookup("/a").has_value());
+}
+
+}  // namespace
+}  // namespace dynaprox::dpc

@@ -1,0 +1,92 @@
+#include "edge/edge_origin.h"
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+
+namespace dynaprox::edge {
+namespace {
+
+class EdgeOriginTest : public ::testing::Test {
+ protected:
+  EdgeOriginTest() {
+    registry_.RegisterOrReplace("/x", [](appserver::ScriptContext& ctx) {
+      return ctx.CacheableBlock(bem::FragmentId("f"),
+                                [](appserver::ScriptContext& block) {
+                                  block.Emit("content");
+                                  return Status::Ok();
+                                });
+    });
+    bem::BemOptions options;
+    options.capacity = 8;
+    options.clock = &clock_;
+    origin_ = std::make_unique<EdgeOrigin>(&registry_, &repository_,
+                                           options);
+  }
+
+  http::Request RequestVia(const std::string& edge) {
+    http::Request request;
+    request.target = "/x";
+    request.headers.Add(kEdgeHeader, edge);
+    return request;
+  }
+
+  SimClock clock_;
+  storage::ContentRepository repository_;
+  appserver::ScriptRegistry registry_;
+  std::unique_ptr<EdgeOrigin> origin_;
+};
+
+TEST_F(EdgeOriginTest, AddEdgeRejectsDuplicates) {
+  ASSERT_TRUE(origin_->AddEdge("a").ok());
+  EXPECT_EQ(origin_->AddEdge("a").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(origin_->edge_count(), 1u);
+}
+
+TEST_F(EdgeOriginTest, LookupsForUnknownEdgeFail) {
+  EXPECT_TRUE(origin_->MonitorFor("ghost").status().IsNotFound());
+  EXPECT_TRUE(origin_->StatsFor("ghost").status().IsNotFound());
+}
+
+TEST_F(EdgeOriginTest, RequestsNeedAKnownEdge) {
+  ASSERT_TRUE(origin_->AddEdge("a").ok());
+  EXPECT_EQ(origin_->Handle(RequestVia("b")).status_code, 400);
+  http::Request bare;
+  bare.target = "/x";
+  EXPECT_EQ(origin_->Handle(bare).status_code, 400);
+  EXPECT_EQ(origin_->Handle(RequestVia("a")).status_code, 200);
+}
+
+TEST_F(EdgeOriginTest, DirectoriesArePerEdge) {
+  ASSERT_TRUE(origin_->AddEdge("a").ok());
+  ASSERT_TRUE(origin_->AddEdge("b").ok());
+  // Two requests via "a": miss then hit. First via "b": still a miss.
+  origin_->Handle(RequestVia("a"));
+  origin_->Handle(RequestVia("a"));
+  origin_->Handle(RequestVia("b"));
+  EXPECT_EQ((*origin_->MonitorFor("a"))->stats().hits, 1u);
+  EXPECT_EQ((*origin_->MonitorFor("a"))->stats().misses, 1u);
+  EXPECT_EQ((*origin_->MonitorFor("b"))->stats().hits, 0u);
+  EXPECT_EQ((*origin_->MonitorFor("b"))->stats().misses, 1u);
+  EXPECT_EQ((*origin_->StatsFor("a")).requests, 2u);
+}
+
+TEST_F(EdgeOriginTest, PerEdgeKeysAreIndependentSpaces) {
+  ASSERT_TRUE(origin_->AddEdge("a").ok());
+  ASSERT_TRUE(origin_->AddEdge("b").ok());
+  origin_->Handle(RequestVia("a"));
+  origin_->Handle(RequestVia("b"));
+  // Both edges assigned key 0 in their own directories — fine, since each
+  // edge has its own slot array.
+  EXPECT_EQ(*(*origin_->MonitorFor("a"))
+                 ->directory()
+                 .KeyOf(bem::FragmentId("f")),
+            0u);
+  EXPECT_EQ(*(*origin_->MonitorFor("b"))
+                 ->directory()
+                 .KeyOf(bem::FragmentId("f")),
+            0u);
+}
+
+}  // namespace
+}  // namespace dynaprox::edge

@@ -1,0 +1,140 @@
+#include "edge/hash_ring.h"
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace dynaprox::edge {
+namespace {
+
+TEST(HashRingTest, RoutesConsistently) {
+  HashRing ring;
+  ASSERT_TRUE(ring.AddNode("a").ok());
+  ASSERT_TRUE(ring.AddNode("b").ok());
+  Result<std::string> first = ring.Route("client-1");
+  ASSERT_TRUE(first.ok());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(*ring.Route("client-1"), *first);
+  }
+}
+
+TEST(HashRingTest, EmptyRingFails) {
+  HashRing ring;
+  EXPECT_EQ(ring.Route("x").status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(HashRingTest, DuplicateAddFails) {
+  HashRing ring;
+  ASSERT_TRUE(ring.AddNode("a").ok());
+  EXPECT_EQ(ring.AddNode("a").code(), StatusCode::kAlreadyExists);
+  EXPECT_FALSE(ring.AddNode("b", 0).ok());
+}
+
+TEST(HashRingTest, SpreadsKeysAcrossNodes) {
+  HashRing ring;
+  for (const char* node : {"a", "b", "c", "d"}) {
+    ASSERT_TRUE(ring.AddNode(node, 64).ok());
+  }
+  std::map<std::string, int> counts;
+  for (int i = 0; i < 4000; ++i) {
+    ++counts[*ring.Route("key" + std::to_string(i))];
+  }
+  ASSERT_EQ(counts.size(), 4u);
+  for (const auto& [node, count] : counts) {
+    EXPECT_GT(count, 400) << node;  // Expect ~1000 each; loose bound.
+  }
+}
+
+TEST(HashRingTest, DownNodeSkippedAndRestored) {
+  HashRing ring;
+  ASSERT_TRUE(ring.AddNode("a").ok());
+  ASSERT_TRUE(ring.AddNode("b").ok());
+  // Find a key that routes to "a".
+  std::string key_on_a;
+  for (int i = 0; i < 1000; ++i) {
+    std::string key = "k" + std::to_string(i);
+    if (*ring.Route(key) == "a") {
+      key_on_a = key;
+      break;
+    }
+  }
+  ASSERT_FALSE(key_on_a.empty());
+  ASSERT_TRUE(ring.MarkDown("a").ok());
+  EXPECT_EQ(*ring.Route(key_on_a), "b");  // Failover.
+  EXPECT_EQ(ring.live_node_count(), 1u);
+  ASSERT_TRUE(ring.MarkUp("a").ok());
+  EXPECT_EQ(*ring.Route(key_on_a), "a");  // Affinity restored.
+}
+
+TEST(HashRingTest, AllDownFails) {
+  HashRing ring;
+  ASSERT_TRUE(ring.AddNode("a").ok());
+  ASSERT_TRUE(ring.MarkDown("a").ok());
+  EXPECT_FALSE(ring.Route("x").ok());
+}
+
+TEST(HashRingTest, MarkUnknownNodeFails) {
+  HashRing ring;
+  EXPECT_TRUE(ring.MarkDown("ghost").IsNotFound());
+  EXPECT_TRUE(ring.MarkUp("ghost").IsNotFound());
+}
+
+TEST(HashRingTest, RemoveNodeRebalances) {
+  HashRing ring;
+  ASSERT_TRUE(ring.AddNode("a").ok());
+  ASSERT_TRUE(ring.AddNode("b").ok());
+  ASSERT_TRUE(ring.RemoveNode("a").ok());
+  EXPECT_EQ(*ring.Route("anything"), "b");
+  EXPECT_TRUE(ring.RemoveNode("a").IsNotFound());
+  EXPECT_EQ(ring.node_count(), 1u);
+}
+
+TEST(HashRingTest, RemovalOnlyMovesAffectedKeys) {
+  HashRing ring;
+  for (const char* node : {"a", "b", "c"}) {
+    ASSERT_TRUE(ring.AddNode(node, 64).ok());
+  }
+  std::map<std::string, std::string> before;
+  for (int i = 0; i < 500; ++i) {
+    std::string key = "k" + std::to_string(i);
+    before[key] = *ring.Route(key);
+  }
+  ASSERT_TRUE(ring.RemoveNode("c").ok());
+  for (const auto& [key, node] : before) {
+    if (node != "c") {
+      // Consistent hashing: keys not on the removed node stay put.
+      EXPECT_EQ(*ring.Route(key), node) << key;
+    } else {
+      EXPECT_NE(*ring.Route(key), "c");
+    }
+  }
+}
+
+TEST(Fnv1aTest, KnownPropertiesHold) {
+  EXPECT_NE(Fnv1a("a"), Fnv1a("b"));
+  EXPECT_EQ(Fnv1a("same"), Fnv1a("same"));
+  EXPECT_EQ(Fnv1a(""), 0xCBF29CE484222325ULL);
+}
+
+TEST(RingPointTest, VnodesOfOneNodeSpreadAcrossTheRing) {
+  // Raw FNV clusters "node#0".."node#63" (only low bits differ); the
+  // splitmix finalizer must spread them. Check the top 3 bits cover most
+  // octants.
+  std::set<uint64_t> octants;
+  for (int i = 0; i < 64; ++i) {
+    octants.insert(RingPoint("node#" + std::to_string(i)) >> 61);
+  }
+  EXPECT_GE(octants.size(), 7u);
+
+  // And that raw FNV indeed clusters (the motivation for the finalizer).
+  std::set<uint64_t> raw_octants;
+  for (int i = 0; i < 64; ++i) {
+    raw_octants.insert(Fnv1a("node#" + std::to_string(i)) >> 61);
+  }
+  EXPECT_LE(raw_octants.size(), 2u);
+}
+
+}  // namespace
+}  // namespace dynaprox::edge

@@ -1,0 +1,62 @@
+#include "http/cache_control.h"
+
+#include <gtest/gtest.h>
+
+namespace dynaprox::http {
+namespace {
+
+TEST(CacheControlTest, ParsesCommonDirectives) {
+  CacheControl control = ParseCacheControl("public, max-age=3600");
+  EXPECT_TRUE(control.is_public);
+  ASSERT_TRUE(control.max_age_seconds.has_value());
+  EXPECT_EQ(*control.max_age_seconds, 3600);
+  EXPECT_TRUE(control.StorableByProxy());
+}
+
+TEST(CacheControlTest, NoStoreWins) {
+  CacheControl control = ParseCacheControl("no-store, max-age=3600");
+  EXPECT_TRUE(control.no_store);
+  EXPECT_FALSE(control.StorableByProxy());
+}
+
+TEST(CacheControlTest, PrivateBlocksSharedCaches) {
+  CacheControl control = ParseCacheControl("private, max-age=600");
+  EXPECT_FALSE(control.StorableByProxy());
+}
+
+TEST(CacheControlTest, SMaxageOverridesMaxAge) {
+  CacheControl control = ParseCacheControl("max-age=60, s-maxage=600");
+  EXPECT_EQ(*control.SharedMaxAgeSeconds(), 600);
+}
+
+TEST(CacheControlTest, ZeroMaxAgeNotStorable) {
+  EXPECT_FALSE(ParseCacheControl("max-age=0").StorableByProxy());
+}
+
+TEST(CacheControlTest, WhitespaceAndCaseInsensitive) {
+  CacheControl control = ParseCacheControl("  Public ,  MAX-AGE=10 ");
+  EXPECT_TRUE(control.is_public);
+  EXPECT_EQ(*control.max_age_seconds, 10);
+}
+
+TEST(CacheControlTest, MalformedAgeIgnored) {
+  CacheControl control = ParseCacheControl("max-age=soon");
+  EXPECT_FALSE(control.max_age_seconds.has_value());
+  EXPECT_FALSE(control.StorableByProxy());
+}
+
+TEST(CacheControlTest, EmptyAndUnknownDirectives) {
+  EXPECT_FALSE(ParseCacheControl("").StorableByProxy());
+  CacheControl control = ParseCacheControl("immutable, stale-while-revalidate=30");
+  EXPECT_FALSE(control.StorableByProxy());
+}
+
+TEST(CacheControlTest, ResponseHelperReadsHeader) {
+  Response response = Response::MakeOk("x");
+  EXPECT_FALSE(ResponseCacheControl(response).StorableByProxy());
+  response.headers.Set("Cache-Control", "max-age=120");
+  EXPECT_TRUE(ResponseCacheControl(response).StorableByProxy());
+}
+
+}  // namespace
+}  // namespace dynaprox::http

@@ -1,0 +1,71 @@
+#include "http/header_map.h"
+
+#include <gtest/gtest.h>
+
+namespace dynaprox::http {
+namespace {
+
+TEST(HeaderMapTest, AddAndGetCaseInsensitive) {
+  HeaderMap headers;
+  headers.Add("Content-Type", "text/html");
+  ASSERT_TRUE(headers.Get("content-type").has_value());
+  EXPECT_EQ(*headers.Get("CONTENT-TYPE"), "text/html");
+  EXPECT_FALSE(headers.Get("Content-Length").has_value());
+}
+
+TEST(HeaderMapTest, GetReturnsFirstOfDuplicates) {
+  HeaderMap headers;
+  headers.Add("Set-Cookie", "a=1");
+  headers.Add("Set-Cookie", "b=2");
+  EXPECT_EQ(*headers.Get("set-cookie"), "a=1");
+  auto all = headers.GetAll("Set-Cookie");
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[1], "b=2");
+}
+
+TEST(HeaderMapTest, SetReplacesAllDuplicates) {
+  HeaderMap headers;
+  headers.Add("X", "1");
+  headers.Add("x", "2");
+  headers.Set("X", "3");
+  EXPECT_EQ(headers.GetAll("x").size(), 1u);
+  EXPECT_EQ(*headers.Get("X"), "3");
+}
+
+TEST(HeaderMapTest, RemoveReturnsCount) {
+  HeaderMap headers;
+  headers.Add("A", "1");
+  headers.Add("a", "2");
+  headers.Add("B", "3");
+  EXPECT_EQ(headers.Remove("a"), 2u);
+  EXPECT_EQ(headers.Remove("a"), 0u);
+  EXPECT_EQ(headers.size(), 1u);
+  EXPECT_TRUE(headers.Has("B"));
+}
+
+TEST(HeaderMapTest, PreservesInsertionOrder) {
+  HeaderMap headers;
+  headers.Add("First", "1");
+  headers.Add("Second", "2");
+  headers.Add("Third", "3");
+  EXPECT_EQ(headers.fields()[0].first, "First");
+  EXPECT_EQ(headers.fields()[2].first, "Third");
+}
+
+TEST(HeaderMapTest, SerializedSizeMatchesWireFormat) {
+  HeaderMap headers;
+  headers.Add("Host", "example.com");  // "Host: example.com\r\n" = 19.
+  EXPECT_EQ(headers.SerializedSize(), 19u);
+  headers.Add("A", "b");  // "A: b\r\n" = 6.
+  EXPECT_EQ(headers.SerializedSize(), 25u);
+}
+
+TEST(HeaderMapTest, EmptyMap) {
+  HeaderMap headers;
+  EXPECT_TRUE(headers.empty());
+  EXPECT_EQ(headers.SerializedSize(), 0u);
+  EXPECT_TRUE(headers.GetAll("x").empty());
+}
+
+}  // namespace
+}  // namespace dynaprox::http

@@ -1,0 +1,103 @@
+#include "http/message.h"
+
+#include <gtest/gtest.h>
+
+namespace dynaprox::http {
+namespace {
+
+TEST(RequestTest, PathAndQuerySplit) {
+  Request request;
+  request.target = "/catalog.jsp?categoryID=Fiction&page=2";
+  EXPECT_EQ(request.Path(), "/catalog.jsp");
+  EXPECT_EQ(request.QueryString(), "categoryID=Fiction&page=2");
+  auto params = request.QueryParams();
+  EXPECT_EQ(params["categoryID"], "Fiction");
+  EXPECT_EQ(params["page"], "2");
+}
+
+TEST(RequestTest, NoQueryString) {
+  Request request;
+  request.target = "/index.html";
+  EXPECT_EQ(request.Path(), "/index.html");
+  EXPECT_EQ(request.QueryString(), "");
+  EXPECT_TRUE(request.QueryParams().empty());
+}
+
+TEST(RequestTest, SerializeProducesWireFormat) {
+  Request request;
+  request.method = "GET";
+  request.target = "/x";
+  request.headers.Add("Host", "h");
+  EXPECT_EQ(request.Serialize(),
+            "GET /x HTTP/1.1\r\nHost: h\r\nContent-Length: 0\r\n\r\n");
+}
+
+TEST(RequestTest, SerializedSizeMatchesSerialize) {
+  Request request;
+  request.method = "POST";
+  request.target = "/submit?a=1";
+  request.headers.Add("Host", "example.com");
+  request.body = "hello=world";
+  EXPECT_EQ(request.SerializedSize(), request.Serialize().size());
+}
+
+TEST(RequestTest, ExplicitContentLengthNotDuplicated) {
+  Request request;
+  request.body = "abc";
+  request.headers.Add("Content-Length", "3");
+  std::string wire = request.Serialize();
+  EXPECT_EQ(wire.find("Content-Length"), wire.rfind("Content-Length"));
+}
+
+TEST(ResponseTest, SerializeProducesWireFormat) {
+  Response response;
+  response.body = "hi";
+  EXPECT_EQ(response.Serialize(),
+            "HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nhi");
+  EXPECT_EQ(response.SerializedSize(), response.Serialize().size());
+}
+
+TEST(ResponseTest, MakeOkSetsContentType) {
+  Response response = Response::MakeOk("<p>x</p>");
+  EXPECT_EQ(response.status_code, 200);
+  EXPECT_EQ(*response.headers.Get("Content-Type"), "text/html");
+  EXPECT_EQ(response.body, "<p>x</p>");
+}
+
+TEST(ResponseTest, MakeErrorSetsCodeAndBody) {
+  Response response = Response::MakeError(404, "Not Found", "nope");
+  EXPECT_EQ(response.status_code, 404);
+  EXPECT_EQ(response.reason, "Not Found");
+  EXPECT_EQ(response.body, "nope");
+}
+
+TEST(CanonicalReasonTest, KnownAndUnknownCodes) {
+  EXPECT_EQ(CanonicalReason(200), "OK");
+  EXPECT_EQ(CanonicalReason(404), "Not Found");
+  EXPECT_EQ(CanonicalReason(502), "Bad Gateway");
+  EXPECT_EQ(CanonicalReason(299), "Unknown");
+}
+
+TEST(UrlCodecTest, DecodeHandlesEscapesAndPlus) {
+  EXPECT_EQ(UrlDecode("a%20b+c"), "a b c");
+  EXPECT_EQ(UrlDecode("%41%42"), "AB");
+  EXPECT_EQ(UrlDecode("100%"), "100%");    // Trailing bare percent.
+  EXPECT_EQ(UrlDecode("%zz"), "%zz");      // Invalid escape passes through.
+}
+
+TEST(UrlCodecTest, EncodeRoundTrips) {
+  std::string original = "name=a value&x/y~z";
+  EXPECT_EQ(UrlDecode(UrlEncode(original)), original);
+  EXPECT_EQ(UrlEncode("a b"), "a%20b");
+}
+
+TEST(ParseQueryStringTest, DuplicatesLastWinsAndFlags) {
+  auto params = ParseQueryString("a=1&a=2&flag&b=x%26y");
+  EXPECT_EQ(params["a"], "2");
+  EXPECT_EQ(params["flag"], "");
+  EXPECT_EQ(params["b"], "x&y");
+  EXPECT_TRUE(ParseQueryString("").empty());
+}
+
+}  // namespace
+}  // namespace dynaprox::http

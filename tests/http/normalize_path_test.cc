@@ -1,0 +1,38 @@
+#include <gtest/gtest.h>
+
+#include "http/message.h"
+
+namespace dynaprox::http {
+namespace {
+
+TEST(NormalizePathTest, IdentityOnCleanPaths) {
+  EXPECT_EQ(NormalizePath("/"), "/");
+  EXPECT_EQ(NormalizePath("/a"), "/a");
+  EXPECT_EQ(NormalizePath("/a/b/c"), "/a/b/c");
+}
+
+TEST(NormalizePathTest, DotSegments) {
+  EXPECT_EQ(NormalizePath("/a/./b"), "/a/b");
+  EXPECT_EQ(NormalizePath("/./a/."), "/a");
+  EXPECT_EQ(NormalizePath("/a/b/../c"), "/a/c");
+  EXPECT_EQ(NormalizePath("/a/b/.."), "/a");
+}
+
+TEST(NormalizePathTest, CannotEscapeRoot) {
+  EXPECT_EQ(NormalizePath("/../../etc/passwd"), "/etc/passwd");
+  EXPECT_EQ(NormalizePath("/.."), "/");
+  EXPECT_EQ(NormalizePath("/a/../../.."), "/");
+}
+
+TEST(NormalizePathTest, CollapsesSlashes) {
+  EXPECT_EQ(NormalizePath("//a///b//"), "/a/b");
+  EXPECT_EQ(NormalizePath(""), "/");
+  EXPECT_EQ(NormalizePath("a/b"), "/a/b");  // Leading slash enforced.
+}
+
+TEST(NormalizePathTest, TrailingSlashDropped) {
+  EXPECT_EQ(NormalizePath("/a/"), "/a");
+}
+
+}  // namespace
+}  // namespace dynaprox::http

@@ -1,0 +1,134 @@
+#include "http/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace dynaprox::http {
+namespace {
+
+TEST(ParseRequestTest, RoundTripsSerialize) {
+  Request original;
+  original.method = "POST";
+  original.target = "/page?id=3";
+  original.headers.Add("Host", "example.com");
+  original.body = "payload";
+  Result<Request> parsed = ParseRequest(original.Serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->method, "POST");
+  EXPECT_EQ(parsed->target, "/page?id=3");
+  EXPECT_EQ(*parsed->headers.Get("Host"), "example.com");
+  EXPECT_EQ(parsed->body, "payload");
+}
+
+TEST(ParseRequestTest, RejectsMalformedRequestLine) {
+  EXPECT_FALSE(ParseRequest("GET /x\r\n\r\n").ok());
+  EXPECT_FALSE(ParseRequest("GET  HTTP/1.1\r\n\r\n").ok());
+  EXPECT_FALSE(ParseRequest("GET /x FTP/1.1\r\n\r\n").ok());
+}
+
+TEST(ParseRequestTest, RejectsMissingHeaderTerminator) {
+  EXPECT_FALSE(ParseRequest("GET /x HTTP/1.1\r\nHost: h\r\n").ok());
+}
+
+TEST(ParseRequestTest, RejectsHeaderWithoutColon) {
+  EXPECT_FALSE(
+      ParseRequest("GET /x HTTP/1.1\r\nBadHeader\r\n\r\n").ok());
+}
+
+TEST(ParseRequestTest, RejectsBodyLengthMismatch) {
+  EXPECT_FALSE(
+      ParseRequest("GET /x HTTP/1.1\r\nContent-Length: 5\r\n\r\nabc").ok());
+  EXPECT_FALSE(
+      ParseRequest("GET /x HTTP/1.1\r\nContent-Length: 1\r\n\r\nabc").ok());
+}
+
+TEST(ParseRequestTest, RejectsBadContentLength) {
+  EXPECT_FALSE(
+      ParseRequest("GET /x HTTP/1.1\r\nContent-Length: ten\r\n\r\n").ok());
+}
+
+TEST(ParseResponseTest, RoundTripsSerialize) {
+  Response original;
+  original.status_code = 404;
+  original.reason = "Not Found";
+  original.headers.Add("Content-Type", "text/plain");
+  original.body = "missing";
+  Result<Response> parsed = ParseResponse(original.Serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->status_code, 404);
+  EXPECT_EQ(parsed->reason, "Not Found");
+  EXPECT_EQ(parsed->body, "missing");
+}
+
+TEST(ParseResponseTest, AcceptsEmptyReason) {
+  Result<Response> parsed =
+      ParseResponse("HTTP/1.1 204\r\nContent-Length: 0\r\n\r\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->status_code, 204);
+}
+
+TEST(ParseResponseTest, RejectsBadStatusCode) {
+  EXPECT_FALSE(ParseResponse("HTTP/1.1 abc OK\r\n\r\n").ok());
+  EXPECT_FALSE(ParseResponse("HTTP/1.1 99 X\r\n\r\n").ok());
+}
+
+TEST(RequestReaderTest, NeedsMoreBytesThenParses) {
+  RequestReader reader;
+  std::string wire = "GET /a HTTP/1.1\r\nContent-Length: 3\r\n\r\nxyz";
+  reader.Feed(wire.substr(0, 10));
+  EXPECT_FALSE(reader.Next().has_value());
+  reader.Feed(wire.substr(10, 20));
+  EXPECT_FALSE(reader.Next().has_value());
+  reader.Feed(wire.substr(30));
+  auto next = reader.Next();
+  ASSERT_TRUE(next.has_value());
+  ASSERT_TRUE(next->ok());
+  EXPECT_EQ(next->value().body, "xyz");
+  EXPECT_EQ(reader.buffered_bytes(), 0u);
+}
+
+TEST(RequestReaderTest, ParsesPipelinedMessages) {
+  RequestReader reader;
+  Request a;
+  a.target = "/a";
+  Request b;
+  b.target = "/b";
+  b.body = "data";
+  reader.Feed(a.Serialize() + b.Serialize());
+  auto first = reader.Next();
+  ASSERT_TRUE(first.has_value() && first->ok());
+  EXPECT_EQ(first->value().target, "/a");
+  auto second = reader.Next();
+  ASSERT_TRUE(second.has_value() && second->ok());
+  EXPECT_EQ(second->value().target, "/b");
+  EXPECT_EQ(second->value().body, "data");
+  EXPECT_FALSE(reader.Next().has_value());
+}
+
+TEST(RequestReaderTest, StaysFailedAfterCorruptHead) {
+  RequestReader reader;
+  reader.Feed("NOT A REQUEST\r\n\r\n");
+  auto next = reader.Next();
+  ASSERT_TRUE(next.has_value());
+  EXPECT_FALSE(next->ok());
+  EXPECT_TRUE(reader.failed());
+  auto again = reader.Next();
+  ASSERT_TRUE(again.has_value());
+  EXPECT_FALSE(again->ok());
+}
+
+TEST(ResponseReaderTest, ParsesStreamedResponse) {
+  ResponseReader reader;
+  Response response;
+  response.body = std::string(1000, 'x');
+  std::string wire = response.Serialize();
+  for (size_t i = 0; i < wire.size(); i += 7) {
+    reader.Feed(std::string_view(wire).substr(i, 7));
+  }
+  auto next = reader.Next();
+  ASSERT_TRUE(next.has_value());
+  ASSERT_TRUE(next->ok());
+  EXPECT_EQ(next->value().body.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace dynaprox::http

@@ -1,0 +1,85 @@
+// BEM restart semantics: the origin's directory is in-memory state. After a
+// BEM restart every lookup misses, so responses carry fresh SETs that
+// simply overwrite the DPC's (still populated) slots — correctness is
+// preserved by construction, at the cost of one regeneration per fragment.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "appserver/origin_server.h"
+#include "appserver/script_registry.h"
+#include "bem/monitor.h"
+#include "common/clock.h"
+#include "dpc/proxy.h"
+#include "net/transport.h"
+#include "storage/table.h"
+#include "storage/value.h"
+
+namespace dynaprox {
+namespace {
+
+TEST(BemRestartTest, FreshDirectoryOverwritesDpcSlotsCorrectly) {
+  SimClock clock;
+  storage::ContentRepository repository;
+  repository.GetOrCreateTable("kv")->Upsert(
+      "row", {{"v", storage::Value(std::string("one"))}});
+
+  appserver::ScriptRegistry registry;
+  int generations = 0;
+  registry.RegisterOrReplace(
+      "/page", [&](appserver::ScriptContext& context) {
+        return context.CacheableBlock(
+            bem::FragmentId("kv-frag"),
+            [&](appserver::ScriptContext& block) {
+              ++generations;
+              auto row = (*block.repository()->GetTable("kv"))->Get("row");
+              block.DeclareDependency("kv", "row");
+              block.Emit("[" + storage::GetString(*row, "v") + "]");
+              return Status::Ok();
+            });
+      });
+
+  bem::BemOptions bem_options;
+  bem_options.capacity = 8;
+  bem_options.clock = &clock;
+
+  auto monitor = *bem::BackEndMonitor::Create(bem_options);
+  monitor->AttachRepository(&repository);
+  // The origin holds a raw pointer; rebuild it when the BEM "restarts".
+  auto origin = std::make_unique<appserver::OriginServer>(
+      &registry, &repository, monitor.get());
+  auto origin_handler = [&](const http::Request& request) {
+    return origin->Handle(request);
+  };
+  net::DirectTransport upstream(origin_handler);
+  dpc::ProxyOptions proxy_options;
+  proxy_options.capacity = 8;
+  dpc::DpcProxy proxy(&upstream, proxy_options);
+
+  http::Request request;
+  request.target = "/page";
+  EXPECT_EQ(proxy.Handle(request).body, "[one]");
+  EXPECT_EQ(proxy.Handle(request).body, "[one]");
+  EXPECT_EQ(generations, 1);
+
+  // "Restart" the BEM: new monitor, empty directory; DPC slots still hold
+  // the old fragment under key 0.
+  (*repository.GetTable("kv"))
+      ->Upsert("row", {{"v", storage::Value(std::string("two"))}});
+  monitor = *bem::BackEndMonitor::Create(bem_options);
+  monitor->AttachRepository(&repository);
+  origin = std::make_unique<appserver::OriginServer>(
+      &registry, &repository, monitor.get());
+
+  // Every fragment misses in the fresh directory; the SET overwrites the
+  // stale slot, so clients see the new value immediately.
+  EXPECT_EQ(proxy.Handle(request).body, "[two]");
+  EXPECT_EQ(generations, 2);
+  EXPECT_EQ(proxy.Handle(request).body, "[two]");
+  EXPECT_EQ(generations, 2);  // Warm again.
+  EXPECT_EQ(proxy.stats().template_errors, 0u);
+}
+
+}  // namespace
+}  // namespace dynaprox

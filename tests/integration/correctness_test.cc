@@ -1,0 +1,187 @@
+// Reproduces the paper's Bob/Alice correctness argument (Section 3.2.1):
+// a URL-keyed page-level proxy cache serves Bob's personalized page to
+// Alice, while the DPC — whose layout comes from the origin on every
+// request — serves each visitor the correct page.
+
+#include <map>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "appserver/origin_server.h"
+#include "appserver/personalization.h"
+#include "appserver/script_registry.h"
+#include "appserver/session.h"
+#include "bem/monitor.h"
+#include "common/clock.h"
+#include "dpc/proxy.h"
+#include "net/transport.h"
+#include "storage/table.h"
+#include "storage/value.h"
+
+namespace dynaprox {
+namespace {
+
+// The strawman: a URL-keyed full-page cache (what Section 3.2.1 warns
+// about). Deliberately ignores session state, like a generic proxy.
+class UrlKeyedPageCache {
+ public:
+  explicit UrlKeyedPageCache(net::Transport* upstream)
+      : upstream_(upstream) {}
+
+  http::Response Handle(const http::Request& request) {
+    auto it = cache_.find(request.target);
+    if (it != cache_.end()) {
+      ++hits_;
+      return it->second;
+    }
+    Result<http::Response> response = upstream_->RoundTrip(request);
+    if (!response.ok()) {
+      return http::Response::MakeError(502, "Bad Gateway", "upstream");
+    }
+    cache_[request.target] = *response;
+    return *response;
+  }
+
+  int hits() const { return hits_; }
+
+ private:
+  net::Transport* upstream_;
+  std::map<std::string, http::Response> cache_;
+  int hits_ = 0;
+};
+
+class CorrectnessTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    storage::Table* users =
+        repository_.GetOrCreateTable(appserver::kUsersTable);
+    users->Upsert("bob", {{"name", storage::Value(std::string("Bob"))}});
+
+    // /welcome is "dynamic layout": registered users get a greeting
+    // fragment, anonymous visitors don't. Same URL either way — the
+    // canonical page-cache trap.
+    registry_.RegisterOrReplace(
+        "/welcome", [this](appserver::ScriptContext& context) {
+          context.Emit("<html>");
+          auto user = sessions_.ResolveUser(context.request());
+          if (user.has_value()) {
+            Status status = context.CacheableBlock(
+                bem::FragmentId("greeting", {{"user", *user}}),
+                [&](appserver::ScriptContext& ctx) {
+                  auto profile =
+                      appserver::LoadProfile(*ctx.repository(), *user);
+                  if (!profile.ok()) return profile.status();
+                  ctx.Emit("<p>Hello, " + profile->display_name + "</p>");
+                  return Status::Ok();
+                });
+            if (!status.ok()) return status;
+          }
+          Status status = context.CacheableBlock(
+              bem::FragmentId("promo"), [](appserver::ScriptContext& ctx) {
+                ctx.Emit("<p>Deal of the day</p>");
+                return Status::Ok();
+              });
+          if (!status.ok()) return status;
+          context.Emit("</html>");
+          return Status::Ok();
+        });
+
+    bem::BemOptions bem_options;
+    bem_options.capacity = 16;
+    bem_options.clock = &clock_;
+    monitor_ = *bem::BackEndMonitor::Create(bem_options);
+    origin_ = std::make_unique<appserver::OriginServer>(
+        &registry_, &repository_, monitor_.get());
+    upstream_ =
+        std::make_unique<net::DirectTransport>(origin_->AsHandler());
+    dpc::ProxyOptions proxy_options;
+    proxy_options.capacity = 16;
+    dpc_ = std::make_unique<dpc::DpcProxy>(upstream_.get(), proxy_options);
+
+    bob_token_ = sessions_.Login("bob");
+  }
+
+  // NOTE: Bob and Alice use the SAME URL; only the Cookie differs, and a
+  // URL-keyed cache ignores cookies.
+  http::Request BobRequest() {
+    http::Request request;
+    request.target = "/welcome";
+    request.headers.Add("Cookie", "sid=" + bob_token_);
+    return request;
+  }
+  http::Request AliceRequest() {
+    http::Request request;
+    request.target = "/welcome";
+    return request;
+  }
+
+  SimClock clock_;
+  storage::ContentRepository repository_;
+  appserver::ScriptRegistry registry_;
+  appserver::SessionManager sessions_;
+  std::unique_ptr<bem::BackEndMonitor> monitor_;
+  std::unique_ptr<appserver::OriginServer> origin_;
+  std::unique_ptr<net::DirectTransport> upstream_;
+  std::unique_ptr<dpc::DpcProxy> dpc_;
+  std::string bob_token_;
+
+  const std::string kBobPage =
+      "<html><p>Hello, Bob</p><p>Deal of the day</p></html>";
+  const std::string kAlicePage = "<html><p>Deal of the day</p></html>";
+};
+
+TEST_F(CorrectnessTest, PageLevelCacheServesBobsPageToAlice) {
+  // Baseline origin without BEM so the strawman sees full pages.
+  appserver::OriginServer plain_origin(&registry_, &repository_, nullptr);
+  net::DirectTransport plain(plain_origin.AsHandler());
+  UrlKeyedPageCache page_cache(&plain);
+
+  http::Response bob = page_cache.Handle(BobRequest());
+  EXPECT_EQ(bob.body, kBobPage);
+
+  // Alice asks for the same URL and gets *Bob's* page: the failure the
+  // paper demonstrates.
+  http::Response alice = page_cache.Handle(AliceRequest());
+  EXPECT_EQ(page_cache.hits(), 1);
+  EXPECT_EQ(alice.body, kBobPage);
+  EXPECT_NE(alice.body, kAlicePage);
+}
+
+TEST_F(CorrectnessTest, DpcServesEachVisitorTheirOwnPage) {
+  http::Response bob = dpc_->Handle(BobRequest());
+  EXPECT_EQ(bob.body, kBobPage);
+  http::Response alice = dpc_->Handle(AliceRequest());
+  EXPECT_EQ(alice.body, kAlicePage);
+  // And again, with warm caches, both still correct.
+  EXPECT_EQ(dpc_->Handle(BobRequest()).body, kBobPage);
+  EXPECT_EQ(dpc_->Handle(AliceRequest()).body, kAlicePage);
+}
+
+TEST_F(CorrectnessTest, SharedFragmentReusedAcrossUsers) {
+  dpc_->Handle(BobRequest());
+  uint64_t misses_after_bob = monitor_->stats().misses;
+  dpc_->Handle(AliceRequest());
+  // Alice's page reuses the cached "promo" fragment: exactly zero
+  // additional misses for it.
+  EXPECT_EQ(monitor_->stats().misses, misses_after_bob);
+  EXPECT_GE(monitor_->stats().hits, 1u);
+}
+
+TEST_F(CorrectnessTest, PerUserFragmentsDoNotLeakBetweenUsers) {
+  storage::Table* users =
+      *repository_.GetTable(appserver::kUsersTable);
+  users->Upsert("carol", {{"name", storage::Value(std::string("Carol"))}});
+  std::string carol_token = sessions_.Login("carol");
+
+  dpc_->Handle(BobRequest());
+  http::Request carol;
+  carol.target = "/welcome";
+  carol.headers.Add("Cookie", "sid=" + carol_token);
+  http::Response response = dpc_->Handle(carol);
+  EXPECT_NE(response.body.find("Hello, Carol"), std::string::npos);
+  EXPECT_EQ(response.body.find("Hello, Bob"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dynaprox

@@ -1,0 +1,148 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "appserver/origin_server.h"
+#include "appserver/script_registry.h"
+#include "bem/monitor.h"
+#include "common/clock.h"
+#include "dpc/proxy.h"
+#include "net/transport.h"
+#include "storage/table.h"
+#include "storage/value.h"
+
+namespace dynaprox {
+namespace {
+
+// Full-stack fixture: client -> DpcProxy -> metered link -> Origin(+BEM).
+class EndToEndTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    storage::Table* news = repository_.GetOrCreateTable("news");
+    news->Upsert("n1", {{"text", storage::Value(std::string(
+                                     "Markets rally on cache news"))}});
+
+    registry_.RegisterOrReplace(
+        "/home", [](appserver::ScriptContext& context) {
+          context.Emit("<html><h1>Home</h1>");
+          Status status = context.CacheableBlock(
+              bem::FragmentId("headlines"),
+              [](appserver::ScriptContext& ctx) {
+                auto news_table = ctx.repository()->GetTable("news");
+                storage::Row row = *(*news_table)->Get("n1");
+                ctx.DeclareDependency("news");
+                ctx.Emit("<ul><li>" + storage::GetString(row, "text") +
+                         "</li></ul>");
+                return Status::Ok();
+              });
+          if (!status.ok()) return status;
+          context.Emit("<footer>fin</footer></html>");
+          return Status::Ok();
+        });
+
+    bem::BemOptions bem_options;
+    bem_options.capacity = 16;
+    bem_options.clock = &clock_;
+    monitor_ = *bem::BackEndMonitor::Create(bem_options);
+    monitor_->AttachRepository(&repository_);
+
+    origin_ = std::make_unique<appserver::OriginServer>(
+        &registry_, &repository_, monitor_.get());
+    link_ = std::make_unique<net::MeteredTransport>(
+        std::make_unique<net::DirectTransport>(origin_->AsHandler()),
+        nullptr, &response_meter_);
+    dpc::ProxyOptions proxy_options;
+    proxy_options.capacity = 16;
+    proxy_ = std::make_unique<dpc::DpcProxy>(link_.get(), proxy_options);
+  }
+
+  http::Response FetchHome() {
+    http::Request request;
+    request.target = "/home";
+    return proxy_->Handle(request);
+  }
+
+  SimClock clock_;
+  storage::ContentRepository repository_;
+  appserver::ScriptRegistry registry_;
+  std::unique_ptr<bem::BackEndMonitor> monitor_;
+  std::unique_ptr<appserver::OriginServer> origin_;
+  net::ByteMeter response_meter_{net::ProtocolModel::PayloadOnly()};
+  std::unique_ptr<net::MeteredTransport> link_;
+  std::unique_ptr<dpc::DpcProxy> proxy_;
+
+  const std::string kExpectedPage =
+      "<html><h1>Home</h1><ul><li>Markets rally on cache news</li></ul>"
+      "<footer>fin</footer></html>";
+};
+
+TEST_F(EndToEndTest, FirstAndSecondRequestsProduceIdenticalPages) {
+  http::Response first = FetchHome();
+  ASSERT_EQ(first.status_code, 200);
+  EXPECT_EQ(first.body, kExpectedPage);
+
+  http::Response second = FetchHome();
+  EXPECT_EQ(second.body, kExpectedPage);
+  EXPECT_EQ(monitor_->stats().hits, 1u);
+  EXPECT_EQ(monitor_->stats().misses, 1u);
+}
+
+TEST_F(EndToEndTest, CachedRequestMovesFewerBytesOverOriginLink) {
+  FetchHome();
+  uint64_t first_bytes = response_meter_.payload_bytes();
+  FetchHome();
+  uint64_t second_bytes = response_meter_.payload_bytes() - first_bytes;
+  EXPECT_LT(second_bytes, first_bytes);
+  // The cached template omits the fragment body entirely.
+  EXPECT_LT(second_bytes, first_bytes - 20);
+}
+
+TEST_F(EndToEndTest, DataUpdatePropagatesThroughWholeStack) {
+  FetchHome();
+  FetchHome();
+  (*repository_.GetTable("news"))
+      ->Upsert("n1",
+               {{"text", storage::Value(std::string("Flash crash!"))}});
+  http::Response updated = FetchHome();
+  EXPECT_NE(updated.body.find("Flash crash!"), std::string::npos);
+  EXPECT_EQ(updated.body.find("Markets rally"), std::string::npos);
+}
+
+TEST_F(EndToEndTest, TtlExpiryForcesRegeneration) {
+  registry_.RegisterOrReplace(
+      "/ttl", [this](appserver::ScriptContext& context) {
+        return context.CacheableBlock(
+            bem::FragmentId("clock"), 5 * kMicrosPerSecond,
+            [this](appserver::ScriptContext& ctx) {
+              ctx.Emit("t=" + std::to_string(clock_.NowMicros()));
+              return Status::Ok();
+            });
+      });
+  http::Request request;
+  request.target = "/ttl";
+  std::string first = proxy_->Handle(request).body;
+  clock_.AdvanceSeconds(1);
+  EXPECT_EQ(proxy_->Handle(request).body, first);  // Still cached.
+  clock_.AdvanceSeconds(10);
+  EXPECT_NE(proxy_->Handle(request).body, first);  // Expired, regenerated.
+}
+
+TEST_F(EndToEndTest, ManyRequestsKeepDirectoryAndStoreConsistent) {
+  for (int i = 0; i < 200; ++i) {
+    http::Response response = FetchHome();
+    ASSERT_EQ(response.status_code, 200);
+    ASSERT_EQ(response.body, kExpectedPage);
+    if (i % 17 == 0) {
+      (*repository_.GetTable("news"))
+          ->Upsert("n1", {{"text", storage::Value(std::string(
+                                       "Markets rally on cache news"))}});
+    }
+  }
+  EXPECT_EQ(proxy_->stats().assembled, 200u);
+  EXPECT_EQ(proxy_->stats().template_errors, 0u);
+  EXPECT_LE(monitor_->directory().entry_count(),
+            monitor_->directory().capacity());
+}
+
+}  // namespace
+}  // namespace dynaprox

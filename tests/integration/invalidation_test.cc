@@ -1,0 +1,194 @@
+// Reproduces the paper's stock-quote invalidation-granularity example
+// (Section 3.2.1): price quotes change every few seconds, headlines every
+// thirty minutes, historical data monthly. Fragment-level caching avoids
+// regenerating slow-moving fragments when fast-moving ones invalidate.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "appserver/origin_server.h"
+#include "appserver/script_registry.h"
+#include "bem/monitor.h"
+#include "common/clock.h"
+#include "dpc/proxy.h"
+#include "net/transport.h"
+#include "storage/table.h"
+#include "storage/value.h"
+
+namespace dynaprox {
+namespace {
+
+class InvalidationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    storage::Table* quotes = repository_.GetOrCreateTable("quotes");
+    quotes->Upsert("IBM", {{"price", storage::Value(100.0)}});
+    storage::Table* headlines = repository_.GetOrCreateTable("headlines");
+    headlines->Upsert("h1", {{"text", storage::Value(std::string(
+                                          "IBM ships quantum toaster"))}});
+    storage::Table* historical = repository_.GetOrCreateTable("historical");
+    historical->Upsert("IBM", {{"pe", storage::Value(24.5)}});
+
+    registry_.RegisterOrReplace(
+        "/stock", [this](appserver::ScriptContext& context) {
+          auto sym = context.request().QueryParams()["sym"];
+          DYNAPROX_RETURN_IF_ERROR(context.CacheableBlock(
+              bem::FragmentId("quote", {{"sym", sym}}),
+              [&](appserver::ScriptContext& ctx) {
+                ++quote_generations_;
+                storage::Row row =
+                    *(*ctx.repository()->GetTable("quotes"))->Get(sym);
+                ctx.DeclareDependency("quotes", sym);
+                ctx.Emit("<b>" + sym + ": " +
+                         storage::ValueToString(row.at("price")) + "</b>");
+                return Status::Ok();
+              }));
+          DYNAPROX_RETURN_IF_ERROR(context.CacheableBlock(
+              bem::FragmentId("headlines"),
+              [&](appserver::ScriptContext& ctx) {
+                ++headline_generations_;
+                ctx.DeclareDependency("headlines");
+                std::string html = "<ul>";
+                for (const auto& [key, row] :
+                     (*ctx.repository()->GetTable("headlines"))
+                         ->Scan(nullptr)) {
+                  html += "<li>" + storage::GetString(row, "text") + "</li>";
+                }
+                ctx.Emit(html + "</ul>");
+                return Status::Ok();
+              }));
+          DYNAPROX_RETURN_IF_ERROR(context.CacheableBlock(
+              bem::FragmentId("historical", {{"sym", sym}}),
+              [&](appserver::ScriptContext& ctx) {
+                ++historical_generations_;
+                storage::Row row =
+                    *(*ctx.repository()->GetTable("historical"))->Get(sym);
+                ctx.DeclareDependency("historical", sym);
+                ctx.Emit("<i>P/E " +
+                         storage::ValueToString(row.at("pe")) + "</i>");
+                return Status::Ok();
+              }));
+          return Status::Ok();
+        });
+
+    bem::BemOptions bem_options;
+    bem_options.capacity = 32;
+    bem_options.clock = &clock_;
+    monitor_ = *bem::BackEndMonitor::Create(bem_options);
+    monitor_->AttachRepository(&repository_);
+    origin_ = std::make_unique<appserver::OriginServer>(
+        &registry_, &repository_, monitor_.get());
+    upstream_ =
+        std::make_unique<net::DirectTransport>(origin_->AsHandler());
+    dpc::ProxyOptions proxy_options;
+    proxy_options.capacity = 32;
+    dpc_ = std::make_unique<dpc::DpcProxy>(upstream_.get(), proxy_options);
+  }
+
+  http::Response FetchStock() {
+    http::Request request;
+    request.target = "/stock?sym=IBM";
+    return dpc_->Handle(request);
+  }
+
+  SimClock clock_;
+  storage::ContentRepository repository_;
+  appserver::ScriptRegistry registry_;
+  std::unique_ptr<bem::BackEndMonitor> monitor_;
+  std::unique_ptr<appserver::OriginServer> origin_;
+  std::unique_ptr<net::DirectTransport> upstream_;
+  std::unique_ptr<dpc::DpcProxy> dpc_;
+
+  int quote_generations_ = 0;
+  int headline_generations_ = 0;
+  int historical_generations_ = 0;
+};
+
+TEST_F(InvalidationTest, QuoteUpdateRegeneratesOnlyQuoteFragment) {
+  FetchStock();
+  EXPECT_EQ(quote_generations_, 1);
+  EXPECT_EQ(headline_generations_, 1);
+  EXPECT_EQ(historical_generations_, 1);
+
+  // Ten price ticks, a page fetch after each.
+  for (int tick = 1; tick <= 10; ++tick) {
+    (*repository_.GetTable("quotes"))
+        ->Upsert("IBM", {{"price", storage::Value(100.0 + tick)}});
+    http::Response response = FetchStock();
+    EXPECT_NE(response.body.find(
+                  "IBM: " + storage::ValueToString(
+                                storage::Value(100.0 + tick))),
+              std::string::npos);
+  }
+  EXPECT_EQ(quote_generations_, 11);
+  // The page-level strawman would have regenerated these 11 times too.
+  EXPECT_EQ(headline_generations_, 1);
+  EXPECT_EQ(historical_generations_, 1);
+}
+
+TEST_F(InvalidationTest, HeadlineUpdateLeavesQuoteCached) {
+  FetchStock();
+  (*repository_.GetTable("headlines"))
+      ->Upsert("h2", {{"text", storage::Value(std::string(
+                                   "Cache stocks soar"))}});
+  http::Response response = FetchStock();
+  EXPECT_NE(response.body.find("Cache stocks soar"), std::string::npos);
+  EXPECT_EQ(quote_generations_, 1);
+  EXPECT_EQ(headline_generations_, 2);
+}
+
+TEST_F(InvalidationTest, TtlTiersExpireIndependently) {
+  // Re-register with TTLs mirroring the paper's cadence (scaled down):
+  // quotes 2s, headlines 60s, historical 3600s.
+  registry_.RegisterOrReplace(
+      "/tiered", [this](appserver::ScriptContext& context) {
+        DYNAPROX_RETURN_IF_ERROR(context.CacheableBlock(
+            bem::FragmentId("t-quote"), 2 * kMicrosPerSecond,
+            [&](appserver::ScriptContext& ctx) {
+              ++quote_generations_;
+              ctx.Emit("q");
+              return Status::Ok();
+            }));
+        DYNAPROX_RETURN_IF_ERROR(context.CacheableBlock(
+            bem::FragmentId("t-headlines"), 60 * kMicrosPerSecond,
+            [&](appserver::ScriptContext& ctx) {
+              ++headline_generations_;
+              ctx.Emit("h");
+              return Status::Ok();
+            }));
+        DYNAPROX_RETURN_IF_ERROR(context.CacheableBlock(
+            bem::FragmentId("t-historical"), 3600 * kMicrosPerSecond,
+            [&](appserver::ScriptContext& ctx) {
+              ++historical_generations_;
+              ctx.Emit("p");
+              return Status::Ok();
+            }));
+        return Status::Ok();
+      });
+
+  http::Request request;
+  request.target = "/tiered";
+  // Fetch every second for two simulated minutes.
+  for (int second = 0; second < 120; ++second) {
+    ASSERT_EQ(dpc_->Handle(request).body, "qhp");
+    clock_.AdvanceSeconds(1);
+  }
+  // Quotes regenerate about every 2s, headlines about every 60s,
+  // historical once.
+  EXPECT_NEAR(quote_generations_, 60, 2);
+  EXPECT_NEAR(headline_generations_, 2, 1);
+  EXPECT_EQ(historical_generations_, 1);
+}
+
+TEST_F(InvalidationTest, ExplicitInvalidateForcesRefresh) {
+  FetchStock();
+  ASSERT_TRUE(
+      monitor_->Invalidate(bem::FragmentId("headlines")).ok());
+  FetchStock();
+  EXPECT_EQ(headline_generations_, 2);
+  EXPECT_EQ(quote_generations_, 1);
+}
+
+}  // namespace
+}  // namespace dynaprox

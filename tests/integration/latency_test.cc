@@ -1,0 +1,103 @@
+#include "sim/latency.h"
+
+#include <gtest/gtest.h>
+
+namespace dynaprox::sim {
+namespace {
+
+analytical::ModelParams Baseline() {
+  return analytical::ModelParams::Table2Baseline();
+}
+
+TEST(LatencyModelTest, CachingNeverSlowerAtBaseline) {
+  LatencyParams latency;
+  analytical::ModelParams params = Baseline();
+  EXPECT_LT(ExpectedResponseTimeWithCacheMs(latency, params),
+            ExpectedResponseTimeNoCacheMs(latency, params));
+  EXPECT_GT(ExpectedSpeedup(latency, params), 1.0);
+}
+
+TEST(LatencyModelTest, SpeedupGrowsWithHitRatio) {
+  LatencyParams latency;
+  analytical::ModelParams params = Baseline();
+  double previous = 0;
+  for (double h : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    params.hit_ratio = h;
+    double speedup = ExpectedSpeedup(latency, params);
+    EXPECT_GT(speedup, previous);
+    previous = speedup;
+  }
+}
+
+TEST(LatencyModelTest, OrderOfMagnitudeClaimAtDeploymentSettings) {
+  // The deployment claim (Sections 1/8): order-of-magnitude response-time
+  // reduction. Realized when generation dominates and most fragment uses
+  // hit: all fragments cacheable, h near 1.
+  LatencyParams latency;
+  latency.wan_rtt_ms = 0;  // Server-side latency, the deployment's metric.
+  latency.wan_bytes_per_ms = 0;
+  analytical::ModelParams params = Baseline();
+  params.cacheability = 1.0;
+  params.hit_ratio = 0.98;
+  EXPECT_GE(ExpectedSpeedup(latency, params), 10.0);
+}
+
+TEST(LatencyModelTest, WanDominatedSetupsSeeSmallerWins) {
+  // Reverse-proxy mode cannot shrink the WAN leg (Section 7); with a slow
+  // user link the end-to-end speedup is bounded.
+  LatencyParams latency;
+  latency.wan_rtt_ms = 200;
+  latency.wan_bytes_per_ms = 10;  // Dial-up-ish.
+  analytical::ModelParams params = Baseline();
+  params.cacheability = 1.0;
+  params.hit_ratio = 1.0;
+  EXPECT_LT(ExpectedSpeedup(latency, params), 3.0);
+  EXPECT_GT(ExpectedSpeedup(latency, params), 1.0);
+}
+
+TEST(LatencyModelTest, DeterministicSamplingMatchesClosedForm) {
+  LatencyParams latency;
+  latency.stochastic = false;
+  analytical::ModelParams params = Baseline();
+  params.cacheability = 0.5;  // Exact per-page split (2 of 4).
+  params.hit_ratio = 1.0;     // No Bernoulli noise.
+  LatencyDistributions dist =
+      SampleResponseTimes(latency, params, 500, 1);
+  EXPECT_NEAR(dist.no_cache_ms.mean(),
+              ExpectedResponseTimeNoCacheMs(latency, params), 1e-6);
+  EXPECT_NEAR(dist.with_cache_ms.mean(),
+              ExpectedResponseTimeWithCacheMs(latency, params), 1e-6);
+}
+
+TEST(LatencyModelTest, StochasticSamplingConvergesToExpectation) {
+  LatencyParams latency;
+  analytical::ModelParams params = Baseline();
+  params.cacheability = 0.5;
+  LatencyDistributions dist =
+      SampleResponseTimes(latency, params, 20000, 7);
+  EXPECT_EQ(dist.no_cache_ms.count(), 20000u);
+  EXPECT_NEAR(dist.no_cache_ms.mean(),
+              ExpectedResponseTimeNoCacheMs(latency, params),
+              ExpectedResponseTimeNoCacheMs(latency, params) * 0.03);
+  EXPECT_NEAR(dist.with_cache_ms.mean(),
+              ExpectedResponseTimeWithCacheMs(latency, params),
+              ExpectedResponseTimeWithCacheMs(latency, params) * 0.05);
+  // Exponential generation produces a heavy tail: p99 well above mean.
+  EXPECT_GT(dist.no_cache_ms.Percentile(0.99), dist.no_cache_ms.mean());
+}
+
+TEST(LatencyModelTest, TailShrinksWithCaching) {
+  LatencyParams latency;
+  analytical::ModelParams params = Baseline();
+  params.cacheability = 1.0;
+  params.hit_ratio = 0.95;
+  LatencyDistributions dist =
+      SampleResponseTimes(latency, params, 20000, 11);
+  EXPECT_LT(dist.with_cache_ms.Percentile(0.5),
+            dist.no_cache_ms.Percentile(0.5));
+  EXPECT_LT(dist.with_cache_ms.Percentile(0.99),
+            dist.no_cache_ms.Percentile(0.99));
+}
+
+}  // namespace
+}  // namespace dynaprox::sim

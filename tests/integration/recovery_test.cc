@@ -1,0 +1,145 @@
+// Failure-injection integration tests: DPC restart (cold cache), firewall
+// in the path, corrupt templates from a buggy origin.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "appserver/origin_server.h"
+#include "appserver/script_registry.h"
+#include "bem/monitor.h"
+#include "bem/protocol.h"
+#include "common/clock.h"
+#include "dpc/proxy.h"
+#include "firewall/firewall.h"
+#include "net/transport.h"
+#include "storage/table.h"
+
+namespace dynaprox {
+namespace {
+
+class RecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    registry_.RegisterOrReplace(
+        "/page", [this](appserver::ScriptContext& context) {
+          context.Emit("[");
+          Status status = context.CacheableBlock(
+              bem::FragmentId("body"),
+              [this](appserver::ScriptContext& ctx) {
+                ++generations_;
+                ctx.Emit("fragment-body");
+                return Status::Ok();
+              });
+          if (!status.ok()) return status;
+          context.Emit("]");
+          return Status::Ok();
+        });
+
+    bem::BemOptions bem_options;
+    bem_options.capacity = 8;
+    bem_options.clock = &clock_;
+    monitor_ = *bem::BackEndMonitor::Create(bem_options);
+    origin_ = std::make_unique<appserver::OriginServer>(
+        &registry_, &repository_, monitor_.get());
+    upstream_ =
+        std::make_unique<net::DirectTransport>(origin_->AsHandler());
+    dpc::ProxyOptions proxy_options;
+    proxy_options.capacity = 8;
+    dpc_ = std::make_unique<dpc::DpcProxy>(upstream_.get(), proxy_options);
+  }
+
+  http::Response Fetch() {
+    http::Request request;
+    request.target = "/page";
+    return dpc_->Handle(request);
+  }
+
+  SimClock clock_;
+  storage::ContentRepository repository_;
+  appserver::ScriptRegistry registry_;
+  std::unique_ptr<bem::BackEndMonitor> monitor_;
+  std::unique_ptr<appserver::OriginServer> origin_;
+  std::unique_ptr<net::DirectTransport> upstream_;
+  std::unique_ptr<dpc::DpcProxy> dpc_;
+  int generations_ = 0;
+};
+
+TEST_F(RecoveryTest, DpcRestartRecoversTransparently) {
+  EXPECT_EQ(Fetch().body, "[fragment-body]");
+  EXPECT_EQ(Fetch().body, "[fragment-body]");
+  EXPECT_EQ(generations_, 1);
+
+  // Crash/restart the DPC: its slots are empty but the BEM still believes
+  // the fragment is cached and emits a GET.
+  dpc_->ClearCache();
+  http::Response recovered = Fetch();
+  EXPECT_EQ(recovered.status_code, 200);
+  EXPECT_EQ(recovered.body, "[fragment-body]");
+  EXPECT_EQ(dpc_->stats().recoveries, 1u);
+  EXPECT_EQ(generations_, 2);  // Regenerated once via refresh.
+
+  // Back to steady state afterwards.
+  EXPECT_EQ(Fetch().body, "[fragment-body]");
+  EXPECT_EQ(generations_, 2);
+}
+
+TEST_F(RecoveryTest, RepeatedRestartsAlwaysRecover) {
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(Fetch().body, "[fragment-body]");
+    dpc_->ClearCache();
+  }
+  EXPECT_EQ(Fetch().body, "[fragment-body]");
+  EXPECT_EQ(dpc_->stats().template_errors, 0u);
+}
+
+TEST_F(RecoveryTest, FirewallBetweenDpcAndOriginStillWorks) {
+  firewall::ScanningFirewall firewall(upstream_.get(), {"EVIL"});
+  dpc::ProxyOptions proxy_options;
+  proxy_options.capacity = 8;
+  dpc::DpcProxy guarded(&firewall, proxy_options);
+
+  http::Request request;
+  request.target = "/page";
+  EXPECT_EQ(guarded.Handle(request).body, "[fragment-body]");
+  EXPECT_EQ(guarded.Handle(request).body, "[fragment-body]");
+  EXPECT_EQ(firewall.stats().blocked, 0u);
+  // The firewall scanned request+response for each round trip.
+  EXPECT_EQ(firewall.stats().messages, 4u);
+
+  http::Request attack;
+  attack.target = "/page";
+  attack.body = "EVIL payload";
+  // The firewall's 403 passes through the DPC untouched (no template).
+  EXPECT_EQ(guarded.Handle(attack).status_code, 403);
+  EXPECT_EQ(firewall.stats().blocked, 1u);
+}
+
+TEST_F(RecoveryTest, OriginScriptFailurePropagatesAsError) {
+  registry_.RegisterOrReplace("/flaky",
+                              [](appserver::ScriptContext& context) {
+                                return context.CacheableBlock(
+                                    bem::FragmentId("flaky"),
+                                    [](appserver::ScriptContext&) {
+                                      return Status::IoError("db down");
+                                    });
+                              });
+  http::Request request;
+  request.target = "/flaky";
+  http::Response response = dpc_->Handle(request);
+  EXPECT_EQ(response.status_code, 500);
+  // The failed fragment was not cached; a fixed script recovers.
+  registry_.RegisterOrReplace("/flaky",
+                              [](appserver::ScriptContext& context) {
+                                return context.CacheableBlock(
+                                    bem::FragmentId("flaky"),
+                                    [](appserver::ScriptContext& ctx) {
+                                      ctx.Emit("ok now");
+                                      return Status::Ok();
+                                    });
+                              });
+  EXPECT_EQ(dpc_->Handle(request).body, "ok now");
+}
+
+}  // namespace
+}  // namespace dynaprox

@@ -1,0 +1,125 @@
+// Validates the simulation testbed against the Section 5 closed forms:
+// measured origin-link bytes must track the analytical predictions, which
+// is exactly the paper's Section 6 experiment in miniature.
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.h"
+#include "sim/testbed.h"
+
+namespace dynaprox::sim {
+namespace {
+
+analytical::ModelParams FastParams() {
+  analytical::ModelParams params;  // Table 2 defaults.
+  return params;
+}
+
+ExperimentConfig FastConfig() {
+  ExperimentConfig config;
+  config.params = FastParams();
+  config.warmup_requests = 500;
+  config.measured_requests = 4000;
+  config.link_model = net::ProtocolModel();  // Realistic overhead.
+  return config;
+}
+
+TEST(TestbedTest, BaselineServesFullPages) {
+  TestbedConfig config;
+  config.params = FastParams();
+  config.with_cache = false;
+  auto testbed = *Testbed::Create(config);
+  testbed->BeginMeasurement();
+  workload::DriverStats stats = testbed->Run(100);
+  EXPECT_EQ(stats.ok_responses, 100u);
+  Measurement m = testbed->Collect();
+  EXPECT_EQ(m.requests, 100u);
+  // Every response carries the full page: 4 * 1000 + 500 header.
+  EXPECT_EQ(m.response_payload_bytes, 100u * 4500u);
+  EXPECT_GT(m.response_wire_bytes, m.response_payload_bytes);
+}
+
+TEST(TestbedTest, CachedConfigMovesFewerBytes) {
+  TestbedConfig config;
+  config.params = FastParams();
+  config.with_cache = true;
+  auto testbed = *Testbed::Create(config);
+  testbed->Run(500);  // Warmup.
+  testbed->BeginMeasurement();
+  workload::DriverStats stats = testbed->Run(1000);
+  EXPECT_EQ(stats.ok_responses, 1000u);
+  Measurement m = testbed->Collect();
+  EXPECT_LT(m.response_payload_bytes, 1000u * 4500u);
+  EXPECT_GT(m.fragment_hits, 0u);
+}
+
+TEST(TestbedTest, RealizedHitRatioTracksTarget) {
+  TestbedConfig config;
+  config.params = FastParams();
+  config.params.hit_ratio = 0.8;
+  config.with_cache = true;
+  auto testbed = *Testbed::Create(config);
+  testbed->Run(1000);
+  testbed->BeginMeasurement();
+  testbed->Run(5000);
+  Measurement m = testbed->Collect();
+  EXPECT_NEAR(m.RealizedHitRatio(), 0.8, 0.03);
+}
+
+TEST(TestbedTest, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    TestbedConfig config;
+    config.params = FastParams();
+    config.with_cache = true;
+    config.seed = 7;
+    auto testbed = *Testbed::Create(config);
+    testbed->Run(800);
+    return testbed->Collect().response_payload_bytes;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(ExperimentTest, MeasuredPayloadTracksAnalyticalModel) {
+  ExperimentConfig config = FastConfig();
+  Result<ExperimentResult> result = RunBytesExperiment(config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // No-cache payload is exact.
+  EXPECT_NEAR(result->measured_payload_nc, result->analytic_bytes_nc,
+              result->analytic_bytes_nc * 0.001);
+  // Cached payload tracks the model within a few percent (stochastic h and
+  // warmup effects).
+  EXPECT_NEAR(result->measured_payload_c, result->analytic_bytes_c,
+              result->analytic_bytes_c * 0.06);
+  EXPECT_NEAR(result->measured_payload_ratio, result->analytic_ratio,
+              0.05);
+  EXPECT_NEAR(result->realized_hit_ratio, config.params.hit_ratio, 0.05);
+}
+
+TEST(ExperimentTest, WireOverheadRaisesRatioLikeThePaper) {
+  // Figure 3(b): the experimental (Sniffer) curve sits *above* the
+  // analytical one because protocol headers are proportionally heavier on
+  // the smaller cached responses.
+  ExperimentConfig config = FastConfig();
+  config.measured_requests = 3000;
+  Result<ExperimentResult> result = RunBytesExperiment(config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->measured_wire_ratio, result->measured_payload_ratio);
+  EXPECT_LT(result->measured_wire_savings_percent,
+            result->measured_payload_savings_percent);
+}
+
+TEST(ExperimentTest, SavingsGrowWithHitRatio) {
+  ExperimentConfig config = FastConfig();
+  config.measured_requests = 3000;
+  config.warmup_requests = 300;
+  config.params.hit_ratio = 0.2;
+  double low = RunBytesExperiment(config)->measured_payload_savings_percent;
+  config.params.hit_ratio = 0.95;
+  double high =
+      RunBytesExperiment(config)->measured_payload_savings_percent;
+  EXPECT_GT(high, low);
+  EXPECT_GT(high, 30.0);
+}
+
+}  // namespace
+}  // namespace dynaprox::sim

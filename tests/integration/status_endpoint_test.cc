@@ -1,0 +1,115 @@
+// Status (observability) endpoints on the origin and the DPC.
+
+#include <gtest/gtest.h>
+
+#include "appserver/origin_server.h"
+#include "appserver/script_registry.h"
+#include "bem/monitor.h"
+#include "common/clock.h"
+#include "dpc/proxy.h"
+#include "net/transport.h"
+#include "storage/table.h"
+
+namespace dynaprox {
+namespace {
+
+class StatusEndpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    registry_.RegisterOrReplace(
+        "/page", [](appserver::ScriptContext& context) {
+          return context.CacheableBlock(bem::FragmentId("f"),
+                                        [](appserver::ScriptContext& ctx) {
+                                          ctx.Emit("body");
+                                          return Status::Ok();
+                                        });
+        });
+    bem::BemOptions bem_options;
+    bem_options.capacity = 8;
+    bem_options.clock = &clock_;
+    monitor_ = *bem::BackEndMonitor::Create(bem_options);
+
+    appserver::OriginOptions origin_options;
+    origin_options.enable_status = true;
+    origin_ = std::make_unique<appserver::OriginServer>(
+        &registry_, &repository_, monitor_.get(), origin_options);
+    upstream_ =
+        std::make_unique<net::DirectTransport>(origin_->AsHandler());
+
+    dpc::ProxyOptions proxy_options;
+    proxy_options.capacity = 8;
+    proxy_options.enable_status = true;
+    proxy_options.enable_static_cache = true;
+    proxy_ = std::make_unique<dpc::DpcProxy>(upstream_.get(), proxy_options);
+  }
+
+  http::Request Get(const std::string& target) {
+    http::Request request;
+    request.target = target;
+    return request;
+  }
+
+  SimClock clock_;
+  storage::ContentRepository repository_;
+  appserver::ScriptRegistry registry_;
+  std::unique_ptr<bem::BackEndMonitor> monitor_;
+  std::unique_ptr<appserver::OriginServer> origin_;
+  std::unique_ptr<net::DirectTransport> upstream_;
+  std::unique_ptr<dpc::DpcProxy> proxy_;
+};
+
+TEST_F(StatusEndpointTest, OriginStatusReportsCounters) {
+  origin_->Handle(Get("/page"));
+  origin_->Handle(Get("/page"));
+  http::Response status = origin_->Handle(Get("/_dynaprox/status"));
+  ASSERT_EQ(status.status_code, 200);
+  EXPECT_EQ(*status.headers.Get("Content-Type"), "application/json");
+  EXPECT_NE(status.body.find("\"component\":\"origin\""),
+            std::string::npos);
+  EXPECT_NE(status.body.find("\"requests\":2"), std::string::npos);
+  EXPECT_NE(status.body.find("\"caching_enabled\":true"),
+            std::string::npos);
+  // Directory block present with one miss + one hit, and the cached
+  // fragment listed in the sample.
+  EXPECT_NE(status.body.find("\"directory\":{"), std::string::npos);
+  EXPECT_NE(status.body.find("\"hit_ratio\":0.5"), std::string::npos);
+  EXPECT_NE(status.body.find("\"sample_entries\":[{\"fragment\":\"f\""),
+            std::string::npos);
+}
+
+TEST_F(StatusEndpointTest, StatusRequestsNotCountedAsTraffic) {
+  origin_->Handle(Get("/_dynaprox/status"));
+  http::Response status = origin_->Handle(Get("/_dynaprox/status"));
+  EXPECT_NE(status.body.find("\"requests\":0"), std::string::npos);
+}
+
+TEST_F(StatusEndpointTest, ProxyStatusServedLocally) {
+  proxy_->Handle(Get("/page"));
+  http::Response status = proxy_->Handle(Get("/_dynaprox/status"));
+  ASSERT_EQ(status.status_code, 200);
+  EXPECT_NE(status.body.find("\"component\":\"dpc\""), std::string::npos);
+  EXPECT_NE(status.body.find("\"assembled\":1"), std::string::npos);
+  EXPECT_NE(status.body.find("\"store\":{"), std::string::npos);
+  EXPECT_NE(status.body.find("\"occupied_slots\":1"), std::string::npos);
+  EXPECT_NE(status.body.find("\"static_cache\":{"), std::string::npos);
+  // The proxy answered locally: only /page reached the origin.
+  EXPECT_EQ(origin_->stats().requests, 1u);
+}
+
+TEST_F(StatusEndpointTest, DisabledByDefaultPathFallsThrough) {
+  appserver::OriginServer plain(&registry_, &repository_, nullptr);
+  EXPECT_EQ(plain.Handle(Get("/_dynaprox/status")).status_code, 404);
+}
+
+TEST_F(StatusEndpointTest, CustomStatusPath) {
+  appserver::OriginOptions options;
+  options.enable_status = true;
+  options.status_path = "/healthz";
+  appserver::OriginServer origin(&registry_, &repository_, nullptr,
+                                 options);
+  EXPECT_EQ(origin.Handle(Get("/healthz")).status_code, 200);
+  EXPECT_EQ(origin.Handle(Get("/_dynaprox/status")).status_code, 404);
+}
+
+}  // namespace
+}  // namespace dynaprox

@@ -1,0 +1,59 @@
+#include "net/byte_meter.h"
+
+#include <gtest/gtest.h>
+
+namespace dynaprox::net {
+namespace {
+
+TEST(ProtocolModelTest, PayloadOnlyAddsNothing) {
+  ProtocolModel model = ProtocolModel::PayloadOnly();
+  EXPECT_EQ(model.WireBytes(0), 0u);
+  EXPECT_EQ(model.WireBytes(5000), 5000u);
+}
+
+TEST(ProtocolModelTest, DefaultAddsPerPacketAndPerMessage) {
+  ProtocolModel model;  // 40B headers, 1460 MSS, 120B per message.
+  // Empty payload still costs one packet.
+  EXPECT_EQ(model.WireBytes(0), 40u + 120u);
+  // One full segment.
+  EXPECT_EQ(model.WireBytes(1460), 1460u + 40u + 120u);
+  // One byte over -> two packets.
+  EXPECT_EQ(model.WireBytes(1461), 1461u + 80u + 120u);
+  // 4.5KB -> four packets.
+  EXPECT_EQ(model.WireBytes(4500), 4500u + 4 * 40u + 120u);
+}
+
+TEST(ProtocolModelTest, OverheadFractionShrinksWithSize) {
+  ProtocolModel model;
+  double small = static_cast<double>(model.WireBytes(100)) / 100;
+  double large = static_cast<double>(model.WireBytes(100000)) / 100000;
+  EXPECT_GT(small, large);
+}
+
+TEST(ByteMeterTest, AccumulatesMessages) {
+  ByteMeter meter{ProtocolModel::PayloadOnly()};
+  meter.RecordMessage(100);
+  meter.RecordMessage(200);
+  EXPECT_EQ(meter.messages(), 2u);
+  EXPECT_EQ(meter.payload_bytes(), 300u);
+  EXPECT_EQ(meter.wire_bytes(), 300u);
+}
+
+TEST(ByteMeterTest, WireBytesIncludeOverhead) {
+  ByteMeter meter{ProtocolModel{40, 1460, 120}};
+  meter.RecordMessage(1000);
+  EXPECT_EQ(meter.payload_bytes(), 1000u);
+  EXPECT_EQ(meter.wire_bytes(), 1000u + 40u + 120u);
+}
+
+TEST(ByteMeterTest, ResetClearsCounters) {
+  ByteMeter meter;
+  meter.RecordMessage(10);
+  meter.Reset();
+  EXPECT_EQ(meter.messages(), 0u);
+  EXPECT_EQ(meter.payload_bytes(), 0u);
+  EXPECT_EQ(meter.wire_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace dynaprox::net

@@ -1,0 +1,81 @@
+#include "net/retry.h"
+
+#include <gtest/gtest.h>
+
+namespace dynaprox::net {
+namespace {
+
+// Fails the first `failures` round trips, then succeeds.
+class FlakyTransport : public Transport {
+ public:
+  explicit FlakyTransport(int failures) : failures_left_(failures) {}
+
+  Result<http::Response> RoundTrip(const http::Request&) override {
+    ++calls_;
+    if (failures_left_ > 0) {
+      --failures_left_;
+      return Status::IoError("connection reset");
+    }
+    return http::Response::MakeOk("finally");
+  }
+
+  int calls() const { return calls_; }
+
+ private:
+  int failures_left_;
+  int calls_ = 0;
+};
+
+TEST(RetryTransportTest, SucceedsAfterTransientFailures) {
+  FlakyTransport flaky(2);
+  RetryTransport retry(&flaky, {3, 0});
+  Result<http::Response> response = retry.RoundTrip(http::Request{});
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->body, "finally");
+  EXPECT_EQ(flaky.calls(), 3);
+  EXPECT_EQ(retry.stats().retries, 2u);
+  EXPECT_EQ(retry.stats().gave_up, 0u);
+}
+
+TEST(RetryTransportTest, GivesUpAfterMaxAttempts) {
+  FlakyTransport flaky(10);
+  RetryTransport retry(&flaky, {3, 0});
+  Result<http::Response> response = retry.RoundTrip(http::Request{});
+  EXPECT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kIoError);
+  EXPECT_EQ(flaky.calls(), 3);
+  EXPECT_EQ(retry.stats().gave_up, 1u);
+}
+
+TEST(RetryTransportTest, NoRetryOnSuccess) {
+  FlakyTransport flaky(0);
+  RetryTransport retry(&flaky, {5, 0});
+  ASSERT_TRUE(retry.RoundTrip(http::Request{}).ok());
+  EXPECT_EQ(flaky.calls(), 1);
+}
+
+TEST(RetryTransportTest, HttpErrorsAreNotRetried) {
+  DirectTransport upstream([](const http::Request&) {
+    return http::Response::MakeError(503, "Service Unavailable", "down");
+  });
+  int calls = 0;
+  DirectTransport counting([&](const http::Request& request) {
+    ++calls;
+    return *upstream.RoundTrip(request);
+  });
+  RetryTransport retry(&counting, {3, 0});
+  Result<http::Response> response = retry.RoundTrip(http::Request{});
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status_code, 503);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTransportTest, DegenerateOptionsClampToOneAttempt) {
+  FlakyTransport flaky(10);
+  RetryTransport retry(&flaky, {0, 0});
+  EXPECT_FALSE(retry.RoundTrip(http::Request{}).ok());
+  EXPECT_EQ(flaky.calls(), 1);
+}
+
+}  // namespace
+}  // namespace dynaprox::net

@@ -1,0 +1,122 @@
+#include "net/tcp.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+namespace dynaprox::net {
+namespace {
+
+http::Response EchoHandler(const http::Request& request) {
+  return http::Response::MakeOk("path=" + std::string(request.Path()) +
+                                ";body=" + request.body);
+}
+
+TEST(TcpTest, RoundTripOverLoopback) {
+  TcpServer server(EchoHandler);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_NE(server.port(), 0);
+
+  TcpClientTransport client("127.0.0.1", server.port());
+  http::Request request;
+  request.method = "POST";
+  request.target = "/hello";
+  request.body = "payload";
+  Result<http::Response> response = client.RoundTrip(request);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status_code, 200);
+  EXPECT_EQ(response->body, "path=/hello;body=payload");
+  server.Stop();
+}
+
+TEST(TcpTest, KeepAliveServesManyRequestsOnOneConnection) {
+  TcpServer server(EchoHandler);
+  ASSERT_TRUE(server.Start().ok());
+  TcpClientTransport client("127.0.0.1", server.port());
+  for (int i = 0; i < 20; ++i) {
+    http::Request request;
+    request.target = "/r" + std::to_string(i);
+    Result<http::Response> response = client.RoundTrip(request);
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(response->body, "path=/r" + std::to_string(i) + ";body=");
+  }
+  server.Stop();
+}
+
+TEST(TcpTest, MultipleConcurrentClients) {
+  TcpServer server(EchoHandler);
+  ASSERT_TRUE(server.Start().ok());
+  TcpClientTransport a("127.0.0.1", server.port());
+  TcpClientTransport b("127.0.0.1", server.port());
+  http::Request request;
+  request.target = "/both";
+  EXPECT_TRUE(a.RoundTrip(request).ok());
+  EXPECT_TRUE(b.RoundTrip(request).ok());
+  EXPECT_TRUE(a.RoundTrip(request).ok());
+  server.Stop();
+}
+
+TEST(TcpTest, LargeBodyTransfers) {
+  TcpServer server([](const http::Request& request) {
+    return http::Response::MakeOk(std::string(256 * 1024, 'z') +
+                                  request.body);
+  });
+  ASSERT_TRUE(server.Start().ok());
+  TcpClientTransport client("127.0.0.1", server.port());
+  http::Request request;
+  request.body = std::string(64 * 1024, 'q');
+  Result<http::Response> response = client.RoundTrip(request);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->body.size(), 256u * 1024 + 64 * 1024);
+  server.Stop();
+}
+
+TEST(TcpTest, ConnectToClosedPortFails) {
+  TcpServer server(EchoHandler);
+  ASSERT_TRUE(server.Start().ok());
+  uint16_t port = server.port();
+  server.Stop();
+  TcpClientTransport client("127.0.0.1", port);
+  http::Request request;
+  EXPECT_FALSE(client.RoundTrip(request).ok());
+}
+
+TEST(TcpTest, ReceiveTimeoutFailsFast) {
+  // A listener that accepts but never responds.
+  int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listen_fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listen_fd, 4), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                          &len),
+            0);
+
+  TcpClientOptions options;
+  options.io_timeout_micros = 100 * kMicrosPerMilli;  // 100ms.
+  TcpClientTransport client("127.0.0.1", ntohs(addr.sin_port), options);
+  http::Request request;
+  Result<http::Response> response = client.RoundTrip(request);
+  EXPECT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kIoError);
+  ::close(listen_fd);
+}
+
+TEST(TcpTest, StopIsIdempotent) {
+  TcpServer server(EchoHandler);
+  ASSERT_TRUE(server.Start().ok());
+  server.Stop();
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace dynaprox::net

@@ -1,0 +1,47 @@
+#include "net/transport.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+namespace dynaprox::net {
+namespace {
+
+http::Response Echo(const http::Request& request) {
+  http::Response response = http::Response::MakeOk("echo:" + request.target);
+  return response;
+}
+
+TEST(DirectTransportTest, InvokesHandler) {
+  DirectTransport transport(Echo);
+  http::Request request;
+  request.target = "/abc";
+  Result<http::Response> response = transport.RoundTrip(request);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->body, "echo:/abc");
+}
+
+TEST(MeteredTransportTest, CountsBothDirections) {
+  ByteMeter request_meter{ProtocolModel::PayloadOnly()};
+  ByteMeter response_meter{ProtocolModel::PayloadOnly()};
+  MeteredTransport transport(std::make_unique<DirectTransport>(Echo),
+                             &request_meter, &response_meter);
+  http::Request request;
+  request.target = "/x";
+  Result<http::Response> response = transport.RoundTrip(request);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(request_meter.messages(), 1u);
+  EXPECT_EQ(request_meter.payload_bytes(), request.SerializedSize());
+  EXPECT_EQ(response_meter.messages(), 1u);
+  EXPECT_EQ(response_meter.payload_bytes(), response->SerializedSize());
+}
+
+TEST(MeteredTransportTest, NullMetersAreSkipped) {
+  MeteredTransport transport(std::make_unique<DirectTransport>(Echo),
+                             nullptr, nullptr);
+  http::Request request;
+  EXPECT_TRUE(transport.RoundTrip(request).ok());
+}
+
+}  // namespace
+}  // namespace dynaprox::net

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "storage/table.h"
+
+namespace dynaprox::storage {
+namespace {
+
+Row ProductRow(const std::string& category, double price) {
+  return {{"category", Value(category)}, {"price", Value(price)}};
+}
+
+TEST(IndexTest, CreateIndexBackfillsExistingRows) {
+  Table table("products", nullptr);
+  ASSERT_TRUE(table.Insert("p1", ProductRow("fiction", 10)).ok());
+  ASSERT_TRUE(table.Insert("p2", ProductRow("tech", 20)).ok());
+  ASSERT_TRUE(table.Insert("p3", ProductRow("fiction", 30)).ok());
+  ASSERT_TRUE(table.CreateIndex("category").ok());
+  EXPECT_TRUE(table.HasIndex("category"));
+  auto fiction = table.ScanEq("category", Value(std::string("fiction")));
+  ASSERT_EQ(fiction.size(), 2u);
+  EXPECT_EQ(fiction[0].first, "p1");
+  EXPECT_EQ(fiction[1].first, "p3");
+  EXPECT_EQ(table.index_lookups(), 1u);
+}
+
+TEST(IndexTest, DuplicateCreateFails) {
+  Table table("t", nullptr);
+  ASSERT_TRUE(table.CreateIndex("c").ok());
+  EXPECT_EQ(table.CreateIndex("c").code(), StatusCode::kAlreadyExists);
+}
+
+TEST(IndexTest, MaintainedAcrossMutations) {
+  Table table("products", nullptr);
+  ASSERT_TRUE(table.CreateIndex("category").ok());
+  ASSERT_TRUE(table.Insert("p1", ProductRow("fiction", 10)).ok());
+  table.Upsert("p2", ProductRow("fiction", 12));
+  EXPECT_EQ(table.ScanEq("category", Value(std::string("fiction"))).size(),
+            2u);
+
+  // Update moves p1 to another category.
+  ASSERT_TRUE(table.Update("p1", ProductRow("tech", 10)).ok());
+  EXPECT_EQ(table.ScanEq("category", Value(std::string("fiction"))).size(),
+            1u);
+  EXPECT_EQ(table.ScanEq("category", Value(std::string("tech"))).size(),
+            1u);
+
+  // Delete removes from the index.
+  ASSERT_TRUE(table.Delete("p2").ok());
+  EXPECT_TRUE(
+      table.ScanEq("category", Value(std::string("fiction"))).empty());
+}
+
+TEST(IndexTest, RowsWithoutColumnAreUnindexed) {
+  Table table("t", nullptr);
+  ASSERT_TRUE(table.CreateIndex("category").ok());
+  ASSERT_TRUE(table.Insert("bare", {{"other", Value(int64_t{1})}}).ok());
+  EXPECT_TRUE(table.ScanEq("category", Value(std::string("x"))).empty());
+  // Upsert adds the column later; the row becomes findable.
+  table.Upsert("bare", ProductRow("x", 1));
+  EXPECT_EQ(table.ScanEq("category", Value(std::string("x"))).size(), 1u);
+}
+
+TEST(IndexTest, LimitHonored) {
+  Table table("t", nullptr);
+  ASSERT_TRUE(table.CreateIndex("c").ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(table
+                    .Insert("k" + std::to_string(i),
+                            {{"c", Value(std::string("same"))}})
+                    .ok());
+  }
+  EXPECT_EQ(table.ScanEq("c", Value(std::string("same")), 3).size(), 3u);
+}
+
+TEST(IndexTest, NumericAndMixedTypeValues) {
+  Table table("t", nullptr);
+  ASSERT_TRUE(table.CreateIndex("v").ok());
+  ASSERT_TRUE(table.Insert("int", {{"v", Value(int64_t{7})}}).ok());
+  ASSERT_TRUE(table.Insert("dbl", {{"v", Value(7.0)}}).ok());
+  ASSERT_TRUE(table.Insert("str", {{"v", Value(std::string("7"))}}).ok());
+  // Variant equality is type-aware: three distinct index buckets.
+  EXPECT_EQ(table.ScanEq("v", Value(int64_t{7})).size(), 1u);
+  EXPECT_EQ(table.ScanEq("v", Value(7.0)).size(), 1u);
+  EXPECT_EQ(table.ScanEq("v", Value(std::string("7"))).size(), 1u);
+}
+
+// Property: indexed and unindexed ScanEq agree under random churn.
+TEST(IndexTest, AgreesWithFullScanUnderChurn) {
+  Table indexed("a", nullptr);
+  Table plain("b", nullptr);
+  ASSERT_TRUE(indexed.CreateIndex("cat").ok());
+  Rng rng(77);
+  const char* kCategories[] = {"x", "y", "z"};
+  for (int step = 0; step < 1000; ++step) {
+    std::string key = "k" + std::to_string(rng.NextBounded(50));
+    switch (rng.NextBounded(3)) {
+      case 0:
+      case 1: {
+        Row row = ProductRow(kCategories[rng.NextBounded(3)],
+                             static_cast<double>(rng.NextBounded(100)));
+        indexed.Upsert(key, row);
+        plain.Upsert(key, row);
+        break;
+      }
+      case 2:
+        (void)indexed.Delete(key);
+        (void)plain.Delete(key);
+        break;
+    }
+    if (step % 50 == 0) {
+      for (const char* category : kCategories) {
+        auto a = indexed.ScanEq("cat", Value(std::string(category)));
+        auto b = plain.ScanEq("cat", Value(std::string(category)));
+        ASSERT_EQ(a.size(), b.size()) << category << " step " << step;
+        for (size_t i = 0; i < a.size(); ++i) {
+          ASSERT_EQ(a[i].first, b[i].first);
+        }
+      }
+    }
+  }
+  EXPECT_GT(indexed.index_lookups(), 0u);
+}
+
+}  // namespace
+}  // namespace dynaprox::storage

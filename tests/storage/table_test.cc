@@ -1,0 +1,130 @@
+#include "storage/table.h"
+
+#include <gtest/gtest.h>
+
+namespace dynaprox::storage {
+namespace {
+
+Row MakeRow(const std::string& title, int64_t n) {
+  Row row;
+  row["title"] = title;
+  row["n"] = n;
+  return row;
+}
+
+TEST(TableTest, InsertGetRoundTrip) {
+  Table table("t", nullptr);
+  ASSERT_TRUE(table.Insert("k1", MakeRow("a", 1)).ok());
+  Result<Row> row = table.Get("k1");
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(GetString(*row, "title"), "a");
+  EXPECT_EQ(table.row_count(), 1u);
+}
+
+TEST(TableTest, InsertDuplicateFails) {
+  Table table("t", nullptr);
+  ASSERT_TRUE(table.Insert("k", MakeRow("a", 1)).ok());
+  EXPECT_EQ(table.Insert("k", MakeRow("b", 2)).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(GetString(*table.Get("k"), "title"), "a");
+}
+
+TEST(TableTest, UpdateRequiresExistingRow) {
+  Table table("t", nullptr);
+  EXPECT_TRUE(table.Update("k", MakeRow("a", 1)).IsNotFound());
+  ASSERT_TRUE(table.Insert("k", MakeRow("a", 1)).ok());
+  ASSERT_TRUE(table.Update("k", MakeRow("b", 2)).ok());
+  EXPECT_EQ(GetString(*table.Get("k"), "title"), "b");
+}
+
+TEST(TableTest, UpsertInsertsThenReplaces) {
+  Table table("t", nullptr);
+  table.Upsert("k", MakeRow("a", 1));
+  table.Upsert("k", MakeRow("b", 2));
+  EXPECT_EQ(table.row_count(), 1u);
+  EXPECT_EQ(GetInt(*table.Get("k"), "n"), 2);
+}
+
+TEST(TableTest, DeleteRemovesRow) {
+  Table table("t", nullptr);
+  ASSERT_TRUE(table.Insert("k", MakeRow("a", 1)).ok());
+  ASSERT_TRUE(table.Delete("k").ok());
+  EXPECT_TRUE(table.Get("k").status().IsNotFound());
+  EXPECT_TRUE(table.Delete("k").IsNotFound());
+  EXPECT_FALSE(table.Contains("k"));
+}
+
+TEST(TableTest, ScanFiltersAndLimits) {
+  Table table("t", nullptr);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        table.Insert("k" + std::to_string(i), MakeRow("row", i)).ok());
+  }
+  auto even = table.Scan(
+      [](const Row& row) { return GetInt(row, "n") % 2 == 0; });
+  EXPECT_EQ(even.size(), 5u);
+  auto limited = table.Scan(nullptr, 3);
+  EXPECT_EQ(limited.size(), 3u);
+  auto all = table.Scan(nullptr);
+  EXPECT_EQ(all.size(), 10u);
+  // Deterministic key order.
+  EXPECT_EQ(all.front().first, "k0");
+}
+
+TEST(TableTest, ScanEqMatchesColumn) {
+  Table table("t", nullptr);
+  ASSERT_TRUE(table.Insert("a", MakeRow("fiction", 1)).ok());
+  ASSERT_TRUE(table.Insert("b", MakeRow("science", 2)).ok());
+  ASSERT_TRUE(table.Insert("c", MakeRow("fiction", 3)).ok());
+  auto matches = table.ScanEq("title", Value(std::string("fiction")));
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0].first, "a");
+  EXPECT_EQ(matches[1].first, "c");
+}
+
+TEST(TableTest, MutationsPublishEvents) {
+  UpdateBus bus;
+  std::vector<UpdateEvent> events;
+  bus.Subscribe([&](const UpdateEvent& e) { events.push_back(e); });
+  Table table("products", &bus);
+
+  ASSERT_TRUE(table.Insert("p1", MakeRow("a", 1)).ok());
+  ASSERT_TRUE(table.Update("p1", MakeRow("b", 2)).ok());
+  table.Upsert("p2", MakeRow("c", 3));
+  ASSERT_TRUE(table.Delete("p1").ok());
+
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].kind, UpdateKind::kInsert);
+  EXPECT_EQ(events[1].kind, UpdateKind::kUpdate);
+  EXPECT_EQ(events[2].kind, UpdateKind::kInsert);  // Upsert of new key.
+  EXPECT_EQ(events[3].kind, UpdateKind::kDelete);
+  EXPECT_EQ(events[0].table, "products");
+  EXPECT_EQ(events[0].key, "p1");
+}
+
+TEST(ContentRepositoryTest, CreateAndLookupTables) {
+  ContentRepository repository;
+  Result<Table*> created = repository.CreateTable("users");
+  ASSERT_TRUE(created.ok());
+  EXPECT_EQ(repository.CreateTable("users").status().code(),
+            StatusCode::kAlreadyExists);
+  Result<Table*> found = repository.GetTable("users");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*created, *found);
+  EXPECT_TRUE(repository.GetTable("missing").status().IsNotFound());
+  EXPECT_EQ(repository.GetOrCreateTable("users"), *found);
+  repository.GetOrCreateTable("extra");
+  EXPECT_EQ(repository.TableNames().size(), 2u);
+}
+
+TEST(ContentRepositoryTest, TablesShareTheBus) {
+  ContentRepository repository;
+  int events = 0;
+  repository.bus().Subscribe([&](const UpdateEvent&) { ++events; });
+  repository.GetOrCreateTable("a")->Upsert("x", {});
+  repository.GetOrCreateTable("b")->Upsert("y", {});
+  EXPECT_EQ(events, 2);
+}
+
+}  // namespace
+}  // namespace dynaprox::storage

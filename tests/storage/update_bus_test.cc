@@ -1,0 +1,47 @@
+#include "storage/update_bus.h"
+
+#include <gtest/gtest.h>
+
+namespace dynaprox::storage {
+namespace {
+
+TEST(UpdateBusTest, DeliversToAllSubscribersInOrder) {
+  UpdateBus bus;
+  std::vector<int> order;
+  bus.Subscribe([&](const UpdateEvent&) { order.push_back(1); });
+  bus.Subscribe([&](const UpdateEvent&) { order.push_back(2); });
+  bus.Publish({"t", "k", UpdateKind::kInsert});
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 2);
+}
+
+TEST(UpdateBusTest, UnsubscribeStopsDelivery) {
+  UpdateBus bus;
+  int count = 0;
+  auto id = bus.Subscribe([&](const UpdateEvent&) { ++count; });
+  bus.Publish({"t", "k", UpdateKind::kInsert});
+  bus.Unsubscribe(id);
+  bus.Publish({"t", "k", UpdateKind::kUpdate});
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(bus.subscriber_count(), 0u);
+}
+
+TEST(UpdateBusTest, UnsubscribeUnknownIdIsIgnored) {
+  UpdateBus bus;
+  bus.Unsubscribe(12345);
+  EXPECT_EQ(bus.subscriber_count(), 0u);
+}
+
+TEST(UpdateBusTest, EventCarriesTableKeyKind) {
+  UpdateBus bus;
+  UpdateEvent seen{};
+  bus.Subscribe([&](const UpdateEvent& e) { seen = e; });
+  bus.Publish({"quotes", "IBM", UpdateKind::kUpdate});
+  EXPECT_EQ(seen.table, "quotes");
+  EXPECT_EQ(seen.key, "IBM");
+  EXPECT_EQ(seen.kind, UpdateKind::kUpdate);
+}
+
+}  // namespace
+}  // namespace dynaprox::storage

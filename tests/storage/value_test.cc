@@ -1,0 +1,34 @@
+#include "storage/value.h"
+
+#include <gtest/gtest.h>
+
+namespace dynaprox::storage {
+namespace {
+
+TEST(ValueTest, ToStringFormatsEachAlternative) {
+  EXPECT_EQ(ValueToString(Value(int64_t{42})), "42");
+  EXPECT_EQ(ValueToString(Value(19.5)), "19.50");
+  EXPECT_EQ(ValueToString(Value(std::string("abc"))), "abc");
+}
+
+TEST(ValueTest, TypedGettersWithFallbacks) {
+  Row row;
+  row["count"] = int64_t{7};
+  row["price"] = 12.25;
+  row["name"] = std::string("Widget");
+
+  EXPECT_EQ(GetInt(row, "count"), 7);
+  EXPECT_EQ(GetInt(row, "missing", -1), -1);
+  EXPECT_EQ(GetInt(row, "name", -1), -1);  // Wrong type.
+
+  EXPECT_DOUBLE_EQ(GetDouble(row, "price"), 12.25);
+  EXPECT_DOUBLE_EQ(GetDouble(row, "count"), 7.0);  // Int promotes.
+  EXPECT_DOUBLE_EQ(GetDouble(row, "missing", 3.5), 3.5);
+
+  EXPECT_EQ(GetString(row, "name"), "Widget");
+  EXPECT_EQ(GetString(row, "count", "fallback"), "fallback");
+  EXPECT_EQ(GetString(row, "missing", "fallback"), "fallback");
+}
+
+}  // namespace
+}  // namespace dynaprox::storage

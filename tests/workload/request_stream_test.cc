@@ -1,0 +1,76 @@
+#include "workload/request_stream.h"
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "workload/driver.h"
+
+namespace dynaprox::workload {
+namespace {
+
+TEST(RequestStreamTest, RequestsTargetConfiguredPath) {
+  RequestStream stream(5, 1.0, 1);
+  http::Request request = stream.Next();
+  EXPECT_EQ(request.method, "GET");
+  EXPECT_EQ(request.Path(), "/page");
+  auto params = request.QueryParams();
+  ASSERT_TRUE(params.count("id"));
+  int id = std::stoi(params["id"]);
+  EXPECT_GE(id, 0);
+  EXPECT_LT(id, 5);
+  EXPECT_EQ(stream.generated(), 1u);
+}
+
+TEST(RequestStreamTest, ForPageIsDeterministic) {
+  RequestStream stream(5, 1.0, 1);
+  EXPECT_EQ(stream.ForPage(3).target, "/page?id=3");
+  EXPECT_EQ(stream.generated(), 0u);  // ForPage doesn't consume randomness.
+}
+
+TEST(RequestStreamTest, ZipfSkewVisible) {
+  RequestStream stream(10, 1.0, 7);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) {
+    auto params = stream.Next().QueryParams();
+    ++counts[std::stoi(params["id"])];
+  }
+  // Page 0 about twice as popular as page 1 at alpha=1.
+  EXPECT_NEAR(static_cast<double>(counts[0]) / counts[1], 2.0, 0.3);
+  EXPECT_GT(counts[0], counts[9] * 5);
+}
+
+TEST(RequestStreamTest, SameSeedSameSequence) {
+  RequestStream a(10, 1.0, 5);
+  RequestStream b(10, 1.0, 5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next().target, b.Next().target);
+  }
+}
+
+TEST(RequestStreamTest, CustomPath) {
+  RequestStream stream(3, 0.0, 1, "/catalog");
+  EXPECT_EQ(stream.Next().Path(), "/catalog");
+}
+
+TEST(DriverTest, CountsResponsesByOutcome) {
+  net::DirectTransport transport([](const http::Request& request) {
+    auto params = request.QueryParams();
+    if (params["id"] == "0") {
+      return http::Response::MakeOk("fine");
+    }
+    return http::Response::MakeError(404, "Not Found", "x");
+  });
+  RequestStream stream(2, 0.0, 3);  // Uniform over {0, 1}.
+  DriverStats stats = RunWorkload(transport, stream, 200);
+  EXPECT_EQ(stats.requests, 200u);
+  EXPECT_EQ(stats.ok_responses + stats.error_responses, 200u);
+  EXPECT_GT(stats.ok_responses, 50u);
+  EXPECT_GT(stats.error_responses, 50u);
+  EXPECT_EQ(stats.transport_errors, 0u);
+  EXPECT_GT(stats.response_body_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace dynaprox::workload

@@ -1,0 +1,151 @@
+// dynaprox_origin: runs an origin site (application server + BEM) on a TCP
+// port, serving the synthetic Table 2 site under /page?id=N. Pair with
+// dynaprox_proxy and dynaprox_loadgen for a three-process deployment of
+// the paper's Figure 4 testbed.
+//
+//   ./dynaprox_origin --port=8081 --pages=10 --fragments=4
+//       --fragment-size=1000 --hit-ratio=0.8 [--no-bem] [--capacity=4096]
+//       [--sweep-interval-ms=1000] [--server=threads|epoll] [--workers=4]
+//
+// A JSON status document is served at /_dynaprox/status.
+// Runs until EOF on stdin (or forever when stdin is closed).
+
+#include <cstdio>
+#include <unistd.h>
+
+#include "analytical/model.h"
+#include "appserver/origin_server.h"
+#include "appserver/script_registry.h"
+#include "bem/monitor.h"
+#include "bem/sweeper.h"
+#include "common/flags.h"
+#include "net/epoll_server.h"
+#include "net/tcp.h"
+#include "storage/table.h"
+#include "workload/synthetic_site.h"
+
+using namespace dynaprox;
+
+int main(int argc, char** argv) {
+  Result<Flags> flags = Flags::Parse(argc - 1, argv + 1);
+  if (!flags.ok()) {
+    std::fprintf(stderr, "%s\n", flags.status().ToString().c_str());
+    return 2;
+  }
+
+  analytical::ModelParams params =
+      analytical::ModelParams::Table2Baseline();
+  Result<int64_t> port = flags->GetInt("port", 8081);
+  Result<int64_t> pages = flags->GetInt("pages", params.num_pages);
+  Result<int64_t> fragments =
+      flags->GetInt("fragments", params.fragments_per_page);
+  Result<double> fragment_size =
+      flags->GetDouble("fragment-size", params.fragment_size);
+  Result<double> hit_ratio = flags->GetDouble("hit-ratio", params.hit_ratio);
+  Result<double> cacheability =
+      flags->GetDouble("cacheability", params.cacheability);
+  Result<int64_t> capacity = flags->GetInt("capacity", 4096);
+  Result<int64_t> sweep_ms = flags->GetInt("sweep-interval-ms", 0);
+  Result<int64_t> seed = flags->GetInt("seed", 42);
+  for (const auto* r : {&port, &pages, &fragments, &capacity, &sweep_ms,
+                        &seed}) {
+    if (!r->ok()) {
+      std::fprintf(stderr, "%s\n", r->status().ToString().c_str());
+      return 2;
+    }
+  }
+  for (const auto* r : {&fragment_size, &hit_ratio, &cacheability}) {
+    if (!r->ok()) {
+      std::fprintf(stderr, "%s\n", r->status().ToString().c_str());
+      return 2;
+    }
+  }
+  params.num_pages = static_cast<int>(*pages);
+  params.fragments_per_page = static_cast<int>(*fragments);
+  params.fragment_size = *fragment_size;
+  params.hit_ratio = *hit_ratio;
+  params.cacheability = *cacheability;
+
+  storage::ContentRepository repository;
+  appserver::ScriptRegistry registry;
+  workload::SyntheticSite site(params, static_cast<uint64_t>(*seed),
+                               &repository, &registry);
+
+  std::unique_ptr<bem::BackEndMonitor> monitor;
+  std::unique_ptr<bem::PeriodicSweeper> sweeper;
+  if (!flags->GetBool("no-bem")) {
+    bem::BemOptions bem_options;
+    bem_options.capacity = static_cast<bem::DpcKey>(*capacity);
+    Result<std::unique_ptr<bem::BackEndMonitor>> created =
+        bem::BackEndMonitor::Create(bem_options);
+    if (!created.ok()) {
+      std::fprintf(stderr, "%s\n", created.status().ToString().c_str());
+      return 1;
+    }
+    monitor = std::move(*created);
+    monitor->AttachRepository(&repository);
+    if (*sweep_ms > 0) {
+      sweeper = std::make_unique<bem::PeriodicSweeper>(
+          monitor.get(), *sweep_ms * kMicrosPerMilli);
+      sweeper->Start();
+    }
+  }
+
+  appserver::OriginOptions origin_options;
+  origin_options.pad_headers_to_bytes =
+      static_cast<size_t>(params.header_size);
+  origin_options.enable_status = true;
+  appserver::OriginServer origin(&registry, &repository, monitor.get(),
+                                 origin_options);
+
+  std::string server_kind = flags->GetString("server", "threads");
+  Result<int64_t> workers = flags->GetInt("workers", 2);
+  std::unique_ptr<net::TcpServer> thread_server;
+  std::unique_ptr<net::EpollServer> epoll_server;
+  uint16_t bound_port = 0;
+  if (server_kind == "epoll") {
+    epoll_server = std::make_unique<net::EpollServer>(
+        origin.AsHandler(), static_cast<uint16_t>(*port),
+        static_cast<int>(workers.value_or(2)));
+    Status started = epoll_server->Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "%s\n", started.ToString().c_str());
+      return 1;
+    }
+    bound_port = epoll_server->port();
+  } else if (server_kind == "threads") {
+    thread_server = std::make_unique<net::TcpServer>(
+        origin.AsHandler(), static_cast<uint16_t>(*port));
+    Status started = thread_server->Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "%s\n", started.ToString().c_str());
+      return 1;
+    }
+    bound_port = thread_server->port();
+  } else {
+    std::fprintf(stderr, "unknown --server '%s' (threads|epoll)\n",
+                 server_kind.c_str());
+    return 2;
+  }
+  std::printf("origin listening on 127.0.0.1:%u (%s, %s server, %d pages "
+              "x %d fragments of %.0fB)\n",
+              bound_port, monitor ? "BEM enabled" : "no-cache baseline",
+              server_kind.c_str(), params.num_pages,
+              params.fragments_per_page, params.fragment_size);
+  std::fflush(stdout);
+
+  // Serve until stdin closes (Ctrl-D or pipe end).
+  char buf[256];
+  while (::read(STDIN_FILENO, buf, sizeof(buf)) > 0) {
+  }
+  if (thread_server != nullptr) thread_server->Stop();
+  if (epoll_server != nullptr) epoll_server->Stop();
+  appserver::OriginStats stats = origin.stats();
+  std::printf("served %llu requests (%llu hits, %llu misses, %llu refresh "
+              "invalidations)\n",
+              static_cast<unsigned long long>(stats.requests),
+              static_cast<unsigned long long>(stats.fragment_hits),
+              static_cast<unsigned long long>(stats.fragment_misses),
+              static_cast<unsigned long long>(stats.refresh_invalidations));
+  return 0;
+}

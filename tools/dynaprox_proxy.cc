@@ -1,0 +1,79 @@
+// dynaprox_proxy: runs a Dynamic Proxy Cache (reverse proxy) on a TCP
+// port, assembling templates from an upstream dynaprox_origin.
+//
+//   ./dynaprox_proxy --port=8080 --origin-host=127.0.0.1
+//       --origin-port=8081 [--capacity=4096] [--static-cache] [--debug]
+//
+// Runs until EOF on stdin.
+
+#include <cstdio>
+#include <unistd.h>
+
+#include "common/flags.h"
+#include "dpc/proxy.h"
+#include "net/tcp.h"
+
+using namespace dynaprox;
+
+int main(int argc, char** argv) {
+  Result<Flags> flags = Flags::Parse(argc - 1, argv + 1);
+  if (!flags.ok()) {
+    std::fprintf(stderr, "%s\n", flags.status().ToString().c_str());
+    return 2;
+  }
+  Result<int64_t> port = flags->GetInt("port", 8080);
+  Result<int64_t> origin_port = flags->GetInt("origin-port", 8081);
+  Result<int64_t> capacity = flags->GetInt("capacity", 4096);
+  for (const auto* r : {&port, &origin_port, &capacity}) {
+    if (!r->ok()) {
+      std::fprintf(stderr, "%s\n", r->status().ToString().c_str());
+      return 2;
+    }
+  }
+  std::string origin_host = flags->GetString("origin-host", "127.0.0.1");
+
+  net::TcpClientTransport upstream(origin_host,
+                                   static_cast<uint16_t>(*origin_port));
+  dpc::ProxyOptions options;
+  options.capacity = static_cast<bem::DpcKey>(*capacity);
+  options.add_debug_header = flags->GetBool("debug");
+  options.enable_static_cache = flags->GetBool("static-cache");
+  options.enable_status = true;
+  dpc::DpcProxy proxy(&upstream, options);
+
+  net::TcpServer server(proxy.AsHandler(), static_cast<uint16_t>(*port));
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "%s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("DPC listening on 127.0.0.1:%u -> upstream %s:%lld "
+              "(capacity %lld%s)\n",
+              server.port(), origin_host.c_str(),
+              static_cast<long long>(*origin_port),
+              static_cast<long long>(*capacity),
+              options.enable_static_cache ? ", static cache on" : "");
+  std::fflush(stdout);
+
+  char buf[256];
+  while (::read(STDIN_FILENO, buf, sizeof(buf)) > 0) {
+  }
+  server.Stop();
+  dpc::ProxyStats stats = proxy.stats();
+  std::printf(
+      "served %llu requests: %llu assembled, %llu passthrough, %llu "
+      "recoveries, %llu static hits; %llu B from origin, %llu B to "
+      "clients (%.1f%% origin-link savings)\n",
+      static_cast<unsigned long long>(stats.requests),
+      static_cast<unsigned long long>(stats.assembled),
+      static_cast<unsigned long long>(stats.passthrough),
+      static_cast<unsigned long long>(stats.recoveries),
+      static_cast<unsigned long long>(stats.static_hits),
+      static_cast<unsigned long long>(stats.bytes_from_upstream),
+      static_cast<unsigned long long>(stats.bytes_to_clients),
+      stats.bytes_to_clients == 0
+          ? 0.0
+          : 100.0 * (1.0 - static_cast<double>(stats.bytes_from_upstream) /
+                               static_cast<double>(stats.bytes_to_clients)));
+  return 0;
+}
