@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_scanner.dir/ablation_scanner.cc.o"
+  "CMakeFiles/bench_ablation_scanner.dir/ablation_scanner.cc.o.d"
+  "bench_ablation_scanner"
+  "bench_ablation_scanner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_scanner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_claim_70pct_savings.dir/claim_70pct_savings.cc.o"
+  "CMakeFiles/bench_claim_70pct_savings.dir/claim_70pct_savings.cc.o.d"
+  "bench_claim_70pct_savings"
+  "bench_claim_70pct_savings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_claim_70pct_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

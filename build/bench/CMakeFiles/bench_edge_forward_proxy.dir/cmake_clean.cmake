@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_edge_forward_proxy.dir/edge_forward_proxy.cc.o"
+  "CMakeFiles/bench_edge_forward_proxy.dir/edge_forward_proxy.cc.o.d"
+  "bench_edge_forward_proxy"
+  "bench_edge_forward_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_edge_forward_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2b_savings_vs_hitratio.dir/fig2b_savings_vs_hitratio.cc.o"
+  "CMakeFiles/bench_fig2b_savings_vs_hitratio.dir/fig2b_savings_vs_hitratio.cc.o.d"
+  "bench_fig2b_savings_vs_hitratio"
+  "bench_fig2b_savings_vs_hitratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2b_savings_vs_hitratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig2b_savings_vs_hitratio.
+# This may be replaced when dependencies are built.

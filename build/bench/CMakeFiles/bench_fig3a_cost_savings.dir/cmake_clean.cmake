@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3a_cost_savings.dir/fig3a_cost_savings.cc.o"
+  "CMakeFiles/bench_fig3a_cost_savings.dir/fig3a_cost_savings.cc.o.d"
+  "bench_fig3a_cost_savings"
+  "bench_fig3a_cost_savings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3a_cost_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

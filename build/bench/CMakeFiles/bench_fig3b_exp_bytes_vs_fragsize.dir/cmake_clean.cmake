@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3b_exp_bytes_vs_fragsize.dir/fig3b_exp_bytes_vs_fragsize.cc.o"
+  "CMakeFiles/bench_fig3b_exp_bytes_vs_fragsize.dir/fig3b_exp_bytes_vs_fragsize.cc.o.d"
+  "bench_fig3b_exp_bytes_vs_fragsize"
+  "bench_fig3b_exp_bytes_vs_fragsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3b_exp_bytes_vs_fragsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

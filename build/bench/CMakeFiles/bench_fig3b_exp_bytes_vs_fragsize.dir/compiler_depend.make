@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig3b_exp_bytes_vs_fragsize.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_exp_savings_vs_hitratio.dir/fig5_exp_savings_vs_hitratio.cc.o"
+  "CMakeFiles/bench_fig5_exp_savings_vs_hitratio.dir/fig5_exp_savings_vs_hitratio.cc.o.d"
+  "bench_fig5_exp_savings_vs_hitratio"
+  "bench_fig5_exp_savings_vs_hitratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_exp_savings_vs_hitratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_exp_savings_vs_cacheability.dir/fig6_exp_savings_vs_cacheability.cc.o"
+  "CMakeFiles/bench_fig6_exp_savings_vs_cacheability.dir/fig6_exp_savings_vs_cacheability.cc.o.d"
+  "bench_fig6_exp_savings_vs_cacheability"
+  "bench_fig6_exp_savings_vs_cacheability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_exp_savings_vs_cacheability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig6_exp_savings_vs_cacheability.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wiki.dir/wiki.cpp.o"
+  "CMakeFiles/wiki.dir/wiki.cpp.o.d"
+  "wiki"
+  "wiki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wiki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("http")
+subdirs("net")
+subdirs("storage")
+subdirs("appserver")
+subdirs("bem")
+subdirs("dpc")
+subdirs("firewall")
+subdirs("baseline")
+subdirs("analytical")
+subdirs("workload")
+subdirs("edge")
+subdirs("sim")

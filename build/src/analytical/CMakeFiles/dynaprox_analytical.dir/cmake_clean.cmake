@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynaprox_analytical.dir/model.cc.o"
+  "CMakeFiles/dynaprox_analytical.dir/model.cc.o.d"
+  "libdynaprox_analytical.a"
+  "libdynaprox_analytical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynaprox_analytical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/appserver/origin_server.cc" "src/appserver/CMakeFiles/dynaprox_appserver.dir/origin_server.cc.o" "gcc" "src/appserver/CMakeFiles/dynaprox_appserver.dir/origin_server.cc.o.d"
+  "/root/repo/src/appserver/personalization.cc" "src/appserver/CMakeFiles/dynaprox_appserver.dir/personalization.cc.o" "gcc" "src/appserver/CMakeFiles/dynaprox_appserver.dir/personalization.cc.o.d"
+  "/root/repo/src/appserver/script_context.cc" "src/appserver/CMakeFiles/dynaprox_appserver.dir/script_context.cc.o" "gcc" "src/appserver/CMakeFiles/dynaprox_appserver.dir/script_context.cc.o.d"
+  "/root/repo/src/appserver/script_registry.cc" "src/appserver/CMakeFiles/dynaprox_appserver.dir/script_registry.cc.o" "gcc" "src/appserver/CMakeFiles/dynaprox_appserver.dir/script_registry.cc.o.d"
+  "/root/repo/src/appserver/session.cc" "src/appserver/CMakeFiles/dynaprox_appserver.dir/session.cc.o" "gcc" "src/appserver/CMakeFiles/dynaprox_appserver.dir/session.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dynaprox_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/bem/CMakeFiles/dynaprox_bem.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/dynaprox_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dynaprox_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dynaprox_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

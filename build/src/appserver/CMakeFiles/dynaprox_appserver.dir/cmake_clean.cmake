@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynaprox_appserver.dir/origin_server.cc.o"
+  "CMakeFiles/dynaprox_appserver.dir/origin_server.cc.o.d"
+  "CMakeFiles/dynaprox_appserver.dir/personalization.cc.o"
+  "CMakeFiles/dynaprox_appserver.dir/personalization.cc.o.d"
+  "CMakeFiles/dynaprox_appserver.dir/script_context.cc.o"
+  "CMakeFiles/dynaprox_appserver.dir/script_context.cc.o.d"
+  "CMakeFiles/dynaprox_appserver.dir/script_registry.cc.o"
+  "CMakeFiles/dynaprox_appserver.dir/script_registry.cc.o.d"
+  "CMakeFiles/dynaprox_appserver.dir/session.cc.o"
+  "CMakeFiles/dynaprox_appserver.dir/session.cc.o.d"
+  "libdynaprox_appserver.a"
+  "libdynaprox_appserver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynaprox_appserver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/esi.cc" "src/baseline/CMakeFiles/dynaprox_baseline.dir/esi.cc.o" "gcc" "src/baseline/CMakeFiles/dynaprox_baseline.dir/esi.cc.o.d"
+  "/root/repo/src/baseline/page_cache.cc" "src/baseline/CMakeFiles/dynaprox_baseline.dir/page_cache.cc.o" "gcc" "src/baseline/CMakeFiles/dynaprox_baseline.dir/page_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dynaprox_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/dynaprox_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dynaprox_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynaprox_baseline.dir/esi.cc.o"
+  "CMakeFiles/dynaprox_baseline.dir/esi.cc.o.d"
+  "CMakeFiles/dynaprox_baseline.dir/page_cache.cc.o"
+  "CMakeFiles/dynaprox_baseline.dir/page_cache.cc.o.d"
+  "libdynaprox_baseline.a"
+  "libdynaprox_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynaprox_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

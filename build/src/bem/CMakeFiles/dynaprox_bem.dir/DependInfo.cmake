@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bem/cache_directory.cc" "src/bem/CMakeFiles/dynaprox_bem.dir/cache_directory.cc.o" "gcc" "src/bem/CMakeFiles/dynaprox_bem.dir/cache_directory.cc.o.d"
+  "/root/repo/src/bem/dependency_registry.cc" "src/bem/CMakeFiles/dynaprox_bem.dir/dependency_registry.cc.o" "gcc" "src/bem/CMakeFiles/dynaprox_bem.dir/dependency_registry.cc.o.d"
+  "/root/repo/src/bem/free_list.cc" "src/bem/CMakeFiles/dynaprox_bem.dir/free_list.cc.o" "gcc" "src/bem/CMakeFiles/dynaprox_bem.dir/free_list.cc.o.d"
+  "/root/repo/src/bem/monitor.cc" "src/bem/CMakeFiles/dynaprox_bem.dir/monitor.cc.o" "gcc" "src/bem/CMakeFiles/dynaprox_bem.dir/monitor.cc.o.d"
+  "/root/repo/src/bem/replacement.cc" "src/bem/CMakeFiles/dynaprox_bem.dir/replacement.cc.o" "gcc" "src/bem/CMakeFiles/dynaprox_bem.dir/replacement.cc.o.d"
+  "/root/repo/src/bem/sweeper.cc" "src/bem/CMakeFiles/dynaprox_bem.dir/sweeper.cc.o" "gcc" "src/bem/CMakeFiles/dynaprox_bem.dir/sweeper.cc.o.d"
+  "/root/repo/src/bem/tag_codec.cc" "src/bem/CMakeFiles/dynaprox_bem.dir/tag_codec.cc.o" "gcc" "src/bem/CMakeFiles/dynaprox_bem.dir/tag_codec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dynaprox_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dynaprox_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

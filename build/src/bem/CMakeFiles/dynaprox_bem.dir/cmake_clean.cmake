@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynaprox_bem.dir/cache_directory.cc.o"
+  "CMakeFiles/dynaprox_bem.dir/cache_directory.cc.o.d"
+  "CMakeFiles/dynaprox_bem.dir/dependency_registry.cc.o"
+  "CMakeFiles/dynaprox_bem.dir/dependency_registry.cc.o.d"
+  "CMakeFiles/dynaprox_bem.dir/free_list.cc.o"
+  "CMakeFiles/dynaprox_bem.dir/free_list.cc.o.d"
+  "CMakeFiles/dynaprox_bem.dir/monitor.cc.o"
+  "CMakeFiles/dynaprox_bem.dir/monitor.cc.o.d"
+  "CMakeFiles/dynaprox_bem.dir/replacement.cc.o"
+  "CMakeFiles/dynaprox_bem.dir/replacement.cc.o.d"
+  "CMakeFiles/dynaprox_bem.dir/sweeper.cc.o"
+  "CMakeFiles/dynaprox_bem.dir/sweeper.cc.o.d"
+  "CMakeFiles/dynaprox_bem.dir/tag_codec.cc.o"
+  "CMakeFiles/dynaprox_bem.dir/tag_codec.cc.o.d"
+  "libdynaprox_bem.a"
+  "libdynaprox_bem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynaprox_bem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynaprox_common.dir/clock.cc.o"
+  "CMakeFiles/dynaprox_common.dir/clock.cc.o.d"
+  "CMakeFiles/dynaprox_common.dir/flags.cc.o"
+  "CMakeFiles/dynaprox_common.dir/flags.cc.o.d"
+  "CMakeFiles/dynaprox_common.dir/histogram.cc.o"
+  "CMakeFiles/dynaprox_common.dir/histogram.cc.o.d"
+  "CMakeFiles/dynaprox_common.dir/json.cc.o"
+  "CMakeFiles/dynaprox_common.dir/json.cc.o.d"
+  "CMakeFiles/dynaprox_common.dir/logging.cc.o"
+  "CMakeFiles/dynaprox_common.dir/logging.cc.o.d"
+  "CMakeFiles/dynaprox_common.dir/rng.cc.o"
+  "CMakeFiles/dynaprox_common.dir/rng.cc.o.d"
+  "CMakeFiles/dynaprox_common.dir/status.cc.o"
+  "CMakeFiles/dynaprox_common.dir/status.cc.o.d"
+  "CMakeFiles/dynaprox_common.dir/strings.cc.o"
+  "CMakeFiles/dynaprox_common.dir/strings.cc.o.d"
+  "libdynaprox_common.a"
+  "libdynaprox_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynaprox_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

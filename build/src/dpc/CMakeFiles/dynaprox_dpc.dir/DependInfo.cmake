@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dpc/assembler.cc" "src/dpc/CMakeFiles/dynaprox_dpc.dir/assembler.cc.o" "gcc" "src/dpc/CMakeFiles/dynaprox_dpc.dir/assembler.cc.o.d"
+  "/root/repo/src/dpc/fragment_store.cc" "src/dpc/CMakeFiles/dynaprox_dpc.dir/fragment_store.cc.o" "gcc" "src/dpc/CMakeFiles/dynaprox_dpc.dir/fragment_store.cc.o.d"
+  "/root/repo/src/dpc/kmp.cc" "src/dpc/CMakeFiles/dynaprox_dpc.dir/kmp.cc.o" "gcc" "src/dpc/CMakeFiles/dynaprox_dpc.dir/kmp.cc.o.d"
+  "/root/repo/src/dpc/proxy.cc" "src/dpc/CMakeFiles/dynaprox_dpc.dir/proxy.cc.o" "gcc" "src/dpc/CMakeFiles/dynaprox_dpc.dir/proxy.cc.o.d"
+  "/root/repo/src/dpc/static_cache.cc" "src/dpc/CMakeFiles/dynaprox_dpc.dir/static_cache.cc.o" "gcc" "src/dpc/CMakeFiles/dynaprox_dpc.dir/static_cache.cc.o.d"
+  "/root/repo/src/dpc/tag_scanner.cc" "src/dpc/CMakeFiles/dynaprox_dpc.dir/tag_scanner.cc.o" "gcc" "src/dpc/CMakeFiles/dynaprox_dpc.dir/tag_scanner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dynaprox_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/bem/CMakeFiles/dynaprox_bem.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/dynaprox_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dynaprox_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dynaprox_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

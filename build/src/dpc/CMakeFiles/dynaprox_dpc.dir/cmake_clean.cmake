@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynaprox_dpc.dir/assembler.cc.o"
+  "CMakeFiles/dynaprox_dpc.dir/assembler.cc.o.d"
+  "CMakeFiles/dynaprox_dpc.dir/fragment_store.cc.o"
+  "CMakeFiles/dynaprox_dpc.dir/fragment_store.cc.o.d"
+  "CMakeFiles/dynaprox_dpc.dir/kmp.cc.o"
+  "CMakeFiles/dynaprox_dpc.dir/kmp.cc.o.d"
+  "CMakeFiles/dynaprox_dpc.dir/proxy.cc.o"
+  "CMakeFiles/dynaprox_dpc.dir/proxy.cc.o.d"
+  "CMakeFiles/dynaprox_dpc.dir/static_cache.cc.o"
+  "CMakeFiles/dynaprox_dpc.dir/static_cache.cc.o.d"
+  "CMakeFiles/dynaprox_dpc.dir/tag_scanner.cc.o"
+  "CMakeFiles/dynaprox_dpc.dir/tag_scanner.cc.o.d"
+  "libdynaprox_dpc.a"
+  "libdynaprox_dpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynaprox_dpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

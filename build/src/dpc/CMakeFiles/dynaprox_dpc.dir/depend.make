@@ -1,0 +1,2 @@
+# Empty dependencies file for dynaprox_dpc.
+# This may be replaced when dependencies are built.

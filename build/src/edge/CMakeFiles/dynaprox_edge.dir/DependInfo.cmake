@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/edge/edge_fleet.cc" "src/edge/CMakeFiles/dynaprox_edge.dir/edge_fleet.cc.o" "gcc" "src/edge/CMakeFiles/dynaprox_edge.dir/edge_fleet.cc.o.d"
+  "/root/repo/src/edge/edge_origin.cc" "src/edge/CMakeFiles/dynaprox_edge.dir/edge_origin.cc.o" "gcc" "src/edge/CMakeFiles/dynaprox_edge.dir/edge_origin.cc.o.d"
+  "/root/repo/src/edge/hash_ring.cc" "src/edge/CMakeFiles/dynaprox_edge.dir/hash_ring.cc.o" "gcc" "src/edge/CMakeFiles/dynaprox_edge.dir/hash_ring.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dynaprox_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/appserver/CMakeFiles/dynaprox_appserver.dir/DependInfo.cmake"
+  "/root/repo/build/src/bem/CMakeFiles/dynaprox_bem.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpc/CMakeFiles/dynaprox_dpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dynaprox_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dynaprox_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/dynaprox_http.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

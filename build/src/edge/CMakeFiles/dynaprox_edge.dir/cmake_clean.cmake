@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynaprox_edge.dir/edge_fleet.cc.o"
+  "CMakeFiles/dynaprox_edge.dir/edge_fleet.cc.o.d"
+  "CMakeFiles/dynaprox_edge.dir/edge_origin.cc.o"
+  "CMakeFiles/dynaprox_edge.dir/edge_origin.cc.o.d"
+  "CMakeFiles/dynaprox_edge.dir/hash_ring.cc.o"
+  "CMakeFiles/dynaprox_edge.dir/hash_ring.cc.o.d"
+  "libdynaprox_edge.a"
+  "libdynaprox_edge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynaprox_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/firewall/firewall.cc" "src/firewall/CMakeFiles/dynaprox_firewall.dir/firewall.cc.o" "gcc" "src/firewall/CMakeFiles/dynaprox_firewall.dir/firewall.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dynaprox_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpc/CMakeFiles/dynaprox_dpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dynaprox_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/bem/CMakeFiles/dynaprox_bem.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dynaprox_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/dynaprox_http.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynaprox_firewall.dir/firewall.cc.o"
+  "CMakeFiles/dynaprox_firewall.dir/firewall.cc.o.d"
+  "libdynaprox_firewall.a"
+  "libdynaprox_firewall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynaprox_firewall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdynaprox_firewall.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynaprox_http.dir/cache_control.cc.o"
+  "CMakeFiles/dynaprox_http.dir/cache_control.cc.o.d"
+  "CMakeFiles/dynaprox_http.dir/header_map.cc.o"
+  "CMakeFiles/dynaprox_http.dir/header_map.cc.o.d"
+  "CMakeFiles/dynaprox_http.dir/message.cc.o"
+  "CMakeFiles/dynaprox_http.dir/message.cc.o.d"
+  "CMakeFiles/dynaprox_http.dir/parser.cc.o"
+  "CMakeFiles/dynaprox_http.dir/parser.cc.o.d"
+  "libdynaprox_http.a"
+  "libdynaprox_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynaprox_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynaprox_net.dir/epoll_server.cc.o"
+  "CMakeFiles/dynaprox_net.dir/epoll_server.cc.o.d"
+  "CMakeFiles/dynaprox_net.dir/tcp.cc.o"
+  "CMakeFiles/dynaprox_net.dir/tcp.cc.o.d"
+  "libdynaprox_net.a"
+  "libdynaprox_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynaprox_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

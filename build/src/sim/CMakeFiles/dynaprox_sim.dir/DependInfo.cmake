@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/experiment.cc" "src/sim/CMakeFiles/dynaprox_sim.dir/experiment.cc.o" "gcc" "src/sim/CMakeFiles/dynaprox_sim.dir/experiment.cc.o.d"
+  "/root/repo/src/sim/latency.cc" "src/sim/CMakeFiles/dynaprox_sim.dir/latency.cc.o" "gcc" "src/sim/CMakeFiles/dynaprox_sim.dir/latency.cc.o.d"
+  "/root/repo/src/sim/testbed.cc" "src/sim/CMakeFiles/dynaprox_sim.dir/testbed.cc.o" "gcc" "src/sim/CMakeFiles/dynaprox_sim.dir/testbed.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dynaprox_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytical/CMakeFiles/dynaprox_analytical.dir/DependInfo.cmake"
+  "/root/repo/build/src/appserver/CMakeFiles/dynaprox_appserver.dir/DependInfo.cmake"
+  "/root/repo/build/src/bem/CMakeFiles/dynaprox_bem.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpc/CMakeFiles/dynaprox_dpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/firewall/CMakeFiles/dynaprox_firewall.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dynaprox_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dynaprox_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dynaprox_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/dynaprox_http.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynaprox_sim.dir/experiment.cc.o"
+  "CMakeFiles/dynaprox_sim.dir/experiment.cc.o.d"
+  "CMakeFiles/dynaprox_sim.dir/latency.cc.o"
+  "CMakeFiles/dynaprox_sim.dir/latency.cc.o.d"
+  "CMakeFiles/dynaprox_sim.dir/testbed.cc.o"
+  "CMakeFiles/dynaprox_sim.dir/testbed.cc.o.d"
+  "libdynaprox_sim.a"
+  "libdynaprox_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynaprox_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

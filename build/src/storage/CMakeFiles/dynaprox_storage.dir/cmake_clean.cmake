@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynaprox_storage.dir/table.cc.o"
+  "CMakeFiles/dynaprox_storage.dir/table.cc.o.d"
+  "CMakeFiles/dynaprox_storage.dir/update_bus.cc.o"
+  "CMakeFiles/dynaprox_storage.dir/update_bus.cc.o.d"
+  "CMakeFiles/dynaprox_storage.dir/value.cc.o"
+  "CMakeFiles/dynaprox_storage.dir/value.cc.o.d"
+  "libdynaprox_storage.a"
+  "libdynaprox_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynaprox_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/driver.cc" "src/workload/CMakeFiles/dynaprox_workload.dir/driver.cc.o" "gcc" "src/workload/CMakeFiles/dynaprox_workload.dir/driver.cc.o.d"
+  "/root/repo/src/workload/personalized_site.cc" "src/workload/CMakeFiles/dynaprox_workload.dir/personalized_site.cc.o" "gcc" "src/workload/CMakeFiles/dynaprox_workload.dir/personalized_site.cc.o.d"
+  "/root/repo/src/workload/request_stream.cc" "src/workload/CMakeFiles/dynaprox_workload.dir/request_stream.cc.o" "gcc" "src/workload/CMakeFiles/dynaprox_workload.dir/request_stream.cc.o.d"
+  "/root/repo/src/workload/synthetic_site.cc" "src/workload/CMakeFiles/dynaprox_workload.dir/synthetic_site.cc.o" "gcc" "src/workload/CMakeFiles/dynaprox_workload.dir/synthetic_site.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/workload/CMakeFiles/dynaprox_workload.dir/trace.cc.o" "gcc" "src/workload/CMakeFiles/dynaprox_workload.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dynaprox_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytical/CMakeFiles/dynaprox_analytical.dir/DependInfo.cmake"
+  "/root/repo/build/src/appserver/CMakeFiles/dynaprox_appserver.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/dynaprox_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dynaprox_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dynaprox_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/bem/CMakeFiles/dynaprox_bem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynaprox_workload.dir/driver.cc.o"
+  "CMakeFiles/dynaprox_workload.dir/driver.cc.o.d"
+  "CMakeFiles/dynaprox_workload.dir/personalized_site.cc.o"
+  "CMakeFiles/dynaprox_workload.dir/personalized_site.cc.o.d"
+  "CMakeFiles/dynaprox_workload.dir/request_stream.cc.o"
+  "CMakeFiles/dynaprox_workload.dir/request_stream.cc.o.d"
+  "CMakeFiles/dynaprox_workload.dir/synthetic_site.cc.o"
+  "CMakeFiles/dynaprox_workload.dir/synthetic_site.cc.o.d"
+  "CMakeFiles/dynaprox_workload.dir/trace.cc.o"
+  "CMakeFiles/dynaprox_workload.dir/trace.cc.o.d"
+  "libdynaprox_workload.a"
+  "libdynaprox_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynaprox_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appserver_test.dir/appserver/origin_server_test.cc.o"
+  "CMakeFiles/appserver_test.dir/appserver/origin_server_test.cc.o.d"
+  "CMakeFiles/appserver_test.dir/appserver/personalization_test.cc.o"
+  "CMakeFiles/appserver_test.dir/appserver/personalization_test.cc.o.d"
+  "CMakeFiles/appserver_test.dir/appserver/script_context_test.cc.o"
+  "CMakeFiles/appserver_test.dir/appserver/script_context_test.cc.o.d"
+  "CMakeFiles/appserver_test.dir/appserver/script_registry_test.cc.o"
+  "CMakeFiles/appserver_test.dir/appserver/script_registry_test.cc.o.d"
+  "CMakeFiles/appserver_test.dir/appserver/session_test.cc.o"
+  "CMakeFiles/appserver_test.dir/appserver/session_test.cc.o.d"
+  "appserver_test"
+  "appserver_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appserver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bem/cache_directory_test.cc" "tests/CMakeFiles/bem_test.dir/bem/cache_directory_test.cc.o" "gcc" "tests/CMakeFiles/bem_test.dir/bem/cache_directory_test.cc.o.d"
+  "/root/repo/tests/bem/dependency_registry_test.cc" "tests/CMakeFiles/bem_test.dir/bem/dependency_registry_test.cc.o" "gcc" "tests/CMakeFiles/bem_test.dir/bem/dependency_registry_test.cc.o.d"
+  "/root/repo/tests/bem/directory_model_test.cc" "tests/CMakeFiles/bem_test.dir/bem/directory_model_test.cc.o" "gcc" "tests/CMakeFiles/bem_test.dir/bem/directory_model_test.cc.o.d"
+  "/root/repo/tests/bem/free_list_test.cc" "tests/CMakeFiles/bem_test.dir/bem/free_list_test.cc.o" "gcc" "tests/CMakeFiles/bem_test.dir/bem/free_list_test.cc.o.d"
+  "/root/repo/tests/bem/monitor_test.cc" "tests/CMakeFiles/bem_test.dir/bem/monitor_test.cc.o" "gcc" "tests/CMakeFiles/bem_test.dir/bem/monitor_test.cc.o.d"
+  "/root/repo/tests/bem/replacement_test.cc" "tests/CMakeFiles/bem_test.dir/bem/replacement_test.cc.o" "gcc" "tests/CMakeFiles/bem_test.dir/bem/replacement_test.cc.o.d"
+  "/root/repo/tests/bem/sweeper_test.cc" "tests/CMakeFiles/bem_test.dir/bem/sweeper_test.cc.o" "gcc" "tests/CMakeFiles/bem_test.dir/bem/sweeper_test.cc.o.d"
+  "/root/repo/tests/bem/tag_codec_test.cc" "tests/CMakeFiles/bem_test.dir/bem/tag_codec_test.cc.o" "gcc" "tests/CMakeFiles/bem_test.dir/bem/tag_codec_test.cc.o.d"
+  "/root/repo/tests/bem/types_test.cc" "tests/CMakeFiles/bem_test.dir/bem/types_test.cc.o" "gcc" "tests/CMakeFiles/bem_test.dir/bem/types_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baseline/CMakeFiles/dynaprox_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/edge/CMakeFiles/dynaprox_edge.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dynaprox_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/firewall/CMakeFiles/dynaprox_firewall.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpc/CMakeFiles/dynaprox_dpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dynaprox_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/appserver/CMakeFiles/dynaprox_appserver.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dynaprox_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/dynaprox_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/bem/CMakeFiles/dynaprox_bem.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dynaprox_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytical/CMakeFiles/dynaprox_analytical.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dynaprox_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bem_test.dir/bem/cache_directory_test.cc.o"
+  "CMakeFiles/bem_test.dir/bem/cache_directory_test.cc.o.d"
+  "CMakeFiles/bem_test.dir/bem/dependency_registry_test.cc.o"
+  "CMakeFiles/bem_test.dir/bem/dependency_registry_test.cc.o.d"
+  "CMakeFiles/bem_test.dir/bem/directory_model_test.cc.o"
+  "CMakeFiles/bem_test.dir/bem/directory_model_test.cc.o.d"
+  "CMakeFiles/bem_test.dir/bem/free_list_test.cc.o"
+  "CMakeFiles/bem_test.dir/bem/free_list_test.cc.o.d"
+  "CMakeFiles/bem_test.dir/bem/monitor_test.cc.o"
+  "CMakeFiles/bem_test.dir/bem/monitor_test.cc.o.d"
+  "CMakeFiles/bem_test.dir/bem/replacement_test.cc.o"
+  "CMakeFiles/bem_test.dir/bem/replacement_test.cc.o.d"
+  "CMakeFiles/bem_test.dir/bem/sweeper_test.cc.o"
+  "CMakeFiles/bem_test.dir/bem/sweeper_test.cc.o.d"
+  "CMakeFiles/bem_test.dir/bem/tag_codec_test.cc.o"
+  "CMakeFiles/bem_test.dir/bem/tag_codec_test.cc.o.d"
+  "CMakeFiles/bem_test.dir/bem/types_test.cc.o"
+  "CMakeFiles/bem_test.dir/bem/types_test.cc.o.d"
+  "bem_test"
+  "bem_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_test.dir/common/clock_test.cc.o"
+  "CMakeFiles/common_test.dir/common/clock_test.cc.o.d"
+  "CMakeFiles/common_test.dir/common/flags_test.cc.o"
+  "CMakeFiles/common_test.dir/common/flags_test.cc.o.d"
+  "CMakeFiles/common_test.dir/common/histogram_test.cc.o"
+  "CMakeFiles/common_test.dir/common/histogram_test.cc.o.d"
+  "CMakeFiles/common_test.dir/common/json_test.cc.o"
+  "CMakeFiles/common_test.dir/common/json_test.cc.o.d"
+  "CMakeFiles/common_test.dir/common/logging_test.cc.o"
+  "CMakeFiles/common_test.dir/common/logging_test.cc.o.d"
+  "CMakeFiles/common_test.dir/common/result_test.cc.o"
+  "CMakeFiles/common_test.dir/common/result_test.cc.o.d"
+  "CMakeFiles/common_test.dir/common/rng_test.cc.o"
+  "CMakeFiles/common_test.dir/common/rng_test.cc.o.d"
+  "CMakeFiles/common_test.dir/common/status_test.cc.o"
+  "CMakeFiles/common_test.dir/common/status_test.cc.o.d"
+  "CMakeFiles/common_test.dir/common/strings_test.cc.o"
+  "CMakeFiles/common_test.dir/common/strings_test.cc.o.d"
+  "common_test"
+  "common_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

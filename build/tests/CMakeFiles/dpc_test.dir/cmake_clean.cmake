@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpc_test.dir/dpc/assembler_test.cc.o"
+  "CMakeFiles/dpc_test.dir/dpc/assembler_test.cc.o.d"
+  "CMakeFiles/dpc_test.dir/dpc/fragment_store_test.cc.o"
+  "CMakeFiles/dpc_test.dir/dpc/fragment_store_test.cc.o.d"
+  "CMakeFiles/dpc_test.dir/dpc/kmp_test.cc.o"
+  "CMakeFiles/dpc_test.dir/dpc/kmp_test.cc.o.d"
+  "CMakeFiles/dpc_test.dir/dpc/proxy_headers_test.cc.o"
+  "CMakeFiles/dpc_test.dir/dpc/proxy_headers_test.cc.o.d"
+  "CMakeFiles/dpc_test.dir/dpc/proxy_static_test.cc.o"
+  "CMakeFiles/dpc_test.dir/dpc/proxy_static_test.cc.o.d"
+  "CMakeFiles/dpc_test.dir/dpc/proxy_test.cc.o"
+  "CMakeFiles/dpc_test.dir/dpc/proxy_test.cc.o.d"
+  "CMakeFiles/dpc_test.dir/dpc/static_cache_test.cc.o"
+  "CMakeFiles/dpc_test.dir/dpc/static_cache_test.cc.o.d"
+  "CMakeFiles/dpc_test.dir/dpc/tag_scanner_test.cc.o"
+  "CMakeFiles/dpc_test.dir/dpc/tag_scanner_test.cc.o.d"
+  "CMakeFiles/dpc_test.dir/dpc/template_fuzz_test.cc.o"
+  "CMakeFiles/dpc_test.dir/dpc/template_fuzz_test.cc.o.d"
+  "dpc_test"
+  "dpc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firewall_test.dir/firewall/firewall_test.cc.o"
+  "CMakeFiles/firewall_test.dir/firewall/firewall_test.cc.o.d"
+  "firewall_test"
+  "firewall_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firewall_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

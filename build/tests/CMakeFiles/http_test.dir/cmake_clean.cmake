@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/http_test.dir/http/cache_control_test.cc.o"
+  "CMakeFiles/http_test.dir/http/cache_control_test.cc.o.d"
+  "CMakeFiles/http_test.dir/http/chunked_test.cc.o"
+  "CMakeFiles/http_test.dir/http/chunked_test.cc.o.d"
+  "CMakeFiles/http_test.dir/http/header_map_test.cc.o"
+  "CMakeFiles/http_test.dir/http/header_map_test.cc.o.d"
+  "CMakeFiles/http_test.dir/http/message_test.cc.o"
+  "CMakeFiles/http_test.dir/http/message_test.cc.o.d"
+  "CMakeFiles/http_test.dir/http/normalize_path_test.cc.o"
+  "CMakeFiles/http_test.dir/http/normalize_path_test.cc.o.d"
+  "CMakeFiles/http_test.dir/http/parser_test.cc.o"
+  "CMakeFiles/http_test.dir/http/parser_test.cc.o.d"
+  "http_test"
+  "http_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/http_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

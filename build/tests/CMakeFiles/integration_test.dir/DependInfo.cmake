@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/bem_restart_test.cc" "tests/CMakeFiles/integration_test.dir/integration/bem_restart_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/bem_restart_test.cc.o.d"
+  "/root/repo/tests/integration/concurrency_test.cc" "tests/CMakeFiles/integration_test.dir/integration/concurrency_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/concurrency_test.cc.o.d"
+  "/root/repo/tests/integration/correctness_test.cc" "tests/CMakeFiles/integration_test.dir/integration/correctness_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/correctness_test.cc.o.d"
+  "/root/repo/tests/integration/end_to_end_test.cc" "tests/CMakeFiles/integration_test.dir/integration/end_to_end_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/end_to_end_test.cc.o.d"
+  "/root/repo/tests/integration/epoll_product_test.cc" "tests/CMakeFiles/integration_test.dir/integration/epoll_product_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/epoll_product_test.cc.o.d"
+  "/root/repo/tests/integration/firewall_sim_test.cc" "tests/CMakeFiles/integration_test.dir/integration/firewall_sim_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/firewall_sim_test.cc.o.d"
+  "/root/repo/tests/integration/invalidation_test.cc" "tests/CMakeFiles/integration_test.dir/integration/invalidation_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/invalidation_test.cc.o.d"
+  "/root/repo/tests/integration/latency_test.cc" "tests/CMakeFiles/integration_test.dir/integration/latency_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/latency_test.cc.o.d"
+  "/root/repo/tests/integration/recovery_test.cc" "tests/CMakeFiles/integration_test.dir/integration/recovery_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/recovery_test.cc.o.d"
+  "/root/repo/tests/integration/reproduction_test.cc" "tests/CMakeFiles/integration_test.dir/integration/reproduction_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/reproduction_test.cc.o.d"
+  "/root/repo/tests/integration/sim_test.cc" "tests/CMakeFiles/integration_test.dir/integration/sim_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/sim_test.cc.o.d"
+  "/root/repo/tests/integration/status_endpoint_test.cc" "tests/CMakeFiles/integration_test.dir/integration/status_endpoint_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/status_endpoint_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baseline/CMakeFiles/dynaprox_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/edge/CMakeFiles/dynaprox_edge.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dynaprox_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/firewall/CMakeFiles/dynaprox_firewall.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpc/CMakeFiles/dynaprox_dpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dynaprox_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/appserver/CMakeFiles/dynaprox_appserver.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dynaprox_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/dynaprox_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/bem/CMakeFiles/dynaprox_bem.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dynaprox_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytical/CMakeFiles/dynaprox_analytical.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dynaprox_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

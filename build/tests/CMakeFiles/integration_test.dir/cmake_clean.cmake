@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_test.dir/integration/bem_restart_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/bem_restart_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration/concurrency_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/concurrency_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration/correctness_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/correctness_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration/end_to_end_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/end_to_end_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration/epoll_product_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/epoll_product_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration/firewall_sim_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/firewall_sim_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration/invalidation_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/invalidation_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration/latency_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/latency_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration/recovery_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/recovery_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration/reproduction_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/reproduction_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration/sim_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/sim_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration/status_endpoint_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/status_endpoint_test.cc.o.d"
+  "integration_test"
+  "integration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

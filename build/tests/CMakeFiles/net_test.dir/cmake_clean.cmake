@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_test.dir/net/byte_meter_test.cc.o"
+  "CMakeFiles/net_test.dir/net/byte_meter_test.cc.o.d"
+  "CMakeFiles/net_test.dir/net/epoll_server_test.cc.o"
+  "CMakeFiles/net_test.dir/net/epoll_server_test.cc.o.d"
+  "CMakeFiles/net_test.dir/net/retry_test.cc.o"
+  "CMakeFiles/net_test.dir/net/retry_test.cc.o.d"
+  "CMakeFiles/net_test.dir/net/tcp_test.cc.o"
+  "CMakeFiles/net_test.dir/net/tcp_test.cc.o.d"
+  "CMakeFiles/net_test.dir/net/transport_test.cc.o"
+  "CMakeFiles/net_test.dir/net/transport_test.cc.o.d"
+  "net_test"
+  "net_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_test.dir/storage/index_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/index_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/storage/table_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/table_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/storage/update_bus_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/update_bus_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/storage/value_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/value_test.cc.o.d"
+  "storage_test"
+  "storage_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_test.dir/workload/driver_test.cc.o"
+  "CMakeFiles/workload_test.dir/workload/driver_test.cc.o.d"
+  "CMakeFiles/workload_test.dir/workload/personalized_site_test.cc.o"
+  "CMakeFiles/workload_test.dir/workload/personalized_site_test.cc.o.d"
+  "CMakeFiles/workload_test.dir/workload/request_stream_test.cc.o"
+  "CMakeFiles/workload_test.dir/workload/request_stream_test.cc.o.d"
+  "CMakeFiles/workload_test.dir/workload/synthetic_site_test.cc.o"
+  "CMakeFiles/workload_test.dir/workload/synthetic_site_test.cc.o.d"
+  "CMakeFiles/workload_test.dir/workload/trace_test.cc.o"
+  "CMakeFiles/workload_test.dir/workload/trace_test.cc.o.d"
+  "workload_test"
+  "workload_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynaprox_loadgen.dir/dynaprox_loadgen.cc.o"
+  "CMakeFiles/dynaprox_loadgen.dir/dynaprox_loadgen.cc.o.d"
+  "dynaprox_loadgen"
+  "dynaprox_loadgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynaprox_loadgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

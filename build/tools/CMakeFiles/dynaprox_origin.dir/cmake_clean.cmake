@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynaprox_origin.dir/dynaprox_origin.cc.o"
+  "CMakeFiles/dynaprox_origin.dir/dynaprox_origin.cc.o.d"
+  "dynaprox_origin"
+  "dynaprox_origin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynaprox_origin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

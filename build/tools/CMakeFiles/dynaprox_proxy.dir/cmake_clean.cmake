@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynaprox_proxy.dir/dynaprox_proxy.cc.o"
+  "CMakeFiles/dynaprox_proxy.dir/dynaprox_proxy.cc.o.d"
+  "dynaprox_proxy"
+  "dynaprox_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynaprox_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
