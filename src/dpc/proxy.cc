@@ -3,6 +3,7 @@
 #include "common/json.h"
 #include "common/logging.h"
 #include "common/strings.h"
+#include "net/connection_pool.h"
 
 namespace dynaprox::dpc {
 namespace {
@@ -87,6 +88,30 @@ http::Response DpcProxy::RenderStatus() const {
   json.Key("gets").Uint(store_stats.gets);
   json.Key("get_misses").Uint(store_stats.get_misses);
   json.EndObject();
+  if (options_.upstream_pool != nullptr) {
+    net::PoolStats pool = options_.upstream_pool->stats();
+    json.Key("upstream_pool").BeginObject();
+    json.Key("open_connections").Int(pool.open_connections);
+    json.Key("idle_connections").Int(pool.idle_connections);
+    json.Key("wait_queue_depth").Int(pool.wait_queue_depth);
+    json.Key("checkouts").Uint(pool.checkouts);
+    json.Key("connects").Uint(pool.connects);
+    json.Key("reconnects").Uint(pool.reconnects);
+    json.Key("stale_closed").Uint(pool.stale_closed);
+    json.Key("idle_reaped").Uint(pool.idle_reaped);
+    json.Key("waiter_timeouts").Uint(pool.waiter_timeouts);
+    json.Key("waiter_rejections").Uint(pool.waiter_rejections);
+    json.Key("connect_failures").Uint(pool.connect_failures);
+    json.Key("wait_micros").BeginObject();
+    json.Key("count").Uint(pool.wait_micros.count());
+    json.Key("p50").Double(pool.wait_micros.Percentile(0.5));
+    json.Key("p99").Double(pool.wait_micros.Percentile(0.99));
+    json.Key("max").Double(pool.wait_micros.count() == 0
+                               ? 0.0
+                               : pool.wait_micros.max());
+    json.EndObject();
+    json.EndObject();
+  }
   if (static_cache_ != nullptr) {
     StaticCacheStats static_stats = static_cache_->stats();
     json.Key("static_cache").BeginObject();

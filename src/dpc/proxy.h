@@ -13,6 +13,10 @@
 #include "dpc/static_cache.h"
 #include "net/transport.h"
 
+namespace dynaprox::net {
+class ConnectionPool;
+}
+
 namespace dynaprox::dpc {
 
 // Optional debug header summarizing assembly on each response. The
@@ -23,8 +27,10 @@ struct ProxyOptions {
   // Slot count; must equal the BEM's capacity.
   bem::DpcKey capacity = 4096;
   ScanStrategy scan_strategy = ScanStrategy::kMemchr;
-  // Retries after a cold-cache GET miss before giving up with 502.
-  int max_recovery_attempts = 1;
+  // Retries after a cold-cache GET miss before giving up with 502. With a
+  // pooled upstream, a refresh round trip can race a concurrent request
+  // whose SET is still in flight and miss again, so allow more than one.
+  int max_recovery_attempts = 3;
   // Reject templates larger than this (bytes) with 502; 0 = unlimited.
   // A resource guard against a misbehaving origin.
   size_t max_template_bytes = 0;
@@ -37,6 +43,10 @@ struct ProxyOptions {
   // status_path instead of forwarding it upstream.
   bool enable_status = false;
   std::string status_path = "/_dynaprox/status";
+  // When the upstream transport is pooled, exposes the pool's gauges in
+  // the status document (docs/upstream-pooling.md). Not owned; may be
+  // null; must outlive the proxy when set.
+  const net::ConnectionPool* upstream_pool = nullptr;
   // Standard intermediary behaviour: strip hop-by-hop request headers
   // before forwarding and append Via on both legs. Off by default so the
   // byte-accounting experiments measure exactly the modeled payloads.

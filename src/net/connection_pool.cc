@@ -1,0 +1,237 @@
+#include "net/connection_pool.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <thread>
+
+#include "common/strings.h"
+#include "http/parser.h"
+#include "net/idempotency.h"
+#include "net/socket_util.h"
+
+namespace dynaprox::net {
+namespace {
+
+// True if the idle keep-alive connection is still usable: the peek sees
+// no EOF and no unsolicited bytes (either would leave the HTTP framing
+// state unknown).
+bool IsConnectionLive(int fd) {
+  char byte;
+  ssize_t n = ::recv(fd, &byte, 1, MSG_PEEK | MSG_DONTWAIT);
+  if (n >= 0) return false;  // 0: EOF. >0: stray bytes from the server.
+  return errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR;
+}
+
+}  // namespace
+
+ConnectionPool::ConnectionPool(std::string host, uint16_t port,
+                               ConnectionPoolOptions options)
+    : host_(std::move(host)),
+      port_(port),
+      options_(options),
+      clock_(options.clock != nullptr ? options.clock
+                                      : SystemClock::Default()) {}
+
+ConnectionPool::~ConnectionPool() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const IdleConn& conn : idle_) ::close(conn.fd);
+  idle_.clear();
+}
+
+Result<int> ConnectionPool::Dial() {
+  MicroTime backoff = options_.connect_retry.initial_backoff_micros;
+  int attempts = options_.connect_retry.max_attempts < 1
+                     ? 1
+                     : options_.connect_retry.max_attempts;
+  Status last = Status::Internal("unreachable");
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0 && backoff > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff));
+      backoff *= 2;
+    }
+    Result<int> fd = DialTcp(host_, port_, options_.io_timeout_micros);
+    if (fd.ok()) return fd;
+    last = fd.status();
+  }
+  return last;
+}
+
+int ConnectionPool::ReapIdleLocked(MicroTime now) {
+  if (options_.idle_timeout_micros <= 0) return 0;
+  int reaped = 0;
+  // Oldest checkins sit at the front of the LIFO free list.
+  while (!idle_.empty() &&
+         idle_.front().idle_since + options_.idle_timeout_micros <= now) {
+    ::close(idle_.front().fd);
+    idle_.erase(idle_.begin());
+    --open_;
+    ++counters_.idle_reaped;
+    ++reaped;
+  }
+  return reaped;
+}
+
+int ConnectionPool::ReapIdle() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ReapIdleLocked(clock_->NowMicros());
+}
+
+Result<ConnectionPool::Connection> ConnectionPool::Checkout() {
+  std::unique_lock<std::mutex> lock(mu_);
+  const MicroTime wait_start = clock_->NowMicros();
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::microseconds(options_.checkout_timeout_micros);
+  bool queued = false;
+  bool waited = false;
+  auto finish = [&](Connection conn) {
+    if (queued) --waiters_;
+    ++counters_.checkouts;
+    if (waited) {
+      counters_.wait_micros.Record(
+          static_cast<double>(clock_->NowMicros() - wait_start));
+    }
+    return conn;
+  };
+  for (;;) {
+    ReapIdleLocked(clock_->NowMicros());
+    bool replaced_stale = false;
+    while (!idle_.empty()) {
+      IdleConn conn = idle_.back();
+      idle_.pop_back();
+      if (IsConnectionLive(conn.fd)) {
+        return finish(Connection{conn.fd, /*fresh=*/false});
+      }
+      ::close(conn.fd);
+      --open_;
+      ++counters_.stale_closed;
+      replaced_stale = true;
+    }
+    if (open_ < options_.max_connections) {
+      ++open_;  // Reserve the slot while dialing outside the lock.
+      lock.unlock();
+      Result<int> fd = Dial();
+      lock.lock();
+      if (!fd.ok()) {
+        --open_;
+        ++counters_.connect_failures;
+        if (queued) --waiters_;
+        // The slot just freed may unblock another waiter.
+        available_.notify_one();
+        return fd.status();
+      }
+      ++counters_.connects;
+      if (replaced_stale) ++counters_.reconnects;
+      return finish(Connection{*fd, /*fresh=*/true});
+    }
+    // Saturated: join the bounded waiter queue.
+    if (!queued) {
+      if (waiters_ >= options_.max_waiters) {
+        ++counters_.waiter_rejections;
+        return Status::IoError("connection pool waiter queue full");
+      }
+      ++waiters_;
+      queued = true;
+    }
+    waited = true;
+    if (available_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      --waiters_;
+      ++counters_.waiter_timeouts;
+      counters_.wait_micros.Record(
+          static_cast<double>(clock_->NowMicros() - wait_start));
+      return Status::IoError("timed out waiting for an upstream connection");
+    }
+  }
+}
+
+void ConnectionPool::Checkin(Connection conn, bool reusable) {
+  if (conn.fd < 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (reusable) {
+    idle_.push_back({conn.fd, clock_->NowMicros()});
+  } else {
+    ::close(conn.fd);
+    --open_;
+  }
+  available_.notify_one();
+}
+
+PoolStats ConnectionPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  PoolStats snapshot = counters_;
+  snapshot.open_connections = open_;
+  snapshot.idle_connections = static_cast<int>(idle_.size());
+  snapshot.wait_queue_depth = waiters_;
+  return snapshot;
+}
+
+PooledClientTransport::PooledClientTransport(std::string host, uint16_t port,
+                                             PooledTransportOptions options)
+    : options_(std::move(options)),
+      pool_(std::move(host), port, options_.pool) {}
+
+Result<http::Response> PooledClientTransport::RoundTrip(
+    const http::Request& request) {
+  const std::string wire = request.Serialize();
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    Result<ConnectionPool::Connection> conn = pool_.Checkout();
+    if (!conn.ok()) return conn.status();
+
+    size_t sent = 0;
+    Status write_status = SendAll(conn->fd, wire, &sent);
+    if (!write_status.ok()) {
+      pool_.Checkin(*conn, /*reusable=*/false);
+      if (!conn->fresh && attempt == 0 &&
+          SafeToRetry(request, sent, options_.non_idempotent_headers)) {
+        continue;  // Stale keep-alive connection: one fresh retry.
+      }
+      return write_status;
+    }
+
+    http::ResponseReader reader;
+    char buf[16 * 1024];
+    for (;;) {
+      if (auto next = reader.Next()) {
+        if (!next->ok()) {
+          pool_.Checkin(*conn, /*reusable=*/false);
+          return next->status();
+        }
+        bool server_closes = false;
+        if (auto connection = next->value().headers.Get("Connection");
+            connection.has_value() &&
+            EqualsIgnoreCase(*connection, "close")) {
+          server_closes = true;
+        }
+        pool_.Checkin(*conn, /*reusable=*/!server_closes);
+        return std::move(*next);
+      }
+      ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        // SO_RCVTIMEO elapsed: fail fast, don't retry into another stall.
+        pool_.Checkin(*conn, /*reusable=*/false);
+        return Status::IoError("receive timeout");
+      }
+      if (n < 0) {
+        pool_.Checkin(*conn, /*reusable=*/false);
+        return ErrnoStatus("recv");
+      }
+      if (n == 0) {
+        pool_.Checkin(*conn, /*reusable=*/false);
+        if (reader.buffered_bytes() == 0 && !conn->fresh && attempt == 0 &&
+            SafeToRetry(request, wire.size(),
+                        options_.non_idempotent_headers)) {
+          break;  // Keep-alive closed before the response: retry once.
+        }
+        return Status::IoError("connection closed mid-response");
+      }
+      reader.Feed(std::string_view(buf, static_cast<size_t>(n)));
+    }
+  }
+  return Status::IoError("could not complete round trip");
+}
+
+}  // namespace dynaprox::net

@@ -109,7 +109,21 @@ class EpollServer::Worker {
     for (;;) {
       int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK);
       if (fd < 0) {
-        // EAGAIN: drained. Anything else: transient; stop accepting now.
+        if (errno == EINTR) continue;  // Interrupted: retry the accept.
+        if (errno == ECONNABORTED) continue;  // Peer gave up; next one.
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;  // Drained.
+        if (errno == EMFILE || errno == ENFILE) {
+          // Fd exhaustion persists across accept rounds; log it once per
+          // server rather than once per event.
+          if (!server_->accept_fd_exhaustion_logged_.exchange(true)) {
+            DYNAPROX_LOG(kError, "epoll")
+                << "accept4: " << std::strerror(errno)
+                << " (fd limit reached; dropping new connections)";
+          }
+          return;
+        }
+        DYNAPROX_LOG(kWarning, "epoll")
+            << "accept4: " << std::strerror(errno);
         return;
       }
       int one = 1;
@@ -187,6 +201,7 @@ class EpollServer::Worker {
     }
     if ((events & EPOLLIN) == 0) return;
 
+    bool peer_eof = false;
     char buf[16 * 1024];
     for (;;) {
       ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
@@ -196,7 +211,14 @@ class EpollServer::Worker {
       }
       if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
       if (n < 0 && errno == EINTR) continue;
-      CloseConnection(fd);  // EOF or hard error.
+      if (n == 0) {
+        // Half-close: the client is done sending but may still be
+        // reading. Serve the buffered pipelined requests and flush
+        // conn.out before closing instead of discarding them.
+        peer_eof = true;
+        break;
+      }
+      CloseConnection(fd);  // Hard error.
       return;
     }
 
@@ -219,6 +241,18 @@ class EpollServer::Worker {
       }
       conn.out += response.Serialize();
       if (conn.close_after_flush) break;
+    }
+    if (peer_eof) {
+      conn.close_after_flush = true;
+      if (Flush(fd, conn)) {
+        // Still draining. EOF keeps the fd readable (level-triggered), so
+        // watch only EPOLLOUT to avoid spinning until the flush finishes.
+        epoll_event event{};
+        event.events = EPOLLOUT;
+        event.data.fd = fd;
+        ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &event);
+      }
+      return;
     }
     Flush(fd, conn);
   }

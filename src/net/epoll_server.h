@@ -53,6 +53,9 @@ class EpollServer {
   int listen_fd_ = -1;
   std::atomic<bool> running_{false};
   std::atomic<uint64_t> accepted_{0};
+  // Set by the first worker that hits EMFILE/ENFILE so the condition is
+  // logged once per server, not once per accept round.
+  std::atomic<bool> accept_fd_exhaustion_logged_{false};
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
 };

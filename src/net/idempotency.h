@@ -1,0 +1,36 @@
+#ifndef DYNAPROX_NET_IDEMPOTENCY_H_
+#define DYNAPROX_NET_IDEMPOTENCY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "http/message.h"
+
+namespace dynaprox::net {
+
+// RFC 7231 §4.2.2 idempotent methods.
+inline bool IsIdempotentMethod(std::string_view method) {
+  return method == "GET" || method == "HEAD" || method == "OPTIONS" ||
+         method == "TRACE" || method == "PUT" || method == "DELETE";
+}
+
+// Whether a client transport may transparently re-send `request` after a
+// transport failure where bytes may already have reached the server.
+// Safe when nothing was written at all, or when the request is idempotent
+// and carries none of `non_idempotent_headers` — header fields (like the
+// BEM refresh header) whose side effect at the origin must not run twice.
+inline bool SafeToRetry(
+    const http::Request& request, size_t bytes_written,
+    const std::vector<std::string>& non_idempotent_headers) {
+  if (bytes_written == 0) return true;
+  if (!IsIdempotentMethod(request.method)) return false;
+  for (const std::string& name : non_idempotent_headers) {
+    if (request.headers.Has(name)) return false;
+  }
+  return true;
+}
+
+}  // namespace dynaprox::net
+
+#endif  // DYNAPROX_NET_IDEMPOTENCY_H_

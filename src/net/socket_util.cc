@@ -1,0 +1,63 @@
+#include "net/socket_util.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace dynaprox::net {
+
+Status ErrnoStatus(const char* what) {
+  return Status::IoError(std::string(what) + ": " + std::strerror(errno));
+}
+
+Status SendAll(int fd, std::string_view data, size_t* sent_out) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (sent_out != nullptr) *sent_out = sent;
+      return ErrnoStatus("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  if (sent_out != nullptr) *sent_out = sent;
+  return Status::Ok();
+}
+
+Result<int> DialTcp(const std::string& host, uint16_t port,
+                    MicroTime io_timeout_micros) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoStatus("socket");
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (io_timeout_micros > 0) {
+    timeval tv{};
+    tv.tv_sec = io_timeout_micros / kMicrosPerSecond;
+    tv.tv_usec = io_timeout_micros % kMicrosPerSecond;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status status = ErrnoStatus("connect");
+    ::close(fd);
+    return status;
+  }
+  return fd;
+}
+
+}  // namespace dynaprox::net

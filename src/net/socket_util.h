@@ -1,0 +1,30 @@
+#ifndef DYNAPROX_NET_SOCKET_UTIL_H_
+#define DYNAPROX_NET_SOCKET_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/clock.h"
+#include "common/result.h"
+
+namespace dynaprox::net {
+
+// Status::IoError carrying `what` and the current errno text.
+Status ErrnoStatus(const char* what);
+
+// Writes all of `data` to `fd`, retrying on partial writes and EINTR.
+// `*sent_out` (optional) receives the count of bytes handed to the kernel
+// even on failure — retry decisions depend on whether any bytes may have
+// reached the peer (see net/idempotency.h).
+Status SendAll(int fd, std::string_view data, size_t* sent_out = nullptr);
+
+// Opens a blocking TCP connection to host:port with TCP_NODELAY set and,
+// when `io_timeout_micros` > 0, SO_RCVTIMEO/SO_SNDTIMEO applied. Returns
+// the connected fd; the caller owns it.
+Result<int> DialTcp(const std::string& host, uint16_t port,
+                    MicroTime io_timeout_micros);
+
+}  // namespace dynaprox::net
+
+#endif  // DYNAPROX_NET_SOCKET_UTIL_H_

@@ -13,28 +13,13 @@
 #include "common/logging.h"
 #include "common/strings.h"
 #include "http/parser.h"
+#include "net/idempotency.h"
+#include "net/socket_util.h"
 
 namespace dynaprox::net {
 namespace {
 
-Status Errno(const char* what) {
-  return Status::IoError(std::string(what) + ": " + std::strerror(errno));
-}
-
-// Writes all of `data` to `fd`, retrying on partial writes and EINTR.
-Status WriteAll(int fd, std::string_view data) {
-  size_t sent = 0;
-  while (sent < data.size()) {
-    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
-                       MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Errno("send");
-    }
-    sent += static_cast<size_t>(n);
-  }
-  return Status::Ok();
-}
+Status Errno(const char* what) { return ErrnoStatus(what); }
 
 }  // namespace
 
@@ -73,11 +58,13 @@ Status TcpServer::Start() {
 
 void TcpServer::Stop() {
   if (!running_.exchange(false)) return;
-  // Shut the listening socket down to unblock accept().
+  // Shut the listening socket down to unblock accept(). The fd variable
+  // itself is only reset after the accept thread joins — AcceptLoop still
+  // reads it until then.
   ::shutdown(listen_fd_, SHUT_RDWR);
   ::close(listen_fd_);
-  listen_fd_ = -1;
   if (accept_thread_.joinable()) accept_thread_.join();
+  listen_fd_ = -1;
   std::vector<std::thread> threads;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -124,7 +111,7 @@ void TcpServer::ServeConnection(int fd) {
       if (!next->ok()) {
         http::Response bad = http::Response::MakeError(
             400, "Bad Request", next->status().ToString());
-        (void)WriteAll(fd, bad.Serialize());
+        (void)SendAll(fd, bad.Serialize());
         keep_alive = false;
         break;
       }
@@ -135,7 +122,7 @@ void TcpServer::ServeConnection(int fd) {
         keep_alive = false;
         response.headers.Set("Connection", "close");
       }
-      if (!WriteAll(fd, response.Serialize()).ok()) {
+      if (!SendAll(fd, response.Serialize()).ok()) {
         keep_alive = false;
         break;
       }
@@ -159,30 +146,9 @@ TcpClientTransport::~TcpClientTransport() { CloseConnection(); }
 
 Status TcpClientTransport::EnsureConnected() {
   if (fd_ >= 0) return Status::Ok();
-  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd_ < 0) return Errno("socket");
-  int one = 1;
-  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  if (options_.io_timeout_micros > 0) {
-    timeval tv{};
-    tv.tv_sec = options_.io_timeout_micros / kMicrosPerSecond;
-    tv.tv_usec = options_.io_timeout_micros % kMicrosPerSecond;
-    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-    ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
-  }
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port_);
-  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
-    CloseConnection();
-    return Status::InvalidArgument("bad host address: " + host_);
-  }
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    Status status = Errno("connect");
-    CloseConnection();
-    return status;
-  }
+  Result<int> fd = DialTcp(host_, port_, options_.io_timeout_micros);
+  if (!fd.ok()) return fd.status();
+  fd_ = *fd;
   return Status::Ok();
 }
 
@@ -196,13 +162,21 @@ void TcpClientTransport::CloseConnection() {
 Result<http::Response> TcpClientTransport::RoundTrip(
     const http::Request& request) {
   std::lock_guard<std::mutex> lock(mu_);
+  const std::string wire = request.Serialize();
   for (int attempt = 0; attempt < 2; ++attempt) {
     DYNAPROX_RETURN_IF_ERROR(EnsureConnected());
-    Status write_status = WriteAll(fd_, request.Serialize());
+    size_t sent = 0;
+    Status write_status = SendAll(fd_, wire, &sent);
     if (!write_status.ok()) {
-      // Stale keep-alive connection: reconnect once.
+      // Likely a stale keep-alive connection — but some request bytes may
+      // have reached the origin, so only re-send when that cannot
+      // duplicate a side effect.
       CloseConnection();
-      continue;
+      if (attempt == 0 &&
+          SafeToRetry(request, sent, options_.non_idempotent_headers)) {
+        continue;
+      }
+      return write_status;
     }
     http::ResponseReader reader;
     char buf[16 * 1024];
@@ -223,8 +197,10 @@ Result<http::Response> TcpClientTransport::RoundTrip(
       }
       if (n <= 0) {
         CloseConnection();
-        if (reader.buffered_bytes() == 0 && attempt == 0) {
-          break;  // Server closed an idle keep-alive connection; retry.
+        if (n == 0 && reader.buffered_bytes() == 0 && attempt == 0 &&
+            SafeToRetry(request, wire.size(),
+                        options_.non_idempotent_headers)) {
+          break;  // Keep-alive closed before the response; safe to resend.
         }
         return Status::IoError("connection closed mid-response");
       }

@@ -55,6 +55,10 @@ struct TcpClientOptions {
   // surfaces as IoError and drops the connection (the next round trip
   // reconnects).
   MicroTime io_timeout_micros = 0;
+  // Request headers whose presence marks a request non-idempotent for
+  // retry purposes (see net/idempotency.h): once any request bytes may
+  // have reached the server, such a request is never re-sent.
+  std::vector<std::string> non_idempotent_headers;
 };
 
 // Blocking TCP client transport. Opens one keep-alive connection lazily

@@ -7,6 +7,8 @@
 #include "bem/monitor.h"
 #include "common/clock.h"
 #include "dpc/proxy.h"
+#include "net/connection_pool.h"
+#include "net/tcp.h"
 #include "net/transport.h"
 #include "storage/table.h"
 
@@ -94,6 +96,30 @@ TEST_F(StatusEndpointTest, ProxyStatusServedLocally) {
   EXPECT_NE(status.body.find("\"static_cache\":{"), std::string::npos);
   // The proxy answered locally: only /page reached the origin.
   EXPECT_EQ(origin_->stats().requests, 1u);
+}
+
+TEST_F(StatusEndpointTest, ProxyStatusExposesUpstreamPoolGauges) {
+  net::TcpServer origin_server(
+      [](const http::Request&) { return http::Response::MakeOk("hi"); });
+  ASSERT_TRUE(origin_server.Start().ok());
+  net::PooledClientTransport upstream("127.0.0.1", origin_server.port());
+
+  dpc::ProxyOptions options;
+  options.capacity = 8;
+  options.enable_status = true;
+  options.upstream_pool = &upstream.pool();
+  dpc::DpcProxy proxy(&upstream, options);
+
+  proxy.Handle(Get("/page"));
+  http::Response status = proxy.Handle(Get("/_dynaprox/status"));
+  ASSERT_EQ(status.status_code, 200);
+  EXPECT_NE(status.body.find("\"upstream_pool\":{"), std::string::npos);
+  EXPECT_NE(status.body.find("\"open_connections\":1"), std::string::npos);
+  EXPECT_NE(status.body.find("\"checkouts\":1"), std::string::npos);
+  EXPECT_NE(status.body.find("\"reconnects\":0"), std::string::npos);
+  EXPECT_NE(status.body.find("\"wait_queue_depth\":0"), std::string::npos);
+  EXPECT_NE(status.body.find("\"wait_micros\":{"), std::string::npos);
+  origin_server.Stop();
 }
 
 TEST_F(StatusEndpointTest, DisabledByDefaultPathFallsThrough) {

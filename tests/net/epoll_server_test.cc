@@ -138,6 +138,88 @@ TEST(EpollServerTest, PipelinedRequestsOnOneConnection) {
   server.Stop();
 }
 
+TEST(EpollServerTest, PipelinedRequestsServedAfterClientHalfClose) {
+  // Regression: the worker used to close on recv()==0 immediately,
+  // discarding pipelined requests that arrived in the same read burst as
+  // the EOF. A half-closing client must still get every response.
+  EpollServer server(EchoHandler);
+  ASSERT_TRUE(server.Start().ok());
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  http::Request a;
+  a.target = "/a";
+  http::Request b;
+  b.target = "/b";
+  std::string wire = a.Serialize() + b.Serialize();
+  ASSERT_EQ(::send(fd, wire.data(), wire.size(), 0),
+            static_cast<ssize_t>(wire.size()));
+  // Half-close right away so requests and EOF land together server-side.
+  ASSERT_EQ(::shutdown(fd, SHUT_WR), 0);
+  std::string received;
+  char buf[4096];
+  for (;;) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;  // Server closes after flushing both responses.
+    received.append(buf, static_cast<size_t>(n));
+  }
+  http::ResponseReader reader;
+  reader.Feed(received);
+  std::vector<std::string> bodies;
+  while (auto next = reader.Next()) {
+    ASSERT_TRUE(next->ok());
+    bodies.push_back(next->value().body);
+  }
+  ASSERT_EQ(bodies.size(), 2u);
+  EXPECT_EQ(bodies[0], "path=/a;body=");
+  EXPECT_EQ(bodies[1], "path=/b;body=");
+  ::close(fd);
+  server.Stop();
+}
+
+TEST(EpollServerTest, LargeResponseFlushedAfterClientHalfClose) {
+  // EOF with a response still buffered: the worker must finish flushing
+  // (EPOLLOUT path) before closing rather than dropping conn.out.
+  std::string big(2 * 1024 * 1024, 'Y');
+  EpollServer server([&](const http::Request&) {
+    return http::Response::MakeOk(big);
+  });
+  ASSERT_TRUE(server.Start().ok());
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  http::Request request;
+  std::string wire = request.Serialize();
+  ASSERT_EQ(::send(fd, wire.data(), wire.size(), 0),
+            static_cast<ssize_t>(wire.size()));
+  ASSERT_EQ(::shutdown(fd, SHUT_WR), 0);
+  std::string received;
+  char buf[64 * 1024];
+  for (;;) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    received.append(buf, static_cast<size_t>(n));
+  }
+  http::ResponseReader reader;
+  reader.Feed(received);
+  auto next = reader.Next();
+  ASSERT_TRUE(next.has_value());
+  ASSERT_TRUE(next->ok());
+  EXPECT_EQ(next->value().body.size(), big.size());
+  ::close(fd);
+  server.Stop();
+}
+
 TEST(EpollServerTest, MalformedRequestGets400AndClose) {
   EpollServer server(EchoHandler);
   ASSERT_TRUE(server.Start().ok());

@@ -1,16 +1,21 @@
 // dynaprox_proxy: runs a Dynamic Proxy Cache (reverse proxy) on a TCP
-// port, assembling templates from an upstream dynaprox_origin.
+// port, assembling templates from an upstream dynaprox_origin. The origin
+// link is a keep-alive connection pool so concurrent client requests fan
+// out instead of serializing on one socket (docs/upstream-pooling.md).
 //
 //   ./dynaprox_proxy --port=8080 --origin-host=127.0.0.1
-//       --origin-port=8081 [--capacity=4096] [--static-cache] [--debug]
+//       --origin-port=8081 [--capacity=4096] [--pool-size=8]
+//       [--static-cache] [--debug]
 //
 // Runs until EOF on stdin.
 
 #include <cstdio>
 #include <unistd.h>
 
+#include "bem/protocol.h"
 #include "common/flags.h"
 #include "dpc/proxy.h"
+#include "net/connection_pool.h"
 #include "net/tcp.h"
 
 using namespace dynaprox;
@@ -24,7 +29,8 @@ int main(int argc, char** argv) {
   Result<int64_t> port = flags->GetInt("port", 8080);
   Result<int64_t> origin_port = flags->GetInt("origin-port", 8081);
   Result<int64_t> capacity = flags->GetInt("capacity", 4096);
-  for (const auto* r : {&port, &origin_port, &capacity}) {
+  Result<int64_t> pool_size = flags->GetInt("pool-size", 8);
+  for (const auto* r : {&port, &origin_port, &capacity, &pool_size}) {
     if (!r->ok()) {
       std::fprintf(stderr, "%s\n", r->status().ToString().c_str());
       return 2;
@@ -32,13 +38,20 @@ int main(int argc, char** argv) {
   }
   std::string origin_host = flags->GetString("origin-host", "127.0.0.1");
 
-  net::TcpClientTransport upstream(origin_host,
-                                   static_cast<uint16_t>(*origin_port));
+  net::PooledTransportOptions upstream_options;
+  upstream_options.pool.max_connections = static_cast<int>(*pool_size);
+  // A refreshed GET invalidates fragments at the BEM; never re-send one
+  // whose bytes may already have reached the origin.
+  upstream_options.non_idempotent_headers = {bem::kRefreshHeader};
+  net::PooledClientTransport upstream(
+      origin_host, static_cast<uint16_t>(*origin_port), upstream_options);
+
   dpc::ProxyOptions options;
   options.capacity = static_cast<bem::DpcKey>(*capacity);
   options.add_debug_header = flags->GetBool("debug");
   options.enable_static_cache = flags->GetBool("static-cache");
   options.enable_status = true;
+  options.upstream_pool = &upstream.pool();
   dpc::DpcProxy proxy(&upstream, options);
 
   net::TcpServer server(proxy.AsHandler(), static_cast<uint16_t>(*port));
@@ -48,10 +61,11 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("DPC listening on 127.0.0.1:%u -> upstream %s:%lld "
-              "(capacity %lld%s)\n",
+              "(capacity %lld, pool %lld%s)\n",
               server.port(), origin_host.c_str(),
               static_cast<long long>(*origin_port),
               static_cast<long long>(*capacity),
+              static_cast<long long>(*pool_size),
               options.enable_static_cache ? ", static cache on" : "");
   std::fflush(stdout);
 
@@ -60,6 +74,7 @@ int main(int argc, char** argv) {
   }
   server.Stop();
   dpc::ProxyStats stats = proxy.stats();
+  net::PoolStats pool_stats = upstream.pool().stats();
   std::printf(
       "served %llu requests: %llu assembled, %llu passthrough, %llu "
       "recoveries, %llu static hits; %llu B from origin, %llu B to "
@@ -75,5 +90,13 @@ int main(int argc, char** argv) {
           ? 0.0
           : 100.0 * (1.0 - static_cast<double>(stats.bytes_from_upstream) /
                                static_cast<double>(stats.bytes_to_clients)));
+  std::printf(
+      "upstream pool: %llu checkouts over %llu connections (%llu "
+      "reconnects, %llu stale closed, %llu waiter timeouts)\n",
+      static_cast<unsigned long long>(pool_stats.checkouts),
+      static_cast<unsigned long long>(pool_stats.connects),
+      static_cast<unsigned long long>(pool_stats.reconnects),
+      static_cast<unsigned long long>(pool_stats.stale_closed),
+      static_cast<unsigned long long>(pool_stats.waiter_timeouts));
   return 0;
 }
