@@ -1,0 +1,143 @@
+// Good-put during a total origin outage: a warmed serve-stale DPC in
+// front of a black-holed origin where every dial costs a simulated
+// 2 ms timeout. Without a breaker, each request eats the dial timeout
+// before falling back to the stale page; with the breaker open,
+// requests fast-fail straight to the stale cache. Both configurations
+// keep availability at 100% for warmed URLs — the breaker's win is
+// throughput and latency, not correctness.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "common/histogram.h"
+#include "dpc/proxy.h"
+#include "net/circuit_breaker.h"
+#include "net/fault_injection.h"
+#include "net/transport.h"
+
+namespace {
+
+using dynaprox::Histogram;
+using dynaprox::kMicrosPerMilli;
+
+constexpr int kWarmUrls = 8;
+constexpr int kOutageRequests = 2000;
+constexpr int kDialTimeoutMs = 2;
+
+dynaprox::http::Request Get(const std::string& target) {
+  dynaprox::http::Request request;
+  request.target = target;
+  return request;
+}
+
+struct OutageResult {
+  size_t served_200 = 0;
+  size_t served_stale = 0;
+  double elapsed_ms = 0;
+  Histogram latency_ms;
+};
+
+// Warms `proxy` over kWarmUrls pages, black-holes the origin via
+// `fault`, then drives kOutageRequests round-robin requests.
+OutageResult RunOutage(dynaprox::dpc::DpcProxy& proxy,
+                       dynaprox::net::FaultInjectingTransport& fault) {
+  for (int i = 0; i < kWarmUrls; ++i) {
+    proxy.Handle(Get("/page" + std::to_string(i)));
+  }
+  fault.set_down(true);
+
+  OutageResult result;
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kOutageRequests; ++i) {
+    std::string url = "/page" + std::to_string(i % kWarmUrls);
+    auto request_start = std::chrono::steady_clock::now();
+    dynaprox::http::Response response = proxy.Handle(Get(url));
+    auto request_elapsed =
+        std::chrono::steady_clock::now() - request_start;
+    result.latency_ms.Record(
+        std::chrono::duration<double, std::milli>(request_elapsed)
+            .count());
+    if (response.status_code == 200) ++result.served_200;
+  }
+  result.elapsed_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+  result.served_stale = proxy.stats().stale_served;
+  fault.set_down(false);
+  return result;
+}
+
+void PrintRow(const char* label, const OutageResult& r) {
+  std::printf("%-12s %9d %7zu %8.1f%% %10.0f %9.0f %9.3f %9.3f\n", label,
+              kOutageRequests, r.served_200,
+              100.0 * static_cast<double>(r.served_200) / kOutageRequests,
+              r.elapsed_ms,
+              1000.0 * kOutageRequests / r.elapsed_ms,
+              r.latency_ms.mean(), r.latency_ms.Percentile(0.99));
+}
+
+}  // namespace
+
+int main() {
+  dynaprox::net::DirectTransport origin(
+      [](const dynaprox::http::Request& request) {
+        return dynaprox::http::Response::MakeOk(
+            "body:" + std::string(request.Path()));
+      });
+
+  dynaprox::net::FaultInjectionOptions fault_options;
+  fault_options.down_failure_delay_micros = kDialTimeoutMs * kMicrosPerMilli;
+
+  std::printf("=== Availability under total origin outage: %d requests, "
+              "%d ms dial timeout ===\n",
+              kOutageRequests, kDialTimeoutMs);
+  std::printf("%-12s %9s %7s %9s %10s %9s %9s %9s\n", "config",
+              "requests", "200s", "goodput", "elapsed_ms", "req/s",
+              "mean(ms)", "p99(ms)");
+
+  OutageResult no_breaker;
+  {
+    dynaprox::net::FaultInjectingTransport fault(&origin, fault_options);
+    dynaprox::dpc::ProxyOptions options;
+    options.serve_stale = true;
+    dynaprox::dpc::DpcProxy proxy(&fault, options);
+    no_breaker = RunOutage(proxy, fault);
+    PrintRow("serve-stale", no_breaker);
+  }
+
+  OutageResult with_breaker;
+  {
+    dynaprox::net::FaultInjectingTransport fault(&origin, fault_options);
+    dynaprox::net::CircuitBreakerTransportOptions breaker_options;
+    breaker_options.breaker.window = 16;
+    breaker_options.breaker.min_samples = 4;
+    dynaprox::net::CircuitBreakerTransport guarded(&fault,
+                                                   breaker_options);
+    dynaprox::dpc::ProxyOptions options;
+    options.serve_stale = true;
+    options.upstream_breaker = &guarded.breaker();
+    dynaprox::dpc::DpcProxy proxy(&guarded, options);
+    with_breaker = RunOutage(proxy, fault);
+    PrintRow("+breaker", with_breaker);
+    dynaprox::net::CircuitBreakerStats stats = guarded.breaker().stats();
+    std::printf("  breaker: %llu rejections, %llu opens, dials during "
+                "outage: %llu\n",
+                static_cast<unsigned long long>(stats.rejections),
+                static_cast<unsigned long long>(stats.opens),
+                static_cast<unsigned long long>(
+                    fault.stats().down_failures));
+  }
+
+  double speedup = with_breaker.elapsed_ms == 0
+                       ? 0.0
+                       : no_breaker.elapsed_ms / with_breaker.elapsed_ms;
+  std::printf("outage throughput: serve-stale alone %.0f req/s, with "
+              "breaker %.0f req/s (%.1fx)\n",
+              1000.0 * kOutageRequests / no_breaker.elapsed_ms,
+              1000.0 * kOutageRequests / with_breaker.elapsed_ms, speedup);
+  std::printf("expectation: both configs hold 100%% good-put for warmed "
+              "URLs; the breaker recovers >=10x outage throughput by "
+              "skipping per-request dial timeouts\n");
+  return 0;
+}

@@ -3,59 +3,87 @@
 namespace dynaprox::dpc {
 
 Status FragmentStore::Set(bem::DpcKey key, std::string content) {
-  FragmentRef fresh = std::make_shared<const std::string>(std::move(content));
-  std::lock_guard<std::mutex> lock(mu_);
   if (key >= slots_.size()) {
     return Status::InvalidArgument("dpcKey out of range: " +
                                    std::to_string(key));
   }
-  FragmentRef& slot = slots_[key];
-  if (slot != nullptr) {
-    content_bytes_ -= slot->size();
-  } else {
-    ++occupied_;
+  FragmentRef fresh = std::make_shared<const std::string>(std::move(content));
+  size_t fresh_bytes = fresh->size();
+  size_t evicted_bytes = 0;
+  bool replaced = false;
+  Shard& shard = ShardFor(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    FragmentRef& slot = slots_[key];
+    if (slot != nullptr) {
+      evicted_bytes = slot->size();
+      replaced = true;
+    }
+    slot = std::move(fresh);
   }
-  content_bytes_ += fresh->size();
-  slot = std::move(fresh);
-  ++stats_.sets;
+  if (!replaced) shard.occupied.fetch_add(1, std::memory_order_relaxed);
+  shard.content_bytes.fetch_add(fresh_bytes - evicted_bytes,
+                                std::memory_order_relaxed);
+  shard.sets.fetch_add(1, std::memory_order_relaxed);
   return Status::Ok();
 }
 
 Result<FragmentRef> FragmentStore::Get(bem::DpcKey key) {
-  std::lock_guard<std::mutex> lock(mu_);
   if (key >= slots_.size()) {
     return Status::InvalidArgument("dpcKey out of range: " +
                                    std::to_string(key));
   }
-  ++stats_.gets;
-  const FragmentRef& slot = slots_[key];
-  if (slot == nullptr) {
-    ++stats_.get_misses;
+  Shard& shard = ShardFor(key);
+  shard.gets.fetch_add(1, std::memory_order_relaxed);
+  FragmentRef ref;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    ref = slots_[key];
+  }
+  if (ref == nullptr) {
+    shard.get_misses.fetch_add(1, std::memory_order_relaxed);
     return Status::NotFound("empty DPC slot: " + std::to_string(key));
   }
-  return slot;
+  return ref;
 }
 
 void FragmentStore::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  // Take every shard so concurrent Sets can't interleave with the sweep.
+  std::array<std::unique_lock<std::mutex>, kShards> locks;
+  for (size_t i = 0; i < kShards; ++i) {
+    locks[i] = std::unique_lock<std::mutex>(shards_[i].mu);
+  }
   for (FragmentRef& slot : slots_) slot.reset();
-  occupied_ = 0;
-  content_bytes_ = 0;
+  for (Shard& shard : shards_) {
+    shard.occupied.store(0, std::memory_order_relaxed);
+    shard.content_bytes.store(0, std::memory_order_relaxed);
+  }
 }
 
 size_t FragmentStore::occupied_slots() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return occupied_;
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.occupied.load(std::memory_order_relaxed);
+  }
+  return total;
 }
 
 size_t FragmentStore::content_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return content_bytes_;
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.content_bytes.load(std::memory_order_relaxed);
+  }
+  return total;
 }
 
 StoreStats FragmentStore::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  StoreStats snapshot;
+  for (const Shard& shard : shards_) {
+    snapshot.sets += shard.sets.load(std::memory_order_relaxed);
+    snapshot.gets += shard.gets.load(std::memory_order_relaxed);
+    snapshot.get_misses += shard.get_misses.load(std::memory_order_relaxed);
+  }
+  return snapshot;
 }
 
 }  // namespace dynaprox::dpc

@@ -1,6 +1,8 @@
 #ifndef DYNAPROX_DPC_FRAGMENT_STORE_H_
 #define DYNAPROX_DPC_FRAGMENT_STORE_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -29,9 +31,14 @@ using FragmentRef = std::shared_ptr<const std::string>;
 // invalidation is entirely the BEM's business; a stale slot simply stops
 // being referenced until a SET reassigns it.
 //
-// Thread-safe: the reverse proxy serves one thread per connection.
+// Thread-safe. The lock is striped by dpcKey (kShards shards) so reader
+// threads assembling different pages don't serialize on one global mutex;
+// counters and gauges are relaxed atomics updated outside any critical
+// section longer than the slot swap itself.
 class FragmentStore {
  public:
+  static constexpr size_t kShards = 16;
+
   explicit FragmentStore(bem::DpcKey capacity) : slots_(capacity) {}
 
   // Stores `content` in slot `key`, overwriting any previous occupant.
@@ -54,11 +61,21 @@ class FragmentStore {
   StoreStats stats() const;
 
  private:
-  mutable std::mutex mu_;
-  std::vector<FragmentRef> slots_;
-  size_t occupied_ = 0;
-  size_t content_bytes_ = 0;
-  StoreStats stats_;
+  // Counters live with their shard, cache-line aligned, so 16 threads on
+  // 16 shards never bounce a shared counter line between cores.
+  struct alignas(64) Shard {
+    std::mutex mu;
+    std::atomic<size_t> occupied{0};
+    std::atomic<size_t> content_bytes{0};
+    std::atomic<uint64_t> sets{0};
+    std::atomic<uint64_t> gets{0};
+    std::atomic<uint64_t> get_misses{0};
+  };
+
+  Shard& ShardFor(bem::DpcKey key) { return shards_[key % kShards]; }
+
+  mutable std::array<Shard, kShards> shards_;
+  std::vector<FragmentRef> slots_;  // slots_[k] guarded by shards_[k%16].mu.
 };
 
 }  // namespace dynaprox::dpc

@@ -3,6 +3,7 @@
 #include "common/json.h"
 #include "common/logging.h"
 #include "common/strings.h"
+#include "net/circuit_breaker.h"
 #include "net/connection_pool.h"
 
 namespace dynaprox::dpc {
@@ -26,12 +27,23 @@ void AppendVia(http::HeaderMap& headers, const std::string& token) {
   }
 }
 
+void Bump(std::atomic<uint64_t>& counter) {
+  counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Add(std::atomic<uint64_t>& counter, uint64_t delta) {
+  counter.fetch_add(delta, std::memory_order_relaxed);
+}
+
 }  // namespace
 
 DpcProxy::DpcProxy(net::Transport* upstream, ProxyOptions options)
     : upstream_(upstream), options_(options), store_(options.capacity) {
   if (options_.enable_static_cache) {
     static_cache_ = std::make_unique<StaticCache>(options_.static_cache);
+  }
+  if (options_.serve_stale) {
+    stale_cache_ = std::make_unique<StalePageCache>(options_.stale_cache);
   }
 }
 
@@ -40,12 +52,29 @@ net::Handler DpcProxy::AsHandler() {
 }
 
 ProxyStats DpcProxy::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  return stats_;
+  ProxyStats snapshot;
+  auto load = [](const std::atomic<uint64_t>& counter) {
+    return counter.load(std::memory_order_relaxed);
+  };
+  snapshot.requests = load(counters_.requests);
+  snapshot.passthrough = load(counters_.passthrough);
+  snapshot.assembled = load(counters_.assembled);
+  snapshot.recoveries = load(counters_.recoveries);
+  snapshot.upstream_errors = load(counters_.upstream_errors);
+  snapshot.template_errors = load(counters_.template_errors);
+  snapshot.static_hits = load(counters_.static_hits);
+  snapshot.static_revalidations = load(counters_.static_revalidations);
+  snapshot.stale_served = load(counters_.stale_served);
+  snapshot.breaker_rejections = load(counters_.breaker_rejections);
+  snapshot.degraded_503s = load(counters_.degraded_503s);
+  snapshot.bytes_from_upstream = load(counters_.bytes_from_upstream);
+  snapshot.bytes_to_clients = load(counters_.bytes_to_clients);
+  return snapshot;
 }
 
 http::Response DpcProxy::BuildAssembledResponse(
-    const http::Response& upstream, AssembledPage page) {
+    const http::Request& request, const http::Response& upstream,
+    AssembledPage page) {
   http::Response response = upstream;
   response.headers.Remove(bem::kTemplateHeader);
   response.headers.Remove("Content-Length");
@@ -58,12 +87,60 @@ http::Response DpcProxy::BuildAssembledResponse(
                           ";gets=" + std::to_string(page.get_count));
   }
   response.body = std::move(page.page);
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.assembled;
-    stats_.bytes_to_clients += response.body.size();
+  if (stale_cache_ != nullptr && request.method == "GET" &&
+      response.status_code == 200) {
+    stale_cache_->Remember(request.target, response);
   }
+  Bump(counters_.assembled);
+  Add(counters_.bytes_to_clients, response.body.size());
   return response;
+}
+
+std::optional<http::Response> DpcProxy::LookupAnyStale(
+    const std::string& url) {
+  std::optional<http::Response> stale;
+  if (stale_cache_ != nullptr) {
+    if (std::optional<StalePage> page =
+            stale_cache_->Lookup(url, options_.max_stale_micros)) {
+      stale = std::move(page->response);
+      stale->headers.Set(
+          "Age", std::to_string(page->age_micros / kMicrosPerSecond));
+    }
+  }
+  if (!stale.has_value() && static_cache_ != nullptr) {
+    stale = static_cache_->LookupStale(url);  // Sets Age itself.
+  }
+  if (!stale.has_value()) return std::nullopt;
+  stale->headers.Set("Warning", kStaleWarning);
+  if (options_.proxy_headers) {
+    AppendVia(stale->headers, options_.via_token);
+  }
+  Bump(counters_.stale_served);
+  Add(counters_.bytes_to_clients, stale->body.size());
+  return stale;
+}
+
+http::Response DpcProxy::ServeDegraded(const http::Request& request,
+                                       const Status& failure,
+                                       bool breaker_rejected) {
+  if (request.method == "GET") {
+    if (std::optional<http::Response> stale =
+            LookupAnyStale(request.target)) {
+      return std::move(*stale);
+    }
+  }
+  if (options_.serve_stale || breaker_rejected) {
+    Bump(counters_.degraded_503s);
+    http::Response response = http::Response::MakeError(
+        503, "Service Unavailable",
+        "origin unavailable: " + failure.ToString());
+    response.headers.Set("Retry-After",
+                         std::to_string(options_.retry_after_seconds));
+    return response;
+  }
+  // Legacy fail-closed behaviour when degradation is not configured.
+  return http::Response::MakeError(
+      502, "Bad Gateway", "upstream error: " + failure.ToString());
 }
 
 http::Response DpcProxy::RenderStatus() const {
@@ -77,6 +154,9 @@ http::Response DpcProxy::RenderStatus() const {
   json.Key("recoveries").Uint(snapshot.recoveries);
   json.Key("upstream_errors").Uint(snapshot.upstream_errors);
   json.Key("template_errors").Uint(snapshot.template_errors);
+  json.Key("stale_served").Uint(snapshot.stale_served);
+  json.Key("breaker_rejections").Uint(snapshot.breaker_rejections);
+  json.Key("degraded_503s").Uint(snapshot.degraded_503s);
   json.Key("bytes_from_upstream").Uint(snapshot.bytes_from_upstream);
   json.Key("bytes_to_clients").Uint(snapshot.bytes_to_clients);
   json.Key("store").BeginObject();
@@ -88,6 +168,28 @@ http::Response DpcProxy::RenderStatus() const {
   json.Key("gets").Uint(store_stats.gets);
   json.Key("get_misses").Uint(store_stats.get_misses);
   json.EndObject();
+  if (options_.upstream_breaker != nullptr) {
+    net::CircuitBreakerStats breaker = options_.upstream_breaker->stats();
+    json.Key("breaker").BeginObject();
+    json.Key("state").String(std::string(BreakerStateName(breaker.state)));
+    json.Key("rejections").Uint(breaker.rejections);
+    json.Key("opens").Uint(breaker.opens);
+    json.Key("closes").Uint(breaker.closes);
+    json.Key("probes").Uint(breaker.probes);
+    json.Key("window_samples").Int(breaker.window_samples);
+    json.Key("window_error_rate").Double(breaker.window_error_rate);
+    json.EndObject();
+  }
+  if (stale_cache_ != nullptr) {
+    StalePageCacheStats stale_stats = stale_cache_->stats();
+    json.Key("stale_pages").BeginObject();
+    json.Key("entries").Uint(stale_cache_->size());
+    json.Key("remembers").Uint(stale_stats.remembers);
+    json.Key("hits").Uint(stale_stats.hits);
+    json.Key("misses").Uint(stale_stats.misses);
+    json.Key("evictions").Uint(stale_stats.evictions);
+    json.EndObject();
+  }
   if (options_.upstream_pool != nullptr) {
     net::PoolStats pool = options_.upstream_pool->stats();
     json.Key("upstream_pool").BeginObject();
@@ -120,6 +222,7 @@ http::Response DpcProxy::RenderStatus() const {
     json.Key("misses").Uint(static_stats.misses);
     json.Key("stores").Uint(static_stats.stores);
     json.Key("revalidations").Uint(static_stats.revalidations);
+    json.Key("stale_served").Uint(static_stats.stale_served);
     json.Key("evictions").Uint(static_stats.evictions);
     json.EndObject();
   }
@@ -131,10 +234,7 @@ http::Response DpcProxy::Handle(const http::Request& request) {
   if (options_.enable_status && request.Path() == options_.status_path) {
     return RenderStatus();
   }
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.requests;
-  }
+  Bump(counters_.requests);
   bool revalidating = false;
   http::Request upstream_request = request;
   if (options_.proxy_headers) {
@@ -144,9 +244,8 @@ http::Response DpcProxy::Handle(const http::Request& request) {
   if (static_cache_ != nullptr && request.method == "GET") {
     if (std::optional<http::Response> cached =
             static_cache_->Lookup(request.target)) {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.static_hits;
-      stats_.bytes_to_clients += cached->body.size();
+      Bump(counters_.static_hits);
+      Add(counters_.bytes_to_clients, cached->body.size());
       return std::move(*cached);
     }
     // Stale entry with an ETag: try a conditional request.
@@ -161,24 +260,24 @@ http::Response DpcProxy::Handle(const http::Request& request) {
     Result<http::Response> upstream_response =
         upstream_->RoundTrip(upstream_request);
     if (!upstream_response.ok()) {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.upstream_errors;
-      return http::Response::MakeError(
-          502, "Bad Gateway",
-          "upstream error: " + upstream_response.status().ToString());
+      bool breaker_rejected =
+          net::IsBreakerRejection(upstream_response.status());
+      if (breaker_rejected) {
+        Bump(counters_.breaker_rejections);
+      } else {
+        Bump(counters_.upstream_errors);
+      }
+      return ServeDegraded(request, upstream_response.status(),
+                           breaker_rejected);
     }
-    {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      stats_.bytes_from_upstream += upstream_response->body.size();
-    }
+    Add(counters_.bytes_from_upstream, upstream_response->body.size());
 
     if (revalidating && upstream_response->status_code == 304) {
       if (std::optional<http::Response> refreshed =
               static_cache_->Revalidate(request.target,
                                         *upstream_response)) {
-        std::lock_guard<std::mutex> lock(stats_mu_);
-        ++stats_.static_revalidations;
-        stats_.bytes_to_clients += refreshed->body.size();
+        Bump(counters_.static_revalidations);
+        Add(counters_.bytes_to_clients, refreshed->body.size());
         return std::move(*refreshed);
       }
       // Entry vanished (evicted between the stale check and the 304):
@@ -192,23 +291,34 @@ http::Response DpcProxy::Handle(const http::Request& request) {
       continue;
     }
 
+    // Serve-stale-on-error (RFC 9111 §4.2.4): a 5xx answer must not
+    // displace a still-usable stale copy — serve the copy instead.
+    if (upstream_response->status_code >= 500 && request.method == "GET") {
+      if (std::optional<http::Response> stale =
+              LookupAnyStale(request.target)) {
+        return std::move(*stale);
+      }
+    }
+
     if (!upstream_response->headers.Has(bem::kTemplateHeader)) {
       if (static_cache_ != nullptr && request.method == "GET") {
         static_cache_->Store(request.target, *upstream_response);
       }
+      if (stale_cache_ != nullptr && request.method == "GET" &&
+          upstream_response->status_code == 200) {
+        stale_cache_->Remember(request.target, *upstream_response);
+      }
       if (options_.proxy_headers) {
         AppendVia(upstream_response->headers, options_.via_token);
       }
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.passthrough;
-      stats_.bytes_to_clients += upstream_response->body.size();
+      Bump(counters_.passthrough);
+      Add(counters_.bytes_to_clients, upstream_response->body.size());
       return std::move(*upstream_response);
     }
 
     if (options_.max_template_bytes != 0 &&
         upstream_response->body.size() > options_.max_template_bytes) {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.template_errors;
+      Bump(counters_.template_errors);
       return http::Response::MakeError(
           502, "Bad Gateway",
           "template exceeds limit: " +
@@ -219,23 +329,19 @@ http::Response DpcProxy::Handle(const http::Request& request) {
     Result<AssembledPage> assembled =
         AssemblePage(upstream_response->body, store_, options_.scan_strategy);
     if (!assembled.ok()) {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.template_errors;
+      Bump(counters_.template_errors);
       return http::Response::MakeError(
           502, "Bad Gateway",
           "template error: " + assembled.status().ToString());
     }
     if (assembled->complete()) {
-      return BuildAssembledResponse(*upstream_response,
+      return BuildAssembledResponse(request, *upstream_response,
                                     std::move(*assembled));
     }
 
     // Cold-cache recovery: ask the origin to invalidate the missing keys so
     // the retried response carries fresh SETs.
-    {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.recoveries;
-    }
+    Bump(counters_.recoveries);
     std::string refresh;
     for (bem::DpcKey key : assembled->missing_keys) {
       if (!refresh.empty()) refresh += ',';
@@ -250,10 +356,7 @@ http::Response DpcProxy::Handle(const http::Request& request) {
     }
     upstream_request.headers.Set(bem::kRefreshHeader, refresh);
   }
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.template_errors;
-  }
+  Bump(counters_.template_errors);
   return http::Response::MakeError(502, "Bad Gateway",
                                    "unrecoverable missing fragments");
 }

@@ -1,20 +1,23 @@
 #ifndef DYNAPROX_DPC_PROXY_H_
 #define DYNAPROX_DPC_PROXY_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
+#include <optional>
 #include <string>
 
 #include "bem/protocol.h"
 #include "common/result.h"
 #include "dpc/assembler.h"
 #include "dpc/fragment_store.h"
+#include "dpc/stale_cache.h"
 #include "dpc/static_cache.h"
 #include "net/transport.h"
 
 namespace dynaprox::net {
 class ConnectionPool;
+class CircuitBreaker;
 }
 
 namespace dynaprox::dpc {
@@ -22,6 +25,10 @@ namespace dynaprox::dpc {
 // Optional debug header summarizing assembly on each response. The
 // protocol headers shared with the BEM live in bem/protocol.h.
 inline constexpr char kDebugHeader[] = "X-DPC";
+
+// Warning header value on degraded (last-known-good) responses, per
+// RFC 7234 §5.5.1.
+inline constexpr char kStaleWarning[] = "110 dynaprox \"Response is Stale\"";
 
 struct ProxyOptions {
   // Slot count; must equal the BEM's capacity.
@@ -39,6 +46,17 @@ struct ProxyOptions {
   // way ISA Server's ordinary proxy cache did in the paper's testbed.
   bool enable_static_cache = false;
   StaticCacheOptions static_cache;
+  // Degrade to last-known-good content when the origin is unavailable
+  // (docs/failure-modes.md): keep a bounded cache of the last page served
+  // per URL and reply with it (plus "Warning: 110" and "Age") when the
+  // upstream fails or the circuit breaker is open; fall back to 503 +
+  // Retry-After only when nothing stale exists.
+  bool serve_stale = false;
+  StalePageCacheOptions stale_cache;
+  // Oldest page age servable in degraded mode; 0 = any age.
+  MicroTime max_stale_micros = 0;
+  // Retry-After seconds on degraded 503 responses.
+  int64_t retry_after_seconds = 5;
   // Serve a JSON status document (proxy counters, store occupancy) at
   // status_path instead of forwarding it upstream.
   bool enable_status = false;
@@ -47,6 +65,10 @@ struct ProxyOptions {
   // the status document (docs/upstream-pooling.md). Not owned; may be
   // null; must outlive the proxy when set.
   const net::ConnectionPool* upstream_pool = nullptr;
+  // When the origin link is guarded by a net::CircuitBreakerTransport,
+  // exposes the breaker's state in the status document. Not owned; may be
+  // null; must outlive the proxy when set.
+  const net::CircuitBreaker* upstream_breaker = nullptr;
   // Standard intermediary behaviour: strip hop-by-hop request headers
   // before forwarding and append Via on both legs. Off by default so the
   // byte-accounting experiments measure exactly the modeled payloads.
@@ -63,6 +85,9 @@ struct ProxyStats {
   uint64_t template_errors = 0;
   uint64_t static_hits = 0;           // Served from the static cache.
   uint64_t static_revalidations = 0;  // Served after an upstream 304.
+  uint64_t stale_served = 0;       // Degraded: last-known-good page served.
+  uint64_t breaker_rejections = 0;  // Fast-failed by the open breaker.
+  uint64_t degraded_503s = 0;       // Origin down and nothing stale: 503.
   uint64_t bytes_from_upstream = 0;  // Template/page bytes received.
   uint64_t bytes_to_clients = 0;     // Assembled body bytes sent.
 };
@@ -74,7 +99,8 @@ struct ProxyStats {
 //
 // Thread-safe: requests may be served from many connection threads. The
 // upstream transport must be safe for concurrent RoundTrip calls (or each
-// thread must use its own proxy-to-origin connection).
+// thread must use its own proxy-to-origin connection). Serving counters
+// are relaxed atomics — the hot path takes no stats lock.
 class DpcProxy {
  public:
   // `upstream` carries requests to the origin site and must outlive the
@@ -89,29 +115,58 @@ class DpcProxy {
 
   // Models a DPC crash/restart: all slots empty, directory at the BEM
   // unaware — exercises the miss-recovery path. Also empties the static
-  // cache.
+  // and stale-page caches.
   void ClearCache() {
     store_.Clear();
     if (static_cache_ != nullptr) static_cache_->Clear();
+    if (stale_cache_ != nullptr) stale_cache_->Clear();
   }
 
   const FragmentStore& store() const { return store_; }
   // Null unless enable_static_cache was set.
   const StaticCache* static_cache() const { return static_cache_.get(); }
+  // Null unless serve_stale was set.
+  const StalePageCache* stale_cache() const { return stale_cache_.get(); }
   // Snapshot of the serving counters.
   ProxyStats stats() const;
 
  private:
-  http::Response BuildAssembledResponse(const http::Response& upstream,
+  // Relaxed atomics behind the ProxyStats snapshot; one field per counter.
+  struct Counters {
+    std::atomic<uint64_t> requests{0};
+    std::atomic<uint64_t> passthrough{0};
+    std::atomic<uint64_t> assembled{0};
+    std::atomic<uint64_t> recoveries{0};
+    std::atomic<uint64_t> upstream_errors{0};
+    std::atomic<uint64_t> template_errors{0};
+    std::atomic<uint64_t> static_hits{0};
+    std::atomic<uint64_t> static_revalidations{0};
+    std::atomic<uint64_t> stale_served{0};
+    std::atomic<uint64_t> breaker_rejections{0};
+    std::atomic<uint64_t> degraded_503s{0};
+    std::atomic<uint64_t> bytes_from_upstream{0};
+    std::atomic<uint64_t> bytes_to_clients{0};
+  };
+
+  http::Response BuildAssembledResponse(const http::Request& request,
+                                        const http::Response& upstream,
                                         AssembledPage page);
+  // Degraded path: last-known-good page (Warning: 110 + Age) if one
+  // exists, else 503 + Retry-After (or the legacy 502 when serve-stale is
+  // off and the failure wasn't a breaker rejection).
+  http::Response ServeDegraded(const http::Request& request,
+                               const Status& failure, bool breaker_rejected);
+  // Stale copy of `url` from the page cache or the static cache, marked
+  // with Warning/Age; accounts stale_served and client bytes.
+  std::optional<http::Response> LookupAnyStale(const std::string& url);
   http::Response RenderStatus() const;
 
   net::Transport* upstream_;
   ProxyOptions options_;
   FragmentStore store_;
-  std::unique_ptr<StaticCache> static_cache_;  // Null when disabled.
-  mutable std::mutex stats_mu_;
-  ProxyStats stats_;
+  std::unique_ptr<StaticCache> static_cache_;     // Null when disabled.
+  std::unique_ptr<StalePageCache> stale_cache_;   // Null when disabled.
+  Counters counters_;
 };
 
 }  // namespace dynaprox::dpc

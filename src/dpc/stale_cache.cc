@@ -1,0 +1,69 @@
+#include "dpc/stale_cache.h"
+
+namespace dynaprox::dpc {
+
+StalePageCache::StalePageCache(StalePageCacheOptions options)
+    : options_(options) {
+  if (options_.clock == nullptr) options_.clock = SystemClock::Default();
+}
+
+void StalePageCache::Remember(const std::string& url,
+                              const http::Response& response) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(url);
+  if (it != entries_.end()) {
+    lru_.erase(it->second.lru_position);
+    entries_.erase(it);
+  }
+  lru_.push_front(url);
+  entries_[url] =
+      Entry{response, options_.clock->NowMicros(), lru_.begin()};
+  ++stats_.remembers;
+  while (entries_.size() > options_.capacity && !lru_.empty()) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+std::optional<StalePage> StalePageCache::Lookup(const std::string& url,
+                                                MicroTime max_stale_micros) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(url);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  Entry& entry = it->second;
+  MicroTime age = options_.clock->NowMicros() - entry.stored_at;
+  if (max_stale_micros > 0 && age > max_stale_micros) {
+    // Too old even for degraded mode.
+    lru_.erase(entry.lru_position);
+    entries_.erase(it);
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  lru_.erase(entry.lru_position);
+  lru_.push_front(url);
+  entry.lru_position = lru_.begin();
+  return StalePage{entry.response, age};
+}
+
+void StalePageCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  lru_.clear();
+}
+
+size_t StalePageCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+StalePageCacheStats StalePageCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace dynaprox::dpc

@@ -1,0 +1,72 @@
+#ifndef DYNAPROX_DPC_STALE_CACHE_H_
+#define DYNAPROX_DPC_STALE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "common/clock.h"
+#include "http/message.h"
+
+namespace dynaprox::dpc {
+
+struct StalePageCacheOptions {
+  size_t capacity = 256;         // Pages; LRU beyond.
+  const Clock* clock = nullptr;  // Defaults to SystemClock.
+};
+
+// A last-known-good page with its age at lookup time.
+struct StalePage {
+  http::Response response;
+  MicroTime age_micros = 0;
+};
+
+struct StalePageCacheStats {
+  uint64_t remembers = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+};
+
+// Bounded LRU of the last successfully assembled (or passed-through) page
+// per URL, kept so the DPC can degrade to last-known-good content when the
+// origin is unavailable instead of failing closed. Unlike StaticCache this
+// ignores Cache-Control entirely: entries here are only ever served on the
+// degraded path, explicitly marked stale (Warning: 110). Thread-safe.
+class StalePageCache {
+ public:
+  explicit StalePageCache(StalePageCacheOptions options);
+
+  // Snapshots `response` as the last-known-good page for `url`.
+  void Remember(const std::string& url, const http::Response& response);
+
+  // Returns the remembered page and its age. `max_stale_micros` > 0 bounds
+  // how old a page may be served (older entries are dropped).
+  std::optional<StalePage> Lookup(const std::string& url,
+                                  MicroTime max_stale_micros);
+
+  void Clear();
+
+  size_t size() const;
+  StalePageCacheStats stats() const;
+
+ private:
+  struct Entry {
+    http::Response response;
+    MicroTime stored_at;
+    std::list<std::string>::iterator lru_position;
+  };
+
+  StalePageCacheOptions options_;
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  // Front = most recent.
+  StalePageCacheStats stats_;
+};
+
+}  // namespace dynaprox::dpc
+
+#endif  // DYNAPROX_DPC_STALE_CACHE_H_

@@ -20,15 +20,29 @@ std::optional<http::Response> StaticCache::Lookup(const std::string& url) {
   }
   Entry& entry = it->second;
   if (!IsFresh(entry)) {
-    if (entry.etag.empty()) {
-      // Stale and unrevalidatable: drop.
-      lru_.erase(entry.lru_position);
-      entries_.erase(it);
-    }
+    // Stale: not servable here, but retained — revalidatable entries wait
+    // for a conditional GET, the rest remain available to LookupStale when
+    // the origin fails (RFC 9111 §4.2.4). LRU capacity bounds them.
     ++stats_.misses;
     return std::nullopt;
   }
   ++stats_.hits;
+  lru_.erase(entry.lru_position);
+  lru_.push_front(url);
+  entry.lru_position = lru_.begin();
+  http::Response response = entry.response;
+  MicroTime age = options_.clock->NowMicros() - entry.stored_at;
+  response.headers.Set("Age", std::to_string(age / kMicrosPerSecond));
+  return response;
+}
+
+std::optional<http::Response> StaticCache::LookupStale(
+    const std::string& url) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(url);
+  if (it == entries_.end()) return std::nullopt;
+  Entry& entry = it->second;
+  ++stats_.stale_served;
   lru_.erase(entry.lru_position);
   lru_.push_front(url);
   entry.lru_position = lru_.begin();

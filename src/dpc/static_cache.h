@@ -25,6 +25,7 @@ struct StaticCacheStats {
   uint64_t stores = 0;
   uint64_t evictions = 0;
   uint64_t revalidations = 0;  // 304-driven freshness extensions.
+  uint64_t stale_served = 0;   // Stale entries served on upstream error.
 };
 
 // HTTP-semantics static-content cache inside the DPC: the role ISA
@@ -38,9 +39,16 @@ class StaticCache {
   explicit StaticCache(StaticCacheOptions options);
 
   // Returns a fresh cached response for `url`, if any (an "Age" header is
-  // added; hit bookkeeping applied). Stale entries without an ETag are
-  // dropped; stale entries *with* an ETag are kept for revalidation.
+  // added; hit bookkeeping applied). Stale entries are kept — entries with
+  // an ETag for revalidation, the rest for serve-stale-on-error (RFC 9111
+  // §4.2.4); capacity LRU bounds how long either lingers.
   std::optional<http::Response> Lookup(const std::string& url);
+
+  // Serve-stale-on-error (RFC 9111 §4.2.4): returns the entry for `url`
+  // regardless of freshness, with its Age header set. The caller marks the
+  // response (Warning: 110) and must only use this when the origin failed
+  // or answered 5xx. Never evicts.
+  std::optional<http::Response> LookupStale(const std::string& url);
 
   // Returns the ETag of a stale-but-revalidatable entry for `url`; the
   // proxy sends it upstream as If-None-Match.

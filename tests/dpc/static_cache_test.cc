@@ -47,7 +47,26 @@ TEST_F(StaticCacheTest, ExpiresAfterMaxAge) {
   cache.Store("/x", CacheableResponse("x", "max-age=10"));
   clock_.AdvanceSeconds(11);
   EXPECT_FALSE(cache.Lookup("/x").has_value());
-  EXPECT_EQ(cache.size(), 0u);  // Stale entry dropped.
+  // The stale entry is retained for serve-stale-on-error (RFC 9111
+  // §4.2.4); only the capacity LRU drops it.
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST_F(StaticCacheTest, LookupStaleServesExpiredEntryWithAge) {
+  StaticCache cache = MakeCache();
+  cache.Store("/x", CacheableResponse("x", "max-age=10"));
+  clock_.AdvanceSeconds(25);
+  ASSERT_FALSE(cache.Lookup("/x").has_value());  // Stale for Lookup...
+  auto stale = cache.LookupStale("/x");          // ...but servable on error.
+  ASSERT_TRUE(stale.has_value());
+  EXPECT_EQ(stale->body, "x");
+  EXPECT_EQ(*stale->headers.Get("Age"), "25");
+  EXPECT_EQ(cache.stats().stale_served, 1u);
+}
+
+TEST_F(StaticCacheTest, LookupStaleMissesUnknownUrl) {
+  StaticCache cache = MakeCache();
+  EXPECT_FALSE(cache.LookupStale("/never-seen").has_value());
 }
 
 TEST_F(StaticCacheTest, RefusesUncacheableResponses) {

@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -284,6 +285,122 @@ TEST(ConnectionPoolTest, NonReusableCheckinClosesTheConnection) {
   PoolStats stats = pool.stats();
   EXPECT_EQ(stats.open_connections, 0);
   EXPECT_EQ(stats.idle_connections, 0);
+  server.Stop();
+}
+
+TEST(ConnectionPoolTest, AllConnectionsStaleAfterOriginRestart) {
+  // An origin crash kills every pooled keep-alive connection at once.
+  // After a restart on the same port, the pool must notice each dead
+  // idle connection at checkout and redial transparently.
+  auto server = std::make_unique<TcpServer>(EchoHandler);
+  ASSERT_TRUE(server->Start().ok());
+  uint16_t port = server->port();
+
+  PooledTransportOptions options;
+  options.pool.max_connections = 4;
+  PooledClientTransport transport("127.0.0.1", port, options);
+
+  // Open several connections by fanning out concurrent requests.
+  std::vector<std::thread> clients;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&transport, &failures] {
+      http::Request request;
+      request.target = "/warm";
+      if (!transport.RoundTrip(request).ok()) ++failures;
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  ASSERT_EQ(failures.load(), 0);
+  uint64_t connects_before = transport.pool().stats().connects;
+  ASSERT_GE(connects_before, 1u);
+
+  // Crash and restart the origin on the same port.
+  server->Stop();
+  server = std::make_unique<TcpServer>(EchoHandler, port);
+  ASSERT_TRUE(server->Start().ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  // Every request after the restart succeeds; each one that picked up a
+  // dead idle connection replaced it with a fresh dial.
+  for (int i = 0; i < 4; ++i) {
+    http::Request request;
+    request.target = "/after-restart";
+    Result<http::Response> response = transport.RoundTrip(request);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+  }
+  PoolStats stats = transport.pool().stats();
+  EXPECT_GE(stats.stale_closed, connects_before);
+  EXPECT_GT(stats.connects, connects_before);
+  server->Stop();
+}
+
+TEST(ConnectionPoolTest, CheckoutDuringDialBackoffWaitsForTheSlot) {
+  // One slot, dead origin, dial policy with a real backoff: while the
+  // first checkout sits in its connect backoff it holds the only slot.
+  // A second checkout must queue behind it, get the slot once the dial
+  // fails, and fail its own dial — no deadlock, no leaked slot.
+  ConnectionPoolOptions options;
+  options.max_connections = 1;
+  options.connect_retry = {/*max_attempts=*/2,
+                           /*initial_backoff_micros=*/50 * kMicrosPerMilli};
+  options.checkout_timeout_micros = 2 * kMicrosPerSecond;
+  // Port 1 on loopback: nothing listening.
+  ConnectionPool pool("127.0.0.1", 1, options);
+
+  std::thread first([&pool] { EXPECT_FALSE(pool.Checkout().ok()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  // Lands while the first dial is mid-backoff.
+  Result<ConnectionPool::Connection> second = pool.Checkout();
+  first.join();
+  EXPECT_FALSE(second.ok());
+
+  PoolStats stats = pool.stats();
+  EXPECT_EQ(stats.connect_failures, 2u);
+  EXPECT_EQ(stats.open_connections, 0);  // Both reserved slots released.
+  EXPECT_EQ(stats.wait_queue_depth, 0);
+
+  // The pool still works once an origin appears.
+  TcpServer late_origin(EchoHandler);
+  ASSERT_TRUE(late_origin.Start().ok());
+  ConnectionPool live("127.0.0.1", late_origin.port(), options);
+  Result<ConnectionPool::Connection> conn = live.Checkout();
+  ASSERT_TRUE(conn.ok());
+  live.Checkin(*conn, /*reusable=*/false);
+  late_origin.Stop();
+}
+
+TEST(ConnectionPoolTest, WaiterTimeoutAccountingUnderManyWaiters) {
+  TcpServer server(EchoHandler);
+  ASSERT_TRUE(server.Start().ok());
+  ConnectionPoolOptions options;
+  options.max_connections = 1;
+  options.checkout_timeout_micros = 50 * kMicrosPerMilli;
+  ConnectionPool pool("127.0.0.1", server.port(), options);
+
+  Result<ConnectionPool::Connection> held = pool.Checkout();
+  ASSERT_TRUE(held.ok());
+
+  constexpr int kWaiters = 3;
+  std::atomic<int> timed_out{0};
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < kWaiters; ++i) {
+    waiters.emplace_back([&pool, &timed_out] {
+      if (!pool.Checkout().ok()) ++timed_out;
+    });
+  }
+  for (std::thread& t : waiters) t.join();
+  EXPECT_EQ(timed_out.load(), kWaiters);
+
+  PoolStats stats = pool.stats();
+  // Every waiter is accounted exactly once: a timeout counter bump and
+  // a wait-duration sample, and the queue gauge drains back to zero.
+  EXPECT_EQ(stats.waiter_timeouts, static_cast<uint64_t>(kWaiters));
+  EXPECT_EQ(stats.wait_micros.count(), static_cast<size_t>(kWaiters));
+  EXPECT_EQ(stats.wait_queue_depth, 0);
+  EXPECT_EQ(stats.waiter_rejections, 0u);
+
+  pool.Checkin(*held, /*reusable=*/false);
   server.Stop();
 }
 

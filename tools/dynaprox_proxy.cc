@@ -6,15 +6,25 @@
 //   ./dynaprox_proxy --port=8080 --origin-host=127.0.0.1
 //       --origin-port=8081 [--capacity=4096] [--pool-size=8]
 //       [--static-cache] [--debug]
+//       [--breaker] [--breaker-window=32] [--breaker-error-threshold=0.5]
+//       [--breaker-cooldown-ms=1000]
+//       [--serve-stale] [--stale-capacity=256] [--max-stale-sec=0]
+//
+// --breaker puts a circuit breaker on the origin link so a dead origin
+// fast-fails instead of eating a dial timeout per request; --serve-stale
+// answers failed GETs from the last assembled copy of the page
+// (docs/failure-modes.md).
 //
 // Runs until EOF on stdin.
 
 #include <cstdio>
+#include <memory>
 #include <unistd.h>
 
 #include "bem/protocol.h"
 #include "common/flags.h"
 #include "dpc/proxy.h"
+#include "net/circuit_breaker.h"
 #include "net/connection_pool.h"
 #include "net/tcp.h"
 
@@ -30,13 +40,29 @@ int main(int argc, char** argv) {
   Result<int64_t> origin_port = flags->GetInt("origin-port", 8081);
   Result<int64_t> capacity = flags->GetInt("capacity", 4096);
   Result<int64_t> pool_size = flags->GetInt("pool-size", 8);
-  for (const auto* r : {&port, &origin_port, &capacity, &pool_size}) {
+  Result<int64_t> breaker_window = flags->GetInt("breaker-window", 32);
+  Result<int64_t> breaker_cooldown_ms =
+      flags->GetInt("breaker-cooldown-ms", 1000);
+  Result<int64_t> stale_capacity = flags->GetInt("stale-capacity", 256);
+  Result<int64_t> max_stale_sec = flags->GetInt("max-stale-sec", 0);
+  for (const auto* r : {&port, &origin_port, &capacity, &pool_size,
+                        &breaker_window, &breaker_cooldown_ms,
+                        &stale_capacity, &max_stale_sec}) {
     if (!r->ok()) {
       std::fprintf(stderr, "%s\n", r->status().ToString().c_str());
       return 2;
     }
   }
+  Result<double> breaker_error_threshold =
+      flags->GetDouble("breaker-error-threshold", 0.5);
+  if (!breaker_error_threshold.ok()) {
+    std::fprintf(stderr, "%s\n",
+                 breaker_error_threshold.status().ToString().c_str());
+    return 2;
+  }
   std::string origin_host = flags->GetString("origin-host", "127.0.0.1");
+  bool enable_breaker = flags->GetBool("breaker");
+  bool serve_stale = flags->GetBool("serve-stale");
 
   net::PooledTransportOptions upstream_options;
   upstream_options.pool.max_connections = static_cast<int>(*pool_size);
@@ -46,13 +72,33 @@ int main(int argc, char** argv) {
   net::PooledClientTransport upstream(
       origin_host, static_cast<uint16_t>(*origin_port), upstream_options);
 
+  // Optional circuit breaker between the DPC and the pool: a dead
+  // origin trips it and subsequent requests fast-fail (then serve
+  // stale) instead of paying a dial timeout each.
+  net::Transport* origin_link = &upstream;
+  std::unique_ptr<net::CircuitBreakerTransport> guarded;
+  if (enable_breaker) {
+    net::CircuitBreakerTransportOptions breaker_options;
+    breaker_options.breaker.window = static_cast<int>(*breaker_window);
+    breaker_options.breaker.error_threshold = *breaker_error_threshold;
+    breaker_options.breaker.cooldown.initial_backoff_micros =
+        *breaker_cooldown_ms * kMicrosPerMilli;
+    guarded = std::make_unique<net::CircuitBreakerTransport>(
+        &upstream, breaker_options);
+    origin_link = guarded.get();
+  }
+
   dpc::ProxyOptions options;
   options.capacity = static_cast<bem::DpcKey>(*capacity);
   options.add_debug_header = flags->GetBool("debug");
   options.enable_static_cache = flags->GetBool("static-cache");
   options.enable_status = true;
   options.upstream_pool = &upstream.pool();
-  dpc::DpcProxy proxy(&upstream, options);
+  options.serve_stale = serve_stale;
+  options.stale_cache.capacity = static_cast<size_t>(*stale_capacity);
+  options.max_stale_micros = *max_stale_sec * kMicrosPerSecond;
+  if (guarded != nullptr) options.upstream_breaker = &guarded->breaker();
+  dpc::DpcProxy proxy(origin_link, options);
 
   net::TcpServer server(proxy.AsHandler(), static_cast<uint16_t>(*port));
   Status started = server.Start();
@@ -61,12 +107,14 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("DPC listening on 127.0.0.1:%u -> upstream %s:%lld "
-              "(capacity %lld, pool %lld%s)\n",
+              "(capacity %lld, pool %lld%s%s%s)\n",
               server.port(), origin_host.c_str(),
               static_cast<long long>(*origin_port),
               static_cast<long long>(*capacity),
               static_cast<long long>(*pool_size),
-              options.enable_static_cache ? ", static cache on" : "");
+              options.enable_static_cache ? ", static cache on" : "",
+              enable_breaker ? ", breaker on" : "",
+              serve_stale ? ", serve-stale on" : "");
   std::fflush(stdout);
 
   char buf[256];
@@ -98,5 +146,13 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(pool_stats.reconnects),
       static_cast<unsigned long long>(pool_stats.stale_closed),
       static_cast<unsigned long long>(pool_stats.waiter_timeouts));
+  if (serve_stale || guarded != nullptr) {
+    std::printf(
+        "degraded mode: %llu stale pages served, %llu breaker "
+        "rejections, %llu 503s\n",
+        static_cast<unsigned long long>(stats.stale_served),
+        static_cast<unsigned long long>(stats.breaker_rejections),
+        static_cast<unsigned long long>(stats.degraded_503s));
+  }
   return 0;
 }
