@@ -3,10 +3,36 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "analytical/model.h"
+#include "common/metrics.h"
 
 namespace dynaprox::benchutil {
+
+// Millisecond bucket layout for bench latency reporting: geometric from
+// 0.25 ms to 10 s, fine enough that bucket-interpolated p50/p99 track the
+// exact sample percentiles. Benches report through the same
+// metrics::LatencyHistogram the servers export, so a bench number and a
+// scraped dynaprox_*_duration_seconds quantile are computed identically
+// (docs/observability.md).
+inline std::vector<double> LatencyMsBounds() {
+  std::vector<double> bounds;
+  for (double bound = 0.25; bound < 10000.0; bound *= 1.3) {
+    bounds.push_back(bound);
+  }
+  return bounds;
+}
+
+// One table row from a histogram snapshot: count, mean, p50, p99, and the
+// interpolated upper estimate p100.
+inline void PrintLatencyRow(const char* label, int clients,
+                            const metrics::LatencyHistogram::Snapshot& snap) {
+  std::printf("%-14s %8d %10llu %10.2f %10.2f %10.2f %10.2f\n", label,
+              clients, static_cast<unsigned long long>(snap.count),
+              snap.mean(), snap.Percentile(0.5), snap.Percentile(0.99),
+              snap.Percentile(1.0));
+}
 
 // Prints the standard experiment banner: which figure, and the parameter
 // set in Table 2 form.

@@ -23,14 +23,23 @@ void PrintSeries(const char* label, dynaprox::sim::LatencyParams latency,
         dynaprox::sim::ExpectedResponseTimeNoCacheMs(latency, params);
     double with_cache =
         dynaprox::sim::ExpectedResponseTimeWithCacheMs(latency, params);
-    dynaprox::sim::LatencyDistributions dist =
-        dynaprox::sim::SampleResponseTimes(latency, params, 20000, 42);
+    // Percentiles come from the same bucketed histograms the servers
+    // export at /_dynaprox/metrics, so a bench speedup and a PromQL
+    // histogram_quantile() ratio are computed the same way.
+    dynaprox::metrics::LatencyHistogram no_cache_hist(
+        dynaprox::benchutil::LatencyMsBounds());
+    dynaprox::metrics::LatencyHistogram with_cache_hist(
+        dynaprox::benchutil::LatencyMsBounds());
+    dynaprox::sim::SampleResponseTimesInto(latency, params, 20000, 42,
+                                           &no_cache_hist, &with_cache_hist);
+    auto no_cache_snap = no_cache_hist.snapshot();
+    auto with_cache_snap = with_cache_hist.snapshot();
     std::printf("%10.2f %14.2f %14.2f %9.1fx %11.1fx %11.1fx\n", h,
                 no_cache, with_cache, no_cache / with_cache,
-                dist.no_cache_ms.Percentile(0.5) /
-                    dist.with_cache_ms.Percentile(0.5),
-                dist.no_cache_ms.Percentile(0.99) /
-                    dist.with_cache_ms.Percentile(0.99));
+                no_cache_snap.Percentile(0.5) /
+                    with_cache_snap.Percentile(0.5),
+                no_cache_snap.Percentile(0.99) /
+                    with_cache_snap.Percentile(0.99));
   }
 }
 

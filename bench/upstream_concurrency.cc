@@ -15,15 +15,16 @@
 #include <thread>
 #include <vector>
 
-#include "common/histogram.h"
+#include "bench_util.h"
+#include "common/metrics.h"
 #include "dpc/fragment_store.h"
 #include "net/connection_pool.h"
 #include "net/tcp.h"
 
 namespace {
 
-using dynaprox::Histogram;
 using dynaprox::kMicrosPerMilli;
+using dynaprox::metrics::LatencyHistogram;
 
 constexpr int kOriginDelayMs = 5;
 constexpr int kRequestsPerClient = 40;
@@ -35,10 +36,13 @@ dynaprox::http::Response SlowOrigin(const dynaprox::http::Request& request) {
 }
 
 // Runs `clients` threads sharing `transport`, each issuing
-// kRequestsPerClient round trips; returns the merged latency histogram
-// in milliseconds.
-Histogram Drive(dynaprox::net::Transport& transport, int clients) {
-  std::vector<Histogram> latencies(clients);
+// kRequestsPerClient round trips, all observing into one shared
+// lock-free LatencyHistogram (the same type the proxy exports at
+// /_dynaprox/metrics — no per-thread histograms to merge); returns its
+// snapshot in milliseconds.
+LatencyHistogram::Snapshot Drive(dynaprox::net::Transport& transport,
+                                 int clients) {
+  LatencyHistogram latencies(dynaprox::benchutil::LatencyMsBounds());
   std::vector<std::thread> threads;
   for (int c = 0; c < clients; ++c) {
     threads.emplace_back([&transport, &latencies, c] {
@@ -53,21 +57,13 @@ Histogram Drive(dynaprox::net::Transport& transport, int clients) {
                        response.status().ToString().c_str());
           continue;
         }
-        latencies[c].Record(
+        latencies.Observe(
             std::chrono::duration<double, std::milli>(elapsed).count());
       }
     });
   }
   for (std::thread& t : threads) t.join();
-  Histogram merged;
-  for (const Histogram& h : latencies) merged.Merge(h);
-  return merged;
-}
-
-void PrintRow(const char* label, int clients, const Histogram& h) {
-  std::printf("%-14s %8d %10zu %10.2f %10.2f %10.2f %10.2f\n", label,
-              clients, h.count(), h.mean(), h.Percentile(0.5),
-              h.Percentile(0.99), h.max());
+  return latencies.snapshot();
 }
 
 // What FragmentStore looked like before lock striping: one mutex in
@@ -168,14 +164,14 @@ int main() {
               kOriginDelayMs, kRequestsPerClient);
   std::printf("%-14s %8s %10s %10s %10s %10s %10s\n", "transport",
               "clients", "requests", "mean(ms)", "p50(ms)", "p99(ms)",
-              "max(ms)");
+              "p100(ms)");
 
   double single_p99_at_16 = 0;
   double pooled_p99_at_16 = 0;
   for (int clients : {1, 4, 16}) {
     dynaprox::net::TcpClientTransport single("127.0.0.1", origin.port());
-    Histogram h = Drive(single, clients);
-    PrintRow("single-socket", clients, h);
+    LatencyHistogram::Snapshot h = Drive(single, clients);
+    dynaprox::benchutil::PrintLatencyRow("single-socket", clients, h);
     if (clients == 16) single_p99_at_16 = h.Percentile(0.99);
   }
   for (int clients : {1, 4, 16}) {
@@ -183,8 +179,8 @@ int main() {
     options.pool.max_connections = 16;
     dynaprox::net::PooledClientTransport pooled("127.0.0.1", origin.port(),
                                                 options);
-    Histogram h = Drive(pooled, clients);
-    PrintRow("pooled", clients, h);
+    LatencyHistogram::Snapshot h = Drive(pooled, clients);
+    dynaprox::benchutil::PrintLatencyRow("pooled", clients, h);
     if (clients == 16) pooled_p99_at_16 = h.Percentile(0.99);
     dynaprox::net::PoolStats stats = pooled.pool().stats();
     std::printf("  pool: %llu checkouts, %llu connects, %d open at end\n",

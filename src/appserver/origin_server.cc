@@ -1,6 +1,5 @@
 #include "appserver/origin_server.h"
 
-#include "appserver/script_context.h"
 #include "bem/protocol.h"
 #include "common/json.h"
 #include "common/logging.h"
@@ -15,7 +14,80 @@ OriginServer::OriginServer(const ScriptRegistry* registry,
     : registry_(registry),
       repository_(repository),
       monitor_(monitor),
-      options_(options) {}
+      options_(options),
+      clock_(options.clock != nullptr ? options.clock
+                                      : SystemClock::Default()) {
+  RegisterMetrics();
+}
+
+void OriginServer::RegisterMetrics() {
+  instruments_.requests = registry_mx_.GetCounter(
+      "dynaprox_origin_requests_total",
+      "Requests handled (status/metrics endpoint hits excluded).");
+  instruments_.not_found = registry_mx_.GetCounter(
+      "dynaprox_origin_not_found_total",
+      "Requests whose path matched no registered script.");
+  instruments_.script_errors = registry_mx_.GetCounter(
+      "dynaprox_origin_script_errors_total",
+      "Script executions that returned an error (500 sent).");
+  instruments_.refresh_invalidations = registry_mx_.GetCounter(
+      "dynaprox_origin_refresh_invalidations_total",
+      "dpcKeys invalidated via X-DPC-Refresh (DPC cold-cache recovery).");
+  instruments_.fragment_hits = registry_mx_.GetCounter(
+      "dynaprox_origin_fragment_hits_total",
+      "Cacheable blocks answered from the directory (GET tag emitted).");
+  instruments_.fragment_misses = registry_mx_.GetCounter(
+      "dynaprox_origin_fragment_misses_total",
+      "Cacheable blocks that executed their generator (SET tag emitted).");
+  instruments_.fragment_uncacheable = registry_mx_.GetCounter(
+      "dynaprox_origin_fragment_uncacheable_total",
+      "Cacheable blocks run without BEM involvement.");
+  instruments_.body_bytes_sent = registry_mx_.GetCounter(
+      "dynaprox_origin_body_bytes_sent_total",
+      "Response body bytes sent (templates or full pages).");
+
+  instruments_.request_duration = registry_mx_.GetHistogram(
+      "dynaprox_origin_request_duration_seconds",
+      "Total origin handling time per request.");
+  script_metrics_.clock = clock_;
+  script_metrics_.directory_lookup = registry_mx_.GetHistogram(
+      "dynaprox_bem_directory_lookup_duration_seconds",
+      "BEM directory LookupFragment time per cacheable block.");
+  script_metrics_.block_execution = registry_mx_.GetHistogram(
+      "dynaprox_bem_block_execution_duration_seconds",
+      "Generator run time per executed cacheable block.");
+  script_metrics_.tag_emission = registry_mx_.GetHistogram(
+      "dynaprox_bem_tag_emission_duration_seconds",
+      "SET/GET tag encode time per tag written into the template.");
+
+  if (monitor_ != nullptr) {
+    const bem::BackEndMonitor* monitor = monitor_;
+    registry_mx_.RegisterCallbackGauge(
+        "dynaprox_bem_directory_capacity", "dpcKey slots configured.",
+        [monitor] { return static_cast<double>(monitor->capacity()); });
+    registry_mx_.RegisterCallbackCounter(
+        "dynaprox_bem_directory_hits_total", "Directory lookup hits.",
+        [monitor] { return monitor->stats().hits; });
+    registry_mx_.RegisterCallbackCounter(
+        "dynaprox_bem_directory_misses_total", "Directory lookup misses.",
+        [monitor] { return monitor->stats().misses; });
+    registry_mx_.RegisterCallbackCounter(
+        "dynaprox_bem_directory_inserts_total", "Fragments registered.",
+        [monitor] { return monitor->stats().inserts; });
+    registry_mx_.RegisterCallbackCounter(
+        "dynaprox_bem_directory_ttl_invalidations_total",
+        "Entries invalidated by TTL expiry.",
+        [monitor] { return monitor->stats().ttl_invalidations; });
+    registry_mx_.RegisterCallbackCounter(
+        "dynaprox_bem_directory_explicit_invalidations_total",
+        "Entries invalidated by trigger/refresh/API.",
+        [monitor] { return monitor->stats().explicit_invalidations; });
+    registry_mx_.RegisterCallbackCounter(
+        "dynaprox_bem_directory_evictions_total",
+        "Valid entries evicted for key reuse.",
+        [monitor] { return monitor->stats().evictions; });
+  }
+}
 
 net::Handler OriginServer::AsHandler() {
   return [this](const http::Request& request) { return Handle(request); };
@@ -36,15 +108,24 @@ void OriginServer::HandleRefreshHeader(const http::Request& request) {
     // reassigned) between the DPC's miss and this request.
     Status status = monitor_->InvalidateKey(static_cast<bem::DpcKey>(*key));
     if (status.ok()) {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.refresh_invalidations;
+      instruments_.refresh_invalidations->Increment();
     }
   }
 }
 
 OriginStats OriginServer::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  return stats_;
+  OriginStats snapshot;
+  snapshot.requests = instruments_.requests->value();
+  snapshot.not_found = instruments_.not_found->value();
+  snapshot.script_errors = instruments_.script_errors->value();
+  snapshot.refresh_invalidations =
+      instruments_.refresh_invalidations->value();
+  snapshot.fragment_hits = instruments_.fragment_hits->value();
+  snapshot.fragment_misses = instruments_.fragment_misses->value();
+  snapshot.fragment_uncacheable =
+      instruments_.fragment_uncacheable->value();
+  snapshot.body_bytes_sent = instruments_.body_bytes_sent->value();
+  return snapshot;
 }
 
 void OriginServer::ApplyHeaderPadding(http::Response& response) const {
@@ -109,10 +190,42 @@ http::Response OriginServer::Handle(const http::Request& request) {
   if (options_.enable_status && request.Path() == options_.status_path) {
     return RenderStatus();
   }
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.requests;
+  if (options_.enable_metrics && request.Path() == options_.metrics_path) {
+    return http::Response::MakeOk(registry_mx_.RenderPrometheus(),
+                                  "text/plain; version=0.0.4");
   }
+  instruments_.requests->Increment();
+
+  MicroTime start = clock_->NowMicros();
+  const char* outcome = "error";
+  http::Response response = HandleDispatch(request, &outcome);
+  MicroTime elapsed = clock_->NowMicros() - start;
+  instruments_.request_duration->Observe(static_cast<double>(elapsed) /
+                                         kMicrosPerSecond);
+
+  if (options_.access_log != nullptr) {
+    AccessLogEntry entry;
+    entry.timestamp_micros = start;
+    entry.component = "origin";
+    // The id the DPC minted (or the client supplied); empty string when
+    // the origin is hit directly without one.
+    if (auto id = request.headers.Get(bem::kRequestIdHeader);
+        id.has_value()) {
+      entry.request_id = std::string(*id);
+    }
+    entry.method = request.method;
+    entry.target = request.target;
+    entry.status = response.status_code;
+    entry.bytes_sent = response.body.size();
+    entry.duration_micros = elapsed;
+    entry.outcome = outcome;
+    options_.access_log->Log(entry);
+  }
+  return response;
+}
+
+http::Response OriginServer::HandleDispatch(const http::Request& request,
+                                            const char** outcome) {
   HandleRefreshHeader(request);
 
   // Normalized dispatch: "/a/../hello" and "/hello//" reach the same
@@ -120,20 +233,20 @@ http::Response OriginServer::Handle(const http::Request& request) {
   Result<const ScriptFn*> script =
       registry_->Find(http::NormalizePath(request.Path()));
   if (!script.ok()) {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.not_found;
+    instruments_.not_found->Increment();
+    *outcome = "not_found";
     return http::Response::MakeError(404, "Not Found",
                                      script.status().ToString());
   }
 
-  ScriptContext context(request, repository_, monitor_);
+  ScriptContext context(request, repository_, monitor_, &script_metrics_);
   Status run_status = (**script)(context);
   if (!run_status.ok()) {
     DYNAPROX_LOG(kError, "origin")
         << "script failure on " << request.target << ": "
         << run_status.ToString();
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.script_errors;
+    instruments_.script_errors->Increment();
+    *outcome = "script_error";
     return http::Response::MakeError(500, "Internal Server Error",
                                      run_status.ToString());
   }
@@ -142,13 +255,12 @@ http::Response OriginServer::Handle(const http::Request& request) {
   ApplyHeaderPadding(response);
 
   const RequestFragmentStats& frag = context.fragment_stats();
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    stats_.fragment_hits += frag.hits;
-    stats_.fragment_misses += frag.misses;
-    stats_.fragment_uncacheable += frag.uncacheable;
-    stats_.body_bytes_sent += response.body.size();
-  }
+  instruments_.fragment_hits->Increment(frag.hits);
+  instruments_.fragment_misses->Increment(frag.misses);
+  instruments_.fragment_uncacheable->Increment(frag.uncacheable);
+  instruments_.body_bytes_sent->Increment(response.body.size());
+  *outcome = response.headers.Has(bem::kTemplateHeader) ? "template"
+                                                        : "page";
   return response;
 }
 

@@ -2,11 +2,14 @@
 #define DYNAPROX_APPSERVER_ORIGIN_SERVER_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 
+#include "appserver/script_context.h"
 #include "appserver/script_registry.h"
 #include "bem/monitor.h"
+#include "common/access_log.h"
+#include "common/clock.h"
+#include "common/metrics.h"
 #include "common/result.h"
 #include "http/message.h"
 #include "net/transport.h"
@@ -22,6 +25,16 @@ struct OriginOptions {
   // Serve a JSON status document (origin + BEM counters) at status_path.
   bool enable_status = false;
   std::string status_path = "/_dynaprox/status";
+  // Serve the Prometheus text exposition (docs/observability.md) at
+  // metrics_path.
+  bool enable_metrics = false;
+  std::string metrics_path = "/_dynaprox/metrics";
+  // Structured JSON access log, one line per request. Not owned; may be
+  // null; must outlive the server when set.
+  AccessLogger* access_log = nullptr;
+  // Time source for latency histograms and log timestamps; defaults to
+  // SystemClock. Not owned; must outlive the server when set.
+  const Clock* clock = nullptr;
 };
 
 struct OriginStats {
@@ -42,7 +55,11 @@ struct OriginStats {
 // Thread-safe given its collaborators' guarantees: the registry must not
 // be mutated while serving; repository and monitor are internally
 // synchronized; scripts must only touch request-local state or
-// thread-safe services.
+// thread-safe services. Serving counters and the BEM-stage latency
+// histograms live in a metrics::Registry of relaxed atomics — the serving
+// path takes no stats lock. When a request arrives with an
+// X-DPC-Request-Id header (set by the DPC), the access-log line carries
+// that id so it joins the proxy's line (docs/observability.md).
 class OriginServer {
  public:
   // `registry` and `repository` must outlive the server; `monitor` may be
@@ -59,8 +76,30 @@ class OriginServer {
   // Snapshot of the serving counters.
   OriginStats stats() const;
   bool caching_enabled() const { return monitor_ != nullptr; }
+  // Every origin metric (counters + BEM-stage latency histograms); what
+  // the metrics endpoint renders.
+  const metrics::Registry& metrics_registry() const { return registry_mx_; }
 
  private:
+  // Registry-backed handles, resolved once at construction.
+  struct Instruments {
+    metrics::Counter* requests;
+    metrics::Counter* not_found;
+    metrics::Counter* script_errors;
+    metrics::Counter* refresh_invalidations;
+    metrics::Counter* fragment_hits;
+    metrics::Counter* fragment_misses;
+    metrics::Counter* fragment_uncacheable;
+    metrics::Counter* body_bytes_sent;
+    metrics::LatencyHistogram* request_duration;
+  };
+
+  void RegisterMetrics();
+  // The dispatch path proper (everything except the local status/metrics
+  // endpoints); `outcome` receives the serving decision for the access
+  // log.
+  http::Response HandleDispatch(const http::Request& request,
+                                const char** outcome);
   void ApplyHeaderPadding(http::Response& response) const;
   void HandleRefreshHeader(const http::Request& request);
   http::Response RenderStatus() const;
@@ -69,8 +108,10 @@ class OriginServer {
   storage::ContentRepository* repository_;
   bem::BackEndMonitor* monitor_;
   OriginOptions options_;
-  mutable std::mutex stats_mu_;
-  OriginStats stats_;
+  const Clock* clock_;
+  metrics::Registry registry_mx_;
+  Instruments instruments_;
+  ScriptMetrics script_metrics_;  // Shared by every request's context.
 };
 
 }  // namespace dynaprox::appserver

@@ -7,8 +7,18 @@ namespace dynaprox::appserver {
 
 ScriptContext::ScriptContext(const http::Request& request,
                              storage::ContentRepository* repository,
-                             bem::BackEndMonitor* monitor)
-    : request_(request), repository_(repository), monitor_(monitor) {}
+                             bem::BackEndMonitor* monitor,
+                             const ScriptMetrics* metrics)
+    : request_(request),
+      repository_(repository),
+      monitor_(monitor),
+      metrics_(metrics) {}
+
+void ScriptContext::ObserveStage(metrics::LatencyHistogram* histogram,
+                                 MicroTime micros) const {
+  if (histogram == nullptr) return;
+  histogram->Observe(static_cast<double>(micros) / kMicrosPerSecond);
+}
 
 std::string* ScriptContext::sink() {
   return in_block_ ? &block_buffer_ : &body_;
@@ -33,17 +43,35 @@ Status ScriptContext::CacheableBlock(const bem::FragmentId& id,
         id.Canonical() + ")");
   }
 
+  const bool instrumented = timed();
+  const Clock* clock = instrumented ? metrics_->clock : nullptr;
+
   if (monitor_ == nullptr) {
-    // No-cache baseline: the block runs inline on every request.
+    // No-cache baseline: the block runs inline on every request. Still
+    // timed so B_C and B_NC generator costs compare from one histogram.
     ++stats_.uncacheable;
-    return generate(*this);
+    MicroTime start = instrumented ? clock->NowMicros() : 0;
+    Status generated = generate(*this);
+    if (instrumented) {
+      ObserveStage(metrics_->block_execution, clock->NowMicros() - start);
+    }
+    return generated;
   }
 
+  MicroTime lookup_start = instrumented ? clock->NowMicros() : 0;
   bem::LookupResult lookup = monitor_->LookupFragment(id);
+  if (instrumented) {
+    ObserveStage(metrics_->directory_lookup,
+                 clock->NowMicros() - lookup_start);
+  }
   if (lookup.hit()) {
     ++stats_.hits;
     used_tagging_ = true;
+    MicroTime emit_start = instrumented ? clock->NowMicros() : 0;
     bem::TagCodec::AppendGet(lookup.key, body_);
+    if (instrumented) {
+      ObserveStage(metrics_->tag_emission, clock->NowMicros() - emit_start);
+    }
     return Status::Ok();
   }
 
@@ -52,7 +80,12 @@ Status ScriptContext::CacheableBlock(const bem::FragmentId& id,
   in_block_ = true;
   block_buffer_.clear();
   pending_deps_.clear();
+  MicroTime generate_start = instrumented ? clock->NowMicros() : 0;
   Status generated = generate(*this);
+  if (instrumented) {
+    ObserveStage(metrics_->block_execution,
+                 clock->NowMicros() - generate_start);
+  }
   in_block_ = false;
   if (!generated.ok()) {
     block_buffer_.clear();
@@ -77,7 +110,11 @@ Status ScriptContext::CacheableBlock(const bem::FragmentId& id,
     monitor_->AddDependency(id, table, row_key);
   }
   used_tagging_ = true;
+  MicroTime emit_start = instrumented ? clock->NowMicros() : 0;
   bem::TagCodec::AppendSet(*key, block_buffer_, body_);
+  if (instrumented) {
+    ObserveStage(metrics_->tag_emission, clock->NowMicros() - emit_start);
+  }
   block_buffer_.clear();
   pending_deps_.clear();
   return Status::Ok();

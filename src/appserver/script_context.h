@@ -10,6 +10,8 @@
 
 #include "bem/monitor.h"
 #include "bem/types.h"
+#include "common/clock.h"
+#include "common/metrics.h"
 #include "common/result.h"
 #include "http/message.h"
 #include "storage/table.h"
@@ -21,6 +23,21 @@ struct RequestFragmentStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t uncacheable = 0;  // Blocks run without BEM involvement.
+};
+
+// BEM-stage latency hooks, shared by every context the origin creates.
+// Timing happens only when `clock` and the target histogram are both
+// non-null, so the baseline path costs nothing. The histograms are
+// relaxed-atomic, so contexts on different threads may share one struct.
+struct ScriptMetrics {
+  const Clock* clock = nullptr;
+  // One observation per CacheableBlock: the directory LookupFragment call.
+  metrics::LatencyHistogram* directory_lookup = nullptr;
+  // One observation per executed generator (miss path, or every block in
+  // baseline mode). Hits skip the generator and observe nothing.
+  metrics::LatencyHistogram* block_execution = nullptr;
+  // One observation per SET/GET tag written into the template.
+  metrics::LatencyHistogram* tag_emission = nullptr;
 };
 
 // The environment a dynamic script runs in. This is the reproduction of the
@@ -37,10 +54,12 @@ struct RequestFragmentStats {
 class ScriptContext {
  public:
   // `repository` may be null for scripts that don't touch the data layer;
-  // `monitor` null selects the no-cache baseline behaviour.
+  // `monitor` null selects the no-cache baseline behaviour. `metrics` may
+  // be null (no stage timing); when set it must outlive the context.
   ScriptContext(const http::Request& request,
                 storage::ContentRepository* repository,
-                bem::BackEndMonitor* monitor);
+                bem::BackEndMonitor* monitor,
+                const ScriptMetrics* metrics = nullptr);
 
   const http::Request& request() const { return request_; }
   storage::ContentRepository* repository() { return repository_; }
@@ -87,9 +106,17 @@ class ScriptContext {
   // buffer inside a generating block.
   std::string* sink();
 
+  // Observes `micros` into `histogram` when this context is instrumented.
+  void ObserveStage(metrics::LatencyHistogram* histogram,
+                    MicroTime micros) const;
+  bool timed() const {
+    return metrics_ != nullptr && metrics_->clock != nullptr;
+  }
+
   const http::Request& request_;
   storage::ContentRepository* repository_;
   bem::BackEndMonitor* monitor_;
+  const ScriptMetrics* metrics_;
 
   std::string body_;            // Template (or plain page without BEM).
   bool used_tagging_ = false;   // Any SET/GET emitted.

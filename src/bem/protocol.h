@@ -4,7 +4,7 @@
 namespace dynaprox::bem {
 
 // HTTP header names of the BEM<->DPC protocol. Beyond the SET/GET tags in
-// response bodies (see TagCodec) these two fields are the *only* runtime
+// response bodies (see TagCodec) these fields are the *only* runtime
 // coupling between origin and proxy.
 
 // Response header the origin sets when the body is a BEM template the DPC
@@ -15,6 +15,13 @@ inline constexpr char kTemplateHeader[] = "X-DPC-Template";
 // the DPC (cold cache / restarted proxy). The BEM invalidates these so the
 // retried response carries SETs instead of GETs.
 inline constexpr char kRefreshHeader[] = "X-DPC-Refresh";
+
+// Request/response header carrying the per-request id the DPC mints (or
+// accepts from the client) and forwards to the origin, so one request's
+// access-log lines can be joined across both tiers
+// (docs/observability.md). Purely observational: neither side changes
+// behaviour based on it.
+inline constexpr char kRequestIdHeader[] = "X-DPC-Request-Id";
 
 }  // namespace dynaprox::bem
 

@@ -1,0 +1,69 @@
+#include "common/access_log.h"
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+
+#include "common/json.h"
+#include "common/strings.h"
+
+namespace dynaprox {
+
+RequestIdGenerator::RequestIdGenerator() {
+  uint64_t now = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  // splitmix64 finisher over clock ^ address: distinct per process and
+  // per generator without pulling in a seeded-RNG dependency.
+  uint64_t x = now ^ reinterpret_cast<uintptr_t>(this);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  prefix_ = x & 0xffffffffull;  // 32 bits keeps ids short.
+}
+
+std::string RequestIdGenerator::Next() {
+  return ToHex(prefix_) + "-" +
+         ToHex(next_.fetch_add(1, std::memory_order_relaxed));
+}
+
+AccessLogger::AccessLogger(std::unique_ptr<std::ostream> owned)
+    : owned_(std::move(owned)), out_(owned_.get()) {}
+
+Result<std::unique_ptr<AccessLogger>> AccessLogger::Open(
+    const std::string& path) {
+  if (path == "-") {
+    return std::unique_ptr<AccessLogger>(new AccessLogger(&std::cerr));
+  }
+  auto file = std::make_unique<std::ofstream>(path, std::ios::app);
+  if (!file->is_open()) {
+    return Status::IoError("cannot open access log '" + path + "'");
+  }
+  return std::unique_ptr<AccessLogger>(
+      new AccessLogger(std::unique_ptr<std::ostream>(std::move(file))));
+}
+
+void AccessLogger::Log(const AccessLogEntry& entry) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("ts_us").Int(entry.timestamp_micros);
+  json.Key("component").String(entry.component);
+  json.Key("id").String(entry.request_id);
+  json.Key("method").String(entry.method);
+  json.Key("path").String(entry.target);
+  json.Key("status").Int(entry.status);
+  json.Key("bytes").Uint(entry.bytes_sent);
+  json.Key("duration_us").Int(entry.duration_micros);
+  json.Key("outcome").String(entry.outcome);
+  json.EndObject();
+  std::string line = json.TakeString();
+  line += '\n';
+  std::lock_guard<std::mutex> lock(mu_);
+  *out_ << line;
+  out_->flush();
+}
+
+}  // namespace dynaprox

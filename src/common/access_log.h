@@ -1,0 +1,74 @@
+#ifndef DYNAPROX_COMMON_ACCESS_LOG_H_
+#define DYNAPROX_COMMON_ACCESS_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+#include "common/clock.h"
+#include "common/result.h"
+
+namespace dynaprox {
+
+// Request ids for cross-tier log correlation: "<prefix>-<sequence>" in
+// hex. The prefix distinguishes processes (the DPC and the origin both
+// mint ids for requests that arrive without one); the sequence is a
+// relaxed atomic, so Next() is thread-safe and never blocks.
+class RequestIdGenerator {
+ public:
+  // Seeds the prefix from the system clock + object address.
+  RequestIdGenerator();
+  // Fixed prefix for deterministic tests.
+  explicit RequestIdGenerator(uint64_t prefix) : prefix_(prefix) {}
+
+  std::string Next();
+
+ private:
+  uint64_t prefix_;
+  std::atomic<uint64_t> next_{1};
+};
+
+// One serving decision, logged by the DPC or the origin. Field reference
+// in docs/observability.md; the `request_id` field is what joins a DPC
+// line with the origin line for the same request (propagated via
+// bem::kRequestIdHeader).
+struct AccessLogEntry {
+  MicroTime timestamp_micros = 0;
+  std::string component;  // "dpc" or "origin".
+  std::string request_id;
+  std::string method;
+  std::string target;
+  int status = 0;
+  uint64_t bytes_sent = 0;         // Response body bytes.
+  MicroTime duration_micros = 0;   // Handler wall time.
+  std::string outcome;             // Serving decision, e.g. "assembled".
+};
+
+// Writes one JSON object per line. Log() serializes the entry outside
+// the lock and holds a mutex only for the stream append, so concurrent
+// connection threads never interleave partial lines.
+class AccessLogger {
+ public:
+  // Logs to a caller-owned stream (tests); must outlive the logger.
+  explicit AccessLogger(std::ostream* out) : out_(out) {}
+
+  // Opens `path` in append mode; "-" logs to stderr. Fails with IoError
+  // when the file cannot be opened.
+  static Result<std::unique_ptr<AccessLogger>> Open(const std::string& path);
+
+  void Log(const AccessLogEntry& entry);
+
+ private:
+  explicit AccessLogger(std::unique_ptr<std::ostream> owned);
+
+  std::unique_ptr<std::ostream> owned_;  // Null when the stream is borrowed.
+  std::ostream* out_;
+  std::mutex mu_;
+};
+
+}  // namespace dynaprox
+
+#endif  // DYNAPROX_COMMON_ACCESS_LOG_H_

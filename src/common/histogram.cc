@@ -45,8 +45,15 @@ double Histogram::Percentile(double p) const {
 }
 
 void Histogram::Merge(const Histogram& other) {
-  samples_.insert(samples_.end(), other.samples_.begin(),
-                  other.samples_.end());
+  if (&other == this) {
+    // Self-merge: inserting a vector's own range into itself invalidates
+    // the source iterators mid-copy. Double the samples explicitly.
+    std::vector<double> copy = samples_;
+    samples_.insert(samples_.end(), copy.begin(), copy.end());
+  } else {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+  }
   sum_ += other.sum_;
   sorted_ = samples_.empty();
 }

@@ -1,0 +1,226 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace dynaprox::metrics {
+namespace {
+
+// %g keeps bucket bounds like 0.0025 readable and round-trippable for
+// the layouts used here; sums get more digits so accumulated time isn't
+// visibly truncated.
+std::string FormatBound(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", value);
+  return buf;
+}
+
+std::string FormatSample(double value) {
+  if (value == static_cast<int64_t>(value) &&
+      std::abs(value) < 1e15) {  // Exact integer: render without exponent.
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(value));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return buf;
+}
+
+}  // namespace
+
+LatencyHistogram::LatencyHistogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  assert(std::is_sorted(bounds_.begin(), bounds_.end()));
+}
+
+void LatencyHistogram::Observe(double value) {
+  // First bound >= value: `le` is an inclusive upper bound.
+  size_t index = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::snapshot() const {
+  Snapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.reserve(buckets_.size());
+  for (const std::atomic<uint64_t>& bucket : buckets_) {
+    snap.counts.push_back(bucket.load(std::memory_order_relaxed));
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+double LatencyHistogram::Snapshot::mean() const {
+  return count == 0 ? 0 : sum / static_cast<double>(count);
+}
+
+double LatencyHistogram::Snapshot::Percentile(double p) const {
+  if (count == 0) return 0;
+  p = std::clamp(p, 0.0, 1.0);
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(p * static_cast<double>(count)));
+  if (rank == 0) rank = 1;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    uint64_t in_bucket = counts[i];
+    if (cumulative + in_bucket < rank) {
+      cumulative += in_bucket;
+      continue;
+    }
+    if (i >= bounds.size()) {
+      // +Inf bucket: no upper bound to interpolate toward.
+      return bounds.empty() ? 0 : bounds.back();
+    }
+    double lower = i == 0 ? 0 : bounds[i - 1];
+    double upper = bounds[i];
+    double position = in_bucket == 0
+                          ? 1.0
+                          : static_cast<double>(rank - cumulative) /
+                                static_cast<double>(in_bucket);
+    return lower + (upper - lower) * position;
+  }
+  return bounds.empty() ? 0 : bounds.back();
+}
+
+const std::vector<double>& LatencyHistogram::DefaultLatencySecondsBounds() {
+  static const std::vector<double> kBounds = {
+      0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+      0.05,   0.1,     0.25,   0.5,  1.0,    2.5,   5.0,  10.0};
+  return kBounds;
+}
+
+Registry::Entry* Registry::Find(const std::string& name) {
+  for (std::unique_ptr<Entry>& entry : entries_) {
+    if (entry->name == name) return entry.get();
+  }
+  return nullptr;
+}
+
+Counter* Registry::GetCounter(const std::string& name,
+                              const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* existing = Find(name)) return existing->counter.get();
+  auto entry = std::make_unique<Entry>();
+  entry->kind = Kind::kCounter;
+  entry->name = name;
+  entry->help = help;
+  entry->counter = std::make_unique<Counter>();
+  Counter* handle = entry->counter.get();
+  entries_.push_back(std::move(entry));
+  return handle;
+}
+
+Gauge* Registry::GetGauge(const std::string& name, const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* existing = Find(name)) return existing->gauge.get();
+  auto entry = std::make_unique<Entry>();
+  entry->kind = Kind::kGauge;
+  entry->name = name;
+  entry->help = help;
+  entry->gauge = std::make_unique<Gauge>();
+  Gauge* handle = entry->gauge.get();
+  entries_.push_back(std::move(entry));
+  return handle;
+}
+
+LatencyHistogram* Registry::GetHistogram(const std::string& name,
+                                         const std::string& help,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* existing = Find(name)) return existing->histogram.get();
+  if (bounds.empty()) bounds = LatencyHistogram::DefaultLatencySecondsBounds();
+  auto entry = std::make_unique<Entry>();
+  entry->kind = Kind::kHistogram;
+  entry->name = name;
+  entry->help = help;
+  entry->histogram = std::make_unique<LatencyHistogram>(std::move(bounds));
+  LatencyHistogram* handle = entry->histogram.get();
+  entries_.push_back(std::move(entry));
+  return handle;
+}
+
+void Registry::RegisterCallbackCounter(const std::string& name,
+                                       const std::string& help,
+                                       std::function<uint64_t()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Find(name) != nullptr) return;
+  auto entry = std::make_unique<Entry>();
+  entry->kind = Kind::kCallbackCounter;
+  entry->name = name;
+  entry->help = help;
+  entry->callback_counter = std::move(fn);
+  entries_.push_back(std::move(entry));
+}
+
+void Registry::RegisterCallbackGauge(const std::string& name,
+                                     const std::string& help,
+                                     std::function<double()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Find(name) != nullptr) return;
+  auto entry = std::make_unique<Entry>();
+  entry->kind = Kind::kCallbackGauge;
+  entry->name = name;
+  entry->help = help;
+  entry->callback_gauge = std::move(fn);
+  entries_.push_back(std::move(entry));
+}
+
+std::string Registry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const std::unique_ptr<Entry>& entry : entries_) {
+    out += "# HELP " + entry->name + " " + entry->help + "\n";
+    switch (entry->kind) {
+      case Kind::kCounter:
+      case Kind::kCallbackCounter: {
+        uint64_t value = entry->kind == Kind::kCounter
+                             ? entry->counter->value()
+                             : entry->callback_counter();
+        out += "# TYPE " + entry->name + " counter\n";
+        out += entry->name + " " + std::to_string(value) + "\n";
+        break;
+      }
+      case Kind::kGauge: {
+        out += "# TYPE " + entry->name + " gauge\n";
+        out += entry->name + " " + std::to_string(entry->gauge->value()) +
+               "\n";
+        break;
+      }
+      case Kind::kCallbackGauge: {
+        out += "# TYPE " + entry->name + " gauge\n";
+        out += entry->name + " " + FormatSample(entry->callback_gauge()) +
+               "\n";
+        break;
+      }
+      case Kind::kHistogram: {
+        out += "# TYPE " + entry->name + " histogram\n";
+        LatencyHistogram::Snapshot snap = entry->histogram->snapshot();
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i < snap.bounds.size(); ++i) {
+          cumulative += snap.counts[i];
+          out += entry->name + "_bucket{le=\"" +
+                 FormatBound(snap.bounds[i]) + "\"} " +
+                 std::to_string(cumulative) + "\n";
+        }
+        cumulative += snap.counts.back();
+        out += entry->name + "_bucket{le=\"+Inf\"} " +
+               std::to_string(cumulative) + "\n";
+        out += entry->name + "_sum " + FormatSample(snap.sum) + "\n";
+        out += entry->name + "_count " + std::to_string(snap.count) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace dynaprox::metrics

@@ -1,0 +1,145 @@
+#ifndef DYNAPROX_COMMON_METRICS_H_
+#define DYNAPROX_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dynaprox::metrics {
+
+// Process-local metric primitives behind a named registry, exported in
+// the Prometheus text exposition format (docs/observability.md). The hot
+// path is lock-free: counters, gauges, and histogram buckets are relaxed
+// atomics — the same pattern the DPC's serving counters already use —
+// so instrumented request paths never take a lock.
+//
+// This is deliberately distinct from common::Histogram, which keeps every
+// sample (simulation-scale analysis, exact percentiles, not thread-safe).
+// A LatencyHistogram keeps fixed bucket counts: O(1) memory, safe under
+// concurrency, and directly scrapeable; quantiles are bucket-interpolated
+// the way Prometheus' histogram_quantile() computes them.
+
+// Monotonically increasing counter.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Instantaneous value that can go up and down.
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Fixed-bucket histogram. `bounds` are inclusive upper bucket bounds
+// (Prometheus `le` semantics), strictly increasing; one implicit +Inf
+// bucket is appended. Observe() is lock-free.
+class LatencyHistogram {
+ public:
+  explicit LatencyHistogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  // Point-in-time copy of the bucket counts. Relaxed loads: counts, sum,
+  // and count may be mutually inconsistent by a few in-flight samples.
+  struct Snapshot {
+    std::vector<double> bounds;    // Upper bounds, excluding +Inf.
+    std::vector<uint64_t> counts;  // Per-bucket; size bounds.size() + 1.
+    uint64_t count = 0;
+    double sum = 0;
+
+    double mean() const;
+    // p in [0, 1]; linear interpolation inside the target bucket (the
+    // +Inf bucket answers with the highest finite bound). 0 when empty.
+    double Percentile(double p) const;
+  };
+  Snapshot snapshot() const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  // Default layout for request-latency metrics in seconds: 100 µs to
+  // 10 s, roughly 2.5x apart. Documented in docs/observability.md; keep
+  // in sync.
+  static const std::vector<double>& DefaultLatencySecondsBounds();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<uint64_t>> buckets_;  // bounds_.size() + 1.
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0};
+};
+
+// Named metric registry. Get* registers on first use and returns a
+// stable handle (the same handle for the same name thereafter);
+// registration takes a mutex, so grab handles once at setup, not per
+// request. RegisterCallback* metrics are sampled at scrape time — the
+// bridge for values another component already maintains (pool gauges,
+// store occupancy, breaker state).
+//
+// Names must follow Prometheus conventions ([a-zA-Z_:][a-zA-Z0-9_:]*);
+// the registry does not validate. Rendering lists metrics in
+// registration order, so exposition output is deterministic (the golden
+// test in tests/common/metrics_test.cc relies on this).
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter* GetCounter(const std::string& name, const std::string& help);
+  Gauge* GetGauge(const std::string& name, const std::string& help);
+  // Empty `bounds` selects DefaultLatencySecondsBounds().
+  LatencyHistogram* GetHistogram(const std::string& name,
+                                 const std::string& help,
+                                 std::vector<double> bounds = {});
+
+  void RegisterCallbackCounter(const std::string& name,
+                               const std::string& help,
+                               std::function<uint64_t()> fn);
+  void RegisterCallbackGauge(const std::string& name, const std::string& help,
+                             std::function<double()> fn);
+
+  // Renders every registered metric in the Prometheus text exposition
+  // format (version 0.0.4): # HELP / # TYPE lines, then samples;
+  // histograms expand to cumulative _bucket{le=...}, _sum, _count.
+  std::string RenderPrometheus() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram, kCallbackCounter,
+                    kCallbackGauge };
+
+  struct Entry {
+    Kind kind;
+    std::string name;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<LatencyHistogram> histogram;
+    std::function<uint64_t()> callback_counter;
+    std::function<double()> callback_gauge;
+  };
+
+  Entry* Find(const std::string& name);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+}  // namespace dynaprox::metrics
+
+#endif  // DYNAPROX_COMMON_METRICS_H_

@@ -4,9 +4,14 @@ namespace dynaprox::dpc {
 
 Result<AssembledPage> AssemblePage(std::string_view wire,
                                    FragmentStore& store,
-                                   ScanStrategy strategy) {
+                                   ScanStrategy strategy, const Clock* clock,
+                                   AssemblyTiming* timing) {
+  bool timed = clock != nullptr && timing != nullptr;
+  MicroTime start = timed ? clock->NowMicros() : 0;
   std::vector<TemplateSegment> segments;
   DYNAPROX_ASSIGN_OR_RETURN(segments, ParseTemplate(wire, strategy));
+  MicroTime scanned = timed ? clock->NowMicros() : 0;
+  if (timed) timing->scan_micros = scanned - start;
 
   AssembledPage out;
   out.page.reserve(wire.size());
@@ -37,6 +42,7 @@ Result<AssembledPage> AssemblePage(std::string_view wire,
       }
     }
   }
+  if (timed) timing->splice_micros = clock->NowMicros() - scanned;
   return out;
 }
 

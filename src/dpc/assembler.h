@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "bem/types.h"
+#include "common/clock.h"
 #include "common/result.h"
 #include "dpc/fragment_store.h"
 #include "dpc/tag_scanner.h"
@@ -23,12 +24,23 @@ struct AssembledPage {
   bool complete() const { return missing_keys.empty(); }
 };
 
+// Stage timing of one AssemblePage call, for the proxy's per-stage
+// latency histograms. Three clock reads per page — one per stage
+// boundary — so the instrumentation cost is independent of page size.
+struct AssemblyTiming {
+  MicroTime scan_micros = 0;    // Template scan (ParseTemplate).
+  MicroTime splice_micros = 0;  // SET stores + GET splices + literal copy.
+};
+
 // Assembles a final page from a BEM template (paper 4.3.2): stores SET
 // payloads into `store`, splices GET payloads out of it. Fails only on a
 // corrupt template; cold-cache GET misses are reported via `missing_keys`.
+// When `clock` and `timing` are both non-null, reports per-stage wall
+// time into `timing`.
 Result<AssembledPage> AssemblePage(
     std::string_view wire, FragmentStore& store,
-    ScanStrategy strategy = ScanStrategy::kMemchr);
+    ScanStrategy strategy = ScanStrategy::kMemchr,
+    const Clock* clock = nullptr, AssemblyTiming* timing = nullptr);
 
 }  // namespace dynaprox::dpc
 

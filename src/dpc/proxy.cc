@@ -27,23 +27,227 @@ void AppendVia(http::HeaderMap& headers, const std::string& token) {
   }
 }
 
-void Bump(std::atomic<uint64_t>& counter) {
-  counter.fetch_add(1, std::memory_order_relaxed);
-}
-
-void Add(std::atomic<uint64_t>& counter, uint64_t delta) {
-  counter.fetch_add(delta, std::memory_order_relaxed);
+double MicrosToSeconds(MicroTime micros) {
+  return static_cast<double>(micros) / kMicrosPerSecond;
 }
 
 }  // namespace
 
 DpcProxy::DpcProxy(net::Transport* upstream, ProxyOptions options)
-    : upstream_(upstream), options_(options), store_(options.capacity) {
+    : upstream_(upstream),
+      options_(options),
+      clock_(options.clock != nullptr ? options.clock
+                                      : SystemClock::Default()),
+      store_(options.capacity) {
   if (options_.enable_static_cache) {
     static_cache_ = std::make_unique<StaticCache>(options_.static_cache);
   }
   if (options_.serve_stale) {
     stale_cache_ = std::make_unique<StalePageCache>(options_.stale_cache);
+  }
+  RegisterMetrics();
+}
+
+void DpcProxy::RegisterMetrics() {
+  // Serving counters. Registration order here is the exposition order;
+  // docs/observability.md lists them in the same order.
+  instruments_.requests = registry_.GetCounter(
+      "dynaprox_requests_total",
+      "Client requests proxied (status/metrics endpoint hits excluded).");
+  instruments_.passthrough = registry_.GetCounter(
+      "dynaprox_passthrough_total",
+      "Upstream responses without a template header, forwarded verbatim.");
+  instruments_.assembled = registry_.GetCounter(
+      "dynaprox_assembled_total", "Pages assembled from SET/GET templates.");
+  instruments_.recoveries = registry_.GetCounter(
+      "dynaprox_recoveries_total",
+      "Cold-cache refresh round trips (X-DPC-Refresh sent upstream).");
+  instruments_.upstream_errors = registry_.GetCounter(
+      "dynaprox_upstream_errors_total",
+      "Upstream round trips that failed at the transport layer.");
+  instruments_.template_errors = registry_.GetCounter(
+      "dynaprox_template_errors_total",
+      "Corrupt/oversized templates and unrecoverable fragment misses.");
+  instruments_.static_hits = registry_.GetCounter(
+      "dynaprox_static_hits_total", "Requests served from the static cache.");
+  instruments_.static_revalidations = registry_.GetCounter(
+      "dynaprox_static_revalidations_total",
+      "Stale static entries refreshed by an upstream 304.");
+  instruments_.stale_served = registry_.GetCounter(
+      "dynaprox_stale_served_total",
+      "Degraded responses served from a last-known-good page.");
+  instruments_.breaker_rejections = registry_.GetCounter(
+      "dynaprox_breaker_rejections_total",
+      "Requests fast-failed because the upstream circuit breaker was open.");
+  instruments_.degraded_503s = registry_.GetCounter(
+      "dynaprox_degraded_503s_total",
+      "Degraded requests with no stale copy available (503 sent).");
+  instruments_.bytes_from_upstream = registry_.GetCounter(
+      "dynaprox_bytes_from_upstream_total",
+      "Template/page body bytes received from the origin.");
+  instruments_.bytes_to_clients = registry_.GetCounter(
+      "dynaprox_bytes_to_clients_total",
+      "Response body bytes sent to clients.");
+
+  // Per-stage latency histograms (seconds).
+  instruments_.request_duration = registry_.GetHistogram(
+      "dynaprox_request_duration_seconds",
+      "Total DPC handling time per proxied request.");
+  instruments_.upstream_fetch_duration = registry_.GetHistogram(
+      "dynaprox_upstream_fetch_duration_seconds",
+      "Origin round-trip time, one observation per upstream fetch.");
+  instruments_.scan_duration = registry_.GetHistogram(
+      "dynaprox_scan_duration_seconds",
+      "Template scan (tag parse) time per assembled page.");
+  instruments_.splice_duration = registry_.GetHistogram(
+      "dynaprox_splice_duration_seconds",
+      "Fragment store/splice time per assembled page.");
+
+  // Fragment store, sampled at scrape time.
+  registry_.RegisterCallbackGauge(
+      "dynaprox_store_capacity", "Fragment slots configured.",
+      [this] { return static_cast<double>(store_.capacity()); });
+  registry_.RegisterCallbackGauge(
+      "dynaprox_store_occupied_slots", "Fragment slots holding content.",
+      [this] { return static_cast<double>(store_.occupied_slots()); });
+  registry_.RegisterCallbackGauge(
+      "dynaprox_store_content_bytes", "Bytes of fragment content stored.",
+      [this] { return static_cast<double>(store_.content_bytes()); });
+  registry_.RegisterCallbackCounter(
+      "dynaprox_store_sets_total", "SET instructions executed.",
+      [this] { return store_.stats().sets; });
+  registry_.RegisterCallbackCounter(
+      "dynaprox_store_gets_total", "GET instructions executed.",
+      [this] { return store_.stats().gets; });
+  registry_.RegisterCallbackCounter(
+      "dynaprox_store_get_misses_total",
+      "GET instructions that found an empty slot.",
+      [this] { return store_.stats().get_misses; });
+
+  if (options_.upstream_breaker != nullptr) {
+    const net::CircuitBreaker* breaker = options_.upstream_breaker;
+    registry_.RegisterCallbackGauge(
+        "dynaprox_upstream_breaker_state",
+        "Circuit breaker state: 0=closed, 1=open, 2=half-open.",
+        [breaker] {
+          return static_cast<double>(breaker->stats().state);
+        });
+    registry_.RegisterCallbackCounter(
+        "dynaprox_upstream_breaker_rejections_total",
+        "Requests the breaker fast-failed.",
+        [breaker] { return breaker->stats().rejections; });
+    registry_.RegisterCallbackCounter(
+        "dynaprox_upstream_breaker_opens_total",
+        "Transitions into the open state.",
+        [breaker] { return breaker->stats().opens; });
+    registry_.RegisterCallbackCounter(
+        "dynaprox_upstream_breaker_closes_total",
+        "Half-open windows that ended in recovery.",
+        [breaker] { return breaker->stats().closes; });
+    registry_.RegisterCallbackCounter(
+        "dynaprox_upstream_breaker_probes_total",
+        "Trial requests admitted while half-open.",
+        [breaker] { return breaker->stats().probes; });
+    registry_.RegisterCallbackGauge(
+        "dynaprox_upstream_breaker_window_error_rate",
+        "Error rate over the current rolling window.",
+        [breaker] { return breaker->stats().window_error_rate; });
+  }
+
+  if (stale_cache_ != nullptr) {
+    StalePageCache* stale = stale_cache_.get();
+    registry_.RegisterCallbackGauge(
+        "dynaprox_stale_pages_entries", "Last-known-good pages retained.",
+        [stale] { return static_cast<double>(stale->size()); });
+    registry_.RegisterCallbackCounter(
+        "dynaprox_stale_pages_remembers_total",
+        "Pages recorded into the stale-page cache.",
+        [stale] { return stale->stats().remembers; });
+    registry_.RegisterCallbackCounter(
+        "dynaprox_stale_pages_hits_total",
+        "Degraded lookups that found a usable page.",
+        [stale] { return stale->stats().hits; });
+    registry_.RegisterCallbackCounter(
+        "dynaprox_stale_pages_misses_total",
+        "Degraded lookups that found nothing usable.",
+        [stale] { return stale->stats().misses; });
+    registry_.RegisterCallbackCounter(
+        "dynaprox_stale_pages_evictions_total",
+        "Pages evicted by the LRU bound.",
+        [stale] { return stale->stats().evictions; });
+  }
+
+  if (options_.upstream_pool != nullptr) {
+    const net::ConnectionPool* pool = options_.upstream_pool;
+    registry_.RegisterCallbackGauge(
+        "dynaprox_upstream_pool_open_connections",
+        "Pool connections open (checked out + idle).",
+        [pool] { return static_cast<double>(pool->stats().open_connections); });
+    registry_.RegisterCallbackGauge(
+        "dynaprox_upstream_pool_idle_connections",
+        "Pool connections parked in the free list.",
+        [pool] { return static_cast<double>(pool->stats().idle_connections); });
+    registry_.RegisterCallbackGauge(
+        "dynaprox_upstream_pool_wait_queue_depth",
+        "Checkouts currently blocked waiting for a connection.",
+        [pool] { return static_cast<double>(pool->stats().wait_queue_depth); });
+    registry_.RegisterCallbackCounter(
+        "dynaprox_upstream_pool_checkouts_total", "Successful checkouts.",
+        [pool] { return pool->stats().checkouts; });
+    registry_.RegisterCallbackCounter(
+        "dynaprox_upstream_pool_connects_total", "Successful dials.",
+        [pool] { return pool->stats().connects; });
+    registry_.RegisterCallbackCounter(
+        "dynaprox_upstream_pool_reconnects_total",
+        "Dials that replaced a dead keep-alive connection.",
+        [pool] { return pool->stats().reconnects; });
+    registry_.RegisterCallbackCounter(
+        "dynaprox_upstream_pool_stale_closed_total",
+        "Idle connections found dead at checkout.",
+        [pool] { return pool->stats().stale_closed; });
+    registry_.RegisterCallbackCounter(
+        "dynaprox_upstream_pool_idle_reaped_total",
+        "Idle connections closed past the idle deadline.",
+        [pool] { return pool->stats().idle_reaped; });
+    registry_.RegisterCallbackCounter(
+        "dynaprox_upstream_pool_waiter_timeouts_total",
+        "Checkouts that gave up waiting.",
+        [pool] { return pool->stats().waiter_timeouts; });
+    registry_.RegisterCallbackCounter(
+        "dynaprox_upstream_pool_waiter_rejections_total",
+        "Checkouts rejected by the waiter bound.",
+        [pool] { return pool->stats().waiter_rejections; });
+    registry_.RegisterCallbackCounter(
+        "dynaprox_upstream_pool_connect_failures_total",
+        "Dials that exhausted their retries.",
+        [pool] { return pool->stats().connect_failures; });
+  }
+
+  if (static_cache_ != nullptr) {
+    StaticCache* cache = static_cache_.get();
+    registry_.RegisterCallbackGauge(
+        "dynaprox_static_cache_entries", "Static cache entries retained.",
+        [cache] { return static_cast<double>(cache->size()); });
+    registry_.RegisterCallbackCounter(
+        "dynaprox_static_cache_hits_total", "Fresh static cache hits.",
+        [cache] { return cache->stats().hits; });
+    registry_.RegisterCallbackCounter(
+        "dynaprox_static_cache_misses_total", "Static cache misses.",
+        [cache] { return cache->stats().misses; });
+    registry_.RegisterCallbackCounter(
+        "dynaprox_static_cache_stores_total", "Responses stored.",
+        [cache] { return cache->stats().stores; });
+    registry_.RegisterCallbackCounter(
+        "dynaprox_static_cache_revalidations_total",
+        "304-driven freshness extensions.",
+        [cache] { return cache->stats().revalidations; });
+    registry_.RegisterCallbackCounter(
+        "dynaprox_static_cache_stale_served_total",
+        "Stale static entries served on upstream error.",
+        [cache] { return cache->stats().stale_served; });
+    registry_.RegisterCallbackCounter(
+        "dynaprox_static_cache_evictions_total", "Entries evicted.",
+        [cache] { return cache->stats().evictions; });
   }
 }
 
@@ -53,22 +257,19 @@ net::Handler DpcProxy::AsHandler() {
 
 ProxyStats DpcProxy::stats() const {
   ProxyStats snapshot;
-  auto load = [](const std::atomic<uint64_t>& counter) {
-    return counter.load(std::memory_order_relaxed);
-  };
-  snapshot.requests = load(counters_.requests);
-  snapshot.passthrough = load(counters_.passthrough);
-  snapshot.assembled = load(counters_.assembled);
-  snapshot.recoveries = load(counters_.recoveries);
-  snapshot.upstream_errors = load(counters_.upstream_errors);
-  snapshot.template_errors = load(counters_.template_errors);
-  snapshot.static_hits = load(counters_.static_hits);
-  snapshot.static_revalidations = load(counters_.static_revalidations);
-  snapshot.stale_served = load(counters_.stale_served);
-  snapshot.breaker_rejections = load(counters_.breaker_rejections);
-  snapshot.degraded_503s = load(counters_.degraded_503s);
-  snapshot.bytes_from_upstream = load(counters_.bytes_from_upstream);
-  snapshot.bytes_to_clients = load(counters_.bytes_to_clients);
+  snapshot.requests = instruments_.requests->value();
+  snapshot.passthrough = instruments_.passthrough->value();
+  snapshot.assembled = instruments_.assembled->value();
+  snapshot.recoveries = instruments_.recoveries->value();
+  snapshot.upstream_errors = instruments_.upstream_errors->value();
+  snapshot.template_errors = instruments_.template_errors->value();
+  snapshot.static_hits = instruments_.static_hits->value();
+  snapshot.static_revalidations = instruments_.static_revalidations->value();
+  snapshot.stale_served = instruments_.stale_served->value();
+  snapshot.breaker_rejections = instruments_.breaker_rejections->value();
+  snapshot.degraded_503s = instruments_.degraded_503s->value();
+  snapshot.bytes_from_upstream = instruments_.bytes_from_upstream->value();
+  snapshot.bytes_to_clients = instruments_.bytes_to_clients->value();
   return snapshot;
 }
 
@@ -91,8 +292,8 @@ http::Response DpcProxy::BuildAssembledResponse(
       response.status_code == 200) {
     stale_cache_->Remember(request.target, response);
   }
-  Bump(counters_.assembled);
-  Add(counters_.bytes_to_clients, response.body.size());
+  instruments_.assembled->Increment();
+  instruments_.bytes_to_clients->Increment(response.body.size());
   return response;
 }
 
@@ -115,22 +316,25 @@ std::optional<http::Response> DpcProxy::LookupAnyStale(
   if (options_.proxy_headers) {
     AppendVia(stale->headers, options_.via_token);
   }
-  Bump(counters_.stale_served);
-  Add(counters_.bytes_to_clients, stale->body.size());
+  instruments_.stale_served->Increment();
+  instruments_.bytes_to_clients->Increment(stale->body.size());
   return stale;
 }
 
 http::Response DpcProxy::ServeDegraded(const http::Request& request,
                                        const Status& failure,
-                                       bool breaker_rejected) {
+                                       bool breaker_rejected,
+                                       const char** outcome) {
   if (request.method == "GET") {
     if (std::optional<http::Response> stale =
             LookupAnyStale(request.target)) {
+      *outcome = "stale";
       return std::move(*stale);
     }
   }
   if (options_.serve_stale || breaker_rejected) {
-    Bump(counters_.degraded_503s);
+    instruments_.degraded_503s->Increment();
+    *outcome = "degraded_503";
     http::Response response = http::Response::MakeError(
         503, "Service Unavailable",
         "origin unavailable: " + failure.ToString());
@@ -139,6 +343,7 @@ http::Response DpcProxy::ServeDegraded(const http::Request& request,
     return response;
   }
   // Legacy fail-closed behaviour when degradation is not configured.
+  *outcome = "upstream_error";
   return http::Response::MakeError(
       502, "Bad Gateway", "upstream error: " + failure.ToString());
 }
@@ -234,18 +439,69 @@ http::Response DpcProxy::Handle(const http::Request& request) {
   if (options_.enable_status && request.Path() == options_.status_path) {
     return RenderStatus();
   }
-  Bump(counters_.requests);
-  bool revalidating = false;
-  http::Request upstream_request = request;
-  if (options_.proxy_headers) {
-    StripHopByHop(upstream_request.headers);
-    AppendVia(upstream_request.headers, options_.via_token);
+  if (options_.enable_metrics && request.Path() == options_.metrics_path) {
+    return http::Response::MakeOk(registry_.RenderPrometheus(),
+                                  "text/plain; version=0.0.4");
   }
+  instruments_.requests->Increment();
+
+  // Cross-tier correlation id: honour one the client (or an upstream DPC
+  // tier) already minted, else mint our own. Forwarded to the origin and
+  // echoed to the client.
+  std::string request_id;
+  if (auto provided = request.headers.Get(bem::kRequestIdHeader);
+      provided.has_value() && !provided->empty()) {
+    request_id = std::string(*provided);
+  } else {
+    request_id = request_ids_.Next();
+  }
+
+  MicroTime start = clock_->NowMicros();
+  const char* outcome = "error";
+  http::Response response = HandleProxied(request, request_id, &outcome);
+  MicroTime elapsed = clock_->NowMicros() - start;
+  instruments_.request_duration->Observe(MicrosToSeconds(elapsed));
+  response.headers.Set(bem::kRequestIdHeader, request_id);
+
+  if (options_.access_log != nullptr) {
+    AccessLogEntry entry;
+    entry.timestamp_micros = start;
+    entry.component = "dpc";
+    entry.request_id = request_id;
+    entry.method = request.method;
+    entry.target = request.target;
+    entry.status = response.status_code;
+    entry.bytes_sent = response.body.size();
+    entry.duration_micros = elapsed;
+    entry.outcome = outcome;
+    options_.access_log->Log(entry);
+  }
+  return response;
+}
+
+http::Response DpcProxy::HandleProxied(const http::Request& request,
+                                       const std::string& request_id,
+                                       const char** outcome) {
+  // Builds the request forwarded upstream; re-applied after each retry
+  // mutation so hop-by-hop stripping and the correlation id survive.
+  auto prepare_upstream = [&](const http::Request& base) {
+    http::Request upstream_request = base;
+    if (options_.proxy_headers) {
+      StripHopByHop(upstream_request.headers);
+      AppendVia(upstream_request.headers, options_.via_token);
+    }
+    upstream_request.headers.Set(bem::kRequestIdHeader, request_id);
+    return upstream_request;
+  };
+
+  bool revalidating = false;
+  http::Request upstream_request = prepare_upstream(request);
   if (static_cache_ != nullptr && request.method == "GET") {
     if (std::optional<http::Response> cached =
             static_cache_->Lookup(request.target)) {
-      Bump(counters_.static_hits);
-      Add(counters_.bytes_to_clients, cached->body.size());
+      instruments_.static_hits->Increment();
+      instruments_.bytes_to_clients->Increment(cached->body.size());
+      *outcome = "static_hit";
       return std::move(*cached);
     }
     // Stale entry with an ETag: try a conditional request.
@@ -257,37 +513,38 @@ http::Response DpcProxy::Handle(const http::Request& request) {
   }
   for (int attempt = 0; attempt <= options_.max_recovery_attempts;
        ++attempt) {
+    MicroTime fetch_start = clock_->NowMicros();
     Result<http::Response> upstream_response =
         upstream_->RoundTrip(upstream_request);
+    instruments_.upstream_fetch_duration->Observe(
+        MicrosToSeconds(clock_->NowMicros() - fetch_start));
     if (!upstream_response.ok()) {
       bool breaker_rejected =
           net::IsBreakerRejection(upstream_response.status());
       if (breaker_rejected) {
-        Bump(counters_.breaker_rejections);
+        instruments_.breaker_rejections->Increment();
       } else {
-        Bump(counters_.upstream_errors);
+        instruments_.upstream_errors->Increment();
       }
       return ServeDegraded(request, upstream_response.status(),
-                           breaker_rejected);
+                           breaker_rejected, outcome);
     }
-    Add(counters_.bytes_from_upstream, upstream_response->body.size());
+    instruments_.bytes_from_upstream->Increment(
+        upstream_response->body.size());
 
     if (revalidating && upstream_response->status_code == 304) {
       if (std::optional<http::Response> refreshed =
               static_cache_->Revalidate(request.target,
                                         *upstream_response)) {
-        Bump(counters_.static_revalidations);
-        Add(counters_.bytes_to_clients, refreshed->body.size());
+        instruments_.static_revalidations->Increment();
+        instruments_.bytes_to_clients->Increment(refreshed->body.size());
+        *outcome = "static_revalidated";
         return std::move(*refreshed);
       }
       // Entry vanished (evicted between the stale check and the 304):
       // retry unconditionally.
       revalidating = false;
-      upstream_request = request;
-      if (options_.proxy_headers) {
-        StripHopByHop(upstream_request.headers);
-        AppendVia(upstream_request.headers, options_.via_token);
-      }
+      upstream_request = prepare_upstream(request);
       continue;
     }
 
@@ -296,6 +553,7 @@ http::Response DpcProxy::Handle(const http::Request& request) {
     if (upstream_response->status_code >= 500 && request.method == "GET") {
       if (std::optional<http::Response> stale =
               LookupAnyStale(request.target)) {
+        *outcome = "stale";
         return std::move(*stale);
       }
     }
@@ -311,14 +569,17 @@ http::Response DpcProxy::Handle(const http::Request& request) {
       if (options_.proxy_headers) {
         AppendVia(upstream_response->headers, options_.via_token);
       }
-      Bump(counters_.passthrough);
-      Add(counters_.bytes_to_clients, upstream_response->body.size());
+      instruments_.passthrough->Increment();
+      instruments_.bytes_to_clients->Increment(
+          upstream_response->body.size());
+      *outcome = "passthrough";
       return std::move(*upstream_response);
     }
 
     if (options_.max_template_bytes != 0 &&
         upstream_response->body.size() > options_.max_template_bytes) {
-      Bump(counters_.template_errors);
+      instruments_.template_errors->Increment();
+      *outcome = "template_error";
       return http::Response::MakeError(
           502, "Bad Gateway",
           "template exceeds limit: " +
@@ -326,22 +587,29 @@ http::Response DpcProxy::Handle(const http::Request& request) {
               std::to_string(options_.max_template_bytes));
     }
 
+    AssemblyTiming timing;
     Result<AssembledPage> assembled =
-        AssemblePage(upstream_response->body, store_, options_.scan_strategy);
+        AssemblePage(upstream_response->body, store_, options_.scan_strategy,
+                     clock_, &timing);
+    instruments_.scan_duration->Observe(MicrosToSeconds(timing.scan_micros));
+    instruments_.splice_duration->Observe(
+        MicrosToSeconds(timing.splice_micros));
     if (!assembled.ok()) {
-      Bump(counters_.template_errors);
+      instruments_.template_errors->Increment();
+      *outcome = "template_error";
       return http::Response::MakeError(
           502, "Bad Gateway",
           "template error: " + assembled.status().ToString());
     }
     if (assembled->complete()) {
+      *outcome = "assembled";
       return BuildAssembledResponse(request, *upstream_response,
                                     std::move(*assembled));
     }
 
     // Cold-cache recovery: ask the origin to invalidate the missing keys so
     // the retried response carries fresh SETs.
-    Bump(counters_.recoveries);
+    instruments_.recoveries->Increment();
     std::string refresh;
     for (bem::DpcKey key : assembled->missing_keys) {
       if (!refresh.empty()) refresh += ',';
@@ -349,14 +617,11 @@ http::Response DpcProxy::Handle(const http::Request& request) {
     }
     DYNAPROX_LOG(kInfo, "dpc")
         << "cold-cache recovery for keys [" << refresh << "]";
-    upstream_request = request;
-    if (options_.proxy_headers) {
-      StripHopByHop(upstream_request.headers);
-      AppendVia(upstream_request.headers, options_.via_token);
-    }
+    upstream_request = prepare_upstream(request);
     upstream_request.headers.Set(bem::kRefreshHeader, refresh);
   }
-  Bump(counters_.template_errors);
+  instruments_.template_errors->Increment();
+  *outcome = "recovery_failed";
   return http::Response::MakeError(502, "Bad Gateway",
                                    "unrecoverable missing fragments");
 }

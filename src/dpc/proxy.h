@@ -1,13 +1,15 @@
 #ifndef DYNAPROX_DPC_PROXY_H_
 #define DYNAPROX_DPC_PROXY_H_
 
-#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
 
 #include "bem/protocol.h"
+#include "common/access_log.h"
+#include "common/clock.h"
+#include "common/metrics.h"
 #include "common/result.h"
 #include "dpc/assembler.h"
 #include "dpc/fragment_store.h"
@@ -61,13 +63,24 @@ struct ProxyOptions {
   // status_path instead of forwarding it upstream.
   bool enable_status = false;
   std::string status_path = "/_dynaprox/status";
+  // Serve the Prometheus text exposition (docs/observability.md) at
+  // metrics_path instead of forwarding it upstream.
+  bool enable_metrics = false;
+  std::string metrics_path = "/_dynaprox/metrics";
+  // Structured JSON access log, one line per proxied request. Not owned;
+  // may be null; must outlive the proxy when set.
+  AccessLogger* access_log = nullptr;
+  // Time source for latency histograms and log timestamps; defaults to
+  // SystemClock. Not owned; must outlive the proxy when set.
+  const Clock* clock = nullptr;
   // When the upstream transport is pooled, exposes the pool's gauges in
-  // the status document (docs/upstream-pooling.md). Not owned; may be
-  // null; must outlive the proxy when set.
+  // the status document and metric exposition
+  // (docs/upstream-pooling.md). Not owned; may be null; must outlive the
+  // proxy when set.
   const net::ConnectionPool* upstream_pool = nullptr;
   // When the origin link is guarded by a net::CircuitBreakerTransport,
-  // exposes the breaker's state in the status document. Not owned; may be
-  // null; must outlive the proxy when set.
+  // exposes the breaker's state in the status document and metric
+  // exposition. Not owned; may be null; must outlive the proxy when set.
   const net::CircuitBreaker* upstream_breaker = nullptr;
   // Standard intermediary behaviour: strip hop-by-hop request headers
   // before forwarding and append Via on both legs. Off by default so the
@@ -100,7 +113,11 @@ struct ProxyStats {
 // Thread-safe: requests may be served from many connection threads. The
 // upstream transport must be safe for concurrent RoundTrip calls (or each
 // thread must use its own proxy-to-origin connection). Serving counters
-// are relaxed atomics — the hot path takes no stats lock.
+// and latency histograms live in a metrics::Registry of relaxed atomics —
+// the hot path takes no stats lock. Every request is tagged with an
+// X-DPC-Request-Id (minted here unless the client sent one) that is
+// forwarded upstream and echoed to the client, so the DPC's and origin's
+// access-log lines join on it (docs/observability.md).
 class DpcProxy {
  public:
   // `upstream` carries requests to the origin site and must outlive the
@@ -129,25 +146,41 @@ class DpcProxy {
   const StalePageCache* stale_cache() const { return stale_cache_.get(); }
   // Snapshot of the serving counters.
   ProxyStats stats() const;
+  // Every proxy metric (counters + per-stage latency histograms); what
+  // the metrics endpoint renders.
+  const metrics::Registry& metrics_registry() const { return registry_; }
 
  private:
-  // Relaxed atomics behind the ProxyStats snapshot; one field per counter.
-  struct Counters {
-    std::atomic<uint64_t> requests{0};
-    std::atomic<uint64_t> passthrough{0};
-    std::atomic<uint64_t> assembled{0};
-    std::atomic<uint64_t> recoveries{0};
-    std::atomic<uint64_t> upstream_errors{0};
-    std::atomic<uint64_t> template_errors{0};
-    std::atomic<uint64_t> static_hits{0};
-    std::atomic<uint64_t> static_revalidations{0};
-    std::atomic<uint64_t> stale_served{0};
-    std::atomic<uint64_t> breaker_rejections{0};
-    std::atomic<uint64_t> degraded_503s{0};
-    std::atomic<uint64_t> bytes_from_upstream{0};
-    std::atomic<uint64_t> bytes_to_clients{0};
+  // Registry-backed handles, resolved once at construction; increments
+  // are relaxed-atomic (no lock on the serving path).
+  struct Instruments {
+    metrics::Counter* requests;
+    metrics::Counter* passthrough;
+    metrics::Counter* assembled;
+    metrics::Counter* recoveries;
+    metrics::Counter* upstream_errors;
+    metrics::Counter* template_errors;
+    metrics::Counter* static_hits;
+    metrics::Counter* static_revalidations;
+    metrics::Counter* stale_served;
+    metrics::Counter* breaker_rejections;
+    metrics::Counter* degraded_503s;
+    metrics::Counter* bytes_from_upstream;
+    metrics::Counter* bytes_to_clients;
+    metrics::LatencyHistogram* request_duration;
+    metrics::LatencyHistogram* upstream_fetch_duration;
+    metrics::LatencyHistogram* scan_duration;
+    metrics::LatencyHistogram* splice_duration;
   };
 
+  void RegisterMetrics();
+
+  // The proxying path proper (everything except the local status/metrics
+  // endpoints); `outcome` receives the serving decision for the access
+  // log.
+  http::Response HandleProxied(const http::Request& request,
+                               const std::string& request_id,
+                               const char** outcome);
   http::Response BuildAssembledResponse(const http::Request& request,
                                         const http::Response& upstream,
                                         AssembledPage page);
@@ -155,7 +188,8 @@ class DpcProxy {
   // exists, else 503 + Retry-After (or the legacy 502 when serve-stale is
   // off and the failure wasn't a breaker rejection).
   http::Response ServeDegraded(const http::Request& request,
-                               const Status& failure, bool breaker_rejected);
+                               const Status& failure, bool breaker_rejected,
+                               const char** outcome);
   // Stale copy of `url` from the page cache or the static cache, marked
   // with Warning/Age; accounts stale_served and client bytes.
   std::optional<http::Response> LookupAnyStale(const std::string& url);
@@ -163,10 +197,13 @@ class DpcProxy {
 
   net::Transport* upstream_;
   ProxyOptions options_;
+  const Clock* clock_;
   FragmentStore store_;
   std::unique_ptr<StaticCache> static_cache_;     // Null when disabled.
   std::unique_ptr<StalePageCache> stale_cache_;   // Null when disabled.
-  Counters counters_;
+  metrics::Registry registry_;
+  Instruments instruments_;
+  RequestIdGenerator request_ids_;
 };
 
 }  // namespace dynaprox::dpc

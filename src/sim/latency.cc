@@ -61,10 +61,15 @@ double ExpectedSpeedup(const LatencyParams& latency,
          ExpectedResponseTimeWithCacheMs(latency, params);
 }
 
-LatencyDistributions SampleResponseTimes(
-    const LatencyParams& latency, const analytical::ModelParams& params,
-    int requests, uint64_t seed) {
-  LatencyDistributions out;
+namespace {
+
+// The sampling loop behind both SampleResponseTimes variants; `record`
+// receives (no_cache_ms, with_cache_ms) per simulated request.
+template <typename RecordFn>
+void SampleResponseTimesImpl(const LatencyParams& latency,
+                             const analytical::ModelParams& params,
+                             int requests, uint64_t seed,
+                             RecordFn&& record) {
   Rng rng(seed);
   analytical::SiteSpec site = analytical::SiteSpec::Uniform(params);
   double common = CommonMs(latency, params);
@@ -102,10 +107,35 @@ LatencyDistributions SampleResponseTimes(
     with_cache += TransferMs(template_bytes, latency.lan_bytes_per_ms) +
                   2.0 * ScanMs(latency, template_bytes);
 
-    out.no_cache_ms.Record(no_cache);
-    out.with_cache_ms.Record(with_cache);
+    record(no_cache, with_cache);
   }
+}
+
+}  // namespace
+
+LatencyDistributions SampleResponseTimes(
+    const LatencyParams& latency, const analytical::ModelParams& params,
+    int requests, uint64_t seed) {
+  LatencyDistributions out;
+  SampleResponseTimesImpl(latency, params, requests, seed,
+                          [&out](double no_cache, double with_cache) {
+                            out.no_cache_ms.Record(no_cache);
+                            out.with_cache_ms.Record(with_cache);
+                          });
   return out;
+}
+
+void SampleResponseTimesInto(const LatencyParams& latency,
+                             const analytical::ModelParams& params,
+                             int requests, uint64_t seed,
+                             metrics::LatencyHistogram* no_cache_ms,
+                             metrics::LatencyHistogram* with_cache_ms) {
+  SampleResponseTimesImpl(
+      latency, params, requests, seed,
+      [no_cache_ms, with_cache_ms](double no_cache, double with_cache) {
+        if (no_cache_ms != nullptr) no_cache_ms->Observe(no_cache);
+        if (with_cache_ms != nullptr) with_cache_ms->Observe(with_cache);
+      });
 }
 
 }  // namespace dynaprox::sim

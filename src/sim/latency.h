@@ -3,6 +3,7 @@
 
 #include "analytical/model.h"
 #include "common/histogram.h"
+#include "common/metrics.h"
 #include "common/rng.h"
 
 namespace dynaprox::sim {
@@ -71,6 +72,17 @@ struct LatencyDistributions {
 LatencyDistributions SampleResponseTimes(
     const LatencyParams& latency, const analytical::ModelParams& params,
     int requests, uint64_t seed);
+
+// Same sampling loop, observing into bucketed metrics histograms (in
+// milliseconds) instead of sample-keeping ones — benches that report
+// through the shared metrics::LatencyHistogram pipeline use this, so
+// their percentiles are computed the same way a scraped
+// dynaprox_*_duration_seconds quantile is. Either pointer may be null.
+void SampleResponseTimesInto(const LatencyParams& latency,
+                             const analytical::ModelParams& params,
+                             int requests, uint64_t seed,
+                             metrics::LatencyHistogram* no_cache_ms,
+                             metrics::LatencyHistogram* with_cache_ms);
 
 }  // namespace dynaprox::sim
 

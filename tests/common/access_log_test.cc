@@ -1,0 +1,132 @@
+#include "common/access_log.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+namespace dynaprox {
+namespace {
+
+TEST(RequestIdGeneratorTest, FixedPrefixIsDeterministic) {
+  RequestIdGenerator ids(0xabcd);
+  EXPECT_EQ(ids.Next(), "abcd-1");
+  EXPECT_EQ(ids.Next(), "abcd-2");
+}
+
+TEST(RequestIdGeneratorTest, DefaultPrefixDiffersAcrossGenerators) {
+  RequestIdGenerator a;
+  RequestIdGenerator b;
+  std::string id_a = a.Next();
+  std::string id_b = b.Next();
+  EXPECT_NE(id_a.substr(0, id_a.find('-')),
+            id_b.substr(0, id_b.find('-')));
+}
+
+TEST(RequestIdGeneratorTest, ConcurrentNextNeverRepeats) {
+  RequestIdGenerator ids(1);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::vector<std::string>> minted(kThreads);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) minted[t].push_back(ids.Next());
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  std::set<std::string> unique;
+  for (const auto& batch : minted) unique.insert(batch.begin(), batch.end());
+  EXPECT_EQ(unique.size(),
+            static_cast<size_t>(kThreads) * kPerThread);
+}
+
+TEST(AccessLoggerTest, WritesOneJsonLinePerEntry) {
+  std::ostringstream out;
+  AccessLogger logger(&out);
+  AccessLogEntry entry;
+  entry.timestamp_micros = 1722902400000000;
+  entry.component = "dpc";
+  entry.request_id = "abcd-1";
+  entry.method = "GET";
+  entry.target = "/page?id=3";
+  entry.status = 200;
+  entry.bytes_sent = 4096;
+  entry.duration_micros = 1250;
+  entry.outcome = "assembled";
+  logger.Log(entry);
+  EXPECT_EQ(out.str(),
+            "{\"ts_us\":1722902400000000,\"component\":\"dpc\","
+            "\"id\":\"abcd-1\",\"method\":\"GET\",\"path\":\"/page?id=3\","
+            "\"status\":200,\"bytes\":4096,\"duration_us\":1250,"
+            "\"outcome\":\"assembled\"}\n");
+}
+
+TEST(AccessLoggerTest, ConcurrentLogLinesNeverInterleave) {
+  std::ostringstream out;
+  AccessLogger logger(&out);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      AccessLogEntry entry;
+      entry.component = "dpc";
+      entry.request_id = "t" + std::to_string(t);
+      entry.method = "GET";
+      entry.target = "/x";
+      entry.outcome = "assembled";
+      for (int i = 0; i < kPerThread; ++i) logger.Log(entry);
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  std::istringstream lines(out.str());
+  std::string line;
+  int count = 0;
+  while (std::getline(lines, line)) {
+    ++count;
+    EXPECT_EQ(line.front(), '{') << line;
+    EXPECT_EQ(line.back(), '}') << line;
+  }
+  EXPECT_EQ(count, kThreads * kPerThread);
+}
+
+TEST(AccessLoggerTest, OpenAppendsToFile) {
+  std::string path = ::testing::TempDir() + "/dynaprox_access_log_test.log";
+  std::remove(path.c_str());
+  AccessLogEntry entry;
+  entry.component = "origin";
+  entry.method = "GET";
+  entry.target = "/a";
+  entry.outcome = "page";
+  {
+    Result<std::unique_ptr<AccessLogger>> logger = AccessLogger::Open(path);
+    ASSERT_TRUE(logger.ok()) << logger.status().ToString();
+    (*logger)->Log(entry);
+  }
+  {
+    // A second open must append, not truncate.
+    Result<std::unique_ptr<AccessLogger>> logger = AccessLogger::Open(path);
+    ASSERT_TRUE(logger.ok()) << logger.status().ToString();
+    (*logger)->Log(entry);
+  }
+  std::ifstream in(path);
+  int count = 0;
+  std::string line;
+  while (std::getline(in, line)) ++count;
+  EXPECT_EQ(count, 2);
+  std::remove(path.c_str());
+}
+
+TEST(AccessLoggerTest, OpenFailsOnUnwritablePath) {
+  Result<std::unique_ptr<AccessLogger>> logger =
+      AccessLogger::Open("/nonexistent-dir/x/y/z.log");
+  EXPECT_FALSE(logger.ok());
+}
+
+}  // namespace
+}  // namespace dynaprox

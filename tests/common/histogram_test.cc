@@ -50,6 +50,56 @@ TEST(HistogramTest, ClearResets) {
   EXPECT_EQ(h.mean(), 0);
 }
 
+TEST(HistogramTest, MergeAbsorbsAllSamples) {
+  Histogram a;
+  Histogram b;
+  for (double v : {1.0, 2.0, 3.0}) a.Record(v);
+  for (double v : {10.0, 20.0}) b.Record(v);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 5u);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 20.0);
+  EXPECT_DOUBLE_EQ(a.mean(), 36.0 / 5);
+  // The source is untouched.
+  EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(HistogramTest, MergeEmptyIsNoOp) {
+  Histogram a;
+  a.Record(4);
+  Histogram empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.Percentile(0.5), 4.0);
+}
+
+TEST(HistogramTest, SelfMergeDoublesEverySample) {
+  // Inserting a container's own range into itself invalidates the source
+  // iterators mid-copy; Merge must handle &other == this explicitly.
+  Histogram h;
+  for (double v : {1.0, 2.0, 3.0}) h.Record(v);
+  h.Merge(h);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 3.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 2.0);
+}
+
+TEST(HistogramTest, MergeAfterQueryResorts) {
+  Histogram a;
+  a.Record(5);
+  EXPECT_DOUBLE_EQ(a.Percentile(0.5), 5.0);  // Forces the sorted state.
+  Histogram b;
+  b.Record(1);
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 5.0);
+}
+
 TEST(HistogramTest, OutOfRangeQuantileClamped) {
   Histogram h;
   h.Record(3);

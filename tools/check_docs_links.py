@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Docs lint: intra-repo markdown links and documented CLI flags.
+
+Checks, over README.md, DESIGN.md, ROADMAP.md, and docs/*.md:
+
+1. Every relative markdown link `[text](path)` resolves to a file or
+   directory in the repo (anchors and external http/mailto links are
+   skipped).
+2. Every `--flag` a doc mentions exists in some tools/*.cc — i.e. is
+   parsed via Flags::Get{Int,Double,Bool,String}("flag", ...) — so the
+   operator docs can't drift from the binaries. Flags that belong to
+   other ecosystems (ctest, cmake, git) live in ALLOWED_FOREIGN_FLAGS.
+
+Run from anywhere: paths are resolved relative to the repo root (the
+parent of this script's directory). Exits non-zero listing every
+violation; wired into CTest as `docs_link_check`.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+DOC_FILES = sorted(
+    [
+        *(REPO_ROOT / "docs").glob("*.md"),
+        REPO_ROOT / "README.md",
+        REPO_ROOT / "DESIGN.md",
+        REPO_ROOT / "ROADMAP.md",
+    ]
+)
+
+# Flags that docs legitimately mention but that are not dynaprox tool
+# flags (build/test tooling examples in README etc.).
+ALLOWED_FOREIGN_FLAGS = {
+    "output-on-failure",  # ctest
+    "test-dir",           # ctest
+    "build",              # cmake --build
+    "target",             # cmake --target
+    "parallel",           # cmake --parallel
+}
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+FLAG_RE = re.compile(r"--([a-z][a-z0-9-]*)")
+# Flags::GetInt("name", ...) / GetDouble / GetBool / GetString.
+FLAG_DEF_RE = re.compile(r'Get(?:Int|Double|Bool|String)\("([a-z0-9-]+)"')
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def known_tool_flags() -> set:
+    flags = set()
+    for source in (REPO_ROOT / "tools").glob("*.cc"):
+        flags.update(FLAG_DEF_RE.findall(source.read_text()))
+    return flags
+
+
+def check_file(doc: Path, tool_flags: set) -> list:
+    errors = []
+    text = doc.read_text()
+
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        path = target.split("#", 1)[0]
+        if not path:
+            continue
+        resolved = (doc.parent / path).resolve()
+        if not resolved.exists():
+            errors.append(f"{doc.relative_to(REPO_ROOT)}: broken link "
+                          f"'{target}' -> {resolved}")
+
+    for flag in sorted(set(FLAG_RE.findall(text))):
+        if flag in tool_flags or flag in ALLOWED_FOREIGN_FLAGS:
+            continue
+        errors.append(f"{doc.relative_to(REPO_ROOT)}: documented flag "
+                      f"'--{flag}' is parsed by no tools/*.cc")
+    return errors
+
+
+def main() -> int:
+    tool_flags = known_tool_flags()
+    if not tool_flags:
+        print("check_docs_links: found no flags in tools/*.cc "
+              "(wrong repo root?)", file=sys.stderr)
+        return 2
+
+    errors = []
+    checked = 0
+    for doc in DOC_FILES:
+        if not doc.exists():
+            errors.append(f"expected doc missing: "
+                          f"{doc.relative_to(REPO_ROOT)}")
+            continue
+        checked += 1
+        errors.extend(check_file(doc, tool_flags))
+
+    if errors:
+        for error in errors:
+            print(error, file=sys.stderr)
+        print(f"check_docs_links: {len(errors)} problem(s) in {checked} "
+              f"file(s)", file=sys.stderr)
+        return 1
+    print(f"check_docs_links: {checked} files OK "
+          f"({len(tool_flags)} tool flags known)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

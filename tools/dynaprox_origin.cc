@@ -6,8 +6,13 @@
 //   ./dynaprox_origin --port=8081 --pages=10 --fragments=4
 //       --fragment-size=1000 --hit-ratio=0.8 [--no-bem] [--capacity=4096]
 //       [--sweep-interval-ms=1000] [--server=threads|epoll] [--workers=4]
+//       [--metrics=true] [--access-log=PATH]
 //
-// A JSON status document is served at /_dynaprox/status.
+// A JSON status document is served at /_dynaprox/status and (unless
+// --metrics=false) the Prometheus text exposition at /_dynaprox/metrics.
+// --access-log=PATH appends one JSON line per request ("-" = stderr);
+// lines carry the X-DPC-Request-Id the proxy forwarded, so they join the
+// DPC's lines (docs/observability.md).
 // Runs until EOF on stdin (or forever when stdin is closed).
 
 #include <cstdio>
@@ -18,6 +23,7 @@
 #include "appserver/script_registry.h"
 #include "bem/monitor.h"
 #include "bem/sweeper.h"
+#include "common/access_log.h"
 #include "common/flags.h"
 #include "net/epoll_server.h"
 #include "net/tcp.h"
@@ -91,10 +97,24 @@ int main(int argc, char** argv) {
     }
   }
 
+  std::unique_ptr<AccessLogger> access_log;
+  if (std::string log_path = flags->GetString("access-log", "");
+      !log_path.empty()) {
+    Result<std::unique_ptr<AccessLogger>> opened =
+        AccessLogger::Open(log_path);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "%s\n", opened.status().ToString().c_str());
+      return 2;
+    }
+    access_log = std::move(*opened);
+  }
+
   appserver::OriginOptions origin_options;
   origin_options.pad_headers_to_bytes =
       static_cast<size_t>(params.header_size);
   origin_options.enable_status = true;
+  origin_options.enable_metrics = flags->GetBool("metrics", true);
+  origin_options.access_log = access_log.get();
   appserver::OriginServer origin(&registry, &repository, monitor.get(),
                                  origin_options);
 

@@ -9,11 +9,17 @@
 //       [--breaker] [--breaker-window=32] [--breaker-error-threshold=0.5]
 //       [--breaker-cooldown-ms=1000]
 //       [--serve-stale] [--stale-capacity=256] [--max-stale-sec=0]
+//       [--metrics=true] [--access-log=PATH]
 //
 // --breaker puts a circuit breaker on the origin link so a dead origin
 // fast-fails instead of eating a dial timeout per request; --serve-stale
 // answers failed GETs from the last assembled copy of the page
 // (docs/failure-modes.md).
+//
+// A JSON status document is served at /_dynaprox/status and (unless
+// --metrics=false) the Prometheus text exposition at /_dynaprox/metrics.
+// --access-log=PATH appends one JSON line per proxied request ("-" =
+// stderr); see docs/observability.md for the field reference.
 //
 // Runs until EOF on stdin.
 
@@ -22,6 +28,7 @@
 #include <unistd.h>
 
 #include "bem/protocol.h"
+#include "common/access_log.h"
 #include "common/flags.h"
 #include "dpc/proxy.h"
 #include "net/circuit_breaker.h"
@@ -64,6 +71,18 @@ int main(int argc, char** argv) {
   bool enable_breaker = flags->GetBool("breaker");
   bool serve_stale = flags->GetBool("serve-stale");
 
+  std::unique_ptr<AccessLogger> access_log;
+  if (std::string log_path = flags->GetString("access-log", "");
+      !log_path.empty()) {
+    Result<std::unique_ptr<AccessLogger>> opened =
+        AccessLogger::Open(log_path);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "%s\n", opened.status().ToString().c_str());
+      return 2;
+    }
+    access_log = std::move(*opened);
+  }
+
   net::PooledTransportOptions upstream_options;
   upstream_options.pool.max_connections = static_cast<int>(*pool_size);
   // A refreshed GET invalidates fragments at the BEM; never re-send one
@@ -93,6 +112,8 @@ int main(int argc, char** argv) {
   options.add_debug_header = flags->GetBool("debug");
   options.enable_static_cache = flags->GetBool("static-cache");
   options.enable_status = true;
+  options.enable_metrics = flags->GetBool("metrics", true);
+  options.access_log = access_log.get();
   options.upstream_pool = &upstream.pool();
   options.serve_stale = serve_stale;
   options.stale_cache.capacity = static_cast<size_t>(*stale_capacity);
