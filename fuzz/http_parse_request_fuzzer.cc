@@ -1,0 +1,31 @@
+// libFuzzer entry point for the HTTP request parser: the bytes a hostile
+// client can put on the wire. Exercises both the one-shot ParseRequest and
+// the incremental MessageReader (with byte caps armed), feeding the latter
+// in two chunks so partial-message states are reached.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "http/parser.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view wire(reinterpret_cast<const char*>(data), size);
+
+  // One-shot parse: must return ok or a clean error, never crash.
+  (void)dynaprox::http::ParseRequest(wire);
+
+  // Incremental parse with hostile-input caps, split mid-stream.
+  dynaprox::http::RequestReader reader;
+  reader.set_limits({/*max_header_bytes=*/4096, /*max_body_bytes=*/16384});
+  size_t split = size / 2;
+  reader.Feed(wire.substr(0, split));
+  while (auto next = reader.Next()) {
+    if (!next->ok()) break;
+  }
+  reader.Feed(wire.substr(split));
+  while (auto next = reader.Next()) {
+    if (!next->ok()) break;
+  }
+  return 0;
+}

@@ -1,0 +1,21 @@
+// libFuzzer entry point for the BEM template grammar: the bytes a
+// compromised origin can send where SET/GET tags are expected. Both scan
+// strategies must agree on accept/reject and never crash.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "dpc/tag_scanner.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view wire(reinterpret_cast<const char*>(data), size);
+  auto memchr_parse =
+      dynaprox::dpc::ParseTemplate(wire, dynaprox::dpc::ScanStrategy::kMemchr);
+  auto loop_parse = dynaprox::dpc::ParseTemplate(
+      wire, dynaprox::dpc::ScanStrategy::kByteLoop);
+  // The ablation strategy is an implementation detail; acceptance must not
+  // depend on it.
+  if (memchr_parse.ok() != loop_parse.ok()) __builtin_trap();
+  return 0;
+}

@@ -4,6 +4,7 @@
 #include "common/json.h"
 #include "common/logging.h"
 #include "common/strings.h"
+#include "net/server_limits.h"
 
 namespace dynaprox::appserver {
 
@@ -86,6 +87,11 @@ void OriginServer::RegisterMetrics() {
         "dynaprox_bem_directory_evictions_total",
         "Valid entries evicted for key reuse.",
         [monitor] { return monitor->stats().evictions; });
+  }
+
+  if (options_.ingress != nullptr) {
+    net::RegisterIngressMetrics(registry_mx_, "dynaprox_origin_",
+                                options_.ingress);
   }
 }
 
@@ -181,6 +187,9 @@ http::Response OriginServer::RenderStatus() const {
     }
     json.EndArray();
     json.EndObject();
+  }
+  if (options_.ingress != nullptr) {
+    net::WriteIngressStatusBlock(json, *options_.ingress);
   }
   json.EndObject();
   return http::Response::MakeOk(json.TakeString(), "application/json");

@@ -15,6 +15,10 @@
 #include "net/transport.h"
 #include "storage/table.h"
 
+namespace dynaprox::net {
+struct IngressCounters;
+}
+
 namespace dynaprox::appserver {
 
 struct OriginOptions {
@@ -35,6 +39,10 @@ struct OriginOptions {
   // Time source for latency histograms and log timestamps; defaults to
   // SystemClock. Not owned; must outlive the server when set.
   const Clock* clock = nullptr;
+  // When the hosting server enforces net::ServerLimits, exposes its
+  // ingress gauges/violation counters in the status document and metric
+  // exposition. Not owned; may be null; must outlive the server when set.
+  const net::IngressCounters* ingress = nullptr;
 };
 
 struct OriginStats {

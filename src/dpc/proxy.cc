@@ -5,6 +5,7 @@
 #include "common/strings.h"
 #include "net/circuit_breaker.h"
 #include "net/connection_pool.h"
+#include "net/server_limits.h"
 
 namespace dynaprox::dpc {
 namespace {
@@ -152,6 +153,10 @@ void DpcProxy::RegisterMetrics() {
         "dynaprox_upstream_breaker_window_error_rate",
         "Error rate over the current rolling window.",
         [breaker] { return breaker->stats().window_error_rate; });
+  }
+
+  if (options_.ingress != nullptr) {
+    net::RegisterIngressMetrics(registry_, "dynaprox_", options_.ingress);
   }
 
   if (stale_cache_ != nullptr) {
@@ -418,6 +423,9 @@ http::Response DpcProxy::RenderStatus() const {
                                : pool.wait_micros.max());
     json.EndObject();
     json.EndObject();
+  }
+  if (options_.ingress != nullptr) {
+    net::WriteIngressStatusBlock(json, *options_.ingress);
   }
   if (static_cache_ != nullptr) {
     StaticCacheStats static_stats = static_cache_->stats();

@@ -20,6 +20,7 @@
 namespace dynaprox::net {
 class ConnectionPool;
 class CircuitBreaker;
+struct IngressCounters;
 }
 
 namespace dynaprox::dpc {
@@ -82,6 +83,10 @@ struct ProxyOptions {
   // exposes the breaker's state in the status document and metric
   // exposition. Not owned; may be null; must outlive the proxy when set.
   const net::CircuitBreaker* upstream_breaker = nullptr;
+  // When the hosting server enforces net::ServerLimits, exposes its
+  // ingress gauges/violation counters in the status document and metric
+  // exposition. Not owned; may be null; must outlive the proxy when set.
+  const net::IngressCounters* ingress = nullptr;
   // Standard intermediary behaviour: strip hop-by-hop request headers
   // before forwarding and append Via on both legs. Off by default so the
   // byte-accounting experiments measure exactly the modeled payloads.

@@ -206,12 +206,40 @@ void MessageReader<Message>::Feed(std::string_view bytes) {
 }
 
 template <typename Message>
+Result<Message> MessageReader<Message>::FailLimit(LimitViolation violation,
+                                                  std::string message) {
+  failed_ = true;
+  violation_ = violation;
+  buffer_.clear();  // The stream is dead; don't hold the hostile bytes.
+  return Result<Message>(Status::CapacityExceeded(std::move(message)));
+}
+
+template <typename Message>
 std::optional<Result<Message>> MessageReader<Message>::Next() {
   if (failed_) {
     return Result<Message>(Status::Corruption("reader in failed state"));
   }
   size_t header_end = FindHeaderEnd(buffer_);
-  if (header_end == std::string::npos) return std::nullopt;
+  if (header_end == std::string::npos) {
+    // An endless header section must not grow the buffer without bound:
+    // once more than the cap is buffered with no terminator in sight, the
+    // stream can never produce an acceptable message.
+    if (limits_.max_header_bytes != 0 &&
+        buffer_.size() > limits_.max_header_bytes) {
+      return FailLimit(
+          LimitViolation::kHeaderBytes,
+          "header section exceeds " +
+              std::to_string(limits_.max_header_bytes) + " bytes");
+    }
+    return std::nullopt;
+  }
+  if (limits_.max_header_bytes != 0 &&
+      header_end > limits_.max_header_bytes) {
+    return FailLimit(LimitViolation::kHeaderBytes,
+                     "header section of " + std::to_string(header_end) +
+                         " bytes exceeds " +
+                         std::to_string(limits_.max_header_bytes));
+  }
 
   Message message;
   Status head_status;
@@ -234,6 +262,19 @@ std::optional<Result<Message>> MessageReader<Message>::Next() {
       failed_ = true;
       return Result<Message>(complete.status());
     }
+    if (limits_.max_body_bytes != 0) {
+      // Complete bodies are checked exactly; an incomplete body is cut
+      // off once the raw buffered encoding (body plus framing) can no
+      // longer decode to an under-cap payload.
+      size_t encoded = buffer_.size() - header_end - 4;
+      if (message.body.size() > limits_.max_body_bytes ||
+          (!*complete && encoded > limits_.max_body_bytes + 1024)) {
+        return FailLimit(LimitViolation::kBodyBytes,
+                         "chunked body exceeds " +
+                             std::to_string(limits_.max_body_bytes) +
+                             " bytes");
+      }
+    }
     if (!*complete) return std::nullopt;  // Await more bytes.
     Dechunk(message.headers, message.body.size());
     buffer_.erase(0, header_end + 4 + consumed);
@@ -244,6 +285,16 @@ std::optional<Result<Message>> MessageReader<Message>::Next() {
   if (!body_length.ok()) {
     failed_ = true;
     return Result<Message>(body_length.status());
+  }
+  // Reject an over-cap declaration before buffering the body: a single
+  // "Content-Length: 999999999999" must not commit the reader to
+  // gigabytes of allocation.
+  if (limits_.max_body_bytes != 0 &&
+      *body_length > limits_.max_body_bytes) {
+    return FailLimit(LimitViolation::kBodyBytes,
+                     "declared Content-Length " +
+                         std::to_string(*body_length) + " exceeds " +
+                         std::to_string(limits_.max_body_bytes));
   }
   size_t total = header_end + 4 + *body_length;
   if (buffer_.size() < total) return std::nullopt;

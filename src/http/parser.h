@@ -33,23 +33,47 @@ std::string SerializeChunked(const Response& response, size_t chunk_size);
 // Next() returns std::nullopt when more bytes are needed; a Result carrying
 // an error Status when the stream is corrupt (the reader then stays in the
 // error state); and a parsed message otherwise.
+//
+// Optional byte caps (set_limits) bound the reader's memory against
+// hostile peers: a header section that exceeds the header cap — whether
+// terminated or still streaming — and a declared Content-Length (or
+// accumulating chunked body) over the body cap both fail the stream with
+// CapacityExceeded *before* the body is buffered. limit_violation() says
+// which cap tripped so servers can answer 431 vs 413.
 template <typename Message>
 class MessageReader {
  public:
+  struct Limits {
+    size_t max_header_bytes = 0;  // 0 = unlimited.
+    size_t max_body_bytes = 0;    // 0 = unlimited.
+  };
+
+  enum class LimitViolation { kNone, kHeaderBytes, kBodyBytes };
+
   // Appends raw bytes received from the transport.
   void Feed(std::string_view bytes);
 
   // Attempts to extract the next complete message. See class comment.
   std::optional<Result<Message>> Next();
 
+  // Byte caps checked by Next(); set before feeding.
+  void set_limits(Limits limits) { limits_ = limits; }
+
   // Bytes currently buffered and not yet consumed by Next().
   size_t buffered_bytes() const { return buffer_.size(); }
 
   bool failed() const { return failed_; }
 
+  // Which cap (if any) put the reader into the failed state.
+  LimitViolation limit_violation() const { return violation_; }
+
  private:
+  Result<Message> FailLimit(LimitViolation violation, std::string message);
+
   std::string buffer_;
+  Limits limits_;
   bool failed_ = false;
+  LimitViolation violation_ = LimitViolation::kNone;
 };
 
 using RequestReader = MessageReader<Request>;

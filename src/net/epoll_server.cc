@@ -10,9 +10,12 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <map>
+#include <vector>
 
+#include "common/clock.h"
 #include "common/logging.h"
 #include "common/strings.h"
 #include "http/parser.h"
@@ -32,6 +35,12 @@ Status SetNonBlocking(int fd) {
   return Status::Ok();
 }
 
+constexpr auto kRelaxed = std::memory_order_relaxed;
+
+// epoll_wait timeout used when any deadline limit is configured (or a
+// drain is in progress); otherwise the loop blocks indefinitely as before.
+constexpr int kDeadlineTickMs = 25;
+
 }  // namespace
 
 // One event loop: owns an epoll instance and every connection accepted on
@@ -42,7 +51,12 @@ class EpollServer::Worker {
       : server_(server), listen_fd_(listen_fd) {}
 
   ~Worker() {
-    for (auto& [fd, conn] : connections_) ::close(fd);
+    for (auto& [fd, conn] : connections_) {
+      server_->live_connections_.fetch_sub(1, kRelaxed);
+      server_->counters_->open_connections.fetch_sub(1, kRelaxed);
+      ::close(fd);
+    }
+    if (drain_fd_ >= 0) ::close(drain_fd_);
     if (stop_fd_ >= 0) ::close(stop_fd_);
     if (epoll_fd_ >= 0) ::close(epoll_fd_);
   }
@@ -52,6 +66,8 @@ class EpollServer::Worker {
     if (epoll_fd_ < 0) return Errno("epoll_create1");
     stop_fd_ = ::eventfd(0, EFD_NONBLOCK);
     if (stop_fd_ < 0) return Errno("eventfd");
+    drain_fd_ = ::eventfd(0, EFD_NONBLOCK);
+    if (drain_fd_ < 0) return Errno("eventfd");
 
     epoll_event listen_event{};
     listen_event.events = EPOLLIN | EPOLLEXCLUSIVE;
@@ -66,6 +82,12 @@ class EpollServer::Worker {
     if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, stop_fd_, &stop_event) < 0) {
       return Errno("epoll_ctl(stop)");
     }
+    epoll_event drain_event{};
+    drain_event.events = EPOLLIN;
+    drain_event.data.fd = drain_fd_;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, drain_fd_, &drain_event) < 0) {
+      return Errno("epoll_ctl(drain)");
+    }
     return Status::Ok();
   }
 
@@ -75,11 +97,22 @@ class EpollServer::Worker {
     (void)n;
   }
 
+  void RequestDrain() {
+    uint64_t one = 1;
+    ssize_t n = ::write(drain_fd_, &one, sizeof(one));
+    (void)n;
+  }
+
   void Run() {
     constexpr int kMaxEvents = 64;
     epoll_event events[kMaxEvents];
+    const ServerLimits& limits = server_->limits_;
+    const bool timed = limits.header_timeout_micros > 0 ||
+                       limits.idle_timeout_micros > 0 ||
+                       limits.write_stall_micros > 0;
     for (;;) {
-      int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, -1);
+      int timeout_ms = (timed || draining_) ? kDeadlineTickMs : -1;
+      int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, timeout_ms);
       if (n < 0) {
         if (errno == EINTR) continue;
         break;
@@ -87,12 +120,18 @@ class EpollServer::Worker {
       for (int i = 0; i < n; ++i) {
         int fd = events[i].data.fd;
         if (fd == stop_fd_) return;
+        if (fd == drain_fd_) {
+          BeginDrain();
+          continue;
+        }
         if (fd == listen_fd_) {
           AcceptReady();
         } else {
           OnConnectionEvent(fd, events[i].events);
         }
       }
+      if (timed) SweepDeadlines();
+      if (draining_ && connections_.empty()) return;
     }
   }
 
@@ -103,6 +142,12 @@ class EpollServer::Worker {
     size_t out_offset = 0;
     bool want_write = false;  // EPOLLOUT armed.
     bool close_after_flush = false;
+    bool served_during_drain = false;
+    // 0 = no request in progress; otherwise when its first bytes arrived.
+    MicroTime read_start = 0;
+    MicroTime last_activity = 0;
+    // 0 = nothing pending; otherwise when conn.out started waiting.
+    MicroTime write_start = 0;
   };
 
   void AcceptReady() {
@@ -126,6 +171,15 @@ class EpollServer::Worker {
             << "accept4: " << std::strerror(errno);
         return;
       }
+      IngressCounters& counters = *server_->counters_;
+      const ServerLimits& limits = server_->limits_;
+      if (limits.max_connections > 0 &&
+          server_->live_connections_.load(kRelaxed) >=
+              limits.max_connections) {
+        counters.connection_limit_rejections.fetch_add(1, kRelaxed);
+        ::close(fd);
+        continue;
+      }
       int one = 1;
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
       epoll_event event{};
@@ -135,15 +189,84 @@ class EpollServer::Worker {
         ::close(fd);
         continue;
       }
-      connections_[fd];  // Default-construct state.
+      Connection& conn = connections_[fd];
+      conn.reader.set_limits(
+          {limits.max_header_bytes, limits.max_body_bytes});
+      conn.last_activity = SystemClock::Default()->NowMicros();
       server_->accepted_.fetch_add(1, std::memory_order_relaxed);
+      counters.accepted_total.fetch_add(1, kRelaxed);
+      counters.open_connections.fetch_add(1, kRelaxed);
+      server_->live_connections_.fetch_add(1, kRelaxed);
     }
   }
 
   void CloseConnection(int fd) {
+    auto it = connections_.find(fd);
+    if (it != connections_.end() && it->second.served_during_drain) {
+      server_->counters_->drained_connections.fetch_add(1, kRelaxed);
+    }
     ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
     ::close(fd);
-    connections_.erase(fd);
+    if (connections_.erase(fd) > 0) {
+      server_->counters_->open_connections.fetch_sub(1, kRelaxed);
+      server_->live_connections_.fetch_sub(1, kRelaxed);
+    }
+  }
+
+  // Drain: stop accepting on this loop, reap idle keep-alive connections,
+  // and let busy ones run to completion (their next response closes them).
+  void BeginDrain() {
+    uint64_t value = 0;
+    ssize_t n = ::read(drain_fd_, &value, sizeof(value));
+    (void)n;
+    if (draining_) return;
+    draining_ = true;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+    std::vector<int> idle;
+    for (auto& [fd, conn] : connections_) {
+      const bool busy = !conn.out.empty() ||
+                        conn.reader.buffered_bytes() > 0 ||
+                        conn.read_start != 0;
+      if (!busy) {
+        idle.push_back(fd);
+      } else if (!conn.out.empty()) {
+        // Response already queued: close once it flushes. A connection
+        // mid-request instead closes after its response is dispatched
+        // (the draining_ check in OnConnectionEvent).
+        conn.close_after_flush = true;
+      }
+    }
+    for (int fd : idle) CloseConnection(fd);
+  }
+
+  // Enforces the header, idle, and write-stall deadlines across this
+  // loop's connections. Runs at most every kDeadlineTickMs.
+  void SweepDeadlines() {
+    const ServerLimits& limits = server_->limits_;
+    const MicroTime now = SystemClock::Default()->NowMicros();
+    std::vector<int> doomed;
+    IngressCounters& counters = *server_->counters_;
+    for (auto& [fd, conn] : connections_) {
+      if (conn.read_start != 0 && limits.header_timeout_micros > 0 &&
+          now - conn.read_start >= limits.header_timeout_micros) {
+        counters.header_timeouts.fetch_add(1, kRelaxed);
+        doomed.push_back(fd);
+        continue;
+      }
+      if (conn.read_start == 0 && limits.idle_timeout_micros > 0 &&
+          conn.out.empty() &&
+          now - conn.last_activity >= limits.idle_timeout_micros) {
+        counters.idle_timeouts.fetch_add(1, kRelaxed);
+        doomed.push_back(fd);
+        continue;
+      }
+      if (conn.write_start != 0 && limits.write_stall_micros > 0 &&
+          now - conn.write_start >= limits.write_stall_micros) {
+        counters.write_stall_closes.fetch_add(1, kRelaxed);
+        doomed.push_back(fd);
+      }
+    }
+    for (int fd : doomed) CloseConnection(fd);
   }
 
   // Flushes as much of conn.out as the socket accepts; rearms EPOLLOUT as
@@ -154,9 +277,13 @@ class EpollServer::Worker {
                          conn.out.size() - conn.out_offset, MSG_NOSIGNAL);
       if (n > 0) {
         conn.out_offset += static_cast<size_t>(n);
+        conn.write_start = 0;  // Progress: restart the stall clock.
         continue;
       }
       if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        if (conn.write_start == 0) {
+          conn.write_start = SystemClock::Default()->NowMicros();
+        }
         if (!conn.want_write) {
           epoll_event event{};
           event.events = EPOLLIN | EPOLLOUT;
@@ -173,6 +300,7 @@ class EpollServer::Worker {
     // Fully flushed.
     conn.out.clear();
     conn.out_offset = 0;
+    conn.write_start = 0;
     if (conn.want_write) {
       epoll_event event{};
       event.events = EPOLLIN;
@@ -202,11 +330,13 @@ class EpollServer::Worker {
     if ((events & EPOLLIN) == 0) return;
 
     bool peer_eof = false;
+    bool got_bytes = false;
     char buf[16 * 1024];
     for (;;) {
       ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
       if (n > 0) {
         conn.reader.Feed(std::string_view(buf, static_cast<size_t>(n)));
+        got_bytes = true;
         continue;
       }
       if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
@@ -221,27 +351,45 @@ class EpollServer::Worker {
       CloseConnection(fd);  // Hard error.
       return;
     }
+    if (got_bytes) {
+      conn.last_activity = SystemClock::Default()->NowMicros();
+      if (conn.read_start == 0) conn.read_start = conn.last_activity;
+    }
 
     // Dispatch every complete request (pipelining supported).
     while (auto next = conn.reader.Next()) {
       if (!next->ok()) {
-        http::Response bad = http::Response::MakeError(
-            400, "Bad Request", next->status().ToString());
+        http::Response bad = ResponseForReaderError(
+            conn.reader.limit_violation(), next->status(),
+            *server_->counters_);
         conn.out += bad.Serialize();
         conn.close_after_flush = true;
         break;
       }
       const http::Request& request = next->value();
-      http::Response response = server_->handler_(request);
+      http::Response response = DispatchAdmitted(
+          server_->handler_, request, server_->limits_,
+          *server_->counters_);
+      if (draining_) {
+        conn.close_after_flush = true;
+        conn.served_during_drain = true;
+      }
       if (auto connection = request.headers.Get("Connection");
           connection.has_value() &&
           EqualsIgnoreCase(*connection, "close")) {
-        response.headers.Set("Connection", "close");
         conn.close_after_flush = true;
+      }
+      if (conn.close_after_flush) {
+        response.headers.Set("Connection", "close");
       }
       conn.out += response.Serialize();
       if (conn.close_after_flush) break;
     }
+    // A leftover partial message keeps the header clock running; a clean
+    // boundary resets it so keep-alive idle time is measured separately.
+    conn.read_start = conn.reader.buffered_bytes() > 0
+                          ? SystemClock::Default()->NowMicros()
+                          : 0;
     if (peer_eof) {
       conn.close_after_flush = true;
       if (Flush(fd, conn)) {
@@ -261,13 +409,19 @@ class EpollServer::Worker {
   int listen_fd_;
   int epoll_fd_ = -1;
   int stop_fd_ = -1;
+  int drain_fd_ = -1;
+  bool draining_ = false;  // Only touched by this worker's thread.
   std::map<int, Connection> connections_;
 };
 
-EpollServer::EpollServer(Handler handler, uint16_t port, int num_workers)
+EpollServer::EpollServer(Handler handler, uint16_t port, int num_workers,
+                         ServerLimits limits)
     : handler_(std::move(handler)),
       port_(port),
-      requested_workers_(num_workers < 1 ? 1 : num_workers) {}
+      requested_workers_(num_workers < 1 ? 1 : num_workers),
+      limits_(limits),
+      counters_(limits.counters != nullptr ? limits.counters
+                                           : &own_counters_) {}
 
 EpollServer::~EpollServer() { Stop(); }
 
@@ -304,6 +458,22 @@ Status EpollServer::Start() {
     threads_.emplace_back([w = worker.get()] { w->Run(); });
   }
   return Status::Ok();
+}
+
+void EpollServer::Stop(MicroTime drain_timeout_micros) {
+  if (drain_timeout_micros <= 0) {
+    Stop();
+    return;
+  }
+  if (!running_.load()) return;
+  for (auto& worker : workers_) worker->RequestDrain();
+  const Clock& clock = *SystemClock::Default();
+  const MicroTime deadline = clock.NowMicros() + drain_timeout_micros;
+  while (clock.NowMicros() < deadline &&
+         live_connections_.load(std::memory_order_relaxed) > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  Stop();
 }
 
 void EpollServer::Stop() {

@@ -7,7 +7,9 @@
 #include <thread>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/result.h"
+#include "net/server_limits.h"
 #include "net/transport.h"
 
 namespace dynaprox::net {
@@ -21,10 +23,15 @@ namespace dynaprox::net {
 // origin-style handlers (fragment generation is CPU work); a handler that
 // blocks on its own upstream I/O (e.g. DpcProxy over a slow origin) stalls
 // one loop — size num_workers accordingly or use TcpServer there.
+// Ingress protection (net/server_limits.h) mirrors TcpServer: connection
+// cap at accept, in-flight shedding, header/idle/write-stall deadlines,
+// request byte caps — all off by default — plus Stop(drain) for a
+// graceful shutdown that finishes in-flight work first.
 class EpollServer {
  public:
   // `port` 0 picks an ephemeral port (see port() after Start()).
-  EpollServer(Handler handler, uint16_t port = 0, int num_workers = 1);
+  EpollServer(Handler handler, uint16_t port = 0, int num_workers = 1,
+              ServerLimits limits = {});
   ~EpollServer();
 
   EpollServer(const EpollServer&) = delete;
@@ -33,8 +40,15 @@ class EpollServer {
   // Binds, listens on 127.0.0.1, and spawns the worker loops.
   Status Start();
 
-  // Stops all loops, closes all connections, joins. Idempotent.
+  // Stops all loops, closes all connections, joins. Aborts in-flight
+  // work. Idempotent.
   void Stop();
+
+  // Graceful drain: every worker deregisters the listener, closes idle
+  // keep-alive connections, and finishes busy ones (responses carry
+  // "Connection: close"). Connections still busy after
+  // `drain_timeout_micros` are cut by the final Stop(). Stop(0) == Stop().
+  void Stop(MicroTime drain_timeout_micros);
 
   uint16_t port() const { return port_; }
   int num_workers() const { return static_cast<int>(workers_.size()); }
@@ -44,15 +58,25 @@ class EpollServer {
     return accepted_.load(std::memory_order_relaxed);
   }
 
+  // Ingress accounting: the ServerLimits::counters the caller supplied,
+  // else an internal instance.
+  const IngressCounters& ingress() const { return *counters_; }
+
  private:
   class Worker;
 
   Handler handler_;
   uint16_t port_;
   int requested_workers_;
+  ServerLimits limits_;
+  IngressCounters own_counters_;
+  IngressCounters* counters_;
   int listen_fd_ = -1;
   std::atomic<bool> running_{false};
   std::atomic<uint64_t> accepted_{0};
+  // This server's open connections, distinct from the (possibly shared)
+  // IngressCounters gauge; Stop(drain) polls it to detect completion.
+  std::atomic<int64_t> live_connections_{0};
   // Set by the first worker that hits EMFILE/ENFILE so the condition is
   // logged once per server, not once per accept round.
   std::atomic<bool> accept_fd_exhaustion_logged_{false};

@@ -3,11 +3,14 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include "common/logging.h"
@@ -21,10 +24,26 @@ namespace {
 
 Status Errno(const char* what) { return ErrnoStatus(what); }
 
+constexpr auto kRelaxed = std::memory_order_relaxed;
+
+// Deadline-check granularity for connections with timing limits. Coarse on
+// purpose: deadlines are hundreds of milliseconds and the tick only runs
+// while a connection is quiet.
+constexpr int kDeadlineTickMs = 25;
+
+// Poll granularity when no timing limits apply. A connection thread still
+// has to notice Stop(drain) while parked on a quiet socket, so the wait
+// can never be unbounded; a coarse tick keeps the idle wakeup cost noise.
+constexpr int kIdleTickMs = 100;
+
 }  // namespace
 
-TcpServer::TcpServer(Handler handler, uint16_t port)
-    : handler_(std::move(handler)), port_(port) {}
+TcpServer::TcpServer(Handler handler, uint16_t port, ServerLimits limits)
+    : handler_(std::move(handler)),
+      port_(port),
+      limits_(limits),
+      counters_(limits.counters != nullptr ? limits.counters
+                                           : &own_counters_) {}
 
 TcpServer::~TcpServer() { Stop(); }
 
@@ -54,6 +73,29 @@ Status TcpServer::Start() {
   running_.store(true);
   accept_thread_ = std::thread(&TcpServer::AcceptLoop, this);
   return Status::Ok();
+}
+
+void TcpServer::Stop(MicroTime drain_timeout_micros) {
+  if (drain_timeout_micros <= 0) {
+    Stop();
+    return;
+  }
+  if (!running_.load()) return;
+  draining_.store(true);
+  // Stop accepting: shutting the listener down unblocks accept() with an
+  // error, which ends AcceptLoop without flipping running_ — connection
+  // threads keep serving what they already have.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  const Clock& clock = *SystemClock::Default();
+  const MicroTime deadline = clock.NowMicros() + drain_timeout_micros;
+  while (clock.NowMicros() < deadline) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (active_fds_.empty()) break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  Stop();
 }
 
 void TcpServer::Stop() {
@@ -86,11 +128,20 @@ void TcpServer::AcceptLoop() {
       if (errno == EINTR) continue;
       break;  // Listener closed by Stop().
     }
+    if (limits_.max_connections > 0 &&
+        counters_->open_connections.load(kRelaxed) >=
+            limits_.max_connections) {
+      counters_->connection_limit_rejections.fetch_add(1, kRelaxed);
+      ::close(fd);
+      continue;
+    }
     std::lock_guard<std::mutex> lock(mu_);
     if (!running_.load()) {
       ::close(fd);
       break;
     }
+    counters_->accepted_total.fetch_add(1, kRelaxed);
+    counters_->open_connections.fetch_add(1, kRelaxed);
     active_fds_.push_back(fd);
     connection_threads_.emplace_back(&TcpServer::ServeConnection, this, fd);
   }
@@ -98,35 +149,94 @@ void TcpServer::AcceptLoop() {
 
 void TcpServer::ServeConnection(int fd) {
   http::RequestReader reader;
+  reader.set_limits({limits_.max_header_bytes, limits_.max_body_bytes});
+  if (limits_.write_stall_micros > 0) {
+    // A client that stops reading its response stalls send(); bound it so
+    // the thread (and its response buffer) cannot be held hostage.
+    timeval tv{};
+    tv.tv_sec = limits_.write_stall_micros / kMicrosPerSecond;
+    tv.tv_usec = limits_.write_stall_micros % kMicrosPerSecond;
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
+  const Clock& clock = *SystemClock::Default();
+  const bool timed = limits_.header_timeout_micros > 0 ||
+                     limits_.idle_timeout_micros > 0;
   char buf[16 * 1024];
   bool keep_alive = true;
+  bool served_while_draining = false;
+  // 0 = no request in progress; otherwise when its first bytes arrived.
+  MicroTime read_start = 0;
+  MicroTime last_activity = clock.NowMicros();
   while (keep_alive && running_.load()) {
+    const bool draining = draining_.load();
+    if (draining && read_start == 0) {
+      // Drain with no request in progress: nothing left to finish.
+      break;
+    }
+    pollfd pfd{fd, POLLIN, 0};
+    int ready =
+        ::poll(&pfd, 1, (timed || draining) ? kDeadlineTickMs : kIdleTickMs);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    const MicroTime now = clock.NowMicros();
+    if (ready == 0) {
+      if (read_start != 0 && limits_.header_timeout_micros > 0 &&
+          now - read_start >= limits_.header_timeout_micros) {
+        counters_->header_timeouts.fetch_add(1, kRelaxed);
+        break;  // Slowloris: started a request, never finished it.
+      }
+      if (read_start == 0 && limits_.idle_timeout_micros > 0 &&
+          now - last_activity >= limits_.idle_timeout_micros) {
+        counters_->idle_timeouts.fetch_add(1, kRelaxed);
+        break;
+      }
+      continue;
+    }
     ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
       break;  // Peer closed or error.
     }
+    last_activity = now;
+    if (read_start == 0) read_start = now;
     reader.Feed(std::string_view(buf, static_cast<size_t>(n)));
     while (auto next = reader.Next()) {
       if (!next->ok()) {
-        http::Response bad = http::Response::MakeError(
-            400, "Bad Request", next->status().ToString());
+        http::Response bad = ResponseForReaderError(
+            reader.limit_violation(), next->status(), *counters_);
         (void)SendAll(fd, bad.Serialize());
         keep_alive = false;
         break;
       }
       const http::Request& request = next->value();
-      http::Response response = handler_(request);
+      http::Response response =
+          DispatchAdmitted(handler_, request, limits_, *counters_);
+      if (draining_.load()) {
+        // Finish this response, then close: new work goes elsewhere.
+        keep_alive = false;
+        served_while_draining = true;
+      }
       if (auto connection = request.headers.Get("Connection");
           connection.has_value() && EqualsIgnoreCase(*connection, "close")) {
         keep_alive = false;
-        response.headers.Set("Connection", "close");
       }
+      if (!keep_alive) response.headers.Set("Connection", "close");
       if (!SendAll(fd, response.Serialize()).ok()) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          counters_->write_stall_closes.fetch_add(1, kRelaxed);
+        }
         keep_alive = false;
         break;
       }
     }
+    // A leftover partial message keeps the header clock running; a clean
+    // boundary resets it so keep-alive idle time is measured separately.
+    read_start = reader.buffered_bytes() > 0 ? clock.NowMicros() : 0;
+  }
+  if (served_while_draining) {
+    counters_->drained_connections.fetch_add(1, kRelaxed);
   }
   {
     // Deregister before closing so Stop() never shuts down a reused fd.
@@ -135,6 +245,7 @@ void TcpServer::ServeConnection(int fd) {
         std::remove(active_fds_.begin(), active_fds_.end(), fd),
         active_fds_.end());
   }
+  counters_->open_connections.fetch_sub(1, kRelaxed);
   ::close(fd);
 }
 

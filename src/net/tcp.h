@@ -11,6 +11,7 @@
 
 #include "common/clock.h"
 #include "common/result.h"
+#include "net/server_limits.h"
 #include "net/transport.h"
 
 namespace dynaprox::net {
@@ -18,10 +19,18 @@ namespace dynaprox::net {
 // Blocking TCP server with one thread per connection and HTTP/1.1
 // keep-alive. Suitable for the examples and integration tests; the
 // deterministic simulation uses DirectTransport instead.
+//
+// Ingress protection (net/server_limits.h): an optional connection cap
+// enforced at accept, in-flight request admission (503 + Retry-After
+// shedding), header-read/idle/write-stall deadlines, and request byte
+// caps (431/413) — all off by default. Stop(drain) drains gracefully:
+// accepting stops, in-flight requests finish (answered with
+// "Connection: close"), and only connections still busy at the deadline
+// are cut.
 class TcpServer {
  public:
   // `port` 0 picks an ephemeral port (see port() after Start()).
-  TcpServer(Handler handler, uint16_t port = 0);
+  TcpServer(Handler handler, uint16_t port = 0, ServerLimits limits = {});
   ~TcpServer();
 
   TcpServer(const TcpServer&) = delete;
@@ -30,11 +39,22 @@ class TcpServer {
   // Binds, listens on 127.0.0.1, and spawns the accept thread.
   Status Start();
 
-  // Stops accepting, closes all connections, joins all threads. Idempotent.
+  // Stops accepting, closes all connections, joins all threads. Aborts
+  // in-flight requests. Idempotent.
   void Stop();
+
+  // Graceful drain: stops accepting, lets in-flight requests and
+  // already-buffered pipelined requests finish (responses carry
+  // "Connection: close"), then closes. Connections still busy after
+  // `drain_timeout_micros` are shut down hard. Stop(0) == Stop().
+  void Stop(MicroTime drain_timeout_micros);
 
   // Bound port; valid after a successful Start().
   uint16_t port() const { return port_; }
+
+  // Ingress accounting: the ServerLimits::counters the caller supplied,
+  // else an internal instance.
+  const IngressCounters& ingress() const { return *counters_; }
 
  private:
   void AcceptLoop();
@@ -42,8 +62,12 @@ class TcpServer {
 
   Handler handler_;
   uint16_t port_;
+  ServerLimits limits_;
+  IngressCounters own_counters_;
+  IngressCounters* counters_;
   int listen_fd_ = -1;
   std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
   std::thread accept_thread_;
   std::mutex mu_;
   std::vector<std::thread> connection_threads_;

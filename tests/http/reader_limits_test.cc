@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "http/parser.h"
+
+namespace dynaprox::http {
+namespace {
+
+using Violation = RequestReader::LimitViolation;
+
+TEST(ReaderLimitsTest, DefaultLimitsAreUnlimited) {
+  RequestReader reader;
+  std::string big_header(64 * 1024, 'h');
+  reader.Feed("GET / HTTP/1.1\r\nX-Big: " + big_header + "\r\n\r\n");
+  auto next = reader.Next();
+  ASSERT_TRUE(next.has_value());
+  ASSERT_TRUE(next->ok()) << next->status().ToString();
+  EXPECT_EQ(reader.limit_violation(), Violation::kNone);
+}
+
+TEST(ReaderLimitsTest, UnderCapRequestParses) {
+  RequestReader reader;
+  reader.set_limits({1024, 1024});
+  reader.Feed("POST /x HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello");
+  auto next = reader.Next();
+  ASSERT_TRUE(next.has_value());
+  ASSERT_TRUE(next->ok()) << next->status().ToString();
+  EXPECT_EQ(next->value().body, "hello");
+}
+
+TEST(ReaderLimitsTest, TerminatedOversizeHeaderFails) {
+  RequestReader reader;
+  reader.set_limits({128, 0});
+  reader.Feed("GET / HTTP/1.1\r\nX-Big: " + std::string(256, 'h') +
+              "\r\n\r\n");
+  auto next = reader.Next();
+  ASSERT_TRUE(next.has_value());
+  EXPECT_FALSE(next->ok());
+  EXPECT_EQ(next->status().code(), StatusCode::kCapacityExceeded);
+  EXPECT_EQ(reader.limit_violation(), Violation::kHeaderBytes);
+  EXPECT_TRUE(reader.failed());
+}
+
+TEST(ReaderLimitsTest, StreamingHeaderFailsBeforeTerminator) {
+  // A slowloris peer drips header bytes forever; the reader must fail
+  // (and stop buffering) once the cap is passed, terminator or not.
+  RequestReader reader;
+  reader.set_limits({128, 0});
+  reader.Feed("GET / HTTP/1.1\r\nX-Drip: ");
+  EXPECT_FALSE(reader.Next().has_value());  // Under cap: keep waiting.
+  reader.Feed(std::string(256, 'd'));       // No terminator in sight.
+  auto next = reader.Next();
+  ASSERT_TRUE(next.has_value());
+  EXPECT_FALSE(next->ok());
+  EXPECT_EQ(next->status().code(), StatusCode::kCapacityExceeded);
+  EXPECT_EQ(reader.limit_violation(), Violation::kHeaderBytes);
+  // The hostile bytes are released, not retained.
+  EXPECT_EQ(reader.buffered_bytes(), 0u);
+}
+
+TEST(ReaderLimitsTest, DeclaredContentLengthOverCapFailsBeforeBuffering) {
+  // The headers alone must trip the body cap — the reader may never
+  // commit to buffering a body the declaration already proves oversized.
+  RequestReader reader;
+  reader.set_limits({0, 1024});
+  reader.Feed("POST / HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n");
+  auto next = reader.Next();
+  ASSERT_TRUE(next.has_value());
+  EXPECT_FALSE(next->ok());
+  EXPECT_EQ(next->status().code(), StatusCode::kCapacityExceeded);
+  EXPECT_EQ(reader.limit_violation(), Violation::kBodyBytes);
+  EXPECT_EQ(reader.buffered_bytes(), 0u);
+}
+
+TEST(ReaderLimitsTest, ChunkedBodyOverCapFails) {
+  RequestReader reader;
+  reader.set_limits({0, 16});
+  reader.Feed(
+      "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "20\r\n" +
+      std::string(32, 'c') + "\r\n0\r\n\r\n");
+  auto next = reader.Next();
+  ASSERT_TRUE(next.has_value());
+  EXPECT_FALSE(next->ok());
+  EXPECT_EQ(reader.limit_violation(), Violation::kBodyBytes);
+}
+
+TEST(ReaderLimitsTest, FailedReaderStaysFailed) {
+  RequestReader reader;
+  reader.set_limits({64, 0});
+  reader.Feed(std::string(128, 'x'));
+  auto first = reader.Next();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_FALSE(first->ok());
+  // Feeding a well-formed request afterwards must not resurrect the
+  // stream: framing after a violation is untrustworthy.
+  reader.Feed("GET / HTTP/1.1\r\n\r\n");
+  auto second = reader.Next();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_FALSE(second->ok());
+}
+
+TEST(ReaderLimitsTest, BodyExactlyAtCapPasses) {
+  RequestReader reader;
+  reader.set_limits({0, 5});
+  reader.Feed("POST / HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello");
+  auto next = reader.Next();
+  ASSERT_TRUE(next.has_value());
+  ASSERT_TRUE(next->ok()) << next->status().ToString();
+  EXPECT_EQ(next->value().body, "hello");
+}
+
+}  // namespace
+}  // namespace dynaprox::http

@@ -1,0 +1,255 @@
+// End-to-end ingress hardening over real sockets: a TcpServer fronting
+// the full DPC assembly stack must keep serving healthy clients while a
+// slowloris flood holds connections open, surface shed 503s in the
+// scraped metrics, and finish every in-flight response during a graceful
+// drain (docs/failure-modes.md, "Ingress overload & slow clients").
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "appserver/origin_server.h"
+#include "appserver/script_registry.h"
+#include "bem/monitor.h"
+#include "common/clock.h"
+#include "dpc/proxy.h"
+#include "http/parser.h"
+#include "net/server_limits.h"
+#include "net/tcp.h"
+#include "net/transport.h"
+#include "storage/table.h"
+
+namespace dynaprox {
+namespace {
+
+// Raw loopback socket for speaking deliberately slow or partial HTTP.
+class RawClient {
+ public:
+  explicit RawClient(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    connected_ = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                           sizeof(addr)) == 0;
+  }
+  ~RawClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool connected() const { return connected_; }
+
+  bool Send(std::string_view bytes) {
+    return ::send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL) ==
+           static_cast<ssize_t>(bytes.size());
+  }
+
+  std::string ReadUntilClose(MicroTime budget = 3 * kMicrosPerSecond) {
+    timeval tv{};
+    tv.tv_sec = budget / kMicrosPerSecond;
+    tv.tv_usec = budget % kMicrosPerSecond;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    std::string out;
+    char buf[4096];
+    for (;;) {
+      ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n <= 0) break;
+      out.append(buf, static_cast<size_t>(n));
+    }
+    return out;
+  }
+
+  Result<http::Response> ReadResponse(
+      MicroTime budget = 3 * kMicrosPerSecond) {
+    timeval tv{};
+    tv.tv_sec = budget / kMicrosPerSecond;
+    tv.tv_usec = budget % kMicrosPerSecond;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    http::ResponseReader reader;
+    char buf[4096];
+    for (;;) {
+      if (auto next = reader.Next()) {
+        if (!next->ok()) return next->status();
+        return std::move(*next);
+      }
+      ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n <= 0) return Status::IoError("connection closed / timed out");
+      reader.Feed(std::string_view(buf, static_cast<size_t>(n)));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+};
+
+std::string SimpleGet(const std::string& path) {
+  return "GET " + path + " HTTP/1.1\r\nHost: t\r\n\r\n";
+}
+
+// Full stack behind the listening socket: DPC proxy -> origin server ->
+// BEM, with shared ingress counters exported through the proxy metrics.
+class IngressHardeningTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    registry_.RegisterOrReplace(
+        "/page", [](appserver::ScriptContext& context) {
+          context.Emit("<h1>page</h1>");
+          return context.CacheableBlock(bem::FragmentId("frag"),
+                                        [](appserver::ScriptContext& ctx) {
+                                          ctx.Emit("fragment body");
+                                          return Status::Ok();
+                                        });
+        });
+    bem::BemOptions bem_options;
+    bem_options.capacity = 8;
+    monitor_ = *bem::BackEndMonitor::Create(bem_options);
+    origin_ = std::make_unique<appserver::OriginServer>(
+        &registry_, &repository_, monitor_.get());
+    upstream_ = std::make_unique<net::DirectTransport>(origin_->AsHandler());
+  }
+
+  std::unique_ptr<dpc::DpcProxy> MakeProxy() {
+    dpc::ProxyOptions options;
+    options.capacity = 8;
+    options.enable_metrics = true;
+    options.ingress = &counters_;
+    return std::make_unique<dpc::DpcProxy>(upstream_.get(), options);
+  }
+
+  net::IngressCounters counters_;
+  storage::ContentRepository repository_;
+  appserver::ScriptRegistry registry_;
+  std::unique_ptr<bem::BackEndMonitor> monitor_;
+  std::unique_ptr<appserver::OriginServer> origin_;
+  std::unique_ptr<net::DirectTransport> upstream_;
+};
+
+TEST_F(IngressHardeningTest, SlowlorisFloodDoesNotStarveHealthyClients) {
+  auto proxy = MakeProxy();
+  net::ServerLimits limits;
+  limits.header_timeout_micros = 150 * kMicrosPerMilli;
+  limits.counters = &counters_;
+  net::TcpServer server(proxy->AsHandler(), 0, limits);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Eight attackers each send a partial request line and then go silent.
+  constexpr int kAttackers = 8;
+  std::vector<std::unique_ptr<RawClient>> attackers;
+  for (int i = 0; i < kAttackers; ++i) {
+    attackers.push_back(std::make_unique<RawClient>(server.port()));
+    ASSERT_TRUE(attackers.back()->connected());
+    ASSERT_TRUE(attackers.back()->Send("GET /page HT"));
+  }
+
+  // Healthy clients keep getting fully assembled pages meanwhile.
+  for (int i = 0; i < 4; ++i) {
+    RawClient healthy(server.port());
+    ASSERT_TRUE(healthy.connected());
+    ASSERT_TRUE(healthy.Send(SimpleGet("/page")));
+    Result<http::Response> response = healthy.ReadResponse();
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_EQ(response->status_code, 200);
+    EXPECT_NE(response->body.find("fragment body"), std::string::npos);
+  }
+
+  // Every attacker is disconnected at the header deadline, without a
+  // response, and the closes are attributed to the right counter.
+  for (auto& attacker : attackers) {
+    EXPECT_EQ(attacker->ReadUntilClose(2 * kMicrosPerSecond), "");
+  }
+  EXPECT_GE(counters_.header_timeouts.load(), kAttackers);
+  server.Stop();
+}
+
+TEST_F(IngressHardeningTest, Shed503IsCountedAndScrapable) {
+  auto proxy = MakeProxy();
+  net::ServerLimits limits;
+  limits.max_inflight = 1;
+  limits.retry_after_seconds = 3;
+  limits.counters = &counters_;
+  net::TcpServer server(proxy->AsHandler(), 0, limits);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Occupy the only admission slot externally (the counters are shared
+  // state, so another server on the same limits would have this effect).
+  counters_.inflight_requests.fetch_add(1);
+  RawClient shed(server.port());
+  ASSERT_TRUE(shed.connected());
+  ASSERT_TRUE(shed.Send(SimpleGet("/page")));
+  Result<http::Response> rejected = shed.ReadResponse();
+  ASSERT_TRUE(rejected.ok()) << rejected.status().ToString();
+  EXPECT_EQ(rejected->status_code, 503);
+  EXPECT_EQ(rejected->headers.Get("Retry-After").value_or(""), "3");
+  counters_.inflight_requests.fetch_sub(1);
+
+  // The shed is visible to a scraper hitting the same listening socket.
+  RawClient scraper(server.port());
+  ASSERT_TRUE(scraper.connected());
+  ASSERT_TRUE(scraper.Send(SimpleGet("/_dynaprox/metrics")));
+  Result<http::Response> metrics = scraper.ReadResponse();
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  ASSERT_EQ(metrics->status_code, 200);
+  EXPECT_NE(metrics->body.find("dynaprox_ingress_shed_503_total 1"),
+            std::string::npos);
+  EXPECT_NE(metrics->body.find("# TYPE dynaprox_ingress_shed_503_total "
+                               "counter"),
+            std::string::npos);
+  server.Stop();
+}
+
+TEST_F(IngressHardeningTest, GracefulDrainLosesNoInflightResponses) {
+  auto proxy = MakeProxy();
+  // Slow the full assembly path down so requests are genuinely in flight
+  // when the drain starts.
+  net::Handler handler = proxy->AsHandler();
+  auto slow_handler = [handler](const http::Request& request) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    return handler(request);
+  };
+  net::ServerLimits limits;
+  limits.counters = &counters_;
+  net::TcpServer server(slow_handler, 0, limits);
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kInflight = 4;
+  std::vector<std::unique_ptr<RawClient>> clients;
+  for (int i = 0; i < kInflight; ++i) {
+    clients.push_back(std::make_unique<RawClient>(server.port()));
+    ASSERT_TRUE(clients.back()->connected());
+    ASSERT_TRUE(clients.back()->Send(SimpleGet("/page")));
+  }
+  // Let the requests reach the handler, then drain.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  server.Stop(2 * kMicrosPerSecond);
+
+  // Every response that was in flight arrives complete, marked final.
+  for (auto& client : clients) {
+    Result<http::Response> response = client->ReadResponse();
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_EQ(response->status_code, 200);
+    EXPECT_NE(response->body.find("fragment body"), std::string::npos);
+    EXPECT_EQ(response->headers.Get("Connection").value_or(""), "close");
+  }
+  EXPECT_EQ(counters_.drained_connections.load(), kInflight);
+  EXPECT_EQ(counters_.open_connections.load(), 0);
+
+  // New connections are refused once the listener is gone.
+  RawClient late(server.port());
+  EXPECT_FALSE(late.connected() && late.Send(SimpleGet("/page")) &&
+               late.ReadResponse().ok());
+}
+
+}  // namespace
+}  // namespace dynaprox

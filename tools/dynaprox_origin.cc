@@ -7,6 +7,17 @@
 //       --fragment-size=1000 --hit-ratio=0.8 [--no-bem] [--capacity=4096]
 //       [--sweep-interval-ms=1000] [--server=threads|epoll] [--workers=4]
 //       [--metrics=true] [--access-log=PATH]
+//       [--max-connections=0] [--max-inflight=0]
+//       [--header-timeout=0] [--idle-timeout=0] [--write-stall-timeout=0]
+//       [--max-header-bytes=0] [--max-body-bytes=0] [--drain-timeout=0]
+//
+// The ingress limits (docs/failure-modes.md) all default to 0 = off and
+// apply to whichever --server is selected: --max-connections caps
+// concurrent connections, --max-inflight sheds excess concurrent
+// requests with 503 + Retry-After, the three timeouts (milliseconds)
+// disconnect slowloris/idle/stalled clients, the byte caps answer
+// 431/413, and --drain-timeout (milliseconds) drains in-flight requests
+// before shutdown.
 //
 // A JSON status document is served at /_dynaprox/status and (unless
 // --metrics=false) the Prometheus text exposition at /_dynaprox/metrics.
@@ -53,8 +64,19 @@ int main(int argc, char** argv) {
   Result<int64_t> capacity = flags->GetInt("capacity", 4096);
   Result<int64_t> sweep_ms = flags->GetInt("sweep-interval-ms", 0);
   Result<int64_t> seed = flags->GetInt("seed", 42);
+  Result<int64_t> max_connections = flags->GetInt("max-connections", 0);
+  Result<int64_t> max_inflight = flags->GetInt("max-inflight", 0);
+  Result<int64_t> header_timeout_ms = flags->GetInt("header-timeout", 0);
+  Result<int64_t> idle_timeout_ms = flags->GetInt("idle-timeout", 0);
+  Result<int64_t> write_stall_ms = flags->GetInt("write-stall-timeout", 0);
+  Result<int64_t> max_header_bytes = flags->GetInt("max-header-bytes", 0);
+  Result<int64_t> max_body_bytes = flags->GetInt("max-body-bytes", 0);
+  Result<int64_t> drain_timeout_ms = flags->GetInt("drain-timeout", 0);
   for (const auto* r : {&port, &pages, &fragments, &capacity, &sweep_ms,
-                        &seed}) {
+                        &seed, &max_connections, &max_inflight,
+                        &header_timeout_ms, &idle_timeout_ms,
+                        &write_stall_ms, &max_header_bytes, &max_body_bytes,
+                        &drain_timeout_ms}) {
     if (!r->ok()) {
       std::fprintf(stderr, "%s\n", r->status().ToString().c_str());
       return 2;
@@ -109,12 +131,24 @@ int main(int argc, char** argv) {
     access_log = std::move(*opened);
   }
 
+  net::IngressCounters ingress;
+  net::ServerLimits limits;
+  limits.max_connections = static_cast<int>(*max_connections);
+  limits.max_inflight = static_cast<int>(*max_inflight);
+  limits.max_header_bytes = static_cast<size_t>(*max_header_bytes);
+  limits.max_body_bytes = static_cast<size_t>(*max_body_bytes);
+  limits.header_timeout_micros = *header_timeout_ms * kMicrosPerMilli;
+  limits.idle_timeout_micros = *idle_timeout_ms * kMicrosPerMilli;
+  limits.write_stall_micros = *write_stall_ms * kMicrosPerMilli;
+  limits.counters = &ingress;
+
   appserver::OriginOptions origin_options;
   origin_options.pad_headers_to_bytes =
       static_cast<size_t>(params.header_size);
   origin_options.enable_status = true;
   origin_options.enable_metrics = flags->GetBool("metrics", true);
   origin_options.access_log = access_log.get();
+  origin_options.ingress = &ingress;
   appserver::OriginServer origin(&registry, &repository, monitor.get(),
                                  origin_options);
 
@@ -126,7 +160,7 @@ int main(int argc, char** argv) {
   if (server_kind == "epoll") {
     epoll_server = std::make_unique<net::EpollServer>(
         origin.AsHandler(), static_cast<uint16_t>(*port),
-        static_cast<int>(workers.value_or(2)));
+        static_cast<int>(workers.value_or(2)), limits);
     Status started = epoll_server->Start();
     if (!started.ok()) {
       std::fprintf(stderr, "%s\n", started.ToString().c_str());
@@ -135,7 +169,7 @@ int main(int argc, char** argv) {
     bound_port = epoll_server->port();
   } else if (server_kind == "threads") {
     thread_server = std::make_unique<net::TcpServer>(
-        origin.AsHandler(), static_cast<uint16_t>(*port));
+        origin.AsHandler(), static_cast<uint16_t>(*port), limits);
     Status started = thread_server->Start();
     if (!started.ok()) {
       std::fprintf(stderr, "%s\n", started.ToString().c_str());
@@ -158,8 +192,9 @@ int main(int argc, char** argv) {
   char buf[256];
   while (::read(STDIN_FILENO, buf, sizeof(buf)) > 0) {
   }
-  if (thread_server != nullptr) thread_server->Stop();
-  if (epoll_server != nullptr) epoll_server->Stop();
+  const MicroTime drain_micros = *drain_timeout_ms * kMicrosPerMilli;
+  if (thread_server != nullptr) thread_server->Stop(drain_micros);
+  if (epoll_server != nullptr) epoll_server->Stop(drain_micros);
   appserver::OriginStats stats = origin.stats();
   std::printf("served %llu requests (%llu hits, %llu misses, %llu refresh "
               "invalidations)\n",
@@ -167,5 +202,18 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.fragment_hits),
               static_cast<unsigned long long>(stats.fragment_misses),
               static_cast<unsigned long long>(stats.refresh_invalidations));
+  std::printf(
+      "ingress: %llu accepted, %llu conn-limit rejections, %llu shed "
+      "503s, %llu header timeouts, %llu idle timeouts, %llu oversize "
+      "(431+413), %llu drained\n",
+      static_cast<unsigned long long>(ingress.accepted_total.load()),
+      static_cast<unsigned long long>(
+          ingress.connection_limit_rejections.load()),
+      static_cast<unsigned long long>(ingress.shed_503s.load()),
+      static_cast<unsigned long long>(ingress.header_timeouts.load()),
+      static_cast<unsigned long long>(ingress.idle_timeouts.load()),
+      static_cast<unsigned long long>(ingress.oversize_headers.load() +
+                                      ingress.oversize_bodies.load()),
+      static_cast<unsigned long long>(ingress.drained_connections.load()));
   return 0;
 }

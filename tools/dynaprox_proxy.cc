@@ -10,11 +10,24 @@
 //       [--breaker-cooldown-ms=1000]
 //       [--serve-stale] [--stale-capacity=256] [--max-stale-sec=0]
 //       [--metrics=true] [--access-log=PATH]
+//       [--max-connections=0] [--max-inflight=0]
+//       [--header-timeout=0] [--idle-timeout=0] [--write-stall-timeout=0]
+//       [--max-header-bytes=0] [--max-body-bytes=0] [--drain-timeout=0]
 //
 // --breaker puts a circuit breaker on the origin link so a dead origin
 // fast-fails instead of eating a dial timeout per request; --serve-stale
 // answers failed GETs from the last assembled copy of the page
 // (docs/failure-modes.md).
+//
+// The ingress limits (docs/failure-modes.md) all default to 0 = off:
+// --max-connections caps concurrent client connections, --max-inflight
+// sheds excess concurrent requests with 503 + Retry-After,
+// --header-timeout/--idle-timeout/--write-stall-timeout (milliseconds)
+// disconnect slowloris/idle/stalled clients, --max-header-bytes and
+// --max-body-bytes reject oversized requests with 431/413, and
+// --drain-timeout (milliseconds) makes shutdown drain gracefully:
+// accepting stops and in-flight requests finish before the listener
+// closes.
 //
 // A JSON status document is served at /_dynaprox/status and (unless
 // --metrics=false) the Prometheus text exposition at /_dynaprox/metrics.
@@ -52,9 +65,20 @@ int main(int argc, char** argv) {
       flags->GetInt("breaker-cooldown-ms", 1000);
   Result<int64_t> stale_capacity = flags->GetInt("stale-capacity", 256);
   Result<int64_t> max_stale_sec = flags->GetInt("max-stale-sec", 0);
+  Result<int64_t> max_connections = flags->GetInt("max-connections", 0);
+  Result<int64_t> max_inflight = flags->GetInt("max-inflight", 0);
+  Result<int64_t> header_timeout_ms = flags->GetInt("header-timeout", 0);
+  Result<int64_t> idle_timeout_ms = flags->GetInt("idle-timeout", 0);
+  Result<int64_t> write_stall_ms = flags->GetInt("write-stall-timeout", 0);
+  Result<int64_t> max_header_bytes = flags->GetInt("max-header-bytes", 0);
+  Result<int64_t> max_body_bytes = flags->GetInt("max-body-bytes", 0);
+  Result<int64_t> drain_timeout_ms = flags->GetInt("drain-timeout", 0);
   for (const auto* r : {&port, &origin_port, &capacity, &pool_size,
                         &breaker_window, &breaker_cooldown_ms,
-                        &stale_capacity, &max_stale_sec}) {
+                        &stale_capacity, &max_stale_sec, &max_connections,
+                        &max_inflight, &header_timeout_ms, &idle_timeout_ms,
+                        &write_stall_ms, &max_header_bytes, &max_body_bytes,
+                        &drain_timeout_ms}) {
     if (!r->ok()) {
       std::fprintf(stderr, "%s\n", r->status().ToString().c_str());
       return 2;
@@ -107,8 +131,20 @@ int main(int argc, char** argv) {
     origin_link = guarded.get();
   }
 
+  net::IngressCounters ingress;
+  net::ServerLimits limits;
+  limits.max_connections = static_cast<int>(*max_connections);
+  limits.max_inflight = static_cast<int>(*max_inflight);
+  limits.max_header_bytes = static_cast<size_t>(*max_header_bytes);
+  limits.max_body_bytes = static_cast<size_t>(*max_body_bytes);
+  limits.header_timeout_micros = *header_timeout_ms * kMicrosPerMilli;
+  limits.idle_timeout_micros = *idle_timeout_ms * kMicrosPerMilli;
+  limits.write_stall_micros = *write_stall_ms * kMicrosPerMilli;
+  limits.counters = &ingress;
+
   dpc::ProxyOptions options;
   options.capacity = static_cast<bem::DpcKey>(*capacity);
+  options.ingress = &ingress;
   options.add_debug_header = flags->GetBool("debug");
   options.enable_static_cache = flags->GetBool("static-cache");
   options.enable_status = true;
@@ -121,7 +157,8 @@ int main(int argc, char** argv) {
   if (guarded != nullptr) options.upstream_breaker = &guarded->breaker();
   dpc::DpcProxy proxy(origin_link, options);
 
-  net::TcpServer server(proxy.AsHandler(), static_cast<uint16_t>(*port));
+  net::TcpServer server(proxy.AsHandler(), static_cast<uint16_t>(*port),
+                        limits);
   Status started = server.Start();
   if (!started.ok()) {
     std::fprintf(stderr, "%s\n", started.ToString().c_str());
@@ -141,7 +178,7 @@ int main(int argc, char** argv) {
   char buf[256];
   while (::read(STDIN_FILENO, buf, sizeof(buf)) > 0) {
   }
-  server.Stop();
+  server.Stop(*drain_timeout_ms * kMicrosPerMilli);
   dpc::ProxyStats stats = proxy.stats();
   net::PoolStats pool_stats = upstream.pool().stats();
   std::printf(
@@ -175,5 +212,18 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(stats.breaker_rejections),
         static_cast<unsigned long long>(stats.degraded_503s));
   }
+  std::printf(
+      "ingress: %llu accepted, %llu conn-limit rejections, %llu shed "
+      "503s, %llu header timeouts, %llu idle timeouts, %llu oversize "
+      "(431+413), %llu drained\n",
+      static_cast<unsigned long long>(ingress.accepted_total.load()),
+      static_cast<unsigned long long>(
+          ingress.connection_limit_rejections.load()),
+      static_cast<unsigned long long>(ingress.shed_503s.load()),
+      static_cast<unsigned long long>(ingress.header_timeouts.load()),
+      static_cast<unsigned long long>(ingress.idle_timeouts.load()),
+      static_cast<unsigned long long>(ingress.oversize_headers.load() +
+                                      ingress.oversize_bodies.load()),
+      static_cast<unsigned long long>(ingress.drained_connections.load()));
   return 0;
 }
