@@ -53,11 +53,17 @@ bool IsChunked(const HeaderMap& headers) {
 // Returns:
 //   ok(true)  — complete; `body` holds the joined payload and `consumed`
 //               the total encoded length (incl. terminator and trailers).
-//   ok(false) — more bytes needed.
+//   ok(false) — more bytes needed; `body` holds the chunks decoded so
+//               far and `pending_declared` the size of a declared but
+//               not yet fully delivered chunk (0 if none), so callers
+//               can enforce body caps on exactly the payload bytes the
+//               stream is committed to.
 //   error     — malformed framing.
 Result<bool> TryDecodeChunked(std::string_view wire, size_t offset,
-                              std::string& body, size_t& consumed) {
+                              std::string& body, size_t& consumed,
+                              size_t& pending_declared) {
   body.clear();
+  pending_declared = 0;
   size_t pos = offset;
   for (;;) {
     size_t line_end = wire.find("\r\n", pos);
@@ -85,7 +91,10 @@ Result<bool> TryDecodeChunked(std::string_view wire, size_t offset,
         pos = trailer_end + 2;
       }
     }
-    if (wire.size() < pos + *chunk_size + 2) return false;
+    if (wire.size() < pos + *chunk_size + 2) {
+      pending_declared = static_cast<size_t>(*chunk_size);
+      return false;
+    }
     body.append(wire.substr(pos, *chunk_size));
     pos += *chunk_size;
     if (wire.compare(pos, 2, "\r\n") != 0) {
@@ -167,8 +176,10 @@ Result<Message> ParseComplete(std::string_view wire, HeadParser parse_head) {
 
   if (IsChunked(message.headers)) {
     size_t consumed = 0;
+    size_t pending = 0;
     Result<bool> complete =
-        TryDecodeChunked(wire, header_end + 4, message.body, consumed);
+        TryDecodeChunked(wire, header_end + 4, message.body, consumed,
+                         pending);
     if (!complete.ok()) return complete.status();
     if (!*complete || header_end + 4 + consumed != wire.size()) {
       return Status::InvalidArgument("chunked body truncated or trailing");
@@ -256,19 +267,25 @@ std::optional<Result<Message>> MessageReader<Message>::Next() {
   }
   if (IsChunked(message.headers)) {
     size_t consumed = 0;
-    Result<bool> complete =
-        TryDecodeChunked(buffer_, header_end + 4, message.body, consumed);
+    size_t pending = 0;
+    Result<bool> complete = TryDecodeChunked(buffer_, header_end + 4,
+                                             message.body, consumed, pending);
     if (!complete.ok()) {
       failed_ = true;
       return Result<Message>(complete.status());
     }
     if (limits_.max_body_bytes != 0) {
-      // Complete bodies are checked exactly; an incomplete body is cut
-      // off once the raw buffered encoding (body plus framing) can no
-      // longer decode to an under-cap payload.
+      // The cap applies to payload bytes the stream is committed to:
+      // chunks decoded so far plus any declared-but-undelivered chunk.
+      // Framing overhead (chunk-size lines, CRLFs) never counts, so a
+      // legitimate under-cap body sent as many small chunks is never
+      // rejected while incomplete. A generous raw backstop still bounds
+      // buffer growth against framing that decodes to nothing (an
+      // endless chunk-size line or trailer section); 8x covers the
+      // worst legitimate expansion of 1-byte chunks (6 bytes each).
       size_t encoded = buffer_.size() - header_end - 4;
-      if (message.body.size() > limits_.max_body_bytes ||
-          (!*complete && encoded > limits_.max_body_bytes + 1024)) {
+      if (message.body.size() + pending > limits_.max_body_bytes ||
+          (!*complete && encoded > 8 * limits_.max_body_bytes + 4096)) {
         return FailLimit(LimitViolation::kBodyBytes,
                          "chunked body exceeds " +
                              std::to_string(limits_.max_body_bytes) +

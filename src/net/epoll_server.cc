@@ -335,8 +335,13 @@ class EpollServer::Worker {
     for (;;) {
       ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
       if (n > 0) {
-        conn.reader.Feed(std::string_view(buf, static_cast<size_t>(n)));
-        got_bytes = true;
+        // A connection already marked close-after-flush (limit violation
+        // or Connection: close) answers nothing further: drain and drop
+        // the bytes so the dead reader's buffer cannot grow.
+        if (!conn.close_after_flush) {
+          conn.reader.Feed(std::string_view(buf, static_cast<size_t>(n)));
+          got_bytes = true;
+        }
         continue;
       }
       if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
@@ -356,8 +361,15 @@ class EpollServer::Worker {
       if (conn.read_start == 0) conn.read_start = conn.last_activity;
     }
 
-    // Dispatch every complete request (pipelining supported).
-    while (auto next = conn.reader.Next()) {
+    // Dispatch every complete request (pipelining supported). Once
+    // close_after_flush is set nothing more may be dispatched — in
+    // particular a failed reader must not be polled again, or every
+    // later packet would re-count the same limit violation and queue a
+    // duplicate error response.
+    bool completed_request = false;
+    while (!conn.close_after_flush) {
+      auto next = conn.reader.Next();
+      if (!next.has_value()) break;
       if (!next->ok()) {
         http::Response bad = ResponseForReaderError(
             conn.reader.limit_violation(), next->status(),
@@ -367,6 +379,7 @@ class EpollServer::Worker {
         break;
       }
       const http::Request& request = next->value();
+      completed_request = true;
       http::Response response = DispatchAdmitted(
           server_->handler_, request, server_->limits_,
           *server_->counters_);
@@ -383,13 +396,18 @@ class EpollServer::Worker {
         response.headers.Set("Connection", "close");
       }
       conn.out += response.Serialize();
-      if (conn.close_after_flush) break;
     }
-    // A leftover partial message keeps the header clock running; a clean
-    // boundary resets it so keep-alive idle time is measured separately.
-    conn.read_start = conn.reader.buffered_bytes() > 0
-                          ? SystemClock::Default()->NowMicros()
-                          : 0;
+    // The header deadline bounds total time from a message's first byte
+    // to its completion, so a partial message must keep its original
+    // read_start — restarting the clock per packet would let a slowloris
+    // drip one byte per tick forever. The clock resets only on a clean
+    // boundary, or restarts when leftover bytes begin a new pipelined
+    // message (those bytes arrived in this event).
+    if (conn.reader.buffered_bytes() == 0) {
+      conn.read_start = 0;
+    } else if (completed_request) {
+      conn.read_start = SystemClock::Default()->NowMicros();
+    }
     if (peer_eof) {
       conn.close_after_flush = true;
       if (Flush(fd, conn)) {

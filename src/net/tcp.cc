@@ -128,9 +128,11 @@ void TcpServer::AcceptLoop() {
       if (errno == EINTR) continue;
       break;  // Listener closed by Stop().
     }
+    // Enforce the cap against this server's own count, not the exported
+    // gauge: ServerLimits::counters may be shared across servers, and a
+    // shared gauge would count foreign connections toward our cap.
     if (limits_.max_connections > 0 &&
-        counters_->open_connections.load(kRelaxed) >=
-            limits_.max_connections) {
+        live_connections_.load(kRelaxed) >= limits_.max_connections) {
       counters_->connection_limit_rejections.fetch_add(1, kRelaxed);
       ::close(fd);
       continue;
@@ -142,6 +144,7 @@ void TcpServer::AcceptLoop() {
     }
     counters_->accepted_total.fetch_add(1, kRelaxed);
     counters_->open_connections.fetch_add(1, kRelaxed);
+    live_connections_.fetch_add(1, kRelaxed);
     active_fds_.push_back(fd);
     connection_threads_.emplace_back(&TcpServer::ServeConnection, this, fd);
   }
@@ -202,6 +205,7 @@ void TcpServer::ServeConnection(int fd) {
     last_activity = now;
     if (read_start == 0) read_start = now;
     reader.Feed(std::string_view(buf, static_cast<size_t>(n)));
+    bool completed_request = false;
     while (auto next = reader.Next()) {
       if (!next->ok()) {
         http::Response bad = ResponseForReaderError(
@@ -211,6 +215,7 @@ void TcpServer::ServeConnection(int fd) {
         break;
       }
       const http::Request& request = next->value();
+      completed_request = true;
       http::Response response =
           DispatchAdmitted(handler_, request, limits_, *counters_);
       if (draining_.load()) {
@@ -231,9 +236,17 @@ void TcpServer::ServeConnection(int fd) {
         break;
       }
     }
-    // A leftover partial message keeps the header clock running; a clean
-    // boundary resets it so keep-alive idle time is measured separately.
-    read_start = reader.buffered_bytes() > 0 ? clock.NowMicros() : 0;
+    // The header deadline bounds total time from a message's first byte
+    // to its completion, so a partial message must keep its original
+    // read_start — restarting the clock per recv would let a slowloris
+    // drip one byte per tick forever. The clock resets only on a clean
+    // boundary, or restarts at `now` when leftover bytes begin a new
+    // pipelined message (those bytes arrived in this recv).
+    if (reader.buffered_bytes() == 0) {
+      read_start = 0;
+    } else if (completed_request) {
+      read_start = now;
+    }
   }
   if (served_while_draining) {
     counters_->drained_connections.fetch_add(1, kRelaxed);
@@ -246,6 +259,7 @@ void TcpServer::ServeConnection(int fd) {
         active_fds_.end());
   }
   counters_->open_connections.fetch_sub(1, kRelaxed);
+  live_connections_.fetch_sub(1, kRelaxed);
   ::close(fd);
 }
 

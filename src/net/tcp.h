@@ -68,6 +68,9 @@ class TcpServer {
   int listen_fd_ = -1;
   std::atomic<bool> running_{false};
   std::atomic<bool> draining_{false};
+  // This server's open connections. max_connections is enforced against
+  // this, never against the (possibly shared) IngressCounters gauge.
+  std::atomic<int64_t> live_connections_{0};
   std::thread accept_thread_;
   std::mutex mu_;
   std::vector<std::thread> connection_threads_;

@@ -84,6 +84,54 @@ TEST(ReaderLimitsTest, ChunkedBodyOverCapFails) {
   EXPECT_EQ(reader.limit_violation(), Violation::kBodyBytes);
 }
 
+TEST(ReaderLimitsTest, SmallChunkUnderCapBodyNotRejectedWhileIncomplete) {
+  // 900 payload bytes sent as 1-byte chunks inflate the encoding ~6x.
+  // The cap judges payload bytes, not framing: the incomplete body must
+  // stay pending (not 413) and parse once the terminator arrives.
+  RequestReader reader;
+  reader.set_limits({0, 1024});
+  std::string encoded;
+  for (int i = 0; i < 900; ++i) encoded += "1\r\nc\r\n";
+  reader.Feed("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n" +
+              encoded);
+  EXPECT_FALSE(reader.Next().has_value());  // Incomplete, not rejected.
+  EXPECT_FALSE(reader.failed());
+  reader.Feed("0\r\n\r\n");
+  auto next = reader.Next();
+  ASSERT_TRUE(next.has_value());
+  ASSERT_TRUE(next->ok()) << next->status().ToString();
+  EXPECT_EQ(next->value().body.size(), 900u);
+}
+
+TEST(ReaderLimitsTest, DeclaredChunkOverCapFailsBeforeDelivery) {
+  // Declaring one chunk bigger than the cap commits the stream to an
+  // oversize body; the reader must fail before buffering its bytes.
+  RequestReader reader;
+  reader.set_limits({0, 16});
+  reader.Feed(
+      "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nffff\r\n");
+  auto next = reader.Next();
+  ASSERT_TRUE(next.has_value());
+  EXPECT_FALSE(next->ok());
+  EXPECT_EQ(reader.limit_violation(), Violation::kBodyBytes);
+  EXPECT_EQ(reader.buffered_bytes(), 0u);
+}
+
+TEST(ReaderLimitsTest, ChunkedFramingGarbageHitsBackstop) {
+  // An endless chunk-size line decodes to zero payload bytes, so the
+  // payload cap alone would never trip; the raw backstop must still
+  // bound the buffer.
+  RequestReader reader;
+  reader.set_limits({0, 16});
+  reader.Feed("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n");
+  reader.Feed(std::string(8 * 16 + 4096 + 64, 'a'));  // No CRLF ever.
+  auto next = reader.Next();
+  ASSERT_TRUE(next.has_value());
+  EXPECT_FALSE(next->ok());
+  EXPECT_EQ(reader.limit_violation(), Violation::kBodyBytes);
+  EXPECT_EQ(reader.buffered_bytes(), 0u);
+}
+
 TEST(ReaderLimitsTest, FailedReaderStaysFailed) {
   RequestReader reader;
   reader.set_limits({64, 0});

@@ -186,6 +186,36 @@ TEST(ServerLimitsTest, TcpDisconnectsSlowlorisAtHeaderDeadline) {
   server.Stop();
 }
 
+// Drips header bytes at `interval`, each under the header deadline, and
+// returns once the server closes the connection (send fails or EOF) or
+// `max_drips` are sent. The deadline must bound total time from first
+// byte to complete request, so the per-drip resets must not save the
+// client.
+bool DripUntilClosed(RawClient& client, MicroTime interval_micros,
+                     int max_drips) {
+  for (int i = 0; i < max_drips; ++i) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(interval_micros));
+    if (!client.Send("x")) return true;  // EPIPE: server dropped us.
+  }
+  return client.ReadUntilClose().empty();
+}
+
+TEST(ServerLimitsTest, TcpDisconnectsDrippingSlowloris) {
+  // Each drip arrives well inside the deadline; only the total budget
+  // from the first byte can catch this client.
+  ServerLimits limits;
+  limits.header_timeout_micros = 150 * kMicrosPerMilli;
+  TcpServer server(EchoHandler, 0, limits);
+  ASSERT_TRUE(server.Start().ok());
+  RawClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Send("GET /drip HTTP/1.1\r\nX-Slow: "));
+  EXPECT_TRUE(DripUntilClosed(client, 40 * kMicrosPerMilli, 25));
+  EXPECT_EQ(server.ingress().header_timeouts.load(), 1u);
+  server.Stop();
+}
+
 TEST(ServerLimitsTest, TcpReapsIdleKeepAliveConnections) {
   ServerLimits limits;
   limits.idle_timeout_micros = 150 * kMicrosPerMilli;
@@ -297,6 +327,45 @@ TEST(ServerLimitsTest, EpollDisconnectsSlowlorisAtHeaderDeadline) {
   server.Stop();
 }
 
+TEST(ServerLimitsTest, EpollDisconnectsDrippingSlowloris) {
+  ServerLimits limits;
+  limits.header_timeout_micros = 150 * kMicrosPerMilli;
+  EpollServer server(EchoHandler, 0, 1, limits);
+  ASSERT_TRUE(server.Start().ok());
+  RawClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Send("GET /drip HTTP/1.1\r\nX-Slow: "));
+  EXPECT_TRUE(DripUntilClosed(client, 40 * kMicrosPerMilli, 25));
+  EXPECT_EQ(server.ingress().header_timeouts.load(), 1u);
+  server.Stop();
+}
+
+TEST(ServerLimitsTest, EpollCountsLimitViolationOnce) {
+  // Packets arriving after a violation already failed the reader must
+  // not re-enter dispatch: one violation, one counter bump, one 431.
+  ServerLimits limits;
+  limits.max_header_bytes = 512;
+  EpollServer server(EchoHandler, 0, 1, limits);
+  ASSERT_TRUE(server.Start().ok());
+  RawClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Send("GET / HTTP/1.1\r\nX-Big: " +
+                          std::string(2048, 'h')));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  // Keep flooding the doomed connection in separate packets.
+  for (int i = 0; i < 5 && client.Send(std::string(512, 'h')); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  std::string wire = client.ReadUntilClose();
+  EXPECT_NE(wire.find(" 431 "), std::string::npos);
+  // Exactly one response on the wire: a second status line would start
+  // after the first response's final CRLF.
+  EXPECT_EQ(wire.find(" 431 ", wire.find(" 431 ") + 1),
+            std::string::npos);
+  EXPECT_EQ(server.ingress().oversize_headers.load(), 1u);
+  server.Stop();
+}
+
 TEST(ServerLimitsTest, EpollEnforcesConnectionCap) {
   ServerLimits limits;
   limits.max_connections = 1;
@@ -360,6 +429,35 @@ TEST(ServerLimitsTest, EpollGracefulDrainFinishesInflightRequest) {
   ASSERT_TRUE(response.ok()) << response.status().ToString();
   EXPECT_EQ(response->status_code, 200);
   EXPECT_EQ(response->body, "finished");
+}
+
+TEST(ServerLimitsTest, ConnectionCapIsPerServerUnderSharedCounters) {
+  // Two servers sharing one IngressCounters (the documented tool setup)
+  // must each enforce max_connections against their own connections:
+  // an occupant on server A must not consume server B's budget.
+  IngressCounters counters;
+  ServerLimits limits;
+  limits.max_connections = 1;
+  limits.counters = &counters;
+  TcpServer a(EchoHandler, 0, limits);
+  TcpServer b(EchoHandler, 0, limits);
+  ASSERT_TRUE(a.Start().ok());
+  ASSERT_TRUE(b.Start().ok());
+
+  RawClient occupant(a.port());
+  ASSERT_TRUE(occupant.connected());
+  ASSERT_TRUE(occupant.Send(SimpleGet("/hold")));
+  ASSERT_TRUE(occupant.ReadResponse().ok());  // A's only slot is taken.
+
+  RawClient fresh(b.port());  // B is empty; the shared gauge reads 1.
+  ASSERT_TRUE(fresh.connected());
+  ASSERT_TRUE(fresh.Send(SimpleGet("/unrelated")));
+  Result<http::Response> response = fresh.ReadResponse();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status_code, 200);
+  EXPECT_EQ(counters.connection_limit_rejections.load(), 0u);
+  a.Stop();
+  b.Stop();
 }
 
 TEST(ServerLimitsTest, SharedCountersReachTheCaller) {
