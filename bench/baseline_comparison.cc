@@ -82,7 +82,7 @@ RunResult RunConfiguration(Deployment& deployment, net::Handler front,
     http::Response response =
         front(deployment.site->VisitorRequest(user));
     if (response.status_code != 200 ||
-        response.body != ground_truth.at(user)) {
+        response.BodyText() != ground_truth.at(user)) {
       ++result.wrong_pages;
     }
   }
@@ -101,7 +101,7 @@ std::map<int, std::string> GroundTruth() {
        ++user) {
     truth[user] =
         deployment->origin->Handle(deployment->site->VisitorRequest(user))
-            .body;
+            .BodyText();
   }
   return truth;
 }

@@ -78,7 +78,7 @@ int main() {
     std::string node = fleet.RouteFor(request).value_or("?");
     http::Response response = fleet.Handle(request);
     std::printf("%-10s -> %-8s (%d, %zuB)\n", client.c_str(), node.c_str(),
-                response.status_code, response.body.size());
+                response.status_code, response.body_size());
   }
   std::printf("origin link so far: %lluB payload across %llu messages "
               "(one SET per edge, then GETs)\n",
@@ -91,7 +91,7 @@ int main() {
   for (const char* client : {"client-0", "client-5", "client-9"}) {
     http::Response response = fleet.Handle(request_for(client));
     std::printf("%-10s sees: %s\n", client,
-                response.body.find("BREAKING") != std::string::npos
+                response.BodyText().find("BREAKING") != std::string::npos
                     ? "fresh story"
                     : "STALE STORY (bug!)");
   }

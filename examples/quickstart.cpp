@@ -83,17 +83,17 @@ int main() {
   uint64_t first_bytes = meter.payload_bytes();
   std::printf("request 1 (cold): page=%zuB, origin link carried %lluB "
               "(template with SET + fragment body)\n",
-              first.body.size(),
+              first.body_size(),
               static_cast<unsigned long long>(first_bytes));
 
   http::Response second = proxy.Handle(request);
   uint64_t second_bytes = meter.payload_bytes() - first_bytes;
   std::printf("request 2 (warm): page=%zuB, origin link carried %lluB "
               "(template with GET only)\n",
-              second.body.size(),
+              second.body_size(),
               static_cast<unsigned long long>(second_bytes));
   std::printf("pages identical: %s; origin-link savings: %.1f%%\n",
-              first.body == second.body ? "yes" : "NO",
+              first.BodyText() == second.BodyText() ? "yes" : "NO",
               100.0 * (1.0 - static_cast<double>(second_bytes) /
                                  static_cast<double>(first_bytes)));
 
@@ -103,7 +103,7 @@ int main() {
                                           "Fresh content, same URL."))}});
   http::Response third = proxy.Handle(request);
   std::printf("after data update: %s\n",
-              third.body.find("Fresh content") != std::string::npos
+              third.BodyText().find("Fresh content") != std::string::npos
                   ? "fragment regenerated correctly"
                   : "ERROR: stale fragment served");
   return 0;

@@ -148,10 +148,10 @@ int main() {
   http::Response saved =
       edit("Caching", "Caching is remembering answers, invalidated well.");
   std::printf("POST /edit -> %d (%s)\n", saved.status_code,
-              saved.body.c_str());
+              saved.BodyText().c_str());
   http::Response updated = read("Caching");
   std::printf("re-read shows new text: %s\n",
-              updated.body.find("invalidated well") != std::string::npos
+              updated.BodyText().find("invalidated well") != std::string::npos
                   ? "yes"
                   : "NO (stale!)");
   std::printf("article regenerated (now %d); the sidebar also "
@@ -164,13 +164,13 @@ int main() {
   edit("Proxies", "A proxy speaks HTTP on both sides.");
   http::Response proxies = read("Proxies");
   std::printf("new page served: %s\n",
-              proxies.body.find("speaks HTTP") != std::string::npos
+              proxies.BodyText().find("speaks HTTP") != std::string::npos
                   ? "yes"
                   : "NO");
   http::Response caching_again = read("Caching");
   std::printf("sidebar regenerated with the new link: %s (sidebar "
               "generations now %d)\n",
-              caching_again.body.find("/wiki?title=Proxies") !=
+              caching_again.BodyText().find("/wiki?title=Proxies") !=
                       std::string::npos
                   ? "yes"
                   : "NO",

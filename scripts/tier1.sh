@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Tier-1 verification: everything a PR must keep green.
+#
+#   1. plain build + the full ctest suite (includes the docs-link check
+#      and the gcc fuzz-smoke corpus tests)
+#   2. AddressSanitizer+UBSan over the memory-sensitive suites
+#   3. ThreadSanitizer over the threaded server/integration suites
+#
+# Sanitizer passes run on suite subsets so the script stays usable on
+# small (single-core) hosts; JOBS=<n> overrides the parallelism.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+JOBS="${JOBS:-$(nproc)}"
+
+echo "== tier1: build + full test suite =="
+cmake -B build -S . >/dev/null
+cmake --build build -j"$JOBS"
+ctest --test-dir build --output-on-failure -j"$JOBS"
+
+echo "== tier1: ASan+UBSan (common/http/net/dpc/integration) =="
+cmake -B build-asan -S . -DDYNAPROX_SANITIZE=address >/dev/null
+cmake --build build-asan -j"$JOBS" --target \
+  common_test http_test net_test dpc_test integration_test
+ctest --test-dir build-asan --output-on-failure \
+  -R '^(common_test|http_test|net_test|dpc_test|integration_test)$'
+
+echo "== tier1: TSan (net/integration) =="
+cmake -B build-tsan -S . -DDYNAPROX_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j"$JOBS" --target net_test integration_test
+ctest --test-dir build-tsan --output-on-failure \
+  -R '^(net_test|integration_test)$'
+
+echo "== tier1: all green =="

@@ -1,0 +1,99 @@
+#include "common/buffer_chain.h"
+
+#include <cstring>
+
+namespace dynaprox::common {
+
+void BufferChain::Append(Buffer buffer) {
+  if (buffer == nullptr || buffer->empty()) return;
+  std::string_view whole(*buffer);
+  slices_.push_back(Slice{std::move(buffer), whole.data(), whole.size()});
+  size_ += whole.size();
+}
+
+void BufferChain::Append(Buffer buffer, std::string_view slice) {
+  if (buffer == nullptr || slice.empty()) return;
+  // Extend the previous slice instead of growing the vector when the new
+  // bytes continue it (common for templates whose escape tags split one
+  // literal run into many adjacent wire slices).
+  if (!slices_.empty()) {
+    Slice& last = slices_.back();
+    if (last.buffer == buffer && last.data + last.size == slice.data()) {
+      last.size += slice.size();
+      size_ += slice.size();
+      return;
+    }
+  }
+  slices_.push_back(Slice{std::move(buffer), slice.data(), slice.size()});
+  size_ += slice.size();
+}
+
+void BufferChain::Append(BufferChain other) {
+  if (other.empty()) return;
+  size_ += other.size_;
+  if (slices_.empty()) {
+    slices_ = std::move(other.slices_);
+  } else {
+    slices_.reserve(slices_.size() + other.slices_.size());
+    for (Slice& slice : other.slices_) {
+      slices_.push_back(std::move(slice));
+    }
+  }
+  other.Clear();
+}
+
+void BufferChain::AppendCopy(std::string_view bytes) {
+  if (bytes.empty()) return;
+  Buffer owned = MakeBuffer(std::string(bytes));
+  Append(std::move(owned));
+}
+
+void BufferChain::Clear() {
+  slices_.clear();
+  size_ = 0;
+}
+
+std::string BufferChain::Flatten() const {
+  std::string out;
+  AppendTo(out);
+  return out;
+}
+
+void BufferChain::AppendTo(std::string& out) const {
+  out.reserve(out.size() + size_);
+  for (const Slice& slice : slices_) {
+    out.append(slice.data, slice.size);
+  }
+}
+
+bool BufferChain::ContentEquals(std::string_view expected) const {
+  if (expected.size() != size_) return false;
+  size_t at = 0;
+  for (const Slice& slice : slices_) {
+    if (std::memcmp(expected.data() + at, slice.data, slice.size) != 0) {
+      return false;
+    }
+    at += slice.size;
+  }
+  return true;
+}
+
+size_t BufferChain::FillIovecs(size_t offset, struct iovec* iov,
+                               size_t max_iovecs) const {
+  size_t filled = 0;
+  for (const Slice& slice : slices_) {
+    if (filled >= max_iovecs) break;
+    if (offset >= slice.size) {
+      offset -= slice.size;
+      continue;
+    }
+    iov[filled].iov_base =
+        const_cast<char*>(slice.data + offset);  // writev takes non-const.
+    iov[filled].iov_len = slice.size - offset;
+    offset = 0;
+    ++filled;
+  }
+  return filled;
+}
+
+}  // namespace dynaprox::common

@@ -1,0 +1,92 @@
+#ifndef DYNAPROX_COMMON_BUFFER_CHAIN_H_
+#define DYNAPROX_COMMON_BUFFER_CHAIN_H_
+
+#include <sys/uio.h>
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dynaprox::common {
+
+// A reference-counted immutable byte buffer. Matches dpc::FragmentRef so a
+// cached fragment can be spliced into a response chain without conversion.
+using Buffer = std::shared_ptr<const std::string>;
+
+// Moves `text` into a freshly allocated shared buffer.
+inline Buffer MakeBuffer(std::string text) {
+  return std::make_shared<const std::string>(std::move(text));
+}
+
+// An ordered sequence of slices over shared immutable buffers: the
+// zero-copy spine of the response path. A slice holds a reference to its
+// backing buffer plus the byte range it covers, so one fragment buffer can
+// appear in any number of chains (and any number of positions) without its
+// bytes ever being duplicated; the buffer stays alive until the last chain
+// referencing it is destroyed, even if the fragment store has already
+// replaced the slot.
+//
+// Chains are cheap to copy (slice vector + refcount bumps, no byte
+// copies), cheap to splice, and export directly to an iovec array for
+// vectored socket writes. Not thread-safe; share the underlying Buffers,
+// not the chain object.
+class BufferChain {
+ public:
+  struct Slice {
+    Buffer buffer;  // Keeps the bytes alive; never null.
+    const char* data = nullptr;
+    size_t size = 0;
+
+    std::string_view view() const { return {data, size}; }
+  };
+
+  BufferChain() = default;
+
+  // Appends the whole buffer as one slice.
+  void Append(Buffer buffer);
+
+  // Appends `slice`, which must point into `*buffer` (the caller
+  // guarantees the aliasing; this is what makes the append zero-copy).
+  void Append(Buffer buffer, std::string_view slice);
+
+  // Splices another chain onto the end (slice handles move over; no byte
+  // copies).
+  void Append(BufferChain other);
+
+  // Copies `bytes` into a new owned buffer. The escape hatch for data
+  // that has no shared owner (error pages, serialized headers).
+  void AppendCopy(std::string_view bytes);
+
+  void Clear();
+
+  bool empty() const { return size_ == 0; }
+  size_t size() const { return size_; }
+  size_t slice_count() const { return slices_.size(); }
+  const std::vector<Slice>& slices() const { return slices_; }
+
+  // Materializes the chain as one contiguous string (copies every byte;
+  // keep off the hot path).
+  std::string Flatten() const;
+  void AppendTo(std::string& out) const;
+
+  // Byte-for-byte equality against a contiguous string, without
+  // flattening.
+  bool ContentEquals(std::string_view expected) const;
+
+  // Fills `iov` with up to `max_iovecs` entries describing the bytes from
+  // `offset` to the end of the chain (a mid-slice offset yields a partial
+  // first entry — exactly what resuming after a short writev needs).
+  // Returns the number of entries filled. `offset` >= size() fills
+  // nothing.
+  size_t FillIovecs(size_t offset, struct iovec* iov,
+                    size_t max_iovecs) const;
+
+ private:
+  std::vector<Slice> slices_;
+  size_t size_ = 0;
+};
+
+}  // namespace dynaprox::common
+
+#endif  // DYNAPROX_COMMON_BUFFER_CHAIN_H_

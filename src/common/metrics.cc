@@ -174,6 +174,23 @@ void Registry::RegisterCallbackGauge(const std::string& name,
   entries_.push_back(std::move(entry));
 }
 
+void Registry::RegisterCallbackGaugeVec(const std::string& name,
+                                        const std::string& help,
+                                        const std::string& label_key,
+                                        size_t series_count,
+                                        std::function<double(size_t)> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Find(name) != nullptr) return;
+  auto entry = std::make_unique<Entry>();
+  entry->kind = Kind::kCallbackGaugeVec;
+  entry->name = name;
+  entry->help = help;
+  entry->label_key = label_key;
+  entry->series_count = series_count;
+  entry->callback_gauge_vec = std::move(fn);
+  entries_.push_back(std::move(entry));
+}
+
 std::string Registry::RenderPrometheus() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out;
@@ -199,6 +216,15 @@ std::string Registry::RenderPrometheus() const {
         out += "# TYPE " + entry->name + " gauge\n";
         out += entry->name + " " + FormatSample(entry->callback_gauge()) +
                "\n";
+        break;
+      }
+      case Kind::kCallbackGaugeVec: {
+        out += "# TYPE " + entry->name + " gauge\n";
+        for (size_t i = 0; i < entry->series_count; ++i) {
+          out += entry->name + "{" + entry->label_key + "=\"" +
+                 std::to_string(i) + "\"} " +
+                 FormatSample(entry->callback_gauge_vec(i)) + "\n";
+        }
         break;
       }
       case Kind::kHistogram: {

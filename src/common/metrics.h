@@ -114,6 +114,15 @@ class Registry {
   void RegisterCallbackGauge(const std::string& name, const std::string& help,
                              std::function<double()> fn);
 
+  // A labeled gauge family sampled at scrape time: `series_count` samples
+  // rendered as name{label_key="i"} under one HELP/TYPE block (e.g. the
+  // fragment store's per-shard resident bytes). `fn(i)` supplies sample i.
+  void RegisterCallbackGaugeVec(const std::string& name,
+                                const std::string& help,
+                                const std::string& label_key,
+                                size_t series_count,
+                                std::function<double(size_t)> fn);
+
   // Renders every registered metric in the Prometheus text exposition
   // format (version 0.0.4): # HELP / # TYPE lines, then samples;
   // histograms expand to cumulative _bucket{le=...}, _sum, _count.
@@ -121,7 +130,7 @@ class Registry {
 
  private:
   enum class Kind { kCounter, kGauge, kHistogram, kCallbackCounter,
-                    kCallbackGauge };
+                    kCallbackGauge, kCallbackGaugeVec };
 
   struct Entry {
     Kind kind;
@@ -132,6 +141,9 @@ class Registry {
     std::unique_ptr<LatencyHistogram> histogram;
     std::function<uint64_t()> callback_counter;
     std::function<double()> callback_gauge;
+    std::string label_key;       // kCallbackGaugeVec only.
+    size_t series_count = 0;     // kCallbackGaugeVec only.
+    std::function<double(size_t)> callback_gauge_vec;
   };
 
   Entry* Find(const std::string& name);

@@ -2,29 +2,37 @@
 
 namespace dynaprox::dpc {
 
-Result<AssembledPage> AssemblePage(std::string_view wire,
+Result<AssembledPage> AssemblePage(common::Buffer wire,
                                    FragmentStore& store,
                                    ScanStrategy strategy, const Clock* clock,
                                    AssemblyTiming* timing) {
   bool timed = clock != nullptr && timing != nullptr;
   MicroTime start = timed ? clock->NowMicros() : 0;
+  std::string_view wire_view = wire == nullptr ? std::string_view() : *wire;
   std::vector<TemplateSegment> segments;
-  DYNAPROX_ASSIGN_OR_RETURN(segments, ParseTemplate(wire, strategy));
+  DYNAPROX_ASSIGN_OR_RETURN(segments, ParseTemplate(wire_view, strategy));
   MicroTime scanned = timed ? clock->NowMicros() : 0;
   if (timed) timing->scan_micros = scanned - start;
 
   AssembledPage out;
-  out.page.reserve(wire.size());
   for (TemplateSegment& segment : segments) {
     switch (segment.kind) {
       case TemplateSegment::Kind::kLiteral:
-        out.page += segment.text;
+        for (std::string_view piece : segment.pieces) {
+          out.body.Append(wire, piece);
+          out.bytes_referenced += piece.size();
+        }
         break;
       case TemplateSegment::Kind::kSet: {
         ++out.set_count;
-        out.page += segment.text;
-        DYNAPROX_RETURN_IF_ERROR(
-            store.Set(segment.key, std::move(segment.text)));
+        // One materialization, shared: the store slot and the page chain
+        // hold the same buffer, so the payload is never copied again —
+        // not here, and not by any later page that GETs it.
+        FragmentRef fragment =
+            std::make_shared<const std::string>(segment.Text());
+        out.bytes_copied += fragment->size();
+        out.body.Append(fragment);
+        DYNAPROX_RETURN_IF_ERROR(store.Set(segment.key, std::move(fragment)));
         break;
       }
       case TemplateSegment::Kind::kGet: {
@@ -37,13 +45,22 @@ Result<AssembledPage> AssemblePage(std::string_view wire,
           }
           return content.status();
         }
-        out.page += **content;
+        out.bytes_referenced += (*content)->size();
+        out.body.Append(std::move(*content));
         break;
       }
     }
   }
   if (timed) timing->splice_micros = clock->NowMicros() - scanned;
   return out;
+}
+
+Result<AssembledPage> AssemblePage(std::string_view wire,
+                                   FragmentStore& store,
+                                   ScanStrategy strategy, const Clock* clock,
+                                   AssemblyTiming* timing) {
+  return AssemblePage(common::MakeBuffer(std::string(wire)), store, strategy,
+                      clock, timing);
 }
 
 }  // namespace dynaprox::dpc

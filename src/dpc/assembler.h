@@ -2,9 +2,11 @@
 #define DYNAPROX_DPC_ASSEMBLER_H_
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "bem/types.h"
+#include "common/buffer_chain.h"
 #include "common/clock.h"
 #include "common/result.h"
 #include "dpc/fragment_store.h"
@@ -12,16 +14,28 @@
 
 namespace dynaprox::dpc {
 
-// Result of assembling one response template.
+// Result of assembling one response template. The body is a buffer chain:
+// literals alias the retained template wire buffer, GET splices alias the
+// store's fragment buffers, and each SET payload is materialized exactly
+// once into a buffer shared by the store slot and the chain. Nothing is
+// flattened until (unless) a consumer insists on contiguous bytes.
 struct AssembledPage {
-  std::string page;
+  common::BufferChain body;
   size_t set_count = 0;
   size_t get_count = 0;
   // dpcKeys whose GET found an empty slot (cold cache). When non-empty the
   // page is incomplete; the proxy triggers miss recovery.
   std::vector<bem::DpcKey> missing_keys;
+  // Copy-elimination accounting: bytes memcpy'd while building this page
+  // (SET materialization only) vs bytes spliced in by reference (literals
+  // and GET fragments). Feeds the dpc_body_bytes_{copied,referenced}
+  // counters.
+  size_t bytes_copied = 0;
+  size_t bytes_referenced = 0;
 
   bool complete() const { return missing_keys.empty(); }
+  // Flattens the chain; for tests and legacy callers, not the wire path.
+  std::string Text() const { return body.Flatten(); }
 };
 
 // Stage timing of one AssemblePage call, for the proxy's per-stage
@@ -29,14 +43,22 @@ struct AssembledPage {
 // boundary — so the instrumentation cost is independent of page size.
 struct AssemblyTiming {
   MicroTime scan_micros = 0;    // Template scan (ParseTemplate).
-  MicroTime splice_micros = 0;  // SET stores + GET splices + literal copy.
+  MicroTime splice_micros = 0;  // SET stores + GET splices + literal refs.
 };
 
 // Assembles a final page from a BEM template (paper 4.3.2): stores SET
 // payloads into `store`, splices GET payloads out of it. Fails only on a
 // corrupt template; cold-cache GET misses are reported via `missing_keys`.
-// When `clock` and `timing` are both non-null, reports per-stage wall
-// time into `timing`.
+// The returned page's chain holds a reference to `wire`, so the template
+// bytes stay alive as long as the page does. When `clock` and `timing`
+// are both non-null, reports per-stage wall time into `timing`.
+Result<AssembledPage> AssemblePage(
+    common::Buffer wire, FragmentStore& store,
+    ScanStrategy strategy = ScanStrategy::kMemchr,
+    const Clock* clock = nullptr, AssemblyTiming* timing = nullptr);
+
+// Convenience overload for callers holding plain bytes: copies `wire`
+// into a shared buffer first (the copy is the price of not owning one).
 Result<AssembledPage> AssemblePage(
     std::string_view wire, FragmentStore& store,
     ScanStrategy strategy = ScanStrategy::kMemchr,

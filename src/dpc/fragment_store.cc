@@ -3,11 +3,20 @@
 namespace dynaprox::dpc {
 
 Status FragmentStore::Set(bem::DpcKey key, std::string content) {
+  return Set(key,
+             std::make_shared<const std::string>(std::move(content)));
+}
+
+Status FragmentStore::Set(bem::DpcKey key, FragmentRef content) {
   if (key >= slots_.size()) {
     return Status::InvalidArgument("dpcKey out of range: " +
                                    std::to_string(key));
   }
-  FragmentRef fresh = std::make_shared<const std::string>(std::move(content));
+  if (content == nullptr) {
+    return Status::InvalidArgument("null fragment for dpcKey " +
+                                   std::to_string(key));
+  }
+  FragmentRef fresh = std::move(content);
   size_t fresh_bytes = fresh->size();
   size_t evicted_bytes = 0;
   bool replaced = false;
@@ -66,6 +75,10 @@ size_t FragmentStore::occupied_slots() const {
     total += shard.occupied.load(std::memory_order_relaxed);
   }
   return total;
+}
+
+size_t FragmentStore::shard_content_bytes(size_t shard) const {
+  return shards_[shard].content_bytes.load(std::memory_order_relaxed);
 }
 
 size_t FragmentStore::content_bytes() const {

@@ -44,6 +44,11 @@ class FragmentStore {
   // Stores `content` in slot `key`, overwriting any previous occupant.
   Status Set(bem::DpcKey key, std::string content);
 
+  // Same, but takes an already-shared buffer. The zero-copy assembly path
+  // uses this so the store and the page's BufferChain reference one
+  // allocation instead of materializing the payload twice.
+  Status Set(bem::DpcKey key, FragmentRef content);
+
   // Returns the slot's content; NotFound if the slot has never been set
   // (e.g. a cold DPC receiving a GET after restart). The returned ref
   // stays valid even if the slot is overwritten concurrently.
@@ -58,6 +63,9 @@ class FragmentStore {
   size_t occupied_slots() const;
   // Total bytes currently held across all slots.
   size_t content_bytes() const;
+  // Bytes held by one shard's slots (`shard` < kShards), for the
+  // per-shard dynaprox_dpc_fragment_bytes gauge.
+  size_t shard_content_bytes(size_t shard) const;
   StoreStats stats() const;
 
  private:

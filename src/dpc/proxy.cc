@@ -89,6 +89,13 @@ void DpcProxy::RegisterMetrics() {
   instruments_.bytes_to_clients = registry_.GetCounter(
       "dynaprox_bytes_to_clients_total",
       "Response body bytes sent to clients.");
+  instruments_.body_bytes_copied = registry_.GetCounter(
+      "dynaprox_dpc_body_bytes_copied_total",
+      "Assembled-page body bytes memcpy'd (SET materialization only).");
+  instruments_.body_bytes_referenced = registry_.GetCounter(
+      "dynaprox_dpc_body_bytes_referenced_total",
+      "Assembled-page body bytes spliced by reference (literals and GET "
+      "fragments), never copied.");
 
   // Per-stage latency histograms (seconds).
   instruments_.request_duration = registry_.GetHistogram(
@@ -114,6 +121,12 @@ void DpcProxy::RegisterMetrics() {
   registry_.RegisterCallbackGauge(
       "dynaprox_store_content_bytes", "Bytes of fragment content stored.",
       [this] { return static_cast<double>(store_.content_bytes()); });
+  registry_.RegisterCallbackGaugeVec(
+      "dynaprox_dpc_fragment_bytes",
+      "Resident fragment bytes per store shard.", "shard",
+      FragmentStore::kShards, [this](size_t shard) {
+        return static_cast<double>(store_.shard_content_bytes(shard));
+      });
   registry_.RegisterCallbackCounter(
       "dynaprox_store_sets_total", "SET instructions executed.",
       [this] { return store_.stats().sets; });
@@ -279,9 +292,9 @@ ProxyStats DpcProxy::stats() const {
 }
 
 http::Response DpcProxy::BuildAssembledResponse(
-    const http::Request& request, const http::Response& upstream,
+    const http::Request& request, http::Response upstream,
     AssembledPage page) {
-  http::Response response = upstream;
+  http::Response response = std::move(upstream);
   response.headers.Remove(bem::kTemplateHeader);
   response.headers.Remove("Content-Length");
   if (options_.proxy_headers) {
@@ -292,13 +305,18 @@ http::Response DpcProxy::BuildAssembledResponse(
         kDebugHeader, "sets=" + std::to_string(page.set_count) +
                           ";gets=" + std::to_string(page.get_count));
   }
-  response.body = std::move(page.page);
+  // Zero-copy handoff: the page's chain (template slices + shared
+  // fragment buffers) becomes the response body as-is.
+  response.body.clear();
+  response.body_chain = std::move(page.body);
   if (stale_cache_ != nullptr && request.method == "GET" &&
       response.status_code == 200) {
     stale_cache_->Remember(request.target, response);
   }
   instruments_.assembled->Increment();
-  instruments_.bytes_to_clients->Increment(response.body.size());
+  instruments_.bytes_to_clients->Increment(response.body_size());
+  instruments_.body_bytes_copied->Increment(page.bytes_copied);
+  instruments_.body_bytes_referenced->Increment(page.bytes_referenced);
   return response;
 }
 
@@ -374,6 +392,11 @@ http::Response DpcProxy::RenderStatus() const {
   json.Key("capacity").Uint(store_.capacity());
   json.Key("occupied_slots").Uint(store_.occupied_slots());
   json.Key("content_bytes").Uint(store_.content_bytes());
+  json.Key("bytes").BeginArray();
+  for (size_t shard = 0; shard < FragmentStore::kShards; ++shard) {
+    json.Uint(store_.shard_content_bytes(shard));
+  }
+  json.EndArray();
   json.Key("sets").Uint(store_stats.sets);
   json.Key("gets").Uint(store_stats.gets);
   json.Key("get_misses").Uint(store_stats.get_misses);
@@ -479,7 +502,7 @@ http::Response DpcProxy::Handle(const http::Request& request) {
     entry.method = request.method;
     entry.target = request.target;
     entry.status = response.status_code;
-    entry.bytes_sent = response.body.size();
+    entry.bytes_sent = response.body_size();
     entry.duration_micros = elapsed;
     entry.outcome = outcome;
     options_.access_log->Log(entry);
@@ -595,10 +618,15 @@ http::Response DpcProxy::HandleProxied(const http::Request& request,
               std::to_string(options_.max_template_bytes));
     }
 
+    // The template body moves into a shared wire buffer: the assembled
+    // page's literal slices alias it, so it must outlive the page — the
+    // chain's references keep it alive, no copy.
+    common::Buffer wire =
+        common::MakeBuffer(std::move(upstream_response->body));
+    upstream_response->body.clear();
     AssemblyTiming timing;
-    Result<AssembledPage> assembled =
-        AssemblePage(upstream_response->body, store_, options_.scan_strategy,
-                     clock_, &timing);
+    Result<AssembledPage> assembled = AssemblePage(
+        wire, store_, options_.scan_strategy, clock_, &timing);
     instruments_.scan_duration->Observe(MicrosToSeconds(timing.scan_micros));
     instruments_.splice_duration->Observe(
         MicrosToSeconds(timing.splice_micros));
@@ -611,7 +639,7 @@ http::Response DpcProxy::HandleProxied(const http::Request& request,
     }
     if (assembled->complete()) {
       *outcome = "assembled";
-      return BuildAssembledResponse(request, *upstream_response,
+      return BuildAssembledResponse(request, std::move(*upstream_response),
                                     std::move(*assembled));
     }
 

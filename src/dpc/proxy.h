@@ -172,6 +172,8 @@ class DpcProxy {
     metrics::Counter* degraded_503s;
     metrics::Counter* bytes_from_upstream;
     metrics::Counter* bytes_to_clients;
+    metrics::Counter* body_bytes_copied;
+    metrics::Counter* body_bytes_referenced;
     metrics::LatencyHistogram* request_duration;
     metrics::LatencyHistogram* upstream_fetch_duration;
     metrics::LatencyHistogram* scan_duration;
@@ -187,7 +189,7 @@ class DpcProxy {
                                const std::string& request_id,
                                const char** outcome);
   http::Response BuildAssembledResponse(const http::Request& request,
-                                        const http::Response& upstream,
+                                        http::Response upstream,
                                         AssembledPage page);
   // Degraded path: last-known-good page (Warning: 110 + Age) if one
   // exists, else 503 + Retry-After (or the legacy 502 when serve-stale is

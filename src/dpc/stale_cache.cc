@@ -16,8 +16,13 @@ void StalePageCache::Remember(const std::string& url,
     entries_.erase(it);
   }
   lru_.push_front(url);
-  entries_[url] =
+  Entry& entry = entries_[url] =
       Entry{response, options_.clock->NowMicros(), lru_.begin()};
+  // A chained body holds references into the fragment store and the
+  // template wire buffer; collapse to one contiguous allocation so a
+  // long-retained entry doesn't pin them. The flatten happens at most
+  // once per insert — lookups copy the already-flat entry.
+  entry.response.FlattenBody();
   ++stats_.remembers;
   while (entries_.size() > options_.capacity && !lru_.empty()) {
     entries_.erase(lru_.back());

@@ -103,8 +103,12 @@ bool StaticCache::Store(const std::string& url,
     entries_.erase(it);
   }
   lru_.push_front(url);
-  entries_[url] = Entry{response, options_.clock->NowMicros(), freshness,
-                        std::move(etag), lru_.begin()};
+  Entry& entry = entries_[url] =
+      Entry{response, options_.clock->NowMicros(), freshness,
+            std::move(etag), lru_.begin()};
+  // Retained entries must not pin shared assembly buffers: flatten once
+  // on insert (no-op for the usual string-bodied passthrough response).
+  entry.response.FlattenBody();
   ++stats_.stores;
   while (entries_.size() > options_.capacity && !lru_.empty()) {
     entries_.erase(lru_.back());

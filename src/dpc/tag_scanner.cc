@@ -52,26 +52,39 @@ Status ParseKeyTag(std::string_view wire, size_t hex_begin,
 Result<std::vector<TemplateSegment>> ParseTemplate(std::string_view wire,
                                                    ScanStrategy strategy) {
   std::vector<TemplateSegment> segments;
-  std::string buffer;
+  // Views accumulating the current literal run or SET payload. Adjacent
+  // wire ranges merge, so a template without escapes yields exactly one
+  // piece per segment.
+  std::vector<std::string_view> pieces;
   bool inside_set = false;
   bem::DpcKey set_key = bem::kInvalidDpcKey;
 
+  auto add_piece = [&](std::string_view piece) {
+    if (piece.empty()) return;
+    if (!pieces.empty() &&
+        pieces.back().data() + pieces.back().size() == piece.data()) {
+      pieces.back() = std::string_view(pieces.back().data(),
+                                       pieces.back().size() + piece.size());
+      return;
+    }
+    pieces.push_back(piece);
+  };
+
   auto flush_literal = [&]() {
-    if (buffer.empty()) return;
-    segments.push_back(
-        {TemplateSegment::Kind::kLiteral, bem::kInvalidDpcKey,
-         std::move(buffer)});
-    buffer.clear();
+    if (pieces.empty()) return;
+    segments.push_back({TemplateSegment::Kind::kLiteral, bem::kInvalidDpcKey,
+                        std::move(pieces)});
+    pieces.clear();
   };
 
   size_t pos = 0;
   for (;;) {
     size_t stx = FindMarker(wire, pos, strategy);
     if (stx == std::string_view::npos) {
-      buffer.append(wire.substr(pos));
+      add_piece(wire.substr(pos));
       break;
     }
-    buffer.append(wire.substr(pos, stx - pos));
+    add_piece(wire.substr(pos, stx - pos));
     if (stx + 1 >= wire.size()) {
       return Status::Corruption("truncated tag at end of template");
     }
@@ -81,7 +94,9 @@ Result<std::vector<TemplateSegment>> ParseTemplate(std::string_view wire,
         if (stx + 2 >= wire.size() || wire[stx + 2] != kEtx) {
           return Status::Corruption("malformed literal-escape tag");
         }
-        buffer += kStx;
+        // The escape emits one STX byte — which is the tag's own leading
+        // byte, so the emitted byte aliases the wire too.
+        add_piece(wire.substr(stx, 1));
         pos = stx + 3;
         break;
       }
@@ -101,8 +116,8 @@ Result<std::vector<TemplateSegment>> ParseTemplate(std::string_view wire,
           return Status::Corruption("malformed SET-end tag");
         }
         segments.push_back(
-            {TemplateSegment::Kind::kSet, set_key, std::move(buffer)});
-        buffer.clear();
+            {TemplateSegment::Kind::kSet, set_key, std::move(pieces)});
+        pieces.clear();
         inside_set = false;
         set_key = bem::kInvalidDpcKey;
         pos = stx + 3;

@@ -18,23 +18,46 @@ enum class ScanStrategy {
   kByteLoop,
 };
 
-// One parsed piece of a response template.
+// One parsed piece of a response template. Segments do not own their
+// payload: `pieces` are views into the scanned wire bytes, which must
+// outlive the segment vector (the assembler retains the wire buffer in
+// the page's BufferChain for exactly this reason). A payload is usually
+// one contiguous view; literal-escape tags split it into several, because
+// the escape's own STX byte doubles as the emitted byte — so even escaped
+// output aliases the wire and the scanner never copies or allocates
+// per-byte.
 struct TemplateSegment {
   enum class Kind {
     kLiteral,  // Page text to emit verbatim (already unescaped).
-    kSet,      // Store `text` under `key`, then emit it.
+    kSet,      // Store the payload under `key`, then emit it.
     kGet,      // Emit the cached fragment stored under `key`.
   };
 
   Kind kind;
   bem::DpcKey key = bem::kInvalidDpcKey;
-  std::string text;
+  std::vector<std::string_view> pieces;  // Empty for kGet.
+
+  // Total payload bytes across pieces.
+  size_t text_size() const {
+    size_t total = 0;
+    for (std::string_view piece : pieces) total += piece.size();
+    return total;
+  }
+
+  // Materializes the payload (tests and fragment-store inserts; the
+  // zero-copy assembly path splices `pieces` directly).
+  std::string Text() const {
+    std::string out;
+    out.reserve(text_size());
+    for (std::string_view piece : pieces) out.append(piece);
+    return out;
+  }
 };
 
 // Parses a BEM-encoded response template (see bem::TagCodec for the wire
-// grammar) into segments. Fails with Corruption on malformed input:
-// truncated tags, unknown markers, bad hex keys, SET without matching end,
-// nested SET, or GET inside SET.
+// grammar) into segments viewing `wire`. Fails with Corruption on
+// malformed input: truncated tags, unknown markers, bad hex keys, SET
+// without matching end, nested SET, or GET inside SET.
 Result<std::vector<TemplateSegment>> ParseTemplate(
     std::string_view wire, ScanStrategy strategy = ScanStrategy::kMemchr);
 

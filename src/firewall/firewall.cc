@@ -32,6 +32,9 @@ Result<http::Response> ScanningFirewall::RoundTrip(
   }
   Result<http::Response> response = inner_->RoundTrip(request);
   if (response.ok()) {
+    // Signatures may straddle slice boundaries, so a chained body must be
+    // scanned contiguously; flattening is a no-op for string bodies.
+    response->FlattenBody();
     Scan(response->body);
   }
   return response;

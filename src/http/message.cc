@@ -78,24 +78,51 @@ size_t Request::SerializedSize() const {
          with_length.SerializedSize() + 2 + body.size();
 }
 
-std::string Response::Serialize() const {
+void Response::FlattenBody() {
+  if (body_chain.empty()) return;
+  body = body_chain.Flatten();
+  body_chain.Clear();
+}
+
+std::string Response::SerializeHead() const {
   std::string out;
-  out.reserve(SerializedSize());
   out += version;
   out += ' ';
   out += std::to_string(status_code);
   out += ' ';
   out += reason;
   out += "\r\n";
-  AppendHeaders(WithContentLength(headers, body.size()), out);
-  out += body;
+  AppendHeaders(WithContentLength(headers, body_size()), out);
   return out;
 }
 
+std::string Response::Serialize() const {
+  std::string out;
+  out.reserve(SerializedSize());
+  out += SerializeHead();
+  if (body_chain.empty()) {
+    out += body;
+  } else {
+    body_chain.AppendTo(out);
+  }
+  return out;
+}
+
+common::BufferChain Response::SerializeToChain() const {
+  common::BufferChain wire;
+  wire.Append(common::MakeBuffer(SerializeHead()));
+  if (body_chain.empty()) {
+    wire.AppendCopy(body);
+  } else {
+    wire.Append(body_chain);  // Refcount bumps only.
+  }
+  return wire;
+}
+
 size_t Response::SerializedSize() const {
-  HeaderMap with_length = WithContentLength(headers, body.size());
+  HeaderMap with_length = WithContentLength(headers, body_size());
   return version.size() + 1 + std::to_string(status_code).size() + 1 +
-         reason.size() + 2 + with_length.SerializedSize() + 2 + body.size();
+         reason.size() + 2 + with_length.SerializedSize() + 2 + body_size();
 }
 
 Response Response::MakeOk(std::string body, std::string content_type) {

@@ -5,6 +5,7 @@
 #include <string>
 #include <string_view>
 
+#include "common/buffer_chain.h"
 #include "http/header_map.h"
 
 namespace dynaprox::http {
@@ -35,15 +36,46 @@ struct Request {
   size_t SerializedSize() const;
 };
 
-// An HTTP/1.1 response.
+// An HTTP/1.1 response. The body has two representations: the contiguous
+// `body` string, and the zero-copy `body_chain` of shared buffer slices
+// (assembled pages, spliced fragments). A non-empty chain IS the body —
+// it takes precedence over `body`, which is then ignored by every
+// serializer and accessor below. Producers set exactly one of the two.
 struct Response {
   int status_code = 200;
   std::string reason = "OK";
   std::string version = "HTTP/1.1";
   HeaderMap headers;
   std::string body;
+  common::BufferChain body_chain;
 
+  // Body size regardless of representation.
+  size_t body_size() const {
+    return body_chain.empty() ? body.size() : body_chain.size();
+  }
+
+  // Body bytes as a contiguous string (flattens a chained body — for
+  // in-process consumers and tests, not the socket path).
+  std::string BodyText() const {
+    return body_chain.empty() ? body : body_chain.Flatten();
+  }
+
+  // Collapses a chained body into `body` (idempotent). Used where a
+  // response is retained long-term in one contiguous allocation (stale
+  // page cache) — at most one flatten per cached entry.
+  void FlattenBody();
+
+  // Status line + headers (Content-Length added if absent) + blank line,
+  // without the body.
+  std::string SerializeHead() const;
+
+  // Full wire form as one contiguous string (copies a chained body).
   std::string Serialize() const;
+
+  // Full wire form as a chain: one owned buffer for the head, then the
+  // body as shared slices. The zero-copy socket path.
+  common::BufferChain SerializeToChain() const;
+
   size_t SerializedSize() const;
 
   static Response MakeOk(std::string body,

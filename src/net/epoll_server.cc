@@ -15,6 +15,7 @@
 #include <map>
 #include <vector>
 
+#include "common/buffer_chain.h"
 #include "common/clock.h"
 #include "common/logging.h"
 #include "common/strings.h"
@@ -138,8 +139,8 @@ class EpollServer::Worker {
  private:
   struct Connection {
     http::RequestReader reader;
-    std::string out;          // Bytes pending write.
-    size_t out_offset = 0;
+    common::BufferChain out;  // Slices pending write (shared buffers).
+    size_t out_offset = 0;    // Bytes of `out` already sent.
     bool want_write = false;  // EPOLLOUT armed.
     bool close_after_flush = false;
     bool served_during_drain = false;
@@ -270,11 +271,18 @@ class EpollServer::Worker {
   }
 
   // Flushes as much of conn.out as the socket accepts; rearms EPOLLOUT as
-  // needed. Returns false if the connection died.
+  // needed. Returns false if the connection died. Vectored: the chain's
+  // slices are re-exported from the current byte offset on every call, so
+  // a short write that stops mid-slice resumes at the exact byte.
   bool Flush(int fd, Connection& conn) {
+    constexpr size_t kMaxIovecs = 64;  // Under any sane IOV_MAX.
+    struct iovec iov[kMaxIovecs];
     while (conn.out_offset < conn.out.size()) {
-      ssize_t n = ::send(fd, conn.out.data() + conn.out_offset,
-                         conn.out.size() - conn.out_offset, MSG_NOSIGNAL);
+      size_t n_iov = conn.out.FillIovecs(conn.out_offset, iov, kMaxIovecs);
+      msghdr msg{};
+      msg.msg_iov = iov;
+      msg.msg_iovlen = n_iov;
+      ssize_t n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
       if (n > 0) {
         conn.out_offset += static_cast<size_t>(n);
         conn.write_start = 0;  // Progress: restart the stall clock.
@@ -297,8 +305,8 @@ class EpollServer::Worker {
       CloseConnection(fd);
       return false;
     }
-    // Fully flushed.
-    conn.out.clear();
+    // Fully flushed: drop the slices (and their buffer references).
+    conn.out.Clear();
     conn.out_offset = 0;
     conn.write_start = 0;
     if (conn.want_write) {
@@ -374,7 +382,7 @@ class EpollServer::Worker {
         http::Response bad = ResponseForReaderError(
             conn.reader.limit_violation(), next->status(),
             *server_->counters_);
-        conn.out += bad.Serialize();
+        conn.out.Append(bad.SerializeToChain());
         conn.close_after_flush = true;
         break;
       }
@@ -395,7 +403,7 @@ class EpollServer::Worker {
       if (conn.close_after_flush) {
         response.headers.Set("Connection", "close");
       }
-      conn.out += response.Serialize();
+      conn.out.Append(response.SerializeToChain());
     }
     // The header deadline bounds total time from a message's first byte
     // to its completion, so a partial message must keep its original

@@ -228,7 +228,9 @@ void TcpServer::ServeConnection(int fd) {
         keep_alive = false;
       }
       if (!keep_alive) response.headers.Set("Connection", "close");
-      if (!SendAll(fd, response.Serialize()).ok()) {
+      // Vectored write: headers in one owned buffer, body as shared
+      // slices — assembled pages go to the kernel without flattening.
+      if (!SendChain(fd, response.SerializeToChain()).ok()) {
         if (errno == EAGAIN || errno == EWOULDBLOCK) {
           counters_->write_stall_closes.fetch_add(1, kRelaxed);
         }

@@ -17,7 +17,7 @@ DriverStats RunWorkload(net::Transport& transport, RequestStream& stream,
     } else {
       ++stats.error_responses;
     }
-    stats.response_body_bytes += response->body.size();
+    stats.response_body_bytes += response->body_size();
   }
   return stats;
 }

@@ -61,7 +61,7 @@ TEST(ScriptContextTest, MissEmitsSetAndRegisters) {
   dpc::FragmentStore store(16);
   Result<dpc::AssembledPage> page = dpc::AssemblePage(response.body, store);
   ASSERT_TRUE(page.ok());
-  EXPECT_EQ(page->page, "content");
+  EXPECT_EQ(page->Text(), "content");
   EXPECT_EQ(page->set_count, 1u);
   EXPECT_TRUE(monitor->LookupFragment(bem::FragmentId("f")).hit());
 }
@@ -89,7 +89,7 @@ TEST(ScriptContextTest, HitEmitsGetWithoutRunningGenerator) {
   ASSERT_TRUE(store.Set(key, "cached-content").ok());
   Result<dpc::AssembledPage> page = dpc::AssemblePage(response.body, store);
   ASSERT_TRUE(page.ok());
-  EXPECT_EQ(page->page, "cached-content");
+  EXPECT_EQ(page->Text(), "cached-content");
   EXPECT_EQ(page->get_count, 1u);
 }
 
@@ -143,7 +143,7 @@ TEST(ScriptContextTest, LiteralStxSurvivesEndToEnd) {
   dpc::FragmentStore store(16);
   Result<dpc::AssembledPage> page = dpc::AssemblePage(response.body, store);
   ASSERT_TRUE(page.ok());
-  EXPECT_EQ(page->page, tricky + tricky);
+  EXPECT_EQ(page->Text(), tricky + tricky);
   EXPECT_EQ(**store.Get(*monitor->directory().KeyOf(bem::FragmentId("f"))),
             tricky);
 }
@@ -205,7 +205,7 @@ TEST(ScriptContextTest, CapacityExhaustionDegradesToUncached) {
   dpc::FragmentStore store(1);
   Result<dpc::AssembledPage> page = dpc::AssemblePage(response.body, store);
   ASSERT_TRUE(page.ok());
-  EXPECT_EQ(page->page, "zz");
+  EXPECT_EQ(page->Text(), "zz");
 }
 
 TEST(ScriptContextTest, ResponseMetadata) {

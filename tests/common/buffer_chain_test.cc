@@ -1,0 +1,180 @@
+#include "common/buffer_chain.h"
+
+#include <sys/uio.h>
+
+#include <string>
+#include <string_view>
+
+#include "gtest/gtest.h"
+
+namespace dynaprox::common {
+namespace {
+
+TEST(BufferChainTest, DefaultIsEmpty) {
+  BufferChain chain;
+  EXPECT_TRUE(chain.empty());
+  EXPECT_EQ(chain.size(), 0u);
+  EXPECT_EQ(chain.slice_count(), 0u);
+  EXPECT_EQ(chain.Flatten(), "");
+  EXPECT_TRUE(chain.ContentEquals(""));
+  struct iovec iov[4];
+  EXPECT_EQ(chain.FillIovecs(0, iov, 4), 0u);
+}
+
+TEST(BufferChainTest, AppendWholeBufferAliasesBytes) {
+  Buffer buffer = MakeBuffer("hello world");
+  BufferChain chain;
+  chain.Append(buffer);
+  ASSERT_EQ(chain.slice_count(), 1u);
+  EXPECT_EQ(chain.size(), 11u);
+  // Zero-copy: the slice points at the buffer's own storage.
+  EXPECT_EQ(chain.slices()[0].data, buffer->data());
+  EXPECT_EQ(chain.slices()[0].buffer.get(), buffer.get());
+  EXPECT_EQ(chain.Flatten(), "hello world");
+}
+
+TEST(BufferChainTest, AppendSliceAliasesSubrange) {
+  Buffer buffer = MakeBuffer("abcdefgh");
+  std::string_view middle(buffer->data() + 2, 4);
+  BufferChain chain;
+  chain.Append(buffer, middle);
+  ASSERT_EQ(chain.slice_count(), 1u);
+  EXPECT_EQ(chain.slices()[0].data, buffer->data() + 2);
+  EXPECT_EQ(chain.Flatten(), "cdef");
+}
+
+TEST(BufferChainTest, ContiguousSlicesCoalesce) {
+  Buffer buffer = MakeBuffer("abcdefgh");
+  BufferChain chain;
+  chain.Append(buffer, std::string_view(buffer->data(), 3));
+  chain.Append(buffer, std::string_view(buffer->data() + 3, 5));
+  EXPECT_EQ(chain.slice_count(), 1u);
+  EXPECT_EQ(chain.size(), 8u);
+  EXPECT_EQ(chain.Flatten(), "abcdefgh");
+}
+
+TEST(BufferChainTest, NonContiguousSlicesStaySeparate) {
+  Buffer buffer = MakeBuffer("abcdefgh");
+  BufferChain chain;
+  chain.Append(buffer, std::string_view(buffer->data(), 3));
+  chain.Append(buffer, std::string_view(buffer->data() + 5, 3));  // Gap.
+  EXPECT_EQ(chain.slice_count(), 2u);
+  EXPECT_EQ(chain.Flatten(), "abcfgh");
+}
+
+TEST(BufferChainTest, OneBufferMayAppearManyTimes) {
+  Buffer fragment = MakeBuffer("frag");
+  BufferChain chain;
+  chain.AppendCopy("<");
+  chain.Append(fragment);
+  chain.AppendCopy("|");
+  chain.Append(fragment);
+  chain.AppendCopy(">");
+  EXPECT_EQ(chain.Flatten(), "<frag|frag>");
+  // Both splices alias the same storage — stored once, referenced twice.
+  EXPECT_EQ(chain.slices()[1].data, chain.slices()[3].data);
+  EXPECT_EQ(chain.slices()[1].data, fragment->data());
+}
+
+TEST(BufferChainTest, SpliceMovesSlicesWithoutCopying) {
+  Buffer a = MakeBuffer("aaa");
+  Buffer b = MakeBuffer("bbb");
+  BufferChain head;
+  head.Append(a);
+  BufferChain tail;
+  tail.Append(b);
+  const char* b_data = tail.slices()[0].data;
+  head.Append(std::move(tail));
+  ASSERT_EQ(head.slice_count(), 2u);
+  EXPECT_EQ(head.slices()[1].data, b_data);
+  EXPECT_EQ(head.Flatten(), "aaabbb");
+}
+
+TEST(BufferChainTest, ChainKeepsBufferAliveAfterOwnerReleases) {
+  BufferChain chain;
+  {
+    Buffer buffer = MakeBuffer("still here");
+    chain.Append(buffer);
+  }  // Last external reference gone — models a store slot being evicted.
+  EXPECT_EQ(chain.Flatten(), "still here");
+  EXPECT_EQ(chain.slices()[0].buffer.use_count(), 1);
+}
+
+TEST(BufferChainTest, CopyingAChainSharesBuffersNotBytes) {
+  Buffer buffer = MakeBuffer("shared");
+  BufferChain chain;
+  chain.Append(buffer);
+  BufferChain copy = chain;
+  EXPECT_EQ(copy.slices()[0].data, chain.slices()[0].data);
+  EXPECT_EQ(buffer.use_count(), 3);  // owner + chain + copy
+  chain.Clear();
+  EXPECT_EQ(copy.Flatten(), "shared");
+  EXPECT_TRUE(chain.empty());
+}
+
+TEST(BufferChainTest, ContentEqualsComparesAcrossSliceBoundaries) {
+  BufferChain chain;
+  chain.AppendCopy("abc");
+  chain.AppendCopy("def");
+  EXPECT_TRUE(chain.ContentEquals("abcdef"));
+  EXPECT_FALSE(chain.ContentEquals("abcdeX"));
+  EXPECT_FALSE(chain.ContentEquals("abcde"));
+  EXPECT_FALSE(chain.ContentEquals("abcdefg"));
+}
+
+TEST(BufferChainTest, AppendToExtendsExistingString) {
+  BufferChain chain;
+  chain.AppendCopy("tail");
+  std::string out = "head-";
+  chain.AppendTo(out);
+  EXPECT_EQ(out, "head-tail");
+}
+
+TEST(BufferChainTest, FillIovecsCoversWholeChain) {
+  BufferChain chain;
+  chain.AppendCopy("abc");
+  chain.AppendCopy("defgh");
+  struct iovec iov[4];
+  size_t count = chain.FillIovecs(0, iov, 4);
+  ASSERT_EQ(count, 2u);
+  EXPECT_EQ(std::string_view(static_cast<char*>(iov[0].iov_base),
+                             iov[0].iov_len),
+            "abc");
+  EXPECT_EQ(std::string_view(static_cast<char*>(iov[1].iov_base),
+                             iov[1].iov_len),
+            "defgh");
+}
+
+TEST(BufferChainTest, FillIovecsMidSliceOffsetYieldsPartialFirstEntry) {
+  BufferChain chain;
+  chain.AppendCopy("abc");
+  chain.AppendCopy("defgh");
+  struct iovec iov[4];
+  // Offset 5 lands two bytes into the second slice.
+  size_t count = chain.FillIovecs(5, iov, 4);
+  ASSERT_EQ(count, 1u);
+  EXPECT_EQ(std::string_view(static_cast<char*>(iov[0].iov_base),
+                             iov[0].iov_len),
+            "fgh");
+  // Offset 2 is mid-first-slice: partial first entry, full second.
+  count = chain.FillIovecs(2, iov, 4);
+  ASSERT_EQ(count, 2u);
+  EXPECT_EQ(std::string_view(static_cast<char*>(iov[0].iov_base),
+                             iov[0].iov_len),
+            "c");
+  EXPECT_EQ(iov[1].iov_len, 5u);
+}
+
+TEST(BufferChainTest, FillIovecsHonorsMaxAndExhaustedOffsets) {
+  BufferChain chain;
+  chain.AppendCopy("a");
+  chain.AppendCopy("b");
+  chain.AppendCopy("c");
+  struct iovec iov[4];
+  EXPECT_EQ(chain.FillIovecs(0, iov, 2), 2u);  // Clamped to max.
+  EXPECT_EQ(chain.FillIovecs(chain.size(), iov, 4), 0u);
+  EXPECT_EQ(chain.FillIovecs(chain.size() + 10, iov, 4), 0u);
+}
+
+}  // namespace
+}  // namespace dynaprox::common

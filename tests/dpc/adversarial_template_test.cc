@@ -126,7 +126,7 @@ TEST(AdversarialTemplateTest, DeepAlternationStaysLinear) {
   Result<std::vector<TemplateSegment>> parsed = ParseTemplate(wire);
   ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
   ASSERT_EQ(parsed->size(), 1u);
-  EXPECT_EQ((*parsed)[0].text.size(), 10000u);
+  EXPECT_EQ((*parsed)[0].text_size(), 10000u);
 }
 
 TEST(AdversarialTemplateTest, ValidTemplateStillParses) {
@@ -141,7 +141,7 @@ TEST(AdversarialTemplateTest, ValidTemplateStillParses) {
   EXPECT_EQ((*parsed)[0].kind, TemplateSegment::Kind::kLiteral);
   EXPECT_EQ((*parsed)[1].kind, TemplateSegment::Kind::kSet);
   EXPECT_EQ((*parsed)[1].key, 7u);
-  EXPECT_EQ((*parsed)[1].text, "cached\x02world");
+  EXPECT_EQ((*parsed)[1].Text(), "cached\x02world");
   EXPECT_EQ((*parsed)[2].kind, TemplateSegment::Kind::kGet);
   EXPECT_EQ((*parsed)[2].key, 9u);
 }

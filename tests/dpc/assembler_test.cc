@@ -14,7 +14,7 @@ TEST(AssemblerTest, SetStoresAndInlinesContent) {
   wire += "B";
   Result<AssembledPage> page = AssemblePage(wire, store);
   ASSERT_TRUE(page.ok());
-  EXPECT_EQ(page->page, "AfragB");
+  EXPECT_EQ(page->Text(), "AfragB");
   EXPECT_EQ(page->set_count, 1u);
   EXPECT_EQ(page->get_count, 0u);
   EXPECT_TRUE(page->complete());
@@ -29,7 +29,7 @@ TEST(AssemblerTest, GetSplicesStoredContent) {
   wire += "]";
   Result<AssembledPage> page = AssemblePage(wire, store);
   ASSERT_TRUE(page.ok());
-  EXPECT_EQ(page->page, "[cached!]");
+  EXPECT_EQ(page->Text(), "[cached!]");
   EXPECT_EQ(page->get_count, 1u);
 }
 
@@ -42,7 +42,7 @@ TEST(AssemblerTest, SetThenGetWithinOneTemplate) {
   bem::TagCodec::AppendGet(0, wire);
   Result<AssembledPage> page = AssemblePage(wire, store);
   ASSERT_TRUE(page.ok());
-  EXPECT_EQ(page->page, "xx");
+  EXPECT_EQ(page->Text(), "xx");
 }
 
 TEST(AssemblerTest, MissingFragmentReported) {
@@ -57,7 +57,7 @@ TEST(AssemblerTest, MissingFragmentReported) {
   ASSERT_EQ(page->missing_keys.size(), 2u);
   EXPECT_EQ(page->missing_keys[0], 3u);
   EXPECT_EQ(page->missing_keys[1], 1u);
-  EXPECT_EQ(page->page, "ab");  // Missing fragments contribute nothing.
+  EXPECT_EQ(page->Text(), "ab");  // Missing fragments contribute nothing.
 }
 
 TEST(AssemblerTest, OutOfRangeKeyIsError) {
@@ -106,11 +106,70 @@ TEST(AssemblerTest, RealisticPageCycle) {
   Result<AssembledPage> p2 = AssemblePage(second, store);
   ASSERT_TRUE(p1.ok());
   ASSERT_TRUE(p2.ok());
-  EXPECT_EQ(p1->page, p2->page);
-  EXPECT_EQ(p1->page, "<html>" + navbar + body + "</html>");
+  EXPECT_EQ(p1->Text(), p2->Text());
+  EXPECT_EQ(p1->Text(), "<html>" + navbar + body + "</html>");
   // The GET template is much smaller than the SET template: that's the
   // bandwidth saving.
   EXPECT_LT(second.size(), first.size());
+}
+
+TEST(AssemblerTest, FragmentBodiesAreStoredExactlyOnce) {
+  FragmentStore store(4);
+  std::string first;
+  bem::TagCodec::AppendSet(0, "payload", first);
+  Result<AssembledPage> set_page = AssemblePage(first, store);
+  ASSERT_TRUE(set_page.ok());
+
+  // The SET page's chain and the store slot alias one allocation.
+  Result<FragmentRef> stored = store.Get(0);
+  ASSERT_TRUE(stored.ok());
+  ASSERT_EQ(set_page->body.slice_count(), 1u);
+  EXPECT_EQ(set_page->body.slices()[0].data, (*stored)->data());
+
+  // Every later GET splices that same allocation — never a copy.
+  std::string second;
+  bem::TagCodec::AppendGet(0, second);
+  Result<AssembledPage> get_page = AssemblePage(second, store);
+  ASSERT_TRUE(get_page.ok());
+  ASSERT_EQ(get_page->body.slice_count(), 1u);
+  EXPECT_EQ(get_page->body.slices()[0].data, (*stored)->data());
+}
+
+TEST(AssemblerTest, CopyAccountingSeparatesSetsFromSplices) {
+  FragmentStore store(4);
+  ASSERT_TRUE(store.Set(1, "cached-frag").ok());
+  std::string wire = "lit:";
+  bem::TagCodec::AppendSet(0, "fresh", wire);
+  bem::TagCodec::AppendGet(1, wire);
+  Result<AssembledPage> page = AssemblePage(wire, store);
+  ASSERT_TRUE(page.ok());
+  // Only the SET body is materialized; literals and GETs are referenced.
+  EXPECT_EQ(page->bytes_copied, 5u);            // "fresh"
+  EXPECT_EQ(page->bytes_referenced, 4u + 11u);  // "lit:" + "cached-frag"
+}
+
+TEST(AssemblerTest, PageSurvivesStoreEviction) {
+  FragmentStore store(4);
+  ASSERT_TRUE(store.Set(0, "original").ok());
+  std::string wire;
+  bem::TagCodec::AppendGet(0, wire);
+  Result<AssembledPage> page = AssemblePage(wire, store);
+  ASSERT_TRUE(page.ok());
+  // Replacing the slot drops the store's reference; the page's chain still
+  // owns the old buffer.
+  ASSERT_TRUE(store.Set(0, "replacement").ok());
+  EXPECT_EQ(page->Text(), "original");
+}
+
+TEST(AssemblerTest, LiteralsAliasTheWireBuffer) {
+  FragmentStore store(4);
+  common::Buffer wire = common::MakeBuffer("just literals");
+  Result<AssembledPage> page = AssemblePage(wire, store);
+  ASSERT_TRUE(page.ok());
+  ASSERT_EQ(page->body.slice_count(), 1u);
+  EXPECT_EQ(page->body.slices()[0].data, wire->data());
+  EXPECT_EQ(page->bytes_referenced, wire->size());
+  EXPECT_EQ(page->bytes_copied, 0u);
 }
 
 }  // namespace

@@ -75,7 +75,7 @@ TEST_F(ProxyHeadersTest, ViaOnPassthroughAndAssembledResponses) {
   http::Request templated;
   templated.target = "/template";
   http::Response assembled = proxy.Handle(templated);
-  EXPECT_EQ(assembled.body, "frag");
+  EXPECT_EQ(assembled.BodyText(), "frag");
   EXPECT_EQ(*assembled.headers.Get("Via"), "1.1 dynaprox-dpc");
 }
 

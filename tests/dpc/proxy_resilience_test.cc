@@ -85,7 +85,7 @@ TEST_F(ProxyResilienceTest, ServesStalePageWhenOriginFails) {
   clock_.AdvanceSeconds(30);
   http::Response degraded = proxy.Handle(Get("/a"));
   EXPECT_EQ(degraded.status_code, 200);
-  EXPECT_EQ(degraded.body, warm.body);
+  EXPECT_EQ(degraded.BodyText(), warm.BodyText());
   EXPECT_EQ(*degraded.headers.Get("Warning"), kStaleWarning);
   EXPECT_EQ(*degraded.headers.Get("Age"), "30");
   ProxyStats stats = proxy.stats();
@@ -215,7 +215,7 @@ TEST_F(ProxyResilienceTest, Upstream5xxAnswerServesStaleInstead) {
   origin_.answer_500_ = true;
   http::Response degraded = proxy.Handle(Get("/a"));
   EXPECT_EQ(degraded.status_code, 200);
-  EXPECT_EQ(degraded.body, warm.body);
+  EXPECT_EQ(degraded.BodyText(), warm.BodyText());
   EXPECT_EQ(*degraded.headers.Get("Warning"), kStaleWarning);
   // The 500 is an HTTP answer, not a transport failure.
   EXPECT_EQ(proxy.stats().upstream_errors, 0u);

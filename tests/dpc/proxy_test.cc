@@ -64,11 +64,11 @@ TEST(DpcProxyTest, AssemblesTemplateResponses) {
   http::Request request;
   http::Response first = proxy.Handle(request);
   EXPECT_EQ(first.status_code, 200);
-  EXPECT_EQ(first.body, "<page>frag0frag1</page>");
+  EXPECT_EQ(first.BodyText(), "<page>frag0frag1</page>");
   EXPECT_FALSE(first.headers.Has(bem::kTemplateHeader));
 
   http::Response second = proxy.Handle(request);
-  EXPECT_EQ(second.body, first.body);
+  EXPECT_EQ(second.BodyText(), first.BodyText());
   EXPECT_EQ(proxy.stats().assembled, 2u);
   EXPECT_EQ(proxy.stats().passthrough, 0u);
 }
@@ -108,7 +108,7 @@ TEST(DpcProxyTest, ColdCacheRecoveryViaRefreshHeader) {
   proxy.ClearCache();      // Simulated DPC restart.
   http::Response response = proxy.Handle(request);
   EXPECT_EQ(response.status_code, 200);
-  EXPECT_EQ(response.body, "<page>frag0frag1</page>");
+  EXPECT_EQ(response.BodyText(), "<page>frag0frag1</page>");
   EXPECT_EQ(proxy.stats().recoveries, 1u);
   // One original + one refresh round trip for the recovered request.
   EXPECT_EQ(origin.requests(), 3);

@@ -22,7 +22,7 @@ TEST_P(TagScannerTest, PlainTextIsOneLiteral) {
   ASSERT_TRUE(segments.ok());
   ASSERT_EQ(segments->size(), 1u);
   EXPECT_EQ((*segments)[0].kind, Kind::kLiteral);
-  EXPECT_EQ((*segments)[0].text, "<html>plain</html>");
+  EXPECT_EQ((*segments)[0].Text(), "<html>plain</html>");
 }
 
 TEST_P(TagScannerTest, EmptyTemplate) {
@@ -38,10 +38,10 @@ TEST_P(TagScannerTest, GetTag) {
   auto segments = Parse(wire);
   ASSERT_TRUE(segments.ok());
   ASSERT_EQ(segments->size(), 3u);
-  EXPECT_EQ((*segments)[0].text, "before");
+  EXPECT_EQ((*segments)[0].Text(), "before");
   EXPECT_EQ((*segments)[1].kind, Kind::kGet);
   EXPECT_EQ((*segments)[1].key, 0x1Fu);
-  EXPECT_EQ((*segments)[2].text, "after");
+  EXPECT_EQ((*segments)[2].Text(), "after");
 }
 
 TEST_P(TagScannerTest, SetTagCarriesContent) {
@@ -52,7 +52,7 @@ TEST_P(TagScannerTest, SetTagCarriesContent) {
   ASSERT_EQ(segments->size(), 1u);
   EXPECT_EQ((*segments)[0].kind, Kind::kSet);
   EXPECT_EQ((*segments)[0].key, 7u);
-  EXPECT_EQ((*segments)[0].text, "fragment body");
+  EXPECT_EQ((*segments)[0].Text(), "fragment body");
 }
 
 TEST_P(TagScannerTest, EscapedStxRoundTripsInLiteralAndSet) {
@@ -63,8 +63,8 @@ TEST_P(TagScannerTest, EscapedStxRoundTripsInLiteralAndSet) {
   auto segments = Parse(wire);
   ASSERT_TRUE(segments.ok());
   ASSERT_EQ(segments->size(), 2u);
-  EXPECT_EQ((*segments)[0].text, content_with_stx);
-  EXPECT_EQ((*segments)[1].text, content_with_stx);
+  EXPECT_EQ((*segments)[0].Text(), content_with_stx);
+  EXPECT_EQ((*segments)[1].Text(), content_with_stx);
 }
 
 TEST_P(TagScannerTest, MixedTemplateInOrder) {
@@ -90,8 +90,8 @@ TEST_P(TagScannerTest, AdjacentSetBlocks) {
   auto segments = Parse(wire);
   ASSERT_TRUE(segments.ok());
   ASSERT_EQ(segments->size(), 2u);
-  EXPECT_EQ((*segments)[0].text, "one");
-  EXPECT_EQ((*segments)[1].text, "two");
+  EXPECT_EQ((*segments)[0].Text(), "one");
+  EXPECT_EQ((*segments)[1].Text(), "two");
 }
 
 TEST_P(TagScannerTest, RejectsTruncatedTagAtEnd) {

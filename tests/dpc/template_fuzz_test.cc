@@ -106,7 +106,7 @@ TEST_P(TemplateFuzzTest, RoundTripsExactly) {
     ASSERT_TRUE(page.ok()) << "seed=" << GetParam() << " round=" << round
                            << ": " << page.status().ToString();
     EXPECT_TRUE(page->complete());
-    EXPECT_EQ(page->page, fuzz.expected_page)
+    EXPECT_EQ(page->Text(), fuzz.expected_page)
         << "seed=" << GetParam() << " round=" << round;
     EXPECT_EQ(page->set_count, fuzz.sets);
     EXPECT_EQ(page->get_count, fuzz.gets);
@@ -125,7 +125,7 @@ TEST_P(TemplateFuzzTest, BothStrategiesAgree) {
         AssemblePage(fuzz.wire, store_b, ScanStrategy::kByteLoop);
     ASSERT_TRUE(a.ok());
     ASSERT_TRUE(b.ok());
-    EXPECT_EQ(a->page, b->page);
+    EXPECT_EQ(a->Text(), b->Text());
   }
 }
 
@@ -138,7 +138,7 @@ TEST_P(TemplateFuzzTest, RandomGarbageNeverCrashesParser) {
     // running; content correctness asserted only on success).
     Result<AssembledPage> page = AssemblePage(garbage, store);
     if (page.ok()) {
-      EXPECT_LE(page->page.size(), garbage.size());
+      EXPECT_LE(page->body.size(), garbage.size());
     } else {
       EXPECT_TRUE(page.status().IsCorruption() ||
                   page.status().IsInvalidArgument())

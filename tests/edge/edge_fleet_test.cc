@@ -68,7 +68,7 @@ class EdgeFleetTest : public ::testing::Test {
 TEST_F(EdgeFleetTest, ServesThroughRoutedEdge) {
   http::Response response = fleet_->Handle(RequestFromClient("c1"));
   EXPECT_EQ(response.status_code, 200);
-  EXPECT_EQ(response.body, "IBM@100.00");
+  EXPECT_EQ(response.BodyText(), "IBM@100.00");
   EXPECT_EQ(fleet_->stats().requests, 1u);
 }
 
@@ -117,27 +117,27 @@ TEST_F(EdgeFleetTest, DataUpdateInvalidatesAllEdges) {
   }
   http::Response before = fleet_->Handle(RequestFromClient(c_east));
   fleet_->Handle(RequestFromClient(c_west));
-  EXPECT_EQ(before.body, "IBM@100.00");
+  EXPECT_EQ(before.BodyText(), "IBM@100.00");
 
   // Price change: the update bus fans the invalidation to every edge
   // directory, so both edges serve the fresh value.
   (*repository_.GetTable("quotes"))
       ->Upsert("IBM", {{"price", storage::Value(250.0)}});
-  EXPECT_EQ(fleet_->Handle(RequestFromClient(c_east)).body, "IBM@250.00");
-  EXPECT_EQ(fleet_->Handle(RequestFromClient(c_west)).body, "IBM@250.00");
+  EXPECT_EQ(fleet_->Handle(RequestFromClient(c_east)).BodyText(), "IBM@250.00");
+  EXPECT_EQ(fleet_->Handle(RequestFromClient(c_west)).BodyText(), "IBM@250.00");
 }
 
 TEST_F(EdgeFleetTest, FailoverServesCorrectContent) {
   http::Request request = RequestFromClient("c-fail");
   std::string primary = *fleet_->RouteFor(request);
-  EXPECT_EQ(fleet_->Handle(request).body, "IBM@100.00");
+  EXPECT_EQ(fleet_->Handle(request).BodyText(), "IBM@100.00");
 
   ASSERT_TRUE(fleet_->MarkDown(primary).ok());
   std::string backup = *fleet_->RouteFor(request);
   EXPECT_NE(backup, primary);
   // The backup edge has a cold DPC for this client but its own directory
   // at the origin, so the page is still correct.
-  EXPECT_EQ(fleet_->Handle(request).body, "IBM@100.00");
+  EXPECT_EQ(fleet_->Handle(request).BodyText(), "IBM@100.00");
 
   ASSERT_TRUE(fleet_->MarkUp(primary).ok());
   EXPECT_EQ(*fleet_->RouteFor(request), primary);

@@ -59,8 +59,8 @@ TEST(BemRestartTest, FreshDirectoryOverwritesDpcSlotsCorrectly) {
 
   http::Request request;
   request.target = "/page";
-  EXPECT_EQ(proxy.Handle(request).body, "[one]");
-  EXPECT_EQ(proxy.Handle(request).body, "[one]");
+  EXPECT_EQ(proxy.Handle(request).BodyText(), "[one]");
+  EXPECT_EQ(proxy.Handle(request).BodyText(), "[one]");
   EXPECT_EQ(generations, 1);
 
   // "Restart" the BEM: new monitor, empty directory; DPC slots still hold
@@ -74,9 +74,9 @@ TEST(BemRestartTest, FreshDirectoryOverwritesDpcSlotsCorrectly) {
 
   // Every fragment misses in the fresh directory; the SET overwrites the
   // stale slot, so clients see the new value immediately.
-  EXPECT_EQ(proxy.Handle(request).body, "[two]");
+  EXPECT_EQ(proxy.Handle(request).BodyText(), "[two]");
   EXPECT_EQ(generations, 2);
-  EXPECT_EQ(proxy.Handle(request).body, "[two]");
+  EXPECT_EQ(proxy.Handle(request).BodyText(), "[two]");
   EXPECT_EQ(generations, 2);  // Warm again.
   EXPECT_EQ(proxy.stats().template_errors, 0u);
 }

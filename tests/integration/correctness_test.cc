@@ -138,24 +138,24 @@ TEST_F(CorrectnessTest, PageLevelCacheServesBobsPageToAlice) {
   UrlKeyedPageCache page_cache(&plain);
 
   http::Response bob = page_cache.Handle(BobRequest());
-  EXPECT_EQ(bob.body, kBobPage);
+  EXPECT_EQ(bob.BodyText(), kBobPage);
 
   // Alice asks for the same URL and gets *Bob's* page: the failure the
   // paper demonstrates.
   http::Response alice = page_cache.Handle(AliceRequest());
   EXPECT_EQ(page_cache.hits(), 1);
-  EXPECT_EQ(alice.body, kBobPage);
-  EXPECT_NE(alice.body, kAlicePage);
+  EXPECT_EQ(alice.BodyText(), kBobPage);
+  EXPECT_NE(alice.BodyText(), kAlicePage);
 }
 
 TEST_F(CorrectnessTest, DpcServesEachVisitorTheirOwnPage) {
   http::Response bob = dpc_->Handle(BobRequest());
-  EXPECT_EQ(bob.body, kBobPage);
+  EXPECT_EQ(bob.BodyText(), kBobPage);
   http::Response alice = dpc_->Handle(AliceRequest());
-  EXPECT_EQ(alice.body, kAlicePage);
+  EXPECT_EQ(alice.BodyText(), kAlicePage);
   // And again, with warm caches, both still correct.
-  EXPECT_EQ(dpc_->Handle(BobRequest()).body, kBobPage);
-  EXPECT_EQ(dpc_->Handle(AliceRequest()).body, kAlicePage);
+  EXPECT_EQ(dpc_->Handle(BobRequest()).BodyText(), kBobPage);
+  EXPECT_EQ(dpc_->Handle(AliceRequest()).BodyText(), kAlicePage);
 }
 
 TEST_F(CorrectnessTest, SharedFragmentReusedAcrossUsers) {
@@ -179,8 +179,8 @@ TEST_F(CorrectnessTest, PerUserFragmentsDoNotLeakBetweenUsers) {
   carol.target = "/welcome";
   carol.headers.Add("Cookie", "sid=" + carol_token);
   http::Response response = dpc_->Handle(carol);
-  EXPECT_NE(response.body.find("Hello, Carol"), std::string::npos);
-  EXPECT_EQ(response.body.find("Hello, Bob"), std::string::npos);
+  EXPECT_NE(response.BodyText().find("Hello, Carol"), std::string::npos);
+  EXPECT_EQ(response.BodyText().find("Hello, Bob"), std::string::npos);
 }
 
 }  // namespace

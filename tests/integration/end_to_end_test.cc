@@ -79,10 +79,10 @@ class EndToEndTest : public ::testing::Test {
 TEST_F(EndToEndTest, FirstAndSecondRequestsProduceIdenticalPages) {
   http::Response first = FetchHome();
   ASSERT_EQ(first.status_code, 200);
-  EXPECT_EQ(first.body, kExpectedPage);
+  EXPECT_EQ(first.BodyText(), kExpectedPage);
 
   http::Response second = FetchHome();
-  EXPECT_EQ(second.body, kExpectedPage);
+  EXPECT_EQ(second.BodyText(), kExpectedPage);
   EXPECT_EQ(monitor_->stats().hits, 1u);
   EXPECT_EQ(monitor_->stats().misses, 1u);
 }
@@ -104,8 +104,8 @@ TEST_F(EndToEndTest, DataUpdatePropagatesThroughWholeStack) {
       ->Upsert("n1",
                {{"text", storage::Value(std::string("Flash crash!"))}});
   http::Response updated = FetchHome();
-  EXPECT_NE(updated.body.find("Flash crash!"), std::string::npos);
-  EXPECT_EQ(updated.body.find("Markets rally"), std::string::npos);
+  EXPECT_NE(updated.BodyText().find("Flash crash!"), std::string::npos);
+  EXPECT_EQ(updated.BodyText().find("Markets rally"), std::string::npos);
 }
 
 TEST_F(EndToEndTest, TtlExpiryForcesRegeneration) {
@@ -120,18 +120,18 @@ TEST_F(EndToEndTest, TtlExpiryForcesRegeneration) {
       });
   http::Request request;
   request.target = "/ttl";
-  std::string first = proxy_->Handle(request).body;
+  std::string first = proxy_->Handle(request).BodyText();
   clock_.AdvanceSeconds(1);
-  EXPECT_EQ(proxy_->Handle(request).body, first);  // Still cached.
+  EXPECT_EQ(proxy_->Handle(request).BodyText(), first);  // Still cached.
   clock_.AdvanceSeconds(10);
-  EXPECT_NE(proxy_->Handle(request).body, first);  // Expired, regenerated.
+  EXPECT_NE(proxy_->Handle(request).BodyText(), first);  // Expired, regenerated.
 }
 
 TEST_F(EndToEndTest, ManyRequestsKeepDirectoryAndStoreConsistent) {
   for (int i = 0; i < 200; ++i) {
     http::Response response = FetchHome();
     ASSERT_EQ(response.status_code, 200);
-    ASSERT_EQ(response.body, kExpectedPage);
+    ASSERT_EQ(response.BodyText(), kExpectedPage);
     if (i % 17 == 0) {
       (*repository_.GetTable("news"))
           ->Upsert("n1", {{"text", storage::Value(std::string(

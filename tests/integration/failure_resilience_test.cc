@@ -102,7 +102,7 @@ TEST_F(FailureResilienceTest, WarmedProxySurvivesBlackHoledOrigin) {
       http::Response response = proxy_->Handle(Get(path));
       EXPECT_EQ(response.status_code, 200) << path;
       EXPECT_EQ(*response.headers.Get("Warning"), dpc::kStaleWarning);
-      EXPECT_NE(response.body.find("page:" + path), std::string::npos);
+      EXPECT_NE(response.BodyText().find("page:" + path), std::string::npos);
     }
   }
   // Unseen URLs degrade to an honest 503 with Retry-After.
@@ -206,7 +206,7 @@ TEST_F(FailureResilienceTest, FlakyOriginStillAssemblesCorrectPages) {
   for (int i = 0; i < 200; ++i) {
     http::Response response = proxy_->Handle(Get("/home"));
     ASSERT_EQ(response.status_code, 200);
-    EXPECT_NE(response.body.find("page:/home"), std::string::npos);
+    EXPECT_NE(response.BodyText().find("page:/home"), std::string::npos);
     if (response.headers.Has("Warning")) {
       ++stale;
     } else {

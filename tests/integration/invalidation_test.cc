@@ -116,7 +116,7 @@ TEST_F(InvalidationTest, QuoteUpdateRegeneratesOnlyQuoteFragment) {
     (*repository_.GetTable("quotes"))
         ->Upsert("IBM", {{"price", storage::Value(100.0 + tick)}});
     http::Response response = FetchStock();
-    EXPECT_NE(response.body.find(
+    EXPECT_NE(response.BodyText().find(
                   "IBM: " + storage::ValueToString(
                                 storage::Value(100.0 + tick))),
               std::string::npos);
@@ -133,7 +133,7 @@ TEST_F(InvalidationTest, HeadlineUpdateLeavesQuoteCached) {
       ->Upsert("h2", {{"text", storage::Value(std::string(
                                    "Cache stocks soar"))}});
   http::Response response = FetchStock();
-  EXPECT_NE(response.body.find("Cache stocks soar"), std::string::npos);
+  EXPECT_NE(response.BodyText().find("Cache stocks soar"), std::string::npos);
   EXPECT_EQ(quote_generations_, 1);
   EXPECT_EQ(headline_generations_, 2);
 }
@@ -171,7 +171,7 @@ TEST_F(InvalidationTest, TtlTiersExpireIndependently) {
   request.target = "/tiered";
   // Fetch every second for two simulated minutes.
   for (int second = 0; second < 120; ++second) {
-    ASSERT_EQ(dpc_->Handle(request).body, "qhp");
+    ASSERT_EQ(dpc_->Handle(request).BodyText(), "qhp");
     clock_.AdvanceSeconds(1);
   }
   // Quotes regenerate about every 2s, headlines about every 60s,

@@ -71,10 +71,11 @@ void ExpectValidExposition(const std::string& text) {
 }
 
 // Masks every JSON number so counter values don't affect comparison; the
-// key set, nesting, and key order must stay byte-identical.
+// key set, nesting, and key order must stay byte-identical. Handles both
+// object values (":123") and bare array elements ("[1,2]").
 std::string MaskNumbers(const std::string& json) {
   return std::regex_replace(
-      json, std::regex(":(-?[0-9][0-9.eE+-]*)"), ":N");
+      json, std::regex("([:\\[,])(-?[0-9][0-9.eE+-]*)"), "$1N");
 }
 
 class ObservabilityTest : public ::testing::Test {
@@ -303,7 +304,9 @@ TEST_F(ObservabilityTest, ProxyStatusSkeletonIsByteCompatible) {
       "\"template_errors\":N,\"stale_served\":N,\"breaker_rejections\":N,"
       "\"degraded_503s\":N,\"bytes_from_upstream\":N,"
       "\"bytes_to_clients\":N,\"store\":{\"capacity\":N,"
-      "\"occupied_slots\":N,\"content_bytes\":N,\"sets\":N,\"gets\":N,"
+      "\"occupied_slots\":N,\"content_bytes\":N,"
+      "\"bytes\":[N,N,N,N,N,N,N,N,N,N,N,N,N,N,N,N],"
+      "\"sets\":N,\"gets\":N,"
       "\"get_misses\":N},\"static_cache\":{\"entries\":N,\"hits\":N,"
       "\"misses\":N,\"stores\":N,\"revalidations\":N,\"stale_served\":N,"
       "\"evictions\":N}}");

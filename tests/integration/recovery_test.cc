@@ -66,8 +66,8 @@ class RecoveryTest : public ::testing::Test {
 };
 
 TEST_F(RecoveryTest, DpcRestartRecoversTransparently) {
-  EXPECT_EQ(Fetch().body, "[fragment-body]");
-  EXPECT_EQ(Fetch().body, "[fragment-body]");
+  EXPECT_EQ(Fetch().BodyText(), "[fragment-body]");
+  EXPECT_EQ(Fetch().BodyText(), "[fragment-body]");
   EXPECT_EQ(generations_, 1);
 
   // Crash/restart the DPC: its slots are empty but the BEM still believes
@@ -75,21 +75,21 @@ TEST_F(RecoveryTest, DpcRestartRecoversTransparently) {
   dpc_->ClearCache();
   http::Response recovered = Fetch();
   EXPECT_EQ(recovered.status_code, 200);
-  EXPECT_EQ(recovered.body, "[fragment-body]");
+  EXPECT_EQ(recovered.BodyText(), "[fragment-body]");
   EXPECT_EQ(dpc_->stats().recoveries, 1u);
   EXPECT_EQ(generations_, 2);  // Regenerated once via refresh.
 
   // Back to steady state afterwards.
-  EXPECT_EQ(Fetch().body, "[fragment-body]");
+  EXPECT_EQ(Fetch().BodyText(), "[fragment-body]");
   EXPECT_EQ(generations_, 2);
 }
 
 TEST_F(RecoveryTest, RepeatedRestartsAlwaysRecover) {
   for (int i = 0; i < 5; ++i) {
-    EXPECT_EQ(Fetch().body, "[fragment-body]");
+    EXPECT_EQ(Fetch().BodyText(), "[fragment-body]");
     dpc_->ClearCache();
   }
-  EXPECT_EQ(Fetch().body, "[fragment-body]");
+  EXPECT_EQ(Fetch().BodyText(), "[fragment-body]");
   EXPECT_EQ(dpc_->stats().template_errors, 0u);
 }
 
@@ -101,8 +101,8 @@ TEST_F(RecoveryTest, FirewallBetweenDpcAndOriginStillWorks) {
 
   http::Request request;
   request.target = "/page";
-  EXPECT_EQ(guarded.Handle(request).body, "[fragment-body]");
-  EXPECT_EQ(guarded.Handle(request).body, "[fragment-body]");
+  EXPECT_EQ(guarded.Handle(request).BodyText(), "[fragment-body]");
+  EXPECT_EQ(guarded.Handle(request).BodyText(), "[fragment-body]");
   EXPECT_EQ(firewall.stats().blocked, 0u);
   // The firewall scanned request+response for each round trip.
   EXPECT_EQ(firewall.stats().messages, 4u);
@@ -138,7 +138,7 @@ TEST_F(RecoveryTest, OriginScriptFailurePropagatesAsError) {
                                       return Status::Ok();
                                     });
                               });
-  EXPECT_EQ(dpc_->Handle(request).body, "ok now");
+  EXPECT_EQ(dpc_->Handle(request).BodyText(), "ok now");
 }
 
 }  // namespace

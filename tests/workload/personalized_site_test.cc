@@ -90,8 +90,8 @@ TEST_F(PersonalizedSiteTest, DpcServesIdenticalPagesToBaseline) {
   proxy_options.capacity = 256;
   dpc::DpcProxy proxy(&upstream, proxy_options);
   for (int round = 0; round < 3; ++round) {
-    EXPECT_EQ(proxy.Handle(site_->VisitorRequest(0)).body, truth_user0);
-    EXPECT_EQ(proxy.Handle(site_->VisitorRequest(-1)).body, truth_anon);
+    EXPECT_EQ(proxy.Handle(site_->VisitorRequest(0)).BodyText(), truth_user0);
+    EXPECT_EQ(proxy.Handle(site_->VisitorRequest(-1)).BodyText(), truth_anon);
   }
   // Warm rounds reuse fragments.
   EXPECT_GT(monitor_->stats().hits, 0u);

@@ -90,7 +90,7 @@ TEST_F(SyntheticSiteTest, TemplateAssemblesToBaselinePage) {
   Result<dpc::AssembledPage> page =
       dpc::AssemblePage(templated.body, store);
   ASSERT_TRUE(page.ok()) << page.status().ToString();
-  EXPECT_EQ(page->page.size(),
+  EXPECT_EQ(page->body.size(),
             static_cast<size_t>(params.fragments_per_page *
                                 params.fragment_size));
   EXPECT_EQ(page->set_count, 2u);  // Two cacheable fragments.
