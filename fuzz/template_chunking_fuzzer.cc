@@ -1,0 +1,88 @@
+// libFuzzer entry point for the streaming scanner's chunk-boundary state
+// machine: any template, sliced at any byte boundaries, must agree with
+// the buffered parse — same accept/reject, same segment stream (adjacent
+// literals folded). The first bytes of the input seed the chunk sizes, so
+// coverage-guided fuzzing explores boundary placements as well as
+// template bytes.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/buffer_chain.h"
+#include "dpc/tag_scanner.h"
+
+namespace {
+
+using dynaprox::dpc::ParseTemplate;
+using dynaprox::dpc::ScanStrategy;
+using dynaprox::dpc::StreamingScanner;
+using dynaprox::dpc::StreamSegment;
+using dynaprox::dpc::TemplateSegment;
+using Kind = TemplateSegment::Kind;
+
+struct Norm {
+  Kind kind;
+  dynaprox::bem::DpcKey key;
+  std::string text;
+
+  bool operator==(const Norm& other) const {
+    return kind == other.kind && key == other.key && text == other.text;
+  }
+};
+
+void Fold(std::vector<Norm>& out, Kind kind, dynaprox::bem::DpcKey key,
+          std::string text) {
+  if (kind == Kind::kLiteral) {
+    if (text.empty()) return;
+    if (!out.empty() && out.back().kind == Kind::kLiteral) {
+      out.back().text += text;
+      return;
+    }
+  }
+  out.push_back({kind, key, std::move(text)});
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  // First byte (when present) seeds the chunk-size sequence; the rest is
+  // the template.
+  uint32_t seed = size > 0 ? data[0] : 0;
+  std::string_view wire(reinterpret_cast<const char*>(data) + (size > 0),
+                        size - (size > 0));
+
+  auto buffered = ParseTemplate(wire, ScanStrategy::kMemchr);
+
+  StreamingScanner scanner(ScanStrategy::kMemchr);
+  std::vector<StreamSegment> streamed;
+  dynaprox::Status status = dynaprox::Status::Ok();
+  uint32_t state = seed * 2654435761u + 1;
+  for (size_t at = 0; at < wire.size() && status.ok();) {
+    state = state * 1664525u + 1013904223u;  // LCG: deterministic sizes.
+    size_t take = 1 + state % 7;
+    if (take > wire.size() - at) take = wire.size() - at;
+    status = scanner.Feed(
+        dynaprox::common::MakeBuffer(std::string(wire.substr(at, take))),
+        streamed);
+    at += take;
+  }
+  if (status.ok()) status = scanner.Finish(streamed);
+
+  // Accept/reject must agree regardless of chunk placement.
+  if (buffered.ok() != status.ok()) __builtin_trap();
+  if (!buffered.ok()) return 0;
+
+  std::vector<Norm> expect;
+  for (const TemplateSegment& segment : *buffered) {
+    Fold(expect, segment.kind, segment.key, segment.Text());
+  }
+  std::vector<Norm> got;
+  for (const StreamSegment& segment : streamed) {
+    Fold(got, segment.kind, segment.key, segment.Text());
+  }
+  if (!(expect == got)) __builtin_trap();
+  return 0;
+}

@@ -17,12 +17,17 @@ cmake -B build -S . >/dev/null
 cmake --build build -j"$JOBS"
 ctest --test-dir build --output-on-failure -j"$JOBS"
 
-echo "== tier1: ASan+UBSan (common/http/net/dpc/integration) =="
+# The streaming suites (dpc/streaming_scanner_test, http/streaming_reader
+# _test, net/streaming_test, dpc/proxy_streaming_test, and the chunking
+# fuzz smoke) live inside these binaries, so split-boundary state and the
+# chunk framing run under both sanitizers.
+echo "== tier1: ASan+UBSan (common/http/net/dpc/integration/fuzz) =="
 cmake -B build-asan -S . -DDYNAPROX_SANITIZE=address >/dev/null
 cmake --build build-asan -j"$JOBS" --target \
-  common_test http_test net_test dpc_test integration_test
+  common_test http_test net_test dpc_test integration_test \
+  fuzz_smoke_template_chunking
 ctest --test-dir build-asan --output-on-failure \
-  -R '^(common_test|http_test|net_test|dpc_test|integration_test)$'
+  -R '^(common_test|http_test|net_test|dpc_test|integration_test|fuzz_smoke_template_chunking)$'
 
 echo "== tier1: TSan (net/integration) =="
 cmake -B build-tsan -S . -DDYNAPROX_SANITIZE=thread >/dev/null

@@ -1,5 +1,7 @@
 #include "appserver/origin_server.h"
 
+#include <vector>
+
 #include "bem/protocol.h"
 #include "common/json.h"
 #include "common/logging.h"
@@ -103,6 +105,7 @@ void OriginServer::HandleRefreshHeader(const http::Request& request) {
   if (monitor_ == nullptr) return;
   auto refresh = request.headers.Get(bem::kRefreshHeader);
   if (!refresh.has_value()) return;
+  std::vector<bem::DpcKey> keys;
   for (std::string_view key_hex : StrSplit(*refresh, ',')) {
     Result<uint64_t> key = ParseHex(StripWhitespace(key_hex));
     if (!key.ok() || *key > bem::kInvalidDpcKey) {
@@ -110,9 +113,15 @@ void OriginServer::HandleRefreshHeader(const http::Request& request) {
           << "bad refresh key '" << std::string(key_hex) << "'";
       continue;
     }
+    keys.push_back(static_cast<bem::DpcKey>(*key));
+  }
+  // Pin in reverse so the free-list head ends up in listed (page) order:
+  // the re-render's first cold block reclaims the first listed key, and so
+  // on — each refreshed fragment keeps the dpcKey the DPC asked about.
+  for (auto it = keys.rbegin(); it != keys.rend(); ++it) {
     // NotFound is fine: the key may already have been invalidated (or even
     // reassigned) between the DPC's miss and this request.
-    Status status = monitor_->InvalidateKey(static_cast<bem::DpcKey>(*key));
+    Status status = monitor_->RefreshKey(*it);
     if (status.ok()) {
       instruments_.refresh_invalidations->Increment();
     }

@@ -22,14 +22,17 @@ bool CacheDirectory::Expired(const Entry& entry) const {
 }
 
 void CacheDirectory::InvalidateEntry(const std::string& canonical,
-                                     Entry& entry) {
+                                     Entry& entry, bool pin_key) {
   assert(entry.is_valid);
   entry.is_valid = false;
   --valid_count_;
   policy_->OnRemove(canonical);
   // The key goes to the back of the free list; the DPC is *not* told
-  // (paper 4.3.3: "No action is taken by the DPC").
-  Status released = free_list_.Release(entry.key);
+  // (paper 4.3.3: "No action is taken by the DPC"). A refresh-pinned key
+  // goes to the front instead: the DPC explicitly asked for this key to
+  // be regenerated, so the immediate re-render must reuse it.
+  Status released = pin_key ? free_list_.ReleaseFront(entry.key)
+                            : free_list_.Release(entry.key);
   assert(released.ok());
   (void)released;
 }
@@ -126,7 +129,7 @@ Status CacheDirectory::InvalidateCanonical(const std::string& canonical) {
   return Status::Ok();
 }
 
-Result<std::string> CacheDirectory::InvalidateKey(DpcKey key) {
+Result<std::string> CacheDirectory::InvalidateKey(DpcKey key, bool pin_key) {
   if (key >= key_owner_.size()) {
     return Status::InvalidArgument("dpcKey out of range: " +
                                    std::to_string(key));
@@ -141,7 +144,7 @@ Result<std::string> CacheDirectory::InvalidateKey(DpcKey key) {
     return Status::NotFound("key has no valid owner: " + std::to_string(key));
   }
   ++stats_.explicit_invalidations;
-  InvalidateEntry(owner, it->second);
+  InvalidateEntry(owner, it->second, pin_key);
   return owner;
 }
 

@@ -83,8 +83,13 @@ class CacheDirectory {
 
   // Invalidates whichever valid fragment currently owns `key` (used by the
   // DPC cold-cache recovery protocol, which only knows dpcKeys). Returns
-  // the canonical id invalidated; NotFound if no valid owner.
-  Result<std::string> InvalidateKey(DpcKey key);
+  // the canonical id invalidated; NotFound if no valid owner. With
+  // `pin_key` the key is released to the FRONT of the free list so the
+  // next Insert — normally the refresh re-render of this very fragment —
+  // gets the same key back. The DPC's streamed recovery depends on that:
+  // it has already committed `GET key` to the client and can only fill
+  // the slot if the refreshed template SETs the same key.
+  Result<std::string> InvalidateKey(DpcKey key, bool pin_key = false);
 
   // Invalidates every valid entry; returns how many.
   size_t InvalidateAll();
@@ -125,7 +130,9 @@ class CacheDirectory {
 
   bool Expired(const Entry& entry) const;
   // Shared invalidation: flips the flag, releases the key, updates policy.
-  void InvalidateEntry(const std::string& canonical, Entry& entry);
+  // `pin_key` releases to the front of the free list (refresh reuse).
+  void InvalidateEntry(const std::string& canonical, Entry& entry,
+                       bool pin_key = false);
   // Reclaims the stale invalid entry (if any) that still references `key`.
   void ReclaimKeyOwner(DpcKey key);
 

@@ -27,4 +27,16 @@ Status FreeList::Release(DpcKey key) {
   return Status::Ok();
 }
 
+Status FreeList::ReleaseFront(DpcKey key) {
+  if (key >= capacity_) {
+    return Status::InvalidArgument("dpcKey out of range: " +
+                                   std::to_string(key));
+  }
+  if (list_.size() >= capacity_) {
+    return Status::FailedPrecondition("free list already full");
+  }
+  list_.push_front(key);
+  return Status::Ok();
+}
+
 }  // namespace dynaprox::bem

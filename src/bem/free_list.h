@@ -28,6 +28,12 @@ class FreeList {
   // is already full (double release).
   Status Release(DpcKey key);
 
+  // Returns `key` to the HEAD, so the next Allocate hands it right back.
+  // Used by refresh-driven invalidation (DPC cold-cache recovery): the DPC
+  // asked for this exact key to be regenerated, so the re-rendered fragment
+  // must reuse it — a committed stream is waiting to splice `GET key`.
+  Status ReleaseFront(DpcKey key);
+
   size_t free_count() const { return list_.size(); }
   DpcKey capacity() const { return capacity_; }
   bool empty() const { return list_.empty(); }

@@ -64,6 +64,14 @@ Status BackEndMonitor::InvalidateKey(DpcKey key) {
   return Status::Ok();
 }
 
+Status BackEndMonitor::RefreshKey(DpcKey key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Result<std::string> owner = directory_.InvalidateKey(key, /*pin_key=*/true);
+  if (!owner.ok()) return owner.status();
+  registry_.RemoveFragment(*owner);
+  return Status::Ok();
+}
+
 size_t BackEndMonitor::InvalidateAll() {
   std::lock_guard<std::mutex> lock(mu_);
   size_t count = directory_.InvalidateAll();

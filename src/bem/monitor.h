@@ -62,6 +62,11 @@ class BackEndMonitor {
   // Explicit invalidation (e.g. operator action, DPC cold-start recovery).
   Status Invalidate(const FragmentId& id);
   Status InvalidateKey(DpcKey key);
+  // Refresh-protocol invalidation (X-DPC-Refresh): like InvalidateKey, but
+  // pins the key for immediate reuse so the re-rendered fragment keeps the
+  // same dpcKey. The DPC's streamed recovery has already committed
+  // `GET key` to the client and needs the refreshed SET under that key.
+  Status RefreshKey(DpcKey key);
   size_t InvalidateAll();
 
   // Proactive TTL sweep; returns the number invalidated.

@@ -63,4 +63,61 @@ Result<AssembledPage> AssemblePage(std::string_view wire,
                       clock, timing);
 }
 
+Status StreamingAssembler::Execute(std::vector<StreamSegment>& segments,
+                                   common::BufferChain& out) {
+  for (StreamSegment& segment : segments) {
+    switch (segment.kind) {
+      case TemplateSegment::Kind::kLiteral:
+        for (StreamPiece& piece : segment.pieces) {
+          progress_.bytes_referenced += piece.view.size();
+          out.Append(std::move(piece.owner), piece.view);
+        }
+        break;
+      case TemplateSegment::Kind::kSet: {
+        ++progress_.set_count;
+        // Same sharing as the buffered path: one materialization feeds
+        // both the store slot and the output chain.
+        FragmentRef fragment =
+            std::make_shared<const std::string>(segment.Text());
+        progress_.bytes_copied += fragment->size();
+        out.Append(fragment);
+        DYNAPROX_RETURN_IF_ERROR(store_.Set(segment.key, std::move(fragment)));
+        break;
+      }
+      case TemplateSegment::Kind::kGet: {
+        ++progress_.get_count;
+        Result<FragmentRef> content = store_.Get(segment.key);
+        if (!content.ok() && content.status().IsNotFound() &&
+            miss_resolver_ != nullptr) {
+          content = miss_resolver_(segment.key);
+        }
+        if (!content.ok()) return content.status();
+        progress_.bytes_referenced += (*content)->size();
+        out.Append(std::move(*content));
+        break;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status StreamingAssembler::Feed(common::Buffer owner, std::string_view bytes,
+                                common::BufferChain& out) {
+  segments_.clear();
+  DYNAPROX_RETURN_IF_ERROR(scanner_.Feed(std::move(owner), bytes, segments_));
+  return Execute(segments_, out);
+}
+
+Status StreamingAssembler::Feed(common::Buffer chunk,
+                                common::BufferChain& out) {
+  std::string_view bytes = chunk == nullptr ? std::string_view() : *chunk;
+  return Feed(std::move(chunk), bytes, out);
+}
+
+Status StreamingAssembler::Finish(common::BufferChain& out) {
+  segments_.clear();
+  DYNAPROX_RETURN_IF_ERROR(scanner_.Finish(segments_));
+  return Execute(segments_, out);
+}
+
 }  // namespace dynaprox::dpc

@@ -1,6 +1,7 @@
 #ifndef DYNAPROX_DPC_ASSEMBLER_H_
 #define DYNAPROX_DPC_ASSEMBLER_H_
 
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -63,6 +64,65 @@ Result<AssembledPage> AssemblePage(
     std::string_view wire, FragmentStore& store,
     ScanStrategy strategy = ScanStrategy::kMemchr,
     const Clock* clock = nullptr, AssemblyTiming* timing = nullptr);
+
+// Running totals of one streamed assembly; same meaning as the
+// AssembledPage fields of the buffered path.
+struct StreamProgress {
+  size_t set_count = 0;
+  size_t get_count = 0;
+  size_t bytes_copied = 0;
+  size_t bytes_referenced = 0;
+};
+
+// Incremental counterpart of AssemblePage: wraps a StreamingScanner and
+// executes segments against the store the moment they resolve, so
+// assembled bytes reach `out` while the rest of the template is still in
+// flight. Holdback is the scanner's (open SET body + partial tag), never
+// the page.
+//
+// Cold-cache GET misses differ from the buffered path: there is no
+// missing_keys list to report after the fact, because the bytes before
+// the miss may already be on the wire. Instead an optional MissResolver
+// is consulted inline — the proxy's resolver performs the refresh round
+// trip upstream and re-reads the store — and when it is absent (or
+// fails) the miss fails the stream.
+class StreamingAssembler {
+ public:
+  // Resolves a GET key the store does not hold. Returning an error aborts
+  // the stream with that status.
+  using MissResolver = std::function<Result<FragmentRef>(bem::DpcKey)>;
+
+  StreamingAssembler(FragmentStore& store,
+                     ScanStrategy strategy = ScanStrategy::kMemchr,
+                     MissResolver miss_resolver = nullptr)
+      : store_(store),
+        scanner_(strategy),
+        miss_resolver_(std::move(miss_resolver)) {}
+
+  // Scans `bytes` (which must alias `*owner`), appending every assembled
+  // byte that resolves within this chunk to `out`.
+  Status Feed(common::Buffer owner, std::string_view bytes,
+              common::BufferChain& out);
+  // Whole-buffer convenience; `chunk` may be null (empty feed).
+  Status Feed(common::Buffer chunk, common::BufferChain& out);
+
+  // Ends the template: flushes the trailing literal, rejects truncation.
+  Status Finish(common::BufferChain& out);
+
+  const StreamProgress& progress() const { return progress_; }
+  // Bytes held back across chunk boundaries (see StreamingScanner).
+  size_t buffered_bytes() const { return scanner_.buffered_bytes(); }
+
+ private:
+  Status Execute(std::vector<StreamSegment>& segments,
+                 common::BufferChain& out);
+
+  FragmentStore& store_;
+  StreamingScanner scanner_;
+  MissResolver miss_resolver_;
+  StreamProgress progress_;
+  std::vector<StreamSegment> segments_;  // Reused across Feed calls.
+};
 
 }  // namespace dynaprox::dpc
 

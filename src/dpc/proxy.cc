@@ -17,6 +17,17 @@ constexpr const char* kHopByHopHeaders[] = {
 };
 
 void StripHopByHop(http::HeaderMap& headers) {
+  // The Connection field also nominates additional hop-by-hop headers
+  // (RFC 7230 §6.1): strip those before the standard set (which removes
+  // Connection itself). Without this a "Connection: X-Internal-Secret"
+  // hop could leak X-Internal-Secret past the proxy.
+  if (auto connection = headers.Get("Connection"); connection.has_value()) {
+    const std::string nominated(*connection);  // Outlive the removals.
+    for (std::string_view token : StrSplit(nominated, ',')) {
+      token = StripWhitespace(token);
+      if (!token.empty()) headers.Remove(token);
+    }
+  }
   for (const char* name : kHopByHopHeaders) headers.Remove(name);
 }
 
@@ -31,6 +42,204 @@ void AppendVia(http::HeaderMap& headers, const std::string& token) {
 double MicrosToSeconds(MicroTime micros) {
   return static_cast<double>(micros) / kMicrosPerSecond;
 }
+
+// Everything a streamed body needs to finish the request's bookkeeping
+// after Handle() has already returned: metric handles (registry-backed,
+// atomic), the clock, the access log, and the log line's fields.
+struct StreamContext {
+  metrics::Counter* bytes_from_upstream = nullptr;
+  metrics::Counter* bytes_to_clients = nullptr;
+  metrics::Counter* upstream_errors = nullptr;
+  metrics::Counter* template_errors = nullptr;
+  metrics::Counter* stream_aborts = nullptr;
+  metrics::Counter* assembled = nullptr;
+  metrics::Counter* body_bytes_copied = nullptr;
+  metrics::Counter* body_bytes_referenced = nullptr;
+  metrics::LatencyHistogram* request_duration = nullptr;
+  const Clock* clock = nullptr;
+  AccessLogger* access_log = nullptr;  // May be null.
+  MicroTime start = 0;
+  std::string request_id;
+  std::string method;
+  std::string target;
+  int status = 200;
+  size_t max_template_bytes = 0;  // 0 = unlimited.
+};
+
+// Completion bookkeeping for a streamed response. Duration is measured to
+// the moment the body is fully produced (or abandoned), not to the last
+// socket flush — the proxy cannot see the hosting server's writes.
+void LogStreamCompletion(const StreamContext& ctx, const char* outcome,
+                         size_t bytes_sent) {
+  MicroTime elapsed = ctx.clock->NowMicros() - ctx.start;
+  ctx.request_duration->Observe(MicrosToSeconds(elapsed));
+  if (ctx.access_log != nullptr) {
+    AccessLogEntry entry;
+    entry.timestamp_micros = ctx.start;
+    entry.component = "dpc";
+    entry.request_id = ctx.request_id;
+    entry.method = ctx.method;
+    entry.target = ctx.target;
+    entry.status = ctx.status;
+    entry.bytes_sent = bytes_sent;
+    entry.duration_micros = elapsed;
+    entry.outcome = outcome;
+    ctx.access_log->Log(entry);
+  }
+}
+
+// Streamed passthrough body: upstream chunks forwarded verbatim, with
+// per-chunk byte accounting and the completion bookkeeping at end of
+// body. Destruction before end of body (client went away) logs the
+// request as abandoned.
+class PassthroughStream : public http::BodyStream {
+ public:
+  PassthroughStream(std::unique_ptr<http::BodyStream> upstream,
+                    StreamContext ctx)
+      : upstream_(std::move(upstream)), ctx_(std::move(ctx)) {}
+
+  ~PassthroughStream() override {
+    if (!completed_) Complete("stream_abandoned");
+  }
+
+  Result<common::BufferChain> Next() override {
+    if (completed_) return common::BufferChain();
+    Result<common::BufferChain> chunk = upstream_->Next();
+    if (!chunk.ok()) {
+      ctx_.upstream_errors->Increment();
+      ctx_.stream_aborts->Increment();
+      Complete("stream_abort");
+      return chunk.status();
+    }
+    if (chunk->empty()) {
+      Complete("passthrough");
+      return chunk;
+    }
+    ctx_.bytes_from_upstream->Increment(chunk->size());
+    ctx_.bytes_to_clients->Increment(chunk->size());
+    sent_ += chunk->size();
+    return chunk;
+  }
+
+ private:
+  void Complete(const char* outcome) {
+    completed_ = true;
+    LogStreamCompletion(ctx_, outcome, sent_);
+  }
+
+  std::unique_ptr<http::BodyStream> upstream_;
+  StreamContext ctx_;
+  size_t sent_ = 0;
+  bool completed_ = false;
+};
+
+// Streamed scan-and-splice body: pulls template chunks from the upstream
+// stream, feeds the incremental assembler, and yields assembled output
+// the moment it resolves. Constructed at commit time with whatever the
+// prefetch in HandleStreaming already produced; failures from here on are
+// post-commit and abort the stream (the hosting server truncates the
+// chunked body).
+class AssemblingStream : public http::BodyStream {
+ public:
+  AssemblingStream(std::unique_ptr<http::BodyStream> upstream,
+                   StreamingAssembler assembler, common::BufferChain pending,
+                   size_t template_bytes, StreamContext ctx)
+      : upstream_(std::move(upstream)),
+        assembler_(std::move(assembler)),
+        pending_(std::move(pending)),
+        template_bytes_(template_bytes),
+        ctx_(std::move(ctx)) {}
+
+  ~AssemblingStream() override {
+    if (!completed_) Complete("stream_abandoned");
+  }
+
+  Result<common::BufferChain> Next() override {
+    if (failed_) return failure_;
+    if (finished_) return common::BufferChain();
+    if (!pending_.empty()) {
+      common::BufferChain out = std::move(pending_);
+      pending_.Clear();
+      return Deliver(std::move(out));
+    }
+    common::BufferChain out;
+    for (;;) {
+      Result<common::BufferChain> chunk = upstream_->Next();
+      if (!chunk.ok()) {
+        ctx_.upstream_errors->Increment();
+        return Abort(chunk.status());
+      }
+      if (chunk->empty()) {
+        Status finished = assembler_.Finish(out);
+        if (!finished.ok()) {
+          ctx_.template_errors->Increment();
+          return Abort(finished);
+        }
+        finished_ = true;
+        ctx_.assembled->Increment();
+        ctx_.body_bytes_copied->Increment(assembler_.progress().bytes_copied);
+        ctx_.body_bytes_referenced->Increment(
+            assembler_.progress().bytes_referenced);
+        // A non-empty tail goes out now and the next pull ends the body;
+        // an empty one ends it directly.
+        Result<common::BufferChain> tail = Deliver(std::move(out));
+        Complete("streamed");
+        return tail;
+      }
+      template_bytes_ += chunk->size();
+      ctx_.bytes_from_upstream->Increment(chunk->size());
+      if (ctx_.max_template_bytes != 0 &&
+          template_bytes_ > ctx_.max_template_bytes) {
+        ctx_.template_errors->Increment();
+        return Abort(Status::CapacityExceeded(
+            "template exceeds limit: " + std::to_string(template_bytes_) +
+            " > " + std::to_string(ctx_.max_template_bytes)));
+      }
+      for (const common::BufferChain::Slice& slice : chunk->slices()) {
+        Status fed = assembler_.Feed(slice.buffer, slice.view(), out);
+        if (!fed.ok()) {
+          ctx_.template_errors->Increment();
+          return Abort(fed);
+        }
+      }
+      if (!out.empty()) return Deliver(std::move(out));
+    }
+  }
+
+ private:
+  Result<common::BufferChain> Deliver(common::BufferChain out) {
+    ctx_.bytes_to_clients->Increment(out.size());
+    sent_ += out.size();
+    return out;
+  }
+
+  Result<common::BufferChain> Abort(Status status) {
+    failed_ = true;
+    failure_ = status;
+    ctx_.stream_aborts->Increment();
+    DYNAPROX_LOG(kWarning, "dpc")
+        << "stream abort (" << ctx_.request_id
+        << "): " << status.ToString();
+    Complete("stream_abort");
+    return failure_;
+  }
+
+  void Complete(const char* outcome) {
+    completed_ = true;
+    LogStreamCompletion(ctx_, outcome, sent_);
+  }
+
+  std::unique_ptr<http::BodyStream> upstream_;
+  StreamingAssembler assembler_;
+  common::BufferChain pending_;  // Output the prefetch already produced.
+  size_t template_bytes_;
+  StreamContext ctx_;
+  size_t sent_ = 0;
+  bool finished_ = false;
+  bool failed_ = false;
+  Status failure_ = Status::Ok();
+  bool completed_ = false;
+};
 
 }  // namespace
 
@@ -96,6 +305,19 @@ void DpcProxy::RegisterMetrics() {
       "dynaprox_dpc_body_bytes_referenced_total",
       "Assembled-page body bytes spliced by reference (literals and GET "
       "fragments), never copied.");
+  instruments_.streamed = registry_.GetCounter(
+      "dynaprox_streamed_total",
+      "Responses committed to streaming delivery (head sent while the "
+      "template tail was still arriving).");
+  instruments_.stream_fallbacks = registry_.GetCounter(
+      "dynaprox_stream_fallbacks_total",
+      "Streaming-eligible responses whose template completed during "
+      "prefetch and were served buffered instead.");
+  instruments_.stream_aborts = registry_.GetCounter(
+      "dynaprox_stream_aborts_total",
+      "Streams aborted after commit (upstream or template failure "
+      "mid-body; the client connection is cut, truncating the chunked "
+      "body).");
 
   // Per-stage latency histograms (seconds).
   instruments_.request_duration = registry_.GetHistogram(
@@ -110,6 +332,11 @@ void DpcProxy::RegisterMetrics() {
   instruments_.splice_duration = registry_.GetHistogram(
       "dynaprox_splice_duration_seconds",
       "Fragment store/splice time per assembled page.");
+  instruments_.ttfb = registry_.GetHistogram(
+      "dynaprox_ttfb_seconds",
+      "Time from request arrival to the first response body bytes being "
+      "ready to send (streamed: at commit; buffered: whole handling "
+      "time).");
 
   // Fragment store, sampled at scrape time.
   registry_.RegisterCallbackGauge(
@@ -288,6 +515,9 @@ ProxyStats DpcProxy::stats() const {
   snapshot.degraded_503s = instruments_.degraded_503s->value();
   snapshot.bytes_from_upstream = instruments_.bytes_from_upstream->value();
   snapshot.bytes_to_clients = instruments_.bytes_to_clients->value();
+  snapshot.streamed = instruments_.streamed->value();
+  snapshot.stream_fallbacks = instruments_.stream_fallbacks->value();
+  snapshot.stream_aborts = instruments_.stream_aborts->value();
   return snapshot;
 }
 
@@ -298,6 +528,7 @@ http::Response DpcProxy::BuildAssembledResponse(
   response.headers.Remove(bem::kTemplateHeader);
   response.headers.Remove("Content-Length");
   if (options_.proxy_headers) {
+    StripHopByHop(response.headers);
     AppendVia(response.headers, options_.via_token);
   }
   if (options_.add_debug_header) {
@@ -337,10 +568,11 @@ std::optional<http::Response> DpcProxy::LookupAnyStale(
   if (!stale.has_value()) return std::nullopt;
   stale->headers.Set("Warning", kStaleWarning);
   if (options_.proxy_headers) {
+    StripHopByHop(stale->headers);
     AppendVia(stale->headers, options_.via_token);
   }
   instruments_.stale_served->Increment();
-  instruments_.bytes_to_clients->Increment(stale->body.size());
+  instruments_.bytes_to_clients->Increment(stale->body_size());
   return stale;
 }
 
@@ -387,6 +619,9 @@ http::Response DpcProxy::RenderStatus() const {
   json.Key("degraded_503s").Uint(snapshot.degraded_503s);
   json.Key("bytes_from_upstream").Uint(snapshot.bytes_from_upstream);
   json.Key("bytes_to_clients").Uint(snapshot.bytes_to_clients);
+  json.Key("streamed").Uint(snapshot.streamed);
+  json.Key("stream_fallbacks").Uint(snapshot.stream_fallbacks);
+  json.Key("stream_aborts").Uint(snapshot.stream_aborts);
   json.Key("store").BeginObject();
   StoreStats store_stats = store_.stats();
   json.Key("capacity").Uint(store_.capacity());
@@ -489,10 +724,25 @@ http::Response DpcProxy::Handle(const http::Request& request) {
 
   MicroTime start = clock_->NowMicros();
   const char* outcome = "error";
-  http::Response response = HandleProxied(request, request_id, &outcome);
+  // Streaming is served only when every feature that needs the complete
+  // page in hand is off (see ProxyOptions::streaming).
+  const bool streaming_eligible =
+      options_.streaming && static_cache_ == nullptr &&
+      stale_cache_ == nullptr && !options_.add_debug_header;
+  http::Response response =
+      streaming_eligible
+          ? HandleStreaming(request, request_id, start, &outcome)
+          : HandleProxied(request, request_id, &outcome);
+  response.headers.Set(bem::kRequestIdHeader, request_id);
+  if (response.body_stream != nullptr) {
+    // Committed stream: duration, TTFB, and the access-log line are
+    // recorded by the stream itself when the body completes — the
+    // request is still in flight here.
+    return response;
+  }
   MicroTime elapsed = clock_->NowMicros() - start;
   instruments_.request_duration->Observe(MicrosToSeconds(elapsed));
-  response.headers.Set(bem::kRequestIdHeader, request_id);
+  instruments_.ttfb->Observe(MicrosToSeconds(elapsed));
 
   if (options_.access_log != nullptr) {
     AccessLogEntry entry;
@@ -516,13 +766,7 @@ http::Response DpcProxy::HandleProxied(const http::Request& request,
   // Builds the request forwarded upstream; re-applied after each retry
   // mutation so hop-by-hop stripping and the correlation id survive.
   auto prepare_upstream = [&](const http::Request& base) {
-    http::Request upstream_request = base;
-    if (options_.proxy_headers) {
-      StripHopByHop(upstream_request.headers);
-      AppendVia(upstream_request.headers, options_.via_token);
-    }
-    upstream_request.headers.Set(bem::kRequestIdHeader, request_id);
-    return upstream_request;
+    return PrepareUpstream(base, request_id);
   };
 
   bool revalidating = false;
@@ -531,7 +775,7 @@ http::Response DpcProxy::HandleProxied(const http::Request& request,
     if (std::optional<http::Response> cached =
             static_cache_->Lookup(request.target)) {
       instruments_.static_hits->Increment();
-      instruments_.bytes_to_clients->Increment(cached->body.size());
+      instruments_.bytes_to_clients->Increment(cached->body_size());
       *outcome = "static_hit";
       return std::move(*cached);
     }
@@ -560,15 +804,17 @@ http::Response DpcProxy::HandleProxied(const http::Request& request,
       return ServeDegraded(request, upstream_response.status(),
                            breaker_rejected, outcome);
     }
+    // body_size(), not body.size(): an in-process upstream (DirectTransport
+    // over another proxy tier) may deliver the body as a chain.
     instruments_.bytes_from_upstream->Increment(
-        upstream_response->body.size());
+        upstream_response->body_size());
 
     if (revalidating && upstream_response->status_code == 304) {
       if (std::optional<http::Response> refreshed =
               static_cache_->Revalidate(request.target,
                                         *upstream_response)) {
         instruments_.static_revalidations->Increment();
-        instruments_.bytes_to_clients->Increment(refreshed->body.size());
+        instruments_.bytes_to_clients->Increment(refreshed->body_size());
         *outcome = "static_revalidated";
         return std::move(*refreshed);
       }
@@ -598,32 +844,38 @@ http::Response DpcProxy::HandleProxied(const http::Request& request,
         stale_cache_->Remember(request.target, *upstream_response);
       }
       if (options_.proxy_headers) {
+        StripHopByHop(upstream_response->headers);
         AppendVia(upstream_response->headers, options_.via_token);
       }
       instruments_.passthrough->Increment();
       instruments_.bytes_to_clients->Increment(
-          upstream_response->body.size());
+          upstream_response->body_size());
       *outcome = "passthrough";
       return std::move(*upstream_response);
     }
 
     if (options_.max_template_bytes != 0 &&
-        upstream_response->body.size() > options_.max_template_bytes) {
+        upstream_response->body_size() > options_.max_template_bytes) {
       instruments_.template_errors->Increment();
       *outcome = "template_error";
       return http::Response::MakeError(
           502, "Bad Gateway",
           "template exceeds limit: " +
-              std::to_string(upstream_response->body.size()) + " > " +
+              std::to_string(upstream_response->body_size()) + " > " +
               std::to_string(options_.max_template_bytes));
     }
 
     // The template body moves into a shared wire buffer: the assembled
     // page's literal slices alias it, so it must outlive the page — the
-    // chain's references keep it alive, no copy.
+    // chain's references keep it alive, no copy. A chained body (from an
+    // in-process upstream tier) is flattened first: the scanner needs
+    // contiguous bytes.
     common::Buffer wire =
-        common::MakeBuffer(std::move(upstream_response->body));
+        upstream_response->body_chain.empty()
+            ? common::MakeBuffer(std::move(upstream_response->body))
+            : common::MakeBuffer(upstream_response->body_chain.Flatten());
     upstream_response->body.clear();
+    upstream_response->body_chain.Clear();
     AssemblyTiming timing;
     Result<AssembledPage> assembled = AssemblePage(
         wire, store_, options_.scan_strategy, clock_, &timing);
@@ -660,6 +912,237 @@ http::Response DpcProxy::HandleProxied(const http::Request& request,
   *outcome = "recovery_failed";
   return http::Response::MakeError(502, "Bad Gateway",
                                    "unrecoverable missing fragments");
+}
+
+http::Request DpcProxy::PrepareUpstream(const http::Request& base,
+                                        const std::string& request_id) const {
+  http::Request upstream_request = base;
+  if (options_.proxy_headers) {
+    StripHopByHop(upstream_request.headers);
+    AppendVia(upstream_request.headers, options_.via_token);
+  }
+  upstream_request.headers.Set(bem::kRequestIdHeader, request_id);
+  return upstream_request;
+}
+
+Result<FragmentRef> DpcProxy::ResolveMiss(const http::Request& request,
+                                          const std::string& request_id,
+                                          bem::DpcKey key) {
+  // Streamed cold-cache recovery. The buffered path re-fetches and
+  // re-assembles the whole page; here bytes before the miss may already
+  // be on the wire, so instead the refreshed template's SETs are executed
+  // into the store (its page body is discarded) and the slot re-read.
+  // The nested round trip rides the same upstream transport — safe on
+  // PooledClientTransport (own pool slot) and DirectTransport (plain
+  // call); see ProxyOptions::streaming for the TcpClientTransport caveat.
+  for (int attempt = 0; attempt < options_.max_recovery_attempts; ++attempt) {
+    instruments_.recoveries->Increment();
+    http::Request refresh = PrepareUpstream(request, request_id);
+    refresh.headers.Set(bem::kRefreshHeader, ToHex(key));
+    DYNAPROX_LOG(kInfo, "dpc")
+        << "streamed cold-cache recovery for key " << ToHex(key);
+    MicroTime fetch_start = clock_->NowMicros();
+    Result<http::Response> refreshed = upstream_->RoundTrip(refresh);
+    instruments_.upstream_fetch_duration->Observe(
+        MicrosToSeconds(clock_->NowMicros() - fetch_start));
+    if (!refreshed.ok()) {
+      instruments_.upstream_errors->Increment();
+      return refreshed.status();
+    }
+    instruments_.bytes_from_upstream->Increment(refreshed->body_size());
+    if (!refreshed->headers.Has(bem::kTemplateHeader)) {
+      // The origin no longer answers this URL with a template; there are
+      // no SETs to learn from, so retrying cannot help.
+      break;
+    }
+    const std::string wire = refreshed->BodyText();
+    Result<std::vector<TemplateSegment>> segments =
+        ParseTemplate(wire, options_.scan_strategy);
+    if (!segments.ok()) return segments.status();
+    for (const TemplateSegment& segment : *segments) {
+      if (segment.kind != TemplateSegment::Kind::kSet) continue;
+      Status stored = store_.Set(
+          segment.key, std::make_shared<const std::string>(segment.Text()));
+      if (!stored.ok()) return stored;
+    }
+    Result<FragmentRef> fragment = store_.Get(key);
+    if (fragment.ok()) return fragment;
+    // With a pooled upstream the refresh can race a concurrent request
+    // whose SET is still in flight and miss again — retry.
+  }
+  return Status::NotFound("fragment " + ToHex(key) +
+                          " unrecoverable after refresh");
+}
+
+http::Response DpcProxy::HandleStreaming(const http::Request& request,
+                                         const std::string& request_id,
+                                         MicroTime start,
+                                         const char** outcome) {
+  http::Request upstream_request = PrepareUpstream(request, request_id);
+  MicroTime fetch_start = clock_->NowMicros();
+  Result<net::StreamingResponse> upstream =
+      upstream_->RoundTripStreaming(upstream_request);
+  // Head time only: per-chunk body time is the stream consumer's.
+  instruments_.upstream_fetch_duration->Observe(
+      MicrosToSeconds(clock_->NowMicros() - fetch_start));
+  if (!upstream.ok()) {
+    bool breaker_rejected = net::IsBreakerRejection(upstream.status());
+    if (breaker_rejected) {
+      instruments_.breaker_rejections->Increment();
+    } else {
+      instruments_.upstream_errors->Increment();
+    }
+    return ServeDegraded(request, upstream.status(), breaker_rejected,
+                         outcome);
+  }
+  http::Response head = std::move(upstream->head);
+  std::unique_ptr<http::BodyStream> body = std::move(upstream.value().body);
+
+  StreamContext ctx;
+  ctx.bytes_from_upstream = instruments_.bytes_from_upstream;
+  ctx.bytes_to_clients = instruments_.bytes_to_clients;
+  ctx.upstream_errors = instruments_.upstream_errors;
+  ctx.template_errors = instruments_.template_errors;
+  ctx.stream_aborts = instruments_.stream_aborts;
+  ctx.assembled = instruments_.assembled;
+  ctx.body_bytes_copied = instruments_.body_bytes_copied;
+  ctx.body_bytes_referenced = instruments_.body_bytes_referenced;
+  ctx.request_duration = instruments_.request_duration;
+  ctx.clock = clock_;
+  ctx.access_log = options_.access_log;
+  ctx.start = start;
+  ctx.request_id = request_id;
+  ctx.method = request.method;
+  ctx.target = request.target;
+  ctx.status = head.status_code;
+  ctx.max_template_bytes = options_.max_template_bytes;
+
+  if (!head.headers.Has(bem::kTemplateHeader)) {
+    if (head.status_code != 200) {
+      // 304/204/errors must not be re-framed as chunked; collapse to a
+      // buffered response (these bodies are empty or tiny anyway).
+      std::string collapsed;
+      for (;;) {
+        Result<common::BufferChain> chunk = body->Next();
+        if (!chunk.ok()) {
+          instruments_.upstream_errors->Increment();
+          return ServeDegraded(request, chunk.status(), false, outcome);
+        }
+        if (chunk->empty()) break;
+        chunk->AppendTo(collapsed);
+      }
+      instruments_.bytes_from_upstream->Increment(collapsed.size());
+      instruments_.bytes_to_clients->Increment(collapsed.size());
+      instruments_.passthrough->Increment();
+      head.headers.Remove("Transfer-Encoding");
+      head.body = std::move(collapsed);
+      if (options_.proxy_headers) {
+        StripHopByHop(head.headers);
+        AppendVia(head.headers, options_.via_token);
+      }
+      *outcome = "passthrough";
+      return head;
+    }
+    if (options_.proxy_headers) {
+      StripHopByHop(head.headers);
+      AppendVia(head.headers, options_.via_token);
+    }
+    // Re-framed as chunked by the hosting server.
+    head.headers.Remove("Content-Length");
+    head.headers.Remove("Transfer-Encoding");
+    instruments_.passthrough->Increment();
+    instruments_.streamed->Increment();
+    instruments_.ttfb->Observe(MicrosToSeconds(clock_->NowMicros() - start));
+    *outcome = "passthrough";
+    head.body_stream =
+        std::make_shared<PassthroughStream>(std::move(body), std::move(ctx));
+    return head;
+  }
+
+  head.headers.Remove(bem::kTemplateHeader);
+  head.headers.Remove("Content-Length");
+  head.headers.Remove("Transfer-Encoding");
+  if (options_.proxy_headers) {
+    StripHopByHop(head.headers);
+    AppendVia(head.headers, options_.via_token);
+  }
+
+  auto resolver = [this, base = request, request_id](bem::DpcKey key) {
+    return ResolveMiss(base, request_id, key);
+  };
+  StreamingAssembler assembler(store_, options_.scan_strategy,
+                               std::move(resolver));
+
+  // Prefetch: pull until the first assembled byte, end of template, or a
+  // failure. Failures here are pre-commit — nothing has reached the
+  // client yet — so they still yield a clean error response.
+  common::BufferChain pending;
+  size_t template_bytes = 0;
+  bool complete = false;
+  bool upstream_failed = false;
+  Status failure = Status::Ok();
+  while (pending.empty()) {
+    Result<common::BufferChain> chunk = body->Next();
+    if (!chunk.ok()) {
+      failure = chunk.status();
+      upstream_failed = true;
+      break;
+    }
+    if (chunk->empty()) {
+      failure = assembler.Finish(pending);
+      complete = true;
+      break;
+    }
+    template_bytes += chunk->size();
+    instruments_.bytes_from_upstream->Increment(chunk->size());
+    if (options_.max_template_bytes != 0 &&
+        template_bytes > options_.max_template_bytes) {
+      failure = Status::CapacityExceeded(
+          "template exceeds limit: " + std::to_string(template_bytes) +
+          " > " + std::to_string(options_.max_template_bytes));
+      break;
+    }
+    for (const common::BufferChain::Slice& slice : chunk->slices()) {
+      failure = assembler.Feed(slice.buffer, slice.view(), pending);
+      if (!failure.ok()) break;
+    }
+    if (!failure.ok()) break;
+  }
+  if (upstream_failed) {
+    instruments_.upstream_errors->Increment();
+    return ServeDegraded(request, failure, false, outcome);
+  }
+  if (!failure.ok()) {
+    instruments_.template_errors->Increment();
+    *outcome = "template_error";
+    return http::Response::MakeError(
+        502, "Bad Gateway", "template error: " + failure.ToString());
+  }
+  if (complete) {
+    // Whole template consumed during prefetch (in-process upstreams and
+    // small templates): serve buffered — byte-identical to the streamed
+    // form, minus the chunked framing.
+    instruments_.stream_fallbacks->Increment();
+    instruments_.assembled->Increment();
+    instruments_.bytes_to_clients->Increment(pending.size());
+    instruments_.body_bytes_copied->Increment(
+        assembler.progress().bytes_copied);
+    instruments_.body_bytes_referenced->Increment(
+        assembler.progress().bytes_referenced);
+    head.body.clear();
+    head.body_chain = std::move(pending);
+    *outcome = "assembled";
+    return head;
+  }
+  // Commit: the head and `pending` go to the client now, while the
+  // template tail is still arriving.
+  instruments_.streamed->Increment();
+  instruments_.ttfb->Observe(MicrosToSeconds(clock_->NowMicros() - start));
+  *outcome = "streamed";
+  head.body_stream = std::make_shared<AssemblingStream>(
+      std::move(body), std::move(assembler), std::move(pending),
+      template_bytes, std::move(ctx));
+  return head;
 }
 
 }  // namespace dynaprox::dpc

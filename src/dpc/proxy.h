@@ -42,9 +42,29 @@ struct ProxyOptions {
   // whose SET is still in flight and miss again, so allow more than one.
   int max_recovery_attempts = 3;
   // Reject templates larger than this (bytes) with 502; 0 = unlimited.
-  // A resource guard against a misbehaving origin.
+  // A resource guard against a misbehaving origin. On the streaming path
+  // the cap applies to cumulative template bytes and aborts mid-stream.
   size_t max_template_bytes = 0;
   bool add_debug_header = false;
+  // Streaming scan-and-splice: consume the upstream template chunk by
+  // chunk (net::Transport::RoundTripStreaming) and hand the hosting
+  // server a Response::body_stream, so assembled head bytes reach the
+  // client while the template tail is still arriving. Per-connection
+  // holdback is bounded by chunk size + open-SET body + partial tag,
+  // never the page. A request is served streamed only when, additionally,
+  // the static cache, serve-stale, and the debug header are all off —
+  // those features need the complete page in hand; enabling any of them
+  // keeps the buffered path for every request. Cold-cache GET misses are
+  // recovered inline per missing key (X-DPC-Refresh round trip on the
+  // same transport, then the store is re-read) — with a pooled upstream
+  // the nested round trip runs on its own connection; a bare
+  // TcpClientTransport would deadlock (see net/tcp.h), so use
+  // PooledClientTransport or DirectTransport upstreams when streaming.
+  // An upstream or template failure before the first assembled byte
+  // still yields a clean 502/degraded response; after bytes are on the
+  // wire the connection is aborted (truncated chunked body) instead of
+  // sending a complete-looking page.
+  bool streaming = false;
   // Also cache untagged (static) responses per their Cache-Control, the
   // way ISA Server's ordinary proxy cache did in the paper's testbed.
   bool enable_static_cache = false;
@@ -108,6 +128,10 @@ struct ProxyStats {
   uint64_t degraded_503s = 0;       // Origin down and nothing stale: 503.
   uint64_t bytes_from_upstream = 0;  // Template/page bytes received.
   uint64_t bytes_to_clients = 0;     // Assembled body bytes sent.
+  uint64_t streamed = 0;          // Responses committed to streaming.
+  uint64_t stream_fallbacks = 0;  // Template finished during prefetch:
+                                  // served buffered instead.
+  uint64_t stream_aborts = 0;     // Streams aborted after commit.
 };
 
 // The Dynamic Proxy Cache (paper 4.3.3) in reverse-proxy mode: stores
@@ -174,10 +198,14 @@ class DpcProxy {
     metrics::Counter* bytes_to_clients;
     metrics::Counter* body_bytes_copied;
     metrics::Counter* body_bytes_referenced;
+    metrics::Counter* streamed;
+    metrics::Counter* stream_fallbacks;
+    metrics::Counter* stream_aborts;
     metrics::LatencyHistogram* request_duration;
     metrics::LatencyHistogram* upstream_fetch_duration;
     metrics::LatencyHistogram* scan_duration;
     metrics::LatencyHistogram* splice_duration;
+    metrics::LatencyHistogram* ttfb;
   };
 
   void RegisterMetrics();
@@ -188,6 +216,21 @@ class DpcProxy {
   http::Response HandleProxied(const http::Request& request,
                                const std::string& request_id,
                                const char** outcome);
+  // The streamed proxying path (see ProxyOptions::streaming). `start` is
+  // the request arrival time, for the TTFB observation at commit.
+  http::Response HandleStreaming(const http::Request& request,
+                                 const std::string& request_id,
+                                 MicroTime start, const char** outcome);
+  // The request forwarded upstream: hop-by-hop headers stripped, Via
+  // appended (when proxy_headers is on), correlation id set.
+  http::Request PrepareUpstream(const http::Request& base,
+                                const std::string& request_id) const;
+  // Inline cold-cache recovery for one streamed GET miss: refresh round
+  // trip for `key`, execute the refreshed template's SETs into the store,
+  // re-read the slot; retried up to max_recovery_attempts.
+  Result<FragmentRef> ResolveMiss(const http::Request& request,
+                                  const std::string& request_id,
+                                  bem::DpcKey key);
   http::Response BuildAssembledResponse(const http::Request& request,
                                         http::Response upstream,
                                         AssembledPage page);

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "bem/types.h"
+#include "common/buffer_chain.h"
 #include "common/result.h"
 
 namespace dynaprox::dpc {
@@ -54,12 +55,108 @@ struct TemplateSegment {
   }
 };
 
+// Longest admissible hex run in an 'S'/'G' tag. DpcKey is 32-bit and
+// bem::TagCodec emits minimal hex, so eight digits suffice; the cap also
+// bounds the streaming scanner's partial-tag stash against hostile
+// zero-padded runs. Shared by ParseTemplate and StreamingScanner so both
+// accept exactly the same templates.
+inline constexpr size_t kMaxKeyHexDigits = 8;
+
 // Parses a BEM-encoded response template (see bem::TagCodec for the wire
 // grammar) into segments viewing `wire`. Fails with Corruption on
-// malformed input: truncated tags, unknown markers, bad hex keys, SET
-// without matching end, nested SET, or GET inside SET.
+// malformed input: truncated tags, unknown markers, bad hex keys (empty
+// runs, runs over kMaxKeyHexDigits, or the reserved bem::kInvalidDpcKey,
+// which doubles as the "no key" sentinel downstream), SET without
+// matching end, nested SET, or GET inside SET.
 Result<std::vector<TemplateSegment>> ParseTemplate(
     std::string_view wire, ScanStrategy strategy = ScanStrategy::kMemchr);
+
+// One parsed piece of a streamed segment: a view plus the buffer owning
+// its bytes. Unlike the buffered TemplateSegment, whose views all alias
+// one wire buffer the caller retains, a streamed segment may span chunk
+// boundaries — so every piece carries its own owner and stays valid after
+// the scanner has moved on to later chunks.
+struct StreamPiece {
+  common::Buffer owner;
+  std::string_view view;
+};
+
+// One segment emitted by StreamingScanner. Same meaning as
+// TemplateSegment; pieces own their backing chunks (see StreamPiece).
+struct StreamSegment {
+  TemplateSegment::Kind kind = TemplateSegment::Kind::kLiteral;
+  bem::DpcKey key = bem::kInvalidDpcKey;
+  std::vector<StreamPiece> pieces;  // Empty for kGet.
+
+  size_t text_size() const {
+    size_t total = 0;
+    for (const StreamPiece& piece : pieces) total += piece.view.size();
+    return total;
+  }
+
+  std::string Text() const {
+    std::string out;
+    out.reserve(text_size());
+    for (const StreamPiece& piece : pieces) out.append(piece.view);
+    return out;
+  }
+};
+
+// Resumable counterpart of ParseTemplate for templates arriving in
+// chunks. Feed() emits every segment the moment it resolves: literal text
+// flushes at each chunk boundary (where a buffered parse would merge
+// adjacent runs into one segment — fold adjacent literals when comparing
+// the two), a GET when its ETX arrives, a SET when its body closes. State
+// carried across boundaries is bounded: a partial tag is at most
+// 2 + kMaxKeyHexDigits + 1 bytes, and an open SET body accumulates only
+// until its SET-end — so holdback is chunk + open-SET sized, never page
+// sized. Accepts exactly the template language ParseTemplate accepts
+// (error messages may differ for truncation, accept/reject never does).
+//
+// After an error the scanner is dead: every later Feed()/Finish() returns
+// the same failure. Call Finish() exactly once, after the last chunk.
+class StreamingScanner {
+ public:
+  explicit StreamingScanner(ScanStrategy strategy = ScanStrategy::kMemchr)
+      : strategy_(strategy) {}
+
+  // Scans `bytes`, which must alias `*owner`, appending every segment
+  // that resolves within this chunk to `out`.
+  Status Feed(common::Buffer owner, std::string_view bytes,
+              std::vector<StreamSegment>& out);
+
+  // Whole-buffer convenience; `chunk` may be null (empty feed).
+  Status Feed(common::Buffer chunk, std::vector<StreamSegment>& out);
+
+  // Marks end of template: flushes the trailing literal, rejects a
+  // dangling partial tag or an unterminated SET block.
+  Status Finish(std::vector<StreamSegment>& out);
+
+  // Bytes held back across chunk boundaries (open SET body + partial
+  // tag): the streaming pipeline's per-connection buffering bound.
+  size_t buffered_bytes() const { return pieces_bytes_ + tag_.size(); }
+
+  bool failed() const { return state_ == State::kFailed; }
+
+ private:
+  enum class State { kText, kTag, kDone, kFailed };
+
+  Status Fail(Status status);
+  void AddPiece(const common::Buffer& owner, std::string_view piece);
+  void FlushLiteral(std::vector<StreamSegment>& out);
+  // Advances the partial tag in `tag_` by the byte just appended,
+  // resolving or rejecting the tag once enough bytes are present.
+  Status StepTag(std::vector<StreamSegment>& out);
+
+  ScanStrategy strategy_;
+  State state_ = State::kText;
+  std::string tag_;  // Partial tag incl. leading STX; bounded.
+  bool inside_set_ = false;
+  bem::DpcKey set_key_ = bem::kInvalidDpcKey;
+  std::vector<StreamPiece> pieces_;  // Literal run or open SET body.
+  size_t pieces_bytes_ = 0;
+  Status failure_ = Status::Ok();
+};
 
 }  // namespace dynaprox::dpc
 

@@ -2,10 +2,12 @@
 #define DYNAPROX_HTTP_MESSAGE_H_
 
 #include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 
 #include "common/buffer_chain.h"
+#include "common/result.h"
 #include "http/header_map.h"
 
 namespace dynaprox::http {
@@ -36,11 +38,30 @@ struct Request {
   size_t SerializedSize() const;
 };
 
+// Pull source for a response body produced incrementally (streamed page
+// assembly, proxied upstream bodies). Next() blocks until at least one
+// byte is available and returns it as a zero-copy chain; an empty chain
+// signals the end of the body. An error aborts the stream: a server then
+// closes the connection without the final chunk frame, so the client sees
+// a truncated chunked body instead of a complete-looking response.
+class BodyStream {
+ public:
+  virtual ~BodyStream() = default;
+  virtual Result<common::BufferChain> Next() = 0;
+};
+
 // An HTTP/1.1 response. The body has two representations: the contiguous
 // `body` string, and the zero-copy `body_chain` of shared buffer slices
 // (assembled pages, spliced fragments). A non-empty chain IS the body —
 // it takes precedence over `body`, which is then ignored by every
 // serializer and accessor below. Producers set exactly one of the two.
+//
+// A third, streaming representation exists for servers only: when
+// `body_stream` is non-null, `body`/`body_chain` are empty and the body
+// arrives by pulling the stream. net::TcpServer and net::EpollServer send
+// such responses with chunked framing as chunks resolve; the serializers
+// and accessors below ignore the stream (they cover the buffered
+// representations), so in-process consumers must drain it themselves.
 struct Response {
   int status_code = 200;
   std::string reason = "OK";
@@ -48,6 +69,7 @@ struct Response {
   HeaderMap headers;
   std::string body;
   common::BufferChain body_chain;
+  std::shared_ptr<BodyStream> body_stream;
 
   // Body size regardless of representation.
   size_t body_size() const {

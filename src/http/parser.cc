@@ -320,8 +320,7 @@ std::optional<Result<Message>> MessageReader<Message>::Next() {
   return Result<Message>(std::move(message));
 }
 
-std::string SerializeChunked(const Response& response, size_t chunk_size) {
-  if (chunk_size == 0) chunk_size = 4096;
+std::string SerializeStreamingHead(const Response& response) {
   std::string out;
   out += response.version;
   out += ' ';
@@ -340,6 +339,12 @@ std::string SerializeChunked(const Response& response, size_t chunk_size) {
     out += "\r\n";
   }
   out += "Transfer-Encoding: chunked\r\n\r\n";
+  return out;
+}
+
+std::string SerializeChunked(const Response& response, size_t chunk_size) {
+  if (chunk_size == 0) chunk_size = 4096;
+  std::string out = SerializeStreamingHead(response);
   std::string_view body(response.body);
   for (size_t offset = 0; offset < body.size(); offset += chunk_size) {
     std::string_view chunk = body.substr(offset, chunk_size);
@@ -350,6 +355,155 @@ std::string SerializeChunked(const Response& response, size_t chunk_size) {
   }
   out += "0\r\n\r\n";
   return out;
+}
+
+namespace {
+
+// Shared frame punctuation: one immortal buffer each, so per-chunk
+// framing costs one small size-line allocation and refcount bumps.
+const common::Buffer& CrlfBuffer() {
+  static const common::Buffer buffer = common::MakeBuffer("\r\n");
+  return buffer;
+}
+
+const common::Buffer& FinalChunkBuffer() {
+  static const common::Buffer buffer = common::MakeBuffer("0\r\n\r\n");
+  return buffer;
+}
+
+}  // namespace
+
+void AppendChunkFrame(common::BufferChain& out, common::BufferChain payload) {
+  if (payload.empty()) return;
+  out.Append(common::MakeBuffer(ToHex(payload.size()) + "\r\n"));
+  out.Append(std::move(payload));
+  out.Append(CrlfBuffer());
+}
+
+void AppendFinalChunkFrame(common::BufferChain& out) {
+  out.Append(FinalChunkBuffer());
+}
+
+Status StreamingResponseReader::Fail(Status status) {
+  state_ = State::kFailed;
+  status_ = status;
+  buffer_.clear();
+  decoded_.clear();
+  return status_;
+}
+
+void StreamingResponseReader::Feed(std::string_view bytes) {
+  if (state_ == State::kFailed) return;
+  buffer_.append(bytes.data(), bytes.size());
+  if (state_ != State::kHead) Pump();
+}
+
+std::optional<Result<Response>> StreamingResponseReader::NextHead() {
+  if (state_ == State::kFailed) return Result<Response>(status_);
+  if (state_ != State::kHead) {
+    return Result<Response>(
+        Fail(Status::Internal("response head already consumed")));
+  }
+  size_t header_end = FindHeaderEnd(buffer_);
+  if (header_end == std::string::npos) return std::nullopt;
+  Response response;
+  Status head_status = ParseResponseHead(
+      std::string_view(buffer_).substr(0, header_end), response);
+  if (!head_status.ok()) return Result<Response>(Fail(head_status));
+  if (IsChunked(response.headers)) {
+    state_ = State::kChunkSize;
+  } else {
+    Result<size_t> length = DeclaredBodyLength(response.headers);
+    if (!length.ok()) return Result<Response>(Fail(length.status()));
+    remaining_ = *length;
+    state_ = remaining_ == 0 ? State::kDone : State::kFixedBody;
+  }
+  buffer_.erase(0, header_end + 4);
+  Pump();
+  if (state_ == State::kFailed) return Result<Response>(status_);
+  return Result<Response>(std::move(response));
+}
+
+std::string StreamingResponseReader::TakeBody() {
+  std::string out = std::move(decoded_);
+  decoded_.clear();
+  return out;
+}
+
+void StreamingResponseReader::Pump() {
+  // Bounds any single framing line (chunk size or trailer): a peer that
+  // streams an endless line must not grow the buffer without limit.
+  constexpr size_t kMaxFramingLine = 1024;
+  for (;;) {
+    switch (state_) {
+      case State::kHead:
+      case State::kDone:
+      case State::kFailed:
+        return;
+      case State::kFixedBody:
+      case State::kChunkData: {
+        if (buffer_.empty()) return;
+        size_t take = buffer_.size() < remaining_ ? buffer_.size() : remaining_;
+        decoded_.append(buffer_, 0, take);
+        buffer_.erase(0, take);
+        remaining_ -= take;
+        if (remaining_ != 0) return;
+        state_ = state_ == State::kFixedBody ? State::kDone
+                                             : State::kChunkDataCrlf;
+        break;
+      }
+      case State::kChunkSize: {
+        size_t eol = buffer_.find("\r\n");
+        if (eol == std::string::npos) {
+          if (buffer_.size() > kMaxFramingLine) {
+            Fail(Status::InvalidArgument("bad chunk size line"));
+          }
+          return;
+        }
+        std::string_view line(buffer_.data(), eol);
+        if (size_t semicolon = line.find(';');
+            semicolon != std::string_view::npos) {
+          line = line.substr(0, semicolon);  // Ignore chunk extensions.
+        }
+        Result<uint64_t> chunk_size = ParseHex(StripWhitespace(line));
+        if (!chunk_size.ok()) {
+          Fail(Status::InvalidArgument("bad chunk size line"));
+          return;
+        }
+        size_t size = static_cast<size_t>(*chunk_size);
+        buffer_.erase(0, eol + 2);
+        if (size == 0) {
+          state_ = State::kTrailer;
+        } else {
+          remaining_ = size;
+          state_ = State::kChunkData;
+        }
+        break;
+      }
+      case State::kChunkDataCrlf: {
+        if (buffer_.size() < 2) return;
+        if (buffer_.compare(0, 2, "\r\n") != 0) {
+          Fail(Status::InvalidArgument("chunk data not CRLF-terminated"));
+          return;
+        }
+        buffer_.erase(0, 2);
+        state_ = State::kChunkSize;
+        break;
+      }
+      case State::kTrailer: {
+        size_t eol = buffer_.find("\r\n");
+        if (eol == std::string::npos) {
+          if (buffer_.size() > kMaxFramingLine) {
+            Fail(Status::InvalidArgument("bad trailer line"));
+          }
+          return;
+        }
+        buffer_.erase(0, eol + 2);
+        if (eol == 0) state_ = State::kDone;  // Blank line: body over.
+        break;
+      }
+    }
+  }
 }
 
 template class MessageReader<Request>;

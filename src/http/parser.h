@@ -5,6 +5,7 @@
 #include <string>
 #include <string_view>
 
+#include "common/buffer_chain.h"
 #include "common/result.h"
 #include "http/message.h"
 
@@ -22,6 +23,83 @@ Result<Response> ParseResponse(std::string_view wire);
 // into chunks of at most `chunk_size` bytes. (Requests stay
 // Content-Length-framed; chunking is a response-streaming feature.)
 std::string SerializeChunked(const Response& response, size_t chunk_size);
+
+// Head of a streamed response: status line + headers with Content-Length
+// and Transfer-Encoding dropped + "Transfer-Encoding: chunked" + blank
+// line. The body then follows as chunk frames (AppendChunkFrame), one per
+// BodyStream pull, closed by AppendFinalChunkFrame.
+std::string SerializeStreamingHead(const Response& response);
+
+// Appends one chunk frame carrying `payload` to `out`. Zero-copy: the
+// payload's slices are spliced through; only the size line is newly
+// allocated. An empty payload appends nothing (an empty chunk would
+// terminate the stream early).
+void AppendChunkFrame(common::BufferChain& out, common::BufferChain payload);
+
+// Appends the terminating "0\r\n\r\n" frame.
+void AppendFinalChunkFrame(common::BufferChain& out);
+
+// Incremental decoder for a single response whose body is consumed as it
+// arrives — the client half of a streaming round trip. Feed() raw bytes;
+// NextHead() yields the parsed head (empty body) once the header section
+// is complete; from then on TakeBody() drains payload decoded so far —
+// Content-Length counted down, or chunked framing removed; no declared
+// length means no body, matching the buffered parser. One response per
+// reader; errors are sticky.
+class StreamingResponseReader {
+ public:
+  // Appends raw bytes received from the transport.
+  void Feed(std::string_view bytes);
+
+  // The parsed head once complete (its body members are empty — the body
+  // arrives via TakeBody). nullopt = need more bytes. Call until it
+  // yields a value; calling again after that is an error.
+  std::optional<Result<Response>> NextHead();
+
+  // Decoded payload accumulated since the last call; empty when none.
+  std::string TakeBody();
+
+  // True once the whole body has been decoded (TakeBody may still hold
+  // the tail).
+  bool body_complete() const { return state_ == State::kDone; }
+
+  bool failed() const { return state_ == State::kFailed; }
+
+  // The sticky failure; Ok while the reader is healthy.
+  Status status() const { return status_; }
+
+  // Raw bytes received beyond the end of this response's body (framing
+  // garbage or an unsolicited next message): non-zero means the
+  // connection's state is unknown and it must not be reused.
+  size_t excess_bytes() const {
+    return state_ == State::kDone ? buffer_.size() : 0;
+  }
+
+  // Raw bytes buffered and not yet decoded.
+  size_t buffered_bytes() const { return buffer_.size(); }
+
+ private:
+  enum class State {
+    kHead,          // Header section still streaming in.
+    kFixedBody,     // Content-Length countdown (`remaining_`).
+    kChunkSize,     // Awaiting a chunk-size line.
+    kChunkData,     // Inside a chunk (`remaining_`).
+    kChunkDataCrlf, // Awaiting the CRLF after chunk data.
+    kTrailer,       // Trailer section of the terminating chunk.
+    kDone,
+    kFailed,
+  };
+
+  Status Fail(Status status);
+  // Advances body decoding as far as the buffered bytes allow.
+  void Pump();
+
+  State state_ = State::kHead;
+  Status status_ = Status::Ok();
+  std::string buffer_;   // Raw undecoded bytes.
+  std::string decoded_;  // Payload awaiting TakeBody().
+  size_t remaining_ = 0; // Bytes left in the fixed body / current chunk.
+};
 
 // Incremental reader for a byte stream carrying back-to-back HTTP messages
 // (framing via Content-Length; chunked encoding is not used by dynaprox).

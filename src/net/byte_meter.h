@@ -50,6 +50,18 @@ class ByteMeter {
                           std::memory_order_relaxed);
   }
 
+  // Records bytes continuing an already-recorded message (streamed body
+  // chunks): payload and per-packet wire overhead accrue, the message
+  // count and per-message cost do not.
+  void RecordBytes(size_t payload_bytes) {
+    if (payload_bytes == 0) return;
+    size_t packets = (payload_bytes + model_.mss_bytes - 1) / model_.mss_bytes;
+    payload_bytes_.fetch_add(payload_bytes, std::memory_order_relaxed);
+    wire_bytes_.fetch_add(
+        payload_bytes + packets * model_.per_packet_header_bytes,
+        std::memory_order_relaxed);
+  }
+
   void Reset() {
     messages_.store(0, std::memory_order_relaxed);
     payload_bytes_.store(0, std::memory_order_relaxed);

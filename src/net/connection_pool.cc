@@ -234,4 +234,134 @@ Result<http::Response> PooledClientTransport::RoundTrip(
   return Status::IoError("could not complete round trip");
 }
 
+// Body stream over one checked-out pooled connection. Draining to
+// end-of-body checks the connection back in reusable (unless the server
+// announced "Connection: close" or sent bytes past the body); a read
+// error or early destruction checks it in non-reusable, which closes it.
+class PooledClientTransport::StreamingBody : public http::BodyStream {
+ public:
+  StreamingBody(ConnectionPool* pool, ConnectionPool::Connection conn,
+                http::StreamingResponseReader reader, bool reusable)
+      : pool_(pool),
+        conn_(conn),
+        reader_(std::move(reader)),
+        reusable_(reusable) {}
+
+  ~StreamingBody() override {
+    if (!finished_) pool_->Checkin(conn_, /*reusable=*/false);
+  }
+
+  Result<common::BufferChain> Next() override {
+    if (finished_) return common::BufferChain();
+    char buf[16 * 1024];
+    for (;;) {
+      std::string bytes = reader_.TakeBody();
+      if (!bytes.empty()) {
+        if (reader_.body_complete()) Finish();
+        common::BufferChain out;
+        out.Append(common::MakeBuffer(std::move(bytes)));
+        return out;
+      }
+      if (reader_.body_complete()) {
+        Finish();
+        return common::BufferChain();
+      }
+      ssize_t n = ::recv(conn_.fd, buf, sizeof(buf), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        return Abort(Status::IoError("receive timeout"));
+      }
+      if (n < 0) return Abort(ErrnoStatus("recv"));
+      if (n == 0) {
+        return Abort(Status::IoError("connection closed mid-response"));
+      }
+      reader_.Feed(std::string_view(buf, static_cast<size_t>(n)));
+      if (reader_.failed()) return Abort(reader_.status());
+    }
+  }
+
+ private:
+  void Finish() {
+    finished_ = true;
+    pool_->Checkin(conn_, reusable_ && reader_.excess_bytes() == 0);
+  }
+
+  Status Abort(Status status) {
+    finished_ = true;
+    pool_->Checkin(conn_, /*reusable=*/false);
+    return status;
+  }
+
+  ConnectionPool* pool_;
+  ConnectionPool::Connection conn_;
+  http::StreamingResponseReader reader_;
+  bool reusable_;
+  bool finished_ = false;
+};
+
+Result<StreamingResponse> PooledClientTransport::RoundTripStreaming(
+    const http::Request& request) {
+  const std::string wire = request.Serialize();
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    Result<ConnectionPool::Connection> conn = pool_.Checkout();
+    if (!conn.ok()) return conn.status();
+
+    size_t sent = 0;
+    Status write_status = SendAll(conn->fd, wire, &sent);
+    if (!write_status.ok()) {
+      pool_.Checkin(*conn, /*reusable=*/false);
+      if (!conn->fresh && attempt == 0 &&
+          SafeToRetry(request, sent, options_.non_idempotent_headers)) {
+        continue;  // Stale keep-alive connection: one fresh retry.
+      }
+      return write_status;
+    }
+
+    http::StreamingResponseReader reader;
+    char buf[16 * 1024];
+    bool retry = false;
+    while (!retry) {
+      if (auto head = reader.NextHead()) {
+        if (!head->ok()) {
+          pool_.Checkin(*conn, /*reusable=*/false);
+          return head->status();
+        }
+        bool reusable = true;
+        if (auto connection = head->value().headers.Get("Connection");
+            connection.has_value() &&
+            EqualsIgnoreCase(*connection, "close")) {
+          reusable = false;
+        }
+        StreamingResponse streaming;
+        streaming.head = std::move(head->value());
+        streaming.body = std::make_unique<StreamingBody>(
+            &pool_, *conn, std::move(reader), reusable);
+        return streaming;
+      }
+      ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        pool_.Checkin(*conn, /*reusable=*/false);
+        return Status::IoError("receive timeout");
+      }
+      if (n < 0) {
+        pool_.Checkin(*conn, /*reusable=*/false);
+        return ErrnoStatus("recv");
+      }
+      if (n == 0) {
+        pool_.Checkin(*conn, /*reusable=*/false);
+        if (reader.buffered_bytes() == 0 && !conn->fresh && attempt == 0 &&
+            SafeToRetry(request, wire.size(),
+                        options_.non_idempotent_headers)) {
+          retry = true;  // Keep-alive closed before the head: retry once.
+          break;
+        }
+        return Status::IoError("connection closed mid-response");
+      }
+      reader.Feed(std::string_view(buf, static_cast<size_t>(n)));
+    }
+  }
+  return Status::IoError("could not complete round trip");
+}
+
 }  // namespace dynaprox::net

@@ -132,6 +132,12 @@ struct PooledTransportOptions {
 // serializing on one socket the way TcpClientTransport does. A failed
 // round trip on a reused keep-alive connection is retried once on a fresh
 // connection when SafeToRetry allows it.
+//
+// RoundTripStreaming keeps its pooled connection checked out until the
+// BodyStream is drained (checked back in reusable) or destroyed early
+// (closed — the framing state is unknown). Other round trips proceed on
+// other pool slots meanwhile, so a streaming consumer may issue nested
+// round trips (e.g. DpcProxy miss recovery) on the same transport.
 class PooledClientTransport : public Transport {
  public:
   PooledClientTransport(std::string host, uint16_t port,
@@ -139,10 +145,15 @@ class PooledClientTransport : public Transport {
 
   Result<http::Response> RoundTrip(const http::Request& request) override;
 
+  Result<StreamingResponse> RoundTripStreaming(
+      const http::Request& request) override;
+
   ConnectionPool& pool() { return pool_; }
   const ConnectionPool& pool() const { return pool_; }
 
  private:
+  class StreamingBody;
+
   PooledTransportOptions options_;
   ConnectionPool pool_;
 };

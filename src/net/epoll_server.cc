@@ -144,12 +144,20 @@ class EpollServer::Worker {
     bool want_write = false;  // EPOLLOUT armed.
     bool close_after_flush = false;
     bool served_during_drain = false;
+    // Active streamed response body; while set, the head is already in
+    // `out` and further pipelined dispatch waits for the stream to end.
+    std::shared_ptr<http::BodyStream> stream;
     // 0 = no request in progress; otherwise when its first bytes arrived.
     MicroTime read_start = 0;
     MicroTime last_activity = 0;
     // 0 = nothing pending; otherwise when conn.out started waiting.
     MicroTime write_start = 0;
   };
+
+  // Unsent bytes queued while pumping a stream beyond which the pump
+  // pauses until EPOLLOUT drains the backlog: a client reading slowly
+  // must not make the server buffer the whole streamed page after all.
+  static constexpr size_t kStreamHighWater = 256 * 1024;
 
   void AcceptReady() {
     for (;;) {
@@ -225,15 +233,16 @@ class EpollServer::Worker {
     ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
     std::vector<int> idle;
     for (auto& [fd, conn] : connections_) {
-      const bool busy = !conn.out.empty() ||
+      const bool busy = !conn.out.empty() || conn.stream != nullptr ||
                         conn.reader.buffered_bytes() > 0 ||
                         conn.read_start != 0;
       if (!busy) {
         idle.push_back(fd);
-      } else if (!conn.out.empty()) {
-        // Response already queued: close once it flushes. A connection
-        // mid-request instead closes after its response is dispatched
-        // (the draining_ check in OnConnectionEvent).
+      } else if (!conn.out.empty() || conn.stream != nullptr) {
+        // Response already queued (or streaming): close once it flushes —
+        // Flush() defers the close until an active stream has ended. A
+        // connection mid-request instead closes after its response is
+        // dispatched (the draining_ check in OnConnectionEvent).
         conn.close_after_flush = true;
       }
     }
@@ -316,11 +325,119 @@ class EpollServer::Worker {
       ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &event);
       conn.want_write = false;
     }
-    if (conn.close_after_flush) {
+    if (conn.close_after_flush && conn.stream == nullptr) {
+      // An active stream owns the close: its remaining chunks still have
+      // to go out before close_after_flush may act.
       CloseConnection(fd);
       return false;
     }
     return true;
+  }
+
+  // Advances an active streamed response: pulls body chunks and flushes
+  // between pulls, so head bytes reach the socket while the tail is still
+  // being produced upstream. Pauses (returning true with conn.stream
+  // still set) once the unsent backlog passes kStreamHighWater; EPOLLOUT
+  // resumes it. Returns false if the connection died. Note the pull runs
+  // inline on the event loop, so a stream blocked on its upstream stalls
+  // this worker exactly like a blocking handler does.
+  bool PumpStream(int fd, Connection& conn) {
+    while (conn.stream != nullptr) {
+      if (!Flush(fd, conn)) return false;
+      if (conn.out.size() - conn.out_offset >= kStreamHighWater) {
+        return true;
+      }
+      Result<common::BufferChain> chunk = conn.stream->Next();
+      if (!chunk.ok()) {
+        // Mid-body failure: abort so the client sees a truncated chunked
+        // body, never a complete-looking response.
+        CloseConnection(fd);
+        return false;
+      }
+      if (chunk->empty()) {
+        http::AppendFinalChunkFrame(conn.out);
+        conn.stream.reset();
+        break;
+      }
+      http::AppendChunkFrame(conn.out, std::move(*chunk));
+    }
+    return Flush(fd, conn);
+  }
+
+  // Serves everything currently serviceable on the connection: buffered
+  // pipelined requests, then the active stream, repeating until
+  // backpressure pauses the stream or nothing is left. Returns false if
+  // the connection died.
+  bool Service(int fd, Connection& conn) {
+    for (;;) {
+      if (conn.stream == nullptr) DispatchBuffered(conn);
+      if (conn.stream != nullptr) {
+        if (!PumpStream(fd, conn)) return false;
+        if (conn.stream != nullptr) return true;  // Paused on backpressure.
+        continue;  // Stream done; more pipelined requests may be buffered.
+      }
+      return Flush(fd, conn);
+    }
+  }
+
+  // Dispatches every complete buffered request (pipelining supported)
+  // until a streamed response pauses the pipeline or the requests run
+  // out. Once close_after_flush is set nothing more may be dispatched —
+  // in particular a failed reader must not be polled again, or every
+  // later packet would re-count the same limit violation and queue a
+  // duplicate error response.
+  void DispatchBuffered(Connection& conn) {
+    bool completed_request = false;
+    while (!conn.close_after_flush && conn.stream == nullptr) {
+      auto next = conn.reader.Next();
+      if (!next.has_value()) break;
+      if (!next->ok()) {
+        http::Response bad = ResponseForReaderError(
+            conn.reader.limit_violation(), next->status(),
+            *server_->counters_);
+        conn.out.Append(bad.SerializeToChain());
+        conn.close_after_flush = true;
+        break;
+      }
+      const http::Request& request = next->value();
+      completed_request = true;
+      http::Response response = DispatchAdmitted(
+          server_->handler_, request, server_->limits_,
+          *server_->counters_);
+      if (draining_) {
+        conn.close_after_flush = true;
+        conn.served_during_drain = true;
+      }
+      if (auto connection = request.headers.Get("Connection");
+          connection.has_value() &&
+          EqualsIgnoreCase(*connection, "close")) {
+        conn.close_after_flush = true;
+      }
+      if (conn.close_after_flush) {
+        response.headers.Set("Connection", "close");
+      }
+      if (response.body_stream != nullptr) {
+        // Streamed response: queue the chunked head now; body chunks are
+        // pumped by PumpStream. Later pipelined requests stay buffered
+        // until the stream ends (responses must not interleave).
+        conn.out.Append(
+            common::MakeBuffer(http::SerializeStreamingHead(response)));
+        conn.stream = std::move(response.body_stream);
+        continue;
+      }
+      conn.out.Append(response.SerializeToChain());
+    }
+    // The header deadline bounds total time from a message's first byte
+    // to its completion, so a partial message must keep its original
+    // read_start — restarting the clock per packet would let a slowloris
+    // drip one byte per tick forever. The clock resets only on a clean
+    // boundary, or restarts when leftover bytes begin a new pipelined
+    // message.
+    if (conn.reader.buffered_bytes() == 0) {
+      conn.read_start = 0;
+    } else if (completed_request) {
+      conn.read_start = SystemClock::Default()->NowMicros();
+    }
   }
 
   void OnConnectionEvent(int fd, uint32_t events) {
@@ -334,6 +451,9 @@ class EpollServer::Worker {
     }
     if (events & EPOLLOUT) {
       if (!Flush(fd, conn)) return;
+      // A drained backlog lets a paused stream (and any pipelined
+      // requests parked behind it) resume.
+      if (conn.stream != nullptr && !Service(fd, conn)) return;
     }
     if ((events & EPOLLIN) == 0) return;
 
@@ -369,66 +489,17 @@ class EpollServer::Worker {
       if (conn.read_start == 0) conn.read_start = conn.last_activity;
     }
 
-    // Dispatch every complete request (pipelining supported). Once
-    // close_after_flush is set nothing more may be dispatched — in
-    // particular a failed reader must not be polled again, or every
-    // later packet would re-count the same limit violation and queue a
-    // duplicate error response.
-    bool completed_request = false;
-    while (!conn.close_after_flush) {
-      auto next = conn.reader.Next();
-      if (!next.has_value()) break;
-      if (!next->ok()) {
-        http::Response bad = ResponseForReaderError(
-            conn.reader.limit_violation(), next->status(),
-            *server_->counters_);
-        conn.out.Append(bad.SerializeToChain());
-        conn.close_after_flush = true;
-        break;
-      }
-      const http::Request& request = next->value();
-      completed_request = true;
-      http::Response response = DispatchAdmitted(
-          server_->handler_, request, server_->limits_,
-          *server_->counters_);
-      if (draining_) {
-        conn.close_after_flush = true;
-        conn.served_during_drain = true;
-      }
-      if (auto connection = request.headers.Get("Connection");
-          connection.has_value() &&
-          EqualsIgnoreCase(*connection, "close")) {
-        conn.close_after_flush = true;
-      }
-      if (conn.close_after_flush) {
-        response.headers.Set("Connection", "close");
-      }
-      conn.out.Append(response.SerializeToChain());
+    DispatchBuffered(conn);
+    if (peer_eof) conn.close_after_flush = true;
+    if (Service(fd, conn) && peer_eof) {
+      // Still draining (a backlog or paused stream remains). EOF keeps
+      // the fd readable (level-triggered), so watch only EPOLLOUT to
+      // avoid spinning until the flush finishes.
+      epoll_event event{};
+      event.events = EPOLLOUT;
+      event.data.fd = fd;
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &event);
     }
-    // The header deadline bounds total time from a message's first byte
-    // to its completion, so a partial message must keep its original
-    // read_start — restarting the clock per packet would let a slowloris
-    // drip one byte per tick forever. The clock resets only on a clean
-    // boundary, or restarts when leftover bytes begin a new pipelined
-    // message (those bytes arrived in this event).
-    if (conn.reader.buffered_bytes() == 0) {
-      conn.read_start = 0;
-    } else if (completed_request) {
-      conn.read_start = SystemClock::Default()->NowMicros();
-    }
-    if (peer_eof) {
-      conn.close_after_flush = true;
-      if (Flush(fd, conn)) {
-        // Still draining. EOF keeps the fd readable (level-triggered), so
-        // watch only EPOLLOUT to avoid spinning until the flush finishes.
-        epoll_event event{};
-        event.events = EPOLLOUT;
-        event.data.fd = fd;
-        ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &event);
-      }
-      return;
-    }
-    Flush(fd, conn);
   }
 
   EpollServer* server_;

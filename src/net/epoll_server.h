@@ -23,6 +23,14 @@ namespace dynaprox::net {
 // origin-style handlers (fragment generation is CPU work); a handler that
 // blocks on its own upstream I/O (e.g. DpcProxy over a slow origin) stalls
 // one loop — size num_workers accordingly or use TcpServer there.
+//
+// A handler may return a streamed response (Response::body_stream): the
+// head goes out chunked immediately and body chunks are pulled and
+// flushed as the socket accepts them, with a 256 KiB per-connection
+// high-water mark pausing the pull until EPOLLOUT drains the backlog.
+// The pull itself runs inline, so the blocking caveat above applies to
+// the stream's upstream too. A mid-body stream error aborts the
+// connection (truncated chunked body), never a complete-looking response.
 // Ingress protection (net/server_limits.h) mirrors TcpServer: connection
 // cap at accept, in-flight shedding, header/idle/write-stall deadlines,
 // request byte caps — all off by default — plus Stop(drain) for a

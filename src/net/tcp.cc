@@ -36,6 +36,38 @@ constexpr int kDeadlineTickMs = 25;
 // can never be unbounded; a coarse tick keeps the idle wakeup cost noise.
 constexpr int kIdleTickMs = 100;
 
+// Sends a streamed response: chunked head first, then one chunk frame per
+// body pull, so head bytes hit the socket while the tail is still being
+// produced. SO_SNDTIMEO (write-stall deadline) bounds every send exactly
+// as on the buffered path; stall closes are counted here. A body-stream
+// error aborts without the final chunk frame — the truncated chunked
+// framing is what tells the client the response went bad.
+Status SendStreamedResponse(int fd, const http::Response& response,
+                            IngressCounters& counters) {
+  common::BufferChain out;
+  out.Append(common::MakeBuffer(http::SerializeStreamingHead(response)));
+  for (;;) {
+    Status sent = SendChain(fd, out);
+    if (!sent.ok()) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        counters.write_stall_closes.fetch_add(1, kRelaxed);
+      }
+      return sent;
+    }
+    out.Clear();
+    Result<common::BufferChain> chunk = response.body_stream->Next();
+    if (!chunk.ok()) return chunk.status();
+    if (chunk->empty()) break;
+    http::AppendChunkFrame(out, std::move(*chunk));
+  }
+  http::AppendFinalChunkFrame(out);
+  Status sent = SendChain(fd, out);
+  if (!sent.ok() && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+    counters.write_stall_closes.fetch_add(1, kRelaxed);
+  }
+  return sent;
+}
+
 }  // namespace
 
 TcpServer::TcpServer(Handler handler, uint16_t port, ServerLimits limits)
@@ -228,9 +260,16 @@ void TcpServer::ServeConnection(int fd) {
         keep_alive = false;
       }
       if (!keep_alive) response.headers.Set("Connection", "close");
-      // Vectored write: headers in one owned buffer, body as shared
-      // slices — assembled pages go to the kernel without flattening.
-      if (!SendChain(fd, response.SerializeToChain()).ok()) {
+      if (response.body_stream != nullptr) {
+        // Streamed body: chunked framing, flushed chunk by chunk (stall
+        // accounting happens inside).
+        if (!SendStreamedResponse(fd, response, *counters_).ok()) {
+          keep_alive = false;
+          break;
+        }
+      } else if (!SendChain(fd, response.SerializeToChain()).ok()) {
+        // Vectored write: headers in one owned buffer, body as shared
+        // slices — assembled pages go to the kernel without flattening.
         if (errno == EAGAIN || errno == EWOULDBLOCK) {
           counters_->write_stall_closes.fetch_add(1, kRelaxed);
         }
@@ -328,6 +367,144 @@ Result<http::Response> TcpClientTransport::RoundTrip(
             SafeToRetry(request, wire.size(),
                         options_.non_idempotent_headers)) {
           break;  // Keep-alive closed before the response; safe to resend.
+        }
+        return Status::IoError("connection closed mid-response");
+      }
+      reader.Feed(std::string_view(buf, static_cast<size_t>(n)));
+    }
+  }
+  return Status::IoError("could not complete round trip");
+}
+
+// Body stream over the transport's single connection. Holds the
+// serialization lock for its whole lifetime, so the connection cannot be
+// reused (or reconnected) under a half-read body. Draining to end-of-body
+// keeps the connection for the next round trip; abandoning the stream —
+// or any read error — closes it, because the framing state is unknown.
+class TcpClientTransport::StreamingBody : public http::BodyStream {
+ public:
+  StreamingBody(TcpClientTransport* transport,
+                std::unique_lock<std::mutex> lock,
+                http::StreamingResponseReader reader, bool reusable)
+      : transport_(transport),
+        lock_(std::move(lock)),
+        reader_(std::move(reader)),
+        reusable_(reusable) {}
+
+  ~StreamingBody() override {
+    if (!finished_) {
+      transport_->CloseConnection();
+    }
+  }
+
+  Result<common::BufferChain> Next() override {
+    if (finished_) return common::BufferChain();
+    char buf[16 * 1024];
+    for (;;) {
+      std::string bytes = reader_.TakeBody();
+      if (!bytes.empty()) {
+        if (reader_.body_complete()) Finish();
+        common::BufferChain out;
+        out.Append(common::MakeBuffer(std::move(bytes)));
+        return out;
+      }
+      if (reader_.body_complete()) {
+        Finish();
+        return common::BufferChain();
+      }
+      ssize_t n = ::recv(transport_->fd_, buf, sizeof(buf), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        return Abort(Status::IoError("receive timeout"));
+      }
+      if (n < 0) return Abort(ErrnoStatus("recv"));
+      if (n == 0) {
+        return Abort(Status::IoError("connection closed mid-response"));
+      }
+      reader_.Feed(std::string_view(buf, static_cast<size_t>(n)));
+      if (reader_.failed()) return Abort(reader_.status());
+    }
+  }
+
+ private:
+  void Finish() {
+    finished_ = true;
+    if (!reusable_ || reader_.excess_bytes() != 0) {
+      transport_->CloseConnection();
+    }
+    lock_.unlock();
+  }
+
+  Status Abort(Status status) {
+    finished_ = true;
+    transport_->CloseConnection();
+    lock_.unlock();
+    return status;
+  }
+
+  TcpClientTransport* transport_;
+  std::unique_lock<std::mutex> lock_;
+  http::StreamingResponseReader reader_;
+  bool reusable_;
+  bool finished_ = false;
+};
+
+Result<StreamingResponse> TcpClientTransport::RoundTripStreaming(
+    const http::Request& request) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const std::string wire = request.Serialize();
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    DYNAPROX_RETURN_IF_ERROR(EnsureConnected());
+    size_t sent = 0;
+    Status write_status = SendAll(fd_, wire, &sent);
+    if (!write_status.ok()) {
+      CloseConnection();
+      if (attempt == 0 &&
+          SafeToRetry(request, sent, options_.non_idempotent_headers)) {
+        continue;
+      }
+      return write_status;
+    }
+    http::StreamingResponseReader reader;
+    char buf[16 * 1024];
+    bool retry = false;
+    while (!retry) {
+      if (auto head = reader.NextHead()) {
+        if (!head->ok()) {
+          CloseConnection();
+          return head->status();
+        }
+        bool reusable = true;
+        if (auto connection = head->value().headers.Get("Connection");
+            connection.has_value() &&
+            EqualsIgnoreCase(*connection, "close")) {
+          reusable = false;
+        }
+        StreamingResponse streaming;
+        streaming.head = std::move(head->value());
+        streaming.body = std::make_unique<StreamingBody>(
+            this, std::move(lock), std::move(reader), reusable);
+        return streaming;
+      }
+      ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        CloseConnection();
+        return Status::IoError("receive timeout");
+      }
+      if (n < 0) {
+        CloseConnection();
+        return ErrnoStatus("recv");
+      }
+      if (n == 0) {
+        CloseConnection();
+        // Head bytes not yet started + idempotent: one fresh retry, same
+        // as the buffered path's stale keep-alive recovery.
+        if (reader.buffered_bytes() == 0 && attempt == 0 &&
+            SafeToRetry(request, wire.size(),
+                        options_.non_idempotent_headers)) {
+          retry = true;
+          break;
         }
         return Status::IoError("connection closed mid-response");
       }

@@ -92,6 +92,13 @@ struct TcpClientOptions {
 // and reconnects if the server closed it. Thread-safe by serializing round
 // trips on the single connection; use one transport per thread (or a
 // pool) when upstream parallelism matters.
+//
+// RoundTripStreaming holds the connection (and the serialization lock)
+// until its BodyStream is drained or destroyed — a concurrent RoundTrip
+// on the same transport blocks for the whole body, and one issued from
+// the thread consuming the stream deadlocks. A streaming consumer that
+// makes nested round trips (e.g. DpcProxy miss recovery) needs
+// PooledClientTransport.
 class TcpClientTransport : public Transport {
  public:
   TcpClientTransport(std::string host, uint16_t port,
@@ -103,7 +110,12 @@ class TcpClientTransport : public Transport {
 
   Result<http::Response> RoundTrip(const http::Request& request) override;
 
+  Result<StreamingResponse> RoundTripStreaming(
+      const http::Request& request) override;
+
  private:
+  class StreamingBody;
+
   Status EnsureConnected();
   void CloseConnection();
 

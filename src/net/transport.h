@@ -13,6 +13,17 @@ namespace dynaprox::net {
 // A request handler: the server side of a transport endpoint.
 using Handler = std::function<http::Response(const http::Request&)>;
 
+// A round trip that returned as soon as the response head was parsed; the
+// body is still (possibly) in flight and arrives by pulling `body`.
+struct StreamingResponse {
+  // Status line + headers; its body members are empty.
+  http::Response head;
+  // Never null on success. Pulling it to end-of-body is what lets a
+  // keep-alive/pooled upstream connection be reused; destroying it early
+  // closes that connection instead.
+  std::unique_ptr<http::BodyStream> body;
+};
+
 // Client view of a request/response channel. Implementations: in-process
 // direct dispatch (deterministic simulation) and TCP (real deployment).
 class Transport {
@@ -21,7 +32,51 @@ class Transport {
 
   // Sends `request` and waits for the response.
   virtual Result<http::Response> RoundTrip(const http::Request& request) = 0;
+
+  // Streaming variant: returns once the response head is parsed, with the
+  // body arriving through the returned stream. The base implementation
+  // adapts RoundTrip — the whole body is buffered and delivered as one
+  // chunk — so only transports with a real wire gain time-to-first-byte
+  // by overriding it. Decorators must override to forward, or they
+  // silently degrade the inner transport to the buffered adapter.
+  virtual Result<StreamingResponse> RoundTripStreaming(
+      const http::Request& request);
 };
+
+// BodyStream over an already-complete body: the default RoundTripStreaming
+// adapter and the degenerate case of streamed serving.
+class BufferedBodyStream : public http::BodyStream {
+ public:
+  explicit BufferedBodyStream(common::BufferChain chain)
+      : chain_(std::move(chain)) {}
+
+  Result<common::BufferChain> Next() override {
+    common::BufferChain out = std::move(chain_);
+    chain_.Clear();
+    return out;  // Second call: empty = end of body.
+  }
+
+ private:
+  common::BufferChain chain_;
+};
+
+inline Result<StreamingResponse> Transport::RoundTripStreaming(
+    const http::Request& request) {
+  Result<http::Response> response = RoundTrip(request);
+  if (!response.ok()) return response.status();
+  common::BufferChain body;
+  if (!response->body_chain.empty()) {
+    body = std::move(response->body_chain);
+  } else if (!response->body.empty()) {
+    body.Append(common::MakeBuffer(std::move(response->body)));
+  }
+  StreamingResponse streaming;
+  streaming.head = std::move(*response);
+  streaming.head.body.clear();
+  streaming.head.body_chain.Clear();
+  streaming.body = std::make_unique<BufferedBodyStream>(std::move(body));
+  return streaming;
+}
 
 // In-process transport that invokes a Handler directly. Used by the
 // simulation testbed so byte accounting is exact and runs are deterministic.
@@ -59,7 +114,40 @@ class MeteredTransport : public Transport {
     return response;
   }
 
+  // Forwards so the inner transport's streaming stays live. The head is
+  // metered as one message; body bytes are metered per pulled chunk.
+  Result<StreamingResponse> RoundTripStreaming(
+      const http::Request& request) override {
+    if (request_meter_ != nullptr) {
+      request_meter_->RecordMessage(request.SerializedSize());
+    }
+    Result<StreamingResponse> response = inner_->RoundTripStreaming(request);
+    if (response.ok() && response_meter_ != nullptr) {
+      response_meter_->RecordMessage(response->head.SerializedSize());
+      response->body = std::make_unique<MeteredBodyStream>(
+          std::move(response->body), response_meter_);
+    }
+    return response;
+  }
+
  private:
+  class MeteredBodyStream : public http::BodyStream {
+   public:
+    MeteredBodyStream(std::unique_ptr<http::BodyStream> inner,
+                      ByteMeter* meter)
+        : inner_(std::move(inner)), meter_(meter) {}
+
+    Result<common::BufferChain> Next() override {
+      Result<common::BufferChain> chunk = inner_->Next();
+      if (chunk.ok()) meter_->RecordBytes(chunk->size());
+      return chunk;
+    }
+
+   private:
+    std::unique_ptr<http::BodyStream> inner_;
+    ByteMeter* meter_;
+  };
+
   std::unique_ptr<Transport> inner_;
   ByteMeter* request_meter_;
   ByteMeter* response_meter_;

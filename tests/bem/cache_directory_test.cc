@@ -56,6 +56,22 @@ TEST(CacheDirectoryTest, InvalidateReleasesKeyToTail) {
   EXPECT_EQ(*dir->Insert(Frag("d"), 0), 0u);  // Reuses the released key.
 }
 
+TEST(CacheDirectoryTest, PinnedInvalidateKeyReusesTheSameKey) {
+  // The refresh protocol's contract: a pin_key invalidation must hand the
+  // same dpcKey back to the next Insert, so the DPC's committed `GET key`
+  // can be filled by the refreshed SET.
+  SimClock clock;
+  auto dir = MakeDirectory(8, &clock);
+  ASSERT_TRUE(dir->Insert(Frag("a"), 0).ok());      // key 0.
+  DpcKey hot = *dir->Insert(Frag("hot"), 0);        // key 1.
+  ASSERT_TRUE(dir->Insert(Frag("c"), 0).ok());      // key 2.
+  Result<std::string> owner = dir->InvalidateKey(hot, /*pin_key=*/true);
+  ASSERT_TRUE(owner.ok());
+  EXPECT_EQ(*owner, Frag("hot").Canonical());
+  // Re-render re-inserts the same fragment: same key, ahead of 3..7.
+  EXPECT_EQ(*dir->Insert(Frag("hot"), 0), hot);
+}
+
 TEST(CacheDirectoryTest, InvalidateUnknownFails) {
   SimClock clock;
   auto dir = MakeDirectory(2, &clock);

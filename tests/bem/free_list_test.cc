@@ -51,6 +51,22 @@ TEST(FreeListTest, ReleaseBeyondCapacityFails) {
   EXPECT_EQ(list.Release(1).code(), StatusCode::kFailedPrecondition);
 }
 
+TEST(FreeListTest, ReleaseFrontIsReusedByNextAllocate) {
+  FreeList list(3);
+  ASSERT_TRUE(list.Allocate().ok());  // 0
+  ASSERT_TRUE(list.Allocate().ok());  // 1
+  ASSERT_TRUE(list.ReleaseFront(1).ok());
+  // The pinned key jumps ahead of the never-allocated 2.
+  EXPECT_EQ(*list.Allocate(), 1u);
+  EXPECT_EQ(*list.Allocate(), 2u);
+}
+
+TEST(FreeListTest, ReleaseFrontRejectsBadKeys) {
+  FreeList list(2);
+  EXPECT_TRUE(list.ReleaseFront(7).IsInvalidArgument());
+  EXPECT_EQ(list.ReleaseFront(0).code(), StatusCode::kFailedPrecondition);
+}
+
 TEST(FreeListTest, ZeroCapacityAlwaysExhausted) {
   FreeList list(0);
   EXPECT_TRUE(list.empty());

@@ -155,6 +155,19 @@ TEST(MonitorTest, InvalidateKeyRemovesDependencies) {
   t->Upsert("x", {});
 }
 
+TEST(MonitorTest, RefreshKeyKeepsTheKeyStable) {
+  SimClock clock;
+  auto monitor = *BackEndMonitor::Create(Options(&clock));
+  FragmentId a("a"), b("b");
+  ASSERT_TRUE(monitor->InsertFragment(a).ok());
+  DpcKey key = *monitor->InsertFragment(b);
+  ASSERT_TRUE(monitor->RefreshKey(key).ok());
+  EXPECT_FALSE(monitor->LookupFragment(b).hit());
+  // The refresh re-render re-caches the fragment under the SAME key — the
+  // DPC's in-flight `GET key` stays resolvable.
+  EXPECT_EQ(*monitor->InsertFragment(b), key);
+}
+
 TEST(MonitorTest, InvalidateAllClearsDirectoryAndDeps) {
   SimClock clock;
   auto monitor = *BackEndMonitor::Create(Options(&clock));

@@ -100,18 +100,27 @@ TEST(AdversarialTemplateTest, MalformedLiteralEscape) {
   ExpectCorrupt(Stx("Lx"));         // Wrong terminator byte.
 }
 
-TEST(AdversarialTemplateTest, SentinelKeyParsesButStoreRejectsIt) {
-  // "FFFFFFFF" is exactly kInvalidDpcKey: it survives the hex-range check,
-  // so the FragmentStore bounds check is the layer that must stop it.
-  std::string wire = Stx("GFFFFFFFF") + std::string(1, kEtx);
-  Result<std::vector<TemplateSegment>> parsed = ParseTemplate(wire);
-  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
-  ASSERT_EQ(parsed->size(), 1u);
-  EXPECT_EQ((*parsed)[0].key, bem::kInvalidDpcKey);
+TEST(AdversarialTemplateTest, SentinelKeyRejectedAtParse) {
+  // "FFFFFFFF" is exactly kInvalidDpcKey — the "no key" sentinel
+  // downstream. A tag carrying it is rejected by the scanner itself, so
+  // the sentinel can never leak into a segment (it used to survive until
+  // the FragmentStore bounds check).
+  ExpectCorrupt(Stx("GFFFFFFFF") + std::string(1, kEtx));
+  ExpectCorrupt(Stx("SFFFFFFFF") + std::string(1, kEtx));
 
+  // The store still rejects it independently (defense in depth).
   FragmentStore store(/*capacity=*/16);
   EXPECT_FALSE(store.Set(bem::kInvalidDpcKey, "x").ok());
   EXPECT_FALSE(store.Get(bem::kInvalidDpcKey).ok());
+}
+
+TEST(AdversarialTemplateTest, ZeroPaddedKeyRunRejected) {
+  // Nine-plus hex digits exceed kMaxKeyHexDigits even when the value
+  // itself is tiny: bem::TagCodec emits minimal hex, so an over-long run
+  // is hostile input, and accepting it would let zero-padding inflate the
+  // streaming scanner's partial-tag stash without bound.
+  ExpectCorrupt(Stx("G000000001") + std::string(1, kEtx));
+  ExpectCorrupt(Stx("S000000001") + std::string(1, kEtx));
 }
 
 TEST(AdversarialTemplateTest, DeepAlternationStaysLinear) {

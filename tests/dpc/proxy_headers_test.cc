@@ -79,6 +79,43 @@ TEST_F(ProxyHeadersTest, ViaOnPassthroughAndAssembledResponses) {
   EXPECT_EQ(*assembled.headers.Get("Via"), "1.1 dynaprox-dpc");
 }
 
+TEST_F(ProxyHeadersTest, ConnectionNominatedHeadersStrippedOnRequest) {
+  // RFC 7230 §6.1: Connection also nominates additional hop-by-hop
+  // fields; forwarding one leaks connection-scoped state upstream.
+  DpcProxy proxy = MakeProxy(true);
+  http::Request request;
+  request.target = "/page";
+  request.headers.Add("Connection", "close, X-Conn-Token , x-other");
+  request.headers.Add("X-Conn-Token", "per-hop-secret");
+  request.headers.Add("X-Other", "also-per-hop");
+  request.headers.Add("X-App", "keep-me");
+  proxy.Handle(request);
+  EXPECT_FALSE(last_upstream_request_.headers.Has("Connection"));
+  EXPECT_FALSE(last_upstream_request_.headers.Has("X-Conn-Token"));
+  EXPECT_FALSE(last_upstream_request_.headers.Has("X-Other"));
+  EXPECT_EQ(*last_upstream_request_.headers.Get("X-App"), "keep-me");
+}
+
+TEST_F(ProxyHeadersTest, ConnectionNominatedHeadersStrippedOnResponse) {
+  net::DirectTransport upstream([](const http::Request&) {
+    http::Response response = http::Response::MakeOk("body");
+    response.headers.Add("Connection", "X-Hop-State");
+    response.headers.Add("X-Hop-State", "origin-conn-42");
+    response.headers.Add("X-End-To-End", "stays");
+    return response;
+  });
+  ProxyOptions options;
+  options.capacity = 8;
+  options.proxy_headers = true;
+  DpcProxy proxy(&upstream, options);
+  http::Request request;
+  request.target = "/page";
+  http::Response response = proxy.Handle(request);
+  EXPECT_FALSE(response.headers.Has("Connection"));
+  EXPECT_FALSE(response.headers.Has("X-Hop-State"));
+  EXPECT_EQ(*response.headers.Get("X-End-To-End"), "stays");
+}
+
 TEST_F(ProxyHeadersTest, DisabledByDefault) {
   DpcProxy proxy = MakeProxy(false);
   http::Request request;

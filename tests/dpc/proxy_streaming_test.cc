@@ -1,0 +1,479 @@
+// DpcProxy streaming scan-and-splice (ProxyOptions::streaming): commit
+// and fallback decisions, inline cold-cache recovery, pre- vs post-commit
+// failure semantics, and the byte accounting shared with the buffered
+// path — in-process via DirectTransport and end-to-end over real sockets
+// with a pooled upstream.
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bem/protocol.h"
+#include "bem/tag_codec.h"
+#include "common/strings.h"
+#include "dpc/proxy.h"
+#include "net/connection_pool.h"
+#include "net/tcp.h"
+
+namespace dynaprox::dpc {
+namespace {
+
+ProxyOptions StreamingProxy() {
+  ProxyOptions options;
+  options.capacity = 16;
+  options.streaming = true;
+  return options;
+}
+
+std::string DrainStream(http::BodyStream& stream, Status* status = nullptr) {
+  std::string out;
+  for (;;) {
+    Result<common::BufferChain> chunk = stream.Next();
+    if (!chunk.ok()) {
+      if (status != nullptr) *status = chunk.status();
+      return out;
+    }
+    if (chunk->empty()) {
+      if (status != nullptr) *status = Status::Ok();
+      return out;
+    }
+    out += chunk->Flatten();
+  }
+}
+
+// Handle() plus draining a committed stream: what a hosting server does.
+std::string HandleAndDrain(DpcProxy& proxy, const http::Request& request,
+                           http::Response* head_out = nullptr,
+                           Status* status = nullptr) {
+  http::Response response = proxy.Handle(request);
+  if (head_out != nullptr) *head_out = response;
+  if (response.body_stream == nullptr) {
+    if (status != nullptr) *status = Status::Ok();
+    return response.BodyText();
+  }
+  return DrainStream(*response.body_stream, status);
+}
+
+http::Response TemplateResponse(std::string body) {
+  http::Response response = http::Response::MakeOk(std::move(body));
+  response.headers.Set(bem::kTemplateHeader, "1");
+  return response;
+}
+
+// The FakeOrigin of proxy_test.cc: SET on first sight of a key, GET
+// after, honoring the refresh protocol.
+class FakeOrigin {
+ public:
+  http::Response Handle(const http::Request& request) {
+    ++requests_;
+    if (auto refresh = request.headers.Get(bem::kRefreshHeader);
+        refresh.has_value()) {
+      for (std::string_view key_hex : StrSplit(*refresh, ',')) {
+        known_.erase(static_cast<bem::DpcKey>(*ParseHex(key_hex)));
+      }
+    }
+    std::string body = "<page>";
+    for (bem::DpcKey key : {bem::DpcKey{0}, bem::DpcKey{1}}) {
+      if (known_.count(key)) {
+        bem::TagCodec::AppendGet(key, body);
+      } else {
+        bem::TagCodec::AppendSet(key, "frag" + std::to_string(key), body);
+        known_.insert(key);
+      }
+    }
+    body += "</page>";
+    return TemplateResponse(std::move(body));
+  }
+
+  net::Handler AsHandler() {
+    return [this](const http::Request& r) { return Handle(r); };
+  }
+
+  int requests() const { return requests_; }
+
+ private:
+  std::set<bem::DpcKey> known_;
+  int requests_ = 0;
+};
+
+// A body stream delivering scripted chunks, then end or a scripted
+// error. A non-zero inter-chunk delay keeps chunks from coalescing into
+// one socket read, so the consumer observes genuinely incremental
+// arrival.
+class ScriptedStream : public http::BodyStream {
+ public:
+  explicit ScriptedStream(std::vector<std::string> chunks,
+                          bool fail_after_script = false,
+                          MicroTime inter_chunk_delay_micros = 0)
+      : chunks_(std::move(chunks)),
+        fail_after_script_(fail_after_script),
+        delay_micros_(inter_chunk_delay_micros) {}
+
+  Result<common::BufferChain> Next() override {
+    if (at_ > 0 && delay_micros_ > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(delay_micros_));
+    }
+    if (at_ < chunks_.size()) {
+      common::BufferChain out;
+      out.AppendCopy(chunks_[at_++]);
+      return out;
+    }
+    if (fail_after_script_) return Status::IoError("origin died mid-body");
+    return common::BufferChain();
+  }
+
+ private:
+  std::vector<std::string> chunks_;
+  bool fail_after_script_;
+  MicroTime delay_micros_;
+  size_t at_ = 0;
+};
+
+TEST(ProxyStreamingTest, StreamedBytesMatchBufferedBytes) {
+  FakeOrigin buffered_origin;
+  net::DirectTransport buffered_upstream(buffered_origin.AsHandler());
+  ProxyOptions buffered_options = StreamingProxy();
+  buffered_options.streaming = false;
+  DpcProxy buffered_proxy(&buffered_upstream, buffered_options);
+
+  FakeOrigin streaming_origin;
+  net::DirectTransport streaming_upstream(streaming_origin.AsHandler());
+  DpcProxy streaming_proxy(&streaming_upstream, StreamingProxy());
+
+  http::Request request;
+  request.target = "/page";
+  for (int round = 0; round < 3; ++round) {
+    std::string expected = buffered_proxy.Handle(request).BodyText();
+    Status status;
+    http::Response head;
+    std::string streamed =
+        HandleAndDrain(streaming_proxy, request, &head, &status);
+    ASSERT_TRUE(status.ok()) << status.ToString();
+    EXPECT_EQ(streamed, expected) << "round=" << round;
+    EXPECT_EQ(head.status_code, 200);
+    EXPECT_FALSE(head.headers.Has(bem::kTemplateHeader));
+    EXPECT_TRUE(head.headers.Has(bem::kRequestIdHeader));
+  }
+  EXPECT_EQ(streaming_proxy.stats().streamed, 3u);
+  EXPECT_EQ(streaming_proxy.stats().stream_aborts, 0u);
+  // Byte accounting agrees across the two paths.
+  EXPECT_EQ(streaming_proxy.stats().bytes_from_upstream,
+            buffered_proxy.stats().bytes_from_upstream);
+  EXPECT_EQ(streaming_proxy.stats().bytes_to_clients,
+            buffered_proxy.stats().bytes_to_clients);
+}
+
+TEST(ProxyStreamingTest, EmptyTemplateFallsBackToBufferedResponse) {
+  // The whole template (here: zero bytes) is consumed during prefetch, so
+  // the proxy serves buffered — no stream, no chunked framing.
+  net::DirectTransport upstream(
+      [](const http::Request&) { return TemplateResponse(""); });
+  DpcProxy proxy(&upstream, StreamingProxy());
+  http::Request request;
+  http::Response response = proxy.Handle(request);
+  EXPECT_EQ(response.status_code, 200);
+  EXPECT_EQ(response.body_stream, nullptr);
+  EXPECT_EQ(response.BodyText(), "");
+  EXPECT_EQ(proxy.stats().stream_fallbacks, 1u);
+  EXPECT_EQ(proxy.stats().streamed, 0u);
+  EXPECT_EQ(proxy.stats().assembled, 1u);
+}
+
+TEST(ProxyStreamingTest, DebugHeaderDisablesStreaming) {
+  // The debug header summarizes the whole assembly, so requests stay on
+  // the buffered path when it is on — even with streaming enabled.
+  FakeOrigin origin;
+  net::DirectTransport upstream(origin.AsHandler());
+  ProxyOptions options = StreamingProxy();
+  options.add_debug_header = true;
+  DpcProxy proxy(&upstream, options);
+  http::Request request;
+  http::Response response = proxy.Handle(request);
+  EXPECT_EQ(response.body_stream, nullptr);
+  EXPECT_TRUE(response.headers.Has(kDebugHeader));
+  EXPECT_EQ(response.BodyText(), "<page>frag0frag1</page>");
+  EXPECT_EQ(proxy.stats().streamed, 0u);
+}
+
+TEST(ProxyStreamingTest, NonTemplatePassthroughStreams) {
+  net::DirectTransport upstream([](const http::Request&) {
+    return http::Response::MakeOk("plain upstream page");
+  });
+  DpcProxy proxy(&upstream, StreamingProxy());
+  http::Request request;
+  http::Response head;
+  Status status;
+  std::string body = HandleAndDrain(proxy, request, &head, &status);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(body, "plain upstream page");
+  EXPECT_NE(head.body_stream, nullptr);
+  EXPECT_FALSE(head.headers.Has("Content-Length"));
+  EXPECT_EQ(proxy.stats().passthrough, 1u);
+  EXPECT_EQ(proxy.stats().bytes_to_clients, body.size());
+}
+
+TEST(ProxyStreamingTest, NonOkPassthroughCollapsesToBuffered) {
+  // 304/204 and friends must not be re-framed chunked.
+  net::DirectTransport upstream([](const http::Request&) {
+    http::Response response;
+    response.status_code = 304;
+    response.reason = "Not Modified";
+    return response;
+  });
+  DpcProxy proxy(&upstream, StreamingProxy());
+  http::Request request;
+  http::Response response = proxy.Handle(request);
+  EXPECT_EQ(response.status_code, 304);
+  EXPECT_EQ(response.body_stream, nullptr);
+}
+
+TEST(ProxyStreamingTest, CorruptTemplateBeforeFirstByteYields502) {
+  // Pre-commit failure: nothing has reached the client, so the error is a
+  // clean 502, exactly like the buffered path.
+  net::DirectTransport upstream([](const http::Request&) {
+    return TemplateResponse("\x02Q\x03 never-emitted");
+  });
+  DpcProxy proxy(&upstream, StreamingProxy());
+  http::Request request;
+  http::Response response = proxy.Handle(request);
+  EXPECT_EQ(response.status_code, 502);
+  EXPECT_EQ(response.body_stream, nullptr);
+  EXPECT_EQ(proxy.stats().template_errors, 1u);
+  EXPECT_EQ(proxy.stats().stream_aborts, 0u);
+}
+
+TEST(ProxyStreamingTest, UpstreamErrorStatusCollapsesToBuffered) {
+  // An upstream 500 is a response, not a transport error: it passes
+  // through buffered (non-200 responses are never re-framed chunked).
+  net::DirectTransport upstream([](const http::Request&) {
+    return http::Response::MakeError(500, "Internal Server Error", "boom");
+  });
+  DpcProxy proxy(&upstream, StreamingProxy());
+  http::Request request;
+  http::Response response = proxy.Handle(request);
+  EXPECT_EQ(response.status_code, 500);
+  EXPECT_EQ(response.body_stream, nullptr);
+  EXPECT_EQ(response.BodyText(), "boom");
+}
+
+TEST(ProxyStreamingTest, UpstreamTransportFailureYieldsCleanError) {
+  // A dead upstream before any head: still a clean pre-commit error.
+  net::TcpServer origin([](const http::Request&) {
+    return http::Response::MakeOk("never reached");
+  });
+  ASSERT_TRUE(origin.Start().ok());
+  uint16_t dead_port = origin.port();
+  origin.Stop();
+  net::TcpClientTransport upstream("127.0.0.1", dead_port);
+  DpcProxy proxy(&upstream, StreamingProxy());
+  http::Request request;
+  http::Response response = proxy.Handle(request);
+  EXPECT_EQ(response.status_code, 502);
+  EXPECT_EQ(response.body_stream, nullptr);
+  EXPECT_EQ(proxy.stats().upstream_errors, 1u);
+}
+
+TEST(ProxyStreamingTest, ChainedUpstreamBodyBytesAreCounted) {
+  // Regression (byte accounting): a passthrough body living in
+  // body_chain used to count as zero bytes_from_upstream because the
+  // accounting read body.size().
+  const std::string payload(2048, 'c');
+  net::DirectTransport upstream([&payload](const http::Request&) {
+    http::Response response;
+    response.body_chain.AppendCopy(payload);
+    return response;
+  });
+  ProxyOptions options;
+  options.capacity = 8;
+  DpcProxy proxy(&upstream, options);
+  http::Request request;
+  http::Response response = proxy.Handle(request);
+  EXPECT_EQ(response.BodyText(), payload);
+  EXPECT_EQ(proxy.stats().bytes_from_upstream, payload.size());
+  EXPECT_EQ(proxy.stats().bytes_to_clients, payload.size());
+}
+
+TEST(ProxyStreamingTest, ChainedTemplateBodyAssembles) {
+  // Same regression, template path: the template arriving as a chain must
+  // be scanned and counted, not treated as empty.
+  std::string wire;
+  bem::TagCodec::AppendSet(3, "chained-frag", wire);
+  net::DirectTransport upstream([&wire](const http::Request&) {
+    http::Response response;
+    response.headers.Set(bem::kTemplateHeader, "1");
+    response.body_chain.AppendCopy(wire);
+    return response;
+  });
+  ProxyOptions options;
+  options.capacity = 8;
+  DpcProxy proxy(&upstream, options);
+  http::Request request;
+  http::Response response = proxy.Handle(request);
+  EXPECT_EQ(response.BodyText(), "chained-frag");
+  EXPECT_EQ(proxy.stats().bytes_from_upstream, wire.size());
+  EXPECT_EQ(proxy.stats().assembled, 1u);
+}
+
+// --- Over real sockets with a genuinely incremental origin ---------------
+
+TEST(ProxyStreamingTest, StreamsOverRealSocketsChunkByChunk) {
+  // Origin emits the template in three chunks, one of them splitting a
+  // SET tag in half; the DPC must splice and stream without waiting for
+  // the tail.
+  std::string wire = "<head>";
+  bem::TagCodec::AppendSet(4, "socket-fragment", wire);
+  wire += "<tail>";
+  size_t cut_a = 8;                // Inside the head literal.
+  size_t cut_b = wire.size() - 3;  // Inside the tail literal.
+  std::vector<std::string> chunks = {wire.substr(0, cut_a),
+                                     wire.substr(cut_a, cut_b - cut_a),
+                                     wire.substr(cut_b)};
+  net::TcpServer origin([&chunks](const http::Request&) {
+    http::Response response;
+    response.headers.Set(bem::kTemplateHeader, "1");
+    response.body_stream = std::make_shared<ScriptedStream>(chunks);
+    return response;
+  });
+  ASSERT_TRUE(origin.Start().ok());
+
+  net::PooledTransportOptions pool_options;
+  pool_options.pool.max_connections = 2;
+  net::PooledClientTransport upstream("127.0.0.1", origin.port(),
+                                      pool_options);
+  DpcProxy proxy(&upstream, StreamingProxy());
+  net::TcpServer front(proxy.AsHandler());
+  ASSERT_TRUE(front.Start().ok());
+
+  net::TcpClientTransport client("127.0.0.1", front.port());
+  http::Request request;
+  request.target = "/stream";
+  Result<http::Response> response = client.RoundTrip(request);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->body, "<head>socket-fragment<tail>");
+  EXPECT_EQ(proxy.stats().streamed, 1u);
+  EXPECT_EQ(proxy.stats().stream_aborts, 0u);
+  EXPECT_EQ(proxy.stats().bytes_from_upstream, wire.size());
+
+  front.Stop();
+  origin.Stop();
+}
+
+TEST(ProxyStreamingTest, ColdCacheMissRecoversInlineMidStream) {
+  // The template GETs a key the store has never seen; the proxy must
+  // refresh upstream on its own pooled connection while the client's
+  // stream is already committed, then splice the recovered fragment.
+  std::string fresh;  // Served on the refresh round trip.
+  bem::TagCodec::AppendSet(9, "recovered-fragment", fresh);
+  std::string cold = "<head>";  // Served first: GET with a cold store.
+  bem::TagCodec::AppendGet(9, cold);
+  cold += "<tail>";
+  std::atomic<int> refreshes{0};
+  net::TcpServer origin([&](const http::Request& request) {
+    std::string body;
+    if (request.headers.Has(bem::kRefreshHeader)) {
+      ++refreshes;
+      body = fresh;
+    } else {
+      body = cold;
+    }
+    http::Response response = http::Response::MakeOk(std::move(body));
+    response.headers.Set(bem::kTemplateHeader, "1");
+    return response;
+  });
+  ASSERT_TRUE(origin.Start().ok());
+
+  net::PooledTransportOptions pool_options;
+  pool_options.pool.max_connections = 2;
+  net::PooledClientTransport upstream("127.0.0.1", origin.port(),
+                                      pool_options);
+  DpcProxy proxy(&upstream, StreamingProxy());
+  net::TcpServer front(proxy.AsHandler());
+  ASSERT_TRUE(front.Start().ok());
+
+  net::TcpClientTransport client("127.0.0.1", front.port());
+  http::Request request;
+  request.target = "/cold";
+  Result<http::Response> response = client.RoundTrip(request);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->body, "<head>recovered-fragment<tail>");
+  EXPECT_GE(refreshes.load(), 1);
+  EXPECT_GE(proxy.stats().recoveries, 1u);
+  EXPECT_EQ(proxy.stats().stream_aborts, 0u);
+
+  front.Stop();
+  origin.Stop();
+}
+
+TEST(ProxyStreamingTest, PostCommitUpstreamFailureAbortsTheStream) {
+  // Head bytes are on the wire when the origin dies: the only honest move
+  // is truncating the chunked body, so the client sees an error, not a
+  // complete-looking page.
+  net::TcpServer origin([](const http::Request&) {
+    http::Response response;
+    response.headers.Set(bem::kTemplateHeader, "1");
+    response.body_stream = std::make_shared<ScriptedStream>(
+        std::vector<std::string>{"<early bytes>"},
+        /*fail_after_script=*/true);
+    return response;
+  });
+  ASSERT_TRUE(origin.Start().ok());
+  net::PooledTransportOptions pool_options;
+  pool_options.pool.max_connections = 2;
+  net::PooledClientTransport upstream("127.0.0.1", origin.port(),
+                                      pool_options);
+  DpcProxy proxy(&upstream, StreamingProxy());
+  net::TcpServer front(proxy.AsHandler());
+  ASSERT_TRUE(front.Start().ok());
+
+  net::TcpClientTransport client("127.0.0.1", front.port());
+  http::Request request;
+  Result<http::Response> response = client.RoundTrip(request);
+  EXPECT_FALSE(response.ok());
+  EXPECT_EQ(proxy.stats().stream_aborts, 1u);
+  EXPECT_EQ(proxy.stats().streamed, 1u);
+
+  front.Stop();
+  origin.Stop();
+}
+
+TEST(ProxyStreamingTest, TemplateCapAbortsMidStream) {
+  // The max_template_bytes guard keeps working after commit: cumulative
+  // template bytes over the cap abort the stream.
+  net::TcpServer origin([](const http::Request&) {
+    http::Response response;
+    response.headers.Set(bem::kTemplateHeader, "1");
+    response.body_stream = std::make_shared<ScriptedStream>(
+        std::vector<std::string>{"<committed>", std::string(4096, 'x')},
+        /*fail_after_script=*/false,
+        /*inter_chunk_delay_micros=*/20 * kMicrosPerMilli);
+    return response;
+  });
+  ASSERT_TRUE(origin.Start().ok());
+  net::PooledTransportOptions pool_options;
+  pool_options.pool.max_connections = 2;
+  net::PooledClientTransport upstream("127.0.0.1", origin.port(),
+                                      pool_options);
+  ProxyOptions options = StreamingProxy();
+  options.max_template_bytes = 1024;
+  DpcProxy proxy(&upstream, options);
+  net::TcpServer front(proxy.AsHandler());
+  ASSERT_TRUE(front.Start().ok());
+
+  net::TcpClientTransport client("127.0.0.1", front.port());
+  http::Request request;
+  Result<http::Response> response = client.RoundTrip(request);
+  EXPECT_FALSE(response.ok());
+  EXPECT_EQ(proxy.stats().stream_aborts, 1u);
+
+  front.Stop();
+  origin.Stop();
+}
+
+}  // namespace
+}  // namespace dynaprox::dpc

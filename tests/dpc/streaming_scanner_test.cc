@@ -1,0 +1,447 @@
+// Adversarial split-boundary suite for the streaming scan-and-splice
+// pipeline: StreamingScanner must accept exactly the template language
+// ParseTemplate accepts and produce the same segment stream, no matter
+// where the network happens to slice the bytes. Every template in the
+// corpus below is replayed (a) one byte per Feed and (b) split into two
+// chunks at every byte boundary, so a tag marker, hex key, ETX, SET end,
+// or literal escape landing astride a read boundary is exercised for
+// every position. StreamingAssembler rides the same corpus and must emit
+// the buffered AssemblePage bytes exactly.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bem/tag_codec.h"
+#include "common/buffer_chain.h"
+#include "common/rng.h"
+#include "dpc/assembler.h"
+#include "dpc/fragment_store.h"
+#include "dpc/tag_scanner.h"
+
+namespace dynaprox::dpc {
+namespace {
+
+using Kind = TemplateSegment::Kind;
+
+// A buffered parse merges adjacent literal runs into one segment; the
+// streaming scanner flushes a literal at each chunk boundary. Folding
+// adjacent literals (and dropping empty ones) gives the canonical stream
+// both must agree on.
+struct NormSegment {
+  Kind kind;
+  bem::DpcKey key;
+  std::string text;
+
+  bool operator==(const NormSegment& other) const {
+    return kind == other.kind && key == other.key && text == other.text;
+  }
+};
+
+void FoldLiteral(std::vector<NormSegment>& out, std::string text) {
+  if (text.empty()) return;
+  if (!out.empty() && out.back().kind == Kind::kLiteral) {
+    out.back().text += text;
+    return;
+  }
+  out.push_back({Kind::kLiteral, bem::kInvalidDpcKey, std::move(text)});
+}
+
+std::vector<NormSegment> Normalize(
+    const std::vector<TemplateSegment>& segments) {
+  std::vector<NormSegment> out;
+  for (const TemplateSegment& segment : segments) {
+    if (segment.kind == Kind::kLiteral) {
+      FoldLiteral(out, segment.Text());
+    } else {
+      out.push_back({segment.kind, segment.key, segment.Text()});
+    }
+  }
+  return out;
+}
+
+std::vector<NormSegment> Normalize(
+    const std::vector<StreamSegment>& segments) {
+  std::vector<NormSegment> out;
+  for (const StreamSegment& segment : segments) {
+    if (segment.kind == Kind::kLiteral) {
+      FoldLiteral(out, segment.Text());
+    } else {
+      out.push_back({segment.kind, segment.key, segment.Text()});
+    }
+  }
+  return out;
+}
+
+// Runs a fresh StreamingScanner over `wire` sliced into `chunks`
+// (concatenation must equal wire; asserted by the callers' construction).
+Result<std::vector<StreamSegment>> ScanChunked(
+    const std::vector<std::string>& chunks, ScanStrategy strategy) {
+  StreamingScanner scanner(strategy);
+  std::vector<StreamSegment> segments;
+  for (const std::string& chunk : chunks) {
+    Status fed = scanner.Feed(common::MakeBuffer(chunk), segments);
+    if (!fed.ok()) return fed;
+  }
+  Status finished = scanner.Finish(segments);
+  if (!finished.ok()) return finished;
+  return segments;
+}
+
+std::vector<std::string> ByteAtATime(std::string_view wire) {
+  std::vector<std::string> chunks;
+  chunks.reserve(wire.size());
+  for (char byte : wire) chunks.emplace_back(1, byte);
+  return chunks;
+}
+
+// The template corpus: every shape the grammar admits plus every
+// rejection class, mirroring fuzz/corpus/template. Hostile cases are
+// expected to fail identically under any chunking.
+std::vector<std::string> CorpusTemplates() {
+  std::vector<std::string> corpus;
+  corpus.push_back("");                        // Empty template.
+  corpus.push_back("<html>plain text</html>"); // Literal only.
+  {
+    std::string wire;  // SET alone.
+    bem::TagCodec::AppendSet(0x2A, "fragment body", wire);
+    corpus.push_back(wire);
+  }
+  {
+    std::string wire;  // SET then GET of the same key.
+    bem::TagCodec::AppendSet(7, "cached", wire);
+    bem::TagCodec::AppendLiteral("-mid-", wire);
+    bem::TagCodec::AppendGet(7, wire);
+    corpus.push_back(wire);
+  }
+  {
+    std::string wire;  // Escaped STX/ETX in literal and SET body.
+    bem::TagCodec::AppendLiteral("a\x02b\x03c", wire);
+    bem::TagCodec::AppendSet(1, "x\x02y", wire);
+    bem::TagCodec::AppendGet(1, wire);
+    corpus.push_back(wire);
+  }
+  {
+    std::string wire;  // Widest admissible key (8 hex digits, not the
+                       // sentinel) and a one-digit key.
+    bem::TagCodec::AppendSet(0xFFFFFFFE, "wide", wire);
+    bem::TagCodec::AppendGet(0xFFFFFFFE, wire);
+    bem::TagCodec::AppendGet(0x1, wire);
+    corpus.push_back(wire);
+  }
+  {
+    std::string wire;  // Adjacent SET blocks, empty SET body.
+    bem::TagCodec::AppendSet(1, "", wire);
+    bem::TagCodec::AppendSet(2, "two", wire);
+    corpus.push_back(wire);
+  }
+  // Rejection classes (same bytes as the adversarial suite).
+  corpus.push_back("\x02");                           // Bare STX at EOF.
+  corpus.push_back("abc\x02S1A");                     // Truncated SET open.
+  corpus.push_back("\x02S2A\x03 dangling set body");  // Unterminated SET.
+  corpus.push_back("\x02G1F trailing, no ETX");       // GET missing ETX.
+  corpus.push_back("\x02S1\x03 a\x02S2\x03 b");       // Nested SET.
+  corpus.push_back("\x02S1\x03 a\x02G2\x03");         // GET inside SET.
+  corpus.push_back("\x02" "E\x03");                   // SET end, no open.
+  corpus.push_back("\x02Q\x03");                      // Unknown marker.
+  corpus.push_back("\x02Gzz\x03");                    // Non-hex key.
+  corpus.push_back("\x02G\x03");                      // Empty key.
+  corpus.push_back("\x02G1ffffffff\x03");             // Key over 32 bits.
+  corpus.push_back("\x02GFFFFFFFF\x03");              // Sentinel key.
+  corpus.push_back("\x02SFFFFFFFF\x03");              // Sentinel SET key.
+  corpus.push_back("\x02G000000001\x03");             // Zero-padded run.
+  corpus.push_back("\x02L");                          // Truncated escape.
+  corpus.push_back("\x02Lx");                         // Bad escape byte.
+  return corpus;
+}
+
+class StreamingScannerTest : public ::testing::TestWithParam<ScanStrategy> {
+ protected:
+  void ExpectEquivalent(std::string_view wire,
+                        const std::vector<std::string>& chunks,
+                        const char* how) {
+    Result<std::vector<TemplateSegment>> buffered =
+        ParseTemplate(wire, GetParam());
+    Result<std::vector<StreamSegment>> streamed =
+        ScanChunked(chunks, GetParam());
+    ASSERT_EQ(buffered.ok(), streamed.ok())
+        << how << " diverged on acceptance for: "
+        << testing::PrintToString(std::string(wire))
+        << " buffered=" << buffered.status().ToString()
+        << " streamed=" << streamed.status().ToString();
+    if (!buffered.ok()) {
+      // Accept/reject must agree; the exact truncation message may not.
+      EXPECT_EQ(streamed.status().code(), StatusCode::kCorruption) << how;
+      return;
+    }
+    EXPECT_TRUE(Normalize(*buffered) == Normalize(*streamed))
+        << how << " diverged on segments for: "
+        << testing::PrintToString(std::string(wire));
+  }
+};
+
+TEST_P(StreamingScannerTest, EverySingleByteChunkingMatchesBuffered) {
+  for (const std::string& wire : CorpusTemplates()) {
+    ExpectEquivalent(wire, ByteAtATime(wire), "byte-at-a-time");
+  }
+}
+
+TEST_P(StreamingScannerTest, EveryTwoChunkSplitMatchesBuffered) {
+  for (const std::string& wire : CorpusTemplates()) {
+    for (size_t split = 0; split <= wire.size(); ++split) {
+      std::vector<std::string> chunks = {wire.substr(0, split),
+                                         wire.substr(split)};
+      ExpectEquivalent(wire, chunks,
+                       ("split@" + std::to_string(split)).c_str());
+    }
+  }
+}
+
+TEST_P(StreamingScannerTest, WholeTemplateInOneFeedMatchesBuffered) {
+  for (const std::string& wire : CorpusTemplates()) {
+    ExpectEquivalent(wire, {wire}, "one-chunk");
+  }
+}
+
+TEST_P(StreamingScannerTest, RandomChunkingsMatchBuffered) {
+  Rng rng(0x5EED5EEDu);
+  for (const std::string& wire : CorpusTemplates()) {
+    for (int round = 0; round < 20; ++round) {
+      std::vector<std::string> chunks;
+      size_t at = 0;
+      while (at < wire.size()) {
+        size_t take = 1 + rng.NextBounded(7);
+        take = std::min(take, wire.size() - at);
+        chunks.push_back(wire.substr(at, take));
+        at += take;
+      }
+      ExpectEquivalent(wire, chunks, "random-chunking");
+    }
+  }
+}
+
+TEST_P(StreamingScannerTest, ErrorIsSticky) {
+  StreamingScanner scanner(GetParam());
+  std::vector<StreamSegment> segments;
+  Status first = scanner.Feed(common::MakeBuffer("\x02Q\x03"), segments);
+  ASSERT_FALSE(first.ok());
+  EXPECT_TRUE(scanner.failed());
+  Status second = scanner.Feed(common::MakeBuffer("plain"), segments);
+  EXPECT_FALSE(second.ok());
+  EXPECT_EQ(second.ToString(), first.ToString());
+  EXPECT_FALSE(scanner.Finish(segments).ok());
+}
+
+TEST_P(StreamingScannerTest, SegmentsOutliveTheirChunks) {
+  // A SET body spanning three chunks: once the segment resolves, its
+  // pieces must stay valid even though the scanner has moved on and the
+  // test dropped its own references to the chunk buffers.
+  std::string wire;
+  bem::TagCodec::AppendSet(5, "alpha-beta-gamma", wire);
+  StreamingScanner scanner(GetParam());
+  std::vector<StreamSegment> segments;
+  size_t third = wire.size() / 3;
+  ASSERT_TRUE(scanner
+                  .Feed(common::MakeBuffer(wire.substr(0, third)), segments)
+                  .ok());
+  ASSERT_TRUE(
+      scanner.Feed(common::MakeBuffer(wire.substr(third, third)), segments)
+          .ok());
+  ASSERT_TRUE(
+      scanner.Feed(common::MakeBuffer(wire.substr(2 * third)), segments)
+          .ok());
+  ASSERT_TRUE(scanner.Finish(segments).ok());
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_EQ(segments[0].kind, Kind::kSet);
+  EXPECT_EQ(segments[0].key, 5u);
+  EXPECT_EQ(segments[0].Text(), "alpha-beta-gamma");
+  for (const StreamPiece& piece : segments[0].pieces) {
+    EXPECT_NE(piece.owner, nullptr);
+  }
+}
+
+TEST_P(StreamingScannerTest, HoldbackBoundedByOpenSetPlusPartialTag) {
+  // Literals flush at every chunk boundary, so holdback while scanning
+  // plain text never exceeds a partial tag. Inside a SET the body
+  // accumulates — but only the body, never earlier page bytes.
+  constexpr size_t kMaxPartialTag = 2 + kMaxKeyHexDigits + 1;
+  std::string body(256, 'f');
+  std::string wire = std::string(4096, 'a');
+  bem::TagCodec::AppendSet(3, body, wire);
+  wire += std::string(4096, 'z');
+
+  StreamingScanner scanner(GetParam());
+  std::vector<StreamSegment> segments;
+  size_t peak = 0;
+  for (char byte : wire) {
+    ASSERT_TRUE(scanner
+                    .Feed(common::MakeBuffer(std::string(1, byte)),
+                          segments)
+                    .ok());
+    peak = std::max(peak, scanner.buffered_bytes());
+  }
+  ASSERT_TRUE(scanner.Finish(segments).ok());
+  EXPECT_LE(peak, body.size() + kMaxPartialTag);
+  EXPECT_EQ(scanner.buffered_bytes(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, StreamingScannerTest,
+                         ::testing::Values(ScanStrategy::kMemchr,
+                                           ScanStrategy::kByteLoop));
+
+// --- StreamingAssembler ---------------------------------------------------
+
+std::string AssembleChunked(const std::string& wire, FragmentStore& store,
+                            size_t chunk_size,
+                            StreamingAssembler::MissResolver resolver,
+                            Status* status_out = nullptr) {
+  StreamingAssembler assembler(store, ScanStrategy::kMemchr,
+                               std::move(resolver));
+  common::BufferChain out;
+  for (size_t at = 0; at < wire.size(); at += chunk_size) {
+    Status fed = assembler.Feed(
+        common::MakeBuffer(wire.substr(at, chunk_size)), out);
+    if (!fed.ok()) {
+      if (status_out != nullptr) *status_out = fed;
+      return out.Flatten();
+    }
+  }
+  Status finished = assembler.Finish(out);
+  if (status_out != nullptr) *status_out = finished;
+  return out.Flatten();
+}
+
+TEST(StreamingAssemblerTest, MatchesBufferedAssemblyAtEveryChunkSize) {
+  std::string wire = "head:";
+  bem::TagCodec::AppendSet(1, "fragment one", wire);
+  bem::TagCodec::AppendLiteral("-\x02-", wire);
+  bem::TagCodec::AppendGet(1, wire);
+  bem::TagCodec::AppendSet(2, "fragment\x03two", wire);
+  bem::TagCodec::AppendGet(2, wire);
+  wire += ":tail";
+
+  FragmentStore reference_store(64);
+  Result<AssembledPage> reference = AssemblePage(wire, reference_store);
+  ASSERT_TRUE(reference.ok());
+
+  for (size_t chunk_size : {size_t{1}, size_t{2}, size_t{3}, size_t{7},
+                            wire.size(), wire.size() + 17}) {
+    FragmentStore store(64);
+    Status status;
+    std::string streamed =
+        AssembleChunked(wire, store, chunk_size, nullptr, &status);
+    ASSERT_TRUE(status.ok()) << "chunk_size=" << chunk_size << ": "
+                             << status.ToString();
+    EXPECT_EQ(streamed, reference->Text()) << "chunk_size=" << chunk_size;
+    // The store ends up in the same state as the buffered path.
+    Result<FragmentRef> stored = store.Get(1);
+    ASSERT_TRUE(stored.ok());
+    EXPECT_EQ(**stored, "fragment one");
+  }
+}
+
+TEST(StreamingAssemblerTest, ProgressCountsMatchBufferedAccounting) {
+  std::string wire;
+  bem::TagCodec::AppendLiteral("lit", wire);
+  bem::TagCodec::AppendSet(1, "stored", wire);
+  bem::TagCodec::AppendGet(1, wire);
+
+  FragmentStore store(16);
+  StreamingAssembler assembler(store);
+  common::BufferChain out;
+  ASSERT_TRUE(assembler.Feed(common::MakeBuffer(wire), out).ok());
+  ASSERT_TRUE(assembler.Finish(out).ok());
+  EXPECT_EQ(assembler.progress().set_count, 1u);
+  EXPECT_EQ(assembler.progress().get_count, 1u);
+  EXPECT_EQ(assembler.progress().bytes_copied, 6u);  // "stored" once.
+  // "lit" by reference + the GET splice of the shared fragment.
+  EXPECT_EQ(assembler.progress().bytes_referenced, 3u + 6u);
+}
+
+TEST(StreamingAssemblerTest, MissResolverSuppliesColdFragment) {
+  std::string wire = "[";
+  bem::TagCodec::AppendGet(0x9, wire);
+  wire += "]";
+
+  FragmentStore store(16);
+  int calls = 0;
+  StreamingAssembler assembler(
+      store, ScanStrategy::kMemchr,
+      [&calls](bem::DpcKey key) -> Result<FragmentRef> {
+        ++calls;
+        EXPECT_EQ(key, 0x9u);
+        return std::make_shared<const std::string>("recovered");
+      });
+  common::BufferChain out;
+  ASSERT_TRUE(assembler.Feed(common::MakeBuffer(wire), out).ok());
+  ASSERT_TRUE(assembler.Finish(out).ok());
+  EXPECT_EQ(out.Flatten(), "[recovered]");
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(StreamingAssemblerTest, MissWithoutResolverFailsTheStream) {
+  std::string wire;
+  bem::TagCodec::AppendGet(0x9, wire);
+  FragmentStore store(16);
+  StreamingAssembler assembler(store);
+  common::BufferChain out;
+  Status fed = assembler.Feed(common::MakeBuffer(wire), out);
+  EXPECT_FALSE(fed.ok());
+  EXPECT_TRUE(fed.IsNotFound()) << fed.ToString();
+}
+
+TEST(StreamingAssemblerTest, ResolverErrorAbortsWithThatStatus) {
+  std::string wire;
+  bem::TagCodec::AppendGet(0x9, wire);
+  FragmentStore store(16);
+  StreamingAssembler assembler(
+      store, ScanStrategy::kMemchr,
+      [](bem::DpcKey) -> Result<FragmentRef> {
+        return Status::IoError("origin unreachable");
+      });
+  common::BufferChain out;
+  Status fed = assembler.Feed(common::MakeBuffer(wire), out);
+  EXPECT_FALSE(fed.ok());
+  EXPECT_EQ(fed.code(), StatusCode::kIoError) << fed.ToString();
+}
+
+TEST(StreamingAssemblerTest, ResolverNotConsultedForWarmKeys) {
+  std::string wire;
+  bem::TagCodec::AppendGet(0x4, wire);
+  FragmentStore store(16);
+  ASSERT_TRUE(
+      store.Set(0x4, std::make_shared<const std::string>("warm")).ok());
+  int calls = 0;
+  StreamingAssembler assembler(store, ScanStrategy::kMemchr,
+                               [&calls](bem::DpcKey) -> Result<FragmentRef> {
+                                 ++calls;
+                                 return Status::Internal("unexpected");
+                               });
+  common::BufferChain out;
+  ASSERT_TRUE(assembler.Feed(common::MakeBuffer(wire), out).ok());
+  ASSERT_TRUE(assembler.Finish(out).ok());
+  EXPECT_EQ(out.Flatten(), "warm");
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(StreamingAssemblerTest, EarlyBytesFlushBeforeTemplateEnds) {
+  // The point of streaming: bytes before an open SET are already in the
+  // output chain while the template tail has not been fed yet.
+  std::string wire = std::string(1024, 'h');
+  bem::TagCodec::AppendSet(1, "tail fragment", wire);
+
+  FragmentStore store(16);
+  StreamingAssembler assembler(store);
+  common::BufferChain out;
+  ASSERT_TRUE(
+      assembler.Feed(common::MakeBuffer(wire.substr(0, 1024)), out).ok());
+  EXPECT_EQ(out.size(), 1024u);  // Head flushed, template still open.
+  ASSERT_TRUE(assembler.Feed(common::MakeBuffer(wire.substr(1024)), out).ok());
+  ASSERT_TRUE(assembler.Finish(out).ok());
+  EXPECT_EQ(out.Flatten(), std::string(1024, 'h') + "tail fragment");
+}
+
+}  // namespace
+}  // namespace dynaprox::dpc

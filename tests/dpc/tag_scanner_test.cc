@@ -115,6 +115,20 @@ TEST_P(TagScannerTest, RejectsBadHexKey) {
   EXPECT_TRUE(Parse("\x02G1ffffffff\x03").status().IsCorruption());
 }
 
+TEST_P(TagScannerTest, RejectsSentinelKey) {
+  // "FFFFFFFF" is bem::kInvalidDpcKey — the "no key" sentinel downstream;
+  // a tag carrying it is Corruption at parse, not a store-layer surprise.
+  EXPECT_TRUE(Parse("\x02GFFFFFFFF\x03").status().IsCorruption());
+  EXPECT_TRUE(Parse("\x02SFFFFFFFF\x03").status().IsCorruption());
+}
+
+TEST_P(TagScannerTest, RejectsHexRunOverMaxDigits) {
+  // bem::TagCodec emits minimal hex; more than kMaxKeyHexDigits is
+  // hostile even when zero-padding keeps the value small.
+  EXPECT_TRUE(Parse("\x02G000000001\x03").status().IsCorruption());
+  EXPECT_TRUE(Parse("\x02S000000001\x03").status().IsCorruption());
+}
+
 TEST_P(TagScannerTest, RejectsUnterminatedSet) {
   std::string wire = "\x02S1\x03 content with no end";
   EXPECT_TRUE(Parse(wire).status().IsCorruption());

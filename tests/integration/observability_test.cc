@@ -303,7 +303,8 @@ TEST_F(ObservabilityTest, ProxyStatusSkeletonIsByteCompatible) {
       "\"passthrough\":N,\"recoveries\":N,\"upstream_errors\":N,"
       "\"template_errors\":N,\"stale_served\":N,\"breaker_rejections\":N,"
       "\"degraded_503s\":N,\"bytes_from_upstream\":N,"
-      "\"bytes_to_clients\":N,\"store\":{\"capacity\":N,"
+      "\"bytes_to_clients\":N,\"streamed\":N,\"stream_fallbacks\":N,"
+      "\"stream_aborts\":N,\"store\":{\"capacity\":N,"
       "\"occupied_slots\":N,\"content_bytes\":N,"
       "\"bytes\":[N,N,N,N,N,N,N,N,N,N,N,N,N,N,N,N],"
       "\"sets\":N,\"gets\":N,"

@@ -5,7 +5,7 @@
 //
 //   ./dynaprox_proxy --port=8080 --origin-host=127.0.0.1
 //       --origin-port=8081 [--capacity=4096] [--pool-size=8]
-//       [--static-cache] [--debug]
+//       [--static-cache] [--debug] [--streaming]
 //       [--breaker] [--breaker-window=32] [--breaker-error-threshold=0.5]
 //       [--breaker-cooldown-ms=1000]
 //       [--serve-stale] [--stale-capacity=256] [--max-stale-sec=0]
@@ -18,6 +18,11 @@
 // fast-fails instead of eating a dial timeout per request; --serve-stale
 // answers failed GETs from the last assembled copy of the page
 // (docs/failure-modes.md).
+//
+// --streaming turns on streaming scan-and-splice (docs/architecture.md):
+// assembled bytes are flushed to the client, chunked, while the template
+// tail is still arriving from the origin. Requests are served streamed
+// only while --static-cache, --serve-stale, and --debug are all off.
 //
 // The ingress limits (docs/failure-modes.md) all default to 0 = off:
 // --max-connections caps concurrent client connections, --max-inflight
@@ -146,6 +151,7 @@ int main(int argc, char** argv) {
   options.capacity = static_cast<bem::DpcKey>(*capacity);
   options.ingress = &ingress;
   options.add_debug_header = flags->GetBool("debug");
+  options.streaming = flags->GetBool("streaming");
   options.enable_static_cache = flags->GetBool("static-cache");
   options.enable_status = true;
   options.enable_metrics = flags->GetBool("metrics", true);
@@ -165,14 +171,15 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("DPC listening on 127.0.0.1:%u -> upstream %s:%lld "
-              "(capacity %lld, pool %lld%s%s%s)\n",
+              "(capacity %lld, pool %lld%s%s%s%s)\n",
               server.port(), origin_host.c_str(),
               static_cast<long long>(*origin_port),
               static_cast<long long>(*capacity),
               static_cast<long long>(*pool_size),
               options.enable_static_cache ? ", static cache on" : "",
               enable_breaker ? ", breaker on" : "",
-              serve_stale ? ", serve-stale on" : "");
+              serve_stale ? ", serve-stale on" : "",
+              options.streaming ? ", streaming on" : "");
   std::fflush(stdout);
 
   char buf[256];
@@ -196,6 +203,13 @@ int main(int argc, char** argv) {
           ? 0.0
           : 100.0 * (1.0 - static_cast<double>(stats.bytes_from_upstream) /
                                static_cast<double>(stats.bytes_to_clients)));
+  if (options.streaming) {
+    std::printf(
+        "streaming: %llu streamed, %llu prefetch fallbacks, %llu aborts\n",
+        static_cast<unsigned long long>(stats.streamed),
+        static_cast<unsigned long long>(stats.stream_fallbacks),
+        static_cast<unsigned long long>(stats.stream_aborts));
+  }
   std::printf(
       "upstream pool: %llu checkouts over %llu connections (%llu "
       "reconnects, %llu stale closed, %llu waiter timeouts)\n",
