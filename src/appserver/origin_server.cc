@@ -20,6 +20,12 @@ OriginServer::OriginServer(const ScriptRegistry* registry,
       options_(options),
       clock_(options.clock != nullptr ? options.clock
                                       : SystemClock::Default()) {
+  if (monitor_ != nullptr && options_.block_workers > 0) {
+    common::ThreadPoolOptions pool_options;
+    pool_options.num_threads = options_.block_workers;
+    pool_options.queue_capacity = options_.block_queue_capacity;
+    block_pool_ = std::make_unique<common::ThreadPool>(pool_options);
+  }
   RegisterMetrics();
 }
 
@@ -45,6 +51,9 @@ void OriginServer::RegisterMetrics() {
   instruments_.fragment_uncacheable = registry_mx_.GetCounter(
       "dynaprox_origin_fragment_uncacheable_total",
       "Cacheable blocks run without BEM involvement.");
+  instruments_.parallel_blocks = registry_mx_.GetCounter(
+      "dynaprox_origin_parallel_blocks_total",
+      "Miss generators dispatched to the block-execution pool.");
   instruments_.body_bytes_sent = registry_mx_.GetCounter(
       "dynaprox_origin_body_bytes_sent_total",
       "Response body bytes sent (templates or full pages).");
@@ -89,6 +98,58 @@ void OriginServer::RegisterMetrics() {
         "dynaprox_bem_directory_evictions_total",
         "Valid entries evicted for key reuse.",
         [monitor] { return monitor->stats().evictions; });
+    registry_mx_.RegisterCallbackCounter(
+        "dynaprox_bem_stripe_contentions_total",
+        "Contended directory stripe-mutex acquisitions.",
+        [monitor] { return monitor->concurrency_stats().stripe_contentions; });
+    registry_mx_.RegisterCallbackCounter(
+        "dynaprox_bem_policy_contentions_total",
+        "Contended replacement-policy mutex acquisitions.",
+        [monitor] { return monitor->concurrency_stats().policy_contentions; });
+    registry_mx_.RegisterCallbackCounter(
+        "dynaprox_bem_free_list_contentions_total",
+        "Contended free-list mutex acquisitions.",
+        [monitor] {
+          return monitor->concurrency_stats().free_list_contentions;
+        });
+    registry_mx_.RegisterCallbackCounter(
+        "dynaprox_bem_registry_contentions_total",
+        "Contended dependency-registry mutex acquisitions.",
+        [monitor] {
+          return monitor->concurrency_stats().registry_contentions;
+        });
+    registry_mx_.RegisterCallbackCounter(
+        "dynaprox_bem_insert_races_total",
+        "Directory insert rounds retried under concurrency.",
+        [monitor] { return monitor->concurrency_stats().insert_races; });
+  }
+
+  if (block_pool_ != nullptr) {
+    const common::ThreadPool* pool = block_pool_.get();
+    registry_mx_.RegisterCallbackGauge(
+        "dynaprox_origin_block_pool_threads",
+        "Block-execution pool worker threads.",
+        [pool] { return static_cast<double>(pool->stats().threads); });
+    registry_mx_.RegisterCallbackGauge(
+        "dynaprox_origin_block_pool_queue_depth",
+        "Tasks waiting in the block-execution pool queue.",
+        [pool] { return static_cast<double>(pool->stats().queue_depth); });
+    registry_mx_.RegisterCallbackCounter(
+        "dynaprox_origin_block_pool_submitted_total",
+        "Tasks submitted to the block-execution pool.",
+        [pool] { return pool->stats().submitted; });
+    registry_mx_.RegisterCallbackCounter(
+        "dynaprox_origin_block_pool_executed_total",
+        "Tasks completed by block-execution pool workers.",
+        [pool] { return pool->stats().executed; });
+    registry_mx_.RegisterCallbackCounter(
+        "dynaprox_origin_block_pool_caller_runs_total",
+        "Tasks run inline on the submitter (queue full / shutdown).",
+        [pool] { return pool->stats().caller_runs; });
+    registry_mx_.RegisterCallbackCounter(
+        "dynaprox_origin_block_pool_queue_contentions_total",
+        "Contended block-pool queue-mutex acquisitions.",
+        [pool] { return pool->stats().queue_contentions; });
   }
 
   if (options_.ingress != nullptr) {
@@ -101,10 +162,12 @@ net::Handler OriginServer::AsHandler() {
   return [this](const http::Request& request) { return Handle(request); };
 }
 
-void OriginServer::HandleRefreshHeader(const http::Request& request) {
-  if (monitor_ == nullptr) return;
+std::vector<std::string> OriginServer::HandleRefreshHeader(
+    const http::Request& request) {
+  std::vector<std::string> refreshed;
+  if (monitor_ == nullptr) return refreshed;
   auto refresh = request.headers.Get(bem::kRefreshHeader);
-  if (!refresh.has_value()) return;
+  if (!refresh.has_value()) return refreshed;
   std::vector<bem::DpcKey> keys;
   for (std::string_view key_hex : StrSplit(*refresh, ',')) {
     Result<uint64_t> key = ParseHex(StripWhitespace(key_hex));
@@ -121,11 +184,13 @@ void OriginServer::HandleRefreshHeader(const http::Request& request) {
   for (auto it = keys.rbegin(); it != keys.rend(); ++it) {
     // NotFound is fine: the key may already have been invalidated (or even
     // reassigned) between the DPC's miss and this request.
-    Status status = monitor_->RefreshKey(*it);
-    if (status.ok()) {
+    Result<std::string> owner = monitor_->RefreshKey(*it);
+    if (owner.ok()) {
       instruments_.refresh_invalidations->Increment();
+      refreshed.push_back(std::move(*owner));
     }
   }
+  return refreshed;
 }
 
 OriginStats OriginServer::stats() const {
@@ -139,6 +204,7 @@ OriginStats OriginServer::stats() const {
   snapshot.fragment_misses = instruments_.fragment_misses->value();
   snapshot.fragment_uncacheable =
       instruments_.fragment_uncacheable->value();
+  snapshot.parallel_blocks = instruments_.parallel_blocks->value();
   snapshot.body_bytes_sent = instruments_.body_bytes_sent->value();
   return snapshot;
 }
@@ -171,7 +237,20 @@ http::Response OriginServer::RenderStatus() const {
   json.Key("hits").Uint(snapshot.fragment_hits);
   json.Key("misses").Uint(snapshot.fragment_misses);
   json.Key("uncacheable").Uint(snapshot.fragment_uncacheable);
+  json.Key("parallel_blocks").Uint(snapshot.parallel_blocks);
   json.EndObject();
+  if (block_pool_ != nullptr) {
+    common::ThreadPoolStats pool = block_pool_->stats();
+    json.Key("block_pool").BeginObject();
+    json.Key("threads").Uint(static_cast<uint64_t>(pool.threads));
+    json.Key("submitted").Uint(pool.submitted);
+    json.Key("executed").Uint(pool.executed);
+    json.Key("caller_runs").Uint(pool.caller_runs);
+    json.Key("queue_depth").Uint(pool.queue_depth);
+    json.Key("peak_queue_depth").Uint(pool.peak_queue_depth);
+    json.Key("queue_contentions").Uint(pool.queue_contentions);
+    json.EndObject();
+  }
   if (monitor_ != nullptr) {
     bem::DirectoryStats directory = monitor_->stats();
     json.Key("directory").BeginObject();
@@ -184,6 +263,16 @@ http::Response OriginServer::RenderStatus() const {
     json.Key("explicit_invalidations")
         .Uint(directory.explicit_invalidations);
     json.Key("evictions").Uint(directory.evictions);
+    bem::BackEndMonitor::ConcurrencyStats concurrency =
+        monitor_->concurrency_stats();
+    json.Key("concurrency").BeginObject();
+    json.Key("stripe_contentions").Uint(concurrency.stripe_contentions);
+    json.Key("policy_contentions").Uint(concurrency.policy_contentions);
+    json.Key("free_list_contentions")
+        .Uint(concurrency.free_list_contentions);
+    json.Key("registry_contentions").Uint(concurrency.registry_contentions);
+    json.Key("insert_races").Uint(concurrency.insert_races);
+    json.EndObject();
     json.Key("sample_entries").BeginArray();
     for (const auto& entry : monitor_->SnapshotEntries(20)) {
       json.BeginObject();
@@ -244,7 +333,7 @@ http::Response OriginServer::Handle(const http::Request& request) {
 
 http::Response OriginServer::HandleDispatch(const http::Request& request,
                                             const char** outcome) {
-  HandleRefreshHeader(request);
+  std::vector<std::string> refreshed = HandleRefreshHeader(request);
 
   // Normalized dispatch: "/a/../hello" and "/hello//" reach the same
   // script, and dot-segments can never escape the root.
@@ -257,8 +346,19 @@ http::Response OriginServer::HandleDispatch(const http::Request& request,
                                      script.status().ToString());
   }
 
-  ScriptContext context(request, repository_, monitor_, &script_metrics_);
+  ScriptContext context(request, repository_, monitor_, &script_metrics_,
+                        block_pool_.get());
+  // A refreshed fragment must re-render even if a concurrent request
+  // re-inserted it after the invalidation above — the DPC is retrying
+  // precisely because it does not have this content (see ForceMiss).
+  for (std::string& canonical : refreshed) {
+    context.ForceMiss(std::move(canonical));
+  }
   Status run_status = (**script)(context);
+  if (run_status.ok()) {
+    // Parallel mode: generator failures surface here, in page order.
+    run_status = context.FinishBlocks();
+  }
   if (!run_status.ok()) {
     DYNAPROX_LOG(kError, "origin")
         << "script failure on " << request.target << ": "
@@ -276,6 +376,7 @@ http::Response OriginServer::HandleDispatch(const http::Request& request,
   instruments_.fragment_hits->Increment(frag.hits);
   instruments_.fragment_misses->Increment(frag.misses);
   instruments_.fragment_uncacheable->Increment(frag.uncacheable);
+  instruments_.parallel_blocks->Increment(frag.parallel_blocks);
   instruments_.body_bytes_sent->Increment(response.body.size());
   *outcome = response.headers.Has(bem::kTemplateHeader) ? "template"
                                                         : "page";

@@ -2,6 +2,7 @@
 #define DYNAPROX_APPSERVER_ORIGIN_SERVER_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "appserver/script_context.h"
@@ -43,6 +44,14 @@ struct OriginOptions {
   // ingress gauges/violation counters in the status document and metric
   // exposition. Not owned; may be null; must outlive the server when set.
   const net::IngressCounters* ingress = nullptr;
+  // Block-execution pool: > 0 runs independent cacheable-block miss
+  // generators of one page concurrently on this many workers (requires a
+  // BEM; ignored in baseline mode). 0 keeps the sequential path.
+  // docs/threading-model.md describes the execution model.
+  int block_workers = 0;
+  // Bounded depth of the block pool's task queue; overflow degrades to
+  // caller-runs (sequential) execution, never blocking or dropping.
+  size_t block_queue_capacity = 256;
 };
 
 struct OriginStats {
@@ -53,6 +62,7 @@ struct OriginStats {
   uint64_t fragment_hits = 0;
   uint64_t fragment_misses = 0;
   uint64_t fragment_uncacheable = 0;
+  uint64_t parallel_blocks = 0;  // Miss generators dispatched to the pool.
   uint64_t body_bytes_sent = 0;
 };
 
@@ -84,6 +94,8 @@ class OriginServer {
   // Snapshot of the serving counters.
   OriginStats stats() const;
   bool caching_enabled() const { return monitor_ != nullptr; }
+  // The block-execution pool, or null when block_workers == 0 / no BEM.
+  common::ThreadPool* block_pool() { return block_pool_.get(); }
   // Every origin metric (counters + BEM-stage latency histograms); what
   // the metrics endpoint renders.
   const metrics::Registry& metrics_registry() const { return registry_mx_; }
@@ -98,6 +110,7 @@ class OriginServer {
     metrics::Counter* fragment_hits;
     metrics::Counter* fragment_misses;
     metrics::Counter* fragment_uncacheable;
+    metrics::Counter* parallel_blocks;
     metrics::Counter* body_bytes_sent;
     metrics::LatencyHistogram* request_duration;
   };
@@ -109,7 +122,9 @@ class OriginServer {
   http::Response HandleDispatch(const http::Request& request,
                                 const char** outcome);
   void ApplyHeaderPadding(http::Response& response) const;
-  void HandleRefreshHeader(const http::Request& request);
+  // Applies X-DPC-Refresh invalidations and returns the canonical ids of
+  // the fragments refreshed, to be force-missed in the re-render.
+  std::vector<std::string> HandleRefreshHeader(const http::Request& request);
   http::Response RenderStatus() const;
 
   const ScriptRegistry* registry_;
@@ -117,6 +132,7 @@ class OriginServer {
   bem::BackEndMonitor* monitor_;
   OriginOptions options_;
   const Clock* clock_;
+  std::unique_ptr<common::ThreadPool> block_pool_;  // Null: sequential.
   metrics::Registry registry_mx_;
   Instruments instruments_;
   ScriptMetrics script_metrics_;  // Shared by every request's context.

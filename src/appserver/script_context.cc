@@ -8,16 +8,28 @@ namespace dynaprox::appserver {
 ScriptContext::ScriptContext(const http::Request& request,
                              storage::ContentRepository* repository,
                              bem::BackEndMonitor* monitor,
-                             const ScriptMetrics* metrics)
+                             const ScriptMetrics* metrics,
+                             common::ThreadPool* block_pool)
     : request_(request),
       repository_(repository),
       monitor_(monitor),
-      metrics_(metrics) {}
+      metrics_(metrics),
+      block_pool_(block_pool) {}
+
+ScriptContext::~ScriptContext() {
+  // A script may fail between dispatching generators and FinishBlocks;
+  // the tasks capture pointers into this object, so wait them out.
+  WaitForBlocks();
+}
 
 void ScriptContext::ObserveStage(metrics::LatencyHistogram* histogram,
                                  MicroTime micros) const {
   if (histogram == nullptr) return;
   histogram->Observe(static_cast<double>(micros) / kMicrosPerSecond);
+}
+
+void ScriptContext::ForceMiss(std::string canonical) {
+  force_miss_.push_back(std::move(canonical));
 }
 
 std::string* ScriptContext::sink() {
@@ -31,6 +43,35 @@ void ScriptContext::Emit(std::string_view text) {
     bem::TagCodec::AppendLiteral(text, body_);
   } else {
     sink()->append(text);
+  }
+}
+
+void ScriptContext::RegisterAndEmit(
+    const bem::FragmentId& id, MicroTime ttl_micros, std::string&& output,
+    std::vector<std::pair<std::string, std::string>>&& deps,
+    std::string& out) {
+  const bool instrumented = timed();
+  const Clock* clock = instrumented ? metrics_->clock : nullptr;
+
+  ++stats_.misses;
+  Result<bem::DpcKey> key = monitor_->InsertFragment(id, ttl_micros);
+  if (!key.ok()) {
+    // Directory full and unevictable: degrade to uncached emission.
+    DYNAPROX_LOG(kWarning, "appserver")
+        << "fragment " << id.Canonical()
+        << " not cached: " << key.status().ToString();
+    ++stats_.uncacheable;
+    bem::TagCodec::AppendLiteral(output, out);
+    return;
+  }
+  for (const auto& [table, row_key] : deps) {
+    monitor_->AddDependency(id, table, row_key);
+  }
+  used_tagging_ = true;
+  MicroTime emit_start = instrumented ? clock->NowMicros() : 0;
+  bem::TagCodec::AppendSet(*key, output, out);
+  if (instrumented) {
+    ObserveStage(metrics_->tag_emission, clock->NowMicros() - emit_start);
   }
 }
 
@@ -58,9 +99,26 @@ Status ScriptContext::CacheableBlock(const bem::FragmentId& id,
     return generated;
   }
 
+  // Refresh recovery: a forced canonical skips the lookup entirely. A hit
+  // here would emit GET for content the DPC told us it does not have —
+  // the valid entry may come from a concurrent request whose SET is still
+  // in flight in that request's response.
+  bool forced = false;
+  for (auto it = force_miss_.begin(); it != force_miss_.end(); ++it) {
+    if (*it == id.Canonical()) {
+      force_miss_.erase(it);
+      forced = true;
+      ++stats_.forced_misses;
+      break;
+    }
+  }
+
   MicroTime lookup_start = instrumented ? clock->NowMicros() : 0;
-  bem::LookupResult lookup = monitor_->LookupFragment(id);
-  if (instrumented) {
+  bem::LookupResult lookup =
+      forced ? bem::LookupResult{bem::LookupOutcome::kMissInvalid,
+                                 bem::kInvalidDpcKey}
+             : monitor_->LookupFragment(id);
+  if (instrumented && !forced) {
     ObserveStage(metrics_->directory_lookup,
                  clock->NowMicros() - lookup_start);
   }
@@ -75,8 +133,55 @@ Status ScriptContext::CacheableBlock(const bem::FragmentId& id,
     return Status::Ok();
   }
 
-  // Miss path: run the code block first; only a successful generation is
-  // registered in the directory.
+  if (parallel_blocks_enabled() && !finished_blocks_) {
+    // Duplicate canonical already dispatched this page: sequential
+    // execution would hit the first occurrence's insert and emit GET, so
+    // do the same at splice time — and do not run the generator again.
+    for (PendingBlock& earlier : pending_blocks_) {
+      if (earlier.id.Canonical() == id.Canonical()) {
+        earlier.has_duplicate = true;
+        segments_.push_back(
+            Segment{std::move(body_), &earlier, /*emit_get=*/true});
+        body_.clear();
+        return Status::Ok();
+      }
+    }
+    // Parallel miss path: capture the generator and hand it to the pool;
+    // the page keeps a hole that FinishBlocks fills in page order. The
+    // generator runs against a throwaway child context whose only job is
+    // collecting the fragment buffer and dependency declarations.
+    ++stats_.parallel_blocks;
+    pending_blocks_.push_back(
+        PendingBlock{id, ttl_micros, generate, /*output=*/{}, /*deps=*/{}});
+    PendingBlock* pending = &pending_blocks_.back();
+    segments_.push_back(Segment{std::move(body_), pending});
+    body_.clear();
+    {
+      std::lock_guard<std::mutex> lock(block_mu_);
+      ++outstanding_blocks_;
+    }
+    block_pool_->Submit([this, pending] {
+      {
+        ScriptContext child(request_, repository_, monitor_, metrics_);
+        child.in_block_ = true;
+        MicroTime start = timed() ? metrics_->clock->NowMicros() : 0;
+        pending->status = pending->generate(child);
+        if (timed()) {
+          ObserveStage(metrics_->block_execution,
+                       metrics_->clock->NowMicros() - start);
+        }
+        pending->output = std::move(child.block_buffer_);
+        pending->deps = std::move(child.pending_deps_);
+      }
+      std::lock_guard<std::mutex> lock(block_mu_);
+      --outstanding_blocks_;
+      block_cv_.notify_all();
+    });
+    return Status::Ok();
+  }
+
+  // Sequential miss path: run the code block first; only a successful
+  // generation is registered in the directory.
   in_block_ = true;
   block_buffer_.clear();
   pending_deps_.clear();
@@ -93,31 +198,63 @@ Status ScriptContext::CacheableBlock(const bem::FragmentId& id,
     return generated;
   }
 
-  ++stats_.misses;
-  Result<bem::DpcKey> key = monitor_->InsertFragment(id, ttl_micros);
-  if (!key.ok()) {
-    // Directory full and unevictable: degrade to uncached emission.
-    DYNAPROX_LOG(kWarning, "appserver")
-        << "fragment " << id.Canonical()
-        << " not cached: " << key.status().ToString();
-    ++stats_.uncacheable;
-    bem::TagCodec::AppendLiteral(block_buffer_, body_);
-    block_buffer_.clear();
-    pending_deps_.clear();
-    return Status::Ok();
-  }
-  for (const auto& [table, row_key] : pending_deps_) {
-    monitor_->AddDependency(id, table, row_key);
-  }
-  used_tagging_ = true;
-  MicroTime emit_start = instrumented ? clock->NowMicros() : 0;
-  bem::TagCodec::AppendSet(*key, block_buffer_, body_);
-  if (instrumented) {
-    ObserveStage(metrics_->tag_emission, clock->NowMicros() - emit_start);
-  }
+  RegisterAndEmit(id, ttl_micros, std::move(block_buffer_),
+                  std::move(pending_deps_), body_);
   block_buffer_.clear();
   pending_deps_.clear();
   return Status::Ok();
+}
+
+void ScriptContext::WaitForBlocks() {
+  std::unique_lock<std::mutex> lock(block_mu_);
+  block_cv_.wait(lock, [this] { return outstanding_blocks_ == 0; });
+}
+
+Status ScriptContext::FinishBlocks() {
+  if (finished_blocks_) return finish_status_;
+  finished_blocks_ = true;
+  if (segments_.empty()) return finish_status_;
+  WaitForBlocks();
+
+  // Splice in page order: text, then the block's fragment. Inserts happen
+  // here — in page order — so dpcKey assignment matches sequential
+  // execution exactly (critical for refresh-pinned key reuse).
+  std::string assembled;
+  for (Segment& segment : segments_) {
+    assembled.append(segment.text);
+    PendingBlock& pending = *segment.block;
+    if (segment.emit_get) {
+      // Duplicate occurrence: the first occurrence (earlier in page
+      // order) has already inserted, so this lookup hits the same key a
+      // sequential render would have.
+      if (!pending.status.ok()) continue;
+      bem::LookupResult lookup = monitor_->LookupFragment(pending.id);
+      if (lookup.hit()) {
+        ++stats_.hits;
+        used_tagging_ = true;
+        bem::TagCodec::AppendGet(lookup.key, assembled);
+      } else {
+        // First occurrence degraded to uncached (directory full): emit
+        // the preserved copy inline rather than a dangling GET.
+        ++stats_.uncacheable;
+        bem::TagCodec::AppendLiteral(pending.output, assembled);
+      }
+      continue;
+    }
+    if (!pending.status.ok()) {
+      if (finish_status_.ok()) finish_status_ = pending.status;
+      continue;
+    }
+    RegisterAndEmit(pending.id, pending.ttl_micros,
+                    pending.has_duplicate ? std::string(pending.output)
+                                          : std::move(pending.output),
+                    std::move(pending.deps), assembled);
+  }
+  assembled.append(body_);
+  body_ = std::move(assembled);
+  segments_.clear();
+  pending_blocks_.clear();
+  return finish_status_;
 }
 
 void ScriptContext::DeclareDependency(const std::string& table,
@@ -134,6 +271,9 @@ void ScriptContext::SetHeader(std::string name, std::string value) {
 
 http::Response ScriptContext::TakeResponse(
     const std::string& template_header_name) {
+  // Belt and braces: the origin calls FinishBlocks explicitly for the
+  // status; anyone else at least gets a fully assembled body.
+  FinishBlocks();
   http::Response response;
   response.status_code = status_code_;
   response.reason = std::string(http::CanonicalReason(status_code_));

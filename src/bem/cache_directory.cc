@@ -1,10 +1,20 @@
 #include "bem/cache_directory.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "common/logging.h"
 
 namespace dynaprox::bem {
+
+namespace {
+// Bound on allocate/evict rounds in Insert. Each failed round means another
+// thread won the race for the key we freed; with a sane policy the loop
+// terminates in one or two rounds, so hitting the cap indicates either a
+// policy with no candidates left or pathological contention — both are
+// reported as CapacityExceeded rather than spinning forever.
+constexpr int kMaxInsertRounds = 64;
+}  // namespace
 
 CacheDirectory::CacheDirectory(DpcKey capacity, const Clock* clock,
                                std::unique_ptr<ReplacementPolicy> policy)
@@ -21,12 +31,15 @@ bool CacheDirectory::Expired(const Entry& entry) const {
          clock_->NowMicros() - entry.inserted_at >= entry.ttl_micros;
 }
 
-void CacheDirectory::InvalidateEntry(const std::string& canonical,
-                                     Entry& entry, bool pin_key) {
+void CacheDirectory::InvalidateEntryLocked(const std::string& canonical,
+                                           Entry& entry, bool pin_key) {
   assert(entry.is_valid);
   entry.is_valid = false;
-  --valid_count_;
-  policy_->OnRemove(canonical);
+  valid_count_.fetch_sub(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<common::ContendedMutex> policy_lock(policy_mu_);
+    policy_->OnRemove(canonical);
+  }
   // The key goes to the back of the free list; the DPC is *not* told
   // (paper 4.3.3: "No action is taken by the DPC"). A refresh-pinned key
   // goes to the front instead: the DPC explicitly asked for this key to
@@ -38,79 +51,136 @@ void CacheDirectory::InvalidateEntry(const std::string& canonical,
 }
 
 void CacheDirectory::ReclaimKeyOwner(DpcKey key) {
-  std::string& owner = key_owner_[key];
+  std::string owner;
+  {
+    std::lock_guard<std::mutex> owner_lock(owner_mu_);
+    owner.swap(key_owner_[key]);
+  }
   if (owner.empty()) return;
-  auto it = entries_.find(owner);
+  Stripe& stripe = StripeFor(owner);
+  std::lock_guard<common::ContendedMutex> lock(stripe.mu);
+  auto it = stripe.entries.find(owner);
   // Erase the stale entry only if it still is the invalid incarnation that
   // released this key. (The owner record can be outdated: the fragment may
   // have been re-inserted since under a different key, overwriting its
   // entry — in that case the entry is valid and must be kept.)
-  if (it != entries_.end() && !it->second.is_valid &&
+  if (it != stripe.entries.end() && !it->second.is_valid &&
       it->second.key == key) {
-    entries_.erase(it);
+    stripe.entries.erase(it);
   }
-  owner.clear();
 }
 
 LookupResult CacheDirectory::Lookup(const FragmentId& id) {
   std::string canonical = id.Canonical();
-  auto it = entries_.find(canonical);
-  if (it == entries_.end()) {
-    ++stats_.misses;
+  Stripe& stripe = StripeFor(canonical);
+  std::lock_guard<common::ContendedMutex> lock(stripe.mu);
+  auto it = stripe.entries.find(canonical);
+  if (it == stripe.entries.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
     return {LookupOutcome::kMissAbsent};
   }
   Entry& entry = it->second;
   if (!entry.is_valid) {
-    ++stats_.misses;
+    misses_.fetch_add(1, std::memory_order_relaxed);
     return {LookupOutcome::kMissInvalid};
   }
   if (Expired(entry)) {
-    ++stats_.ttl_invalidations;
-    ++stats_.misses;
-    InvalidateEntry(canonical, entry);
+    ttl_invalidations_.fetch_add(1, std::memory_order_relaxed);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    InvalidateEntryLocked(canonical, entry);
     return {LookupOutcome::kMissExpired};
   }
-  ++stats_.hits;
-  policy_->OnAccess(canonical);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<common::ContendedMutex> policy_lock(policy_mu_);
+    policy_->OnAccess(canonical);
+  }
   return {LookupOutcome::kHit, entry.key};
+}
+
+Status CacheDirectory::EvictOne() {
+  // Replacement manager: evict a victim to free a key (paper 4.3.3).
+  Result<std::string> victim = [&]() -> Result<std::string> {
+    std::lock_guard<common::ContendedMutex> policy_lock(policy_mu_);
+    return policy_->PickVictim();
+  }();
+  if (!victim.ok()) {
+    return Status::CapacityExceeded(
+        "directory full and no replacement candidate");
+  }
+  Status invalidated = InvalidateCanonical(*victim);
+  if (invalidated.ok()) {
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // NotFound means a concurrent caller invalidated the victim first; the
+  // key it released is on the free list either way, so the Insert round
+  // simply retries Allocate.
+  return invalidated;
 }
 
 Result<DpcKey> CacheDirectory::Insert(const FragmentId& id,
                                       MicroTime ttl_micros) {
   std::string canonical = id.Canonical();
+  Stripe& stripe = StripeFor(canonical);
 
-  // Re-inserting a valid fragment (e.g. forced refresh) releases its key
-  // first so it flows through the normal allocation path.
-  if (auto it = entries_.find(canonical);
-      it != entries_.end() && it->second.is_valid) {
-    ++stats_.explicit_invalidations;
-    InvalidateEntry(canonical, it->second);
-  }
-
-  Result<DpcKey> key = free_list_.Allocate();
-  if (!key.ok()) {
-    // Replacement manager: evict a victim to free a key (paper 4.3.3).
-    Result<std::string> victim = policy_->PickVictim();
-    if (!victim.ok()) {
-      return Status::CapacityExceeded(
-          "directory full and no replacement candidate");
+  // Phase A — re-inserting a valid fragment (e.g. forced refresh) releases
+  // its key first so it flows through the normal allocation path.
+  {
+    std::lock_guard<common::ContendedMutex> lock(stripe.mu);
+    auto it = stripe.entries.find(canonical);
+    if (it != stripe.entries.end() && it->second.is_valid) {
+      explicit_invalidations_.fetch_add(1, std::memory_order_relaxed);
+      InvalidateEntryLocked(canonical, it->second);
     }
-    ++stats_.evictions;
-    DYNAPROX_RETURN_IF_ERROR(InvalidateCanonical(*victim));
-    key = free_list_.Allocate();
-    if (!key.ok()) return key.status();
   }
 
-  // The allocated key may still be referenced by a stale invalid entry
-  // (possibly this very fragment's previous incarnation); reclaim it.
+  // Phase B — allocate a key, evicting victims as needed. Runs with no
+  // stripe lock held: eviction touches arbitrary stripes. A freed key can
+  // be snatched by a concurrent Insert before our re-Allocate; that just
+  // costs another round.
+  Result<DpcKey> key = Status::CapacityExceeded("unallocated");
+  for (int round = 0; round < kMaxInsertRounds; ++round) {
+    if (round > 0) insert_races_.fetch_add(1, std::memory_order_relaxed);
+    key = free_list_.Allocate();
+    if (key.ok()) break;
+    Status evicted = EvictOne();
+    if (evicted.IsCapacityExceeded()) return evicted;
+  }
+  if (!key.ok()) {
+    return Status::CapacityExceeded("insert retry limit exhausted");
+  }
+
+  // Phase C — the allocated key may still be referenced by a stale invalid
+  // entry (possibly this very fragment's previous incarnation). We hold
+  // the key exclusively (it is off the free list), so no other thread can
+  // be reclaiming it.
   ReclaimKeyOwner(*key);
 
-  entries_[canonical] =
-      Entry{*key, /*is_valid=*/true, ttl_micros, clock_->NowMicros()};
-  key_owner_[*key] = canonical;
-  ++valid_count_;
-  ++stats_.inserts;
-  policy_->OnInsert(canonical);
+  // Phase D — publish. Re-check for a concurrent insert of the same
+  // fragment that won between phases A and D: its entry must be
+  // invalidated (releasing its key) before being overwritten, or the key
+  // would leak.
+  {
+    std::lock_guard<common::ContendedMutex> lock(stripe.mu);
+    auto it = stripe.entries.find(canonical);
+    if (it != stripe.entries.end() && it->second.is_valid) {
+      insert_races_.fetch_add(1, std::memory_order_relaxed);
+      explicit_invalidations_.fetch_add(1, std::memory_order_relaxed);
+      InvalidateEntryLocked(canonical, it->second);
+    }
+    stripe.entries[canonical] =
+        Entry{*key, /*is_valid=*/true, ttl_micros, clock_->NowMicros()};
+    {
+      std::lock_guard<std::mutex> owner_lock(owner_mu_);
+      key_owner_[*key] = canonical;
+    }
+    valid_count_.fetch_add(1, std::memory_order_relaxed);
+    inserts_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<common::ContendedMutex> policy_lock(policy_mu_);
+      policy_->OnInsert(canonical);
+    }
+  }
   DYNAPROX_LOG(kDebug, "bem") << "insert " << canonical << " -> key " << *key;
   return *key;
 }
@@ -120,12 +190,14 @@ Status CacheDirectory::Invalidate(const FragmentId& id) {
 }
 
 Status CacheDirectory::InvalidateCanonical(const std::string& canonical) {
-  auto it = entries_.find(canonical);
-  if (it == entries_.end() || !it->second.is_valid) {
+  Stripe& stripe = StripeFor(canonical);
+  std::lock_guard<common::ContendedMutex> lock(stripe.mu);
+  auto it = stripe.entries.find(canonical);
+  if (it == stripe.entries.end() || !it->second.is_valid) {
     return Status::NotFound("no valid entry: " + canonical);
   }
-  ++stats_.explicit_invalidations;
-  InvalidateEntry(canonical, it->second);
+  explicit_invalidations_.fetch_add(1, std::memory_order_relaxed);
+  InvalidateEntryLocked(canonical, it->second);
   return Status::Ok();
 }
 
@@ -134,58 +206,117 @@ Result<std::string> CacheDirectory::InvalidateKey(DpcKey key, bool pin_key) {
     return Status::InvalidArgument("dpcKey out of range: " +
                                    std::to_string(key));
   }
-  const std::string owner = key_owner_[key];
+  std::string owner;
+  {
+    std::lock_guard<std::mutex> owner_lock(owner_mu_);
+    owner = key_owner_[key];
+  }
   if (owner.empty()) {
     return Status::NotFound("key has no owner: " + std::to_string(key));
   }
-  auto it = entries_.find(owner);
-  if (it == entries_.end() || !it->second.is_valid ||
+  Stripe& stripe = StripeFor(owner);
+  std::lock_guard<common::ContendedMutex> lock(stripe.mu);
+  // Re-validate under the stripe lock: the owner record was read without
+  // it, and the key may have been reassigned in between.
+  auto it = stripe.entries.find(owner);
+  if (it == stripe.entries.end() || !it->second.is_valid ||
       it->second.key != key) {
     return Status::NotFound("key has no valid owner: " + std::to_string(key));
   }
-  ++stats_.explicit_invalidations;
-  InvalidateEntry(owner, it->second, pin_key);
+  explicit_invalidations_.fetch_add(1, std::memory_order_relaxed);
+  InvalidateEntryLocked(owner, it->second, pin_key);
   return owner;
 }
 
 size_t CacheDirectory::InvalidateAll() {
   size_t count = 0;
-  for (auto& [canonical, entry] : entries_) {
-    if (!entry.is_valid) continue;
-    ++stats_.explicit_invalidations;
-    InvalidateEntry(canonical, entry);
-    ++count;
+  for (Stripe& stripe : stripes_) {
+    std::lock_guard<common::ContendedMutex> lock(stripe.mu);
+    for (auto& [canonical, entry] : stripe.entries) {
+      if (!entry.is_valid) continue;
+      explicit_invalidations_.fetch_add(1, std::memory_order_relaxed);
+      InvalidateEntryLocked(canonical, entry);
+      ++count;
+    }
   }
   return count;
 }
 
 size_t CacheDirectory::SweepExpired() {
   size_t count = 0;
-  for (auto& [canonical, entry] : entries_) {
-    if (!entry.is_valid || !Expired(entry)) continue;
-    ++stats_.ttl_invalidations;
-    InvalidateEntry(canonical, entry);
-    ++count;
+  for (Stripe& stripe : stripes_) {
+    std::lock_guard<common::ContendedMutex> lock(stripe.mu);
+    for (auto& [canonical, entry] : stripe.entries) {
+      if (!entry.is_valid || !Expired(entry)) continue;
+      ttl_invalidations_.fetch_add(1, std::memory_order_relaxed);
+      InvalidateEntryLocked(canonical, entry);
+      ++count;
+    }
   }
   return count;
+}
+
+size_t CacheDirectory::entry_count() const {
+  size_t count = 0;
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<common::ContendedMutex> lock(stripe.mu);
+    count += stripe.entries.size();
+  }
+  return count;
+}
+
+DirectoryStats CacheDirectory::stats() const {
+  DirectoryStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.inserts = inserts_.load(std::memory_order_relaxed);
+  stats.ttl_invalidations =
+      ttl_invalidations_.load(std::memory_order_relaxed);
+  stats.explicit_invalidations =
+      explicit_invalidations_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+CacheDirectory::ConcurrencyStats CacheDirectory::concurrency_stats() const {
+  ConcurrencyStats stats;
+  for (const Stripe& stripe : stripes_) {
+    stats.stripe_contentions += stripe.mu.contended_acquisitions();
+  }
+  stats.policy_contentions = policy_mu_.contended_acquisitions();
+  stats.free_list_contentions = free_list_.contentions();
+  stats.insert_races = insert_races_.load(std::memory_order_relaxed);
+  return stats;
 }
 
 std::vector<CacheDirectory::EntryView> CacheDirectory::SnapshotEntries(
     size_t limit) const {
   std::vector<EntryView> out;
   MicroTime now = clock_->NowMicros();
-  for (const auto& [canonical, entry] : entries_) {
-    out.push_back({canonical, entry.key, entry.is_valid,
-                   now - entry.inserted_at, entry.ttl_micros});
-    if (limit != 0 && out.size() >= limit) break;
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<common::ContendedMutex> lock(stripe.mu);
+    for (const auto& [canonical, entry] : stripe.entries) {
+      out.push_back({canonical, entry.key, entry.is_valid,
+                     now - entry.inserted_at, entry.ttl_micros});
+    }
   }
+  // Stripe iteration interleaves canonical order; restore it so snapshots
+  // stay deterministic for tests and status pages.
+  std::sort(out.begin(), out.end(),
+            [](const EntryView& a, const EntryView& b) {
+              return a.fragment_id < b.fragment_id;
+            });
+  if (limit != 0 && out.size() > limit) out.resize(limit);
   return out;
 }
 
 Result<DpcKey> CacheDirectory::KeyOf(const FragmentId& id) const {
-  auto it = entries_.find(id.Canonical());
-  if (it == entries_.end() || !it->second.is_valid) {
-    return Status::NotFound("no valid entry: " + id.Canonical());
+  std::string canonical = id.Canonical();
+  const Stripe& stripe = StripeFor(canonical);
+  std::lock_guard<common::ContendedMutex> lock(stripe.mu);
+  auto it = stripe.entries.find(canonical);
+  if (it == stripe.entries.end() || !it->second.is_valid) {
+    return Status::NotFound("no valid entry: " + canonical);
   }
   return it->second.key;
 }

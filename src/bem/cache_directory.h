@@ -1,6 +1,8 @@
 #ifndef DYNAPROX_BEM_CACHE_DIRECTORY_H_
 #define DYNAPROX_BEM_CACHE_DIRECTORY_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -11,6 +13,7 @@
 #include "bem/replacement.h"
 #include "bem/types.h"
 #include "common/clock.h"
+#include "common/contended_mutex.h"
 #include "common/result.h"
 
 namespace dynaprox::bem {
@@ -57,9 +60,28 @@ struct DirectoryStats {
 //    fragments are not explicitly removed from the DPC; the slots simply
 //    remain unused until they are subsequently assigned to a new fragment")
 //  * Invalidation never communicates with the DPC.
-//  * Directory size never exceeds capacity.
+//  * Directory size never exceeds capacity (quiescent; a burst of
+//    concurrent inserts can transiently overshoot by the number of
+//    in-flight inserts while stale entries are being reclaimed).
+//
+// Thread-safe. The entry map is lock-striped kStripes ways by fragment id
+// (mirroring dpc::FragmentStore), so parallel block executions of one page
+// — and parallel pages on different ingress workers — don't serialize on
+// one directory mutex. Counters are relaxed atomics.
+//
+// Lock hierarchy (deadlock discipline): a stripe mutex may be held while
+// taking the policy mutex, the key-owner mutex, or the free list's
+// internal mutex — all leaves. No operation ever holds two stripe mutexes,
+// and cross-stripe work (eviction of a victim in another stripe, reclaim
+// of a stale key owner) runs with no stripe mutex held, re-validating
+// under the target stripe's lock. The replacement policy stays one global
+// instance behind its own mutex so victim selection keeps the exact
+// sequential LRU/FIFO/CLOCK semantics the model tests and
+// bench/ablation_replacement pin down.
 class CacheDirectory {
  public:
+  static constexpr size_t kStripes = 16;
+
   // `ttl_micros` <= 0 in Insert means "no TTL". `clock` must outlive the
   // directory. `policy` selects eviction victims when the key space is
   // exhausted.
@@ -99,11 +121,23 @@ class CacheDirectory {
 
   // Introspection.
   DpcKey capacity() const { return free_list_.capacity(); }
-  size_t entry_count() const { return entries_.size(); }
-  size_t valid_count() const { return valid_count_; }
+  size_t entry_count() const;
+  size_t valid_count() const {
+    return valid_count_.load(std::memory_order_relaxed);
+  }
   size_t free_key_count() const { return free_list_.free_count(); }
-  const DirectoryStats& stats() const { return stats_; }
+  DirectoryStats stats() const;
   const ReplacementPolicy& policy() const { return *policy_; }
+
+  // Parallelism counters: evidence that concurrent callers really hit
+  // different stripes (and how often the shared structures still collide).
+  struct ConcurrencyStats {
+    uint64_t stripe_contentions = 0;     // Contended stripe-mutex locks.
+    uint64_t policy_contentions = 0;     // Contended policy-mutex locks.
+    uint64_t free_list_contentions = 0;  // Contended free-list locks.
+    uint64_t insert_races = 0;  // Insert rounds retried under concurrency.
+  };
+  ConcurrencyStats concurrency_stats() const;
 
   // Returns the valid entry's key for tests; NotFound otherwise.
   Result<DpcKey> KeyOf(const FragmentId& id) const;
@@ -128,22 +162,47 @@ class CacheDirectory {
     MicroTime inserted_at;
   };
 
+  struct Stripe {
+    mutable common::ContendedMutex mu;
+    std::map<std::string, Entry> entries;  // Guarded by mu.
+  };
+
+  Stripe& StripeFor(const std::string& canonical) const {
+    return stripes_[std::hash<std::string>{}(canonical) % kStripes];
+  }
+
   bool Expired(const Entry& entry) const;
   // Shared invalidation: flips the flag, releases the key, updates policy.
-  // `pin_key` releases to the front of the free list (refresh reuse).
-  void InvalidateEntry(const std::string& canonical, Entry& entry,
-                       bool pin_key = false);
+  // Caller holds the entry's stripe mutex. `pin_key` releases to the front
+  // of the free list (refresh reuse).
+  void InvalidateEntryLocked(const std::string& canonical, Entry& entry,
+                             bool pin_key = false);
   // Reclaims the stale invalid entry (if any) that still references `key`.
+  // Takes the owner's stripe lock itself; caller must hold NO stripe lock.
   void ReclaimKeyOwner(DpcKey key);
+  // Frees one key by evicting a policy victim. CapacityExceeded when the
+  // policy has no candidates. Caller must hold NO stripe lock.
+  Status EvictOne();
 
   const Clock* clock_;
-  std::unique_ptr<ReplacementPolicy> policy_;
-  FreeList free_list_;
-  std::map<std::string, Entry> entries_;
+  std::unique_ptr<ReplacementPolicy> policy_;  // Guarded by policy_mu_.
+  mutable common::ContendedMutex policy_mu_;
+  FreeList free_list_;  // Internally synchronized.
+  mutable std::array<Stripe, kStripes> stripes_;
   // key -> canonical fragment id of the entry referencing it ("" if none).
+  // Guarded by owner_mu_ (leaf lock; element k is only rewritten by the
+  // thread that currently holds key k out of the free list).
+  mutable std::mutex owner_mu_;
   std::vector<std::string> key_owner_;
-  size_t valid_count_ = 0;
-  DirectoryStats stats_;
+
+  std::atomic<size_t> valid_count_{0};
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> inserts_{0};
+  std::atomic<uint64_t> ttl_invalidations_{0};
+  std::atomic<uint64_t> explicit_invalidations_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> insert_races_{0};
 };
 
 }  // namespace dynaprox::bem

@@ -5,11 +5,13 @@ namespace dynaprox::bem {
 void DependencyRegistry::Add(const std::string& canonical,
                              const std::string& table,
                              const std::string& row_key) {
+  std::lock_guard<common::ContendedMutex> lock(mu_);
   by_source_[table][row_key].insert(canonical);
   by_fragment_[canonical].insert(Dep{table, row_key});
 }
 
 void DependencyRegistry::RemoveFragment(const std::string& canonical) {
+  std::lock_guard<common::ContendedMutex> lock(mu_);
   auto it = by_fragment_.find(canonical);
   if (it == by_fragment_.end()) return;
   for (const Dep& dep : it->second) {
@@ -24,8 +26,15 @@ void DependencyRegistry::RemoveFragment(const std::string& canonical) {
   by_fragment_.erase(it);
 }
 
+void DependencyRegistry::Clear() {
+  std::lock_guard<common::ContendedMutex> lock(mu_);
+  by_source_.clear();
+  by_fragment_.clear();
+}
+
 std::vector<std::string> DependencyRegistry::Affected(
     const storage::UpdateEvent& event) const {
+  std::lock_guard<common::ContendedMutex> lock(mu_);
   std::set<std::string> result;
   auto table_it = by_source_.find(event.table);
   if (table_it == by_source_.end()) return {};

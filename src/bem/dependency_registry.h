@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/contended_mutex.h"
 #include "storage/update_bus.h"
 
 namespace dynaprox::bem {
@@ -14,6 +15,11 @@ namespace dynaprox::bem {
 // the cache invalidation manager's "updates to the underlying data sources"
 // trigger (paper 4.3.3). A dependency is (table) or (table, row-key); a
 // table-level dependency is invalidated by any mutation of that table.
+//
+// Thread-safe behind one internal mutex: parallel block generators Add
+// concurrently while data-source updates fan out through Affected. The
+// two index maps must stay mutually consistent, so a single mutex (not
+// striping) is the right shape; contentions() shows whether it matters.
 class DependencyRegistry {
  public:
   // Declares that fragment `canonical` depends on `table` (whole table when
@@ -24,10 +30,19 @@ class DependencyRegistry {
   // Drops all dependencies of `canonical` (fragment invalidated/reclaimed).
   void RemoveFragment(const std::string& canonical);
 
+  // Drops every dependency (full-cache invalidation).
+  void Clear();
+
   // Fragments affected by `event`, in deterministic (sorted) order.
   std::vector<std::string> Affected(const storage::UpdateEvent& event) const;
 
-  size_t fragment_count() const { return by_fragment_.size(); }
+  size_t fragment_count() const {
+    std::lock_guard<common::ContendedMutex> lock(mu_);
+    return by_fragment_.size();
+  }
+
+  // Contended acquisitions of the internal mutex.
+  uint64_t contentions() const { return mu_.contended_acquisitions(); }
 
  private:
   struct Dep {
@@ -39,7 +54,9 @@ class DependencyRegistry {
     }
   };
 
+  mutable common::ContendedMutex mu_;
   // (table, row_key) -> fragments; row_key "" holds table-level deps.
+  // Both maps guarded by mu_.
   std::map<std::string, std::map<std::string, std::set<std::string>>>
       by_source_;
   std::map<std::string, std::set<Dep>> by_fragment_;

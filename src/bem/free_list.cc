@@ -7,6 +7,7 @@ FreeList::FreeList(DpcKey capacity) : capacity_(capacity) {
 }
 
 Result<DpcKey> FreeList::Allocate() {
+  std::lock_guard<common::ContendedMutex> lock(mu_);
   if (list_.empty()) {
     return Status::CapacityExceeded("free list exhausted");
   }
@@ -20,6 +21,7 @@ Status FreeList::Release(DpcKey key) {
     return Status::InvalidArgument("dpcKey out of range: " +
                                    std::to_string(key));
   }
+  std::lock_guard<common::ContendedMutex> lock(mu_);
   if (list_.size() >= capacity_) {
     return Status::FailedPrecondition("free list already full");
   }
@@ -32,6 +34,7 @@ Status FreeList::ReleaseFront(DpcKey key) {
     return Status::InvalidArgument("dpcKey out of range: " +
                                    std::to_string(key));
   }
+  std::lock_guard<common::ContendedMutex> lock(mu_);
   if (list_.size() >= capacity_) {
     return Status::FailedPrecondition("free list already full");
   }

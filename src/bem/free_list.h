@@ -2,8 +2,10 @@
 #define DYNAPROX_BEM_FREE_LIST_H_
 
 #include <deque>
+#include <mutex>
 
 #include "bem/types.h"
+#include "common/contended_mutex.h"
 #include "common/result.h"
 
 namespace dynaprox::bem {
@@ -16,6 +18,13 @@ namespace dynaprox::bem {
 //
 // Paper requirement: "the size of the freeList should be at least as large
 // as the maximum cache size" — enforced: Release on a full list fails.
+//
+// Thread-safe: one internal mutex serializes the deque operations — they
+// are O(1) pointer moves, so the critical section is tiny. The mutex
+// counts contended acquisitions (contentions()) because the free list is
+// the one structure every parallel Insert still shares after the
+// directory went stripe-locked; the counter shows whether it becomes the
+// next bottleneck.
 class FreeList {
  public:
   // Fills the list with keys 0..capacity-1.
@@ -34,13 +43,20 @@ class FreeList {
   // must reuse it — a committed stream is waiting to splice `GET key`.
   Status ReleaseFront(DpcKey key);
 
-  size_t free_count() const { return list_.size(); }
+  size_t free_count() const {
+    std::lock_guard<common::ContendedMutex> lock(mu_);
+    return list_.size();
+  }
   DpcKey capacity() const { return capacity_; }
-  bool empty() const { return list_.empty(); }
+  bool empty() const { return free_count() == 0; }
+
+  // Contended acquisitions of the internal mutex (see class comment).
+  uint64_t contentions() const { return mu_.contended_acquisitions(); }
 
  private:
-  DpcKey capacity_;
-  std::deque<DpcKey> list_;
+  const DpcKey capacity_;
+  mutable common::ContendedMutex mu_;
+  std::deque<DpcKey> list_;  // Guarded by mu_.
 };
 
 }  // namespace dynaprox::bem

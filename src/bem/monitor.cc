@@ -28,14 +28,12 @@ BackEndMonitor::BackEndMonitor(DpcKey capacity, const Clock* clock,
 BackEndMonitor::~BackEndMonitor() { DetachRepository(); }
 
 LookupResult BackEndMonitor::LookupFragment(const FragmentId& id) {
-  std::lock_guard<std::mutex> lock(mu_);
   return directory_.Lookup(id);
 }
 
 Result<DpcKey> BackEndMonitor::InsertFragment(const FragmentId& id,
                                               MicroTime ttl_micros) {
   if (ttl_micros < 0) ttl_micros = default_ttl_micros_;
-  std::lock_guard<std::mutex> lock(mu_);
   // A fresh insert supersedes any dependencies registered for the previous
   // incarnation of this fragment; the generating code block re-declares
   // them as it runs.
@@ -46,65 +44,65 @@ Result<DpcKey> BackEndMonitor::InsertFragment(const FragmentId& id,
 void BackEndMonitor::AddDependency(const FragmentId& id,
                                    const std::string& table,
                                    const std::string& row_key) {
-  std::lock_guard<std::mutex> lock(mu_);
   registry_.Add(id.Canonical(), table, row_key);
 }
 
 Status BackEndMonitor::Invalidate(const FragmentId& id) {
-  std::lock_guard<std::mutex> lock(mu_);
   registry_.RemoveFragment(id.Canonical());
   return directory_.Invalidate(id);
 }
 
 Status BackEndMonitor::InvalidateKey(DpcKey key) {
-  std::lock_guard<std::mutex> lock(mu_);
   Result<std::string> owner = directory_.InvalidateKey(key);
   if (!owner.ok()) return owner.status();
   registry_.RemoveFragment(*owner);
   return Status::Ok();
 }
 
-Status BackEndMonitor::RefreshKey(DpcKey key) {
-  std::lock_guard<std::mutex> lock(mu_);
+Result<std::string> BackEndMonitor::RefreshKey(DpcKey key) {
   Result<std::string> owner = directory_.InvalidateKey(key, /*pin_key=*/true);
   if (!owner.ok()) return owner.status();
   registry_.RemoveFragment(*owner);
-  return Status::Ok();
+  return owner;
 }
 
 size_t BackEndMonitor::InvalidateAll() {
-  std::lock_guard<std::mutex> lock(mu_);
   size_t count = directory_.InvalidateAll();
   // Dependencies die with their fragments.
-  // (RemoveFragment is idempotent; clearing via fresh registry is simpler.)
-  registry_ = DependencyRegistry();
+  registry_.Clear();
   return count;
 }
 
-size_t BackEndMonitor::SweepExpired() {
-  std::lock_guard<std::mutex> lock(mu_);
-  return directory_.SweepExpired();
-}
+size_t BackEndMonitor::SweepExpired() { return directory_.SweepExpired(); }
 
-DirectoryStats BackEndMonitor::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return directory_.stats();
-}
+DirectoryStats BackEndMonitor::stats() const { return directory_.stats(); }
 
 std::vector<CacheDirectory::EntryView> BackEndMonitor::SnapshotEntries(
     size_t limit) const {
-  std::lock_guard<std::mutex> lock(mu_);
   return directory_.SnapshotEntries(limit);
+}
+
+BackEndMonitor::ConcurrencyStats BackEndMonitor::concurrency_stats() const {
+  CacheDirectory::ConcurrencyStats dir = directory_.concurrency_stats();
+  ConcurrencyStats stats;
+  stats.stripe_contentions = dir.stripe_contentions;
+  stats.policy_contentions = dir.policy_contentions;
+  stats.free_list_contentions = dir.free_list_contentions;
+  stats.registry_contentions = registry_.contentions();
+  stats.insert_races = dir.insert_races;
+  return stats;
 }
 
 void BackEndMonitor::AttachRepository(storage::ContentRepository* repository) {
   DetachRepository();
+  std::lock_guard<std::mutex> lock(attach_mu_);
   repository_ = repository;
   subscription_ = repository_->bus().Subscribe(
       [this](const storage::UpdateEvent& event) { OnDataSourceUpdate(event); });
 }
 
 void BackEndMonitor::DetachRepository() {
+  std::lock_guard<std::mutex> lock(attach_mu_);
   if (repository_ == nullptr) return;
   repository_->bus().Unsubscribe(subscription_);
   repository_ = nullptr;
@@ -112,7 +110,6 @@ void BackEndMonitor::DetachRepository() {
 }
 
 size_t BackEndMonitor::OnDataSourceUpdate(const storage::UpdateEvent& event) {
-  std::lock_guard<std::mutex> lock(mu_);
   size_t count = 0;
   for (const std::string& canonical : registry_.Affected(event)) {
     Status status = directory_.InvalidateCanonical(canonical);

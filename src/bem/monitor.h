@@ -33,10 +33,20 @@ struct BemOptions {
 // replacement. Dynamic scripts call LookupFragment/InsertFragment through
 // the tagging API (appserver::ScriptContext); the DPC is never contacted.
 //
-// Thread-safe: the origin application server handles one request per
-// thread, and data-source updates arrive on writer threads. All public
-// operations serialize on one internal mutex (directory operations are
-// map lookups — contention is negligible next to fragment generation).
+// Thread-safe without a monitor-level lock: the origin application server
+// handles one request per thread, block generators run on a pool, and
+// data-source updates arrive on writer threads. The directory is lock-
+// striped internally (CacheDirectory::kStripes ways) and the dependency
+// registry has its own mutex, so parallel block executions of one page
+// proceed without serializing here. See docs/threading-model.md and
+// concurrency_stats() for the contention evidence.
+//
+// Cross-structure ordering note: InsertFragment removes the fragment's old
+// dependencies before inserting; the generator re-declares them after. A
+// data-source update that races with regeneration can therefore miss the
+// in-flight incarnation — the same window the sequential big-lock version
+// had (lookup/insert/add-dependency were always three separate critical
+// sections), and the DPC recovery protocol covers it.
 class BackEndMonitor {
  public:
   // Builds a monitor; fails on an unknown replacement policy name.
@@ -66,7 +76,12 @@ class BackEndMonitor {
   // pins the key for immediate reuse so the re-rendered fragment keeps the
   // same dpcKey. The DPC's streamed recovery has already committed
   // `GET key` to the client and needs the refreshed SET under that key.
-  Status RefreshKey(DpcKey key);
+  // Returns the canonical fragment id the key belonged to: the caller must
+  // force the re-render to treat that fragment as a miss, because a
+  // concurrent request can re-insert it between this invalidation and the
+  // re-render's lookup — the lookup would then hit and emit GET for
+  // content the DPC still does not have (see ScriptContext::ForceMiss).
+  Result<std::string> RefreshKey(DpcKey key);
   size_t InvalidateAll();
 
   // Proactive TTL sweep; returns the number invalidated.
@@ -88,8 +103,17 @@ class BackEndMonitor {
   // Snapshot of up to `limit` directory entries (safe under concurrency).
   std::vector<CacheDirectory::EntryView> SnapshotEntries(
       size_t limit = 0) const;
-  // Direct views for tests/benches; only safe when no other thread is
-  // mutating the monitor.
+  // Lock/parallelism counters aggregated from the directory and registry.
+  struct ConcurrencyStats {
+    uint64_t stripe_contentions = 0;
+    uint64_t policy_contentions = 0;
+    uint64_t free_list_contentions = 0;
+    uint64_t registry_contentions = 0;
+    uint64_t insert_races = 0;
+  };
+  ConcurrencyStats concurrency_stats() const;
+  // Direct views for tests/benches. Both structures are internally
+  // synchronized; multi-step read sequences still race with writers.
   const CacheDirectory& directory() const { return directory_; }
   const DependencyRegistry& dependencies() const { return registry_; }
   DpcKey capacity() const { return directory_.capacity(); }
@@ -104,11 +128,11 @@ class BackEndMonitor {
                  std::unique_ptr<ReplacementPolicy> policy,
                  MicroTime default_ttl_micros);
 
-  // Guards directory_ and registry_ (and repository attachment state).
-  mutable std::mutex mu_;
-  CacheDirectory directory_;
-  DependencyRegistry registry_;
+  CacheDirectory directory_;    // Internally striped.
+  DependencyRegistry registry_; // Internally synchronized.
   MicroTime default_ttl_micros_;
+  // Guards only the repository attachment state below.
+  mutable std::mutex attach_mu_;
   storage::ContentRepository* repository_ = nullptr;
   storage::UpdateBus::SubscriptionId subscription_ = 0;
 };

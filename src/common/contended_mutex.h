@@ -1,0 +1,45 @@
+#ifndef DYNAPROX_COMMON_CONTENDED_MUTEX_H_
+#define DYNAPROX_COMMON_CONTENDED_MUTEX_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+namespace dynaprox::common {
+
+// A std::mutex that counts contended acquisitions: lock() first tries
+// try_lock() and only counts (then blocks) when another thread already
+// holds the mutex. Lockable, so std::lock_guard/std::unique_lock work
+// unchanged. The count is a relaxed atomic — cheap enough to stay on in
+// production; the BEM's stripe-contention and free-list-contention
+// metrics (docs/observability.md) are fed from it. On a 1-core host this
+// counter is also the proof that striping matters: thread-count
+// ablations report contended acquisitions instead of wall-clock.
+class ContendedMutex {
+ public:
+  ContendedMutex() = default;
+  ContendedMutex(const ContendedMutex&) = delete;
+  ContendedMutex& operator=(const ContendedMutex&) = delete;
+
+  void lock() {
+    if (!mu_.try_lock()) {
+      contended_.fetch_add(1, std::memory_order_relaxed);
+      mu_.lock();
+    }
+  }
+  void unlock() { mu_.unlock(); }
+  bool try_lock() { return mu_.try_lock(); }
+
+  // Acquisitions that found the mutex held and had to wait.
+  uint64_t contended_acquisitions() const {
+    return contended_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::mutex mu_;
+  std::atomic<uint64_t> contended_{0};
+};
+
+}  // namespace dynaprox::common
+
+#endif  // DYNAPROX_COMMON_CONTENDED_MUTEX_H_

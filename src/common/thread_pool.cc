@@ -1,0 +1,83 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace dynaprox::common {
+
+ThreadPool::ThreadPool(ThreadPoolOptions options)
+    : queue_capacity_(std::max<size_t>(options.queue_capacity, 1)) {
+  int threads = std::max(options.num_threads, 0);
+  workers_.reserve(static_cast<size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back(&ThreadPool::WorkerLoop, this);
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Submit(Task task) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::unique_lock<ContendedMutex> lock(mu_);
+    if (!shutting_down_ && !workers_.empty() &&
+        queue_.size() < queue_capacity_) {
+      queue_.push_back(std::move(task));
+      peak_queue_depth_ = std::max<uint64_t>(peak_queue_depth_, queue_.size());
+      lock.unlock();
+      cv_.notify_one();
+      return;
+    }
+  }
+  // Caller-runs backpressure: full queue, no workers, or shutting down.
+  caller_runs_.fetch_add(1, std::memory_order_relaxed);
+  task();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<ContendedMutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // Shutting down and drained.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    executed_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ThreadPool::Shutdown() {
+  {
+    std::lock_guard<ContendedMutex> lock(mu_);
+    if (shutting_down_) {
+      // A second Shutdown (e.g. explicit call then destructor) has nothing
+      // left to join — the first call swallowed the worker handles.
+      return;
+    }
+    shutting_down_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+ThreadPoolStats ThreadPool::stats() const {
+  ThreadPoolStats stats;
+  stats.submitted = submitted_.load(std::memory_order_relaxed);
+  stats.executed = executed_.load(std::memory_order_relaxed);
+  stats.caller_runs = caller_runs_.load(std::memory_order_relaxed);
+  stats.queue_contentions = mu_.contended_acquisitions();
+  stats.threads = static_cast<int>(workers_.size());
+  {
+    std::lock_guard<ContendedMutex> lock(mu_);
+    stats.queue_depth = queue_.size();
+    stats.peak_queue_depth = peak_queue_depth_;
+  }
+  return stats;
+}
+
+}  // namespace dynaprox::common

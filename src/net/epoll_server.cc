@@ -167,9 +167,13 @@ class EpollServer::Worker {
         if (errno == ECONNABORTED) continue;  // Peer gave up; next one.
         if (errno == EAGAIN || errno == EWOULDBLOCK) return;  // Drained.
         if (errno == EMFILE || errno == ENFILE) {
-          // Fd exhaustion persists across accept rounds; log it once per
-          // server rather than once per event.
-          if (!server_->accept_fd_exhaustion_logged_.exchange(true)) {
+          // Fd exhaustion persists across accept rounds; log and count it
+          // once per *episode* — the flag re-arms on the next successful
+          // accept, so a later outage is reported again rather than
+          // silenced for the rest of the server's life.
+          if (!server_->accept_fd_exhausted_.exchange(true)) {
+            server_->counters_->accept_fd_exhaustion_episodes.fetch_add(
+                1, kRelaxed);
             DYNAPROX_LOG(kError, "epoll")
                 << "accept4: " << std::strerror(errno)
                 << " (fd limit reached; dropping new connections)";
@@ -179,6 +183,13 @@ class EpollServer::Worker {
         DYNAPROX_LOG(kWarning, "epoll")
             << "accept4: " << std::strerror(errno);
         return;
+      }
+      // Accept works again: re-arm per-episode exhaustion reporting. The
+      // load screens out the common case so the hot path stays write-free;
+      // the exchange makes sure only one worker logs the recovery.
+      if (server_->accept_fd_exhausted_.load(kRelaxed) &&
+          server_->accept_fd_exhausted_.exchange(false)) {
+        DYNAPROX_LOG(kInfo, "epoll") << "accept4: fd exhaustion cleared";
       }
       IngressCounters& counters = *server_->counters_;
       const ServerLimits& limits = server_->limits_;

@@ -85,9 +85,11 @@ class EpollServer {
   // This server's open connections, distinct from the (possibly shared)
   // IngressCounters gauge; Stop(drain) polls it to detect completion.
   std::atomic<int64_t> live_connections_{0};
-  // Set by the first worker that hits EMFILE/ENFILE so the condition is
-  // logged once per server, not once per accept round.
-  std::atomic<bool> accept_fd_exhaustion_logged_{false};
+  // Set by the first worker that hits EMFILE/ENFILE so one sustained
+  // exhaustion is logged (and counted as an episode) once, not once per
+  // accept round — and cleared again when any worker accepts
+  // successfully, so the *next* outage is reported too.
+  std::atomic<bool> accept_fd_exhausted_{false};
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
 };

@@ -92,6 +92,9 @@ void RegisterIngressMetrics(metrics::Registry& registry,
   counter("drained_connections_total",
           "Connections that completed during graceful drain.",
           &counters->drained_connections);
+  counter("accept_fd_exhaustion_episodes_total",
+          "Episodes of EMFILE/ENFILE at accept (one per sustained outage).",
+          &counters->accept_fd_exhaustion_episodes);
 }
 
 void WriteIngressStatusBlock(JsonWriter& json,
@@ -115,6 +118,8 @@ void WriteIngressStatusBlock(JsonWriter& json,
   json.Key("oversize_bodies").Uint(load64(counters.oversize_bodies));
   json.Key("drained_connections")
       .Uint(load64(counters.drained_connections));
+  json.Key("accept_fd_exhaustion_episodes")
+      .Uint(load64(counters.accept_fd_exhaustion_episodes));
   json.EndObject();
 }
 

@@ -38,6 +38,11 @@ struct IngressCounters {
   std::atomic<uint64_t> oversize_headers{0};   // 431 sent.
   std::atomic<uint64_t> oversize_bodies{0};    // 413 sent.
   std::atomic<uint64_t> drained_connections{0};  // Finished during drain.
+  // Accept hit EMFILE/ENFILE. Counts *episodes* (entries into the
+  // exhausted state), not failed accept() calls: during one sustained
+  // exhaustion the servers log once and count once, and both re-arm when
+  // an accept succeeds again.
+  std::atomic<uint64_t> accept_fd_exhaustion_episodes{0};
 };
 
 // Ingress-protection configuration shared by both server implementations.

@@ -139,18 +139,41 @@ void TcpServer::Stop() {
   ::close(listen_fd_);
   if (accept_thread_.joinable()) accept_thread_.join();
   listen_fd_ = -1;
-  std::vector<std::thread> threads;
+  std::map<std::thread::id, std::thread> live;
+  std::vector<std::thread> finished;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    threads.swap(connection_threads_);
+    live.swap(connection_threads_);
+    finished.swap(finished_threads_);
     // Unblock connection threads parked in recv() on live keep-alive
     // connections; they observe EOF and exit.
     for (int fd : active_fds_) ::shutdown(fd, SHUT_RDWR);
   }
-  for (std::thread& t : threads) {
+  for (auto& [id, t] : live) {
+    if (t.joinable()) t.join();
+  }
+  for (std::thread& t : finished) {
     if (t.joinable()) t.join();
   }
   active_fds_.clear();
+}
+
+size_t TcpServer::connection_thread_handles() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return connection_threads_.size() + finished_threads_.size();
+}
+
+void TcpServer::ReapFinishedThreads() {
+  std::vector<std::thread> finished;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    finished.swap(finished_threads_);
+  }
+  // Joins are near-instant: each thread parked its handle as its last
+  // locked action before returning.
+  for (std::thread& t : finished) {
+    if (t.joinable()) t.join();
+  }
 }
 
 void TcpServer::AcceptLoop() {
@@ -158,8 +181,31 @@ void TcpServer::AcceptLoop() {
     int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
+      if (errno == ECONNABORTED) continue;  // Peer gave up; next one.
+      if (errno == EMFILE || errno == ENFILE) {
+        // Fd exhaustion is an episode, not a fatal listener error: keep
+        // the accept loop alive, log/count once per episode, and back off
+        // so a sustained outage doesn't spin the thread.
+        if (!fd_exhausted_) {
+          fd_exhausted_ = true;
+          counters_->accept_fd_exhaustion_episodes.fetch_add(1, kRelaxed);
+          DYNAPROX_LOG(kError, "tcp")
+              << "accept: " << std::strerror(errno)
+              << " (fd limit reached; dropping new connections)";
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      }
       break;  // Listener closed by Stop().
     }
+    if (fd_exhausted_) {
+      // Accept works again: re-arm per-episode logging.
+      fd_exhausted_ = false;
+      DYNAPROX_LOG(kInfo, "tcp") << "accept: fd exhaustion cleared";
+    }
+    // Join connection threads that finished since the last accept; handles
+    // must not pile up for the lifetime of the server.
+    ReapFinishedThreads();
     // Enforce the cap against this server's own count, not the exported
     // gauge: ServerLimits::counters may be shared across servers, and a
     // shared gauge would count foreign connections toward our cap.
@@ -178,7 +224,11 @@ void TcpServer::AcceptLoop() {
     counters_->open_connections.fetch_add(1, kRelaxed);
     live_connections_.fetch_add(1, kRelaxed);
     active_fds_.push_back(fd);
-    connection_threads_.emplace_back(&TcpServer::ServeConnection, this, fd);
+    // The new thread deregisters itself under mu_ (held here), so the
+    // handle is always in the map before the thread can try to remove it.
+    std::thread thread(&TcpServer::ServeConnection, this, fd);
+    std::thread::id id = thread.get_id();
+    connection_threads_.emplace(id, std::move(thread));
   }
 }
 
@@ -298,6 +348,14 @@ void TcpServer::ServeConnection(int fd) {
     active_fds_.erase(
         std::remove(active_fds_.begin(), active_fds_.end(), fd),
         active_fds_.end());
+    // Park this thread's own handle for the accept loop (or Stop) to
+    // join; keeping it in the live map would leak one dead handle per
+    // connection ever served.
+    auto self = connection_threads_.find(std::this_thread::get_id());
+    if (self != connection_threads_.end()) {
+      finished_threads_.push_back(std::move(self->second));
+      connection_threads_.erase(self);
+    }
   }
   counters_->open_connections.fetch_sub(1, kRelaxed);
   live_connections_.fetch_sub(1, kRelaxed);

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -56,9 +57,17 @@ class TcpServer {
   // else an internal instance.
   const IngressCounters& ingress() const { return *counters_; }
 
+  // Connection-thread handles currently held (live + finished-awaiting-
+  // join). Regression hook: finished handles are reaped eagerly on the
+  // accept path, so this tracks concurrent connections, not the total ever
+  // accepted.
+  size_t connection_thread_handles() const;
+
  private:
   void AcceptLoop();
   void ServeConnection(int fd);
+  // Joins connection threads that have already deregistered themselves.
+  void ReapFinishedThreads();
 
   Handler handler_;
   uint16_t port_;
@@ -72,9 +81,15 @@ class TcpServer {
   // this, never against the (possibly shared) IngressCounters gauge.
   std::atomic<int64_t> live_connections_{0};
   std::thread accept_thread_;
-  std::mutex mu_;
-  std::vector<std::thread> connection_threads_;
+  mutable std::mutex mu_;
+  // Live connection threads by id. A thread moves its own handle to
+  // finished_threads_ as it exits; the accept loop joins those eagerly,
+  // so handles no longer accumulate for the lifetime of the server.
+  std::map<std::thread::id, std::thread> connection_threads_;  // By mu_.
+  std::vector<std::thread> finished_threads_;                  // By mu_.
   std::vector<int> active_fds_;  // Guarded by mu_; shut down in Stop().
+  // Accept-thread only: are we inside an EMFILE/ENFILE episode?
+  bool fd_exhausted_ = false;
 };
 
 struct TcpClientOptions {

@@ -22,8 +22,8 @@ SyntheticSite::SyntheticSite(const analytical::ModelParams& params,
     : params_(params),
       options_(options),
       spec_(analytical::SiteSpec::Uniform(params)),
-      rng_(seed),
-      repository_(repository) {
+      repository_(repository),
+      rng_(seed) {
   int total_positions = params.num_pages * params.fragments_per_page;
   int slots = options_.fragment_pool > 0
                   ? std::min(options_.fragment_pool, total_positions)
@@ -96,12 +96,18 @@ Status SyntheticSite::RunPageScript(appserver::ScriptContext& context) {
       continue;
     }
     // Hit-ratio control: bump the version with probability (1 - h).
-    ++accesses_;
-    if (rng_.NextBool(1.0 - params_.hit_ratio)) {
-      ++bumps_;
-      ++versions_[slot];
+    // Server threads run this script concurrently; the version/RNG state
+    // is shared across all of them.
+    uint64_t version;
+    {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      ++accesses_;
+      if (rng_.NextBool(1.0 - params_.hit_ratio)) {
+        ++bumps_;
+        ++versions_[slot];
+      }
+      version = versions_[slot];
     }
-    uint64_t version = versions_[slot];
     bem::FragmentId fragment_id(SlotRowKey(slot),
                                 {{"v", std::to_string(version)}});
     Status status = context.CacheableBlock(

@@ -2,6 +2,7 @@
 #define DYNAPROX_WORKLOAD_SYNTHETIC_SITE_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,11 @@ namespace dynaprox::workload {
 // with probability (1 - h). A bumped version changes the fragmentID, which
 // forces a directory miss; an unbumped one hits (after first touch). The
 // long-run hit fraction therefore converges to h.
+//
+// Thread-safe: the multi-threaded servers (TcpServer, EpollServer
+// workers) run the page script concurrently, so the version/RNG state is
+// guarded by one mutex. Fragment bodies read the repository, which is
+// internally synchronized — generators may run on block-pool threads.
 struct SyntheticSiteOptions {
   // Size of a shared fragment pool. 0 gives every page its own fragments
   // (the closed forms' uniform site). A positive pool realizes the
@@ -51,8 +57,14 @@ class SyntheticSite {
 
   // Accesses (cacheable-fragment uses) and version bumps so far; their
   // complement ratio is the realized upper bound on the hit ratio.
-  uint64_t fragment_accesses() const { return accesses_; }
-  uint64_t version_bumps() const { return bumps_; }
+  uint64_t fragment_accesses() const {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    return accesses_;
+  }
+  uint64_t version_bumps() const {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    return bumps_;
+  }
 
   // Distinct fragment slots (pool size when sharing, pages * fragments
   // otherwise).
@@ -71,8 +83,11 @@ class SyntheticSite {
   analytical::ModelParams params_;
   SyntheticSiteOptions options_;
   analytical::SiteSpec spec_;
-  Rng rng_;
   storage::ContentRepository* repository_;
+  // Mutable hit-ratio state, shared by every server thread running the
+  // page script; state_mu_ guards all four.
+  mutable std::mutex state_mu_;
+  Rng rng_;
   std::vector<uint64_t> versions_;  // Indexed by slot.
   uint64_t accesses_ = 0;
   uint64_t bumps_ = 0;

@@ -101,6 +101,45 @@ TEST_F(OriginServerTest, RefreshHeaderInvalidatesKeys) {
   EXPECT_EQ(server.stats().fragment_misses, 2u);
 }
 
+// The cold-cache recovery race (the PR-4 loadgen A/B's occasional
+// cold-round template_error): the DPC refreshes key k, the origin
+// invalidates it, but a concurrent request re-inserts the fragment before
+// the refresh re-render's lookup. The lookup would then hit and emit GET
+// for content whose SET is still in flight inside the *other* response —
+// and the DPC's retry fails again. The script below replays that
+// interleaving deterministically: the re-insert runs after
+// HandleRefreshHeader but before the script's CacheableBlock, exactly
+// where the concurrent request's insert lands.
+TEST_F(OriginServerTest, RefreshForcesMissDespiteConcurrentReinsert) {
+  auto monitor = MakeMonitor();
+  bem::BackEndMonitor* raw = monitor.get();
+  registry_.RegisterOrReplace("/race", [raw](ScriptContext& context) {
+    if (context.request().headers.Has("X-Test-Reinsert")) {
+      Result<bem::DpcKey> reinserted =
+          raw->InsertFragment(bem::FragmentId("r"));
+      EXPECT_TRUE(reinserted.ok());
+    }
+    return context.CacheableBlock(bem::FragmentId("r"),
+                                  [](ScriptContext& ctx) {
+                                    ctx.Emit("fresh content");
+                                    return Status::Ok();
+                                  });
+  });
+  OriginServer server(&registry_, &repository_, raw);
+  EXPECT_EQ(server.Handle(Get("/race")).status_code, 200);  // Cold SET.
+  bem::DpcKey key = *raw->directory().KeyOf(bem::FragmentId("r"));
+
+  http::Request refresh = Get("/race");
+  refresh.headers.Add(bem::kRefreshHeader, ToHex(key));
+  refresh.headers.Add("X-Test-Reinsert", "1");
+  http::Response response = server.Handle(refresh);
+  EXPECT_EQ(response.status_code, 200);
+  EXPECT_EQ(server.stats().refresh_invalidations, 1u);
+  // The refresh response must carry the content inline (a SET tag), never
+  // a GET for the content the DPC just said it was missing.
+  EXPECT_NE(response.body.find("fresh content"), std::string::npos);
+}
+
 TEST_F(OriginServerTest, MalformedRefreshKeysIgnored) {
   auto monitor = MakeMonitor();
   OriginServer server(&registry_, &repository_, monitor.get());

@@ -1,0 +1,143 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dynaprox::common {
+namespace {
+
+TEST(ThreadPoolTest, ExecutesSubmittedTasks) {
+  ThreadPool pool({.num_threads = 2, .queue_capacity = 16});
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 32; ++i) {
+    pool.Submit([&ran] { ran.fetch_add(1); });
+  }
+  pool.Shutdown();
+  EXPECT_EQ(ran.load(), 32);
+  ThreadPoolStats stats = pool.stats();
+  EXPECT_EQ(stats.submitted, 32u);
+  EXPECT_EQ(stats.executed + stats.caller_runs, 32u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+}
+
+TEST(ThreadPoolTest, ZeroWorkersRunsEverythingInline) {
+  ThreadPool pool({.num_threads = 0, .queue_capacity = 16});
+  EXPECT_EQ(pool.num_threads(), 0);
+  std::thread::id caller = std::this_thread::get_id();
+  std::thread::id ran_on;
+  pool.Submit([&ran_on] { ran_on = std::this_thread::get_id(); });
+  EXPECT_EQ(ran_on, caller);
+  ThreadPoolStats stats = pool.stats();
+  EXPECT_EQ(stats.caller_runs, 1u);
+  EXPECT_EQ(stats.executed, 0u);
+}
+
+TEST(ThreadPoolTest, FullQueueFallsBackToCallerRuns) {
+  ThreadPool pool({.num_threads = 1, .queue_capacity = 1});
+  // Plug the single worker so the queue backs up deterministically.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<bool> entered{false};
+  pool.Submit([&] {
+    entered.store(true);
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  });
+  while (!entered.load()) std::this_thread::yield();
+  // Worker busy, queue empty; this one waits in the queue.
+  std::atomic<int> ran{0};
+  pool.Submit([&ran] { ran.fetch_add(1); });
+  // Queue full: must run inline, not block.
+  std::thread::id caller = std::this_thread::get_id();
+  std::thread::id ran_on;
+  pool.Submit([&ran_on, &ran] {
+    ran_on = std::this_thread::get_id();
+    ran.fetch_add(1);
+  });
+  EXPECT_EQ(ran_on, caller);
+  EXPECT_GE(pool.stats().caller_runs, 1u);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  pool.Shutdown();
+  EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool({.num_threads = 2, .queue_capacity = 64});
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&ran] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        ran.fetch_add(1);
+      });
+    }
+    // Destructor shuts down: every submitted task must still run.
+  }
+  EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownRunsInline) {
+  ThreadPool pool({.num_threads = 1, .queue_capacity = 4});
+  pool.Shutdown();
+  std::atomic<int> ran{0};
+  pool.Submit([&ran] { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 1);
+  pool.Shutdown();  // Idempotent.
+}
+
+TEST(ThreadPoolTest, ConcurrentSubmittersAllComplete) {
+  ThreadPool pool({.num_threads = 4, .queue_capacity = 8});
+  std::atomic<int> ran{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 4; ++t) {
+    submitters.emplace_back([&pool, &ran] {
+      for (int i = 0; i < 200; ++i) {
+        pool.Submit([&ran] { ran.fetch_add(1); });
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  pool.Shutdown();
+  EXPECT_EQ(ran.load(), 800);
+  ThreadPoolStats stats = pool.stats();
+  EXPECT_EQ(stats.submitted, 800u);
+  EXPECT_EQ(stats.executed + stats.caller_runs, 800u);
+}
+
+TEST(ThreadPoolTest, TracksPeakQueueDepth) {
+  ThreadPool pool({.num_threads = 1, .queue_capacity = 8});
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<bool> entered{false};
+  pool.Submit([&] {
+    entered.store(true);
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  });
+  while (!entered.load()) std::this_thread::yield();
+  for (int i = 0; i < 5; ++i) {
+    pool.Submit([] {});
+  }
+  EXPECT_GE(pool.stats().peak_queue_depth, 5u);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  pool.Shutdown();
+}
+
+}  // namespace
+}  // namespace dynaprox::common

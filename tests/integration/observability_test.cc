@@ -322,9 +322,13 @@ TEST_F(ObservabilityTest, OriginStatusSkeletonIsByteCompatible) {
       "{\"component\":\"origin\",\"caching_enabled\":true,\"requests\":N,"
       "\"not_found\":N,\"script_errors\":N,\"refresh_invalidations\":N,"
       "\"body_bytes_sent\":N,\"fragments\":{\"hits\":N,\"misses\":N,"
-      "\"uncacheable\":N},\"directory\":{\"capacity\":N,\"hits\":N,"
+      "\"uncacheable\":N,\"parallel_blocks\":N},\"directory\":{"
+      "\"capacity\":N,\"hits\":N,"
       "\"misses\":N,\"hit_ratio\":N,\"inserts\":N,\"ttl_invalidations\":N,"
       "\"explicit_invalidations\":N,\"evictions\":N,"
+      "\"concurrency\":{\"stripe_contentions\":N,\"policy_contentions\":N,"
+      "\"free_list_contentions\":N,\"registry_contentions\":N,"
+      "\"insert_races\":N},"
       "\"sample_entries\":[{\"fragment\":\"f\",\"key\":N,\"valid\":true,"
       "\"age_s\":N}]}}");
 }

@@ -1,11 +1,14 @@
 #include "net/epoll_server.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <sys/resource.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 #include <vector>
 
@@ -270,6 +273,75 @@ TEST(EpollServerTest, ConnectionCloseHeaderHonored) {
   EXPECT_NE(received.find("Connection: close"), std::string::npos);
   EXPECT_NE(received.find("path=/x"), std::string::npos);
   ::close(fd);
+  server.Stop();
+}
+
+// Fills the fd table (after clamping RLIMIT_NOFILE so this stays fast),
+// returning the dummy fds that hold it full.
+std::vector<int> FillFdTable() {
+  std::vector<int> dummies;
+  for (;;) {
+    int fd = ::open("/dev/null", O_RDONLY);
+    if (fd < 0) break;
+    dummies.push_back(fd);
+  }
+  return dummies;
+}
+
+TEST(EpollServerTest, FdExhaustionIsCountedPerEpisode) {
+  EpollServer server(EchoHandler);
+  ASSERT_TRUE(server.Start().ok());
+
+  rlimit original{};
+  ASSERT_EQ(::getrlimit(RLIMIT_NOFILE, &original), 0);
+  rlimit tight = original;
+  tight.rlim_cur = 128;
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &tight), 0);
+
+  for (uint64_t episode = 1; episode <= 2; ++episode) {
+    // Let the previous episode's server-side connections close before
+    // filling the table — an fd they free afterwards would give the
+    // accept a spare slot and mask the outage.
+    for (int i = 0; i < 200 && server.ingress().open_connections.load() > 0;
+         ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    std::vector<int> dummies = FillFdTable();
+    ASSERT_FALSE(dummies.empty());
+    // Free exactly one fd: the client's socket takes it, so accept4 wakes
+    // with nothing left and fails with EMFILE.
+    ::close(dummies.back());
+    dummies.pop_back();
+    {
+      TcpClientOptions options;
+      options.io_timeout_micros = 300 * kMicrosPerMilli;
+      TcpClientTransport starved("127.0.0.1", server.port(), options);
+      http::Request request;
+      // May fail or succeed depending on kernel fd accounting; only the
+      // episode bookkeeping below is deterministic.
+      (void)starved.RoundTrip(request);
+    }
+    uint64_t episodes =
+        server.ingress().accept_fd_exhaustion_episodes.load();
+    for (int i = 0; i < 200 && episodes < episode; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      episodes = server.ingress().accept_fd_exhaustion_episodes.load();
+    }
+    // One count per sustained outage, not one per accept round — the
+    // level-triggered listener retries continuously while starved.
+    EXPECT_EQ(episodes, episode);
+    for (int fd : dummies) ::close(fd);
+    // A successful accept re-arms the episode reporting — without it the
+    // next outage would go uncounted (the pre-fix behaviour: the flag was
+    // set once and never reset).
+    TcpClientTransport recovered("127.0.0.1", server.port());
+    http::Request request;
+    ASSERT_TRUE(recovered.RoundTrip(request).ok());
+  }
+
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &original), 0);
+  EXPECT_EQ(server.ingress().accept_fd_exhaustion_episodes.load(), 2u);
   server.Stop();
 }
 

@@ -6,6 +6,7 @@
 //   ./dynaprox_origin --port=8081 --pages=10 --fragments=4
 //       --fragment-size=1000 --hit-ratio=0.8 [--no-bem] [--capacity=4096]
 //       [--sweep-interval-ms=1000] [--server=threads|epoll] [--workers=4]
+//       [--block-workers=0] [--block-queue=256]
 //       [--metrics=true] [--access-log=PATH]
 //       [--max-connections=0] [--max-inflight=0]
 //       [--header-timeout=0] [--idle-timeout=0] [--write-stall-timeout=0]
@@ -18,6 +19,12 @@
 // disconnect slowloris/idle/stalled clients, the byte caps answer
 // 431/413, and --drain-timeout (milliseconds) drains in-flight requests
 // before shutdown.
+//
+// --block-workers > 0 runs independent cacheable-block miss generators of
+// one page concurrently on a shared thread pool (BEM mode only; the
+// assembled template is byte-identical to sequential execution).
+// --block-queue bounds the pool's task queue; overflow degrades to
+// inline (caller-runs) execution. See docs/threading-model.md.
 //
 // A JSON status document is served at /_dynaprox/status and (unless
 // --metrics=false) the Prometheus text exposition at /_dynaprox/metrics.
@@ -72,11 +79,13 @@ int main(int argc, char** argv) {
   Result<int64_t> max_header_bytes = flags->GetInt("max-header-bytes", 0);
   Result<int64_t> max_body_bytes = flags->GetInt("max-body-bytes", 0);
   Result<int64_t> drain_timeout_ms = flags->GetInt("drain-timeout", 0);
+  Result<int64_t> block_workers = flags->GetInt("block-workers", 0);
+  Result<int64_t> block_queue = flags->GetInt("block-queue", 256);
   for (const auto* r : {&port, &pages, &fragments, &capacity, &sweep_ms,
                         &seed, &max_connections, &max_inflight,
                         &header_timeout_ms, &idle_timeout_ms,
                         &write_stall_ms, &max_header_bytes, &max_body_bytes,
-                        &drain_timeout_ms}) {
+                        &drain_timeout_ms, &block_workers, &block_queue}) {
     if (!r->ok()) {
       std::fprintf(stderr, "%s\n", r->status().ToString().c_str());
       return 2;
@@ -149,6 +158,8 @@ int main(int argc, char** argv) {
   origin_options.enable_metrics = flags->GetBool("metrics", true);
   origin_options.access_log = access_log.get();
   origin_options.ingress = &ingress;
+  origin_options.block_workers = static_cast<int>(*block_workers);
+  origin_options.block_queue_capacity = static_cast<size_t>(*block_queue);
   appserver::OriginServer origin(&registry, &repository, monitor.get(),
                                  origin_options);
 
