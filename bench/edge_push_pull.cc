@@ -1,0 +1,207 @@
+// Edge-tier extension bench: push-based refresh vs pull-through recovery
+// on a 3-node DPC cluster (docs/edge-tier.md).
+//
+// Sweeps update locality (updates hitting hot vs cold fragments) against
+// three refresh configs:
+//   pull       — paper behaviour: invalidations wait for client demand
+//   push(k=4)  — control channel with popularity*update-rate admission
+//   push(all)  — control channel with no admission filter
+//
+// Staleness is measured identically in every config through the shared
+// invalidate->reinsert histogram (appserver::PushEngine::staleness), so
+// the regimes are directly comparable: push wins when updates land on hot
+// fragments (staleness collapses, origin bytes drop because the refreshed
+// directory entry spares the full-template SET miss); pull wins bytes
+// when updates land on cold fragments nobody re-reads (push(all) ships
+// bodies no client ever asks for, while admission tracks pull).
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "appserver/origin_server.h"
+#include "appserver/push_engine.h"
+#include "bench_util.h"
+#include "common/clock.h"
+#include "common/rng.h"
+#include "edge/cluster.h"
+#include "net/byte_meter.h"
+#include "net/transport.h"
+#include "storage/table.h"
+
+namespace {
+
+using namespace dynaprox;  // Bench binary: brevity over style here.
+
+constexpr int kPages = 50;
+constexpr int kRequests = 3000;
+constexpr int kUpdateEvery = 5;   // One data-source update per 5 requests.
+constexpr int kClients = 32;
+constexpr double kZipfAlpha = 1.0;
+
+struct Config {
+  const char* name;
+  double min_score;  // Push admission threshold; huge == pull-only.
+  bool drain;        // Whether the BEM drains the push queue.
+};
+
+struct Outcome {
+  uint64_t origin_bytes = 0;
+  uint64_t peer_bytes = 0;
+  uint64_t pushes = 0;
+  uint64_t skipped_cold = 0;
+  uint64_t recoveries = 0;
+  uint64_t closed_windows = 0;
+  double staleness_p50 = 0;
+  double staleness_p99 = 0;
+  int errors = 0;
+};
+
+Outcome Run(const Config& config, bool hot_updates) {
+  SimClock clock;
+  storage::ContentRepository repository;
+  storage::Table* rows = repository.GetOrCreateTable("rows");
+  for (int i = 0; i < kPages; ++i) {
+    rows->Upsert("r" + std::to_string(i),
+                 {{"v", storage::Value(static_cast<double>(i))}});
+  }
+
+  appserver::ScriptRegistry registry;
+  const std::string padding(600, 'x');
+  for (int i = 0; i < kPages; ++i) {
+    std::string row_key = "r" + std::to_string(i);
+    registry.RegisterOrReplace(
+        "/p" + std::to_string(i),
+        [i, row_key, &padding](appserver::ScriptContext& context) {
+          return context.CacheableBlock(
+              bem::FragmentId("frag" + std::to_string(i)),
+              [&](appserver::ScriptContext& ctx) {
+                storage::Row row =
+                    *(*ctx.repository()->GetTable("rows"))->Get(row_key);
+                ctx.DeclareDependency("rows", row_key);
+                ctx.Emit(storage::ValueToString(row.at("v")) + padding);
+                return Status::Ok();
+              });
+        });
+  }
+
+  bem::BemOptions bem_options;
+  bem_options.capacity = 256;
+  bem_options.clock = &clock;
+  auto monitor = *bem::BackEndMonitor::Create(bem_options);
+  monitor->AttachRepository(&repository);
+
+  bem::PushPolicy policy;
+  policy.min_score = config.min_score;
+  appserver::PushEngine engine(policy, &clock);
+  monitor->SetObserver(&engine.scheduler());
+
+  appserver::OriginOptions origin_options;
+  origin_options.clock = &clock;
+  origin_options.push_engine = &engine;
+  appserver::OriginServer server(&registry, &repository, monitor.get(),
+                                 origin_options);
+  engine.AttachOrigin(&server);
+
+  net::ByteMeter origin_meter, peer_meter;
+  auto origin_direct =
+      std::make_unique<net::DirectTransport>(server.AsHandler());
+  net::MeteredTransport origin_link(std::move(origin_direct), nullptr,
+                                    &origin_meter);
+
+  edge::EdgeClusterOptions cluster_options;
+  cluster_options.proxy.capacity = 256;
+  cluster_options.proxy.clock = &clock;
+  cluster_options.peer_meter = &peer_meter;
+  edge::EdgeCluster cluster(&origin_link, cluster_options);
+  for (const char* node : {"edge-us", "edge-eu", "edge-ap"}) {
+    if (!cluster.AddEdge(node).ok()) return {};
+  }
+  engine.set_sink([&cluster](const std::string&, bem::DpcKey key,
+                             const std::string& body, MicroTime age) {
+    return cluster.ApplyPush(key, body, age);
+  });
+
+  ZipfSampler pages(kPages, kZipfAlpha);
+  Rng rng(42);
+  Outcome outcome;
+  double version = 1000.0;
+  for (int i = 0; i < kRequests; ++i) {
+    clock.AdvanceMicros(20000);  // 20 ms between request arrivals.
+    if (i % kUpdateEvery == 0 && i > 0) {
+      // Hot regime: updates follow request popularity. Cold regime:
+      // updates hit the anti-popular tail.
+      size_t rank = pages.Sample(rng);
+      if (!hot_updates) rank = kPages - 1 - rank;
+      rows->Upsert("r" + std::to_string(rank),
+                   {{"v", storage::Value(version += 1.0)}});
+      if (config.drain) {
+        // The BEM-side drain runs off-request (timer); give it a realistic
+        // 5 ms lag behind the invalidation.
+        clock.AdvanceMicros(5000);
+        (void)engine.Drain();
+      }
+    }
+    http::Request request;
+    request.target = "/p" + std::to_string(pages.Sample(rng));
+    request.headers.Add(
+        "X-Client",
+        "client" + std::to_string(rng.NextBounded(kClients)));
+    if (cluster.Handle(request).status_code != 200) ++outcome.errors;
+  }
+
+  outcome.origin_bytes = origin_meter.payload_bytes();
+  outcome.peer_bytes = peer_meter.payload_bytes();
+  outcome.pushes = engine.stats().pushed;
+  outcome.skipped_cold = engine.scheduler().stats().skipped_cold;
+  for (const char* node : {"edge-us", "edge-eu", "edge-ap"}) {
+    outcome.recoveries += (*cluster.NodeProxy(node))->stats().recoveries;
+  }
+  metrics::LatencyHistogram::Snapshot staleness =
+      engine.staleness().snapshot();
+  outcome.closed_windows = staleness.count;
+  outcome.staleness_p50 = staleness.Percentile(0.5);
+  outcome.staleness_p99 = staleness.Percentile(0.99);
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== Edge extension: push vs pull refresh on a 3-node cluster ===\n");
+  std::printf(
+      "pages=%d requests=%d update_every=%d zipf_alpha=%.1f "
+      "(staleness over closed invalidate->reinsert windows only)\n\n",
+      kPages, kRequests, kUpdateEvery, kZipfAlpha);
+  const Config kConfigs[] = {
+      {"pull", 1e18, false},
+      {"push(k=4)", 4.0, true},
+      {"push(all)", 0.0, true},
+  };
+  int errors = 0;
+  for (bool hot : {true, false}) {
+    std::printf("-- updates hit %s fragments --\n", hot ? "hot" : "cold");
+    std::printf("%-10s %10s %10s %10s %7s %8s %8s %10s %10s\n", "config",
+                "originB", "peerB", "totalB", "pushes", "skipped",
+                "windows", "stale_p50s", "stale_p99s");
+    for (const Config& config : kConfigs) {
+      Outcome outcome = Run(config, hot);
+      errors += outcome.errors;
+      std::printf(
+          "%-10s %10llu %10llu %10llu %7llu %8llu %8llu %10.3f %10.3f\n",
+          config.name,
+          static_cast<unsigned long long>(outcome.origin_bytes),
+          static_cast<unsigned long long>(outcome.peer_bytes),
+          static_cast<unsigned long long>(outcome.origin_bytes +
+                                          outcome.peer_bytes),
+          static_cast<unsigned long long>(outcome.pushes),
+          static_cast<unsigned long long>(outcome.skipped_cold),
+          static_cast<unsigned long long>(outcome.closed_windows),
+          outcome.staleness_p50, outcome.staleness_p99);
+    }
+    std::printf("\n");
+  }
+  benchutil::PrintFooter();
+  return errors == 0 ? 0 : 1;
+}

@@ -30,15 +30,16 @@ ctest --test-dir build-asan --output-on-failure \
   -R '^(common_test|http_test|net_test|dpc_test|integration_test|fuzz_smoke_template_chunking)$'
 
 # common_test carries the thread-pool suite, bem_test the striped
-# directory/free-list/monitor hammers, and appserver_test the parallel
-# block-execution equivalence suite (pool sizes 0/1/4) — together with
-# the multi-worker servers in net_test/integration_test these are the
-# concurrency surfaces the block-execution work added.
-echo "== tier1: TSan (common/bem/appserver/net/integration) =="
+# directory/free-list/monitor hammers (plus the push scheduler), and
+# appserver_test the parallel block-execution equivalence suite (pool
+# sizes 0/1/4) — together with the multi-worker servers in net_test/
+# integration_test and the edge-cluster peer channel in edge_test these
+# are the concurrency surfaces of the block-execution and edge-tier work.
+echo "== tier1: TSan (common/bem/appserver/net/edge/integration) =="
 cmake -B build-tsan -S . -DDYNAPROX_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j"$JOBS" --target \
-  common_test bem_test appserver_test net_test integration_test
+  common_test bem_test appserver_test net_test edge_test integration_test
 ctest --test-dir build-tsan --output-on-failure \
-  -R '^(common_test|bem_test|appserver_test|net_test|integration_test)$'
+  -R '^(common_test|bem_test|appserver_test|net_test|edge_test|integration_test)$'
 
 echo "== tier1: all green =="

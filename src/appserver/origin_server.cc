@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "appserver/push_engine.h"
 #include "bem/protocol.h"
 #include "common/json.h"
 #include "common/logging.h"
@@ -152,6 +153,52 @@ void OriginServer::RegisterMetrics() {
         [pool] { return pool->stats().queue_contentions; });
   }
 
+  if (options_.push_engine != nullptr) {
+    const PushEngine* engine = options_.push_engine;
+    registry_mx_.RegisterCallbackCounter(
+        "dynaprox_bem_push_enqueued_total",
+        "Invalidations admitted to the push queue (score >= min_score).",
+        [engine] { return engine->scheduler().stats().enqueued; });
+    registry_mx_.RegisterCallbackCounter(
+        "dynaprox_bem_push_skipped_cold_total",
+        "Invalidations below the push admission score (stay pull-on-miss).",
+        [engine] { return engine->scheduler().stats().skipped_cold; });
+    registry_mx_.RegisterCallbackCounter(
+        "dynaprox_bem_push_dropped_total",
+        "Admitted fragments dropped because the push queue was full.",
+        [engine] { return engine->scheduler().stats().dropped; });
+    registry_mx_.RegisterCallbackGauge(
+        "dynaprox_bem_push_queue_depth",
+        "Fragments waiting for a push re-render.",
+        [engine] {
+          return static_cast<double>(engine->scheduler().queue_depth());
+        });
+    registry_mx_.RegisterCallbackCounter(
+        "dynaprox_bem_push_sent_total",
+        "Fragment bodies delivered over the control channel.",
+        [engine] { return engine->stats().pushed; });
+    registry_mx_.RegisterCallbackCounter(
+        "dynaprox_bem_push_failures_total",
+        "Control-channel deliveries that failed.",
+        [engine] { return engine->stats().push_failures; });
+    registry_mx_.RegisterCallbackCounter(
+        "dynaprox_bem_push_no_producer_total",
+        "Admitted fragments with no known producing request.",
+        [engine] { return engine->stats().no_producer; });
+    registry_mx_.RegisterCallbackCounter(
+        "dynaprox_bem_push_missing_capture_total",
+        "Push re-renders that hit the directory (client refresh won).",
+        [engine] { return engine->stats().missing_capture; });
+    registry_mx_.RegisterCallbackGauge(
+        "dynaprox_bem_push_staleness_p50_seconds",
+        "Median invalidate-to-reinsert gap, all fragments (push or pull).",
+        [engine] { return engine->staleness().snapshot().Percentile(0.5); });
+    registry_mx_.RegisterCallbackGauge(
+        "dynaprox_bem_push_staleness_p99_seconds",
+        "p99 invalidate-to-reinsert gap, all fragments (push or pull).",
+        [engine] { return engine->staleness().snapshot().Percentile(0.99); });
+  }
+
   if (options_.ingress != nullptr) {
     net::RegisterIngressMetrics(registry_mx_, "dynaprox_origin_",
                                 options_.ingress);
@@ -160,6 +207,12 @@ void OriginServer::RegisterMetrics() {
 
 net::Handler OriginServer::AsHandler() {
   return [this](const http::Request& request) { return Handle(request); };
+}
+
+void OriginServer::HandleCapture(const http::Request& request,
+                                 std::vector<CapturedFragment>* captured) {
+  const char* outcome = "push_render";
+  HandleDispatch(request, &outcome, captured);
 }
 
 std::vector<std::string> OriginServer::HandleRefreshHeader(
@@ -286,6 +339,26 @@ http::Response OriginServer::RenderStatus() const {
     json.EndArray();
     json.EndObject();
   }
+  if (options_.push_engine != nullptr) {
+    const PushEngine* engine = options_.push_engine;
+    bem::PushSchedulerStats sched = engine->scheduler().stats();
+    PushEngineStats push = engine->stats();
+    metrics::LatencyHistogram::Snapshot staleness =
+        engine->staleness().snapshot();
+    json.Key("push").BeginObject();
+    json.Key("enqueued").Uint(sched.enqueued);
+    json.Key("skipped_cold").Uint(sched.skipped_cold);
+    json.Key("dropped").Uint(sched.dropped);
+    json.Key("queue_depth")
+        .Uint(static_cast<uint64_t>(engine->scheduler().queue_depth()));
+    json.Key("sent").Uint(push.pushed);
+    json.Key("failures").Uint(push.push_failures);
+    json.Key("no_producer").Uint(push.no_producer);
+    json.Key("missing_capture").Uint(push.missing_capture);
+    json.Key("staleness_p50_s").Double(staleness.Percentile(0.5));
+    json.Key("staleness_p99_s").Double(staleness.Percentile(0.99));
+    json.EndObject();
+  }
   if (options_.ingress != nullptr) {
     net::WriteIngressStatusBlock(json, *options_.ingress);
   }
@@ -331,8 +404,9 @@ http::Response OriginServer::Handle(const http::Request& request) {
   return response;
 }
 
-http::Response OriginServer::HandleDispatch(const http::Request& request,
-                                            const char** outcome) {
+http::Response OriginServer::HandleDispatch(
+    const http::Request& request, const char** outcome,
+    std::vector<CapturedFragment>* capture) {
   std::vector<std::string> refreshed = HandleRefreshHeader(request);
 
   // Normalized dispatch: "/a/../hello" and "/hello//" reach the same
@@ -348,6 +422,7 @@ http::Response OriginServer::HandleDispatch(const http::Request& request,
 
   ScriptContext context(request, repository_, monitor_, &script_metrics_,
                         block_pool_.get());
+  if (capture != nullptr) context.SetFragmentCapture(capture);
   // A refreshed fragment must re-render even if a concurrent request
   // re-inserted it after the invalidation above — the DPC is retrying
   // precisely because it does not have this content (see ForceMiss).
@@ -371,6 +446,15 @@ http::Response OriginServer::HandleDispatch(const http::Request& request,
 
   http::Response response = context.TakeResponse(bem::kTemplateHeader);
   ApplyHeaderPadding(response);
+
+  if (options_.push_engine != nullptr) {
+    // Remember which request produces each fragment, so the push engine
+    // can re-render it when an invalidation is admitted for push.
+    for (const auto& [canonical, key] : context.inserted()) {
+      (void)key;
+      options_.push_engine->RecordProducer(canonical, request.target);
+    }
+  }
 
   const RequestFragmentStats& frag = context.fragment_stats();
   instruments_.fragment_hits->Increment(frag.hits);

@@ -22,6 +22,8 @@ struct IngressCounters;
 
 namespace dynaprox::appserver {
 
+class PushEngine;
+
 struct OriginOptions {
   // Pads response headers (with an "X-Pad" field) up to this serialized
   // head size in bytes; 0 disables. Used by the sim to realize the paper's
@@ -52,6 +54,13 @@ struct OriginOptions {
   // Bounded depth of the block pool's task queue; overflow degrades to
   // caller-runs (sequential) execution, never blocking or dropping.
   size_t block_queue_capacity = 256;
+  // Push-based refresh engine for the edge control channel
+  // (docs/edge-tier.md). Not owned; may be null (pull-only operation);
+  // must outlive the server when set. The caller attaches it to the BEM
+  // observer and calls engine->AttachOrigin(server) after construction.
+  // Every render records its fragment→request mapping here, and the
+  // push metrics/status blocks appear when set. Requires a BEM.
+  PushEngine* push_engine = nullptr;
 };
 
 struct OriginStats {
@@ -88,6 +97,14 @@ class OriginServer {
 
   http::Response Handle(const http::Request& request);
 
+  // Push-engine re-render: dispatches `request` with a fragment capture
+  // attached so `captured` receives every (canonical, key, body) the
+  // render registered, and discards the response. Bypasses the local
+  // status/metrics endpoints and the request counter — control-channel
+  // work is not client traffic.
+  void HandleCapture(const http::Request& request,
+                     std::vector<CapturedFragment>* captured);
+
   // Adapter for net::TcpServer / net::DirectTransport.
   net::Handler AsHandler();
 
@@ -120,7 +137,9 @@ class OriginServer {
   // endpoints); `outcome` receives the serving decision for the access
   // log.
   http::Response HandleDispatch(const http::Request& request,
-                                const char** outcome);
+                                const char** outcome,
+                                std::vector<CapturedFragment>* capture =
+                                    nullptr);
   void ApplyHeaderPadding(http::Response& response) const;
   // Applies X-DPC-Refresh invalidations and returns the canonical ids of
   // the fragments refreshed, to be force-missed in the re-render.

@@ -1,0 +1,100 @@
+#include "appserver/push_engine.h"
+
+#include <utility>
+#include <vector>
+
+#include "appserver/origin_server.h"
+#include "common/logging.h"
+
+namespace dynaprox::appserver {
+
+namespace {
+// Staleness spans sim-time gaps from sub-millisecond to minutes; the
+// default request-latency layout tops out at 10 s and would flatten the
+// pull baseline's tail.
+std::vector<double> StalenessBounds() {
+  return {0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60, 120, 300};
+}
+}  // namespace
+
+PushEngine::PushEngine(bem::PushPolicy policy, const Clock* clock)
+    : staleness_(StalenessBounds()),
+      scheduler_(policy, clock, &staleness_) {}
+
+void PushEngine::set_sink(PushSink sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sink_ = std::move(sink);
+}
+
+void PushEngine::RecordProducer(const std::string& canonical,
+                                const std::string& target) {
+  std::lock_guard<std::mutex> lock(mu_);
+  producers_[canonical] = target;
+}
+
+size_t PushEngine::Drain(size_t max) {
+  if (origin_ == nullptr) return 0;
+  std::vector<bem::PushWorkItem> batch = scheduler_.TakeBatch(max);
+  size_t delivered = 0;
+  for (const bem::PushWorkItem& item : batch) {
+    std::string target;
+    PushSink sink;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = producers_.find(item.canonical);
+      if (it == producers_.end()) {
+        // Never rendered through this origin: nothing to re-render, the
+        // fragment stays pull-on-miss.
+        ++stats_.no_producer;
+        continue;
+      }
+      target = it->second;
+      sink = sink_;
+    }
+
+    http::Request request;
+    request.method = "GET";
+    request.target = target;
+    std::vector<CapturedFragment> captured;
+    origin_->HandleCapture(request, &captured);
+
+    const CapturedFragment* fragment = nullptr;
+    for (const CapturedFragment& c : captured) {
+      if (c.canonical == item.canonical) {
+        fragment = &c;
+        break;
+      }
+    }
+    if (fragment == nullptr) {
+      // The re-render hit the directory: a client request regenerated the
+      // fragment after admission, and its response already carried the
+      // fresh SET to the edge tier. Dropping here is correct.
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.missing_capture;
+      continue;
+    }
+    // The body was regenerated microseconds ago; it leaves here at age 0
+    // and the edge accounts forwarding delay from its own receipt time.
+    Status sent = sink ? sink(fragment->canonical, fragment->key,
+                              fragment->body, /*age_micros=*/0)
+                       : Status::FailedPrecondition("no push sink attached");
+    std::lock_guard<std::mutex> lock(mu_);
+    if (sent.ok()) {
+      ++stats_.pushed;
+      ++delivered;
+    } else {
+      DYNAPROX_LOG(kWarning, "push")
+          << "push of " << fragment->canonical
+          << " failed: " << sent.ToString();
+      ++stats_.push_failures;
+    }
+  }
+  return delivered;
+}
+
+PushEngineStats PushEngine::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace dynaprox::appserver

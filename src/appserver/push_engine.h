@@ -1,0 +1,92 @@
+#ifndef DYNAPROX_APPSERVER_PUSH_ENGINE_H_
+#define DYNAPROX_APPSERVER_PUSH_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "bem/push_scheduler.h"
+#include "bem/types.h"
+#include "common/clock.h"
+#include "common/metrics.h"
+#include "common/status.h"
+
+namespace dynaprox::appserver {
+
+class OriginServer;
+
+struct PushEngineStats {
+  uint64_t pushed = 0;           // Fragments delivered through the sink.
+  uint64_t push_failures = 0;    // Sink rejected (or no sink attached).
+  uint64_t no_producer = 0;      // No request known to produce the fragment.
+  uint64_t missing_capture = 0;  // Re-render did not regenerate it (hit).
+};
+
+// Drives push-based refresh on the origin side of the control channel
+// (docs/edge-tier.md): the scheduler decides *what* is worth pushing from
+// BEM directory events; this engine turns each admitted fragment back
+// into bytes by re-rendering the request that produced it (with a
+// ScriptContext fragment capture attached) and hands the captured body to
+// the sink — the transport-specific sender that POSTs it to the owning
+// edge's push endpoint.
+//
+// `missing_capture` drops are correct, not lost work: if a client request
+// re-rendered the fragment between admission and Drain, the engine's
+// re-render *hits* the directory, captures nothing — and the content has
+// already reached the edge tier through that client response.
+//
+// Thread-safe. Never call Drain from inside a BEM event observer (it
+// re-enters the monitor through the re-render); drain from a timer or a
+// dedicated thread.
+class PushEngine {
+ public:
+  explicit PushEngine(bem::PushPolicy policy, const Clock* clock = nullptr);
+
+  // Attach to BackEndMonitor::SetObserver; also where tests inject events.
+  bem::PushScheduler& scheduler() { return scheduler_; }
+  const bem::PushScheduler& scheduler() const { return scheduler_; }
+
+  // The origin used for re-renders. Must outlive the engine. (The engine
+  // is constructed first so OriginOptions can carry its pointer; this
+  // closes the loop.)
+  void AttachOrigin(OriginServer* origin) { origin_ = origin; }
+
+  // Delivers one captured fragment to the edge tier. `age_micros` is how
+  // stale the body already is when handed over (0 for a fresh re-render).
+  using PushSink = std::function<Status(
+      const std::string& canonical, bem::DpcKey key, const std::string& body,
+      MicroTime age_micros)>;
+  void set_sink(PushSink sink);
+
+  // Remembers that `target` produces `canonical` (last writer wins). The
+  // origin calls this on every render; a fragment pushed before any client
+  // ever requested its page counts as no_producer and degrades to pull.
+  void RecordProducer(const std::string& canonical, const std::string& target);
+
+  // Pops up to `max` admitted fragments (0 = all), re-renders their
+  // producers, and pushes the captured bodies. Returns how many were
+  // delivered.
+  size_t Drain(size_t max = 0);
+
+  PushEngineStats stats() const;
+
+  // Invalidate→re-insert gap of every fragment, push-admitted or not;
+  // the shared freshness measurement behind bench/edge_push_pull.
+  const metrics::LatencyHistogram& staleness() const { return staleness_; }
+
+ private:
+  metrics::LatencyHistogram staleness_;
+  bem::PushScheduler scheduler_;
+  OriginServer* origin_ = nullptr;
+
+  mutable std::mutex mu_;
+  PushSink sink_;
+  std::unordered_map<std::string, std::string> producers_;
+  PushEngineStats stats_;
+};
+
+}  // namespace dynaprox::appserver
+
+#endif  // DYNAPROX_APPSERVER_PUSH_ENGINE_H_

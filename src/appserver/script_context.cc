@@ -67,6 +67,10 @@ void ScriptContext::RegisterAndEmit(
   for (const auto& [table, row_key] : deps) {
     monitor_->AddDependency(id, table, row_key);
   }
+  inserted_.emplace_back(id.Canonical(), *key);
+  if (capture_ != nullptr) {
+    capture_->push_back(CapturedFragment{id.Canonical(), *key, output});
+  }
   used_tagging_ = true;
   MicroTime emit_start = instrumented ? clock->NowMicros() : 0;
   bem::TagCodec::AppendSet(*key, output, out);

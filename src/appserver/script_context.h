@@ -22,6 +22,16 @@
 
 namespace dynaprox::appserver {
 
+// One fragment registered during a render, with the body that went into
+// its SET instruction. The push engine re-renders a producer request with
+// a capture attached and forwards these bodies over the control channel
+// (docs/edge-tier.md) instead of re-parsing the template.
+struct CapturedFragment {
+  std::string canonical;
+  bem::DpcKey key = bem::kInvalidDpcKey;
+  std::string body;
+};
+
 // Per-request fragment accounting, mirrored into OriginStats.
 struct RequestFragmentStats {
   uint64_t hits = 0;
@@ -156,6 +166,21 @@ class ScriptContext {
 
   const RequestFragmentStats& fragment_stats() const { return stats_; }
 
+  // Every (canonical, dpcKey) this render successfully registered, in page
+  // order. Parallel renders record during the FinishBlocks splice, so the
+  // list is complete once FinishBlocks returns. The origin uses it to map
+  // fragments back to the request that produces them.
+  const std::vector<std::pair<std::string, bem::DpcKey>>& inserted() const {
+    return inserted_;
+  }
+
+  // Attaches a sink that additionally receives each registered fragment's
+  // body (see CapturedFragment). Call before the script runs; the sink
+  // must outlive the context. Used by the push engine's re-renders.
+  void SetFragmentCapture(std::vector<CapturedFragment>* sink) {
+    capture_ = sink;
+  }
+
   // Finalizes the response. When a BEM is attached and at least one
   // cacheable block executed, the body is a template and the response is
   // marked with dpc::kTemplateHeader (via `template_header_name`).
@@ -238,6 +263,8 @@ class ScriptContext {
   int status_code_ = 200;
   http::HeaderMap headers_;
   RequestFragmentStats stats_;
+  std::vector<std::pair<std::string, bem::DpcKey>> inserted_;
+  std::vector<CapturedFragment>* capture_ = nullptr;
 };
 
 }  // namespace dynaprox::appserver

@@ -28,7 +28,11 @@ BackEndMonitor::BackEndMonitor(DpcKey capacity, const Clock* clock,
 BackEndMonitor::~BackEndMonitor() { DetachRepository(); }
 
 LookupResult BackEndMonitor::LookupFragment(const FragmentId& id) {
-  return directory_.Lookup(id);
+  LookupResult result = directory_.Lookup(id);
+  if (FragmentEventObserver* obs = observer(); obs != nullptr) {
+    obs->OnLookup(id.Canonical(), result.hit());
+  }
+  return result;
 }
 
 Result<DpcKey> BackEndMonitor::InsertFragment(const FragmentId& id,
@@ -38,7 +42,13 @@ Result<DpcKey> BackEndMonitor::InsertFragment(const FragmentId& id,
   // incarnation of this fragment; the generating code block re-declares
   // them as it runs.
   registry_.RemoveFragment(id.Canonical());
-  return directory_.Insert(id, ttl_micros);
+  Result<DpcKey> key = directory_.Insert(id, ttl_micros);
+  if (key.ok()) {
+    if (FragmentEventObserver* obs = observer(); obs != nullptr) {
+      obs->OnInsert(id.Canonical(), *key);
+    }
+  }
+  return key;
 }
 
 void BackEndMonitor::AddDependency(const FragmentId& id,
@@ -49,13 +59,22 @@ void BackEndMonitor::AddDependency(const FragmentId& id,
 
 Status BackEndMonitor::Invalidate(const FragmentId& id) {
   registry_.RemoveFragment(id.Canonical());
-  return directory_.Invalidate(id);
+  Status status = directory_.Invalidate(id);
+  if (status.ok()) {
+    if (FragmentEventObserver* obs = observer(); obs != nullptr) {
+      obs->OnInvalidate(id.Canonical());
+    }
+  }
+  return status;
 }
 
 Status BackEndMonitor::InvalidateKey(DpcKey key) {
   Result<std::string> owner = directory_.InvalidateKey(key);
   if (!owner.ok()) return owner.status();
   registry_.RemoveFragment(*owner);
+  if (FragmentEventObserver* obs = observer(); obs != nullptr) {
+    obs->OnInvalidate(*owner);
+  }
   return Status::Ok();
 }
 
@@ -116,6 +135,9 @@ size_t BackEndMonitor::OnDataSourceUpdate(const storage::UpdateEvent& event) {
     registry_.RemoveFragment(canonical);
     if (status.ok()) {
       ++count;
+      if (FragmentEventObserver* obs = observer(); obs != nullptr) {
+        obs->OnInvalidate(canonical);
+      }
       DYNAPROX_LOG(kDebug, "bem")
           << "data-source invalidation: " << canonical << " (table "
           << event.table << ")";

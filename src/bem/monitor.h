@@ -1,6 +1,7 @@
 #ifndef DYNAPROX_BEM_MONITOR_H_
 #define DYNAPROX_BEM_MONITOR_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -26,6 +27,32 @@ struct BemOptions {
   std::string replacement_policy = "lru";
   // Time source for TTLs; defaults to SystemClock.
   const Clock* clock = nullptr;
+};
+
+// Observes directory traffic for policy layers built on top of the BEM —
+// the push scheduler (bem/push_scheduler.h) scores fragments from these
+// events. Callbacks run inline on the mutating thread, outside the
+// directory's stripe locks: implementations must be internally
+// synchronized, cheap, and must not call back into the monitor.
+class FragmentEventObserver {
+ public:
+  virtual ~FragmentEventObserver() = default;
+  // A tagging-API lookup resolved (`hit` = directory hit).
+  virtual void OnLookup(const std::string& canonical, bool hit) {
+    (void)canonical;
+    (void)hit;
+  }
+  // A fragment was (re)registered under `key` — its body has just been
+  // regenerated.
+  virtual void OnInsert(const std::string& canonical, DpcKey key) {
+    (void)canonical;
+    (void)key;
+  }
+  // A fragment was invalidated by a data-source update or explicit call.
+  // Refresh-protocol invalidations (RefreshKey) are NOT reported: they are
+  // DPC pull recovery, not content updates, and would skew update-rate
+  // scoring.
+  virtual void OnInvalidate(const std::string& canonical) { (void)canonical; }
 };
 
 // The Back End Monitor (paper 4.3.3): owns the cache directory and all
@@ -97,6 +124,14 @@ class BackEndMonitor {
   // returns how many fragments were invalidated.
   size_t OnDataSourceUpdate(const storage::UpdateEvent& event);
 
+  // Attaches (or clears, with nullptr) the single event observer. The
+  // pointer is read with acquire semantics on every event, so attaching
+  // before traffic starts is race-free; the observer must outlive the
+  // monitor or be cleared first.
+  void SetObserver(FragmentEventObserver* observer) {
+    observer_.store(observer, std::memory_order_release);
+  }
+
   // --- Introspection ---
   // Snapshot of the directory counters (safe under concurrency).
   DirectoryStats stats() const;
@@ -128,8 +163,13 @@ class BackEndMonitor {
                  std::unique_ptr<ReplacementPolicy> policy,
                  MicroTime default_ttl_micros);
 
+  FragmentEventObserver* observer() const {
+    return observer_.load(std::memory_order_acquire);
+  }
+
   CacheDirectory directory_;    // Internally striped.
   DependencyRegistry registry_; // Internally synchronized.
+  std::atomic<FragmentEventObserver*> observer_{nullptr};
   MicroTime default_ttl_micros_;
   // Guards only the repository attachment state below.
   mutable std::mutex attach_mu_;

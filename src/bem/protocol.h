@@ -23,6 +23,15 @@ inline constexpr char kRefreshHeader[] = "X-DPC-Refresh";
 // behaviour based on it.
 inline constexpr char kRequestIdHeader[] = "X-DPC-Request-Id";
 
+// Control-channel headers (docs/edge-tier.md). These extend the protocol
+// beyond the paper's "no control messages" stance: when the BEM pushes a
+// regenerated fragment body to the owning edge DPC, the request carries the
+// fragment's dpcKey (hex) and the body's age in decimal microseconds (time
+// already elapsed at the BEM between regeneration and the push leaving), so
+// the receiving store can account Age correctly for serve-stale math.
+inline constexpr char kPushKeyHeader[] = "X-DPC-Push-Key";
+inline constexpr char kPushAgeHeader[] = "X-DPC-Push-Age";
+
 }  // namespace dynaprox::bem
 
 #endif  // DYNAPROX_BEM_PROTOCOL_H_

@@ -1,0 +1,94 @@
+#include "bem/push_scheduler.h"
+
+namespace dynaprox::bem {
+
+PushScheduler::PushScheduler(PushPolicy policy, const Clock* clock,
+                             metrics::LatencyHistogram* staleness)
+    : policy_(policy),
+      clock_(clock != nullptr ? clock : SystemClock::Default()),
+      staleness_(staleness) {}
+
+void PushScheduler::OnLookup(const std::string& canonical, bool hit) {
+  (void)hit;  // Popularity counts demand, not outcome.
+  std::lock_guard<std::mutex> lock(mu_);
+  ++entries_[canonical].lookups;
+}
+
+void PushScheduler::OnInsert(const std::string& canonical, DpcKey key) {
+  (void)key;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(canonical);
+  if (it == entries_.end()) return;
+  Entry& entry = it->second;
+  // The invalidate→re-insert gap is the window clients could have seen
+  // stale-adjacent behaviour (misses back to the origin). Observed for
+  // every fragment regardless of admission, so push and pull configs
+  // measure staleness identically.
+  if (entry.invalidated_at >= 0) {
+    if (staleness_ != nullptr) {
+      MicroTime gap = clock_->NowMicros() - entry.invalidated_at;
+      if (gap < 0) gap = 0;
+      staleness_->Observe(static_cast<double>(gap) / kMicrosPerSecond);
+    }
+    entry.invalidated_at = -1;
+  }
+  entry.queued = false;
+}
+
+void PushScheduler::OnInvalidate(const std::string& canonical) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = entries_[canonical];
+  ++entry.invalidations;
+  // Keep the earliest unserved invalidation: repeated updates before the
+  // re-render all count from the moment content first went stale.
+  if (entry.invalidated_at < 0) entry.invalidated_at = clock_->NowMicros();
+  double score = static_cast<double>(entry.lookups) *
+                 static_cast<double>(entry.invalidations);
+  if (score < policy_.min_score) {
+    ++stats_.skipped_cold;
+    return;
+  }
+  if (entry.queued) return;  // Already pending; one re-render covers both.
+  if (queue_.size() >= policy_.queue_capacity) {
+    // Drop-to-pull: the fragment stays invalid in the directory and the
+    // next client miss regenerates it. Nothing is lost but freshness.
+    ++stats_.dropped;
+    return;
+  }
+  queue_.push_back(PushWorkItem{canonical, entry.invalidated_at});
+  entry.queued = true;
+  ++stats_.enqueued;
+}
+
+std::vector<PushWorkItem> PushScheduler::TakeBatch(size_t max) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t count = queue_.size();
+  if (max > 0 && max < count) count = max;
+  std::vector<PushWorkItem> batch;
+  batch.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    batch.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  return batch;
+}
+
+size_t PushScheduler::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+PushSchedulerStats PushScheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+double PushScheduler::ScoreOf(const std::string& canonical) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(canonical);
+  if (it == entries_.end()) return 0.0;
+  return static_cast<double>(it->second.lookups) *
+         static_cast<double>(it->second.invalidations);
+}
+
+}  // namespace dynaprox::bem

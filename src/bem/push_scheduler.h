@@ -1,0 +1,101 @@
+#ifndef DYNAPROX_BEM_PUSH_SCHEDULER_H_
+#define DYNAPROX_BEM_PUSH_SCHEDULER_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bem/monitor.h"
+#include "common/clock.h"
+#include "common/metrics.h"
+
+namespace dynaprox::bem {
+
+// Admission policy for push-based refresh (docs/edge-tier.md). Following
+// Abolhassani et al. ("Optimal Push and Pull-Based Edge Caching For
+// Dynamic Content", PAPERS.md), a fragment is worth pushing when it is
+// both popular (lookups measure demand) and update-heavy (invalidations
+// measure churn): pushing a cold fragment wastes origin bytes nobody will
+// read, and pushing a never-updated fragment never happens anyway. The
+// score is the product of the two counts; everything below `min_score`
+// stays pull-on-miss.
+struct PushPolicy {
+  // Admission threshold on lookups × invalidations at invalidation time.
+  // Raise to push less; a huge value degenerates to pure pull (the
+  // benches use that for the pull baseline).
+  double min_score = 4.0;
+  // Bounded work queue; when full, further admissions are dropped — the
+  // fragment degrades to pull-on-miss, it is never lost.
+  size_t queue_capacity = 1024;
+};
+
+struct PushSchedulerStats {
+  uint64_t enqueued = 0;      // Invalidations admitted for push.
+  uint64_t dropped = 0;       // Admitted but queue full: degraded to pull.
+  uint64_t skipped_cold = 0;  // Below min_score: stays pull-on-miss.
+};
+
+// One unit of push work: the fragment to re-render and when its content
+// went stale (for age accounting on the eventual push).
+struct PushWorkItem {
+  std::string canonical;
+  MicroTime invalidated_at = 0;
+};
+
+// Scores fragments from BEM directory events and queues the hot,
+// update-heavy ones for push-based refresh. Attach with
+// BackEndMonitor::SetObserver; drain with TakeBatch (the PushEngine's
+// Drain does both the re-render and the control-channel send).
+//
+// Staleness accounting is deliberately admission-independent: every
+// fragment's invalidate→re-insert gap is observed into `staleness`
+// (when provided), whether the re-insert came from a push re-render or a
+// client-driven pull miss. Push and pull runs therefore report staleness
+// through the identical code path, which is what makes the
+// bench/edge_push_pull comparison honest.
+//
+// Thread-safe; one mutex, O(1) work per event.
+class PushScheduler : public FragmentEventObserver {
+ public:
+  PushScheduler(PushPolicy policy, const Clock* clock,
+                metrics::LatencyHistogram* staleness = nullptr);
+
+  void OnLookup(const std::string& canonical, bool hit) override;
+  void OnInsert(const std::string& canonical, DpcKey key) override;
+  void OnInvalidate(const std::string& canonical) override;
+
+  // Pops up to `max` queued items (0 = all), FIFO.
+  std::vector<PushWorkItem> TakeBatch(size_t max = 0);
+
+  size_t queue_depth() const;
+  PushSchedulerStats stats() const;
+  // Current admission score of `canonical` (lookups × invalidations);
+  // introspection for tests and the status document.
+  double ScoreOf(const std::string& canonical) const;
+
+ private:
+  struct Entry {
+    uint64_t lookups = 0;
+    uint64_t invalidations = 0;
+    // Earliest unserved invalidation since the last insert; -1 = content
+    // currently fresh.
+    MicroTime invalidated_at = -1;
+    bool queued = false;  // Already in the work queue (no duplicates).
+  };
+
+  const PushPolicy policy_;
+  const Clock* clock_;
+  metrics::LatencyHistogram* staleness_;  // May be null.
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::deque<PushWorkItem> queue_;
+  PushSchedulerStats stats_;
+};
+
+}  // namespace dynaprox::bem
+
+#endif  // DYNAPROX_BEM_PUSH_SCHEDULER_H_

@@ -18,6 +18,7 @@ enum class StatusCode {
   kFailedPrecondition,
   kIoError,
   kUnimplemented,
+  kUnavailable,
   kInternal,
 };
 
@@ -63,6 +64,9 @@ class Status {
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
@@ -79,6 +83,7 @@ class Status {
     return code_ == StatusCode::kCapacityExceeded;
   }
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   // Renders "Code: message" ("OK" for success); for logs and test output.
   std::string ToString() const;

@@ -25,6 +25,7 @@ Result<AssembledPage> AssemblePage(common::Buffer wire,
         break;
       case TemplateSegment::Kind::kSet: {
         ++out.set_count;
+        out.set_keys.push_back(segment.key);
         // One materialization, shared: the store slot and the page chain
         // hold the same buffer, so the payload is never copied again —
         // not here, and not by any later page that GETs it.

@@ -27,6 +27,9 @@ struct AssembledPage {
   // dpcKeys whose GET found an empty slot (cold cache). When non-empty the
   // page is incomplete; the proxy triggers miss recovery.
   std::vector<bem::DpcKey> missing_keys;
+  // dpcKeys this page stored via SET, in template order. Edge clusters use
+  // this to replicate freshly-stored fragments to their ring owner.
+  std::vector<bem::DpcKey> set_keys;
   // Copy-elimination accounting: bytes memcpy'd while building this page
   // (SET materialization only) vs bytes spliced in by reference (literals
   // and GET fragments). Feeds the dpc_body_bytes_{copied,referenced}

@@ -8,6 +8,25 @@ Status FragmentStore::Set(bem::DpcKey key, std::string content) {
 }
 
 Status FragmentStore::Set(bem::DpcKey key, FragmentRef content) {
+  DYNAPROX_RETURN_IF_ERROR(SetLocked(key, std::move(content), SlotMeta{}));
+  ShardFor(key).sets.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Status FragmentStore::SetPushed(bem::DpcKey key, FragmentRef content,
+                                MicroTime base_age_micros,
+                                MicroTime now_micros) {
+  SlotMeta meta;
+  meta.pushed = true;
+  meta.base_age = base_age_micros;
+  meta.stored_at = now_micros;
+  DYNAPROX_RETURN_IF_ERROR(SetLocked(key, std::move(content), meta));
+  ShardFor(key).pushes.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Status FragmentStore::SetLocked(bem::DpcKey key, FragmentRef content,
+                                SlotMeta meta) {
   if (key >= slots_.size()) {
     return Status::InvalidArgument("dpcKey out of range: " +
                                    std::to_string(key));
@@ -20,6 +39,7 @@ Status FragmentStore::Set(bem::DpcKey key, FragmentRef content) {
   size_t fresh_bytes = fresh->size();
   size_t evicted_bytes = 0;
   bool replaced = false;
+  bool was_pushed = false;
   Shard& shard = ShardFor(key);
   {
     std::lock_guard<std::mutex> lock(shard.mu);
@@ -28,13 +48,35 @@ Status FragmentStore::Set(bem::DpcKey key, FragmentRef content) {
       evicted_bytes = slot->size();
       replaced = true;
     }
+    was_pushed = meta_[key].pushed;
     slot = std::move(fresh);
+    meta_[key] = meta;
   }
   if (!replaced) shard.occupied.fetch_add(1, std::memory_order_relaxed);
+  if (meta.pushed && !was_pushed) {
+    shard.pushed.fetch_add(1, std::memory_order_relaxed);
+  } else if (!meta.pushed && was_pushed) {
+    shard.pushed.fetch_sub(1, std::memory_order_relaxed);
+  }
   shard.content_bytes.fetch_add(fresh_bytes - evicted_bytes,
                                 std::memory_order_relaxed);
-  shard.sets.fetch_add(1, std::memory_order_relaxed);
   return Status::Ok();
+}
+
+Result<MicroTime> FragmentStore::AgeOf(bem::DpcKey key,
+                                       MicroTime now_micros) {
+  if (key >= slots_.size()) {
+    return Status::InvalidArgument("dpcKey out of range: " +
+                                   std::to_string(key));
+  }
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (slots_[key] == nullptr) {
+    return Status::NotFound("empty DPC slot: " + std::to_string(key));
+  }
+  const SlotMeta& meta = meta_[key];
+  if (!meta.pushed) return MicroTime{0};
+  return meta.base_age + (now_micros - meta.stored_at);
 }
 
 Result<FragmentRef> FragmentStore::Get(bem::DpcKey key) {
@@ -63,9 +105,11 @@ void FragmentStore::Clear() {
     locks[i] = std::unique_lock<std::mutex>(shards_[i].mu);
   }
   for (FragmentRef& slot : slots_) slot.reset();
+  for (SlotMeta& meta : meta_) meta = SlotMeta{};
   for (Shard& shard : shards_) {
     shard.occupied.store(0, std::memory_order_relaxed);
     shard.content_bytes.store(0, std::memory_order_relaxed);
+    shard.pushed.store(0, std::memory_order_relaxed);
   }
 }
 
@@ -73,6 +117,14 @@ size_t FragmentStore::occupied_slots() const {
   size_t total = 0;
   for (const Shard& shard : shards_) {
     total += shard.occupied.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+size_t FragmentStore::pushed_slots() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.pushed.load(std::memory_order_relaxed);
   }
   return total;
 }
@@ -95,6 +147,7 @@ StoreStats FragmentStore::stats() const {
     snapshot.sets += shard.sets.load(std::memory_order_relaxed);
     snapshot.gets += shard.gets.load(std::memory_order_relaxed);
     snapshot.get_misses += shard.get_misses.load(std::memory_order_relaxed);
+    snapshot.pushes += shard.pushes.load(std::memory_order_relaxed);
   }
   return snapshot;
 }

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "bem/types.h"
+#include "common/clock.h"
 #include "common/result.h"
 
 namespace dynaprox::dpc {
@@ -19,6 +20,7 @@ struct StoreStats {
   uint64_t sets = 0;
   uint64_t gets = 0;
   uint64_t get_misses = 0;  // GET on an empty slot (cold DPC).
+  uint64_t pushes = 0;      // slots populated via SetPushed (control channel).
 };
 
 // A cached fragment body. Shared ownership lets a concurrent Set replace a
@@ -39,7 +41,8 @@ class FragmentStore {
  public:
   static constexpr size_t kShards = 16;
 
-  explicit FragmentStore(bem::DpcKey capacity) : slots_(capacity) {}
+  explicit FragmentStore(bem::DpcKey capacity)
+      : slots_(capacity), meta_(capacity) {}
 
   // Stores `content` in slot `key`, overwriting any previous occupant.
   Status Set(bem::DpcKey key, std::string content);
@@ -48,6 +51,18 @@ class FragmentStore {
   // uses this so the store and the page's BufferChain reference one
   // allocation instead of materializing the payload twice.
   Status Set(bem::DpcKey key, FragmentRef content);
+
+  // Stores a control-channel push (docs/edge-tier.md). Unlike Set — whose
+  // bodies arrive inside a response being assembled right now, so their age
+  // is effectively zero — a pushed body was regenerated at the BEM some
+  // `base_age_micros` ago and must keep aging from `now_micros` so Age
+  // accounting (RFC 9111) stays honest across the control channel.
+  Status SetPushed(bem::DpcKey key, FragmentRef content,
+                   MicroTime base_age_micros, MicroTime now_micros);
+
+  // Age of the slot's content at `now_micros`: zero for SET-populated
+  // slots, base_age + residency for pushed ones. NotFound on empty slots.
+  Result<MicroTime> AgeOf(bem::DpcKey key, MicroTime now_micros);
 
   // Returns the slot's content; NotFound if the slot has never been set
   // (e.g. a cold DPC receiving a GET after restart). The returned ref
@@ -61,6 +76,9 @@ class FragmentStore {
     return static_cast<bem::DpcKey>(slots_.size());
   }
   size_t occupied_slots() const;
+  // Slots whose current content arrived via SetPushed (not yet overwritten
+  // by a plain Set), for the dynaprox_store_pushed_slots gauge.
+  size_t pushed_slots() const;
   // Total bytes currently held across all slots.
   size_t content_bytes() const;
   // Bytes held by one shard's slots (`shard` < kShards), for the
@@ -78,12 +96,24 @@ class FragmentStore {
     std::atomic<uint64_t> sets{0};
     std::atomic<uint64_t> gets{0};
     std::atomic<uint64_t> get_misses{0};
+    std::atomic<uint64_t> pushes{0};
+    std::atomic<size_t> pushed{0};
+  };
+
+  // Provenance of a slot's current content; only meaningful while the slot
+  // is occupied. Guarded by the owning shard's mutex like the slot itself.
+  struct SlotMeta {
+    bool pushed = false;
+    MicroTime base_age = 0;   // age already accrued at the BEM.
+    MicroTime stored_at = 0;  // local receive time of the push.
   };
 
   Shard& ShardFor(bem::DpcKey key) { return shards_[key % kShards]; }
+  Status SetLocked(bem::DpcKey key, FragmentRef content, SlotMeta meta);
 
   mutable std::array<Shard, kShards> shards_;
   std::vector<FragmentRef> slots_;  // slots_[k] guarded by shards_[k%16].mu.
+  std::vector<SlotMeta> meta_;      // same guard as slots_[k].
 };
 
 }  // namespace dynaprox::dpc

@@ -364,6 +364,33 @@ void DpcProxy::RegisterMetrics() {
       "dynaprox_store_get_misses_total",
       "GET instructions that found an empty slot.",
       [this] { return store_.stats().get_misses; });
+  registry_.RegisterCallbackCounter(
+      "dynaprox_store_pushes_total",
+      "Slots populated via the control channel (SetPushed).",
+      [this] { return store_.stats().pushes; });
+  registry_.RegisterCallbackGauge(
+      "dynaprox_store_pushed_slots",
+      "Slots whose current content arrived via a push.",
+      [this] { return static_cast<double>(store_.pushed_slots()); });
+
+  if (options_.miss_resolver != nullptr) {
+    instruments_.peer_fills = registry_.GetCounter(
+        "dynaprox_edge_peer_fills_total",
+        "Cold-cache GET misses filled from the fragment's ring owner "
+        "instead of an origin refresh round trip.");
+  }
+  if (options_.enable_push) {
+    instruments_.pushes_applied = registry_.GetCounter(
+        "dynaprox_edge_pushes_applied_total",
+        "Control-channel pushes accepted and stored.");
+    instruments_.push_bytes = registry_.GetCounter(
+        "dynaprox_edge_push_bytes_total",
+        "Fragment body bytes received over the control channel.");
+    instruments_.peer_serves = registry_.GetCounter(
+        "dynaprox_edge_peer_serves_total",
+        "Owned fragments served to ring peers from the fragment "
+        "endpoint.");
+  }
 
   if (options_.upstream_breaker != nullptr) {
     const net::CircuitBreaker* breaker = options_.upstream_breaker;
@@ -518,12 +545,104 @@ ProxyStats DpcProxy::stats() const {
   snapshot.streamed = instruments_.streamed->value();
   snapshot.stream_fallbacks = instruments_.stream_fallbacks->value();
   snapshot.stream_aborts = instruments_.stream_aborts->value();
+  if (instruments_.peer_fills != nullptr) {
+    snapshot.peer_fills = instruments_.peer_fills->value();
+  }
+  if (instruments_.pushes_applied != nullptr) {
+    snapshot.pushes_applied = instruments_.pushes_applied->value();
+  }
+  if (instruments_.peer_serves != nullptr) {
+    snapshot.peer_serves = instruments_.peer_serves->value();
+  }
   return snapshot;
+}
+
+Status DpcProxy::ApplyPush(bem::DpcKey key, FragmentRef body,
+                           MicroTime age_micros) {
+  size_t bytes = body == nullptr ? 0 : body->size();
+  DYNAPROX_RETURN_IF_ERROR(
+      store_.SetPushed(key, std::move(body), age_micros,
+                       clock_->NowMicros()));
+  if (instruments_.pushes_applied != nullptr) {
+    instruments_.pushes_applied->Increment();
+  }
+  if (instruments_.push_bytes != nullptr) {
+    instruments_.push_bytes->Increment(bytes);
+  }
+  return Status::Ok();
+}
+
+http::Response DpcProxy::HandlePush(const http::Request& request) {
+  auto key_header = request.headers.Get(bem::kPushKeyHeader);
+  if (!key_header.has_value()) {
+    return http::Response::MakeError(400, "Bad Request",
+                                     "missing X-DPC-Push-Key header");
+  }
+  Result<uint64_t> key = ParseHex(*key_header);
+  if (!key.ok() || *key > bem::kInvalidDpcKey) {
+    return http::Response::MakeError(400, "Bad Request",
+                                     "bad X-DPC-Push-Key header");
+  }
+  MicroTime age = 0;
+  if (auto age_header = request.headers.Get(bem::kPushAgeHeader);
+      age_header.has_value()) {
+    Result<uint64_t> parsed = ParseUint64(*age_header);
+    if (!parsed.ok()) {
+      return http::Response::MakeError(400, "Bad Request",
+                                       "bad X-DPC-Push-Age header");
+    }
+    age = static_cast<MicroTime>(*parsed);
+  }
+  Status applied = ApplyPush(
+      static_cast<bem::DpcKey>(*key),
+      std::make_shared<const std::string>(request.body), age);
+  if (!applied.ok()) {
+    return http::Response::MakeError(400, "Bad Request",
+                                     applied.ToString());
+  }
+  http::Response response;
+  response.status_code = 204;
+  response.reason = "No Content";
+  return response;
+}
+
+http::Response DpcProxy::HandleFragment(const http::Request& request) {
+  std::map<std::string, std::string> params = request.QueryParams();
+  auto it = params.find("key");
+  if (it == params.end()) {
+    return http::Response::MakeError(400, "Bad Request",
+                                     "missing key query parameter");
+  }
+  Result<uint64_t> key = ParseHex(it->second);
+  if (!key.ok() || *key > bem::kInvalidDpcKey) {
+    return http::Response::MakeError(400, "Bad Request",
+                                     "bad key query parameter");
+  }
+  bem::DpcKey dpc_key = static_cast<bem::DpcKey>(*key);
+  Result<FragmentRef> fragment = store_.Get(dpc_key);
+  if (!fragment.ok()) {
+    return http::Response::MakeError(404, "Not Found",
+                                     fragment.status().ToString());
+  }
+  if (instruments_.peer_serves != nullptr) {
+    instruments_.peer_serves->Increment();
+  }
+  http::Response response =
+      http::Response::MakeOk(std::string(**fragment), "text/html");
+  // Report the body's current age so the fetching peer keeps aging it
+  // from the right base instead of restarting at zero.
+  Result<MicroTime> age = store_.AgeOf(dpc_key, clock_->NowMicros());
+  response.headers.Set(bem::kPushAgeHeader,
+                       std::to_string(age.ok() ? *age : 0));
+  return response;
 }
 
 http::Response DpcProxy::BuildAssembledResponse(
     const http::Request& request, http::Response upstream,
     AssembledPage page) {
+  if (options_.on_sets != nullptr && !page.set_keys.empty()) {
+    options_.on_sets(page.set_keys);
+  }
   http::Response response = std::move(upstream);
   response.headers.Remove(bem::kTemplateHeader);
   response.headers.Remove("Content-Length");
@@ -635,7 +754,16 @@ http::Response DpcProxy::RenderStatus() const {
   json.Key("sets").Uint(store_stats.sets);
   json.Key("gets").Uint(store_stats.gets);
   json.Key("get_misses").Uint(store_stats.get_misses);
+  json.Key("pushes").Uint(store_stats.pushes);
+  json.Key("pushed_slots").Uint(store_.pushed_slots());
   json.EndObject();
+  if (options_.enable_push || options_.miss_resolver != nullptr) {
+    json.Key("edge").BeginObject();
+    json.Key("peer_fills").Uint(snapshot.peer_fills);
+    json.Key("pushes_applied").Uint(snapshot.pushes_applied);
+    json.Key("peer_serves").Uint(snapshot.peer_serves);
+    json.EndObject();
+  }
   if (options_.upstream_breaker != nullptr) {
     net::CircuitBreakerStats breaker = options_.upstream_breaker->stats();
     json.Key("breaker").BeginObject();
@@ -708,6 +836,15 @@ http::Response DpcProxy::Handle(const http::Request& request) {
   if (options_.enable_metrics && request.Path() == options_.metrics_path) {
     return http::Response::MakeOk(registry_.RenderPrometheus(),
                                   "text/plain; version=0.0.4");
+  }
+  // Control-channel traffic (pushes in, peer fetches out) is cluster
+  // plumbing, not client serving — excluded from the request counters
+  // like the status/metrics endpoints above.
+  if (options_.enable_push) {
+    if (request.Path() == options_.push_path) return HandlePush(request);
+    if (request.Path() == options_.fragment_path) {
+      return HandleFragment(request);
+    }
   }
   instruments_.requests->Increment();
 
@@ -889,6 +1026,32 @@ http::Response DpcProxy::HandleProxied(const http::Request& request,
           502, "Bad Gateway",
           "template error: " + assembled.status().ToString());
     }
+    if (!assembled->complete() && options_.miss_resolver != nullptr) {
+      // Cluster peer fill: ask each missing key's ring owner before
+      // paying a refresh round trip to the origin. The resolver stores
+      // what it finds, so a re-assembly sees a warm store.
+      bool all_filled = true;
+      for (bem::DpcKey key : assembled->missing_keys) {
+        if (options_.miss_resolver(key).ok()) {
+          if (instruments_.peer_fills != nullptr) {
+            instruments_.peer_fills->Increment();
+          }
+        } else {
+          all_filled = false;
+        }
+      }
+      if (all_filled) {
+        assembled = AssemblePage(wire, store_, options_.scan_strategy,
+                                 clock_, &timing);
+        if (!assembled.ok()) {
+          instruments_.template_errors->Increment();
+          *outcome = "template_error";
+          return http::Response::MakeError(
+              502, "Bad Gateway",
+              "template error: " + assembled.status().ToString());
+        }
+      }
+    }
     if (assembled->complete()) {
       *outcome = "assembled";
       return BuildAssembledResponse(request, std::move(*upstream_response),
@@ -1067,7 +1230,19 @@ http::Response DpcProxy::HandleStreaming(const http::Request& request,
     AppendVia(head.headers, options_.via_token);
   }
 
-  auto resolver = [this, base = request, request_id](bem::DpcKey key) {
+  auto resolver = [this, base = request, request_id](
+                      bem::DpcKey key) -> Result<FragmentRef> {
+    if (options_.miss_resolver != nullptr) {
+      // Cluster peer fill first; origin recovery only when the ring
+      // owner cannot help either.
+      Result<FragmentRef> peer = options_.miss_resolver(key);
+      if (peer.ok()) {
+        if (instruments_.peer_fills != nullptr) {
+          instruments_.peer_fills->Increment();
+        }
+        return peer;
+      }
+    }
     return ResolveMiss(base, request_id, key);
   };
   StreamingAssembler assembler(store_, options_.scan_strategy,

@@ -112,6 +112,24 @@ struct ProxyOptions {
   // byte-accounting experiments measure exactly the modeled payloads.
   bool proxy_headers = false;
   std::string via_token = "1.1 dynaprox-dpc";
+  // Edge-cluster hooks (docs/edge-tier.md). miss_resolver is consulted for
+  // each cold-cache GET miss before the refresh round trip to the origin —
+  // the cluster wires a peer fetch from the key's ring owner here. The
+  // resolver is expected to store what it finds (so a re-assembly sees a
+  // warm store) and return the fragment; a failure falls back to normal
+  // recovery. On the streaming path it replaces ResolveMiss the same way.
+  StreamingAssembler::MissResolver miss_resolver = nullptr;
+  // Fired after a page assembles (buffered path) with the dpcKeys its SETs
+  // stored, in template order; the cluster replicates those fragments to
+  // their ring owners. Runs on the request thread — keep it cheap or
+  // in-process. Not fired on the streaming path.
+  std::function<void(const std::vector<bem::DpcKey>&)> on_sets = nullptr;
+  // Control-channel endpoints (docs/edge-tier.md): accept pushed fragment
+  // bodies at push_path (X-DPC-Push-Key/X-DPC-Push-Age headers) and serve
+  // owned fragments to ring peers at fragment_path (?key=hex).
+  bool enable_push = false;
+  std::string push_path = "/_dynaprox/push";
+  std::string fragment_path = "/_dynaprox/fragment";
 };
 
 struct ProxyStats {
@@ -132,6 +150,9 @@ struct ProxyStats {
   uint64_t stream_fallbacks = 0;  // Template finished during prefetch:
                                   // served buffered instead.
   uint64_t stream_aborts = 0;     // Streams aborted after commit.
+  uint64_t peer_fills = 0;      // GET misses filled from a ring peer.
+  uint64_t pushes_applied = 0;  // Control-channel pushes stored.
+  uint64_t peer_serves = 0;     // Fragment-endpoint serves to ring peers.
 };
 
 // The Dynamic Proxy Cache (paper 4.3.3) in reverse-proxy mode: stores
@@ -168,7 +189,15 @@ class DpcProxy {
     if (stale_cache_ != nullptr) stale_cache_->Clear();
   }
 
+  // Stores `body` as a control-channel push (age-accounted; see
+  // FragmentStore::SetPushed) and accounts the push metrics. The HTTP push
+  // endpoint routes here; in-process clusters may call it directly.
+  Status ApplyPush(bem::DpcKey key, FragmentRef body, MicroTime age_micros);
+
   const FragmentStore& store() const { return store_; }
+  // Mutable store access for in-process cluster wiring (peer fills write
+  // fetched fragments here); not part of the serving API.
+  FragmentStore& mutable_store() { return store_; }
   // Null unless enable_static_cache was set.
   const StaticCache* static_cache() const { return static_cache_.get(); }
   // Null unless serve_stale was set.
@@ -201,6 +230,12 @@ class DpcProxy {
     metrics::Counter* streamed;
     metrics::Counter* stream_fallbacks;
     metrics::Counter* stream_aborts;
+    // Edge-cluster instruments; registered only when the matching option
+    // is set, null otherwise (guard before incrementing).
+    metrics::Counter* peer_fills = nullptr;
+    metrics::Counter* pushes_applied = nullptr;
+    metrics::Counter* push_bytes = nullptr;
+    metrics::Counter* peer_serves = nullptr;
     metrics::LatencyHistogram* request_duration;
     metrics::LatencyHistogram* upstream_fetch_duration;
     metrics::LatencyHistogram* scan_duration;
@@ -244,6 +279,9 @@ class DpcProxy {
   // with Warning/Age; accounts stale_served and client bytes.
   std::optional<http::Response> LookupAnyStale(const std::string& url);
   http::Response RenderStatus() const;
+  // Control-channel endpoints (ProxyOptions::enable_push).
+  http::Response HandlePush(const http::Request& request);
+  http::Response HandleFragment(const http::Request& request);
 
   net::Transport* upstream_;
   ProxyOptions options_;

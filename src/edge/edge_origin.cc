@@ -1,5 +1,8 @@
 #include "edge/edge_origin.h"
 
+#include "bem/protocol.h"
+#include "common/logging.h"
+
 namespace dynaprox::edge {
 
 EdgeOrigin::EdgeOrigin(const appserver::ScriptRegistry* registry,
@@ -9,7 +12,12 @@ EdgeOrigin::EdgeOrigin(const appserver::ScriptRegistry* registry,
     : registry_(registry),
       repository_(repository),
       bem_options_(bem_options),
-      origin_options_(origin_options) {}
+      origin_options_(origin_options) {
+  registry_mx_.RegisterCallbackCounter(
+      "dynaprox_edge_rejected_total",
+      "Requests 400-rejected for a missing or unknown X-DPC-Edge header.",
+      [this] { return rejected_total(); });
+}
 
 Status EdgeOrigin::AddEdge(const std::string& edge_id) {
   if (edges_.find(edge_id) != edges_.end()) {
@@ -27,16 +35,43 @@ Status EdgeOrigin::AddEdge(const std::string& edge_id) {
   return Status::Ok();
 }
 
+http::Response EdgeOrigin::Reject(const http::Request& request,
+                                  std::string detail) {
+  rejected_.fetch_add(1, std::memory_order_relaxed);
+  DYNAPROX_LOG(kWarning, "edge_origin")
+      << "rejected " << request.method << " " << request.target << ": "
+      << detail;
+  http::Response response =
+      http::Response::MakeError(400, "Bad Request", std::move(detail));
+  if (origin_options_.access_log != nullptr) {
+    const Clock* clock = origin_options_.clock != nullptr
+                             ? origin_options_.clock
+                             : SystemClock::Default();
+    AccessLogEntry entry;
+    entry.timestamp_micros = clock->NowMicros();
+    entry.component = "edge_origin";
+    if (auto id = request.headers.Get(bem::kRequestIdHeader);
+        id.has_value()) {
+      entry.request_id = std::string(*id);
+    }
+    entry.method = request.method;
+    entry.target = request.target;
+    entry.status = response.status_code;
+    entry.bytes_sent = response.body.size();
+    entry.outcome = "edge_rejected";
+    origin_options_.access_log->Log(entry);
+  }
+  return response;
+}
+
 http::Response EdgeOrigin::Handle(const http::Request& request) {
   auto edge_id = request.headers.Get(kEdgeHeader);
   if (!edge_id.has_value()) {
-    return http::Response::MakeError(400, "Bad Request",
-                                     "missing X-DPC-Edge header");
+    return Reject(request, "missing X-DPC-Edge header");
   }
   auto it = edges_.find(std::string(*edge_id));
   if (it == edges_.end()) {
-    return http::Response::MakeError(
-        400, "Bad Request", "unknown edge: " + std::string(*edge_id));
+    return Reject(request, "unknown edge: " + std::string(*edge_id));
   }
   return it->second.server->Handle(request);
 }

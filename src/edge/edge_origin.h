@@ -1,6 +1,7 @@
 #ifndef DYNAPROX_EDGE_EDGE_ORIGIN_H_
 #define DYNAPROX_EDGE_EDGE_ORIGIN_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <string>
@@ -46,6 +47,14 @@ class EdgeOrigin {
       const std::string& edge_id) const;
   Result<appserver::OriginStats> StatsFor(const std::string& edge_id) const;
   size_t edge_count() const { return edges_.size(); }
+  // Requests 400-rejected for a missing or unknown kEdgeHeader — the
+  // signal that an edge is misconfigured or was never registered.
+  uint64_t rejected_total() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+  // Fan-out-level metrics (dynaprox_edge_rejected_total); the per-edge
+  // origin servers each expose their own registry.
+  const metrics::Registry& metrics_registry() const { return registry_mx_; }
 
  private:
   struct Edge {
@@ -53,11 +62,17 @@ class EdgeOrigin {
     std::unique_ptr<appserver::OriginServer> server;
   };
 
+  // Rejects `request` with 400, counting it and writing an access-log
+  // line (outcome "edge_rejected") so misrouted traffic is visible.
+  http::Response Reject(const http::Request& request, std::string detail);
+
   const appserver::ScriptRegistry* registry_;
   storage::ContentRepository* repository_;
   bem::BemOptions bem_options_;
   appserver::OriginOptions origin_options_;
   std::map<std::string, Edge> edges_;
+  std::atomic<uint64_t> rejected_{0};
+  metrics::Registry registry_mx_;
 };
 
 }  // namespace dynaprox::edge

@@ -65,19 +65,24 @@ Status HashRing::MarkUp(const std::string& node) {
 }
 
 Result<std::string> HashRing::Route(std::string_view key) const {
-  if (ring_.empty() || down_.size() >= nodes_.size()) {
-    return Status::FailedPrecondition("no live nodes in ring");
+  if (ring_.empty()) {
+    return Status::FailedPrecondition("ring has no nodes");
+  }
+  if (down_.size() >= nodes_.size()) {
+    // Distinct from the empty ring: the topology is configured but every
+    // member is marked down, so the condition is transient — callers may
+    // retry after a MarkUp instead of treating it as a setup error.
+    return Status::Unavailable("all ring nodes are down");
   }
   uint64_t hash = RingPoint(key);
   auto it = ring_.lower_bound(hash);
-  // Walk clockwise (wrapping) until a live node appears; bounded by ring
-  // size since at least one node is live.
-  for (size_t step = 0; step < ring_.size(); ++step) {
+  // Walk clockwise (wrapping) until a live node appears; guaranteed to
+  // terminate within one lap since at least one node is live.
+  for (;;) {
     if (it == ring_.end()) it = ring_.begin();
     if (down_.count(it->second) == 0) return it->second;
     ++it;
   }
-  return Status::FailedPrecondition("no live nodes in ring");
 }
 
 size_t HashRing::live_node_count() const {

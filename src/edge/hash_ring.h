@@ -38,7 +38,9 @@ class HashRing {
   Status MarkDown(const std::string& node);
   Status MarkUp(const std::string& node);
 
-  // Routes `key` to a live node; FailedPrecondition when none is live.
+  // Routes `key` to a live node. FailedPrecondition when the ring is
+  // empty (misconfiguration); Unavailable when nodes exist but every one
+  // is marked down (transient — retry after a MarkUp).
   Result<std::string> Route(std::string_view key) const;
 
   size_t node_count() const { return nodes_.size(); }

@@ -1,0 +1,155 @@
+#include "appserver/push_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "appserver/origin_server.h"
+#include "common/clock.h"
+
+namespace dynaprox::appserver {
+namespace {
+
+// One pushed fragment as seen by a test sink.
+struct SinkCall {
+  std::string canonical;
+  bem::DpcKey key;
+  std::string body;
+  MicroTime age_micros;
+};
+
+class PushEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    registry_.RegisterOrReplace("/cached", [this](ScriptContext& context) {
+      context.Emit("<page>");
+      Status status = context.CacheableBlock(
+          bem::FragmentId("frag"), [this](ScriptContext& ctx) {
+            ctx.Emit("body v" + std::to_string(version_));
+            return Status::Ok();
+          });
+      context.Emit("</page>");
+      return status;
+    });
+
+    bem::BemOptions bem_options;
+    bem_options.capacity = 8;
+    bem_options.clock = &clock_;
+    monitor_ = *bem::BackEndMonitor::Create(bem_options);
+  }
+
+  // Builds engine + origin wired per the documented pattern: engine
+  // first, origin with the engine pointer, then close the loop.
+  void Wire(double min_score) {
+    bem::PushPolicy policy;
+    policy.min_score = min_score;
+    engine_ = std::make_unique<PushEngine>(policy, &clock_);
+    monitor_->SetObserver(&engine_->scheduler());
+    OriginOptions options;
+    options.clock = &clock_;
+    options.push_engine = engine_.get();
+    server_ = std::make_unique<OriginServer>(&registry_, &repository_,
+                                             monitor_.get(), options);
+    engine_->AttachOrigin(server_.get());
+    engine_->set_sink([this](const std::string& canonical, bem::DpcKey key,
+                             const std::string& body, MicroTime age) {
+      if (!sink_status_.ok()) return sink_status_;
+      sink_calls_.push_back(SinkCall{canonical, key, body, age});
+      return Status::Ok();
+    });
+  }
+
+  http::Response Render() {
+    http::Request request;
+    request.target = "/cached";
+    return server_->Handle(request);
+  }
+
+  SimClock clock_;
+  ScriptRegistry registry_;
+  storage::ContentRepository repository_;
+  std::unique_ptr<bem::BackEndMonitor> monitor_;
+  std::unique_ptr<PushEngine> engine_;
+  std::unique_ptr<OriginServer> server_;
+  std::vector<SinkCall> sink_calls_;
+  Status sink_status_ = Status::Ok();
+  int version_ = 1;
+};
+
+TEST_F(PushEngineTest, DrainPushesInvalidatedFragment) {
+  Wire(/*min_score=*/1.0);
+  ASSERT_EQ(Render().status_code, 200);  // Producer recorded, inserted.
+  ASSERT_TRUE(monitor_->Invalidate(bem::FragmentId("frag")).ok());
+  EXPECT_EQ(engine_->scheduler().queue_depth(), 1u);
+
+  version_ = 2;  // The re-render must pick up the new content.
+  EXPECT_EQ(engine_->Drain(), 1u);
+
+  ASSERT_EQ(sink_calls_.size(), 1u);
+  EXPECT_EQ(sink_calls_[0].canonical, "frag");
+  EXPECT_EQ(sink_calls_[0].body, "body v2");
+  EXPECT_EQ(sink_calls_[0].age_micros, 0);
+  EXPECT_EQ(engine_->stats().pushed, 1u);
+  // The push re-render re-inserted the fragment, closing the staleness
+  // window through the shared histogram.
+  EXPECT_EQ(engine_->staleness().snapshot().count, 1u);
+}
+
+TEST_F(PushEngineTest, NeverRenderedFragmentCountsNoProducer) {
+  Wire(/*min_score=*/0.0);
+  // Invalidation arrives for a fragment no request ever produced here.
+  monitor_->SetObserver(&engine_->scheduler());
+  engine_->scheduler().OnInvalidate("ghost");
+  EXPECT_EQ(engine_->Drain(), 0u);
+  EXPECT_EQ(engine_->stats().no_producer, 1u);
+  EXPECT_TRUE(sink_calls_.empty());
+}
+
+TEST_F(PushEngineTest, ClientRefreshBeforeDrainDropsCorrectly) {
+  Wire(/*min_score=*/1.0);
+  ASSERT_EQ(Render().status_code, 200);
+  ASSERT_TRUE(monitor_->Invalidate(bem::FragmentId("frag")).ok());
+  EXPECT_EQ(engine_->scheduler().queue_depth(), 1u);
+
+  // A client request re-renders the invalid fragment before Drain runs;
+  // its response already carried the fresh SET toward the edge tier.
+  ASSERT_EQ(Render().status_code, 200);
+
+  EXPECT_EQ(engine_->Drain(), 0u);
+  EXPECT_EQ(engine_->stats().missing_capture, 1u);
+  EXPECT_EQ(engine_->stats().pushed, 0u);
+  EXPECT_TRUE(sink_calls_.empty());
+}
+
+TEST_F(PushEngineTest, SinkFailureCounts) {
+  Wire(/*min_score=*/1.0);
+  ASSERT_EQ(Render().status_code, 200);
+  ASSERT_TRUE(monitor_->Invalidate(bem::FragmentId("frag")).ok());
+  sink_status_ = Status::Unavailable("edge unreachable");
+  EXPECT_EQ(engine_->Drain(), 0u);
+  EXPECT_EQ(engine_->stats().push_failures, 1u);
+}
+
+TEST_F(PushEngineTest, ColdFragmentNeverQueuedSoDrainIsEmpty) {
+  Wire(/*min_score=*/100.0);
+  ASSERT_EQ(Render().status_code, 200);
+  ASSERT_TRUE(monitor_->Invalidate(bem::FragmentId("frag")).ok());
+  EXPECT_EQ(engine_->scheduler().queue_depth(), 0u);
+  EXPECT_EQ(engine_->scheduler().stats().skipped_cold, 1u);
+  EXPECT_EQ(engine_->Drain(), 0u);
+}
+
+TEST_F(PushEngineTest, PushMetricsExposedWhenEngineAttached) {
+  Wire(/*min_score=*/1.0);
+  ASSERT_EQ(Render().status_code, 200);
+  ASSERT_TRUE(monitor_->Invalidate(bem::FragmentId("frag")).ok());
+  engine_->Drain();
+  std::string exposition = server_->metrics_registry().RenderPrometheus();
+  EXPECT_NE(exposition.find("dynaprox_bem_push_enqueued_total 1"),
+            std::string::npos);
+  EXPECT_NE(exposition.find("dynaprox_bem_push_sent_total 1"),
+            std::string::npos);
+  EXPECT_NE(exposition.find("dynaprox_bem_push_queue_depth"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace dynaprox::appserver

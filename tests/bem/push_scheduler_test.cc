@@ -1,0 +1,126 @@
+#include "bem/push_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+
+namespace dynaprox::bem {
+namespace {
+
+PushPolicy TestPolicy(double min_score = 4.0, size_t capacity = 8) {
+  PushPolicy policy;
+  policy.min_score = min_score;
+  policy.queue_capacity = capacity;
+  return policy;
+}
+
+TEST(PushSchedulerTest, ColdFragmentStaysPull) {
+  SimClock clock;
+  PushScheduler scheduler(TestPolicy(), &clock);
+  // One lookup, one invalidation: score 1 < 4.
+  scheduler.OnLookup("page|frag", true);
+  scheduler.OnInvalidate("page|frag");
+  EXPECT_EQ(scheduler.queue_depth(), 0u);
+  EXPECT_EQ(scheduler.stats().skipped_cold, 1u);
+  EXPECT_EQ(scheduler.stats().enqueued, 0u);
+  EXPECT_DOUBLE_EQ(scheduler.ScoreOf("page|frag"), 1.0);
+}
+
+TEST(PushSchedulerTest, HotUpdateHeavyFragmentAdmitted) {
+  SimClock clock;
+  PushScheduler scheduler(TestPolicy(4.0), &clock);
+  for (int i = 0; i < 4; ++i) scheduler.OnLookup("page|hot", true);
+  scheduler.OnInvalidate("page|hot");  // score 4*1 = 4 >= 4.
+  EXPECT_EQ(scheduler.queue_depth(), 1u);
+  auto batch = scheduler.TakeBatch();
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].canonical, "page|hot");
+  EXPECT_EQ(scheduler.queue_depth(), 0u);
+}
+
+TEST(PushSchedulerTest, DuplicateInvalidationsQueueOnce) {
+  SimClock clock;
+  PushScheduler scheduler(TestPolicy(1.0), &clock);
+  scheduler.OnLookup("f", true);
+  scheduler.OnInvalidate("f");
+  scheduler.OnInvalidate("f");
+  scheduler.OnInvalidate("f");
+  // One re-render covers all three updates.
+  EXPECT_EQ(scheduler.queue_depth(), 1u);
+  EXPECT_EQ(scheduler.stats().enqueued, 1u);
+}
+
+TEST(PushSchedulerTest, FullQueueDropsToPull) {
+  SimClock clock;
+  PushScheduler scheduler(TestPolicy(1.0, /*capacity=*/2), &clock);
+  for (int i = 0; i < 4; ++i) {
+    std::string canonical = "f" + std::to_string(i);
+    scheduler.OnLookup(canonical, true);
+    scheduler.OnInvalidate(canonical);
+  }
+  EXPECT_EQ(scheduler.queue_depth(), 2u);
+  EXPECT_EQ(scheduler.stats().enqueued, 2u);
+  EXPECT_EQ(scheduler.stats().dropped, 2u);
+}
+
+TEST(PushSchedulerTest, InsertReleasesQueuedFlag) {
+  SimClock clock;
+  PushScheduler scheduler(TestPolicy(1.0), &clock);
+  scheduler.OnLookup("f", true);
+  scheduler.OnInvalidate("f");
+  EXPECT_EQ(scheduler.queue_depth(), 1u);
+  (void)scheduler.TakeBatch();
+  // Re-insert (the push re-render) clears the queued flag, so the next
+  // invalidation can queue again.
+  scheduler.OnInsert("f", 7);
+  scheduler.OnInvalidate("f");
+  EXPECT_EQ(scheduler.queue_depth(), 1u);
+}
+
+TEST(PushSchedulerTest, TakeBatchHonorsMaxAndOrder) {
+  SimClock clock;
+  PushScheduler scheduler(TestPolicy(1.0), &clock);
+  for (int i = 0; i < 3; ++i) {
+    std::string canonical = "f" + std::to_string(i);
+    scheduler.OnLookup(canonical, true);
+    scheduler.OnInvalidate(canonical);
+  }
+  auto first = scheduler.TakeBatch(2);
+  ASSERT_EQ(first.size(), 2u);
+  EXPECT_EQ(first[0].canonical, "f0");
+  EXPECT_EQ(first[1].canonical, "f1");
+  auto rest = scheduler.TakeBatch();
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_EQ(rest[0].canonical, "f2");
+}
+
+TEST(PushSchedulerTest, StalenessMeasuredFromFirstInvalidation) {
+  SimClock clock;
+  metrics::LatencyHistogram staleness({0.1, 1.0, 10.0});
+  PushScheduler scheduler(TestPolicy(/*min_score=*/1e18), &clock,
+                          &staleness);
+  scheduler.OnLookup("f", true);
+  clock.AdvanceSeconds(1.0);
+  scheduler.OnInvalidate("f");  // Stale from t=1s (never admitted: cold).
+  clock.AdvanceSeconds(0.5);
+  scheduler.OnInvalidate("f");  // Second update; window still starts at 1s.
+  clock.AdvanceSeconds(1.5);
+  scheduler.OnInsert("f", 3);  // Re-rendered at t=3s: gap = 2s.
+  auto snapshot = staleness.snapshot();
+  ASSERT_EQ(snapshot.count, 1u);
+  EXPECT_NEAR(snapshot.sum, 2.0, 1e-9);
+
+  // A second insert without an intervening invalidation observes nothing.
+  scheduler.OnInsert("f", 3);
+  EXPECT_EQ(staleness.snapshot().count, 1u);
+}
+
+TEST(PushSchedulerTest, InsertOfUnknownFragmentIsIgnored) {
+  SimClock clock;
+  PushScheduler scheduler(TestPolicy(), &clock);
+  scheduler.OnInsert("never-seen", 1);  // Must not crash or create state.
+  EXPECT_DOUBLE_EQ(scheduler.ScoreOf("never-seen"), 0.0);
+}
+
+}  // namespace
+}  // namespace dynaprox::bem

@@ -75,5 +75,62 @@ TEST(FragmentStoreTest, ZeroCapacityStore) {
   EXPECT_TRUE(store.Set(0, "x").IsInvalidArgument());
 }
 
+TEST(FragmentStorePushTest, SetPushedStoresAndCounts) {
+  FragmentStore store(4);
+  auto body = std::make_shared<const std::string>("pushed body");
+  ASSERT_TRUE(store.SetPushed(1, body, /*base_age_micros=*/0,
+                              /*now_micros=*/100).ok());
+  EXPECT_EQ(**store.Get(1), "pushed body");
+  EXPECT_EQ(store.stats().pushes, 1u);
+  EXPECT_EQ(store.stats().sets, 0u);
+  EXPECT_EQ(store.pushed_slots(), 1u);
+}
+
+TEST(FragmentStorePushTest, AgeAccountsBaseAgePlusResidency) {
+  FragmentStore store(4);
+  auto body = std::make_shared<const std::string>("b");
+  // Pushed at t=1000 already 500 old; at t=1600 it is 500 + 600 old.
+  ASSERT_TRUE(store.SetPushed(0, body, 500, 1000).ok());
+  Result<MicroTime> age = store.AgeOf(0, 1600);
+  ASSERT_TRUE(age.ok());
+  EXPECT_EQ(*age, 1100);
+}
+
+TEST(FragmentStorePushTest, SetContentHasAgeZero) {
+  FragmentStore store(4);
+  ASSERT_TRUE(store.Set(2, "fresh").ok());
+  Result<MicroTime> age = store.AgeOf(2, 999999);
+  ASSERT_TRUE(age.ok());
+  EXPECT_EQ(*age, 0);
+  EXPECT_EQ(store.pushed_slots(), 0u);
+}
+
+TEST(FragmentStorePushTest, AgeOfEmptySlotIsNotFound) {
+  FragmentStore store(4);
+  EXPECT_TRUE(store.AgeOf(3, 0).status().IsNotFound());
+}
+
+TEST(FragmentStorePushTest, SetOverwritesPushResettingAge) {
+  FragmentStore store(4);
+  auto body = std::make_shared<const std::string>("old push");
+  ASSERT_TRUE(store.SetPushed(1, body, 1000, 2000).ok());
+  EXPECT_EQ(store.pushed_slots(), 1u);
+  // A SET from a freshly assembled response supersedes the push: the
+  // content is now zero-age and the pushed gauge drops.
+  ASSERT_TRUE(store.Set(1, "fresh set").ok());
+  EXPECT_EQ(store.pushed_slots(), 0u);
+  EXPECT_EQ(*store.AgeOf(1, 5000), 0);
+  EXPECT_EQ(**store.Get(1), "fresh set");
+}
+
+TEST(FragmentStorePushTest, ClearResetsPushState) {
+  FragmentStore store(4);
+  auto body = std::make_shared<const std::string>("x");
+  ASSERT_TRUE(store.SetPushed(0, body, 0, 0).ok());
+  store.Clear();
+  EXPECT_EQ(store.pushed_slots(), 0u);
+  EXPECT_TRUE(store.AgeOf(0, 0).status().IsNotFound());
+}
+
 }  // namespace
 }  // namespace dynaprox::dpc

@@ -1,5 +1,6 @@
 #include "edge/hash_ring.h"
 
+#include <algorithm>
 #include <map>
 #include <set>
 
@@ -73,6 +74,97 @@ TEST(HashRingTest, AllDownFails) {
   ASSERT_TRUE(ring.AddNode("a").ok());
   ASSERT_TRUE(ring.MarkDown("a").ok());
   EXPECT_FALSE(ring.Route("x").ok());
+}
+
+// Regression: an all-down ring used to spin forever walking for a live
+// node (every position down, the walk never terminated). It must return
+// promptly — and with Unavailable, not the empty ring's
+// FailedPrecondition, so callers can tell "retry after MarkUp" from
+// "misconfigured".
+TEST(HashRingTest, AllDownIsUnavailableNotFailedPrecondition) {
+  HashRing ring;
+  ASSERT_TRUE(ring.AddNode("a").ok());
+  ASSERT_TRUE(ring.AddNode("b").ok());
+  ASSERT_TRUE(ring.MarkDown("a").ok());
+  ASSERT_TRUE(ring.MarkDown("b").ok());
+  Status status = ring.Route("x").status();
+  EXPECT_TRUE(status.IsUnavailable()) << status.ToString();
+  EXPECT_EQ(ring.live_node_count(), 0u);
+  // Recovery is a MarkUp away.
+  ASSERT_TRUE(ring.MarkUp("b").ok());
+  EXPECT_EQ(*ring.Route("x"), "b");
+}
+
+// Rebalance math: at the production vnode count (40), no node's share of
+// a many-key universe should be wildly off 1/N.
+TEST(HashRingTest, VnodeSpreadIsBalanced) {
+  HashRing ring;
+  const int kNodes = 5;
+  for (int n = 0; n < kNodes; ++n) {
+    ASSERT_TRUE(ring.AddNode("edge-" + std::to_string(n), 40).ok());
+  }
+  std::map<std::string, int> counts;
+  const int kKeys = 20000;
+  for (int i = 0; i < kKeys; ++i) {
+    ++counts[*ring.Route("k:" + std::to_string(i))];
+  }
+  ASSERT_EQ(counts.size(), static_cast<size_t>(kNodes));
+  int min_count = kKeys, max_count = 0;
+  for (const auto& [node, count] : counts) {
+    min_count = std::min(min_count, count);
+    max_count = std::max(max_count, count);
+  }
+  // Ideal share is kKeys / kNodes = 4000. With 40 vnodes the spread is
+  // coarse but must stay within about a factor of two of ideal.
+  EXPECT_GT(min_count, kKeys / (2 * kNodes));
+  EXPECT_LT(max_count, 2 * kKeys / kNodes);
+}
+
+// Consistent hashing's defining property: adding a node moves ~1/N of
+// the keys (those it now owns) and no others.
+TEST(HashRingTest, AddNodeMovesAboutOneNthOfKeys) {
+  HashRing ring;
+  const int kBefore = 4;
+  for (int n = 0; n < kBefore; ++n) {
+    ASSERT_TRUE(ring.AddNode("edge-" + std::to_string(n), 40).ok());
+  }
+  const int kKeys = 10000;
+  std::map<std::string, std::string> before;
+  for (int i = 0; i < kKeys; ++i) {
+    std::string key = "k:" + std::to_string(i);
+    before[key] = *ring.Route(key);
+  }
+  ASSERT_TRUE(ring.AddNode("edge-new", 40).ok());
+  int moved = 0;
+  for (const auto& [key, node] : before) {
+    std::string now = *ring.Route(key);
+    if (now != node) {
+      // A key only ever moves *to* the new node, never between old ones.
+      EXPECT_EQ(now, "edge-new") << key;
+      ++moved;
+    }
+  }
+  // Ideal is kKeys / 5 = 2000; allow generous slack for 40-vnode noise.
+  EXPECT_GT(moved, kKeys / 10);
+  EXPECT_LT(moved, 2 * kKeys / 5);
+}
+
+// Failover determinism: routing with a node marked down is *identical*
+// to routing on a ring that never contained the node. Owners computed by
+// any healthy peer therefore agree during the failure, whether or not
+// that peer ever saw the dead node.
+TEST(HashRingTest, MarkDownEquivalentToAbsentNode) {
+  HashRing with_down, without;
+  for (const char* node : {"a", "b", "c"}) {
+    ASSERT_TRUE(with_down.AddNode(node, 40).ok());
+  }
+  ASSERT_TRUE(without.AddNode("a", 40).ok());
+  ASSERT_TRUE(without.AddNode("c", 40).ok());
+  ASSERT_TRUE(with_down.MarkDown("b").ok());
+  for (int i = 0; i < 2000; ++i) {
+    std::string key = "k:" + std::to_string(i);
+    EXPECT_EQ(*with_down.Route(key), *without.Route(key)) << key;
+  }
 }
 
 TEST(HashRingTest, MarkUnknownNodeFails) {

@@ -308,7 +308,8 @@ TEST_F(ObservabilityTest, ProxyStatusSkeletonIsByteCompatible) {
       "\"occupied_slots\":N,\"content_bytes\":N,"
       "\"bytes\":[N,N,N,N,N,N,N,N,N,N,N,N,N,N,N,N],"
       "\"sets\":N,\"gets\":N,"
-      "\"get_misses\":N},\"static_cache\":{\"entries\":N,\"hits\":N,"
+      "\"get_misses\":N,\"pushes\":N,\"pushed_slots\":N},"
+      "\"static_cache\":{\"entries\":N,\"hits\":N,"
       "\"misses\":N,\"stores\":N,\"revalidations\":N,\"stale_served\":N,"
       "\"evictions\":N}}");
 }

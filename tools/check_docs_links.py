@@ -10,6 +10,11 @@ Checks, over README.md, DESIGN.md, ROADMAP.md, and docs/*.md:
    parsed via Flags::Get{Int,Double,Bool,String}("flag", ...) — so the
    operator docs can't drift from the binaries. Flags that belong to
    other ecosystems (ctest, cmake, git) live in ALLOWED_FOREIGN_FLAGS.
+3. Every `dynaprox_*` metric name a doc mentions appears in the sources
+   (src/ or tools/). Names built at runtime from a prefix (e.g.
+   `dynaprox_<component>_ingress_...`) are matched by progressively
+   stripping leading segments until the literal tail is found. Mentions
+   ending in `_` (prefix families like `dynaprox_edge_*`) are skipped.
 
 Run from anywhere: paths are resolved relative to the repo root (the
 parent of this script's directory). Exits non-zero listing every
@@ -45,7 +50,13 @@ LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 FLAG_RE = re.compile(r"--([a-z][a-z0-9-]*)")
 # Flags::GetInt("name", ...) / GetDouble / GetBool / GetString.
 FLAG_DEF_RE = re.compile(r'Get(?:Int|Double|Bool|String)\("([a-z0-9-]+)"')
+METRIC_RE = re.compile(r"\bdynaprox_[a-z0-9_]+")
 CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+# The three shipped binaries share the metric name prefix; they are not
+# metrics.
+TOOL_BINARY_NAMES = {"dynaprox_origin", "dynaprox_proxy",
+                     "dynaprox_loadgen"}
 
 
 def known_tool_flags() -> set:
@@ -55,7 +66,37 @@ def known_tool_flags() -> set:
     return flags
 
 
-def check_file(doc: Path, tool_flags: set) -> list:
+def source_corpus() -> str:
+    """All C++ source text that can register a metric name."""
+    chunks = []
+    for directory in ("src", "tools"):
+        for pattern in ("**/*.cc", "**/*.h"):
+            for source in sorted((REPO_ROOT / directory).glob(pattern)):
+                chunks.append(source.read_text())
+    return "\n".join(chunks)
+
+
+def metric_in_sources(name: str, corpus: str) -> bool:
+    # Histogram exposition series (_bucket/_sum/_count) are synthesized
+    # from the base name at scrape time.
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            name = name[: -len(suffix)]
+            break
+    if name in corpus:
+        return True
+    # Runtime-prefixed names: strip up to three leading segments past
+    # "dynaprox" and look for the remaining literal tail (long enough to
+    # not match by accident).
+    parts = name.split("_")
+    for strip in range(2, 5):
+        tail = "_".join(parts[strip:])
+        if len(tail) >= 8 and tail in corpus:
+            return True
+    return False
+
+
+def check_file(doc: Path, tool_flags: set, corpus: str) -> list:
     errors = []
     text = doc.read_text()
 
@@ -76,6 +117,14 @@ def check_file(doc: Path, tool_flags: set) -> list:
             continue
         errors.append(f"{doc.relative_to(REPO_ROOT)}: documented flag "
                       f"'--{flag}' is parsed by no tools/*.cc")
+
+    for name in sorted(set(METRIC_RE.findall(text))):
+        if name.endswith("_") or name in TOOL_BINARY_NAMES:
+            continue
+        if not metric_in_sources(name, corpus):
+            errors.append(f"{doc.relative_to(REPO_ROOT)}: documented "
+                          f"metric '{name}' appears nowhere in "
+                          f"src/ or tools/")
     return errors
 
 
@@ -86,6 +135,7 @@ def main() -> int:
               "(wrong repo root?)", file=sys.stderr)
         return 2
 
+    corpus = source_corpus()
     errors = []
     checked = 0
     for doc in DOC_FILES:
@@ -94,7 +144,7 @@ def main() -> int:
                           f"{doc.relative_to(REPO_ROOT)}")
             continue
         checked += 1
-        errors.extend(check_file(doc, tool_flags))
+        errors.extend(check_file(doc, tool_flags, corpus))
 
     if errors:
         for error in errors:

@@ -11,6 +11,18 @@
 //       [--max-connections=0] [--max-inflight=0]
 //       [--header-timeout=0] [--idle-timeout=0] [--write-stall-timeout=0]
 //       [--max-header-bytes=0] [--max-body-bytes=0] [--drain-timeout=0]
+//       [--push-min-score=0] [--push-queue-capacity=1024]
+//       [--push-target-host=127.0.0.1] [--push-target-port=0]
+//       [--push-drain-ms=500]
+//
+// --push-min-score > 0 attaches the edge-tier push engine
+// (docs/edge-tier.md): invalidated fragments whose popularity *
+// update-rate score clears the threshold are re-rendered off-request and
+// POSTed to --push-target-host:--push-target-port (a dynaprox_proxy
+// started with --enable-push) every --push-drain-ms. With no target port
+// the engine still scores and exports the dynaprox_bem_push_* metrics,
+// but nothing drains — useful for sizing the threshold before enabling
+// delivery.
 //
 // The ingress limits (docs/failure-modes.md) all default to 0 = off and
 // apply to whichever --server is selected: --max-connections caps
@@ -33,16 +45,23 @@
 // DPC's lines (docs/observability.md).
 // Runs until EOF on stdin (or forever when stdin is closed).
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <thread>
 #include <unistd.h>
 
 #include "analytical/model.h"
 #include "appserver/origin_server.h"
+#include "appserver/push_engine.h"
 #include "appserver/script_registry.h"
 #include "bem/monitor.h"
+#include "bem/protocol.h"
 #include "bem/sweeper.h"
 #include "common/access_log.h"
 #include "common/flags.h"
+#include "common/strings.h"
+#include "net/connection_pool.h"
 #include "net/epoll_server.h"
 #include "net/tcp.h"
 #include "storage/table.h"
@@ -81,17 +100,25 @@ int main(int argc, char** argv) {
   Result<int64_t> drain_timeout_ms = flags->GetInt("drain-timeout", 0);
   Result<int64_t> block_workers = flags->GetInt("block-workers", 0);
   Result<int64_t> block_queue = flags->GetInt("block-queue", 256);
+  Result<int64_t> push_queue_capacity =
+      flags->GetInt("push-queue-capacity", 1024);
+  Result<int64_t> push_target_port = flags->GetInt("push-target-port", 0);
+  Result<int64_t> push_drain_ms = flags->GetInt("push-drain-ms", 500);
   for (const auto* r : {&port, &pages, &fragments, &capacity, &sweep_ms,
                         &seed, &max_connections, &max_inflight,
                         &header_timeout_ms, &idle_timeout_ms,
                         &write_stall_ms, &max_header_bytes, &max_body_bytes,
-                        &drain_timeout_ms, &block_workers, &block_queue}) {
+                        &drain_timeout_ms, &block_workers, &block_queue,
+                        &push_queue_capacity, &push_target_port,
+                        &push_drain_ms}) {
     if (!r->ok()) {
       std::fprintf(stderr, "%s\n", r->status().ToString().c_str());
       return 2;
     }
   }
-  for (const auto* r : {&fragment_size, &hit_ratio, &cacheability}) {
+  Result<double> push_min_score = flags->GetDouble("push-min-score", 0.0);
+  for (const auto* r :
+       {&fragment_size, &hit_ratio, &cacheability, &push_min_score}) {
     if (!r->ok()) {
       std::fprintf(stderr, "%s\n", r->status().ToString().c_str());
       return 2;
@@ -140,6 +167,45 @@ int main(int argc, char** argv) {
     access_log = std::move(*opened);
   }
 
+  // Edge-tier push engine (docs/edge-tier.md): scores invalidations on
+  // the BEM observer feed; a drain thread re-renders admitted fragments
+  // and POSTs them to the target DPC's /_dynaprox/push endpoint.
+  std::unique_ptr<appserver::PushEngine> push_engine;
+  std::unique_ptr<net::PooledClientTransport> push_link;
+  if (*push_min_score > 0 && monitor != nullptr) {
+    bem::PushPolicy push_policy;
+    push_policy.min_score = *push_min_score;
+    push_policy.queue_capacity = static_cast<size_t>(*push_queue_capacity);
+    push_engine = std::make_unique<appserver::PushEngine>(push_policy);
+    monitor->SetObserver(&push_engine->scheduler());
+    if (*push_target_port > 0) {
+      net::PooledTransportOptions push_link_options;
+      push_link_options.pool.max_connections = 2;
+      push_link = std::make_unique<net::PooledClientTransport>(
+          flags->GetString("push-target-host", "127.0.0.1"),
+          static_cast<uint16_t>(*push_target_port), push_link_options);
+      push_engine->set_sink([&push_link](const std::string&,
+                                         bem::DpcKey key,
+                                         const std::string& body,
+                                         MicroTime age_micros) {
+        http::Request push;
+        push.method = "POST";
+        push.target = "/_dynaprox/push";
+        push.headers.Set(bem::kPushKeyHeader, ToHex(key));
+        push.headers.Set(bem::kPushAgeHeader,
+                         std::to_string(age_micros < 0 ? 0 : age_micros));
+        push.body = body;
+        Result<http::Response> response = push_link->RoundTrip(push);
+        if (!response.ok()) return response.status();
+        if (response->status_code != 204) {
+          return Status::Internal("push refused: HTTP " +
+                                  std::to_string(response->status_code));
+        }
+        return Status::Ok();
+      });
+    }
+  }
+
   net::IngressCounters ingress;
   net::ServerLimits limits;
   limits.max_connections = static_cast<int>(*max_connections);
@@ -160,8 +226,24 @@ int main(int argc, char** argv) {
   origin_options.ingress = &ingress;
   origin_options.block_workers = static_cast<int>(*block_workers);
   origin_options.block_queue_capacity = static_cast<size_t>(*block_queue);
+  origin_options.push_engine = push_engine.get();
   appserver::OriginServer origin(&registry, &repository, monitor.get(),
                                  origin_options);
+
+  std::atomic<bool> push_running{true};
+  std::thread push_drainer;
+  if (push_engine != nullptr) {
+    push_engine->AttachOrigin(&origin);
+    if (push_link != nullptr) {
+      push_drainer = std::thread([&push_engine, &push_running,
+                                  interval = *push_drain_ms] {
+        while (push_running.load(std::memory_order_relaxed)) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(interval));
+          (void)push_engine->Drain();
+        }
+      });
+    }
+  }
 
   std::string server_kind = flags->GetString("server", "threads");
   Result<int64_t> workers = flags->GetInt("workers", 2);
@@ -197,12 +279,19 @@ int main(int argc, char** argv) {
               bound_port, monitor ? "BEM enabled" : "no-cache baseline",
               server_kind.c_str(), params.num_pages,
               params.fragments_per_page, params.fragment_size);
+  if (push_engine != nullptr) {
+    std::printf("push engine on: min-score %.1f, %s\n", *push_min_score,
+                push_link != nullptr ? "draining to target DPC"
+                                     : "scoring only (no target)");
+  }
   std::fflush(stdout);
 
   // Serve until stdin closes (Ctrl-D or pipe end).
   char buf[256];
   while (::read(STDIN_FILENO, buf, sizeof(buf)) > 0) {
   }
+  push_running.store(false, std::memory_order_relaxed);
+  if (push_drainer.joinable()) push_drainer.join();
   const MicroTime drain_micros = *drain_timeout_ms * kMicrosPerMilli;
   if (thread_server != nullptr) thread_server->Stop(drain_micros);
   if (epoll_server != nullptr) epoll_server->Stop(drain_micros);
@@ -213,6 +302,19 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.fragment_hits),
               static_cast<unsigned long long>(stats.fragment_misses),
               static_cast<unsigned long long>(stats.refresh_invalidations));
+  if (push_engine != nullptr) {
+    appserver::PushEngineStats push_stats = push_engine->stats();
+    bem::PushSchedulerStats sched_stats =
+        push_engine->scheduler().stats();
+    std::printf(
+        "push: %llu enqueued, %llu skipped cold, %llu dropped, %llu "
+        "pushed, %llu failures\n",
+        static_cast<unsigned long long>(sched_stats.enqueued),
+        static_cast<unsigned long long>(sched_stats.skipped_cold),
+        static_cast<unsigned long long>(sched_stats.dropped),
+        static_cast<unsigned long long>(push_stats.pushed),
+        static_cast<unsigned long long>(push_stats.push_failures));
+  }
   std::printf(
       "ingress: %llu accepted, %llu conn-limit rejections, %llu shed "
       "503s, %llu header timeouts, %llu idle timeouts, %llu oversize "

@@ -5,7 +5,7 @@
 //
 //   ./dynaprox_proxy --port=8080 --origin-host=127.0.0.1
 //       --origin-port=8081 [--capacity=4096] [--pool-size=8]
-//       [--static-cache] [--debug] [--streaming]
+//       [--static-cache] [--debug] [--streaming] [--enable-push]
 //       [--breaker] [--breaker-window=32] [--breaker-error-threshold=0.5]
 //       [--breaker-cooldown-ms=1000]
 //       [--serve-stale] [--stale-capacity=256] [--max-stale-sec=0]
@@ -18,6 +18,11 @@
 // fast-fails instead of eating a dial timeout per request; --serve-stale
 // answers failed GETs from the last assembled copy of the page
 // (docs/failure-modes.md).
+//
+// --enable-push opens the edge-tier control surface (docs/edge-tier.md):
+// POST /_dynaprox/push accepts BEM-pushed fragment bodies (pair with
+// dynaprox_origin --push-min-score) and GET /_dynaprox/fragment?key=hex
+// serves owned fragments to ring peers.
 //
 // --streaming turns on streaming scan-and-splice (docs/architecture.md):
 // assembled bytes are flushed to the client, chunked, while the template
@@ -153,6 +158,7 @@ int main(int argc, char** argv) {
   options.add_debug_header = flags->GetBool("debug");
   options.streaming = flags->GetBool("streaming");
   options.enable_static_cache = flags->GetBool("static-cache");
+  options.enable_push = flags->GetBool("enable-push");
   options.enable_status = true;
   options.enable_metrics = flags->GetBool("metrics", true);
   options.access_log = access_log.get();
@@ -171,7 +177,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("DPC listening on 127.0.0.1:%u -> upstream %s:%lld "
-              "(capacity %lld, pool %lld%s%s%s%s)\n",
+              "(capacity %lld, pool %lld%s%s%s%s%s)\n",
               server.port(), origin_host.c_str(),
               static_cast<long long>(*origin_port),
               static_cast<long long>(*capacity),
@@ -179,7 +185,8 @@ int main(int argc, char** argv) {
               options.enable_static_cache ? ", static cache on" : "",
               enable_breaker ? ", breaker on" : "",
               serve_stale ? ", serve-stale on" : "",
-              options.streaming ? ", streaming on" : "");
+              options.streaming ? ", streaming on" : "",
+              options.enable_push ? ", push endpoint on" : "");
   std::fflush(stdout);
 
   char buf[256];
@@ -218,6 +225,12 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(pool_stats.reconnects),
       static_cast<unsigned long long>(pool_stats.stale_closed),
       static_cast<unsigned long long>(pool_stats.waiter_timeouts));
+  if (options.enable_push) {
+    std::printf(
+        "edge tier: %llu pushes applied, %llu peer serves\n",
+        static_cast<unsigned long long>(stats.pushes_applied),
+        static_cast<unsigned long long>(stats.peer_serves));
+  }
   if (serve_stale || guarded != nullptr) {
     std::printf(
         "degraded mode: %llu stale pages served, %llu breaker "
