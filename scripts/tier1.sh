@@ -5,6 +5,8 @@
 #      and the gcc fuzz-smoke corpus tests)
 #   2. AddressSanitizer+UBSan over the memory-sensitive suites
 #   3. ThreadSanitizer over the threaded server/integration suites
+#   4. a fixed-seed chaos smoke: dynaprox_chaos under ASan, invariants
+#      must hold (docs/failure-modes.md, "Chaos layer")
 #
 # Sanitizer passes run on suite subsets so the script stays usable on
 # small (single-core) hosts; JOBS=<n> overrides the parallelism.
@@ -41,5 +43,13 @@ cmake --build build-tsan -j"$JOBS" --target \
   common_test bem_test appserver_test net_test edge_test integration_test
 ctest --test-dir build-tsan --output-on-failure \
   -R '^(common_test|bem_test|appserver_test|net_test|edge_test|integration_test)$'
+
+# Deterministic chaos smoke: the seeded storm arms fault points across
+# every in-process layer and checks the four chaos invariants
+# (byte-identity, clean failures, conservation, recovery). Fixed seed,
+# so a failure here reproduces exactly with the same command.
+echo "== tier1: chaos smoke (fixed seed, ASan) =="
+cmake --build build-asan -j"$JOBS" --target dynaprox_chaos
+./build-asan/tools/dynaprox_chaos --seed=42 --requests=600
 
 echo "== tier1: all green =="

@@ -4,6 +4,7 @@
 
 #include "appserver/push_engine.h"
 #include "bem/protocol.h"
+#include "common/fault_point.h"
 #include "common/json.h"
 #include "common/logging.h"
 #include "common/strings.h"
@@ -72,6 +73,7 @@ void OriginServer::RegisterMetrics() {
   script_metrics_.tag_emission = registry_mx_.GetHistogram(
       "dynaprox_bem_tag_emission_duration_seconds",
       "SET/GET tag encode time per tag written into the template.");
+  chaos::FaultRegistry::Instance().RegisterMetrics(&registry_mx_);
 
   if (monitor_ != nullptr) {
     const bem::BackEndMonitor* monitor = monitor_;

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "appserver/origin_server.h"
+#include "common/fault_point.h"
 #include "common/logging.h"
 
 namespace dynaprox::appserver {
@@ -75,9 +76,13 @@ size_t PushEngine::Drain(size_t max) {
     }
     // The body was regenerated microseconds ago; it leaves here at age 0
     // and the edge accounts forwarding delay from its own receipt time.
-    Status sent = sink ? sink(fragment->canonical, fragment->key,
-                              fragment->body, /*age_micros=*/0)
-                       : Status::FailedPrecondition("no push sink attached");
+    Status sent =
+        chaos::InjectStatus(DYNAPROX_FAULT_POINT("bem.push.post"));
+    if (sent.ok()) {
+      sent = sink ? sink(fragment->canonical, fragment->key,
+                         fragment->body, /*age_micros=*/0)
+                  : Status::FailedPrecondition("no push sink attached");
+    }
     std::lock_guard<std::mutex> lock(mu_);
     if (sent.ok()) {
       ++stats_.pushed;

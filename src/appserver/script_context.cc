@@ -1,6 +1,7 @@
 #include "appserver/script_context.h"
 
 #include "bem/tag_codec.h"
+#include "common/fault_point.h"
 #include "common/logging.h"
 
 namespace dynaprox::appserver {
@@ -169,7 +170,10 @@ Status ScriptContext::CacheableBlock(const bem::FragmentId& id,
         ScriptContext child(request_, repository_, monitor_, metrics_);
         child.in_block_ = true;
         MicroTime start = timed() ? metrics_->clock->NowMicros() : 0;
-        pending->status = pending->generate(child);
+        Status injected = chaos::InjectStatus(
+            DYNAPROX_FAULT_POINT("bem.block.generate"));
+        pending->status =
+            injected.ok() ? pending->generate(child) : injected;
         if (timed()) {
           ObserveStage(metrics_->block_execution,
                        metrics_->clock->NowMicros() - start);
@@ -190,7 +194,9 @@ Status ScriptContext::CacheableBlock(const bem::FragmentId& id,
   block_buffer_.clear();
   pending_deps_.clear();
   MicroTime generate_start = instrumented ? clock->NowMicros() : 0;
-  Status generated = generate(*this);
+  Status generated =
+      chaos::InjectStatus(DYNAPROX_FAULT_POINT("bem.block.generate"));
+  if (generated.ok()) generated = generate(*this);
   if (instrumented) {
     ObserveStage(metrics_->block_execution,
                  clock->NowMicros() - generate_start);

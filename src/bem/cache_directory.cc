@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/fault_point.h"
 #include "common/logging.h"
 
 namespace dynaprox::bem {
@@ -99,6 +100,10 @@ LookupResult CacheDirectory::Lookup(const FragmentId& id) {
 }
 
 Status CacheDirectory::EvictOne() {
+  // Injected failure degrades like any eviction race: the Insert round
+  // retries and ultimately reports CapacityExceeded (uncached emit).
+  DYNAPROX_RETURN_IF_ERROR(
+      chaos::InjectStatus(DYNAPROX_FAULT_POINT("bem.directory.evict")));
   // Replacement manager: evict a victim to free a key (paper 4.3.3).
   Result<std::string> victim = [&]() -> Result<std::string> {
     std::lock_guard<common::ContendedMutex> policy_lock(policy_mu_);
@@ -120,6 +125,11 @@ Status CacheDirectory::EvictOne() {
 
 Result<DpcKey> CacheDirectory::Insert(const FragmentId& id,
                                       MicroTime ttl_micros) {
+  if (Status injected = chaos::InjectStatus(
+          DYNAPROX_FAULT_POINT("bem.directory.insert"));
+      !injected.ok()) {
+    return injected;  // Caller degrades to an uncached emit.
+  }
   std::string canonical = id.Canonical();
   Stripe& stripe = StripeFor(canonical);
 

@@ -1,5 +1,7 @@
 #include "bem/push_scheduler.h"
 
+#include "common/fault_point.h"
+
 namespace dynaprox::bem {
 
 PushScheduler::PushScheduler(PushPolicy policy, const Clock* clock,
@@ -49,6 +51,12 @@ void PushScheduler::OnInvalidate(const std::string& canonical) {
     return;
   }
   if (entry.queued) return;  // Already pending; one re-render covers both.
+  if (static_cast<bool>(chaos::ApplyDelay(
+          DYNAPROX_FAULT_POINT("bem.push.admit")->Evaluate()))) {
+    // Injected admission failure degrades to pull, like queue overflow.
+    ++stats_.dropped;
+    return;
+  }
   if (queue_.size() >= policy_.queue_capacity) {
     // Drop-to-pull: the fragment stays invalid in the directory and the
     // next client miss regenerates it. Nothing is lost but freshness.

@@ -1,0 +1,30 @@
+#include "common/deadline.h"
+
+namespace dynaprox::common {
+namespace {
+
+constexpr char kPrefix[] = "deadline exceeded: ";
+
+thread_local Deadline current_deadline;  // Infinite by default.
+
+}  // namespace
+
+DeadlineScope::DeadlineScope(Deadline deadline)
+    : previous_(current_deadline) {
+  current_deadline = deadline;
+}
+
+DeadlineScope::~DeadlineScope() { current_deadline = previous_; }
+
+Deadline CurrentDeadline() { return current_deadline; }
+
+Status DeadlineExceededError(const std::string& where) {
+  return Status::Unavailable(kPrefix + where);
+}
+
+bool IsDeadlineExceeded(const Status& status) {
+  return status.code() == StatusCode::kUnavailable &&
+         status.message().rfind(kPrefix, 0) == 0;
+}
+
+}  // namespace dynaprox::common

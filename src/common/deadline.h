@@ -1,0 +1,87 @@
+#ifndef DYNAPROX_COMMON_DEADLINE_H_
+#define DYNAPROX_COMMON_DEADLINE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace dynaprox::common {
+
+// An absolute per-request time budget, threaded from ingress through
+// every retrying layer (upstream fetch, peer fetch, X-DPC-Refresh
+// recovery). Each layer used to time out independently, so stacked
+// retries could worst-case add up far past the client's own timeout;
+// checking one shared deadline before every retry bounds the whole
+// request end to end (docs/failure-modes.md, "Deadline budgets").
+//
+// A default-constructed Deadline is infinite — callers that never set
+// a budget keep today's behavior exactly.
+class Deadline {
+ public:
+  Deadline() = default;
+
+  // A deadline `budget_micros` from now on `clock`. A non-positive
+  // budget means unlimited.
+  static Deadline After(const Clock* clock, MicroTime budget_micros) {
+    Deadline deadline;
+    if (clock != nullptr && budget_micros > 0) {
+      deadline.clock_ = clock;
+      deadline.at_micros_ = clock->NowMicros() + budget_micros;
+    }
+    return deadline;
+  }
+
+  // The tighter of two deadlines — how a nested hop combines its own
+  // budget with one an outer tier already established.
+  static Deadline Earliest(Deadline a, Deadline b) {
+    if (a.infinite()) return b;
+    if (b.infinite()) return a;
+    return a.remaining_micros() <= b.remaining_micros() ? a : b;
+  }
+
+  bool infinite() const { return clock_ == nullptr; }
+  bool expired() const {
+    return clock_ != nullptr && clock_->NowMicros() >= at_micros_;
+  }
+  // Remaining budget; a large positive value when infinite, clamped to
+  // 0 once expired.
+  MicroTime remaining_micros() const {
+    if (clock_ == nullptr) return INT64_MAX;
+    MicroTime left = at_micros_ - clock_->NowMicros();
+    return left < 0 ? 0 : left;
+  }
+
+ private:
+  const Clock* clock_ = nullptr;
+  MicroTime at_micros_ = 0;
+};
+
+// Ambient per-thread deadline. The DPC serves one request per thread
+// and its in-process hops (DirectTransport peer channels, recovery
+// renders) stay on that thread, so a thread-local scope propagates the
+// budget across callbacks whose signatures predate it (miss_resolver,
+// on_sets) without widening every interface.
+class DeadlineScope {
+ public:
+  explicit DeadlineScope(Deadline deadline);
+  ~DeadlineScope();
+  DeadlineScope(const DeadlineScope&) = delete;
+  DeadlineScope& operator=(const DeadlineScope&) = delete;
+
+ private:
+  Deadline previous_;
+};
+
+// The innermost active scope's deadline; infinite when none is active.
+Deadline CurrentDeadline();
+
+// Canonical error for an exhausted budget: Unavailable with a
+// recognizable prefix (there is no dedicated StatusCode).
+Status DeadlineExceededError(const std::string& where);
+bool IsDeadlineExceeded(const Status& status);
+
+}  // namespace dynaprox::common
+
+#endif  // DYNAPROX_COMMON_DEADLINE_H_

@@ -1,0 +1,257 @@
+#include "common/fault_point.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/metrics.h"
+#include "common/strings.h"
+
+namespace dynaprox::chaos {
+namespace {
+
+// The log exists to compare seeded runs; cap it so a long chaos soak
+// cannot grow memory without bound.
+constexpr size_t kInjectionLogCap = 65536;
+
+uint64_t Fnv1a(const std::string& text) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+Result<double> ParseProbability(const std::string& text) {
+  if (text.empty()) return Status::InvalidArgument("empty probability");
+  // Hand-rolled so arbitrary fuzz input can't hit locale/errno quirks:
+  // accept only [0-9]*.?[0-9]* with at least one digit.
+  double value = 0;
+  size_t i = 0;
+  bool digits = false;
+  for (; i < text.size() && text[i] >= '0' && text[i] <= '9'; ++i) {
+    value = value * 10 + (text[i] - '0');
+    digits = true;
+  }
+  if (i < text.size() && text[i] == '.') {
+    ++i;
+    double scale = 0.1;
+    for (; i < text.size() && text[i] >= '0' && text[i] <= '9'; ++i) {
+      value += (text[i] - '0') * scale;
+      scale *= 0.1;
+      digits = true;
+    }
+  }
+  if (!digits || i != text.size()) {
+    return Status::InvalidArgument("bad probability: " + text);
+  }
+  if (value < 0 || value > 1) {
+    return Status::InvalidArgument("probability out of [0,1]: " + text);
+  }
+  return value;
+}
+
+Result<FaultAction> ParseAction(const std::string& text) {
+  if (text == "error") return FaultAction::kError;
+  if (text == "delay-ms") return FaultAction::kDelayMs;
+  if (text == "garbage") return FaultAction::kGarbage;
+  if (text == "truncate") return FaultAction::kTruncate;
+  if (text == "drop-conn") return FaultAction::kDropConn;
+  return Status::InvalidArgument("unknown fault action: " + text);
+}
+
+}  // namespace
+
+const char* FaultActionName(FaultAction action) {
+  switch (action) {
+    case FaultAction::kNone: return "none";
+    case FaultAction::kError: return "error";
+    case FaultAction::kDelayMs: return "delay-ms";
+    case FaultAction::kGarbage: return "garbage";
+    case FaultAction::kTruncate: return "truncate";
+    case FaultAction::kDropConn: return "drop-conn";
+  }
+  return "none";
+}
+
+FaultDecision FaultPoint::EvaluateSlow() {
+  FaultDecision decision;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (action_ == FaultAction::kNone) return decision;
+    if (!rng_.NextBool(probability_)) return decision;
+    decision.action = action_;
+    decision.param = param_;
+    fired_.fetch_add(1, std::memory_order_relaxed);
+  }
+  FaultRegistry::Instance().RecordInjection(name_, decision.action);
+  return decision;
+}
+
+void FaultPoint::Arm(double probability, FaultAction action, int64_t param,
+                     uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  probability_ = probability;
+  action_ = action;
+  param_ = param;
+  rng_ = Rng(seed ^ Fnv1a(name_));
+  armed_.store(action != FaultAction::kNone && probability > 0,
+               std::memory_order_relaxed);
+}
+
+void FaultPoint::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  probability_ = 0;
+  action_ = FaultAction::kNone;
+  param_ = 0;
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+Result<std::vector<FaultSpec>> ParseChaosSpec(const std::string& spec) {
+  std::vector<FaultSpec> parsed;
+  if (StripWhitespace(spec).empty()) return parsed;
+  for (std::string_view clause_view : StrSplit(spec, ',')) {
+    std::string clause(StripWhitespace(clause_view));
+    if (clause.empty()) {
+      return Status::InvalidArgument("empty chaos clause in: " + spec);
+    }
+    size_t eq = clause.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("chaos clause missing point=: " +
+                                     clause);
+    }
+    FaultSpec out;
+    out.point = clause.substr(0, eq);
+    std::vector<std::string> parts;
+    const std::string config = clause.substr(eq + 1);
+    for (std::string_view part : StrSplit(config, ':')) {
+      parts.emplace_back(part);
+    }
+    if (parts.size() < 2 || parts.size() > 3) {
+      return Status::InvalidArgument(
+          "chaos clause needs prob:action[:param]: " + clause);
+    }
+    Result<double> probability = ParseProbability(parts[0]);
+    if (!probability.ok()) return probability.status();
+    out.probability = *probability;
+    Result<FaultAction> action = ParseAction(parts[1]);
+    if (!action.ok()) return action.status();
+    out.action = *action;
+    if (parts.size() == 3) {
+      Result<uint64_t> param = ParseUint64(parts[2]);
+      if (!param.ok() || *param > (1ULL << 40)) {
+        return Status::InvalidArgument("bad fault param: " + clause);
+      }
+      out.param = static_cast<int64_t>(*param);
+    } else if (out.action == FaultAction::kDelayMs) {
+      return Status::InvalidArgument("delay-ms needs a :ms param: " +
+                                     clause);
+    }
+    parsed.push_back(std::move(out));
+  }
+  return parsed;
+}
+
+FaultRegistry& FaultRegistry::Instance() {
+  static FaultRegistry* instance = new FaultRegistry();
+  return *instance;
+}
+
+FaultPoint* FaultRegistry::GetPoint(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(name);
+  if (it == points_.end()) {
+    it = points_.emplace(name, std::make_unique<FaultPoint>(name)).first;
+    // Seams register lazily; a spec armed before first use still applies.
+    auto armed = armed_.find(name);
+    if (armed != armed_.end()) {
+      const FaultSpec& spec = armed->second;
+      it->second->Arm(spec.probability, spec.action, spec.param, seed_);
+    }
+  }
+  return it->second.get();
+}
+
+Status FaultRegistry::Arm(const std::string& spec, uint64_t seed) {
+  Result<std::vector<FaultSpec>> parsed = ParseChaosSpec(spec);
+  if (!parsed.ok()) return parsed.status();
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.clear();
+  seed_ = seed;
+  for (const FaultSpec& clause : *parsed) {
+    armed_[clause.point] = clause;
+  }
+  for (auto& [name, point] : points_) {
+    auto it = armed_.find(name);
+    if (it == armed_.end()) {
+      point->Disarm();
+    } else {
+      point->Arm(it->second.probability, it->second.action,
+                 it->second.param, seed);
+    }
+  }
+  return Status::Ok();
+}
+
+void FaultRegistry::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.clear();
+  injection_log_.clear();
+  injection_seq_ = 0;
+  for (auto& [name, point] : points_) point->Disarm();
+}
+
+std::vector<std::pair<std::string, uint64_t>> FaultRegistry::FiredCounts()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, uint64_t>> counts;
+  counts.reserve(points_.size());
+  for (const auto& [name, point] : points_) {
+    counts.emplace_back(name, point->fired());
+  }
+  return counts;
+}
+
+std::vector<std::string> FaultRegistry::InjectionLog() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return injection_log_;
+}
+
+void FaultRegistry::RecordInjection(const std::string& point,
+                                    FaultAction action) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++injection_seq_;
+  if (injection_log_.size() < kInjectionLogCap) {
+    injection_log_.push_back(std::to_string(injection_seq_) + " " + point +
+                             " " + FaultActionName(action));
+  }
+}
+
+void FaultRegistry::RegisterMetrics(metrics::Registry* registry) {
+  registry->RegisterCallbackCounterVec(
+      "dynaprox_fault_injections_total",
+      "Chaos faults injected, by fault point.", "point",
+      [] { return FaultRegistry::Instance().FiredCounts(); });
+}
+
+FaultDecision ApplyDelay(FaultDecision decision) {
+  if (decision.action == FaultAction::kDelayMs && decision.param > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(decision.param));
+  }
+  return decision;
+}
+
+Status InjectStatus(FaultPoint* point) {
+  FaultDecision decision = ApplyDelay(point->Evaluate());
+  switch (decision.action) {
+    case FaultAction::kNone:
+    case FaultAction::kDelayMs:
+      return Status::Ok();
+    default:
+      return Status::Unavailable("chaos:" + point->name() + " injected " +
+                                 FaultActionName(decision.action));
+  }
+}
+
+}  // namespace dynaprox::chaos

@@ -1,0 +1,189 @@
+#ifndef DYNAPROX_COMMON_FAULT_POINT_H_
+#define DYNAPROX_COMMON_FAULT_POINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace dynaprox::metrics {
+class Registry;
+}  // namespace dynaprox::metrics
+
+namespace dynaprox::chaos {
+
+// Process-wide deterministic fault injection (docs/failure-modes.md,
+// "Chaos layer"). Code declares named fault points at its failure seams
+// with DYNAPROX_FAULT_POINT("layer.seam"); an operator or test arms a
+// subset of them via a --chaos spec, and each armed point then draws
+// from its own seeded Rng to decide, per evaluation, whether to inject
+// a fault and which one.
+//
+// Determinism: every point owns an Rng seeded from the global chaos
+// seed XOR a hash of the point's name, and draws exactly once per
+// Evaluate() while armed. A point's injection sequence is therefore a
+// pure function of (seed, evaluation count) — independent of what other
+// points do, of registration order, and of wall-clock time. The
+// registry keeps a bounded injection log so two runs of the same seeded
+// workload can be compared entry-for-entry.
+//
+// Cost when disarmed: Evaluate() is a single relaxed atomic load and a
+// predictable branch — cheap enough to leave compiled into every seam
+// of the serving path (the bench/ suite guards this).
+
+// What an armed fault point tells the seam to do. Seams implement the
+// subset that is meaningful for them (a cache-insert seam cannot
+// truncate a stream); anything it cannot express is treated as kError.
+enum class FaultAction {
+  kNone = 0,
+  kError,     // Fail the operation with an injected Status/error.
+  kDelayMs,   // Sleep `param` milliseconds, then proceed normally.
+  kGarbage,   // Substitute corrupted payload bytes (detectable garbage).
+  kTruncate,  // Cut the payload short (param = max bytes, 0 = empty).
+  kDropConn,  // Kill the underlying connection / make it non-reusable.
+};
+
+const char* FaultActionName(FaultAction action);
+
+struct FaultDecision {
+  FaultAction action = FaultAction::kNone;
+  int64_t param = 0;  // kDelayMs: milliseconds; kTruncate: byte cap.
+
+  explicit operator bool() const { return action != FaultAction::kNone; }
+};
+
+// One named seam. Instances are owned by the FaultRegistry and live for
+// the process; call sites hold a raw pointer obtained once.
+class FaultPoint {
+ public:
+  explicit FaultPoint(std::string name) : name_(std::move(name)) {}
+  FaultPoint(const FaultPoint&) = delete;
+  FaultPoint& operator=(const FaultPoint&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  // Hot path. Disarmed: one relaxed load, returns kNone. Armed: takes
+  // the point's mutex, draws once, and returns the (possibly kNone)
+  // decision.
+  FaultDecision Evaluate() {
+    if (!armed_.load(std::memory_order_relaxed)) return FaultDecision{};
+    return EvaluateSlow();
+  }
+
+  // Number of evaluations that actually injected a fault.
+  uint64_t fired() const { return fired_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class FaultRegistry;
+
+  FaultDecision EvaluateSlow();
+  void Arm(double probability, FaultAction action, int64_t param,
+           uint64_t seed);
+  void Disarm();
+
+  const std::string name_;
+  std::atomic<bool> armed_{false};
+  std::atomic<uint64_t> fired_{0};
+  std::mutex mu_;
+  double probability_ = 0;          // Guarded by mu_.
+  FaultAction action_ = FaultAction::kNone;
+  int64_t param_ = 0;
+  Rng rng_{1};                      // Guarded by mu_.
+};
+
+// One parsed `point=prob:action[:param]` clause.
+struct FaultSpec {
+  std::string point;
+  double probability = 0;
+  FaultAction action = FaultAction::kNone;
+  int64_t param = 0;
+};
+
+// Parses a full --chaos spec: comma-separated clauses of the form
+// `point=prob:action[:param]`. Actions: error, delay-ms (param = ms,
+// required), garbage, truncate (param = byte cap, default 0), drop-conn.
+// Probability is a decimal in [0, 1]. Returns InvalidArgument on any
+// malformed clause; never crashes on arbitrary input (fuzzed).
+Result<std::vector<FaultSpec>> ParseChaosSpec(const std::string& spec);
+
+// Registry of every fault point in the process. Points register on
+// first use and are never removed; arming a spec applies to points that
+// register later too (seams register lazily, configuration happens at
+// startup).
+class FaultRegistry {
+ public:
+  static FaultRegistry& Instance();
+
+  // Returns the stable point for `name`, registering it if new. Cache
+  // the pointer (DYNAPROX_FAULT_POINT does this with a static local).
+  FaultPoint* GetPoint(const std::string& name);
+
+  // Parses `spec` and arms the named points with `seed` determinism.
+  // Replaces any previous arming wholesale. Empty spec == DisarmAll().
+  Status Arm(const std::string& spec, uint64_t seed);
+
+  // Disarms every point and clears the armed configuration and the
+  // injection log (fired counters are monotonic and survive).
+  void DisarmAll();
+
+  // Per-point fired counts, sorted by point name (stable exposition /
+  // conservation checks).
+  std::vector<std::pair<std::string, uint64_t>> FiredCounts() const;
+
+  // Chronological log of injections, each "<seq> <point> <action>".
+  // Bounded (oldest entries keep their sequence numbers; the log stops
+  // growing at the cap, the counters keep counting).
+  std::vector<std::string> InjectionLog() const;
+
+  // Registers dynaprox_fault_injections_total{point=...} with
+  // `registry`. Safe to call once per metrics registry.
+  void RegisterMetrics(metrics::Registry* registry);
+
+ private:
+  friend class FaultPoint;
+
+  FaultRegistry() = default;
+  void RecordInjection(const std::string& point, FaultAction action);
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<FaultPoint>> points_;
+  std::map<std::string, FaultSpec> armed_;  // Applied to late registrants.
+  uint64_t seed_ = 0;
+  uint64_t injection_seq_ = 0;
+  std::vector<std::string> injection_log_;
+};
+
+// --- Seam helpers -------------------------------------------------------
+
+// Sleeps out a kDelayMs decision (wall clock; chaos delays are real
+// stalls even under SimClock) and returns the decision unchanged so the
+// caller can handle the rest. No-op for other actions.
+FaultDecision ApplyDelay(FaultDecision decision);
+
+// For seams whose only failure mode is a Status: handles delay inline
+// and maps every other injected action to Unavailable (tagged
+// "chaos:<point>" so logs distinguish injected faults from real ones).
+// Returns Ok when nothing fired.
+Status InjectStatus(FaultPoint* point);
+
+}  // namespace dynaprox::chaos
+
+// Registers (once) and returns the FaultPoint* for `name`. The name
+// must be a literal; the lookup happens a single time per call site.
+#define DYNAPROX_FAULT_POINT(name)                                      \
+  ([]() -> ::dynaprox::chaos::FaultPoint* {                             \
+    static ::dynaprox::chaos::FaultPoint* dynaprox_fault_point_ =      \
+        ::dynaprox::chaos::FaultRegistry::Instance().GetPoint(name);    \
+    return dynaprox_fault_point_;                                       \
+  }())
+
+#endif  // DYNAPROX_COMMON_FAULT_POINT_H_

@@ -191,6 +191,21 @@ void Registry::RegisterCallbackGaugeVec(const std::string& name,
   entries_.push_back(std::move(entry));
 }
 
+void Registry::RegisterCallbackCounterVec(
+    const std::string& name, const std::string& help,
+    const std::string& label_key,
+    std::function<std::vector<std::pair<std::string, uint64_t>>()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Find(name) != nullptr) return;
+  auto entry = std::make_unique<Entry>();
+  entry->kind = Kind::kCallbackCounterVec;
+  entry->name = name;
+  entry->help = help;
+  entry->label_key = label_key;
+  entry->callback_counter_vec = std::move(fn);
+  entries_.push_back(std::move(entry));
+}
+
 std::string Registry::RenderPrometheus() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out;
@@ -224,6 +239,14 @@ std::string Registry::RenderPrometheus() const {
           out += entry->name + "{" + entry->label_key + "=\"" +
                  std::to_string(i) + "\"} " +
                  FormatSample(entry->callback_gauge_vec(i)) + "\n";
+        }
+        break;
+      }
+      case Kind::kCallbackCounterVec: {
+        out += "# TYPE " + entry->name + " counter\n";
+        for (const auto& [label, value] : entry->callback_counter_vec()) {
+          out += entry->name + "{" + entry->label_key + "=\"" + label +
+                 "\"} " + std::to_string(value) + "\n";
         }
         break;
       }

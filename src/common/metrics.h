@@ -7,6 +7,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace dynaprox::metrics {
@@ -123,6 +124,16 @@ class Registry {
                                 size_t series_count,
                                 std::function<double(size_t)> fn);
 
+  // A labeled counter family whose series set is dynamic: `fn` returns
+  // (label_value, count) pairs at scrape time, rendered as
+  // name{label_key="label_value"} under one HELP/TYPE block (e.g. the
+  // chaos layer's per-fault-point injection counts, which register
+  // lazily as seams are first exercised).
+  void RegisterCallbackCounterVec(
+      const std::string& name, const std::string& help,
+      const std::string& label_key,
+      std::function<std::vector<std::pair<std::string, uint64_t>>()> fn);
+
   // Renders every registered metric in the Prometheus text exposition
   // format (version 0.0.4): # HELP / # TYPE lines, then samples;
   // histograms expand to cumulative _bucket{le=...}, _sum, _count.
@@ -130,7 +141,8 @@ class Registry {
 
  private:
   enum class Kind { kCounter, kGauge, kHistogram, kCallbackCounter,
-                    kCallbackGauge, kCallbackGaugeVec };
+                    kCallbackGauge, kCallbackGaugeVec,
+                    kCallbackCounterVec };
 
   struct Entry {
     Kind kind;
@@ -141,9 +153,11 @@ class Registry {
     std::unique_ptr<LatencyHistogram> histogram;
     std::function<uint64_t()> callback_counter;
     std::function<double()> callback_gauge;
-    std::string label_key;       // kCallbackGaugeVec only.
+    std::string label_key;       // kCallback{Gauge,Counter}Vec only.
     size_t series_count = 0;     // kCallbackGaugeVec only.
     std::function<double(size_t)> callback_gauge_vec;
+    std::function<std::vector<std::pair<std::string, uint64_t>>()>
+        callback_counter_vec;
   };
 
   Entry* Find(const std::string& name);

@@ -1,5 +1,7 @@
 #include "dpc/proxy.h"
 
+#include "common/deadline.h"
+#include "common/fault_point.h"
 #include "common/json.h"
 #include "common/logging.h"
 #include "common/strings.h"
@@ -41,6 +43,32 @@ void AppendVia(http::HeaderMap& headers, const std::string& token) {
 
 double MicrosToSeconds(MicroTime micros) {
   return static_cast<double>(micros) / kMicrosPerSecond;
+}
+
+// Upstream round trip behind the "dpc.upstream" fault point. Error-class
+// actions fail the fetch before it leaves the proxy; garbage substitutes
+// an unparseable template (the same detectable shape
+// net::FaultInjectingTransport produces), which must surface as a clean
+// 502 — never as client bytes.
+Result<http::Response> ChaosRoundTrip(net::Transport* upstream,
+                                      const http::Request& request) {
+  chaos::FaultDecision fault = chaos::ApplyDelay(
+      DYNAPROX_FAULT_POINT("dpc.upstream")->Evaluate());
+  switch (fault.action) {
+    case chaos::FaultAction::kNone:
+    case chaos::FaultAction::kDelayMs:
+      return upstream->RoundTrip(request);
+    case chaos::FaultAction::kGarbage: {
+      http::Response garbage =
+          http::Response::MakeOk("\x02\x7f chaos garbage \x03");
+      garbage.headers.Set(bem::kTemplateHeader, "1");
+      return garbage;
+    }
+    default:
+      return Status::Unavailable(
+          std::string("chaos:dpc.upstream injected ") +
+          chaos::FaultActionName(fault.action));
+  }
 }
 
 // Everything a streamed body needs to finish the request's bookkeeping
@@ -164,6 +192,15 @@ class AssemblingStream : public http::BodyStream {
     }
     common::BufferChain out;
     for (;;) {
+      // Post-commit chunk boundary: any injected action becomes an abort
+      // (honest truncation) — fabricating or corrupting bytes after the
+      // 200 went out is exactly what the invariants forbid.
+      if (Status injected = chaos::InjectStatus(
+              DYNAPROX_FAULT_POINT("dpc.stream.chunk"));
+          !injected.ok()) {
+        ctx_.upstream_errors->Increment();
+        return Abort(injected);
+      }
       Result<common::BufferChain> chunk = upstream_->Next();
       if (!chunk.ok()) {
         ctx_.upstream_errors->Increment();
@@ -318,6 +355,13 @@ void DpcProxy::RegisterMetrics() {
       "Streams aborted after commit (upstream or template failure "
       "mid-body; the client connection is cut, truncating the chunked "
       "body).");
+  instruments_.deadline_exceeded = registry_.GetCounter(
+      "dynaprox_deadline_exceeded_total",
+      "Requests degraded because the end-to-end deadline budget expired "
+      "before upstream/recovery retries completed.");
+  // Chaos layer: per-fault-point injection counts, sampled at scrape
+  // time from the process-wide registry (docs/failure-modes.md).
+  chaos::FaultRegistry::Instance().RegisterMetrics(&registry_);
 
   // Per-stage latency histograms (seconds).
   instruments_.request_duration = registry_.GetHistogram(
@@ -545,6 +589,7 @@ ProxyStats DpcProxy::stats() const {
   snapshot.streamed = instruments_.streamed->value();
   snapshot.stream_fallbacks = instruments_.stream_fallbacks->value();
   snapshot.stream_aborts = instruments_.stream_aborts->value();
+  snapshot.deadline_exceeded = instruments_.deadline_exceeded->value();
   if (instruments_.peer_fills != nullptr) {
     snapshot.peer_fills = instruments_.peer_fills->value();
   }
@@ -706,15 +751,14 @@ http::Response DpcProxy::ServeDegraded(const http::Request& request,
       return std::move(*stale);
     }
   }
-  if (options_.serve_stale || breaker_rejected) {
+  if (options_.serve_stale || breaker_rejected ||
+      common::IsDeadlineExceeded(failure)) {
     instruments_.degraded_503s->Increment();
-    *outcome = "degraded_503";
-    http::Response response = http::Response::MakeError(
-        503, "Service Unavailable",
-        "origin unavailable: " + failure.ToString());
-    response.headers.Set("Retry-After",
-                         std::to_string(options_.retry_after_seconds));
-    return response;
+    *outcome = common::IsDeadlineExceeded(failure) ? "deadline_503"
+                                                   : "degraded_503";
+    return net::MakeUnavailableResponse(
+        "origin unavailable: " + failure.ToString(),
+        options_.retry_after_seconds);
   }
   // Legacy fail-closed behaviour when degradation is not configured.
   *outcome = "upstream_error";
@@ -741,6 +785,7 @@ http::Response DpcProxy::RenderStatus() const {
   json.Key("streamed").Uint(snapshot.streamed);
   json.Key("stream_fallbacks").Uint(snapshot.stream_fallbacks);
   json.Key("stream_aborts").Uint(snapshot.stream_aborts);
+  json.Key("deadline_exceeded").Uint(snapshot.deadline_exceeded);
   json.Key("store").BeginObject();
   StoreStats store_stats = store_.stats();
   json.Key("capacity").Uint(store_.capacity());
@@ -859,6 +904,13 @@ http::Response DpcProxy::Handle(const http::Request& request) {
     request_id = request_ids_.Next();
   }
 
+  // End-to-end budget: this request (and everything it triggers —
+  // upstream fetch, peer fetches, recovery retries) shares one deadline.
+  // A tier above may already have set one; the tighter deadline wins.
+  common::DeadlineScope deadline_scope(common::Deadline::Earliest(
+      common::CurrentDeadline(),
+      common::Deadline::After(clock_, options_.request_budget_micros)));
+
   MicroTime start = clock_->NowMicros();
   const char* outcome = "error";
   // Streaming is served only when every feature that needs the complete
@@ -923,11 +975,20 @@ http::Response DpcProxy::HandleProxied(const http::Request& request,
       revalidating = true;
     }
   }
+  const common::Deadline deadline = common::CurrentDeadline();
   for (int attempt = 0; attempt <= options_.max_recovery_attempts;
        ++attempt) {
+    if (deadline.expired()) {
+      instruments_.deadline_exceeded->Increment();
+      return ServeDegraded(request,
+                           common::DeadlineExceededError(
+                               "upstream fetch, attempt " +
+                               std::to_string(attempt)),
+                           /*breaker_rejected=*/false, outcome);
+    }
     MicroTime fetch_start = clock_->NowMicros();
     Result<http::Response> upstream_response =
-        upstream_->RoundTrip(upstream_request);
+        ChaosRoundTrip(upstream_, upstream_request);
     instruments_.upstream_fetch_duration->Observe(
         MicrosToSeconds(clock_->NowMicros() - fetch_start));
     if (!upstream_response.ok()) {
@@ -1098,14 +1159,20 @@ Result<FragmentRef> DpcProxy::ResolveMiss(const http::Request& request,
   // The nested round trip rides the same upstream transport — safe on
   // PooledClientTransport (own pool slot) and DirectTransport (plain
   // call); see ProxyOptions::streaming for the TcpClientTransport caveat.
+  const common::Deadline deadline = common::CurrentDeadline();
   for (int attempt = 0; attempt < options_.max_recovery_attempts; ++attempt) {
+    if (deadline.expired()) {
+      instruments_.deadline_exceeded->Increment();
+      return common::DeadlineExceededError("streamed recovery for key " +
+                                           ToHex(key));
+    }
     instruments_.recoveries->Increment();
     http::Request refresh = PrepareUpstream(request, request_id);
     refresh.headers.Set(bem::kRefreshHeader, ToHex(key));
     DYNAPROX_LOG(kInfo, "dpc")
         << "streamed cold-cache recovery for key " << ToHex(key);
     MicroTime fetch_start = clock_->NowMicros();
-    Result<http::Response> refreshed = upstream_->RoundTrip(refresh);
+    Result<http::Response> refreshed = ChaosRoundTrip(upstream_, refresh);
     instruments_.upstream_fetch_duration->Observe(
         MicrosToSeconds(clock_->NowMicros() - fetch_start));
     if (!refreshed.ok()) {
@@ -1257,6 +1324,24 @@ http::Response DpcProxy::HandleStreaming(const http::Request& request,
   bool upstream_failed = false;
   Status failure = Status::Ok();
   while (pending.empty()) {
+    // Pre-commit chunk boundary: nothing has reached the client yet, so
+    // injected faults must still produce a clean error response —
+    // garbage as a template error (502), the rest as upstream failures
+    // (degraded/502).
+    if (chaos::FaultDecision fault = chaos::ApplyDelay(
+            DYNAPROX_FAULT_POINT("dpc.stream.prefetch")->Evaluate());
+        static_cast<bool>(fault) &&
+        fault.action != chaos::FaultAction::kDelayMs) {
+      if (fault.action == chaos::FaultAction::kGarbage) {
+        failure = Status::Corruption("chaos:dpc.stream.prefetch garbage");
+      } else {
+        failure = Status::Unavailable(
+            std::string("chaos:dpc.stream.prefetch injected ") +
+            chaos::FaultActionName(fault.action));
+        upstream_failed = true;
+      }
+      break;
+    }
     Result<common::BufferChain> chunk = body->Next();
     if (!chunk.ok()) {
       failure = chunk.status();

@@ -80,6 +80,15 @@ struct ProxyOptions {
   MicroTime max_stale_micros = 0;
   // Retry-After seconds on degraded 503 responses.
   int64_t retry_after_seconds = 5;
+  // End-to-end deadline budget per client request (common::Deadline),
+  // covering the upstream fetch, peer fetches, and every X-DPC-Refresh
+  // recovery retry together — stacked per-layer timeouts can no longer
+  // add up past it. Checked before each retry; an exhausted budget
+  // degrades (stale copy or 503) instead of starting another attempt.
+  // When a caller higher in the stack already established a deadline
+  // (edge tier, nested proxy hop), the earlier of the two applies.
+  // 0 = unlimited.
+  MicroTime request_budget_micros = 0;
   // Serve a JSON status document (proxy counters, store occupancy) at
   // status_path instead of forwarding it upstream.
   bool enable_status = false;
@@ -150,6 +159,7 @@ struct ProxyStats {
   uint64_t stream_fallbacks = 0;  // Template finished during prefetch:
                                   // served buffered instead.
   uint64_t stream_aborts = 0;     // Streams aborted after commit.
+  uint64_t deadline_exceeded = 0;  // Requests degraded on budget expiry.
   uint64_t peer_fills = 0;      // GET misses filled from a ring peer.
   uint64_t pushes_applied = 0;  // Control-channel pushes stored.
   uint64_t peer_serves = 0;     // Fragment-endpoint serves to ring peers.
@@ -230,6 +240,7 @@ class DpcProxy {
     metrics::Counter* streamed;
     metrics::Counter* stream_fallbacks;
     metrics::Counter* stream_aborts;
+    metrics::Counter* deadline_exceeded;
     // Edge-cluster instruments; registered only when the matching option
     // is set, null otherwise (guard before incrementing).
     metrics::Counter* peer_fills = nullptr;

@@ -3,9 +3,12 @@
 #include <utility>
 
 #include "bem/protocol.h"
+#include "common/deadline.h"
+#include "common/fault_point.h"
 #include "common/logging.h"
 #include "common/strings.h"
 #include "edge/edge_fleet.h"
+#include "net/server_limits.h"
 
 namespace dynaprox::edge {
 
@@ -94,8 +97,11 @@ http::Response EdgeCluster::Handle(const http::Request& request) {
     Result<std::string> node = ring_.Route(EdgeFleet::ClientKey(request));
     if (!node.ok()) {
       ++stats_.routing_failures;
-      return http::Response::MakeError(503, "Service Unavailable",
-                                       node.status().ToString());
+      DYNAPROX_LOG(kWarning, "edge")
+          << "routing failure (all nodes down): " << node.status().ToString();
+      return net::MakeUnavailableResponse(
+          "no live edge node: " + node.status().ToString(),
+          options_.proxy.retry_after_seconds);
     }
     proxy = nodes_.at(*node).proxy.get();
   }
@@ -110,6 +116,17 @@ net::Handler EdgeCluster::AsHandler() {
 
 Result<dpc::FragmentRef> EdgeCluster::PeerFetch(const std::string& self,
                                                 bem::DpcKey key) {
+  // The peer hop shares the client request's end-to-end budget: once it
+  // has expired, fail fast into origin recovery (which checks again and
+  // degrades) instead of spending more of nothing.
+  if (common::CurrentDeadline().expired()) {
+    return common::DeadlineExceededError("peer fetch for " + ToHex(key));
+  }
+  if (Status injected =
+          chaos::InjectStatus(DYNAPROX_FAULT_POINT("edge.peer_fetch"));
+      !injected.ok()) {
+    return injected;  // Degrades to origin recovery, like a dead peer.
+  }
   net::Transport* channel = nullptr;
   dpc::DpcProxy* self_proxy = nullptr;
   {
@@ -256,7 +273,11 @@ Status EdgeCluster::MarkDown(const std::string& node) {
     }
     MicroTime now = clock_->NowMicros();
     MicroTime age = entry->age_micros + (now - entry->pushed_at);
-    Status sent = SendPush(failover, entry->key, *entry->body, age);
+    Status sent =
+        chaos::InjectStatus(DYNAPROX_FAULT_POINT("edge.push.replay"));
+    if (sent.ok()) {
+      sent = SendPush(failover, entry->key, *entry->body, age);
+    }
     std::lock_guard<std::mutex> lock(mu_);
     if (sent.ok()) {
       ++stats_.push_replays;

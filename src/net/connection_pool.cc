@@ -7,6 +7,7 @@
 #include <chrono>
 #include <thread>
 
+#include "common/fault_point.h"
 #include "common/strings.h"
 #include "http/parser.h"
 #include "net/idempotency.h"
@@ -52,6 +53,12 @@ Result<int> ConnectionPool::Dial() {
       std::this_thread::sleep_for(std::chrono::microseconds(backoff));
       backoff *= 2;
     }
+    if (Status injected =
+            chaos::InjectStatus(DYNAPROX_FAULT_POINT("net.connect"));
+        !injected.ok()) {
+      last = injected;  // Injected dial failure consumes a retry attempt.
+      continue;
+    }
     Result<int> fd = DialTcp(host_, port_, options_.io_timeout_micros);
     if (fd.ok()) return fd;
     last = fd.status();
@@ -80,6 +87,11 @@ int ConnectionPool::ReapIdle() {
 }
 
 Result<ConnectionPool::Connection> ConnectionPool::Checkout() {
+  if (Status injected =
+          chaos::InjectStatus(DYNAPROX_FAULT_POINT("net.pool.checkout"));
+      !injected.ok()) {
+    return injected;
+  }
   std::unique_lock<std::mutex> lock(mu_);
   const MicroTime wait_start = clock_->NowMicros();
   const auto deadline =
@@ -149,6 +161,11 @@ Result<ConnectionPool::Connection> ConnectionPool::Checkout() {
 
 void ConnectionPool::Checkin(Connection conn, bool reusable) {
   if (conn.fd < 0) return;
+  if (reusable &&
+      static_cast<bool>(chaos::ApplyDelay(
+          DYNAPROX_FAULT_POINT("net.close")->Evaluate()))) {
+    reusable = false;  // Injected close: the keep-alive connection dies.
+  }
   std::lock_guard<std::mutex> lock(mu_);
   if (reusable) {
     idle_.push_back({conn.fd, clock_->NowMicros()});
@@ -181,7 +198,9 @@ Result<http::Response> PooledClientTransport::RoundTrip(
     if (!conn.ok()) return conn.status();
 
     size_t sent = 0;
-    Status write_status = SendAll(conn->fd, wire, &sent);
+    Status write_status =
+        chaos::InjectStatus(DYNAPROX_FAULT_POINT("net.write"));
+    if (write_status.ok()) write_status = SendAll(conn->fd, wire, &sent);
     if (!write_status.ok()) {
       pool_.Checkin(*conn, /*reusable=*/false);
       if (!conn->fresh && attempt == 0 &&
@@ -207,6 +226,12 @@ Result<http::Response> PooledClientTransport::RoundTrip(
         }
         pool_.Checkin(*conn, /*reusable=*/!server_closes);
         return std::move(*next);
+      }
+      if (Status injected =
+              chaos::InjectStatus(DYNAPROX_FAULT_POINT("net.read"));
+          !injected.ok()) {
+        pool_.Checkin(*conn, /*reusable=*/false);
+        return injected;
       }
       ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
       if (n < 0 && errno == EINTR) continue;
@@ -266,6 +291,11 @@ class PooledClientTransport::StreamingBody : public http::BodyStream {
         Finish();
         return common::BufferChain();
       }
+      if (Status injected =
+              chaos::InjectStatus(DYNAPROX_FAULT_POINT("net.read"));
+          !injected.ok()) {
+        return Abort(injected);
+      }
       ssize_t n = ::recv(conn_.fd, buf, sizeof(buf), 0);
       if (n < 0 && errno == EINTR) continue;
       if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
@@ -307,7 +337,9 @@ Result<StreamingResponse> PooledClientTransport::RoundTripStreaming(
     if (!conn.ok()) return conn.status();
 
     size_t sent = 0;
-    Status write_status = SendAll(conn->fd, wire, &sent);
+    Status write_status =
+        chaos::InjectStatus(DYNAPROX_FAULT_POINT("net.write"));
+    if (write_status.ok()) write_status = SendAll(conn->fd, wire, &sent);
     if (!write_status.ok()) {
       pool_.Checkin(*conn, /*reusable=*/false);
       if (!conn->fresh && attempt == 0 &&
@@ -337,6 +369,12 @@ Result<StreamingResponse> PooledClientTransport::RoundTripStreaming(
         streaming.body = std::make_unique<StreamingBody>(
             &pool_, *conn, std::move(reader), reusable);
         return streaming;
+      }
+      if (Status injected =
+              chaos::InjectStatus(DYNAPROX_FAULT_POINT("net.read"));
+          !injected.ok()) {
+        pool_.Checkin(*conn, /*reusable=*/false);
+        return injected;
       }
       ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
       if (n < 0 && errno == EINTR) continue;

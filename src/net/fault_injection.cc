@@ -35,6 +35,43 @@ FaultInjectingTransport::Fault FaultInjectingTransport::Draw() {
   return Fault::kNone;
 }
 
+namespace {
+
+// A template response no tag codec accepts: exercises the proxy's
+// template-error path the way a corrupted origin stream would.
+http::Response MakeGarbageResponse() {
+  http::Response garbage =
+      http::Response::MakeOk(std::string("\x02\x7f garbage \x03"));
+  garbage.headers.Set(bem::kTemplateHeader, "1");
+  return garbage;
+}
+
+}  // namespace
+
+FaultInjectingTransport::Fault FaultInjectingTransport::DrawAndCount() {
+  std::lock_guard<std::mutex> lock(mu_);
+  Fault fault = Draw();
+  switch (fault) {
+    case Fault::kNone:
+      ++stats_.passed;
+      break;
+    case Fault::kError:
+      ++stats_.injected_errors;
+      break;
+    case Fault::kBlackHole:
+      ++stats_.injected_black_holes;
+      break;
+    case Fault::kGarbage:
+      ++stats_.injected_garbage;
+      break;
+    case Fault::kDelay:
+      ++stats_.passed;
+      ++stats_.injected_delays;
+      break;
+  }
+  return fault;
+}
+
 Result<http::Response> FaultInjectingTransport::RoundTrip(
     const http::Request& request) {
   if (down()) {
@@ -45,43 +82,14 @@ Result<http::Response> FaultInjectingTransport::RoundTrip(
     SleepMicros(options_.down_failure_delay_micros);
     return Status::IoError("fault injection: origin down");
   }
-  Fault fault;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    fault = Draw();
-    switch (fault) {
-      case Fault::kNone:
-        ++stats_.passed;
-        break;
-      case Fault::kError:
-        ++stats_.injected_errors;
-        break;
-      case Fault::kBlackHole:
-        ++stats_.injected_black_holes;
-        break;
-      case Fault::kGarbage:
-        ++stats_.injected_garbage;
-        break;
-      case Fault::kDelay:
-        ++stats_.passed;
-        ++stats_.injected_delays;
-        break;
-    }
-  }
-  switch (fault) {
+  switch (DrawAndCount()) {
     case Fault::kError:
       return Status::IoError("fault injection: connection reset");
     case Fault::kBlackHole:
       SleepMicros(options_.black_hole_micros);
       return Status::IoError("fault injection: timeout");
-    case Fault::kGarbage: {
-      // A template response no tag codec accepts: exercises the proxy's
-      // template-error path the way a corrupted origin stream would.
-      http::Response garbage =
-          http::Response::MakeOk(std::string("\x02\x7f garbage \x03"));
-      garbage.headers.Set(bem::kTemplateHeader, "1");
-      return garbage;
-    }
+    case Fault::kGarbage:
+      return MakeGarbageResponse();
     case Fault::kDelay:
       SleepMicros(options_.delay_micros);
       return inner_->RoundTrip(request);
@@ -89,6 +97,42 @@ Result<http::Response> FaultInjectingTransport::RoundTrip(
       return inner_->RoundTrip(request);
   }
   return inner_->RoundTrip(request);
+}
+
+Result<StreamingResponse> FaultInjectingTransport::RoundTripStreaming(
+    const http::Request& request) {
+  if (down()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.down_failures;
+    }
+    SleepMicros(options_.down_failure_delay_micros);
+    return Status::IoError("fault injection: origin down");
+  }
+  switch (DrawAndCount()) {
+    case Fault::kError:
+      return Status::IoError("fault injection: connection reset");
+    case Fault::kBlackHole:
+      SleepMicros(options_.black_hole_micros);
+      return Status::IoError("fault injection: timeout");
+    case Fault::kGarbage: {
+      http::Response garbage = MakeGarbageResponse();
+      common::BufferChain body;
+      body.Append(common::MakeBuffer(std::move(garbage.body)));
+      StreamingResponse streaming;
+      streaming.head = std::move(garbage);
+      streaming.head.body.clear();
+      streaming.body =
+          std::make_unique<BufferedBodyStream>(std::move(body));
+      return streaming;
+    }
+    case Fault::kDelay:
+      SleepMicros(options_.delay_micros);
+      return inner_->RoundTripStreaming(request);
+    case Fault::kNone:
+      return inner_->RoundTripStreaming(request);
+  }
+  return inner_->RoundTripStreaming(request);
 }
 
 FaultInjectionStats FaultInjectingTransport::stats() const {

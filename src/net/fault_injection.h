@@ -60,6 +60,15 @@ class FaultInjectingTransport : public Transport {
 
   Result<http::Response> RoundTrip(const http::Request& request) override;
 
+  // Forwards to the inner transport's streaming path under the same fault
+  // draw. Without this override the base-class adapter kicks in: it still
+  // routes through RoundTrip (faults apply) but silently buffers the whole
+  // body, so streamed requests never exercise the inner transport's real
+  // chunk timing and a fault test over --streaming is testing the wrong
+  // path.
+  Result<StreamingResponse> RoundTripStreaming(
+      const http::Request& request) override;
+
   // Hard outage switch: while down, every round trip fails with IoError
   // after down_failure_delay_micros, without reaching the inner transport.
   void set_down(bool down) { down_.store(down, std::memory_order_relaxed); }
@@ -71,6 +80,7 @@ class FaultInjectingTransport : public Transport {
   enum class Fault { kNone, kError, kBlackHole, kGarbage, kDelay };
 
   Fault Draw();
+  Fault DrawAndCount();
 
   Transport* inner_;
   FaultInjectionOptions options_;

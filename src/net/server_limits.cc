@@ -5,11 +5,17 @@
 
 namespace dynaprox::net {
 
-http::Response MakeShedResponse(int64_t retry_after_seconds) {
-  http::Response response = http::Response::MakeError(
-      503, "Service Unavailable", "server over capacity, retry later");
+http::Response MakeUnavailableResponse(const std::string& reason,
+                                       int64_t retry_after_seconds) {
+  http::Response response =
+      http::Response::MakeError(503, "Service Unavailable", reason);
   response.headers.Set("Retry-After", std::to_string(retry_after_seconds));
   return response;
+}
+
+http::Response MakeShedResponse(int64_t retry_after_seconds) {
+  return MakeUnavailableResponse("server over capacity, retry later",
+                                 retry_after_seconds);
 }
 
 http::Response ResponseForReaderError(

@@ -76,6 +76,15 @@ struct ServerLimits {
   IngressCounters* counters = nullptr;
 };
 
+// The one way dynaprox says "try again later": a 503 whose body carries
+// `reason` and which always sets Retry-After so clients can back off.
+// Every unavailability path funnels here — ingress shed (max_inflight),
+// DPC degraded/breaker-open 503s, and the edge tier's all-nodes-down
+// 503 — so no caller can forget the header; the call sites stay
+// distinguishable via their own counters and access-log outcomes.
+http::Response MakeUnavailableResponse(const std::string& reason,
+                                       int64_t retry_after_seconds);
+
 // The 503 sent when in-flight admission sheds a request.
 http::Response MakeShedResponse(int64_t retry_after_seconds);
 

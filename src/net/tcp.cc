@@ -13,6 +13,7 @@
 #include <chrono>
 #include <cstring>
 
+#include "common/fault_point.h"
 #include "common/logging.h"
 #include "common/strings.h"
 #include "http/parser.h"
@@ -390,7 +391,9 @@ Result<http::Response> TcpClientTransport::RoundTrip(
   for (int attempt = 0; attempt < 2; ++attempt) {
     DYNAPROX_RETURN_IF_ERROR(EnsureConnected());
     size_t sent = 0;
-    Status write_status = SendAll(fd_, wire, &sent);
+    Status write_status =
+        chaos::InjectStatus(DYNAPROX_FAULT_POINT("net.write"));
+    if (write_status.ok()) write_status = SendAll(fd_, wire, &sent);
     if (!write_status.ok()) {
       // Likely a stale keep-alive connection — but some request bytes may
       // have reached the origin, so only re-send when that cannot
@@ -411,6 +414,12 @@ Result<http::Response> TcpClientTransport::RoundTrip(
           return next->status();
         }
         return std::move(*next);
+      }
+      if (Status injected =
+              chaos::InjectStatus(DYNAPROX_FAULT_POINT("net.read"));
+          !injected.ok()) {
+        CloseConnection();
+        return injected;
       }
       ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
       if (n < 0 && errno == EINTR) continue;
@@ -470,6 +479,11 @@ class TcpClientTransport::StreamingBody : public http::BodyStream {
         Finish();
         return common::BufferChain();
       }
+      if (Status injected =
+              chaos::InjectStatus(DYNAPROX_FAULT_POINT("net.read"));
+          !injected.ok()) {
+        return Abort(injected);
+      }
       ssize_t n = ::recv(transport_->fd_, buf, sizeof(buf), 0);
       if (n < 0 && errno == EINTR) continue;
       if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
@@ -514,7 +528,9 @@ Result<StreamingResponse> TcpClientTransport::RoundTripStreaming(
   for (int attempt = 0; attempt < 2; ++attempt) {
     DYNAPROX_RETURN_IF_ERROR(EnsureConnected());
     size_t sent = 0;
-    Status write_status = SendAll(fd_, wire, &sent);
+    Status write_status =
+        chaos::InjectStatus(DYNAPROX_FAULT_POINT("net.write"));
+    if (write_status.ok()) write_status = SendAll(fd_, wire, &sent);
     if (!write_status.ok()) {
       CloseConnection();
       if (attempt == 0 &&
@@ -543,6 +559,12 @@ Result<StreamingResponse> TcpClientTransport::RoundTripStreaming(
         streaming.body = std::make_unique<StreamingBody>(
             this, std::move(lock), std::move(reader), reusable);
         return streaming;
+      }
+      if (Status injected =
+              chaos::InjectStatus(DYNAPROX_FAULT_POINT("net.read"));
+          !injected.ok()) {
+        CloseConnection();
+        return injected;
       }
       ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
       if (n < 0 && errno == EINTR) continue;

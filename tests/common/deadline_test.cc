@@ -1,0 +1,134 @@
+#include "common/deadline.h"
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+
+namespace dynaprox::common {
+namespace {
+
+TEST(DeadlineTest, DefaultIsInfinite) {
+  Deadline deadline;
+  EXPECT_TRUE(deadline.infinite());
+  EXPECT_FALSE(deadline.expired());
+  EXPECT_EQ(deadline.remaining_micros(), INT64_MAX);
+}
+
+TEST(DeadlineTest, NonPositiveBudgetMeansInfinite) {
+  SimClock clock(1000);
+  EXPECT_TRUE(Deadline::After(&clock, 0).infinite());
+  EXPECT_TRUE(Deadline::After(&clock, -5).infinite());
+  EXPECT_TRUE(Deadline::After(nullptr, 100).infinite());
+}
+
+TEST(DeadlineTest, ExpiresWhenTheClockPassesIt) {
+  SimClock clock(0);
+  Deadline deadline = Deadline::After(&clock, 100);
+  EXPECT_FALSE(deadline.expired());
+  EXPECT_EQ(deadline.remaining_micros(), 100);
+  clock.AdvanceMicros(60);
+  EXPECT_FALSE(deadline.expired());
+  EXPECT_EQ(deadline.remaining_micros(), 40);
+  clock.AdvanceMicros(40);
+  EXPECT_TRUE(deadline.expired());
+  EXPECT_EQ(deadline.remaining_micros(), 0);
+  clock.AdvanceMicros(1000);  // Stays expired, remaining clamps at 0.
+  EXPECT_TRUE(deadline.expired());
+  EXPECT_EQ(deadline.remaining_micros(), 0);
+}
+
+TEST(DeadlineTest, EarliestPrefersTheTighterBudget) {
+  SimClock clock(0);
+  Deadline narrow = Deadline::After(&clock, 50);
+  Deadline wide = Deadline::After(&clock, 500);
+  EXPECT_EQ(Deadline::Earliest(narrow, wide).remaining_micros(), 50);
+  EXPECT_EQ(Deadline::Earliest(wide, narrow).remaining_micros(), 50);
+  // Infinite always loses to a finite deadline.
+  EXPECT_EQ(Deadline::Earliest(Deadline{}, narrow).remaining_micros(), 50);
+  EXPECT_EQ(Deadline::Earliest(narrow, Deadline{}).remaining_micros(), 50);
+  EXPECT_TRUE(Deadline::Earliest(Deadline{}, Deadline{}).infinite());
+}
+
+TEST(DeadlineTest, ScopeNestsAndRestores) {
+  SimClock clock(0);
+  EXPECT_TRUE(CurrentDeadline().infinite());
+  {
+    DeadlineScope outer(Deadline::After(&clock, 1000));
+    EXPECT_EQ(CurrentDeadline().remaining_micros(), 1000);
+    {
+      DeadlineScope inner(
+          Deadline::Earliest(CurrentDeadline(), Deadline::After(&clock, 10)));
+      EXPECT_EQ(CurrentDeadline().remaining_micros(), 10);
+    }
+    EXPECT_EQ(CurrentDeadline().remaining_micros(), 1000);
+  }
+  EXPECT_TRUE(CurrentDeadline().infinite());
+}
+
+TEST(DeadlineTest, NestedScopeCannotWidenAnOuterBudgetViaEarliest) {
+  // The pattern every tier uses: combine its own budget with whatever is
+  // already ambient. A nested hop configured with a *looser* budget must
+  // not escape the outer one.
+  SimClock clock(0);
+  DeadlineScope outer(Deadline::After(&clock, 100));
+  DeadlineScope inner(
+      Deadline::Earliest(CurrentDeadline(), Deadline::After(&clock, 5000)));
+  EXPECT_EQ(CurrentDeadline().remaining_micros(), 100);
+}
+
+TEST(DeadlineTest, ErrorIsRecognizable) {
+  Status status = DeadlineExceededError("upstream fetch");
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(IsDeadlineExceeded(status));
+  EXPECT_NE(status.message().find("upstream fetch"), std::string::npos);
+  EXPECT_FALSE(IsDeadlineExceeded(Status::Ok()));
+  EXPECT_FALSE(IsDeadlineExceeded(Status::Unavailable("origin down")));
+  EXPECT_FALSE(IsDeadlineExceeded(Status::IoError("deadline exceeded: x")));
+}
+
+// The acceptance property behind the whole feature: a retry loop that
+// charges time per attempt stops as soon as the shared budget runs out,
+// no matter how many attempts its own policy would allow. Before the
+// Deadline existed, each layer's retries stacked (attempts x per-try
+// timeout per layer), worst-casing far past the client's own timeout.
+TEST(DeadlineTest, StackedRetriesAreBoundedByTheSharedBudget) {
+  SimClock clock(0);
+  constexpr MicroTime kBudget = 1000;
+  constexpr MicroTime kPerAttemptCost = 300;
+  DeadlineScope scope(Deadline::After(&clock, kBudget));
+
+  // An "outer" layer that retries 10 times, calling an "inner" layer
+  // that also retries 10 times — 100 attempts if nothing bounds them.
+  int attempts = 0;
+  auto attempt_once = [&] {
+    ++attempts;
+    clock.AdvanceMicros(kPerAttemptCost);
+    return Status::Unavailable("still down");
+  };
+  auto inner_layer = [&]() -> Status {
+    for (int i = 0; i < 10; ++i) {
+      if (CurrentDeadline().expired()) {
+        return DeadlineExceededError("inner retry");
+      }
+      attempt_once();
+    }
+    return Status::Unavailable("inner exhausted");
+  };
+  Status final_status = Status::Ok();
+  for (int i = 0; i < 10; ++i) {
+    if (CurrentDeadline().expired()) {
+      final_status = DeadlineExceededError("outer retry");
+      break;
+    }
+    final_status = inner_layer();
+  }
+
+  EXPECT_TRUE(IsDeadlineExceeded(final_status));
+  // ceil(1000 / 300) = 4 attempts fit before the budget is spent; the
+  // remaining 96 are never made.
+  EXPECT_EQ(attempts, 4);
+  EXPECT_LE(clock.NowMicros(), kBudget + kPerAttemptCost);
+}
+
+}  // namespace
+}  // namespace dynaprox::common

@@ -1,0 +1,235 @@
+#include "common/fault_point.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace dynaprox::chaos {
+namespace {
+
+// The registry is process-global and shared by every test in this
+// binary, so each test uses its own point names and restores the
+// disarmed state on the way out.
+class FaultPointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultRegistry::Instance().DisarmAll(); }
+};
+
+TEST_F(FaultPointTest, ParsesSingleClause) {
+  Result<std::vector<FaultSpec>> specs =
+      ParseChaosSpec("net.read=0.25:error");
+  ASSERT_TRUE(specs.ok());
+  ASSERT_EQ(specs->size(), 1u);
+  EXPECT_EQ((*specs)[0].point, "net.read");
+  EXPECT_DOUBLE_EQ((*specs)[0].probability, 0.25);
+  EXPECT_EQ((*specs)[0].action, FaultAction::kError);
+  EXPECT_EQ((*specs)[0].param, 0);
+}
+
+TEST_F(FaultPointTest, ParsesEveryActionAndParams) {
+  Result<std::vector<FaultSpec>> specs = ParseChaosSpec(
+      "a=1:error,b=0.5:delay-ms:20,c=0:garbage,d=1:truncate:64,"
+      "e=0.125:drop-conn");
+  ASSERT_TRUE(specs.ok()) << specs.status().ToString();
+  ASSERT_EQ(specs->size(), 5u);
+  EXPECT_EQ((*specs)[1].action, FaultAction::kDelayMs);
+  EXPECT_EQ((*specs)[1].param, 20);
+  EXPECT_EQ((*specs)[3].action, FaultAction::kTruncate);
+  EXPECT_EQ((*specs)[3].param, 64);
+  EXPECT_EQ((*specs)[4].action, FaultAction::kDropConn);
+}
+
+TEST_F(FaultPointTest, RejectsMalformedSpecs) {
+  const char* bad[] = {
+      "noequals",            // Missing '='.
+      "p=",                  // Missing probability.
+      "p=x:error",           // Non-numeric probability.
+      "p=1.5:error",         // Probability out of range.
+      "p=-0.1:error",        // Negative probability.
+      "p=0.5",               // Missing action.
+      "p=0.5:explode",       // Unknown action.
+      "p=0.5:delay-ms",      // delay-ms requires a param.
+      "p=0.5:delay-ms:abc",  // Non-numeric param.
+      "p=0.5:error:1:2",     // Too many parts.
+      "=0.5:error",          // Empty point name.
+      ",",                   // Empty clauses.
+      "a=1:error,,b=1:error",
+  };
+  for (const char* spec : bad) {
+    Result<std::vector<FaultSpec>> parsed = ParseChaosSpec(spec);
+    EXPECT_FALSE(parsed.ok()) << "accepted: " << spec;
+    if (!parsed.ok()) {
+      EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument)
+          << spec;
+    }
+  }
+}
+
+TEST_F(FaultPointTest, EmptySpecParsesToNothing) {
+  Result<std::vector<FaultSpec>> specs = ParseChaosSpec("");
+  ASSERT_TRUE(specs.ok());
+  EXPECT_TRUE(specs->empty());
+}
+
+// S5: the parser must survive arbitrary input with a clean error — a
+// malformed --chaos flag is a startup error, never UB. Deterministic
+// fuzz loop over seeded random bytes drawn from the spec alphabet plus
+// raw binary.
+TEST_F(FaultPointTest, ParserSurvivesFuzzedInput) {
+  Rng rng(0xC4A05u);
+  const std::string alphabet =
+      "abcdefghijklmnopqrstuvwxyz0123456789.=:,-+eE \t\xff\x00";
+  for (int iter = 0; iter < 5000; ++iter) {
+    std::string spec;
+    uint64_t len = rng.NextBounded(24);
+    for (uint64_t i = 0; i < len; ++i) {
+      spec.push_back(alphabet[rng.NextBounded(alphabet.size())]);
+    }
+    // Must return ok or InvalidArgument; crashing or hanging fails the
+    // test at the harness level.
+    Result<std::vector<FaultSpec>> parsed = ParseChaosSpec(spec);
+    if (!parsed.ok()) {
+      EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+    }
+  }
+}
+
+TEST_F(FaultPointTest, DisarmedPointNeverFires) {
+  FaultPoint* point = DYNAPROX_FAULT_POINT("test.disarmed");
+  uint64_t fired_before = point->fired();
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(point->Evaluate());
+  }
+  EXPECT_EQ(point->fired(), fired_before);
+}
+
+TEST_F(FaultPointTest, CertainProbabilityFiresEveryTime) {
+  FaultRegistry& registry = FaultRegistry::Instance();
+  ASSERT_TRUE(registry.Arm("test.certain=1:truncate:128", /*seed=*/42).ok());
+  FaultPoint* point = registry.GetPoint("test.certain");
+  uint64_t fired_before = point->fired();
+  for (int i = 0; i < 10; ++i) {
+    FaultDecision decision = point->Evaluate();
+    ASSERT_TRUE(decision);
+    EXPECT_EQ(decision.action, FaultAction::kTruncate);
+    EXPECT_EQ(decision.param, 128);
+  }
+  EXPECT_EQ(point->fired(), fired_before + 10);
+}
+
+TEST_F(FaultPointTest, SameSeedReplaysSameDecisionSequence) {
+  FaultRegistry& registry = FaultRegistry::Instance();
+  auto run = [&] {
+    EXPECT_TRUE(registry.Arm("test.replay=0.5:error", /*seed=*/7).ok());
+    FaultPoint* point = registry.GetPoint("test.replay");
+    std::vector<bool> outcomes;
+    for (int i = 0; i < 200; ++i) {
+      outcomes.push_back(static_cast<bool>(point->Evaluate()));
+    }
+    return outcomes;
+  };
+  std::vector<bool> first = run();
+  std::vector<bool> second = run();
+  EXPECT_EQ(first, second);
+  // Not degenerate: the sequence mixes hits and misses.
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 0);
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 200);
+}
+
+TEST_F(FaultPointTest, DifferentPointsDrawIndependentStreams) {
+  FaultRegistry& registry = FaultRegistry::Instance();
+  ASSERT_TRUE(
+      registry.Arm("test.ind.a=0.5:error,test.ind.b=0.5:error", 7).ok());
+  FaultPoint* a = registry.GetPoint("test.ind.a");
+  FaultPoint* b = registry.GetPoint("test.ind.b");
+  std::vector<bool> sa, sb;
+  for (int i = 0; i < 200; ++i) {
+    sa.push_back(static_cast<bool>(a->Evaluate()));
+    sb.push_back(static_cast<bool>(b->Evaluate()));
+  }
+  // Same seed, different names: per-point streams must differ.
+  EXPECT_NE(sa, sb);
+}
+
+TEST_F(FaultPointTest, ArmingAppliesToPointsRegisteredLater) {
+  FaultRegistry& registry = FaultRegistry::Instance();
+  ASSERT_TRUE(registry.Arm("test.late.point=1:error", /*seed=*/3).ok());
+  // The seam registers after configuration — the startup order for
+  // every real seam, whose DYNAPROX_FAULT_POINT runs on first request.
+  FaultPoint* point = registry.GetPoint("test.late.point");
+  EXPECT_TRUE(point->Evaluate());
+}
+
+TEST_F(FaultPointTest, ArmReplacesPreviousConfigurationWholesale) {
+  FaultRegistry& registry = FaultRegistry::Instance();
+  ASSERT_TRUE(registry.Arm("test.swap.a=1:error", 1).ok());
+  FaultPoint* a = registry.GetPoint("test.swap.a");
+  EXPECT_TRUE(a->Evaluate());
+  ASSERT_TRUE(registry.Arm("test.swap.b=1:error", 1).ok());
+  EXPECT_FALSE(a->Evaluate());  // Unlisted in the new spec: disarmed.
+  EXPECT_TRUE(registry.GetPoint("test.swap.b")->Evaluate());
+}
+
+TEST_F(FaultPointTest, MalformedSpecLeavesRegistryDisarmed) {
+  FaultRegistry& registry = FaultRegistry::Instance();
+  Status armed = registry.Arm("test.bogus=2:error", 1);
+  EXPECT_FALSE(armed.ok());
+  EXPECT_FALSE(registry.GetPoint("test.bogus")->Evaluate());
+}
+
+TEST_F(FaultPointTest, InjectionLogIsSequencedAndClearsOnDisarm) {
+  FaultRegistry& registry = FaultRegistry::Instance();
+  registry.DisarmAll();
+  ASSERT_TRUE(registry.Arm("test.log=1:drop-conn", 11).ok());
+  FaultPoint* point = registry.GetPoint("test.log");
+  point->Evaluate();
+  point->Evaluate();
+  std::vector<std::string> log = registry.InjectionLog();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_NE(log[0].find("test.log drop-conn"), std::string::npos);
+  EXPECT_NE(log[0], log[1]);  // Sequence numbers differ.
+  registry.DisarmAll();
+  EXPECT_TRUE(registry.InjectionLog().empty());
+  // Fired counters are monotonic and survive the disarm.
+  EXPECT_GE(point->fired(), 2u);
+}
+
+TEST_F(FaultPointTest, FiredCountsAreSortedByName) {
+  FaultRegistry& registry = FaultRegistry::Instance();
+  registry.GetPoint("test.sort.b");
+  registry.GetPoint("test.sort.a");
+  std::vector<std::pair<std::string, uint64_t>> counts =
+      registry.FiredCounts();
+  ASSERT_GE(counts.size(), 2u);
+  for (size_t i = 1; i < counts.size(); ++i) {
+    EXPECT_LT(counts[i - 1].first, counts[i].first);
+  }
+}
+
+TEST_F(FaultPointTest, InjectStatusTagsChaosErrors) {
+  FaultRegistry& registry = FaultRegistry::Instance();
+  ASSERT_TRUE(registry.Arm("test.status=1:error", 5).ok());
+  Status injected = InjectStatus(registry.GetPoint("test.status"));
+  ASSERT_FALSE(injected.ok());
+  EXPECT_EQ(injected.code(), StatusCode::kUnavailable);
+  EXPECT_NE(injected.message().find("chaos:test.status"),
+            std::string::npos);
+  // Disarmed point: clean Ok, no allocation-observable side effects.
+  registry.DisarmAll();
+  EXPECT_TRUE(InjectStatus(registry.GetPoint("test.status")).ok());
+}
+
+TEST_F(FaultPointTest, DelayDecisionProceedsAfterSleeping) {
+  FaultRegistry& registry = FaultRegistry::Instance();
+  ASSERT_TRUE(registry.Arm("test.delay=1:delay-ms:1", 5).ok());
+  // InjectStatus treats delay as "proceed": Ok after the stall.
+  EXPECT_TRUE(InjectStatus(registry.GetPoint("test.delay")).ok());
+  EXPECT_GE(registry.GetPoint("test.delay")->fired(), 1u);
+}
+
+}  // namespace
+}  // namespace dynaprox::chaos

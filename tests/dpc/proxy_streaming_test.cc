@@ -4,11 +4,18 @@
 // path — in-process via DirectTransport and end-to-end over real sockets
 // with a pooled upstream.
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <memory>
 #include <set>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -440,6 +447,153 @@ TEST(ProxyStreamingTest, PostCommitUpstreamFailureAbortsTheStream) {
 
   front.Stop();
   origin.Stop();
+}
+
+// Reads raw bytes off one connection until the server closes it. Sends
+// `wire` first (may hold several pipelined requests).
+std::string RawExchange(uint16_t port, const std::string& wire) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  size_t sent = 0;
+  while (sent < wire.size()) {
+    ssize_t n = ::send(fd, wire.data() + sent, wire.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  std::string received;
+  char buf[4096];
+  for (;;) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;  // 0 = clean close: the signal under test.
+    received.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return received;
+}
+
+// Decodes a chunked body as far as its framing is intact; `*complete`
+// reports whether the terminal 0-chunk was seen.
+std::string DecodeChunked(std::string_view wire, bool* complete) {
+  *complete = false;
+  std::string out;
+  while (!wire.empty()) {
+    size_t line_end = wire.find("\r\n");
+    if (line_end == std::string_view::npos) break;
+    size_t size = 0;
+    for (char c : wire.substr(0, line_end)) {
+      if (c >= '0' && c <= '9') {
+        size = size * 16 + static_cast<size_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        size = size * 16 + static_cast<size_t>(c - 'a' + 10);
+      } else {
+        return out;  // Corrupt size line: stop decoding.
+      }
+    }
+    wire.remove_prefix(line_end + 2);
+    if (size == 0) {
+      *complete = true;
+      return out;
+    }
+    size_t take = std::min(size, wire.size());
+    out.append(wire.substr(0, take));
+    wire.remove_prefix(take);
+    if (take < size || wire.size() < 2) break;  // Truncated mid-chunk.
+    wire.remove_prefix(2);  // Chunk-data CRLF.
+  }
+  return out;
+}
+
+// S3: kill the origin at *every* chunk boundary after the stream has
+// committed and check three things at each offset — the client sees an
+// honestly truncated chunked body (a strict prefix of the fault-free
+// oracle, never a complete-looking page), stream_aborts increments, and
+// the server refuses to serve a pipelined follow-up on the poisoned
+// connection.
+TEST(ProxyStreamingTest, MidStreamDeathAtEveryChunkBoundaryIsHonest) {
+  // Five chunks, one of them splitting a SET tag so a kill can land
+  // while the splice buffer holds partial-tag bytes.
+  std::string wire = "<head-literal>";
+  bem::TagCodec::AppendSet(6, "sweep-fragment", wire);
+  wire += "<tail-literal-padding-so-every-cut-emits>";
+  std::vector<size_t> cuts = {5, wire.size() / 2 - 3, wire.size() / 2 + 4,
+                              wire.size() - 6};
+  std::vector<std::string> all_chunks;
+  size_t prev = 0;
+  for (size_t cut : cuts) {
+    all_chunks.push_back(wire.substr(prev, cut - prev));
+    prev = cut;
+  }
+  all_chunks.push_back(wire.substr(prev));
+
+  // Fault-free oracle: what a complete assembly of this template yields.
+  std::string oracle;
+  {
+    net::DirectTransport upstream([&](const http::Request&) {
+      return TemplateResponse(wire);
+    });
+    DpcProxy proxy(&upstream, StreamingProxy());
+    oracle = HandleAndDrain(proxy, http::Request{});
+  }
+  ASSERT_FALSE(oracle.empty());
+
+  const std::string pipelined_wire =
+      "GET /sweep HTTP/1.1\r\nHost: t\r\n\r\n"
+      "GET /second HTTP/1.1\r\nHost: t\r\n\r\n";
+
+  for (size_t kill_after = 1; kill_after < all_chunks.size();
+       ++kill_after) {
+    SCOPED_TRACE("kill_after=" + std::to_string(kill_after));
+    std::vector<std::string> delivered(
+        all_chunks.begin(),
+        all_chunks.begin() + static_cast<long>(kill_after));
+    net::TcpServer origin([&delivered](const http::Request&) {
+      http::Response response;
+      response.headers.Set(bem::kTemplateHeader, "1");
+      response.body_stream = std::make_shared<ScriptedStream>(
+          delivered, /*fail_after_script=*/true);
+      return response;
+    });
+    ASSERT_TRUE(origin.Start().ok());
+    net::PooledTransportOptions pool_options;
+    pool_options.pool.max_connections = 2;
+    net::PooledClientTransport upstream("127.0.0.1", origin.port(),
+                                        pool_options);
+    DpcProxy proxy(&upstream, StreamingProxy());
+    net::TcpServer front(proxy.AsHandler());
+    ASSERT_TRUE(front.Start().ok());
+
+    std::string raw = RawExchange(front.port(), pipelined_wire);
+    front.Stop();
+    origin.Stop();
+
+    // Exactly one response head: the poisoned connection was closed
+    // before the pipelined second request could be answered on it.
+    size_t heads = 0;
+    for (size_t at = raw.find("HTTP/1.1"); at != std::string::npos;
+         at = raw.find("HTTP/1.1", at + 1)) {
+      ++heads;
+    }
+    EXPECT_EQ(heads, 1u);
+
+    size_t body_at = raw.find("\r\n\r\n");
+    ASSERT_NE(body_at, std::string::npos);
+    bool complete = false;
+    std::string body = DecodeChunked(
+        std::string_view(raw).substr(body_at + 4), &complete);
+    // Honest truncation: never the terminal chunk, and whatever did
+    // arrive is a strict prefix of the fault-free page.
+    EXPECT_FALSE(complete);
+    EXPECT_LT(body.size(), oracle.size());
+    EXPECT_EQ(body, oracle.substr(0, body.size()));
+    EXPECT_EQ(proxy.stats().stream_aborts, 1u);
+    EXPECT_EQ(proxy.stats().streamed, 1u);
+  }
 }
 
 TEST(ProxyStreamingTest, TemplateCapAbortsMidStream) {

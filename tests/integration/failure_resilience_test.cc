@@ -10,10 +10,14 @@
 #include "appserver/origin_server.h"
 #include "appserver/script_registry.h"
 #include "bem/monitor.h"
+#include "bem/protocol.h"
+#include "bem/tag_codec.h"
 #include "common/clock.h"
 #include "dpc/proxy.h"
+#include "edge/cluster.h"
 #include "net/circuit_breaker.h"
 #include "net/fault_injection.h"
+#include "net/server_limits.h"
 #include "net/transport.h"
 #include "storage/table.h"
 
@@ -216,6 +220,153 @@ TEST_F(FailureResilienceTest, FlakyOriginStillAssemblesCorrectPages) {
   EXPECT_GT(fresh, 0);
   EXPECT_GT(stale, 0);
   EXPECT_EQ(fresh + stale, 200);
+}
+
+// S2: the three "try again later" paths — ingress shed (max_inflight),
+// DPC degraded/breaker 503, and the edge tier's all-nodes-down 503 —
+// must all answer through net::MakeUnavailableResponse, so every one of
+// them carries Retry-After. Before unification the edge path sent a
+// bare 503 that clients could not back off from intelligently.
+TEST(UnavailableResponseTest, All503PathsCarryRetryAfter) {
+  http::Request request;
+  request.target = "/any";
+
+  // 1. Ingress shed: the in-flight gate is already at capacity.
+  net::IngressCounters counters;
+  counters.inflight_requests = 1;
+  net::ServerLimits limits;
+  limits.max_inflight = 1;
+  limits.retry_after_seconds = 7;
+  http::Response shed = net::DispatchAdmitted(
+      [](const http::Request&) { return http::Response::MakeOk("never"); },
+      request, limits, counters);
+  EXPECT_EQ(shed.status_code, 503);
+  EXPECT_EQ(*shed.headers.Get("Retry-After"), "7");
+  EXPECT_EQ(counters.shed_503s.load(), 1u);
+
+  // 2. DPC degraded: serve_stale on, origin dead, URL never warmed.
+  net::DirectTransport dead_upstream([](const http::Request&) {
+    return http::Response::MakeOk("unused");
+  });
+  class DeadTransport : public net::Transport {
+   public:
+    Result<http::Response> RoundTrip(const http::Request&) override {
+      return Status::IoError("origin down");
+    }
+  } dead;
+  dpc::ProxyOptions proxy_options;
+  proxy_options.capacity = 8;
+  proxy_options.serve_stale = true;
+  proxy_options.retry_after_seconds = 7;
+  dpc::DpcProxy proxy(&dead, proxy_options);
+  http::Response degraded = proxy.Handle(request);
+  EXPECT_EQ(degraded.status_code, 503);
+  EXPECT_EQ(*degraded.headers.Get("Retry-After"), "7");
+  EXPECT_GE(proxy.stats().degraded_503s, 1u);
+
+  // 3. Edge cluster: every node marked down, nothing to route to.
+  edge::EdgeClusterOptions cluster_options;
+  cluster_options.proxy.capacity = 8;
+  cluster_options.proxy.retry_after_seconds = 7;
+  edge::EdgeCluster cluster(&dead_upstream, cluster_options);
+  ASSERT_TRUE(cluster.AddEdge("edge-1").ok());
+  ASSERT_TRUE(cluster.MarkDown("edge-1").ok());
+  http::Response routed = cluster.Handle(request);
+  EXPECT_EQ(routed.status_code, 503);
+  EXPECT_EQ(*routed.headers.Get("Retry-After"), "7");
+  EXPECT_EQ(cluster.stats().routing_failures, 1u);
+}
+
+// An upstream that never resolves a cold-cache miss: every round trip
+// (including X-DPC-Refresh recovery retries) answers a template GETting
+// a key it never SETs, and burns simulated time — the stacked-retry
+// worst case the deadline budget exists to bound. Optionally serves a
+// plain cacheable page first so a stale copy exists.
+class UnresolvableMissTransport : public net::Transport {
+ public:
+  UnresolvableMissTransport(SimClock* clock, MicroTime cost_micros)
+      : clock_(clock), cost_micros_(cost_micros) {}
+
+  Result<http::Response> RoundTrip(const http::Request&) override {
+    ++round_trips_;
+    clock_->AdvanceMicros(cost_micros_);
+    if (healthy_) return http::Response::MakeOk("fresh page body");
+    std::string body;
+    bem::TagCodec::AppendGet(/*key=*/7, body);  // In range, never SET.
+    http::Response response = http::Response::MakeOk(std::move(body));
+    response.headers.Set(bem::kTemplateHeader, "1");
+    return response;
+  }
+
+  void set_healthy(bool healthy) { healthy_ = healthy; }
+  int round_trips() const { return round_trips_; }
+
+ private:
+  SimClock* clock_;
+  MicroTime cost_micros_;
+  bool healthy_ = false;
+  int round_trips_ = 0;
+};
+
+// The per-request budget bounds stacked recovery retries end to end:
+// each X-DPC-Refresh retry costs a full upstream round trip, so a proxy
+// configured to retry 100 times stops the moment the budget is spent
+// and answers an honest deadline 503 (with Retry-After) instead of
+// compounding per-attempt timeouts.
+TEST(DeadlineBudgetTest, StackedRecoveryRetriesStopAtTheBudget) {
+  SimClock clock;
+  UnresolvableMissTransport upstream(&clock, 40 * kMicrosPerMilli);
+
+  dpc::ProxyOptions options;
+  options.capacity = 8;
+  options.clock = &clock;
+  options.request_budget_micros = 100 * kMicrosPerMilli;
+  options.max_recovery_attempts = 100;  // The budget must win, not this.
+  options.retry_after_seconds = 3;
+  dpc::DpcProxy proxy(&upstream, options);
+
+  http::Request request;
+  request.target = "/budgeted";
+  http::Response response = proxy.Handle(request);
+  EXPECT_EQ(response.status_code, 503);
+  ASSERT_TRUE(response.headers.Has("Retry-After"));
+  EXPECT_EQ(*response.headers.Get("Retry-After"), "3");
+  // 40ms per round trip against a 100ms budget: the fetch plus two
+  // recovery retries fit under the pre-attempt check (t=0, 40, 80); the
+  // fourth round trip is never made. Without the budget this request
+  // would have cost 101 round trips.
+  EXPECT_EQ(upstream.round_trips(), 3);
+  EXPECT_EQ(proxy.stats().deadline_exceeded, 1u);
+}
+
+// With serve_stale on and a warmed page, an exhausted budget degrades
+// to the stale copy (200 + Warning) rather than an error: deadline
+// pressure prefers useful bytes when any exist.
+TEST(DeadlineBudgetTest, ExhaustedBudgetServesStaleWhenWarm) {
+  SimClock clock;
+  UnresolvableMissTransport upstream(&clock, 40 * kMicrosPerMilli);
+  upstream.set_healthy(true);
+
+  dpc::ProxyOptions options;
+  options.capacity = 8;
+  options.clock = &clock;
+  options.serve_stale = true;
+  options.stale_cache.clock = &clock;
+  options.request_budget_micros = 100 * kMicrosPerMilli;
+  options.max_recovery_attempts = 100;
+  dpc::DpcProxy proxy(&upstream, options);
+
+  http::Request request;
+  request.target = "/warm";
+  ASSERT_EQ(proxy.Handle(request).status_code, 200);  // Warm the cache.
+
+  upstream.set_healthy(false);
+  http::Response stale = proxy.Handle(request);
+  EXPECT_EQ(stale.status_code, 200);
+  ASSERT_TRUE(stale.headers.Has("Warning"));
+  EXPECT_EQ(*stale.headers.Get("Warning"), dpc::kStaleWarning);
+  EXPECT_EQ(stale.BodyText(), "fresh page body");
+  EXPECT_EQ(proxy.stats().deadline_exceeded, 1u);
 }
 
 }  // namespace

@@ -304,7 +304,8 @@ TEST_F(ObservabilityTest, ProxyStatusSkeletonIsByteCompatible) {
       "\"template_errors\":N,\"stale_served\":N,\"breaker_rejections\":N,"
       "\"degraded_503s\":N,\"bytes_from_upstream\":N,"
       "\"bytes_to_clients\":N,\"streamed\":N,\"stream_fallbacks\":N,"
-      "\"stream_aborts\":N,\"store\":{\"capacity\":N,"
+      "\"stream_aborts\":N,\"deadline_exceeded\":N,"
+      "\"store\":{\"capacity\":N,"
       "\"occupied_slots\":N,\"content_bytes\":N,"
       "\"bytes\":[N,N,N,N,N,N,N,N,N,N,N,N,N,N,N,N],"
       "\"sets\":N,\"gets\":N,"

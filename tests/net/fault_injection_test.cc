@@ -104,6 +104,92 @@ TEST(FaultInjectionTest, DelayForwardsToInner) {
   EXPECT_EQ(stats.passed, 1u);
 }
 
+// Inner transport whose streaming path is observably different from its
+// buffered path: streaming yields the body in two chunks, and marks the
+// head so a test can tell which entry point actually ran.
+class TwoChunkTransport : public Transport {
+ public:
+  Result<http::Response> RoundTrip(const http::Request&) override {
+    return http::Response::MakeOk("buffered-path");
+  }
+
+  Result<StreamingResponse> RoundTripStreaming(
+      const http::Request&) override {
+    StreamingResponse streaming;
+    streaming.head = http::Response::MakeOk("");
+    streaming.head.body.clear();
+    streaming.head.headers.Set("X-Test-Streamed", "1");
+    streaming.body = std::make_unique<TwoChunkBody>();
+    return streaming;
+  }
+
+ private:
+  class TwoChunkBody : public http::BodyStream {
+   public:
+    Result<common::BufferChain> Next() override {
+      common::BufferChain chunk;
+      if (calls_ == 0) chunk.Append(common::MakeBuffer("chunk-one "));
+      if (calls_ == 1) chunk.Append(common::MakeBuffer("chunk-two"));
+      ++calls_;
+      return chunk;  // Third call: empty = end of body.
+    }
+
+   private:
+    int calls_ = 0;
+  };
+};
+
+// Regression: without a RoundTripStreaming override the base-class
+// adapter buffers the whole body via RoundTrip, so streamed requests
+// never reach the inner transport's streaming path at all.
+TEST(FaultInjectionTest, StreamingForwardsToInnerStreamingPath) {
+  TwoChunkTransport inner;
+  FaultInjectingTransport transport(&inner);
+  Result<StreamingResponse> r =
+      transport.RoundTripStreaming(http::Request{});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->head.headers.Has("X-Test-Streamed"));
+  Result<common::BufferChain> first = r->body->Next();
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->Flatten(), "chunk-one ");
+  Result<common::BufferChain> second = r->body->Next();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->Flatten(), "chunk-two");
+}
+
+// Regression companion: streamed requests observe injected faults and
+// draw from the same replayable decision stream as buffered ones.
+TEST(FaultInjectionTest, StreamingObservesInjectedFaults) {
+  TwoChunkTransport inner;
+  FaultInjectionOptions options;
+  options.error_probability = 1.0;
+  FaultInjectingTransport transport(&inner, options);
+  Result<StreamingResponse> r =
+      transport.RoundTripStreaming(http::Request{});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+  EXPECT_EQ(transport.stats().injected_errors, 1u);
+
+  transport.set_down(true);
+  EXPECT_FALSE(transport.RoundTripStreaming(http::Request{}).ok());
+  EXPECT_EQ(transport.stats().down_failures, 1u);
+}
+
+TEST(FaultInjectionTest, StreamingGarbageArrivesAsTemplateBody) {
+  TwoChunkTransport inner;
+  FaultInjectionOptions options;
+  options.garbage_probability = 1.0;
+  FaultInjectingTransport transport(&inner, options);
+  Result<StreamingResponse> r =
+      transport.RoundTripStreaming(http::Request{});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->head.headers.Has(bem::kTemplateHeader));
+  Result<common::BufferChain> body = r->body->Next();
+  ASSERT_TRUE(body.ok());
+  EXPECT_FALSE(body->Flatten().empty());
+  EXPECT_EQ(transport.stats().injected_garbage, 1u);
+}
+
 TEST(FaultInjectionTest, BlackHoleFailsAfterSimulatedTimeout) {
   DirectTransport inner(Echo);
   FaultInjectionOptions options;

@@ -13,7 +13,12 @@
 //       [--max-header-bytes=0] [--max-body-bytes=0] [--drain-timeout=0]
 //       [--push-min-score=0] [--push-queue-capacity=1024]
 //       [--push-target-host=127.0.0.1] [--push-target-port=0]
-//       [--push-drain-ms=500]
+//       [--push-drain-ms=500] [--chaos=SPEC] [--chaos-seed=42]
+//
+// --chaos arms deterministic fault injection at the origin's seams, e.g.
+// --chaos=bem.block.generate=0.01:error,bem.push.post=0.1:error with
+// --chaos-seed making runs reproducible (docs/failure-modes.md,
+// "Chaos layer"). Malformed specs fail startup.
 //
 // --push-min-score > 0 attaches the edge-tier push engine
 // (docs/edge-tier.md): invalidated fragments whose popularity *
@@ -59,6 +64,7 @@
 #include "bem/protocol.h"
 #include "bem/sweeper.h"
 #include "common/access_log.h"
+#include "common/fault_point.h"
 #include "common/flags.h"
 #include "common/strings.h"
 #include "net/connection_pool.h"
@@ -104,17 +110,29 @@ int main(int argc, char** argv) {
       flags->GetInt("push-queue-capacity", 1024);
   Result<int64_t> push_target_port = flags->GetInt("push-target-port", 0);
   Result<int64_t> push_drain_ms = flags->GetInt("push-drain-ms", 500);
+  Result<int64_t> chaos_seed = flags->GetInt("chaos-seed", 42);
   for (const auto* r : {&port, &pages, &fragments, &capacity, &sweep_ms,
                         &seed, &max_connections, &max_inflight,
                         &header_timeout_ms, &idle_timeout_ms,
                         &write_stall_ms, &max_header_bytes, &max_body_bytes,
                         &drain_timeout_ms, &block_workers, &block_queue,
                         &push_queue_capacity, &push_target_port,
-                        &push_drain_ms}) {
+                        &push_drain_ms, &chaos_seed}) {
     if (!r->ok()) {
       std::fprintf(stderr, "%s\n", r->status().ToString().c_str());
       return 2;
     }
+  }
+  if (std::string chaos_spec = flags->GetString("chaos", "");
+      !chaos_spec.empty()) {
+    Status armed = chaos::FaultRegistry::Instance().Arm(
+        chaos_spec, static_cast<uint64_t>(*chaos_seed));
+    if (!armed.ok()) {
+      std::fprintf(stderr, "--chaos: %s\n", armed.ToString().c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "chaos armed: %s (seed %lld)\n",
+                 chaos_spec.c_str(), static_cast<long long>(*chaos_seed));
   }
   Result<double> push_min_score = flags->GetDouble("push-min-score", 0.0);
   for (const auto* r :

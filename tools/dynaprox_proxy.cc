@@ -13,6 +13,17 @@
 //       [--max-connections=0] [--max-inflight=0]
 //       [--header-timeout=0] [--idle-timeout=0] [--write-stall-timeout=0]
 //       [--max-header-bytes=0] [--max-body-bytes=0] [--drain-timeout=0]
+//       [--request-budget-ms=0] [--chaos=SPEC] [--chaos-seed=42]
+//
+// --request-budget-ms gives every request an end-to-end deadline budget:
+// once spent, recovery retries stop and the request degrades (503 +
+// Retry-After, or stale with --serve-stale) instead of stacking
+// timeouts (docs/failure-modes.md, "Deadline budgets").
+//
+// --chaos arms deterministic fault injection at the proxy's seams, e.g.
+// --chaos=net.read=0.01:error,dpc.stream.chunk=0.001:error with
+// --chaos-seed making runs reproducible (docs/failure-modes.md,
+// "Chaos layer"). Malformed specs fail startup.
 //
 // --breaker puts a circuit breaker on the origin link so a dead origin
 // fast-fails instead of eating a dial timeout per request; --serve-stale
@@ -52,6 +63,7 @@
 
 #include "bem/protocol.h"
 #include "common/access_log.h"
+#include "common/fault_point.h"
 #include "common/flags.h"
 #include "dpc/proxy.h"
 #include "net/circuit_breaker.h"
@@ -83,12 +95,15 @@ int main(int argc, char** argv) {
   Result<int64_t> max_header_bytes = flags->GetInt("max-header-bytes", 0);
   Result<int64_t> max_body_bytes = flags->GetInt("max-body-bytes", 0);
   Result<int64_t> drain_timeout_ms = flags->GetInt("drain-timeout", 0);
+  Result<int64_t> request_budget_ms = flags->GetInt("request-budget-ms", 0);
+  Result<int64_t> chaos_seed = flags->GetInt("chaos-seed", 42);
   for (const auto* r : {&port, &origin_port, &capacity, &pool_size,
                         &breaker_window, &breaker_cooldown_ms,
                         &stale_capacity, &max_stale_sec, &max_connections,
                         &max_inflight, &header_timeout_ms, &idle_timeout_ms,
                         &write_stall_ms, &max_header_bytes, &max_body_bytes,
-                        &drain_timeout_ms}) {
+                        &drain_timeout_ms, &request_budget_ms,
+                        &chaos_seed}) {
     if (!r->ok()) {
       std::fprintf(stderr, "%s\n", r->status().ToString().c_str());
       return 2;
@@ -104,6 +119,19 @@ int main(int argc, char** argv) {
   std::string origin_host = flags->GetString("origin-host", "127.0.0.1");
   bool enable_breaker = flags->GetBool("breaker");
   bool serve_stale = flags->GetBool("serve-stale");
+
+  if (std::string chaos_spec = flags->GetString("chaos", "");
+      !chaos_spec.empty()) {
+    Status armed = chaos::FaultRegistry::Instance().Arm(
+        chaos_spec, static_cast<uint64_t>(*chaos_seed));
+    if (!armed.ok()) {
+      std::fprintf(stderr, "--chaos: %s\n", armed.ToString().c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "chaos armed: %s (seed %lld)\n",
+                 chaos_spec.c_str(),
+                 static_cast<long long>(*chaos_seed));
+  }
 
   std::unique_ptr<AccessLogger> access_log;
   if (std::string log_path = flags->GetString("access-log", "");
@@ -166,6 +194,7 @@ int main(int argc, char** argv) {
   options.serve_stale = serve_stale;
   options.stale_cache.capacity = static_cast<size_t>(*stale_capacity);
   options.max_stale_micros = *max_stale_sec * kMicrosPerSecond;
+  options.request_budget_micros = *request_budget_ms * kMicrosPerMilli;
   if (guarded != nullptr) options.upstream_breaker = &guarded->breaker();
   dpc::DpcProxy proxy(origin_link, options);
 
